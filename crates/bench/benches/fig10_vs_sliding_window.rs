@@ -1,0 +1,103 @@
+//! Regenerates paper Fig 10: accuracy vs. normalized throughput Pareto
+//! frontiers for LongSight and sliding-window attention at 32K context.
+//!
+//! Accuracy: attention-output fidelity relative to dense (`1 − rel_err`) on
+//! a Llama-3-8B-geometry trace. Throughput: the serving simulator evaluated
+//! with the *measured* filter ratio of each algorithm configuration —
+//! connecting the algorithm sweep to end-to-end performance, normalized to
+//! the dense 1-GPU system at the same context.
+
+use longsight_bench::fig3::{train_trace_itq, trace_for};
+use longsight_bench::print_table;
+use longsight_core::trace_eval::evaluate_trace;
+use longsight_core::{HybridConfig, ItqRotation};
+use longsight_gpu::{DataParallelGpus, GpuSpec};
+use longsight_model::ModelConfig;
+use longsight_system::{
+    GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem, SlidingWindowSystem,
+};
+
+fn main() {
+    let model = ModelConfig::llama3_8b();
+    let ctx = 32_768usize;
+    let users = 8usize;
+    let trace = trace_for(128, ctx, 0xF170);
+    let rotation = train_trace_itq(&trace, 1024, 0xF170);
+
+    // Dense reference throughput.
+    let mut dense = GpuOnlySystem {
+        gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+        model: model.clone(),
+    };
+    let dense_tput = dense.evaluate(users, ctx).expect("dense fits at 32K").throughput_tps;
+
+    // LongSight frontier: sweep (W, k, threshold); accuracy from the trace,
+    // throughput from the system model with the measured filter ratio.
+    let mut ls_rows = Vec::new();
+    for &(w, k) in &[(256usize, 256usize), (1024, 256), (1024, 1024), (4096, 1024)] {
+        for th in (48..=96u32).step_by(16) {
+            let cfg = HybridConfig {
+                window: w,
+                sinks: 16,
+                top_k: k,
+            };
+            let q = evaluate_trace(&trace, &rotation, &cfg, th);
+            let accuracy = 1.0 - q.output_rel_err;
+            if accuracy < 0.7 {
+                continue;
+            }
+            let mut sys_cfg = LongSightConfig::paper_default();
+            sys_cfg.hybrid = cfg;
+            sys_cfg.filter_ratio = q.stats.filter_ratio_nonwindow().max(1.0);
+            let mut sys = LongSightSystem::new(sys_cfg, model.clone());
+            if let Ok(r) = sys.evaluate(users, ctx) {
+                ls_rows.push(vec![
+                    format!("W={w} k={k} th={th}"),
+                    format!("{accuracy:.4}"),
+                    format!("{:.2}x", r.throughput_tps / dense_tput),
+                ]);
+            }
+        }
+    }
+    print_table(
+        "Fig 10: LongSight accuracy vs normalized throughput (32K, 8 users)",
+        &["Config", "Accuracy (rel. dense)", "Throughput (x dense 1-GPU)"],
+        &ls_rows,
+    );
+
+    // Sliding-window frontier: accuracy = window-only trace fidelity
+    // (sparse path disabled), throughput from the window system.
+    let mut sw_rows = Vec::new();
+    for &w in &[512usize, 1024, 4096, 8192, 16_384] {
+        let cfg = HybridConfig {
+            window: w,
+            sinks: 16,
+            top_k: 1, // negligible sparse path
+        };
+        let q = evaluate_trace(&trace, &ItqRotation::identity(128), &cfg, 129);
+        let accuracy = 1.0 - q.output_rel_err;
+        let mut sys = SlidingWindowSystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+            model: model.clone(),
+            window: w,
+            sinks: 16,
+        };
+        if let Ok(r) = sys.evaluate(users, ctx) {
+            sw_rows.push(vec![
+                format!("W={w}"),
+                format!("{accuracy:.4}"),
+                format!("{:.2}x", r.throughput_tps / dense_tput),
+            ]);
+        }
+    }
+    print_table(
+        "Fig 10: sliding-window accuracy vs normalized throughput (32K, 8 users)",
+        &["Config", "Accuracy (rel. dense)", "Throughput (x dense 1-GPU)"],
+        &sw_rows,
+    );
+
+    println!("\npaper shape: LongSight substantially expands the Pareto frontier —");
+    println!("at matched accuracy it delivers higher normalized throughput than any");
+    println!("sliding-window configuration, which must grow W (and lose its speed");
+    println!("advantage) to recover accuracy.");
+}

@@ -1,0 +1,60 @@
+//! Regenerates paper Fig 3: non-window KV-cache filter ratios vs. context
+//! length for (a) baseline sparse, (b) hybrid, (c) hybrid + ITQ.
+//!
+//! Long-context points run on generated traces with Llama-3-8B head geometry
+//! (`head_dim = 128`); quality constraint: attention output error ≤ 5 % of
+//! dense (the perplexity-budget substitution documented in DESIGN.md).
+//! Entries printed as `X` could not reach the quality target (as in the
+//! paper's Fig 3a for small k).
+
+use longsight_bench::fig3::{measure_with_rotation, trace_for, train_trace_itq, Fig3Variant};
+use longsight_bench::{fmt_ctx, print_table};
+
+fn main() {
+    let head_dim = 128; // Llama-3-8B KV head geometry
+    let contexts = [4_096usize, 8_192, 16_384, 32_768, 65_536, 131_072];
+    let ks = [128usize, 1024];
+
+    let mut rows = Vec::new();
+    for &ctx in &contexts {
+        let trace = trace_for(head_dim, ctx, 0xF163 ^ ctx as u64);
+        let rotation = train_trace_itq(&trace, 1024, 0xF163);
+        for &k in &ks {
+            let mut row = vec![fmt_ctx(ctx), k.to_string()];
+            for variant in [
+                Fig3Variant::BaselineSparse,
+                Fig3Variant::Hybrid,
+                Fig3Variant::HybridItq,
+            ] {
+                let p = measure_with_rotation(&trace, variant, k, &rotation);
+                row.push(match p.filter_ratio {
+                    Some(r) => format!("{r:.1}x (th {}, recall {:.2})", p.threshold, p.recall),
+                    None => "X".into(),
+                });
+            }
+            rows.push(row);
+        }
+    }
+    print_table(
+        "Fig 3: non-window KV cache filter ratio (quality within 5% of dense)",
+        &["Context", "k", "(a) baseline sparse", "(b) hybrid", "(c) hybrid+ITQ"],
+        &rows,
+    );
+
+    println!("\npaper shape: hybrid more robust than baseline at long context (small-k");
+    println!("baseline entries marked X); ITQ raises the achievable filter ratio at");
+    println!("matched quality (up to 6.4x for Llama-3-1B / 46x for Llama-3-8B vs hybrid).");
+
+    // §5.4 DynaX comparison row: achievable sparsity at matched quality.
+    let trace = trace_for(head_dim, 32_768, 77);
+    let rotation = train_trace_itq(&trace, 1024, 0xF163);
+    let hybrid = measure_with_rotation(&trace, Fig3Variant::HybridItq, 1024, &rotation);
+    if let Some(r) = hybrid.filter_ratio {
+        // Sparsity over the full cache including window and top-k accesses.
+        let window = 1024.0 + 16.0;
+        let accessed = (32_768.0 - window) / r + window;
+        let sparsity = 100.0 * (1.0 - accessed / 32_768.0);
+        println!("\nDynaX comparison (32K, Llama-3-8B geometry): {sparsity:.1}% sparsity");
+        println!("paper: 91.92% sparsity at matched perplexity (DynaX reports 91.77%)");
+    }
+}

@@ -1,0 +1,71 @@
+//! Algorithmic baseline comparison (paper §3.1, §5.1): per-token SCF vs.
+//! blockwise selection (NSA/DynaX-style) vs. Reformer-style LSH, on
+//! LLaMA-like key traces — cost (keys fetched) and recall of the true top-k.
+
+use longsight_bench::fig3::{train_trace_itq, trace_for};
+use longsight_bench::print_table;
+use longsight_core::baseline_filters::{blockwise_surviving_indices, LshFilter};
+use longsight_core::{surviving_indices, PFU_BLOCK_KEYS};
+use longsight_tensor::{top_k_indices, vecops, SignBits, SimRng};
+
+fn main() {
+    let d = 128;
+    let ctx = 16_384;
+    let trace = trace_for(d, ctx, 0xBA5E);
+    let rotation = train_trace_itq(&trace, 1024, 0xBA5E);
+    let key_signs: Vec<SignBits> = trace.keys.iter().map(|k| rotation.signs(k)).collect();
+
+    let mut rng = SimRng::seed_from(0xBA5F);
+    let lsh = LshFilter::new(d, 32, 8, &mut rng);
+    let key_sigs: Vec<Vec<u64>> = trace.keys.iter().map(|k| lsh.signatures(k)).collect();
+
+    // For each method: candidate count + recall of true top-128, averaged
+    // over the trace's query probes.
+    let k = 128;
+    let mut rows = Vec::new();
+    let mut totals = vec![(0usize, 0usize); 4]; // (candidates, hits)
+    let mut truth_total = 0usize;
+    for probe in &trace.queries {
+        let scores: Vec<f32> = trace.keys.iter().map(|key| vecops::dot(&probe.q, key)).collect();
+        let truth = top_k_indices(&scores, k);
+        truth_total += truth.len();
+        let q_signs = rotation.signs(&probe.q);
+
+        // Per-token SCF at a mid threshold; blockwise at the same threshold.
+        let th = 72;
+        let per_token = surviving_indices(&q_signs, &key_signs, th);
+        let blockwise = blockwise_surviving_indices(&q_signs, &key_signs, th, PFU_BLOCK_KEYS);
+        let lsh_cands = lsh.candidates(&lsh.signatures(&probe.q), &key_sigs);
+        let dense: Vec<usize> = (0..trace.keys.len()).collect();
+
+        for (slot, cands) in [&per_token, &blockwise, &lsh_cands, &dense].iter().enumerate() {
+            totals[slot].0 += cands.len();
+            totals[slot].1 += truth.iter().filter(|i| cands.contains(i)).count();
+        }
+    }
+    let n_probes = trace.queries.len();
+    for (name, (cands, hits)) in [
+        "per-token SCF+ITQ (th 72)",
+        "blockwise SCF+ITQ (128-key blocks, th 72)",
+        "LSH (32 tables x 8 bits)",
+        "dense (fetch everything)",
+    ]
+    .iter()
+    .zip(&totals)
+    {
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", *cands as f64 / n_probes as f64),
+            format!("{:.1}x", ctx as f64 * n_probes as f64 / *cands as f64),
+            format!("{:.3}", *hits as f64 / truth_total as f64),
+        ]);
+    }
+    print_table(
+        "Filtering baselines at 16K context (Llama-3-8B key geometry)",
+        &["Method", "Keys fetched/query", "Filter ratio", "Top-128 recall"],
+        &rows,
+    );
+    println!("\npaper shape (3.1/5.1): per-token filtering fetches several times fewer");
+    println!("keys than block-granular selection at the same threshold; LSH needs");
+    println!("multiple hash rounds/tables and still trails a tuned sign filter.");
+}

@@ -1,0 +1,36 @@
+//! Regenerates paper Table 1: model parameters.
+
+use longsight_bench::print_table;
+use longsight_model::ModelConfig;
+
+fn main() {
+    let rows: Vec<Vec<String>> = [ModelConfig::llama3_1b(), ModelConfig::llama3_8b()]
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                "GQA".into(),
+                format!("{}/{}", m.q_heads, m.kv_heads),
+                m.head_dim.to_string(),
+                m.layers.to_string(),
+                "BF16".into(),
+                format!("{:.1}", m.weight_bytes() as f64 / 1e9),
+                format!("{}", m.kv_bytes_per_token()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: model parameters",
+        &[
+            "Model",
+            "Attention",
+            "Q/KV heads",
+            "Head dim",
+            "Layers",
+            "Quant",
+            "Weights (GB)",
+            "KV B/token",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates paper Table 2: system configuration used for measurements.
+
+use longsight_bench::print_table;
+use longsight_dram::{DramTiming, Geometry};
+use longsight_drex::DrexParams;
+use longsight_gpu::GpuSpec;
+
+fn main() {
+    let gpu = GpuSpec::h100_sxm();
+    let drex = DrexParams::paper();
+    let geo = Geometry::drex();
+    let t = DramTiming::lpddr5x_8533();
+
+    let pfu_count = geo.packages * geo.channels * geo.banks;
+    // Each PFU streams one 128-bit column per pfu_dim_ns.
+    let pfu_bw_tbps = pfu_count as f64 * 16.0 / drex.pfu_dim_ns / 1000.0;
+    let nma_bw_tbps =
+        geo.packages as f64 * geo.channels as f64 * t.channel_bandwidth_gbps() / 1000.0;
+
+    let rows = vec![
+        vec![
+            "GPU".into(),
+            gpu.name.into(),
+            format!("{:.0} TFLOP/s", gpu.flops_per_ns / 1e3),
+            format!("{:.2} TB/s HBM3", gpu.hbm_bytes_per_ns / 1000.0),
+            format!("{} GB", gpu.hbm_bytes / 1_000_000_000),
+        ],
+        vec![
+            "DReX (simulated)".into(),
+            format!("{} NMA, {} PFU", geo.packages, pfu_count),
+            format!(
+                "{:.2} TFLOP/s NMAs",
+                drex.nma_flops_per_ns * geo.packages as f64 / 1e3
+            ),
+            format!("{nma_bw_tbps:.1} TB/s (NMAs), {pfu_bw_tbps:.1} TB/s (PFUs)"),
+            format!("{} GB LPDDR5X", geo.total_bytes() >> 30),
+        ],
+    ];
+    print_table(
+        "Table 2: system configuration",
+        &["Device", "Description", "Compute", "Bandwidth", "Capacity"],
+        &rows,
+    );
+    println!("paper Table 2: H100 989 TF/s, 3.35 TB/s, 80 GB; DReX 8 NMA / 8192 PFU, 26.11 TF/s, 1.1 TB/s (NMAs), 104.9 TB/s (PFUs), 512 GB");
+}

@@ -1,0 +1,16 @@
+//! Shared helpers for the benchmark harness: table rendering and the
+//! experiment drivers the figure targets replay.
+//!
+//! Every paper table/figure has a bench target (`harness = false`) under
+//! `benches/` that prints the corresponding rows; `EXPERIMENTS.md` records
+//! paper-vs-measured shapes. The drivers live here so tests can assert on
+//! the same numbers the benches print.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig3;
+pub mod fig7;
+mod table;
+
+pub use table::{fmt_ctx, fmt_ns, print_table};

@@ -1,0 +1,79 @@
+//! Plain-text table rendering for the figure/table benches.
+
+/// Prints an aligned text table with a title.
+///
+/// # Example
+///
+/// ```
+/// longsight_bench::print_table(
+///     "demo",
+///     &["a", "b"],
+///     &[vec!["1".into(), "2".into()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    println!("\n== {title} ==");
+    println!("{line}");
+    let header: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:<w$} "))
+        .collect();
+    println!("{}", header.join("|"));
+    println!("{line}");
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect();
+        println!("{}", cells.join("|"));
+    }
+    println!("{line}");
+}
+
+/// Formats a nanosecond quantity with a readable unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Formats a context length as `32K` / `1M`.
+pub fn fmt_ctx(tokens: usize) -> String {
+    if tokens >= 1 << 20 {
+        format!("{}M", tokens >> 20)
+    } else if tokens >= 1024 {
+        format!("{}K", tokens / 1024)
+    } else {
+        tokens.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_units() {
+        assert_eq!(fmt_ns(100.0), "100 ns");
+        assert_eq!(fmt_ns(1500.0), "1.50 us");
+        assert_eq!(fmt_ns(2.5e6), "2.50 ms");
+        assert_eq!(fmt_ctx(32 * 1024), "32K");
+        assert_eq!(fmt_ctx(1 << 20), "1M");
+        assert_eq!(fmt_ctx(100), "100");
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal flag parsing (`--key value` pairs) — no external dependencies.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parses everything after the subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a dangling `--flag` without a value or a
+    /// non-flag token.
+    pub fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = BTreeMap::new();
+        let mut it = raw.iter();
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{tok}' (flags are --key value)"));
+            };
+            let Some(value) = it.next() else {
+                return Err(format!("flag --{key} needs a value"));
+            };
+            flags.insert(key.to_string(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    /// A string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A parsed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --{key}")),
+        }
+    }
+
+    /// Rejects unknown flags (catches typos).
+    ///
+    /// # Errors
+    ///
+    /// Lists the first unknown flag and the allowed set.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown flag --{k}; allowed: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = Args::parse(&s(&["--ctx", "1024", "--users", "4"])).unwrap();
+        assert_eq!(a.get_or("ctx", 0usize).unwrap(), 1024);
+        assert_eq!(a.get_or("users", 0usize).unwrap(), 4);
+        assert_eq!(a.get_or("missing", 7usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&s(&["ctx"])).is_err());
+        assert!(Args::parse(&s(&["--ctx"])).is_err());
+        let a = Args::parse(&s(&["--ctx", "abc"])).unwrap();
+        assert!(a.get_or("ctx", 0usize).is_err());
+    }
+
+    #[test]
+    fn flags_are_validated() {
+        let a = Args::parse(&s(&["--ctx", "1"])).unwrap();
+        assert!(a.ensure_known(&["ctx"]).is_ok());
+        assert!(a.ensure_known(&["users"]).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use longsight_core::tuner::{tune_thresholds, ProbeResult, TunerConfig};
+use longsight_core::{training, HybridConfig, ItqConfig, LongSightBackend, RotationTable, ThresholdTable};
+use longsight_drex::layout::{self, UserPartition};
+use longsight_dram::Geometry;
+use longsight_gpu::{DataParallelGpus, GpuSpec};
+use longsight_model::{corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights};
+use longsight_system::serving::{simulate, WorkloadConfig};
+use longsight_system::{
+    AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem,
+    SlidingWindowSystem,
+};
+use longsight_tensor::SimRng;
+
+fn model_flag(a: &Args) -> Result<ModelConfig, String> {
+    match a.get("model").unwrap_or("8b") {
+        "1b" => Ok(ModelConfig::llama3_1b()),
+        "8b" => Ok(ModelConfig::llama3_8b()),
+        other => Err(format!("unknown --model '{other}' (use 1b or 8b)")),
+    }
+}
+
+fn build_system(name: &str, model: ModelConfig) -> Result<Box<dyn ServingSystem>, String> {
+    Ok(match name {
+        "longsight" => Box::new(LongSightSystem::new(LongSightConfig::paper_default(), model)),
+        "gpu" => Box::new(GpuOnlySystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+            model,
+        }),
+        "gpu2" => Box::new(GpuOnlySystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 2),
+            model,
+        }),
+        "attacc" => Box::new(AttAccSystem::h100_pim(model)),
+        "window" => Box::new(SlidingWindowSystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+            model,
+            window: 1024,
+            sinks: 16,
+        }),
+        other => return Err(format!("unknown --system '{other}'")),
+    })
+}
+
+/// `longsight quality` — the artifact's example run.
+pub fn quality(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["ctx", "window", "k", "threshold", "itq", "seed"])?;
+    let ctx: usize = a.get_or("ctx", 1024)?;
+    let window: usize = a.get_or("window", 256)?;
+    let k: usize = a.get_or("k", 128)?;
+    let seed: u64 = a.get_or("seed", 2025)?;
+    let use_itq: bool = a.get_or("itq", true)?;
+
+    let cfg = ModelConfig::tiny();
+    let threshold: u32 = a.get_or("threshold", cfg.head_dim as u32 / 2 + 5)?;
+    let mut rng = SimRng::seed_from(seed);
+    let model = Model::new(ModelWeights::induction(&cfg, &InductionParams::default(), &mut rng));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), ctx, &mut rng);
+    let skip = (ctx / 16).max(2);
+
+    let dense = perplexity::evaluate(&model, &text, &mut DenseBackend::new(), skip);
+    let rotations = if use_itq {
+        training::train_rotations(&model, &text.tokens[..512.min(ctx)], &ItqConfig::default())
+    } else {
+        RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim)
+    };
+    let mut hybrid = LongSightBackend::new(
+        HybridConfig { window, sinks: 16, top_k: k },
+        ThresholdTable::uniform(cfg.layers, cfg.kv_heads, threshold),
+        rotations,
+    );
+    let sparse = perplexity::evaluate(&model, &text, &mut hybrid, skip);
+
+    println!("context {ctx}, window {window}, k {k}, threshold {threshold}, itq {use_itq}");
+    println!("dense perplexity:     {:.2}", dense.perplexity);
+    println!("LongSight perplexity: {:.2} ({:+.2}%)", sparse.perplexity,
+        100.0 * sparse.relative_increase_over(&dense));
+    let s = hybrid.stats();
+    println!("filter ratio (non-window): {:.1}x | sparsity: {:.1}%",
+        s.filter_ratio_nonwindow(), 100.0 * s.sparsity());
+    Ok(())
+}
+
+/// `longsight serve` — one evaluation row.
+pub fn serve(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["model", "ctx", "users", "system"])?;
+    let model = model_flag(a)?;
+    let ctx: usize = a.get_or("ctx", 131_072)?;
+    let users: usize = a.get_or("users", 8)?;
+    let mut sys = build_system(a.get("system").unwrap_or("longsight"), model)?;
+    match sys.evaluate(users, ctx) {
+        Ok(r) => {
+            println!("{}: {} users @ {} tokens", sys.name(), users, ctx);
+            println!("  throughput: {:.1} tok/s ({:.1} tok/s/user)", r.throughput_tps, r.tps_per_user());
+            println!("  per-token latency: {:.3} ms", r.latency_ms());
+            let b = r.breakdown;
+            println!("  breakdown: weights {:.2} ms | attn {:.2} ms | merge {:.2} ms | drex {:.2} ms | cxl {:.2} ms",
+                b.gpu_weights_ns / 1e6, b.gpu_attention_ns / 1e6, b.gpu_merge_ns / 1e6,
+                b.drex_offload_ns / 1e6, b.cxl_ns / 1e6);
+        }
+        Err(e) => println!("{}: infeasible at {} users x {} tokens ({e})", sys.name(), users, ctx),
+    }
+    println!("  max users at this context: {}", sys.max_users(ctx));
+    Ok(())
+}
+
+/// `longsight loadtest` — closed-loop serving simulation.
+pub fn loadtest(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["model", "rate", "duration", "ctx-min", "ctx-max", "out-min", "out-max", "system", "seed"])?;
+    let model = model_flag(a)?;
+    let wl = WorkloadConfig {
+        arrivals_per_s: a.get_or("rate", 2.0)?,
+        context_tokens: (a.get_or("ctx-min", 32_768)?, a.get_or("ctx-max", 131_072)?),
+        output_tokens: (a.get_or("out-min", 32)?, a.get_or("out-max", 128)?),
+        duration_s: a.get_or("duration", 10.0)?,
+        seed: a.get_or("seed", 7)?,
+    };
+    let mut sys = build_system(a.get("system").unwrap_or("longsight"), model.clone())?;
+    let m = simulate(sys.as_mut(), &model, &wl);
+    println!("{} under {:.1} req/s for {:.0}s ({}-{} ctx tokens):",
+        sys.name(), wl.arrivals_per_s, wl.duration_s, wl.context_tokens.0, wl.context_tokens.1);
+    println!("  completed {} | rejected {} | in flight {}", m.completed, m.rejected, m.in_flight);
+    println!("  throughput: {:.1} tok/s | mean batch {:.1}", m.throughput_tps, m.mean_batch);
+    println!("  token latency  p50 {:.2} ms  p99 {:.2} ms", m.p50_token_ms, m.p99_token_ms);
+    println!("  request latency p50 {:.1} ms  p99 {:.1} ms", m.p50_request_ms, m.p99_request_ms);
+    Ok(())
+}
+
+/// `longsight offload` — Fig 8-style DReX profile.
+pub fn offload(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["model", "ctx", "users"])?;
+    let model = model_flag(a)?;
+    let ctx: usize = a.get_or("ctx", 131_072)?;
+    let users: usize = a.get_or("users", 1)?;
+    let sys = LongSightSystem::new(LongSightConfig::paper_default(), model);
+    let (observed, p) = sys.drex_layer(users, ctx);
+    println!("DReX offload profile: {users} user(s), {ctx} tokens, per layer:");
+    println!("  filter      {:>10.2} us", p.filter_ns / 1e3);
+    println!("  bitmap read {:>10.2} us", p.bitmap_ns / 1e3);
+    println!("  addr gen    {:>10.2} us", p.addr_gen_ns / 1e3);
+    println!("  fetch+dot   {:>10.2} us", p.fetch_score_ns / 1e3);
+    println!("  top-k       {:>10.2} us", p.topk_ns / 1e3);
+    println!("  queue wait  {:>10.2} us", p.queue_wait_ns / 1e3);
+    println!("  value/CXL   {:>10.2} us", p.value_cxl_ns / 1e3);
+    println!("  observed    {:>10.2} us (last user)", observed / 1e3);
+    Ok(())
+}
+
+/// `longsight tune` — the §8.1.3 threshold tuner.
+pub fn tune(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["ctx", "window", "k", "budget", "seed"])?;
+    let ctx: usize = a.get_or("ctx", 768)?;
+    let window: usize = a.get_or("window", 192)?;
+    let k: usize = a.get_or("k", 96)?;
+    let budget: f64 = a.get_or("budget", 0.05)?;
+    let seed: u64 = a.get_or("seed", 2025)?;
+
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(seed);
+    let model = Model::new(ModelWeights::induction(&cfg, &InductionParams::default(), &mut rng));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), ctx, &mut rng);
+    let rotations =
+        training::train_rotations(&model, &text.tokens[..512.min(ctx)], &ItqConfig::default());
+    let hybrid_cfg = HybridConfig { window, sinks: 16, top_k: k };
+
+    let outcome = tune_thresholds(
+        cfg.layers,
+        cfg.kv_heads,
+        &TunerConfig {
+            quality_budget: budget,
+            step: 4,
+            max_threshold: cfg.head_dim as u32,
+            max_rounds: 48,
+        },
+        |thresholds| {
+            let mut backend =
+                LongSightBackend::new(hybrid_cfg.clone(), thresholds.clone(), rotations.clone());
+            let r = perplexity::evaluate(&model, &text, &mut backend, (ctx / 16).max(2));
+            ProbeResult { quality: r.perplexity, stats: backend.take_stats() }
+        },
+    );
+    println!("tuned in {} probes: ppl {:.1} -> {:.1} ({:+.2}%), filter ratio {:.1}x",
+        outcome.probes, outcome.baseline_quality, outcome.final_quality,
+        100.0 * outcome.quality_increase(), outcome.final_stats.filter_ratio_nonwindow());
+    for ((l, h), th) in outcome.thresholds.iter() {
+        println!("  layer {l} kv-head {h}: threshold {th}/{}", cfg.head_dim);
+    }
+    Ok(())
+}
+
+/// `longsight layout` — partition planning and capacity.
+pub fn layout(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["model", "ctx"])?;
+    let model = model_flag(a)?;
+    let ctx: usize = a.get_or("ctx", 1 << 20)?;
+    let geo = Geometry::drex();
+    let plan = UserPartition::plan(&geo, model.kv_heads, model.layers, model.head_dim, ctx, 0);
+    println!("{} @ {ctx} tokens on DReX ({} GB):", model, geo.total_bytes() >> 30);
+    println!("  slices per head: {} (max {} keys each)", plan.slices[0].len(),
+        layout::MAX_CONTEXT_SLICE_KEYS);
+    println!("  packages touched: {}", plan.packages_touched());
+    println!("  footprint: {:.1} GiB/user (keys+values+signs, all layers)",
+        plan.footprint_bytes() as f64 / (1u64 << 30) as f64);
+    println!("  max concurrent users: {}",
+        layout::max_users(&geo, model.kv_heads, model.layers, model.head_dim, ctx));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(&v.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn quality_runs_small() {
+        quality(&args(&["--ctx", "256", "--window", "64", "--k", "32"])).unwrap();
+    }
+
+    #[test]
+    fn serve_runs_every_system() {
+        for sys in ["longsight", "gpu", "gpu2", "attacc", "window"] {
+            serve(&args(&["--system", sys, "--ctx", "32768", "--users", "2"])).unwrap();
+        }
+    }
+
+    #[test]
+    fn offload_and_layout_run() {
+        offload(&args(&["--ctx", "65536"])).unwrap();
+        layout(&args(&["--model", "1b", "--ctx", "131072"])).unwrap();
+    }
+
+    #[test]
+    fn loadtest_runs_briefly() {
+        loadtest(&args(&["--model", "1b", "--rate", "2", "--duration", "2"])).unwrap();
+    }
+
+    #[test]
+    fn bad_flags_are_rejected() {
+        assert!(serve(&args(&["--system", "bogus"])).is_err());
+        assert!(quality(&args(&["--nope", "1"])).is_err());
+        assert!(model_flag(&args(&["--model", "70b"])).is_err());
+    }
+}

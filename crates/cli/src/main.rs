@@ -1,0 +1,67 @@
+//! `longsight` — command-line interface to the LongSight reproduction.
+//!
+//! ```text
+//! longsight quality   [--ctx 1024] [--window 256] [--k 128] [--threshold 18] [--itq true]
+//! longsight serve     [--model 1b|8b] [--ctx 131072] [--users 8] [--system longsight|gpu|gpu2|attacc|window]
+//! longsight loadtest  [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 32768] [--ctx-max 131072]
+//! longsight offload   [--model 1b|8b] [--ctx 131072] [--users 1]
+//! longsight tune      [--ctx 768] [--window 192] [--k 96] [--budget 0.05]
+//! longsight layout    [--model 1b|8b] [--ctx 1048576]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let parsed = match Args::parse(rest) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "quality" => commands::quality(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadtest" => commands::loadtest(&parsed),
+        "offload" => commands::offload(&parsed),
+        "tune" => commands::tune(&parsed),
+        "layout" => commands::layout(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "\
+longsight — LongSight (MICRO 2025) reproduction CLI
+
+commands:
+  quality    dense vs LongSight hybrid perplexity + filter ratio on the
+             induction model       [--ctx N] [--window W] [--k K]
+                                   [--threshold T] [--itq true|false]
+  serve      one serving evaluation row
+                                   [--model 1b|8b] [--ctx N] [--users U]
+                                   [--system longsight|gpu|gpu2|attacc|window]
+  loadtest   closed-loop Poisson serving simulation with percentiles
+                                   [--model 1b|8b] [--rate R] [--duration S]
+                                   [--ctx-min N] [--ctx-max N]
+  offload    DReX offload latency profile (Fig 8 style)
+                                   [--model 1b|8b] [--ctx N] [--users U]
+  tune       run the paper's SCF threshold tuner (section 8.1.3)
+                                   [--ctx N] [--window W] [--k K] [--budget F]
+  layout     User Partition plan + capacity for a context length
+                                   [--model 1b|8b] [--ctx N]";

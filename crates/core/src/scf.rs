@@ -1,0 +1,204 @@
+//! Sign-Concordance Filtering (SCF) — paper §5.1.
+//!
+//! SCF retains a key `K` for a query `Q` iff the number of dimensions whose
+//! sign bits match exceeds a threshold:
+//!
+//! ```text
+//! SCF(Q, K, TH) = TH <= D - Σ (SQ[i] XOR SK[i])
+//! ```
+//!
+//! Thresholds are assigned **per KV head** (the paper found per-query-head
+//! thresholds unstable to tune, §5.1). Filtering is applied per token, in
+//! blocks of 128 keys — matching the PFU hardware granularity (§7.1).
+
+use longsight_tensor::SignBits;
+
+/// The PFU filtering block size: each epoch filters 128 keys per bank.
+pub const PFU_BLOCK_KEYS: usize = 128;
+
+/// Maximum number of queries a PFU batch can carry (one GQA group, §7.1).
+pub const PFU_MAX_QUERIES: usize = 16;
+
+/// Per-`(layer, kv_head)` SCF thresholds.
+///
+/// A threshold of `0` disables filtering for that head (every key's
+/// concordance is `>= 0`), which is the tuner's starting point (§8.1.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThresholdTable {
+    layers: usize,
+    kv_heads: usize,
+    values: Vec<u32>,
+}
+
+impl ThresholdTable {
+    /// Creates a table with every threshold set to `initial`.
+    pub fn uniform(layers: usize, kv_heads: usize, initial: u32) -> Self {
+        Self {
+            layers,
+            kv_heads,
+            values: vec![initial; layers * kv_heads],
+        }
+    }
+
+    /// Creates a table that filters nothing (all thresholds zero).
+    pub fn zeros(layers: usize, kv_heads: usize) -> Self {
+        Self::uniform(layers, kv_heads, 0)
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Number of KV heads per layer.
+    pub fn kv_heads(&self) -> usize {
+        self.kv_heads
+    }
+
+    /// Threshold for `(layer, kv_head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn get(&self, layer: usize, kv_head: usize) -> u32 {
+        assert!(layer < self.layers && kv_head < self.kv_heads, "head out of range");
+        self.values[layer * self.kv_heads + kv_head]
+    }
+
+    /// Sets the threshold for `(layer, kv_head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, layer: usize, kv_head: usize, threshold: u32) {
+        assert!(layer < self.layers && kv_head < self.kv_heads, "head out of range");
+        self.values[layer * self.kv_heads + kv_head] = threshold;
+    }
+
+    /// Iterates over `((layer, kv_head), threshold)`.
+    pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), u32)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| ((i / self.kv_heads, i % self.kv_heads), t))
+    }
+}
+
+/// Evaluates SCF for a single query/key pair.
+///
+/// # Panics
+///
+/// Panics if the sign vectors have different dimensions.
+#[inline]
+pub fn scf_pass(query: &SignBits, key: &SignBits, threshold: u32) -> bool {
+    query.concordance(key) >= threshold
+}
+
+/// Filters a block of keys against one query, returning a bitmap.
+///
+/// This mirrors a single PFU epoch: up to [`PFU_BLOCK_KEYS`] keys evaluated
+/// against a query, producing one bit per key (§7.4). Bit `i` of the result
+/// corresponds to `keys[i]`.
+pub fn filter_block(query: &SignBits, keys: &[SignBits], threshold: u32) -> u128 {
+    assert!(
+        keys.len() <= PFU_BLOCK_KEYS,
+        "a PFU epoch filters at most {PFU_BLOCK_KEYS} keys, got {}",
+        keys.len()
+    );
+    let mut bitmap = 0u128;
+    for (i, k) in keys.iter().enumerate() {
+        if scf_pass(query, k, threshold) {
+            bitmap |= 1u128 << i;
+        }
+    }
+    bitmap
+}
+
+/// Returns the indices (into `keys`) of keys passing SCF for `query`.
+pub fn surviving_indices(query: &SignBits, keys: &[SignBits], threshold: u32) -> Vec<usize> {
+    keys.iter()
+        .enumerate()
+        .filter(|(_, k)| scf_pass(query, k, threshold))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signs_of(v: &[f32]) -> SignBits {
+        SignBits::from_slice(v)
+    }
+
+    #[test]
+    fn threshold_zero_passes_everything() {
+        let q = signs_of(&[1.0, -1.0, 1.0, -1.0]);
+        let k = signs_of(&[-1.0, 1.0, -1.0, 1.0]); // zero concordance
+        assert!(scf_pass(&q, &k, 0));
+        assert!(!scf_pass(&q, &k, 1));
+    }
+
+    #[test]
+    fn threshold_d_requires_exact_sign_match() {
+        let q = signs_of(&[1.0, -1.0, 1.0, -1.0]);
+        assert!(scf_pass(&q, &q, 4));
+        let close = signs_of(&[1.0, -1.0, 1.0, 1.0]);
+        assert!(!scf_pass(&q, &close, 4));
+        assert!(scf_pass(&q, &close, 3));
+    }
+
+    #[test]
+    fn filter_block_bitmap_matches_indices() {
+        let q = signs_of(&[1.0, 1.0, -1.0, -1.0]);
+        let keys: Vec<SignBits> = (0..10)
+            .map(|i| {
+                let v: Vec<f32> = (0..4).map(|d| if (i + d) % 3 == 0 { -1.0 } else { 1.0 }).collect();
+                signs_of(&v)
+            })
+            .collect();
+        let bitmap = filter_block(&q, &keys, 3);
+        let idx = surviving_indices(&q, &keys, 3);
+        for i in 0..10 {
+            assert_eq!(bitmap >> i & 1 == 1, idx.contains(&i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128 keys")]
+    fn oversized_block_panics() {
+        let q = signs_of(&[1.0]);
+        let keys = vec![q.clone(); 129];
+        let _ = filter_block(&q, &keys, 0);
+    }
+
+    #[test]
+    fn threshold_table_round_trips() {
+        let mut t = ThresholdTable::zeros(4, 8);
+        t.set(2, 5, 33);
+        assert_eq!(t.get(2, 5), 33);
+        assert_eq!(t.get(0, 0), 0);
+        assert_eq!(t.iter().count(), 32);
+        let raised = t.iter().filter(|&(_, th)| th > 0).count();
+        assert_eq!(raised, 1);
+    }
+
+    #[test]
+    fn higher_threshold_is_monotonically_stricter() {
+        let q = signs_of(&[1.0, -2.0, 3.0, -4.0, 5.0, -6.0, 7.0, -8.0]);
+        let keys: Vec<SignBits> = (0..50)
+            .map(|i| {
+                let v: Vec<f32> = (0..8)
+                    .map(|d| (((i * 13 + d * 7) % 5) as f32) - 2.0)
+                    .collect();
+                signs_of(&v)
+            })
+            .collect();
+        let mut prev = usize::MAX;
+        for th in 0..=8 {
+            let n = surviving_indices(&q, &keys, th).len();
+            assert!(n <= prev, "survivors must not grow with the threshold");
+            prev = n;
+        }
+    }
+}

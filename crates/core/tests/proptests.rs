@@ -1,0 +1,153 @@
+//! Property-based tests for the LongSight algorithm crate.
+
+use longsight_core::baseline_filters::blockwise_surviving_indices;
+use longsight_core::quant_filter::QuantVec;
+use longsight_core::{
+    surviving_indices, HybridConfig, ItqConfig, ItqRotation, LongSightBackend, RotationTable,
+    ThresholdTable,
+};
+use longsight_model::{AttentionBackend, AttentionRequest, DenseBackend, HeadKv};
+use longsight_tensor::{vecops, Matrix, SignBits, SimRng};
+use proptest::prelude::*;
+
+fn history(n: usize, dim: usize, seed: u64) -> HeadKv {
+    let mut rng = SimRng::seed_from(seed);
+    let mut h = HeadKv::new(dim);
+    for _ in 0..n {
+        let k = rng.normal_vec(dim);
+        let v = rng.normal_vec(dim);
+        h.push(&k, &v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With threshold 0 and k covering the region, the hybrid backend is
+    /// numerically identical to dense attention — for any window/sink split.
+    #[test]
+    fn hybrid_equals_dense_when_nothing_pruned(
+        n in 2usize..80,
+        window in 1usize..100,
+        sinks in 0usize..20,
+        seed in 0u64..500,
+    ) {
+        let dim = 16;
+        let h = history(n, dim, seed);
+        let mut rng = SimRng::seed_from(seed ^ 0xABCD);
+        let q = vec![rng.normal_vec(dim)];
+        let req = AttentionRequest {
+            layer: 0,
+            kv_head: 0,
+            position: n - 1,
+            queries: &q,
+            history: &h,
+            scale: 0.25,
+        };
+        let mut hybrid = LongSightBackend::new(
+            HybridConfig { window, sinks, top_k: n.min(1024) },
+            ThresholdTable::zeros(1, 1),
+            RotationTable::identity(1, 1, dim),
+        );
+        let got = hybrid.attend(&req);
+        let want = DenseBackend::new().attend(&req);
+        for (a, b) in got[0].iter().zip(&want[0]) {
+            prop_assert!((a - b).abs() < 1e-4, "hybrid {a} vs dense {b}");
+        }
+    }
+
+    /// Raising the SCF threshold can only shrink the survivor set, and the
+    /// blockwise variant always covers the per-token one.
+    #[test]
+    fn survivor_monotonicity_and_block_covering(
+        n in 1usize..300,
+        th in 0u32..17,
+        seed in 0u64..500,
+    ) {
+        let mut rng = SimRng::seed_from(seed);
+        let signs: Vec<SignBits> = (0..n)
+            .map(|_| SignBits::from_slice(&rng.normal_vec(16)))
+            .collect();
+        let q = SignBits::from_slice(&rng.normal_vec(16));
+        let a = surviving_indices(&q, &signs, th);
+        let b = surviving_indices(&q, &signs, th + 1);
+        prop_assert!(b.len() <= a.len());
+        for i in &b {
+            prop_assert!(a.contains(i), "higher-threshold survivors must be a subset");
+        }
+        let blocks = blockwise_surviving_indices(&q, &signs, th, 64);
+        for i in &a {
+            prop_assert!(blocks.contains(i));
+        }
+    }
+
+    /// ITQ rotations are orthogonal and preserve pairwise dot products, so
+    /// full-precision scoring is unaffected by the sign-bit transform.
+    #[test]
+    fn itq_preserves_scores(seed in 0u64..300, dim in 4usize..24) {
+        let mut rng = SimRng::seed_from(seed);
+        let data = Matrix::random_gaussian(64, dim, &mut rng);
+        let rot = ItqRotation::train(&data, &ItqConfig { iterations: 10, seed });
+        let a = rng.normal_vec(dim);
+        let b = rng.normal_vec(dim);
+        let before = vecops::dot(&a, &b);
+        let after = vecops::dot(&rot.apply(&a), &rot.apply(&b));
+        prop_assert!((before - after).abs() < 1e-2 * (1.0 + before.abs()));
+    }
+
+    /// Quantized dot products converge to the exact value as bits grow
+    /// (statistically — individual draws can be lucky at low precision).
+    #[test]
+    fn quantized_dot_error_shrinks_with_bits(seed in 0u64..300) {
+        let mut rng = SimRng::seed_from(seed);
+        let mut err2 = 0.0f32;
+        let mut err8 = 0.0f32;
+        for _ in 0..16 {
+            let a = rng.normal_vec(64);
+            let b = rng.normal_vec(64);
+            let exact = vecops::dot(&a, &b);
+            let approx = |bits: u32| {
+                QuantVec::quantize(&a, bits).dot(&QuantVec::quantize(&b, bits))
+            };
+            err2 += (approx(2) - exact).abs();
+            err8 += (approx(8) - exact).abs();
+        }
+        prop_assert!(err8 < err2, "mean 8-bit error {err8} must beat 2-bit {err2}");
+    }
+
+    /// The filter-ratio bookkeeping is internally consistent: scored keys
+    /// never exceed the sparse region, retrieved never exceed min(k, scored).
+    #[test]
+    fn stats_are_internally_consistent(
+        n in 2usize..120,
+        window in 1usize..40,
+        k in 1usize..50,
+        th in 0u32..10,
+        seed in 0u64..300,
+    ) {
+        let dim = 16;
+        let h = history(n, dim, seed);
+        let mut rng = SimRng::seed_from(seed ^ 0x7777);
+        let q = vec![rng.normal_vec(dim)];
+        let req = AttentionRequest {
+            layer: 0,
+            kv_head: 0,
+            position: n - 1,
+            queries: &q,
+            history: &h,
+            scale: 0.25,
+        };
+        let mut hybrid = LongSightBackend::new(
+            HybridConfig { window, sinks: 2, top_k: k },
+            ThresholdTable::uniform(1, 1, th),
+            RotationTable::identity(1, 1, dim),
+        );
+        let _ = hybrid.attend(&req);
+        let s = hybrid.stats();
+        prop_assert!(s.scored <= s.sparse_region);
+        prop_assert!(s.retrieved <= s.scored.min(k as u64));
+        prop_assert_eq!(s.dense_kv, n as u64);
+        prop_assert!(s.window_accessed as usize <= n);
+    }
+}

@@ -1,0 +1,194 @@
+//! Physical address mapping (paper §7.3.2).
+//!
+//! > "DReX employs a simple physical address mapping scheme in which
+//! > contiguous physical addresses are first mapped to columns, then rows,
+//! > followed by banks, channels, and finally packages."
+//!
+//! Addresses are byte addresses; the unit of access is one column burst
+//! (32 B for LPDDR5X BL16).
+
+/// Geometry of a DReX-style memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Geometry {
+    /// Number of LPDDR packages.
+    pub packages: usize,
+    /// Channels per package.
+    pub channels: usize,
+    /// Banks per channel.
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows: usize,
+    /// Column bursts per row.
+    pub cols: usize,
+    /// Bytes per column burst.
+    pub col_bytes: usize,
+}
+
+impl Geometry {
+    /// The DReX geometry: 8 packages × 8 channels × 128 banks, 512 GB total
+    /// (paper §7.1: "eight LPDDR5X packages, each with eight channels, and
+    /// each channel includes 128 banks").
+    pub fn drex() -> Self {
+        let g = Self {
+            packages: 8,
+            channels: 8,
+            banks: 128,
+            rows: 32_768,
+            cols: 64,
+            col_bytes: 32,
+        };
+        debug_assert_eq!(g.total_bytes(), 512 * (1usize << 30));
+        g
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.packages * self.channels * self.banks * self.rows * self.cols * self.col_bytes
+    }
+
+    /// Bytes per bank.
+    pub fn bank_bytes(&self) -> usize {
+        self.rows * self.cols * self.col_bytes
+    }
+}
+
+/// A decoded physical location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Package index.
+    pub package: usize,
+    /// Channel within the package.
+    pub channel: usize,
+    /// Bank within the channel.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: usize,
+    /// Column burst within the row.
+    pub col: usize,
+}
+
+/// Column → row → bank → channel → package address mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    geometry: Geometry,
+}
+
+impl AddressMapping {
+    /// Creates the mapping for a geometry.
+    pub fn new(geometry: Geometry) -> Self {
+        Self { geometry }
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Decodes a byte address into a physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is beyond the device capacity.
+    pub fn decode(&self, addr: usize) -> Location {
+        let g = &self.geometry;
+        assert!(addr < g.total_bytes(), "address {addr:#x} beyond capacity");
+        let mut x = addr / g.col_bytes;
+        let col = x % g.cols;
+        x /= g.cols;
+        let row = x % g.rows;
+        x /= g.rows;
+        let bank = x % g.banks;
+        x /= g.banks;
+        let channel = x % g.channels;
+        x /= g.channels;
+        let package = x;
+        Location {
+            package,
+            channel,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    /// Encodes a physical location back into a byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn encode(&self, loc: Location) -> usize {
+        let g = &self.geometry;
+        assert!(
+            loc.package < g.packages
+                && loc.channel < g.channels
+                && loc.bank < g.banks
+                && loc.row < g.rows
+                && loc.col < g.cols,
+            "location out of range: {loc:?}"
+        );
+        ((((loc.package * g.channels + loc.channel) * g.banks + loc.bank) * g.rows + loc.row)
+            * g.cols
+            + loc.col)
+            * g.col_bytes
+    }
+
+    /// The stride (in bytes) between consecutive channels at fixed
+    /// bank/row/col — used to scatter Key vectors across channels (§7.3.2).
+    pub fn channel_stride(&self) -> usize {
+        let g = &self.geometry;
+        g.banks * g.rows * g.cols * g.col_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drex_geometry_is_512_gib() {
+        assert_eq!(Geometry::drex().total_bytes(), 512 << 30);
+        assert_eq!(Geometry::drex().bank_bytes(), 64 << 20);
+    }
+
+    #[test]
+    fn contiguous_addresses_walk_columns_first() {
+        let m = AddressMapping::new(Geometry::drex());
+        let a = m.decode(0);
+        let b = m.decode(32);
+        assert_eq!(a.col, 0);
+        assert_eq!(b.col, 1);
+        assert_eq!((a.row, a.bank, a.channel, a.package), (b.row, b.bank, b.channel, b.package));
+    }
+
+    #[test]
+    fn row_changes_after_cols_exhaust() {
+        let g = Geometry::drex();
+        let m = AddressMapping::new(g);
+        let loc = m.decode(g.cols * g.col_bytes);
+        assert_eq!((loc.col, loc.row), (0, 1));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = AddressMapping::new(Geometry::drex());
+        for addr in [0usize, 32, 2048, 123 * 32, (1 << 30) + 64 * 32, (400usize << 30) + 32] {
+            assert_eq!(m.encode(m.decode(addr)), addr);
+        }
+    }
+
+    #[test]
+    fn channel_stride_jumps_exactly_one_channel() {
+        let m = AddressMapping::new(Geometry::drex());
+        let a = m.decode(0);
+        let b = m.decode(m.channel_stride());
+        assert_eq!(b.channel, a.channel + 1);
+        assert_eq!((a.bank, a.row, a.col, a.package), (b.bank, b.row, b.col, b.package));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond capacity")]
+    fn decode_out_of_range_panics() {
+        let m = AddressMapping::new(Geometry::drex());
+        let _ = m.decode(512 << 30);
+    }
+}

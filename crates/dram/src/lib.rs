@@ -1,0 +1,30 @@
+//! LPDDR5X DRAM timing simulation for the LongSight reproduction.
+//!
+//! A bank/channel-state, FR-FCFS command scheduler at the same level of
+//! abstraction as DRAMSim3 (which the paper uses, §8.2): per-bank row-buffer
+//! state, tRCD/tRP/tRAS/tCCD/tRRD/tFAW constraints, a shared per-channel data
+//! bus, and the paper's column→row→bank→channel→package address mapping.
+//!
+//! The `longsight-drex` crate drives this simulator with the key-fetch
+//! traces the NMAs generate during sparse attention offloads.
+//!
+//! # Example
+//!
+//! ```
+//! use longsight_dram::{ChannelSim, DramTiming, Request};
+//!
+//! let mut ch = ChannelSim::new(DramTiming::lpddr5x_8533(), 16);
+//! let done = ch.run(&[Request::read(0, 3, 0), Request::read(0, 3, 1)]);
+//! assert!(done[1].row_hit); // second access hits the open row
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod channel;
+mod timing;
+
+pub use address::{AddressMapping, Geometry, Location};
+pub use channel::{ChannelSim, ChannelStats, Completion, Request};
+pub use timing::DramTiming;

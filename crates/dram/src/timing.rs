@@ -1,0 +1,118 @@
+//! DRAM timing parameters.
+//!
+//! All quantities are nanoseconds (`f64`), matching the level of abstraction
+//! of DRAMSim3-style simulation: command-to-command constraints over a
+//! continuous timeline. The preset reproduces LPDDR5X-8533, the memory the
+//! DReX expander is built from (paper §7.1 / Table 2).
+
+/// Command timing constraints for one DRAM device generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DramTiming {
+    /// Activate → internal read/write (row access strobe to column).
+    pub t_rcd: f64,
+    /// Precharge duration.
+    pub t_rp: f64,
+    /// Minimum row-open time (activate → precharge).
+    pub t_ras: f64,
+    /// Read latency (column command → first data).
+    pub t_cl: f64,
+    /// Column-to-column (burst-to-burst, same bank group) gap.
+    pub t_ccd: f64,
+    /// Activate-to-activate, different banks.
+    pub t_rrd: f64,
+    /// Four-activate window.
+    pub t_faw: f64,
+    /// Write recovery (last write data → precharge).
+    pub t_wr: f64,
+    /// Read-to-precharge.
+    pub t_rtp: f64,
+    /// Duration one burst occupies the data bus.
+    pub burst_ns: f64,
+    /// Bytes transferred per burst (column access granularity).
+    pub burst_bytes: usize,
+    /// Row (page) size in bytes.
+    pub row_bytes: usize,
+    /// Average refresh interval (all-bank model).
+    pub t_refi: f64,
+    /// Refresh cycle time (banks unavailable).
+    pub t_rfc: f64,
+}
+
+impl DramTiming {
+    /// LPDDR5X-8533 (16-bit channel, BL16 → 32 B per access, 2 KiB page).
+    ///
+    /// Peak per-channel bandwidth: `32 B / burst_ns` = 17.07 GB/s, which at
+    /// 8 channels/package × 8 packages gives the 1.1 TB/s aggregate the paper
+    /// quotes for the NMAs (Table 2).
+    pub fn lpddr5x_8533() -> Self {
+        Self {
+            t_rcd: 18.0,
+            t_rp: 18.0,
+            t_ras: 42.0,
+            t_cl: 18.0,
+            t_ccd: 1.875,
+            t_rrd: 7.5,
+            t_faw: 30.0,
+            t_wr: 34.0,
+            t_rtp: 7.5,
+            burst_ns: 16.0 / 8.533, // 16 beats at 8533 MT/s
+            burst_bytes: 32,
+            row_bytes: 2048,
+            t_refi: 3906.0,
+            t_rfc: 280.0,
+        }
+    }
+
+    /// Fraction of time lost to refresh (`t_rfc / t_refi`).
+    pub fn refresh_overhead(&self) -> f64 {
+        if self.t_refi <= 0.0 {
+            0.0
+        } else {
+            self.t_rfc / self.t_refi
+        }
+    }
+
+    /// Peak data-bus bandwidth of one channel in GB/s.
+    pub fn channel_bandwidth_gbps(&self) -> f64 {
+        self.burst_bytes as f64 / self.burst_ns
+    }
+
+    /// Best-case (row hit, open bus) read latency: `t_cl + burst_ns`.
+    pub fn row_hit_latency(&self) -> f64 {
+        self.t_cl + self.burst_ns
+    }
+
+    /// Worst-case single-read latency (row conflict):
+    /// `t_rp + t_rcd + t_cl + burst_ns`.
+    pub fn row_conflict_latency(&self) -> f64 {
+        self.t_rp + self.t_rcd + self.t_cl + self.burst_ns
+    }
+
+    /// Columns (burst accesses) per row.
+    pub fn cols_per_row(&self) -> usize {
+        self.row_bytes / self.burst_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lpddr5x_bandwidth_matches_paper_aggregate() {
+        let t = DramTiming::lpddr5x_8533();
+        let per_channel = t.channel_bandwidth_gbps();
+        assert!((per_channel - 17.066).abs() < 0.1, "got {per_channel}");
+        // 8 packages × 8 channels ≈ 1.09 TB/s (paper: 1.1 TB/s).
+        let total_tbps = per_channel * 64.0 / 1000.0;
+        assert!((total_tbps - 1.09).abs() < 0.05, "got {total_tbps}");
+    }
+
+    #[test]
+    fn latency_orderings() {
+        let t = DramTiming::lpddr5x_8533();
+        assert!(t.row_hit_latency() < t.row_conflict_latency());
+        assert!(t.t_ras >= t.t_rcd);
+        assert_eq!(t.cols_per_row(), 64);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the DRAM simulator.
+
+use longsight_dram::{AddressMapping, ChannelSim, DramTiming, Geometry, Location, Request};
+use proptest::prelude::*;
+
+fn arb_requests(max: usize) -> impl Strategy<Value = Vec<Request>> {
+    prop::collection::vec(
+        (0usize..16, 0usize..64, 0usize..64, any::<bool>(), 0.0f64..10_000.0),
+        1..max,
+    )
+    .prop_map(|v| {
+        v.into_iter()
+            .map(|(bank, row, col, is_write, arrival)| Request {
+                bank,
+                row,
+                col,
+                is_write,
+                arrival,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_request_completes_after_its_arrival(reqs in arb_requests(64)) {
+        let mut sim = ChannelSim::new(DramTiming::lpddr5x_8533(), 16);
+        let done = sim.run(&reqs);
+        for (c, r) in done.iter().zip(&reqs) {
+            prop_assert!(c.finish > r.arrival, "finish {} before arrival {}", c.finish, r.arrival);
+        }
+    }
+
+    #[test]
+    fn data_bus_never_double_booked(reqs in arb_requests(48)) {
+        let t = DramTiming::lpddr5x_8533();
+        let mut sim = ChannelSim::new(t.clone(), 16);
+        let mut finishes: Vec<f64> = sim.run(&reqs).iter().map(|c| c.finish).collect();
+        finishes.sort_by(f64::total_cmp);
+        for w in finishes.windows(2) {
+            prop_assert!(
+                w[1] - w[0] >= t.burst_ns - 1e-9,
+                "bursts {} and {} overlap on the data bus",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_bounded_by_bus_peak(reqs in arb_requests(64)) {
+        let t = DramTiming::lpddr5x_8533();
+        let mut sim = ChannelSim::new(t.clone(), 16);
+        sim.run(&reqs);
+        prop_assert!(sim.stats().bandwidth_gbps(t.burst_bytes) <= t.channel_bandwidth_gbps() + 1e-9);
+    }
+
+    #[test]
+    fn first_access_to_each_bank_is_never_a_hit(reqs in arb_requests(48)) {
+        let mut sim = ChannelSim::new(DramTiming::lpddr5x_8533(), 16);
+        let done = sim.run(&reqs);
+        let mut seen = [false; 16];
+        // Completion order != issue order in general, but the *input order*
+        // of the first per-bank request is the first issued for that bank
+        // only under FCFS ties; instead assert globally: hits never exceed
+        // requests minus distinct banks touched.
+        let distinct: std::collections::BTreeSet<usize> = reqs.iter().map(|r| r.bank).collect();
+        let hits = done.iter().filter(|c| c.row_hit).count();
+        prop_assert!(hits + distinct.len() <= reqs.len());
+        let _ = &mut seen;
+    }
+
+    #[test]
+    fn address_mapping_round_trips(pkg in 0usize..8, ch in 0usize..8, bank in 0usize..128,
+                                   row in 0usize..32_768, col in 0usize..64) {
+        let m = AddressMapping::new(Geometry::drex());
+        let loc = Location { package: pkg, channel: ch, bank, row, col };
+        prop_assert_eq!(m.decode(m.encode(loc)), loc);
+    }
+
+    #[test]
+    fn address_decode_is_injective_per_column(addr in (0usize..(1 << 30)).prop_map(|a| a * 32)) {
+        let m = AddressMapping::new(Geometry::drex());
+        let a = m.decode(addr);
+        let b = m.decode(addr + 32);
+        prop_assert_ne!(a, b, "adjacent columns must decode differently");
+    }
+}

@@ -1,0 +1,142 @@
+//! NMA key-identification addresses (paper §7.4).
+//!
+//! > "Each Key vector is identified by a 32-bit *ID address* that encodes
+//! > three components: the 7 least significant bits represent the bank index
+//! > (out of 128 banks per channel); the next 7 bits represent the vector's
+//! > index within the 128-bit bitmap; and the 18 most significant bits
+//! > encode the epoch number during which the Key was filtered."
+
+/// A packed 32-bit key identifier used by the NMA to map filter bitmaps back
+/// to Key vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdAddress(u32);
+
+impl IdAddress {
+    /// Bits for the bank index.
+    pub const BANK_BITS: u32 = 7;
+    /// Bits for the within-bitmap index.
+    pub const INDEX_BITS: u32 = 7;
+    /// Bits for the epoch number.
+    pub const EPOCH_BITS: u32 = 18;
+
+    /// Packs the three components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component exceeds its field width.
+    pub fn new(bank: u32, index: u32, epoch: u32) -> Self {
+        assert!(bank < 1 << Self::BANK_BITS, "bank {bank} exceeds 7 bits");
+        assert!(index < 1 << Self::INDEX_BITS, "index {index} exceeds 7 bits");
+        assert!(epoch < 1 << Self::EPOCH_BITS, "epoch {epoch} exceeds 18 bits");
+        Self(bank | (index << Self::BANK_BITS) | (epoch << (Self::BANK_BITS + Self::INDEX_BITS)))
+    }
+
+    /// The bank index (7 LSBs).
+    pub fn bank(self) -> u32 {
+        self.0 & ((1 << Self::BANK_BITS) - 1)
+    }
+
+    /// The vector's index within its 128-bit bitmap.
+    pub fn index(self) -> u32 {
+        (self.0 >> Self::BANK_BITS) & ((1 << Self::INDEX_BITS) - 1)
+    }
+
+    /// The filtering epoch.
+    pub fn epoch(self) -> u32 {
+        self.0 >> (Self::BANK_BITS + Self::INDEX_BITS)
+    }
+
+    /// The raw 32-bit encoding.
+    pub fn to_bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs from a raw encoding.
+    pub fn from_bits(bits: u32) -> Self {
+        Self(bits)
+    }
+
+    /// Maps this ID back to a key position within a Context Slice laid out
+    /// as `banks_used` banks × 128-key blocks per epoch: the inverse of the
+    /// slice layout the NMA controller maintains.
+    pub fn key_position(self, banks_used: u32) -> usize {
+        (self.epoch() as usize * banks_used as usize + self.bank() as usize) * 128
+            + self.index() as usize
+    }
+
+    /// Builds the ID for a key at `position` within a slice spanning
+    /// `banks_used` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position needs an epoch beyond 18 bits or
+    /// `banks_used > 128`.
+    pub fn from_key_position(position: usize, banks_used: u32) -> Self {
+        assert!(banks_used <= 128, "at most 128 banks per channel");
+        let index = (position % 128) as u32;
+        let block = position / 128;
+        let bank = (block % banks_used as usize) as u32;
+        let epoch = (block / banks_used as usize) as u32;
+        Self::new(bank, index, epoch)
+    }
+
+    /// Largest addressable key position for a full 128-bank slice — enough
+    /// for the 18-bit epoch space to cover any context DReX can store.
+    pub fn max_position(banks_used: u32) -> usize {
+        (1usize << Self::EPOCH_BITS) * banks_used as usize * 128
+    }
+}
+
+impl std::fmt::Display for IdAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "id(bank={}, idx={}, epoch={})", self.bank(), self.index(), self.epoch())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_into_the_documented_fields() {
+        let id = IdAddress::new(0x55, 0x2A, 0x1_FFFF);
+        assert_eq!(id.bank(), 0x55);
+        assert_eq!(id.index(), 0x2A);
+        assert_eq!(id.epoch(), 0x1_FFFF);
+        // 7 + 7 + 18 = 32 bits exactly.
+        assert_eq!(
+            IdAddress::BANK_BITS + IdAddress::INDEX_BITS + IdAddress::EPOCH_BITS,
+            32
+        );
+    }
+
+    #[test]
+    fn round_trips_through_bits() {
+        let id = IdAddress::new(17, 99, 123_456);
+        assert_eq!(IdAddress::from_bits(id.to_bits()), id);
+    }
+
+    #[test]
+    fn key_position_round_trips() {
+        for banks in [8u32, 64, 128] {
+            for pos in [0usize, 1, 127, 128, 1_000, 131_071] {
+                let id = IdAddress::from_key_position(pos, banks);
+                assert_eq!(id.key_position(banks), pos, "banks={banks} pos={pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_space_covers_device_capacity() {
+        // A full slice spans 128 banks; 18-bit epochs address 2^32 key
+        // positions — far more keys than one channel can store (a 64 MB bank
+        // holds ~260K BF16 keys of dim 128, ×128 banks ≈ 2^25 keys).
+        assert_eq!(IdAddress::max_position(128), 1usize << 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 7 bits")]
+    fn oversized_bank_panics() {
+        let _ = IdAddress::new(128, 0, 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! DReX data layout (paper §7.3): Key Blocks, Context Slices, Multi-Layer
+//! Context Slices, and User Partitions.
+//!
+//! The layout exploits three forms of parallelism: within a head (DRAM banks
+//! and channels), across heads (packages), and across users (multi-tenancy).
+
+use longsight_dram::Geometry;
+
+/// Keys per Key Block per bank (PFUs operate on 128-key blocks, §7.1).
+pub const KEYS_PER_BANK_BLOCK: usize = 128;
+
+/// Minimum Key Block group: 128 keys × 8 channels (§7.3.3).
+pub const MIN_KEY_GROUP: usize = KEYS_PER_BANK_BLOCK * 8;
+
+/// Maximum keys in one Context Slice: 1,024 × 128 banks (§7.3.3).
+pub const MAX_CONTEXT_SLICE_KEYS: usize = MIN_KEY_GROUP * 128;
+
+/// Storage description of one head's keys within a single layer: which
+/// package it lives in and how many bank-groups it spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextSlice {
+    /// Hosting package.
+    pub package: usize,
+    /// Number of keys stored.
+    pub keys: usize,
+    /// Bank-groups used (each = the same bank index across all 8 channels,
+    /// holding up to 1,024 keys).
+    pub bank_groups: usize,
+}
+
+impl ContextSlice {
+    /// Lays out `keys` keys (≤ [`MAX_CONTEXT_SLICE_KEYS`]) in `package`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` exceeds the slice capacity.
+    pub fn new(package: usize, keys: usize) -> Self {
+        assert!(
+            keys <= MAX_CONTEXT_SLICE_KEYS,
+            "context slice overflow: {keys} > {MAX_CONTEXT_SLICE_KEYS}"
+        );
+        Self {
+            package,
+            keys,
+            bank_groups: keys.div_ceil(MIN_KEY_GROUP).max(1),
+        }
+    }
+
+    /// Banks participating in filtering (bank_groups × 8 channels).
+    pub fn banks_used(&self) -> usize {
+        self.bank_groups * 8
+    }
+
+    /// Keys stored per participating bank (the PFU workload).
+    pub fn keys_per_bank(&self) -> usize {
+        self.keys.div_ceil(self.banks_used())
+    }
+}
+
+/// Byte-level footprint of one head-layer's objects (paper §7.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObjectFootprint {
+    /// Key Sign Objects: 1 bit per dimension per key.
+    pub key_sign_bytes: usize,
+    /// Key Objects: full-precision (BF16) keys.
+    pub key_bytes: usize,
+    /// Value Objects: BF16 values.
+    pub value_bytes: usize,
+}
+
+impl ObjectFootprint {
+    /// Footprint of `keys` keys of dimension `head_dim` (BF16 storage).
+    pub fn for_keys(keys: usize, head_dim: usize) -> Self {
+        Self {
+            key_sign_bytes: keys * head_dim.div_ceil(8),
+            key_bytes: keys * head_dim * 2,
+            value_bytes: keys * head_dim * 2,
+        }
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.key_sign_bytes + self.key_bytes + self.value_bytes
+    }
+}
+
+/// Placement of one user's full context across the device: one Multi-Layer
+/// Context Slice per KV head, each in its own package (§7.3.3).
+#[derive(Debug, Clone)]
+pub struct UserPartition {
+    /// `slices[kv_head][segment]`: the segments a head's context spans when
+    /// it exceeds one Context Slice.
+    pub slices: Vec<Vec<ContextSlice>>,
+    /// Context length this partition stores.
+    pub context_len: usize,
+    /// Head dimension (for footprint computations).
+    pub head_dim: usize,
+    /// Number of layers sharing each Multi-Layer Context Slice.
+    pub layers: usize,
+}
+
+impl UserPartition {
+    /// Plans a partition for a user with `kv_heads` heads, `layers` layers,
+    /// and `context_len` tokens, assigning packages round-robin starting at
+    /// `first_package`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_heads == 0` or the geometry has no packages.
+    pub fn plan(
+        geometry: &Geometry,
+        kv_heads: usize,
+        layers: usize,
+        head_dim: usize,
+        context_len: usize,
+        first_package: usize,
+    ) -> Self {
+        assert!(kv_heads > 0, "need at least one KV head");
+        assert!(geometry.packages > 0, "geometry has no packages");
+        let mut slices = Vec::with_capacity(kv_heads);
+        for h in 0..kv_heads {
+            let mut head_slices = Vec::new();
+            let mut remaining = context_len;
+            let mut seg = 0usize;
+            while remaining > 0 || head_slices.is_empty() {
+                let take = remaining.min(MAX_CONTEXT_SLICE_KEYS);
+                // Head h's segments stride across packages so that very long
+                // contexts spread over multiple User Partitions (§7.3.3,
+                // "temporal expansion").
+                let package =
+                    (first_package + h + seg * kv_heads) % geometry.packages;
+                head_slices.push(ContextSlice::new(package, take.max(1).min(remaining.max(1))));
+                remaining = remaining.saturating_sub(take.max(1));
+                seg += 1;
+                if context_len == 0 {
+                    break;
+                }
+            }
+            slices.push(head_slices);
+        }
+        Self {
+            slices,
+            context_len,
+            head_dim,
+            layers,
+        }
+    }
+
+    /// The paper's package-count expression:
+    /// `packages = h_kv · L / 131072` (capped below at `h_kv`).
+    pub fn packages_required(kv_heads: usize, context_len: usize) -> usize {
+        kv_heads * context_len.div_ceil(MAX_CONTEXT_SLICE_KEYS).max(1)
+    }
+
+    /// Total bytes this partition occupies (all layers, heads, objects).
+    pub fn footprint_bytes(&self) -> usize {
+        let per_head_layer = ObjectFootprint::for_keys(self.context_len, self.head_dim).total();
+        per_head_layer * self.slices.len() * self.layers
+    }
+
+    /// Number of distinct packages touched.
+    pub fn packages_touched(&self) -> usize {
+        let mut seen = std::collections::BTreeSet::new();
+        for head in &self.slices {
+            for s in head {
+                seen.insert(s.package);
+            }
+        }
+        seen.len()
+    }
+}
+
+/// How many users of a given model/context fit in the device (§9.1: "the
+/// large memory capacity of DReX allows LongSight to support more concurrent
+/// users").
+pub fn max_users(
+    geometry: &Geometry,
+    kv_heads: usize,
+    layers: usize,
+    head_dim: usize,
+    context_len: usize,
+) -> usize {
+    let per_user =
+        ObjectFootprint::for_keys(context_len, head_dim).total() * kv_heads * layers;
+    if per_user == 0 {
+        return usize::MAX;
+    }
+    geometry.total_bytes() / per_user
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_slice_capacity_constants() {
+        assert_eq!(MIN_KEY_GROUP, 1024);
+        assert_eq!(MAX_CONTEXT_SLICE_KEYS, 131_072);
+    }
+
+    #[test]
+    fn small_slice_uses_one_bank_group() {
+        let s = ContextSlice::new(0, 500);
+        assert_eq!(s.bank_groups, 1);
+        assert_eq!(s.banks_used(), 8);
+        assert_eq!(s.keys_per_bank(), 63);
+    }
+
+    #[test]
+    fn full_slice_uses_all_banks() {
+        let s = ContextSlice::new(3, MAX_CONTEXT_SLICE_KEYS);
+        assert_eq!(s.bank_groups, 128);
+        assert_eq!(s.banks_used(), 1024);
+        assert_eq!(s.keys_per_bank(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "context slice overflow")]
+    fn oversized_slice_panics() {
+        let _ = ContextSlice::new(0, MAX_CONTEXT_SLICE_KEYS + 1);
+    }
+
+    #[test]
+    fn partition_spreads_heads_across_packages() {
+        let g = Geometry::drex();
+        let p = UserPartition::plan(&g, 8, 32, 128, 32_768, 0);
+        assert_eq!(p.slices.len(), 8);
+        // 32K keys fit one slice per head; heads land on distinct packages.
+        assert!(p.slices.iter().all(|s| s.len() == 1));
+        assert_eq!(p.packages_touched(), 8);
+    }
+
+    #[test]
+    fn long_context_spans_multiple_slices() {
+        let g = Geometry::drex();
+        let one_m = 1 << 20;
+        let p = UserPartition::plan(&g, 8, 32, 128, one_m, 0);
+        let segs = p.slices[0].len();
+        assert_eq!(segs, one_m.div_ceil(MAX_CONTEXT_SLICE_KEYS));
+        assert_eq!(segs, 8);
+        // Paper formula: 8 heads × 8 slices = 64 package-slots needed.
+        assert_eq!(UserPartition::packages_required(8, one_m), 64);
+    }
+
+    #[test]
+    fn llama8b_1m_context_fits_in_drex() {
+        // Headline claim: 1M-token context for Llama-3-8B in one 512 GB DReX.
+        let g = Geometry::drex();
+        let users = max_users(&g, 8, 32, 128, 1 << 20);
+        assert!(users >= 1, "1M-token Llama-3-8B context must fit");
+        // KV cache alone is ~128 GiB; with sign objects it stays < 512 GB.
+        let p = UserPartition::plan(&g, 8, 32, 128, 1 << 20, 0);
+        assert!(p.footprint_bytes() > 128 * (1usize << 30));
+        assert!(p.footprint_bytes() < g.total_bytes());
+    }
+
+    #[test]
+    fn sign_objects_add_one_sixteenth_overhead_for_bf16() {
+        // 1 bit/dim vs 16 bits/dim for keys: sign objects are 1/16 of the
+        // key bytes — the "additional overhead for storing sign bits" noted
+        // under Fig 7.
+        let f = ObjectFootprint::for_keys(1024, 128);
+        assert_eq!(f.key_sign_bytes * 16, f.key_bytes);
+    }
+
+    #[test]
+    fn max_users_scales_inversely_with_context() {
+        let g = Geometry::drex();
+        let at_32k = max_users(&g, 8, 32, 128, 32_768);
+        let at_64k = max_users(&g, 8, 32, 128, 65_536);
+        assert!(at_32k >= 2 * at_64k);
+        assert!(at_32k > 0);
+    }
+}

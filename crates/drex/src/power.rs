@@ -1,0 +1,84 @@
+//! Power and area model (paper §9.4).
+//!
+//! LongSight reuses DReX's PFUs unmodified and only slightly enlarges the
+//! NMA scratchpads, so the power/area profile matches the DReX paper:
+//! 18.7 W peak per LPDDR5X package, 6.7 % PFU area overhead on the DRAM die,
+//! 15.1 mm² and 1.072 W per 16 nm NMA, ≈158.2 W total for the device.
+
+/// Power/area constants of one DReX unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Peak power of one PIM-enabled LPDDR5X package, watts.
+    pub package_peak_w: f64,
+    /// Number of LPDDR5X packages.
+    pub packages: usize,
+    /// PFU area overhead relative to the DRAM die area.
+    pub pfu_area_overhead: f64,
+    /// Area of one NMA chip (16 nm), mm².
+    pub nma_area_mm2: f64,
+    /// Peak power of one NMA, watts.
+    pub nma_peak_w: f64,
+    /// Number of NMAs.
+    pub nmas: usize,
+}
+
+impl PowerModel {
+    /// The paper's §9.4 figures.
+    pub fn paper() -> Self {
+        Self {
+            package_peak_w: 18.7,
+            packages: 8,
+            pfu_area_overhead: 0.067,
+            nma_area_mm2: 15.1,
+            nma_peak_w: 1.072,
+            nmas: 8,
+        }
+    }
+
+    /// Total peak power of the DReX unit, watts.
+    pub fn total_peak_w(&self) -> f64 {
+        self.package_peak_w * self.packages as f64 + self.nma_peak_w * self.nmas as f64
+    }
+
+    /// Total NMA silicon area, mm².
+    pub fn total_nma_area_mm2(&self) -> f64 {
+        self.nma_area_mm2 * self.nmas as f64
+    }
+
+    /// Energy for a device busy interval, joules (peak-power upper bound).
+    pub fn energy_upper_bound_j(&self, busy_ns: f64) -> f64 {
+        self.total_peak_w() * busy_ns * 1e-9
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_peak_power_matches_paper() {
+        // 8 × 18.7 + 8 × 1.072 = 149.6 + 8.576 = 158.176 ≈ 158.2 W (§9.4).
+        let p = PowerModel::paper();
+        assert!((p.total_peak_w() - 158.2).abs() < 0.1, "got {}", p.total_peak_w());
+    }
+
+    #[test]
+    fn nma_area_total() {
+        let p = PowerModel::paper();
+        assert!((p.total_nma_area_mm2() - 120.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_time() {
+        let p = PowerModel::paper();
+        let e1 = p.energy_upper_bound_j(1_000_000.0); // 1 ms
+        assert!((e1 - 0.158176).abs() < 1e-6);
+        assert_eq!(p.energy_upper_bound_j(0.0), 0.0);
+    }
+}

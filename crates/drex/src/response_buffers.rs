@@ -1,0 +1,175 @@
+//! DCC Response Buffers, Polling Register, and the user→buffer CAM
+//! (paper §7.2).
+//!
+//! > "DCC populates a corresponding Response Buffer indexed to the user. To
+//! > manage these buffers, DCC maintains a mapping table — implemented as a
+//! > content-addressable memory (CAM) — that associates each User ID with a
+//! > specific Response Buffer and Polling Register entry. The GPU reads this
+//! > mapping once and uses it throughout the generation phase."
+
+use crate::descriptor::POLLING_REGISTER_BITS;
+
+/// Errors from buffer management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferError {
+    /// All 512 response buffers are allocated.
+    Exhausted,
+    /// The user has no buffer allocated.
+    Unmapped(u32),
+}
+
+impl std::fmt::Display for BufferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufferError::Exhausted => write!(f, "all response buffers allocated"),
+            BufferError::Unmapped(u) => write!(f, "user {u} has no response buffer"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+/// The DCC's response-buffer manager: a CAM from User ID to buffer slot plus
+/// the 512-bit Polling Register (one completion bit per slot).
+#[derive(Debug, Clone)]
+pub struct ResponseBufferTable {
+    /// CAM entries: `cam[slot] = Some(user)`.
+    cam: Vec<Option<u32>>,
+    /// Completion bits (the Polling Register).
+    polling: Vec<bool>,
+}
+
+impl ResponseBufferTable {
+    /// A table with the hardware's 512 buffers.
+    pub fn new() -> Self {
+        Self {
+            cam: vec![None; POLLING_REGISTER_BITS],
+            polling: vec![false; POLLING_REGISTER_BITS],
+        }
+    }
+
+    /// Number of allocated slots.
+    pub fn allocated(&self) -> usize {
+        self.cam.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Allocates (or returns the existing) buffer slot for `user` — the
+    /// mapping the GPU "reads once and uses throughout generation".
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::Exhausted`] when all 512 slots are taken.
+    pub fn map_user(&mut self, user: u32) -> Result<usize, BufferError> {
+        if let Some(slot) = self.lookup(user) {
+            return Ok(slot);
+        }
+        match self.cam.iter().position(Option::is_none) {
+            Some(slot) => {
+                self.cam[slot] = Some(user);
+                self.polling[slot] = false;
+                Ok(slot)
+            }
+            None => Err(BufferError::Exhausted),
+        }
+    }
+
+    /// CAM lookup: the slot currently assigned to `user`.
+    pub fn lookup(&self, user: u32) -> Option<usize> {
+        self.cam.iter().position(|&e| e == Some(user))
+    }
+
+    /// Marks `user`'s offload complete (sets its Polling Register bit).
+    ///
+    /// # Errors
+    ///
+    /// [`BufferError::Unmapped`] when the user has no slot.
+    pub fn post_completion(&mut self, user: u32) -> Result<(), BufferError> {
+        let slot = self.lookup(user).ok_or(BufferError::Unmapped(user))?;
+        self.polling[slot] = true;
+        Ok(())
+    }
+
+    /// The GPU's poll: reads (and clears) the completion bit for a slot.
+    pub fn poll_and_clear(&mut self, slot: usize) -> bool {
+        let was = self.polling[slot];
+        self.polling[slot] = false;
+        was
+    }
+
+    /// Snapshot of the 512-bit Polling Register as words (what a single
+    /// MMIO read returns).
+    pub fn polling_register(&self) -> [u64; POLLING_REGISTER_BITS / 64] {
+        let mut words = [0u64; POLLING_REGISTER_BITS / 64];
+        for (i, &bit) in self.polling.iter().enumerate() {
+            if bit {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+
+    /// Releases a user's slot (end of generation session).
+    pub fn release(&mut self, user: u32) {
+        if let Some(slot) = self.lookup(user) {
+            self.cam[slot] = None;
+            self.polling[slot] = false;
+        }
+    }
+}
+
+impl Default for ResponseBufferTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_stable_across_repeated_requests() {
+        let mut t = ResponseBufferTable::new();
+        let a = t.map_user(7).unwrap();
+        let b = t.map_user(7).unwrap();
+        assert_eq!(a, b, "a user keeps its buffer across the generation phase");
+        assert_eq!(t.allocated(), 1);
+    }
+
+    #[test]
+    fn distinct_users_get_distinct_slots() {
+        let mut t = ResponseBufferTable::new();
+        let a = t.map_user(1).unwrap();
+        let b = t.map_user(2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn capacity_is_512_users() {
+        let mut t = ResponseBufferTable::new();
+        for u in 0..512 {
+            t.map_user(u).unwrap();
+        }
+        assert_eq!(t.map_user(512).unwrap_err(), BufferError::Exhausted);
+        t.release(100);
+        assert!(t.map_user(512).is_ok(), "released slots are reusable");
+    }
+
+    #[test]
+    fn polling_register_reflects_completions() {
+        let mut t = ResponseBufferTable::new();
+        let slot = t.map_user(3).unwrap();
+        assert!(!t.poll_and_clear(slot));
+        t.post_completion(3).unwrap();
+        let words = t.polling_register();
+        assert_eq!(words[slot / 64] >> (slot % 64) & 1, 1);
+        assert!(t.poll_and_clear(slot));
+        assert!(!t.poll_and_clear(slot), "poll clears the bit");
+    }
+
+    #[test]
+    fn completion_for_unmapped_user_errors() {
+        let mut t = ResponseBufferTable::new();
+        assert_eq!(t.post_completion(9).unwrap_err(), BufferError::Unmapped(9));
+    }
+}

@@ -1,0 +1,98 @@
+//! NMA scratchpad memories (paper §7.4, §8.2).
+//!
+//! Each NMA holds a *Query SPM* (the GQA group's query vectors during
+//! scoring) and an *Address SPM* (the 32-bit [`crate::IdAddress`]es of
+//! surviving keys awaiting fetch). The paper sizes these from [5] and notes
+//! LongSight "only slightly increases the SPM size of the NMAs" over DReX.
+//!
+//! The Address SPM is a real constraint: when a filtering epoch produces
+//! more survivors than fit, the NMA must drain (fetch + score) before
+//! filtering further — extra filter/score alternations that show up as
+//! additional passes in the offload state machine.
+
+/// Scratchpad capacities of one NMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpmConfig {
+    /// Address SPM capacity in bytes (each survivor costs 4 B).
+    pub address_bytes: usize,
+    /// Query SPM capacity in bytes (BF16 query vectors).
+    pub query_bytes: usize,
+}
+
+impl SpmConfig {
+    /// The configuration used in the paper's synthesis: room for 64K
+    /// survivor addresses (256 KiB) and a 16-query batch of dimension 128
+    /// (4 KiB).
+    pub fn paper() -> Self {
+        Self {
+            address_bytes: 256 << 10,
+            query_bytes: 4 << 10,
+        }
+    }
+
+    /// How many survivor addresses fit.
+    pub fn address_capacity(&self) -> usize {
+        self.address_bytes / 4
+    }
+
+    /// Largest query batch (of dimension `head_dim`, BF16) that fits.
+    pub fn query_capacity(&self, head_dim: usize) -> usize {
+        self.query_bytes / (head_dim * 2)
+    }
+
+    /// Number of filter→drain passes needed for `survivors` addresses.
+    pub fn drain_passes(&self, survivors: usize) -> usize {
+        survivors.div_ceil(self.address_capacity()).max(1)
+    }
+
+    /// Checks a GQA group fits the Query SPM.
+    ///
+    /// # Errors
+    ///
+    /// Describes the violation.
+    pub fn check_query_batch(&self, queries: usize, head_dim: usize) -> Result<(), String> {
+        let cap = self.query_capacity(head_dim);
+        if queries > cap {
+            return Err(format!(
+                "query batch of {queries} exceeds Query SPM capacity {cap} at dim {head_dim}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SpmConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_capacities() {
+        let s = SpmConfig::paper();
+        assert_eq!(s.address_capacity(), 65_536);
+        assert_eq!(s.query_capacity(128), 16);
+        assert_eq!(s.query_capacity(64), 32);
+    }
+
+    #[test]
+    fn full_slice_at_low_filter_ratio_needs_multiple_passes() {
+        // A 131,072-key slice where half survive overflows a 64K-address SPM.
+        let s = SpmConfig::paper();
+        assert_eq!(s.drain_passes(65_536), 1);
+        assert_eq!(s.drain_passes(65_537), 2);
+        assert_eq!(s.drain_passes(131_072), 2);
+        assert_eq!(s.drain_passes(0), 1);
+    }
+
+    #[test]
+    fn paper_query_batch_fits() {
+        let s = SpmConfig::paper();
+        assert!(s.check_query_batch(16, 128).is_ok());
+        assert!(s.check_query_batch(17, 128).is_err());
+    }
+}

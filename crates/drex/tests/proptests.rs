@@ -1,0 +1,139 @@
+//! Property-based tests for the DReX device model.
+
+use longsight_core::{RotationTable, ThresholdTable};
+use longsight_cxl::CxlLink;
+use longsight_dram::Geometry;
+use longsight_drex::layout::{ContextSlice, UserPartition, MAX_CONTEXT_SLICE_KEYS};
+use longsight_drex::{
+    time_head_offload, DccSim, DrexDevice, DrexParams, HeadOffloadSpec, HeadWork,
+    RequestDescriptor,
+};
+use longsight_tensor::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn context_slices_respect_capacity_and_banks(keys in 1usize..=MAX_CONTEXT_SLICE_KEYS) {
+        let s = ContextSlice::new(0, keys);
+        prop_assert!(s.banks_used() <= 1024);
+        prop_assert!(s.keys_per_bank() <= 128);
+        prop_assert!(s.keys_per_bank() * s.banks_used() >= keys);
+    }
+
+    #[test]
+    fn partitions_cover_the_context(kv_heads in 1usize..=8, ctx in 0usize..600_000) {
+        let p = UserPartition::plan(&Geometry::drex(), kv_heads, 4, 64, ctx, 0);
+        prop_assert_eq!(p.slices.len(), kv_heads);
+        for head in &p.slices {
+            let total: usize = head.iter().map(|s| s.keys).sum();
+            prop_assert_eq!(total, ctx, "slices must cover the context exactly");
+            for s in head {
+                prop_assert!(s.keys <= MAX_CONTEXT_SLICE_KEYS);
+            }
+        }
+    }
+
+    #[test]
+    fn offload_time_monotone_in_survivors(keys in 1024usize..100_000, frac_a in 0.01f64..0.4, extra in 0.05f64..0.5) {
+        let spec = |sv: usize| HeadOffloadSpec {
+            context_len: keys,
+            head_dim: 128,
+            queries: 4,
+            k: 1024,
+            survivors: sv,
+        };
+        let sa = ((keys as f64) * frac_a) as usize;
+        let sb = (((keys as f64) * (frac_a + extra)) as usize).min(keys);
+        let p = DrexParams::paper();
+        let ta = time_head_offload(&p, &spec(sa), 1);
+        let tb = time_head_offload(&p, &spec(sb), 1);
+        prop_assert!(
+            tb.total_ns() >= ta.total_ns() * 0.95,
+            "more survivors should not get meaningfully faster: {} vs {}",
+            ta.total_ns(),
+            tb.total_ns()
+        );
+    }
+
+    #[test]
+    fn dcc_scheduling_is_work_conserving(durations in prop::collection::vec(10.0f64..10_000.0, 1..40)) {
+        let mut dcc = DccSim::new(DrexParams::paper(), CxlLink::pcie5_x16(), 8);
+        let slices: Vec<(usize, f64)> = durations.iter().enumerate().map(|(i, &d)| (i % 8, d)).collect();
+        let (done, _) = dcc.schedule_slices(0.0, &slices);
+        let total: f64 = durations.iter().sum();
+        let max: f64 = durations.iter().cloned().fold(0.0, f64::max);
+        // Makespan bounds: at least max(longest job, total/8), at most total.
+        prop_assert!(done >= max - 1e-9);
+        prop_assert!(done >= total / 8.0 - 1e-9);
+        prop_assert!(done <= total + 1e-9);
+    }
+
+    #[test]
+    fn device_retrieves_at_most_k(n in 1usize..200, k in 0usize..64, threshold in 0u32..16) {
+        let mut dev = DrexDevice::new(
+            DrexParams::paper(),
+            CxlLink::pcie5_x16(),
+            Geometry::drex(),
+            ThresholdTable::uniform(1, 1, threshold),
+            RotationTable::identity(1, 1, 16),
+            16,
+        );
+        let user = dev.register_user();
+        let mut rng = SimRng::seed_from(n as u64);
+        let keys: Vec<Vec<f32>> = (0..n).map(|_| rng.normal_vec(16)).collect();
+        let vals: Vec<Vec<f32>> = (0..n).map(|_| rng.normal_vec(16)).collect();
+        dev.write_kv_block(user, 0, 0, &keys, &vals).unwrap();
+        let req = RequestDescriptor {
+            user,
+            layer: 0,
+            queries: vec![vec![rng.normal_vec(16)]],
+        };
+        let out = dev.offload(&req, k, 0.0).unwrap();
+        let hits = &out.response.hits[0][0];
+        prop_assert!(hits.len() <= k.min(n));
+        // Scores sorted descending.
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        // Raising the threshold can only shrink the result set.
+        if threshold > 0 {
+            let mut dev0 = DrexDevice::new(
+                DrexParams::paper(),
+                CxlLink::pcie5_x16(),
+                Geometry::drex(),
+                ThresholdTable::uniform(1, 1, 0),
+                RotationTable::identity(1, 1, 16),
+                16,
+            );
+            let u0 = dev0.register_user();
+            dev0.write_kv_block(u0, 0, 0, &keys, &vals).unwrap();
+            let req0 = RequestDescriptor { user: u0, ..req.clone() };
+            let out0 = dev0.offload(&req0, k, 0.0).unwrap();
+            prop_assert!(hits.len() <= out0.response.hits[0][0].len());
+        }
+    }
+
+    #[test]
+    fn dcc_submit_orders_phases(ctx in 1024usize..300_000, survivors_frac in 0.01f64..0.3) {
+        let mut dcc = DccSim::new(DrexParams::paper(), CxlLink::pcie5_x16(), 8);
+        let survivors = ((ctx as f64) * survivors_frac) as usize;
+        let slices = ctx.div_ceil(MAX_CONTEXT_SLICE_KEYS);
+        let work = HeadWork {
+            spec: HeadOffloadSpec {
+                context_len: ctx,
+                head_dim: 64,
+                queries: 4,
+                k: 512,
+                survivors,
+            },
+            slice_packages: (0..slices).collect(),
+        };
+        let t = dcc.submit(5_000.0, &[work], 512, 4096);
+        prop_assert!(t.submitted_ns >= 5_000.0);
+        prop_assert!(t.device_done_ns >= t.submitted_ns);
+        prop_assert!(t.observed_ns > t.device_done_ns);
+        prop_assert!(t.value_read_ns > 0.0);
+    }
+}

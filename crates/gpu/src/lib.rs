@@ -1,0 +1,318 @@
+//! Analytical NPU (GPU) performance model.
+//!
+//! The decode phase is dominated by two regimes (paper §2.1): weight-streaming
+//! matrix work that batches across users (QKV generation, output projection,
+//! FFN) and per-user attention that cannot batch. A roofline model —
+//! `time = max(flops / peak_compute, bytes / peak_bandwidth)` with efficiency
+//! derates and kernel-launch overhead — captures which regime dominates and
+//! how latency scales with batch size and context length, which is what the
+//! paper's Figs 7 and 9 measure on real hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use longsight_gpu::{GpuSpec, decode_step};
+//! use longsight_model::ModelConfig;
+//!
+//! let cfg = ModelConfig::llama3_8b();
+//! let cost = decode_step(&GpuSpec::h100_sxm(), &cfg, 1, 32_768, false, 0);
+//! assert!(cost.total_ns() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use longsight_model::ModelConfig;
+
+/// Hardware parameters of one NPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Peak dense BF16 throughput, FLOPs per ns.
+    pub flops_per_ns: f64,
+    /// Peak HBM bandwidth, bytes per ns.
+    pub hbm_bytes_per_ns: f64,
+    /// HBM capacity in bytes.
+    pub hbm_bytes: usize,
+    /// Per-kernel launch overhead, ns.
+    pub launch_ns: f64,
+    /// Sustained fraction of peak compute for dense GEMM.
+    pub compute_eff: f64,
+    /// Sustained fraction of peak bandwidth for streaming reads.
+    pub mem_eff: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA H100 SXM per Table 2: 989 TFLOP/s dense BF16, 3.35 TB/s HBM3,
+    /// 80 GB.
+    pub fn h100_sxm() -> Self {
+        Self {
+            name: "H100-SXM",
+            flops_per_ns: 989e3,
+            hbm_bytes_per_ns: 3350.0,
+            hbm_bytes: 80_000_000_000,
+            launch_ns: 4_000.0,
+            compute_eff: 0.55,
+            mem_eff: 0.80,
+        }
+    }
+
+    /// Roofline time for one fused kernel.
+    pub fn op_ns(&self, flops: f64, bytes: f64) -> f64 {
+        let compute = flops / (self.flops_per_ns * self.compute_eff);
+        let memory = bytes / (self.hbm_bytes_per_ns * self.mem_eff);
+        compute.max(memory) + self.launch_ns
+    }
+}
+
+/// Per-decode-step GPU time breakdown, ns.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecodeCost {
+    /// Weight-streaming work: QKV/O projections + FFN, all layers, batched.
+    pub weights_ns: f64,
+    /// Attention over the attended KV entries (dense or window), all layers,
+    /// all users.
+    pub attention_ns: f64,
+    /// Runtime ITQ rotation of query vectors (LongSight only).
+    pub itq_ns: f64,
+    /// Softmax + SV merge over retrieved top-k results (LongSight only).
+    pub merge_ns: f64,
+}
+
+impl DecodeCost {
+    /// Total GPU time per generated token (per decode step).
+    pub fn total_ns(&self) -> f64 {
+        self.weights_ns + self.attention_ns + self.itq_ns + self.merge_ns
+    }
+}
+
+/// Number of non-embedding parameters (weights streamed every step).
+fn streamed_params(cfg: &ModelConfig) -> f64 {
+    let h = cfg.hidden_dim() as f64;
+    let kv = cfg.kv_dim() as f64;
+    let f = cfg.ffn_dim as f64;
+    cfg.layers as f64 * (h * h + 2.0 * kv * h + h * h + 3.0 * f * h)
+}
+
+/// Times one decode step.
+///
+/// * `users` — batch size (weights stream once for all of them),
+/// * `attended` — KV entries read densely per user per layer (full context
+///   for the dense baseline; `W + sinks` for LongSight's window),
+/// * `itq` — whether queries pass the runtime ITQ rotation,
+/// * `merged_k` — retrieved top-k entries merged into softmax/SV per user
+///   per layer (0 for non-LongSight systems).
+pub fn decode_step(
+    spec: &GpuSpec,
+    cfg: &ModelConfig,
+    users: usize,
+    attended: usize,
+    itq: bool,
+    merged_k: usize,
+) -> DecodeCost {
+    let u = users as f64;
+    let layers = cfg.layers as f64;
+    let d = cfg.head_dim as f64;
+    let params = streamed_params(cfg);
+
+    // Weight-streaming ops: 2 flops per parameter per user; weights read
+    // once (BF16) regardless of batch size — this is why batching pays.
+    let weights_ns = spec.op_ns(2.0 * params * u, params * 2.0);
+
+    // Attention: per user per layer, QKᵀ + SV over `attended` entries.
+    let attn_flops = u * layers * 2.0 * 2.0 * attended as f64 * d * cfg.q_heads as f64;
+    let attn_bytes = u * layers * attended as f64 * cfg.kv_dim() as f64 * 2.0 * 2.0;
+    let attention_ns = if attended == 0 {
+        0.0
+    } else {
+        spec.op_ns(attn_flops, attn_bytes)
+    };
+
+    // ITQ: rotate each query head's vector by a d×d matrix.
+    let itq_ns = if itq {
+        let flops = u * layers * cfg.q_heads as f64 * 2.0 * d * d;
+        let bytes = layers * cfg.kv_heads as f64 * d * d * 2.0; // rotation matrices
+        spec.op_ns(flops, bytes)
+    } else {
+        0.0
+    };
+
+    // Merge: softmax over window+k and SV accumulation of the k retrieved
+    // values (already on-GPU after the CXL read).
+    let merge_ns = if merged_k > 0 {
+        let flops = u * layers * cfg.q_heads as f64 * 2.0 * 2.0 * merged_k as f64 * d;
+        let bytes = u * layers * cfg.kv_heads as f64 * merged_k as f64 * d * 2.0;
+        spec.op_ns(flops, bytes)
+    } else {
+        0.0
+    };
+
+    DecodeCost {
+        weights_ns,
+        attention_ns,
+        itq_ns,
+        merge_ns,
+    }
+}
+
+/// HBM capacity check: weights + KV cache for `users` × `context` tokens.
+pub fn fits_in_hbm(spec: &GpuSpec, cfg: &ModelConfig, users: usize, context: usize) -> bool {
+    let kv = cfg.kv_bytes_per_token() * context * users;
+    cfg.weight_bytes() + kv <= spec.hbm_bytes
+}
+
+/// Maximum context length one GPU supports for a batch of `users`
+/// (dense KV cache resident in HBM).
+pub fn max_context(spec: &GpuSpec, cfg: &ModelConfig, users: usize) -> usize {
+    let free = spec.hbm_bytes.saturating_sub(cfg.weight_bytes());
+    free / (cfg.kv_bytes_per_token() * users.max(1))
+}
+
+/// A data-parallel group of identical GPUs: users split evenly, weights
+/// replicated (the paper's 2-GPU baseline, §8.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataParallelGpus {
+    /// Per-GPU spec.
+    pub spec: GpuSpec,
+    /// Number of GPUs.
+    pub count: usize,
+}
+
+impl DataParallelGpus {
+    /// Creates a group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn new(spec: GpuSpec, count: usize) -> Self {
+        assert!(count > 0, "need at least one GPU");
+        Self { spec, count }
+    }
+
+    /// Users assigned to the busiest GPU.
+    pub fn users_per_gpu(&self, users: usize) -> usize {
+        users.div_ceil(self.count)
+    }
+
+    /// Decode-step time: the busiest GPU bounds the step.
+    pub fn decode_step(
+        &self,
+        cfg: &ModelConfig,
+        users: usize,
+        attended: usize,
+        itq: bool,
+        merged_k: usize,
+    ) -> DecodeCost {
+        decode_step(
+            &self.spec,
+            cfg,
+            self.users_per_gpu(users),
+            attended,
+            itq,
+            merged_k,
+        )
+    }
+
+    /// Whether the group can host `users` × `context` dense KV caches.
+    pub fn fits(&self, cfg: &ModelConfig, users: usize, context: usize) -> bool {
+        fits_in_hbm(&self.spec, cfg, self.users_per_gpu(users), context)
+    }
+
+    /// Maximum dense context for a batch of `users`.
+    pub fn max_context(&self, cfg: &ModelConfig, users: usize) -> usize {
+        max_context(&self.spec, cfg, self.users_per_gpu(users))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_roofline_crossover() {
+        let g = GpuSpec::h100_sxm();
+        // Tiny op: launch-bound.
+        assert!((g.op_ns(1.0, 1.0) - g.launch_ns).abs() < 1.0);
+        // Huge compute, no bytes: compute-bound.
+        let t = g.op_ns(1e12, 0.0);
+        assert!((t - 1e12 / (989e3 * 0.55) - g.launch_ns).abs() < 1.0);
+    }
+
+    #[test]
+    fn decode_attention_scales_with_context() {
+        let g = GpuSpec::h100_sxm();
+        let cfg = ModelConfig::llama3_8b();
+        let short = decode_step(&g, &cfg, 1, 8_192, false, 0);
+        let long = decode_step(&g, &cfg, 1, 131_072, false, 0);
+        assert!(long.attention_ns > 10.0 * short.attention_ns);
+        // Weight streaming is context-independent.
+        assert_eq!(long.weights_ns, short.weights_ns);
+    }
+
+    #[test]
+    fn attention_dominates_at_long_context_single_user() {
+        // The paper's motivation: decode attention becomes the bottleneck as
+        // context grows.
+        let g = GpuSpec::h100_sxm();
+        let cfg = ModelConfig::llama3_8b();
+        let c = decode_step(&g, &cfg, 1, 131_072, false, 0);
+        assert!(
+            c.attention_ns > c.weights_ns,
+            "attention {} should dominate weights {} at 128K",
+            c.attention_ns,
+            c.weights_ns
+        );
+    }
+
+    #[test]
+    fn batching_amortizes_weight_streaming() {
+        let g = GpuSpec::h100_sxm();
+        let cfg = ModelConfig::llama3_1b();
+        let one = decode_step(&g, &cfg, 1, 1_024, false, 0);
+        let many = decode_step(&g, &cfg, 64, 1_024, false, 0);
+        // 64× the users costs far less than 64× the time.
+        assert!(many.total_ns() < 16.0 * one.total_ns());
+    }
+
+    #[test]
+    fn itq_overhead_is_small_fraction_of_step() {
+        // Paper §5.4: ITQ runtime cost is < 3% of computing query vectors
+        // (and far less of the whole step).
+        let g = GpuSpec::h100_sxm();
+        let cfg = ModelConfig::llama3_1b();
+        let c = decode_step(&g, &cfg, 8, 1_040, true, 1_024);
+        assert!(
+            c.itq_ns < 0.1 * c.total_ns(),
+            "ITQ {} vs total {}",
+            c.itq_ns,
+            c.total_ns()
+        );
+    }
+
+    #[test]
+    fn h100_max_context_for_llama8b_is_under_512k() {
+        // 80 GB − 16 GB weights = 64 GB; at 131,072 B/token → ~488K tokens.
+        let g = GpuSpec::h100_sxm();
+        let cfg = ModelConfig::llama3_8b();
+        let m = max_context(&g, &cfg, 1);
+        assert!((400_000..520_000).contains(&m), "got {m}");
+        // Paper: 1M-token context is "only possible with 2 H100 GPUs".
+        assert!(!fits_in_hbm(&g, &cfg, 1, 1 << 20));
+        let two = DataParallelGpus::new(g, 2);
+        // Data parallelism does NOT pool KV of one user; but two users at
+        // 512K do fit across two GPUs.
+        assert!(two.fits(&cfg, 2, 480_000));
+    }
+
+    #[test]
+    fn data_parallel_splits_users() {
+        let two = DataParallelGpus::new(GpuSpec::h100_sxm(), 2);
+        assert_eq!(two.users_per_gpu(8), 4);
+        assert_eq!(two.users_per_gpu(9), 5);
+        let cfg = ModelConfig::llama3_1b();
+        let t1 = decode_step(&two.spec, &cfg, 4, 1_024, false, 0);
+        let t2 = two.decode_step(&cfg, 8, 1_024, false, 0);
+        assert_eq!(t1.total_ns(), t2.total_ns());
+    }
+}

@@ -1,0 +1,210 @@
+//! Model configurations (paper Table 1).
+
+/// Architecture hyperparameters of a Llama-style decoder-only transformer.
+///
+/// The two production presets reproduce Table 1 of the paper; [`ModelConfig::tiny`]
+/// is a scaled-down configuration used by tests and the functional perplexity
+/// experiments.
+///
+/// # Example
+///
+/// ```
+/// let cfg = longsight_model::ModelConfig::llama3_8b();
+/// assert_eq!(cfg.layers, 32);
+/// assert_eq!(cfg.kv_heads, 8);
+/// assert_eq!(cfg.head_dim, 128);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelConfig {
+    /// Human-readable name (e.g. `"Llama-3-8B"`).
+    pub name: &'static str,
+    /// Number of decoder layers.
+    pub layers: usize,
+    /// Number of query heads.
+    pub q_heads: usize,
+    /// Number of KV heads (GQA: `kv_heads <= q_heads`).
+    pub kv_heads: usize,
+    /// Per-head dimension of queries and keys (and values).
+    pub head_dim: usize,
+    /// FFN intermediate dimension.
+    pub ffn_dim: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// RoPE base frequency θ.
+    pub rope_theta: f64,
+}
+
+impl ModelConfig {
+    /// Llama-3-1B per Table 1: GQA 32/8 heads, head dim 64, 16 layers.
+    pub fn llama3_1b() -> Self {
+        Self {
+            name: "Llama-3-1B",
+            layers: 16,
+            q_heads: 32,
+            kv_heads: 8,
+            head_dim: 64,
+            ffn_dim: 8192,
+            vocab: 128_256,
+            rope_theta: 500_000.0,
+        }
+    }
+
+    /// Llama-3-8B per Table 1: GQA 32/8 heads, head dim 128, 32 layers.
+    pub fn llama3_8b() -> Self {
+        Self {
+            name: "Llama-3-8B",
+            layers: 32,
+            q_heads: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            ffn_dim: 14_336,
+            vocab: 128_256,
+            rope_theta: 500_000.0,
+        }
+    }
+
+    /// A tiny configuration for tests and functional (real-forward-pass)
+    /// perplexity experiments. Keeps GQA (4 query heads per KV head) so the
+    /// grouped-attention code paths are exercised.
+    pub fn tiny() -> Self {
+        Self {
+            name: "Tiny",
+            layers: 2,
+            q_heads: 8,
+            kv_heads: 2,
+            head_dim: 32,
+            ffn_dim: 256,
+            vocab: 1024,
+            rope_theta: 500_000.0,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.layers == 0 {
+            return Err("layers must be positive".into());
+        }
+        if self.kv_heads == 0 || self.q_heads == 0 {
+            return Err("head counts must be positive".into());
+        }
+        if !self.q_heads.is_multiple_of(self.kv_heads) {
+            return Err(format!(
+                "q_heads ({}) must be a multiple of kv_heads ({})",
+                self.q_heads, self.kv_heads
+            ));
+        }
+        if self.head_dim == 0 || !self.head_dim.is_multiple_of(2) {
+            return Err("head_dim must be positive and even (RoPE pairs dimensions)".into());
+        }
+        Ok(())
+    }
+
+    /// Model (residual-stream) width: `q_heads * head_dim`.
+    pub fn hidden_dim(&self) -> usize {
+        self.q_heads * self.head_dim
+    }
+
+    /// Total KV projection width: `kv_heads * head_dim`.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim
+    }
+
+    /// Query heads per KV head (the GQA group size).
+    pub fn group_size(&self) -> usize {
+        self.q_heads / self.kv_heads
+    }
+
+    /// Bytes of BF16 KV cache per token across all layers and KV heads
+    /// (2 bytes × 2 tensors × kv_heads × head_dim × layers).
+    pub fn kv_bytes_per_token(&self) -> usize {
+        2 * 2 * self.kv_dim() * self.layers
+    }
+
+    /// Bytes of BF16 weights (projections + FFN + embedding, untied head).
+    pub fn weight_bytes(&self) -> usize {
+        let h = self.hidden_dim();
+        let per_layer = h * h            // Wq
+            + 2 * self.kv_dim() * h      // Wk, Wv
+            + h * h                      // Wo
+            + 3 * self.ffn_dim * h; // gate, up, down
+        2 * (self.layers * per_layer + 2 * self.vocab * h)
+    }
+
+    /// Number of independent KV vector databases per user:
+    /// `kv_heads × layers` (paper §4, point 1).
+    pub fn databases_per_user(&self) -> usize {
+        self.kv_heads * self.layers
+    }
+}
+
+impl std::fmt::Display for ModelConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ({}L, {}q/{}kv heads, d={})",
+            self.name, self.layers, self.q_heads, self.kv_heads, self.head_dim
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_llama3_1b_parameters() {
+        let c = ModelConfig::llama3_1b();
+        assert_eq!((c.layers, c.q_heads, c.kv_heads, c.head_dim), (16, 32, 8, 64));
+        assert_eq!(c.hidden_dim(), 2048);
+        assert_eq!(c.group_size(), 4);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn table1_llama3_8b_parameters() {
+        let c = ModelConfig::llama3_8b();
+        assert_eq!((c.layers, c.q_heads, c.kv_heads, c.head_dim), (32, 32, 8, 128));
+        assert_eq!(c.hidden_dim(), 4096);
+        // 256 independent vector databases per user (paper §4).
+        assert_eq!(c.databases_per_user(), 256);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn kv_bytes_per_token_llama3_8b() {
+        // 2 B × 2 (K+V) × 8 heads × 128 dim × 32 layers = 131,072 B/token.
+        assert_eq!(ModelConfig::llama3_8b().kv_bytes_per_token(), 131_072);
+    }
+
+    #[test]
+    fn kv_cache_at_1m_tokens_exceeds_h100_hbm() {
+        // The paper's motivating observation: a 1M-token context for
+        // Llama-3-8B needs ~122 GiB of KV cache, more than one H100's 80 GB.
+        let bytes = ModelConfig::llama3_8b().kv_bytes_per_token() * 1_048_576;
+        assert!(bytes > 80 * 1_000_000_000usize);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = ModelConfig::tiny();
+        c.q_heads = 3; // not a multiple of kv_heads = 2
+        assert!(c.validate().is_err());
+        let mut c = ModelConfig::tiny();
+        c.head_dim = 7; // odd
+        assert!(c.validate().is_err());
+        let mut c = ModelConfig::tiny();
+        c.layers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn weight_bytes_is_plausible_for_8b() {
+        // ~8B parameters × 2 bytes ≈ 16 GB (the paper quotes 16 GB of weights).
+        let gb = ModelConfig::llama3_8b().weight_bytes() as f64 / 1e9;
+        assert!((10.0..20.0).contains(&gb), "got {gb} GB");
+    }
+}

@@ -1,0 +1,127 @@
+//! KV caches: per-layer, per-KV-head key/value history.
+
+use longsight_tensor::FlatVecs;
+
+/// Key and value history for one `(layer, kv_head)` pair.
+///
+/// Keys are stored **post-RoPE** (when the layer applies RoPE), matching the
+/// paper: the KV cache holds exactly what attention consumes, and ITQ must be
+/// applied at runtime because positional embeddings break distance invariance
+/// (§5.4).
+#[derive(Debug, Clone)]
+pub struct HeadKv {
+    keys: FlatVecs,
+    values: FlatVecs,
+}
+
+impl HeadKv {
+    /// Creates an empty history for head dimension `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            keys: FlatVecs::new(dim),
+            values: FlatVecs::new(dim),
+        }
+    }
+
+    /// Appends one token's key and value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice does not match the head dimension.
+    pub fn push(&mut self, key: &[f32], value: &[f32]) {
+        self.keys.push(key);
+        self.values.push(value);
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The cached keys.
+    pub fn keys(&self) -> &FlatVecs {
+        &self.keys
+    }
+
+    /// The cached values.
+    pub fn values(&self) -> &FlatVecs {
+        &self.values
+    }
+}
+
+/// Full KV cache for one user: `layers × kv_heads` independent histories —
+/// the "vector databases" of paper §4 (e.g. 256 of them for Llama-3-8B).
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    heads: Vec<Vec<HeadKv>>,
+}
+
+impl KvCache {
+    /// Creates an empty cache for `layers × kv_heads` heads of dimension `dim`.
+    pub fn new(layers: usize, kv_heads: usize, dim: usize) -> Self {
+        Self {
+            heads: (0..layers)
+                .map(|_| (0..kv_heads).map(|_| HeadKv::new(dim)).collect())
+                .collect(),
+        }
+    }
+
+    /// Borrows the history of `(layer, kv_head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn head(&self, layer: usize, kv_head: usize) -> &HeadKv {
+        &self.heads[layer][kv_head]
+    }
+
+    /// Mutably borrows the history of `(layer, kv_head)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn head_mut(&mut self, layer: usize, kv_head: usize) -> &mut HeadKv {
+        &mut self.heads[layer][kv_head]
+    }
+
+    /// Number of cached tokens (taken from layer 0, head 0; all heads stay in
+    /// lockstep during normal operation).
+    pub fn seq_len(&self) -> usize {
+        self.heads
+            .first()
+            .and_then(|l| l.first())
+            .map_or(0, HeadKv::len)
+    }
+
+    /// Number of layers.
+    pub fn layers(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Number of KV heads per layer.
+    pub fn kv_heads(&self) -> usize {
+        self.heads.first().map_or(0, Vec::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_tracks_per_head_history() {
+        let mut c = KvCache::new(2, 3, 4);
+        assert_eq!(c.seq_len(), 0);
+        c.head_mut(0, 0).push(&[1.0; 4], &[2.0; 4]);
+        c.head_mut(1, 2).push(&[3.0; 4], &[4.0; 4]);
+        assert_eq!(c.head(0, 0).len(), 1);
+        assert_eq!(c.head(1, 2).keys().get(0), &[3.0; 4]);
+        assert_eq!(c.layers(), 2);
+        assert_eq!(c.kv_heads(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Elementwise layers: RMSNorm and SwiGLU.
+
+use longsight_tensor::vecops;
+use longsight_tensor::Matrix;
+
+/// RMSNorm: `x / rms(x) * gain`, the normalization used by Llama models.
+///
+/// # Panics
+///
+/// Panics if `x.len() != gain.len()`.
+pub fn rmsnorm(x: &[f32], gain: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), gain.len(), "rmsnorm gain length mismatch");
+    let r = vecops::rms(x, 1e-6);
+    x.iter().zip(gain).map(|(v, g)| v / r * g).collect()
+}
+
+/// SiLU (swish) activation: `x * sigmoid(x)`.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// SwiGLU feed-forward network: `W_down · (silu(W_gate·x) ⊙ (W_up·x))`.
+///
+/// # Panics
+///
+/// Panics on any shape mismatch between the weight matrices and `x`.
+pub fn swiglu_ffn(x: &[f32], w_gate: &Matrix, w_up: &Matrix, w_down: &Matrix) -> Vec<f32> {
+    let gate = w_gate.matvec(x);
+    let up = w_up.matvec(x);
+    let hidden: Vec<f32> = gate
+        .iter()
+        .zip(&up)
+        .map(|(&g, &u)| silu(g) * u)
+        .collect();
+    w_down.matvec(&hidden)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmsnorm_produces_unit_rms_with_unit_gain() {
+        let x = vec![3.0, -4.0, 5.0, 1.0];
+        let g = vec![1.0; 4];
+        let y = rmsnorm(&x, &g);
+        assert!((vecops::rms(&y, 0.0) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rmsnorm_is_scale_invariant_in_direction() {
+        let x = vec![1.0, 2.0, -1.0];
+        let g = vec![1.0; 3];
+        let a = rmsnorm(&x, &g);
+        let scaled: Vec<f32> = x.iter().map(|v| v * 7.0).collect();
+        let b = rmsnorm(&scaled, &g);
+        for (p, q) in a.iter().zip(&b) {
+            assert!((p - q).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn silu_known_values() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!((silu(1.0) - 0.731_058_6).abs() < 1e-5);
+        assert!(silu(-10.0).abs() < 1e-3);
+        assert!((silu(10.0) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn swiglu_zero_input_gives_zero_output() {
+        let w = Matrix::identity(3);
+        let out = swiglu_ffn(&[0.0; 3], &w, &w, &w);
+        assert_eq!(out, vec![0.0; 3]);
+    }
+}

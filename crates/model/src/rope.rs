@@ -1,0 +1,152 @@
+//! Rotary positional embeddings (RoPE).
+//!
+//! Llama-style RoPE: dimension pairs `(i, i + d/2)` are rotated by angle
+//! `pos · θ^(−2i/d)`. Because the rotation is applied *after* the K/Q
+//! projections, it breaks the distance invariances ITQ relies on — which is
+//! why the paper applies the ITQ rotation at runtime, after RoPE (§5.4).
+
+/// Precomputed RoPE frequency table for one head dimension.
+///
+/// # Example
+///
+/// ```
+/// use longsight_model::Rope;
+///
+/// let rope = Rope::new(8, 500_000.0);
+/// let mut v = vec![1.0; 8];
+/// rope.apply_in_place(&mut v, 0);
+/// assert_eq!(v, vec![1.0; 8]); // position 0 is the identity
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rope {
+    head_dim: usize,
+    /// Per-pair inverse frequencies θ^(−2i/d), i in 0..d/2.
+    inv_freq: Vec<f64>,
+}
+
+impl Rope {
+    /// Builds the frequency table for a head dimension and base θ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is zero or odd.
+    pub fn new(head_dim: usize, theta: f64) -> Self {
+        assert!(head_dim > 0 && head_dim.is_multiple_of(2), "RoPE needs an even head dim");
+        let half = head_dim / 2;
+        let inv_freq = (0..half)
+            .map(|i| theta.powf(-2.0 * i as f64 / head_dim as f64))
+            .collect();
+        Self { head_dim, inv_freq }
+    }
+
+    /// Head dimension this table was built for.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Rotates `v` in place for token position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != head_dim`.
+    pub fn apply_in_place(&self, v: &mut [f32], pos: usize) {
+        assert_eq!(v.len(), self.head_dim, "RoPE dimension mismatch");
+        let half = self.head_dim / 2;
+        for i in 0..half {
+            let angle = pos as f64 * self.inv_freq[i];
+            let (sin, cos) = angle.sin_cos();
+            let (a, b) = (v[i] as f64, v[i + half] as f64);
+            v[i] = (a * cos - b * sin) as f32;
+            v[i + half] = (a * sin + b * cos) as f32;
+        }
+    }
+
+    /// Returns a rotated copy of `v` for position `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != head_dim`.
+    pub fn apply(&self, v: &[f32], pos: usize) -> Vec<f32> {
+        let mut out = v.to_vec();
+        self.apply_in_place(&mut out, pos);
+        out
+    }
+
+    /// Rotates `v` by a *signed, fractional* position offset.
+    ///
+    /// Used by the hand-constructed previous-token attention head, which
+    /// needs a query equal to the base key rotated by −1 positions so that
+    /// the RoPE dot product peaks at relative distance −1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != head_dim`.
+    pub fn apply_signed(&self, v: &mut [f32], pos: f64) {
+        assert_eq!(v.len(), self.head_dim, "RoPE dimension mismatch");
+        let half = self.head_dim / 2;
+        for i in 0..half {
+            let angle = pos * self.inv_freq[i];
+            let (sin, cos) = angle.sin_cos();
+            let (a, b) = (v[i] as f64, v[i + half] as f64);
+            v[i] = (a * cos - b * sin) as f32;
+            v[i + half] = (a * sin + b * cos) as f32;
+        }
+    }
+
+    /// The per-pair rotation frequencies (radians per token).
+    pub fn inv_freq(&self) -> &[f64] {
+        &self.inv_freq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsight_tensor::vecops;
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let rope = Rope::new(16, 500_000.0);
+        let v: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).sin()).collect();
+        for pos in [0usize, 1, 100, 10_000] {
+            let r = rope.apply(&v, pos);
+            assert!(
+                (vecops::l2_norm(&r) - vecops::l2_norm(&v)).abs() < 1e-4,
+                "norm changed at pos {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_product_depends_only_on_relative_position() {
+        let rope = Rope::new(8, 10_000.0);
+        let q: Vec<f32> = vec![1.0, -0.5, 0.3, 0.9, -1.2, 0.1, 0.4, -0.7];
+        let k: Vec<f32> = vec![0.2, 0.8, -0.4, 0.5, 1.1, -0.3, -0.9, 0.6];
+        let d1 = vecops::dot(&rope.apply(&q, 105), &rope.apply(&k, 100));
+        let d2 = vecops::dot(&rope.apply(&q, 1005), &rope.apply(&k, 1000));
+        assert!((d1 - d2).abs() < 1e-3, "relative-position invariance violated: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn position_zero_is_identity() {
+        let rope = Rope::new(32, 500_000.0);
+        let v: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        assert_eq!(rope.apply(&v, 0), v);
+    }
+
+    #[test]
+    fn high_theta_means_slow_low_frequencies() {
+        let rope = Rope::new(64, 500_000.0);
+        // The slowest pair barely rotates even across 32K tokens.
+        let slowest = rope.inv_freq()[31];
+        assert!(slowest * 32_768.0 < 0.2, "slowest channel rotates too fast");
+        // The fastest pair rotates ~1 rad/token.
+        assert!((rope.inv_freq()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "even head dim")]
+    fn odd_dim_panics() {
+        let _ = Rope::new(7, 1000.0);
+    }
+}

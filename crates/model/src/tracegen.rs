@@ -1,0 +1,325 @@
+//! Long-context Q/K/V trace generation.
+//!
+//! The quality experiments at 32K–128K+ context (paper Figs 3 and 4) need
+//! key/query streams with realistic geometry, but a full forward pass at
+//! those lengths is quadratic and needlessly slow — the filtering pipeline
+//! only ever sees *post-projection, post-RoPE* queries and keys. This module
+//! generates such streams directly, with the properties the paper's analysis
+//! hinges on:
+//!
+//! * **Clustering + DC offset** — LLaMA K/Q representations are strongly
+//!   clustered and anisotropic (§5.4), which is what defeats raw
+//!   sign-concordance filtering and is fixed by ITQ. Keys here are drawn from
+//!   a Gaussian mixture around a shared offset direction.
+//! * **Sparse ground-truth relevance** — attention mass concentrates on a
+//!   small set of past tokens whose keys have high dot-product similarity
+//!   with the query (§1, corroborating [12]). Each generated query embeds a
+//!   known set of relevant positions, giving exact recall ground truth.
+//! * **RoPE** — content-matching energy lives in the low-frequency rotary
+//!   dimensions (as in trained retrieval heads), so relevance survives
+//!   rotation while the high-frequency dimensions decorrelate with distance.
+
+use crate::Rope;
+use longsight_tensor::{FlatVecs, SimRng};
+
+/// Parameters of the trace generator.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Head dimension of keys/queries/values.
+    pub head_dim: usize,
+    /// Number of past tokens (keys) to generate.
+    pub context_len: usize,
+    /// Number of identity clusters keys are drawn from.
+    pub clusters: usize,
+    /// Magnitude of the shared DC offset (anisotropy knob; 0 = isotropic).
+    pub dc_magnitude: f32,
+    /// Within-cluster key noise.
+    pub cluster_spread: f32,
+    /// How many past positions each query genuinely attends to.
+    pub relevant_per_query: usize,
+    /// Weight of the relevant-key component in the query.
+    pub relevance_strength: f32,
+    /// Number of query probes to generate.
+    pub queries: usize,
+    /// RoPE base; `None` disables rotation.
+    pub rope_theta: Option<f64>,
+}
+
+impl TraceConfig {
+    /// A default configuration mirroring a Llama-3-8B KV head
+    /// (`head_dim = 128`) at the given context length.
+    pub fn llama_like(head_dim: usize, context_len: usize) -> Self {
+        Self {
+            head_dim,
+            context_len,
+            clusters: 48,
+            dc_magnitude: 2.5,
+            cluster_spread: 0.9,
+            relevant_per_query: 4,
+            relevance_strength: 3.0,
+            queries: 32,
+            rope_theta: Some(500_000.0),
+        }
+    }
+}
+
+/// One query probe with ground-truth relevant positions.
+#[derive(Debug, Clone)]
+pub struct QueryProbe {
+    /// Query token position; the query may attend to keys `0..position`.
+    pub position: usize,
+    /// The (post-RoPE) query vector.
+    pub q: Vec<f32>,
+    /// Ground-truth relevant key positions (all `< position`).
+    pub relevant: Vec<usize>,
+}
+
+/// A generated key/value stream plus query probes for one attention head.
+#[derive(Debug, Clone)]
+pub struct HeadTrace {
+    /// Post-RoPE keys, one per past token.
+    pub keys: FlatVecs,
+    /// Values, one per past token.
+    pub values: FlatVecs,
+    /// Query probes.
+    pub queries: Vec<QueryProbe>,
+}
+
+impl HeadTrace {
+    /// Context length (number of keys).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Generates a head trace.
+///
+/// # Panics
+///
+/// Panics if `context_len < 2`, `head_dim` is odd, or
+/// `relevant_per_query >= context_len`.
+pub fn generate_head_trace(cfg: &TraceConfig, rng: &mut SimRng) -> HeadTrace {
+    assert!(cfg.context_len >= 2, "context too short");
+    assert!(cfg.head_dim.is_multiple_of(2), "head_dim must be even for RoPE");
+    assert!(
+        cfg.relevant_per_query < cfg.context_len,
+        "relevant_per_query must be below context_len"
+    );
+    let d = cfg.head_dim;
+    let rope = cfg.rope_theta.map(|t| Rope::new(d, t));
+
+    // Content mask: the low-frequency half of each rotary pair carries the
+    // cluster/relevance content; high-frequency dims carry filler.
+    let half = d / 2;
+    let low_start = half / 2; // pairs with index >= half/2 rotate slowly
+    let is_content_dim = |i: usize| -> bool {
+        let pair = i % half;
+        pair >= low_start
+    };
+
+    // Shared DC direction, confined to a *sparse* subset of content dims so
+    // the per-dimension offset is large — this is what skews sign-bit
+    // distributions the way real LLaMA keys are skewed (§5.4). It also
+    // survives RoPE (content dims rotate slowly).
+    let mut dc = vec![0.0f32; d];
+    let content_dims: Vec<usize> = (0..d).filter(|&i| is_content_dim(i)).collect();
+    let dc_support = (content_dims.len() / 4).max(1);
+    for _ in 0..dc_support {
+        let i = content_dims[rng.below(content_dims.len())];
+        dc[i] = rng.normal() as f32;
+    }
+    longsight_tensor::vecops::normalize_in_place(&mut dc);
+
+    // Cluster centers, in content dims.
+    let centers: Vec<Vec<f32>> = (0..cfg.clusters.max(1))
+        .map(|_| {
+            let mut c = vec![0.0f32; d];
+            for (i, v) in c.iter_mut().enumerate() {
+                if is_content_dim(i) {
+                    *v = rng.normal() as f32 * 0.5;
+                }
+            }
+            c
+        })
+        .collect();
+
+    // Keys: DC + cluster + spread noise (content dims) + filler (other dims),
+    // then RoPE by absolute position. Pre-RoPE copies are kept to build
+    // queries that target specific keys.
+    let mut pre_keys = FlatVecs::with_capacity(d, cfg.context_len);
+    let mut keys = FlatVecs::with_capacity(d, cfg.context_len);
+    let mut values = FlatVecs::with_capacity(d, cfg.context_len);
+    for pos in 0..cfg.context_len {
+        let cluster = rng.below(centers.len());
+        let mut k = vec![0.0f32; d];
+        for (i, v) in k.iter_mut().enumerate() {
+            if is_content_dim(i) {
+                *v = cfg.dc_magnitude * dc[i]
+                    + centers[cluster][i]
+                    + cfg.cluster_spread * rng.normal() as f32;
+            } else {
+                *v = 0.6 * rng.normal() as f32;
+            }
+        }
+        pre_keys.push(&k);
+        if let Some(r) = &rope {
+            r.apply_in_place(&mut k, pos);
+        }
+        keys.push(&k);
+        // Values: cluster-correlated plus noise, so attention outputs carry
+        // signal about which keys were selected.
+        let v: Vec<f32> = (0..d)
+            .map(|i| centers[cluster][i] + 0.3 * rng.normal() as f32)
+            .collect();
+        values.push(&v);
+    }
+
+    // Query probes: each targets `relevant_per_query` past keys — a few
+    // recent, the rest spread over the whole history (long-range retrieval).
+    let mut queries = Vec::with_capacity(cfg.queries);
+    for _ in 0..cfg.queries {
+        let position = cfg.context_len;
+        let mut relevant = Vec::with_capacity(cfg.relevant_per_query);
+        while relevant.len() < cfg.relevant_per_query {
+            let idx = if rng.coin(0.25) {
+                // Recent token.
+                position - 1 - rng.below(64.min(position))
+            } else {
+                rng.below(position)
+            };
+            if !relevant.contains(&idx) {
+                relevant.push(idx);
+            }
+        }
+        relevant.sort_unstable();
+
+        let mut q = vec![0.0f32; d];
+        // Content: the (pre-RoPE) sum of relevant keys' content components.
+        // Full weight per key (not the mean): each relevant key's individual
+        // within-cluster component must stand out over cross-correlation
+        // noise from the other keys, which dilution would destroy.
+        for &ri in &relevant {
+            let k = pre_keys.get(ri);
+            for (i, v) in q.iter_mut().enumerate() {
+                if is_content_dim(i) {
+                    *v += k[i];
+                }
+            }
+        }
+        for (i, v) in q.iter_mut().enumerate() {
+            if is_content_dim(i) {
+                *v = cfg.relevance_strength * *v + 0.2 * rng.normal() as f32;
+            } else {
+                *v = 0.6 * rng.normal() as f32;
+            }
+        }
+        if let Some(r) = &rope {
+            r.apply_in_place(&mut q, position);
+        }
+        queries.push(QueryProbe {
+            position,
+            q,
+            relevant,
+        });
+    }
+
+    HeadTrace {
+        keys,
+        values,
+        queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsight_tensor::vecops;
+
+    fn small_cfg() -> TraceConfig {
+        TraceConfig {
+            head_dim: 64,
+            context_len: 2048,
+            clusters: 16,
+            queries: 8,
+            ..TraceConfig::llama_like(64, 2048)
+        }
+    }
+
+    #[test]
+    fn trace_has_requested_shape() {
+        let mut rng = SimRng::seed_from(1);
+        let t = generate_head_trace(&small_cfg(), &mut rng);
+        assert_eq!(t.len(), 2048);
+        assert_eq!(t.queries.len(), 8);
+        assert_eq!(t.queries[0].relevant.len(), 4);
+        assert!(t.queries[0].relevant.iter().all(|&i| i < 2048));
+    }
+
+    #[test]
+    fn relevant_keys_score_higher_than_average() {
+        let mut rng = SimRng::seed_from(2);
+        let t = generate_head_trace(&small_cfg(), &mut rng);
+        for probe in &t.queries {
+            let scores: Vec<f32> = t.keys.iter().map(|k| vecops::dot(&probe.q, k)).collect();
+            let mean: f32 = scores.iter().sum::<f32>() / scores.len() as f32;
+            let rel_mean: f32 = probe.relevant.iter().map(|&i| scores[i]).sum::<f32>()
+                / probe.relevant.len() as f32;
+            assert!(
+                rel_mean > mean,
+                "relevant keys should outscore the average: {rel_mean} vs {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truth_relevant_dominate_topk() {
+        // The engineered relevance must be strong enough that exact top-k
+        // retrieval finds a large share of the ground truth — otherwise the
+        // recall experiments would be measuring noise.
+        let mut rng = SimRng::seed_from(3);
+        let t = generate_head_trace(&small_cfg(), &mut rng);
+        let mut total_hits = 0usize;
+        let mut total_rel = 0usize;
+        for probe in &t.queries {
+            let scores: Vec<f32> = t.keys.iter().map(|k| vecops::dot(&probe.q, k)).collect();
+            let top = longsight_tensor::top_k_indices(&scores, 128);
+            total_hits += probe.relevant.iter().filter(|i| top.contains(i)).count();
+            total_rel += probe.relevant.len();
+        }
+        let recall = total_hits as f64 / total_rel as f64;
+        assert!(recall > 0.5, "oracle top-128 recall of ground truth too low: {recall}");
+    }
+
+    #[test]
+    fn dc_offset_skews_sign_bits() {
+        // With a strong DC component, some dimensions have heavily imbalanced
+        // sign bits across keys — the pathology ITQ corrects.
+        let mut rng = SimRng::seed_from(4);
+        let t = generate_head_trace(&small_cfg(), &mut rng);
+        let d = 64;
+        let mut max_imbalance = 0.0f64;
+        for dim in 0..d {
+            let neg = t.keys.iter().filter(|k| k[dim] < 0.0).count();
+            let frac = neg as f64 / t.len() as f64;
+            max_imbalance = max_imbalance.max((frac - 0.5).abs());
+        }
+        assert!(
+            max_imbalance > 0.25,
+            "expected strongly imbalanced sign dimensions, max imbalance {max_imbalance}"
+        );
+    }
+
+    #[test]
+    fn no_rope_keeps_content_dims_static() {
+        let mut rng = SimRng::seed_from(5);
+        let mut cfg = small_cfg();
+        cfg.rope_theta = None;
+        let t = generate_head_trace(&cfg, &mut rng);
+        assert_eq!(t.len(), cfg.context_len);
+    }
+}

@@ -1,0 +1,208 @@
+//! Decoder-only transformer forward pass with pluggable attention.
+
+use crate::attention::{AttentionBackend, AttentionRequest};
+use crate::kv::KvCache;
+use crate::layers::{rmsnorm, swiglu_ffn};
+use crate::weights::ModelWeights;
+use crate::{ModelConfig, Rope};
+use longsight_tensor::vecops;
+
+/// A transformer model ready for token-by-token (decode-style) inference.
+///
+/// The forward pass follows the Llama architecture (paper Fig 1): RMSNorm →
+/// GQA attention (+residual) → RMSNorm → SwiGLU FFN (+residual), with tied
+/// embedding/unembedding. The attention computation itself is delegated to an
+/// [`AttentionBackend`], which is how the dense baseline, the sliding-window
+/// baseline, and LongSight's hybrid backend all run on the *same* model.
+///
+/// # Example
+///
+/// ```
+/// use longsight_model::{DenseBackend, Model, ModelConfig, ModelWeights};
+/// use longsight_tensor::SimRng;
+///
+/// let cfg = ModelConfig::tiny();
+/// let mut rng = SimRng::seed_from(0);
+/// let model = Model::new(ModelWeights::random(&cfg, &mut rng));
+/// let mut cache = model.new_cache();
+/// let logits = model.forward(3, 0, &mut cache, &mut DenseBackend::new());
+/// assert_eq!(logits.len(), cfg.vocab);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Model {
+    weights: ModelWeights,
+    rope: Rope,
+}
+
+impl Model {
+    /// Wraps a weight set for inference.
+    pub fn new(weights: ModelWeights) -> Self {
+        let rope = Rope::new(weights.config.head_dim, weights.config.rope_theta);
+        Self { weights, rope }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.weights.config
+    }
+
+    /// The underlying weights.
+    pub fn weights(&self) -> &ModelWeights {
+        &self.weights
+    }
+
+    /// Creates an empty KV cache shaped for this model.
+    pub fn new_cache(&self) -> KvCache {
+        let c = &self.weights.config;
+        KvCache::new(c.layers, c.kv_heads, c.head_dim)
+    }
+
+    /// Runs one token through the model, appending to `cache` and returning
+    /// the next-token logits.
+    ///
+    /// `pos` must equal `cache.seq_len()` — tokens are processed strictly in
+    /// order, decode style.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is out of vocabulary or `pos` is out of sync with
+    /// the cache.
+    pub fn forward(
+        &self,
+        token: u32,
+        pos: usize,
+        cache: &mut KvCache,
+        backend: &mut dyn AttentionBackend,
+    ) -> Vec<f32> {
+        let cfg = &self.weights.config;
+        assert!((token as usize) < cfg.vocab, "token {token} out of vocabulary");
+        assert_eq!(pos, cache.seq_len(), "position {pos} out of sync with cache");
+
+        let mut x: Vec<f32> = self.weights.embedding.row(token as usize).to_vec();
+        let scale = 1.0 / (cfg.head_dim as f32).sqrt();
+        let group = cfg.group_size();
+
+        for (layer_idx, lw) in self.weights.layers.iter().enumerate() {
+            let xn = rmsnorm(&x, &lw.attn_norm);
+
+            // Project and cache K/V for every KV head, then attend per group.
+            let mut attn_out = vec![0.0f32; cfg.hidden_dim()];
+            for kv_head in 0..cfg.kv_heads {
+                let mut k = lw.wk[kv_head].matvec(&xn);
+                let v = lw.wv[kv_head].matvec(&xn);
+                if lw.use_rope {
+                    self.rope.apply_in_place(&mut k, pos);
+                }
+                cache.head_mut(layer_idx, kv_head).push(&k, &v);
+            }
+            for kv_head in 0..cfg.kv_heads {
+                let queries: Vec<Vec<f32>> = (0..group)
+                    .map(|g| {
+                        let q_head = kv_head * group + g;
+                        let mut q = lw.wq[q_head].matvec(&xn);
+                        if lw.use_rope {
+                            self.rope.apply_in_place(&mut q, pos);
+                        }
+                        q
+                    })
+                    .collect();
+                let req = AttentionRequest {
+                    layer: layer_idx,
+                    kv_head,
+                    position: pos,
+                    queries: &queries,
+                    history: cache.head(layer_idx, kv_head),
+                    scale,
+                };
+                let outputs = backend.attend(&req);
+                assert_eq!(outputs.len(), group, "backend must return one output per query head");
+                for (g, o) in outputs.iter().enumerate() {
+                    let q_head = kv_head * group + g;
+                    // attn_out += Wo[q_head] · o
+                    let projected = lw.wo[q_head].matvec(o);
+                    vecops::axpy(1.0, &projected, &mut attn_out);
+                }
+            }
+            vecops::axpy(1.0, &attn_out, &mut x);
+
+            let xn2 = rmsnorm(&x, &lw.ffn_norm);
+            let ffn = swiglu_ffn(&xn2, &lw.w_gate, &lw.w_up, &lw.w_down);
+            vecops::axpy(1.0, &ffn, &mut x);
+        }
+
+        let final_x = rmsnorm(&x, &self.weights.final_norm);
+        self.weights.embedding.matvec(&final_x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::{DenseBackend, SlidingWindowBackend};
+    use crate::weights::{InductionParams, ModelWeights};
+    use longsight_tensor::SimRng;
+
+    #[test]
+    fn forward_is_deterministic() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SimRng::seed_from(5);
+        let model = Model::new(ModelWeights::random(&cfg, &mut rng));
+        let run = || {
+            let mut cache = model.new_cache();
+            let mut backend = DenseBackend::new();
+            let mut out = Vec::new();
+            for (pos, tok) in [1u32, 2, 3, 4].iter().enumerate() {
+                out = model.forward(*tok, pos, &mut cache, &mut backend);
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cache_grows_one_token_per_forward() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SimRng::seed_from(6);
+        let model = Model::new(ModelWeights::random(&cfg, &mut rng));
+        let mut cache = model.new_cache();
+        let mut backend = DenseBackend::new();
+        for pos in 0..5 {
+            model.forward(pos as u32 % 4, pos, &mut cache, &mut backend);
+            assert_eq!(cache.seq_len(), pos + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sync")]
+    fn out_of_order_position_panics() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SimRng::seed_from(7);
+        let model = Model::new(ModelWeights::random(&cfg, &mut rng));
+        let mut cache = model.new_cache();
+        let mut backend = DenseBackend::new();
+        model.forward(0, 3, &mut cache, &mut backend);
+    }
+
+    #[test]
+    fn window_backend_equals_dense_for_short_sequences() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SimRng::seed_from(8);
+        let model = Model::new(ModelWeights::induction(
+            &cfg,
+            &InductionParams::default(),
+            &mut rng,
+        ));
+        let tokens = [1u32, 5, 9, 1, 5];
+        let mut c1 = model.new_cache();
+        let mut c2 = model.new_cache();
+        let mut dense = DenseBackend::new();
+        let mut window = SlidingWindowBackend::new(64, 0);
+        for (pos, &t) in tokens.iter().enumerate() {
+            let a = model.forward(t, pos, &mut c1, &mut dense);
+            let b = model.forward(t, pos, &mut c2, &mut window);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

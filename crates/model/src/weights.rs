@@ -1,0 +1,507 @@
+//! Model weights, including the hand-constructed induction-head transformer.
+//!
+//! # Why constructed weights?
+//!
+//! We do not ship Llama checkpoints (see `DESIGN.md`). For the *quality*
+//! experiments (paper Figs 3, 4, 10) the model must genuinely depend on
+//! long-range context — otherwise "perplexity within 5 % of dense" is
+//! trivially satisfied by any sparse method and the experiments are vacuous.
+//!
+//! [`ModelWeights::induction`] builds a transformer that implements the
+//! classic *induction head* circuit by construction:
+//!
+//! * **Layer 0** — previous-token heads. Queries and keys read a direction
+//!   shared by all token embeddings, so the pre-RoPE key is (nearly) a
+//!   constant vector; the query is that vector rotated by −1 positions, so
+//!   after RoPE the score peaks at relative distance −1. The value path
+//!   copies the *current* token's identity through an orthonormal projection
+//!   `P`, and the output projection writes it into a dedicated residual
+//!   subspace `B` (columns of an orthonormal `T`).
+//! * **Layers ≥ 1** — induction heads (NoPE: RoPE disabled for these layers,
+//!   as in production interleaved-NoPE models, so content matching is
+//!   position-invariant). Keys read the `B` subspace (i.e. "the token before
+//!   me was X"), queries read the current token identity, so position `s`
+//!   scores highly when `token[s−1] == token[t]`. The value returns token
+//!   `s`'s identity and the output projection writes it back into embedding
+//!   space — predicting that the current token will be followed by whatever
+//!   followed its previous occurrence.
+//!
+//! On corpora with repeated motifs (see [`crate::corpus`]) this yields a model
+//! whose loss *depends on retrieving a handful of distant keys with high
+//! dot-product similarity* — exactly the regime LongSight exploits (§4).
+//! The shared embedding direction also gives keys the strong DC component /
+//! clustering that makes raw sign bits ineffective and ITQ valuable (§5.4).
+
+use crate::{ModelConfig, Rope};
+use longsight_tensor::{linalg, Matrix, SimRng};
+
+/// Weights of one decoder layer, stored per attention head.
+#[derive(Debug, Clone)]
+pub struct LayerWeights {
+    /// Query projections, one `head_dim × hidden` matrix per query head.
+    pub wq: Vec<Matrix>,
+    /// Key projections, one `head_dim × hidden` matrix per KV head.
+    pub wk: Vec<Matrix>,
+    /// Value projections, one `head_dim × hidden` matrix per KV head.
+    pub wv: Vec<Matrix>,
+    /// Output projections, one `hidden × head_dim` matrix per query head
+    /// (their sum over heads is the usual `W_O`).
+    pub wo: Vec<Matrix>,
+    /// SwiGLU gate projection (`ffn_dim × hidden`).
+    pub w_gate: Matrix,
+    /// SwiGLU up projection (`ffn_dim × hidden`).
+    pub w_up: Matrix,
+    /// SwiGLU down projection (`hidden × ffn_dim`).
+    pub w_down: Matrix,
+    /// Pre-attention RMSNorm gain.
+    pub attn_norm: Vec<f32>,
+    /// Pre-FFN RMSNorm gain.
+    pub ffn_norm: Vec<f32>,
+    /// Whether RoPE is applied to this layer's queries and keys.
+    pub use_rope: bool,
+}
+
+/// Full model weights.
+#[derive(Debug, Clone)]
+pub struct ModelWeights {
+    /// Architecture this weight set was built for.
+    pub config: ModelConfig,
+    /// Token embedding table (`vocab × hidden`); also used (tied) as the
+    /// unembedding.
+    pub embedding: Matrix,
+    /// Final RMSNorm gain.
+    pub final_norm: Vec<f32>,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+}
+
+/// Tunable constants of the induction construction.
+#[derive(Debug, Clone)]
+pub struct InductionParams {
+    /// Weight of the shared embedding direction `u` (the DC component).
+    pub common_weight: f32,
+    /// Weight of the per-token identity component.
+    pub identity_weight: f32,
+    /// Softmax sharpness of the previous-token heads.
+    pub prev_sharpness: f32,
+    /// Softmax sharpness of the induction heads.
+    pub induction_sharpness: f32,
+    /// Output gain of the induction write-back into embedding space.
+    pub induction_gain: f32,
+    /// DC offset injected into induction-layer keys (reading the shared
+    /// direction `u`). This reproduces the strong anisotropy of real LLaMA
+    /// keys that defeats raw sign-concordance filtering (§5.4); it is nearly
+    /// constant across positions, so it barely affects score *ranking*.
+    pub key_dc: f32,
+    /// DC offset injected into induction-layer *queries*, along the same
+    /// per-head direction as `key_dc`. When queries and keys share a strong
+    /// common component, the DC-dominated dimensions always agree and carry
+    /// no filtering information — the sign-capacity loss ITQ repairs.
+    pub query_dc: f32,
+    /// Power-law exponent of the per-dimension content spectrum of the
+    /// induction K/Q projections: dimension `i` is scaled by `(i+1)^-p`.
+    /// Real LLaMA K/Q representations concentrate score-relevant variance in
+    /// a few directions; with a noise floor underneath ([`Self::kq_noise`]),
+    /// the low-variance dimensions' sign bits become coin flips — raw SCF
+    /// loses discrimination while dot-product ranking (driven by the
+    /// high-variance dims) is barely affected. ITQ re-spreads the signal
+    /// across all sign bits.
+    pub content_spectrum_power: f32,
+    /// Independent noise added to the induction K/Q projections, relative to
+    /// the content entry scale (the per-dimension noise floor).
+    pub kq_noise: f32,
+    /// Magnitude of the random FFN path (small, so it adds realism without
+    /// destroying the circuit).
+    pub ffn_gain: f32,
+    /// Magnitude of dense random noise added to every projection.
+    pub weight_noise: f32,
+}
+
+impl Default for InductionParams {
+    fn default() -> Self {
+        Self {
+            common_weight: 0.8,
+            identity_weight: 1.0,
+            prev_sharpness: 16.0,
+            induction_sharpness: 8.0,
+            induction_gain: 1.5,
+            key_dc: 0.2,
+            query_dc: 0.0,
+            content_spectrum_power: 0.5,
+            kq_noise: 0.25,
+            ffn_gain: 0.02,
+            weight_noise: 0.02,
+        }
+    }
+}
+
+impl ModelWeights {
+    /// Fully random (untrained) weights with `1/sqrt(fan_in)` scaling.
+    ///
+    /// Useful for smoke tests and for exercising code paths where prediction
+    /// quality is irrelevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn random(config: &ModelConfig, rng: &mut SimRng) -> Self {
+        config.validate().expect("invalid model config");
+        let h = config.hidden_dim();
+        let d = config.head_dim;
+        let scale_h = 1.0 / (h as f32).sqrt();
+        let scale_f = 1.0 / (config.ffn_dim as f32).sqrt();
+        let layers = (0..config.layers)
+            .map(|_| {
+                let mut mk = |rows: usize, cols: usize, s: f32| {
+                    let mut m = Matrix::random_gaussian(rows, cols, rng);
+                    m.scale_in_place(s);
+                    m
+                };
+                LayerWeights {
+                    wq: (0..config.q_heads).map(|_| mk(d, h, scale_h)).collect(),
+                    wk: (0..config.kv_heads).map(|_| mk(d, h, scale_h)).collect(),
+                    wv: (0..config.kv_heads).map(|_| mk(d, h, scale_h)).collect(),
+                    wo: (0..config.q_heads)
+                        .map(|_| mk(h, d, 1.0 / (d as f32).sqrt()))
+                        .collect(),
+                    w_gate: mk(config.ffn_dim, h, scale_h),
+                    w_up: mk(config.ffn_dim, h, scale_h),
+                    w_down: mk(h, config.ffn_dim, scale_f),
+                    attn_norm: vec![1.0; h],
+                    ffn_norm: vec![1.0; h],
+                    use_rope: true,
+                }
+            })
+            .collect();
+        let mut embedding = Matrix::random_gaussian(config.vocab, h, rng);
+        embedding.scale_in_place(scale_h);
+        Self {
+            config: config.clone(),
+            embedding,
+            final_norm: vec![1.0; h],
+            layers,
+        }
+    }
+
+    /// Hand-constructed induction-head transformer (see module docs).
+    ///
+    /// Layer 0 hosts previous-token heads (RoPE on); all later layers host
+    /// induction heads (RoPE off). With a single-layer config the model
+    /// cannot implement induction and degenerates to previous-token
+    /// attention only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn induction(config: &ModelConfig, params: &InductionParams, rng: &mut SimRng) -> Self {
+        config.validate().expect("invalid model config");
+        let h = config.hidden_dim();
+        let d = config.head_dim;
+        let rope = Rope::new(d, config.rope_theta);
+        let inv_sqrt_h = 1.0 / (h as f32).sqrt();
+
+        // Per-KV-head orthonormal projections: P (identity readout) and
+        // T (the residual subspace layer 0 writes and later layers read),
+        // plus the shared DC direction u as the first basis column. A single
+        // orthonormal basis keeps them all *exactly* mutually orthogonal:
+        // the DC component then cannot pollute identity matching, which is
+        // what limits the circuit's retrieval margin.
+        let basis_cols = 2 * d * config.kv_heads + 1;
+        assert!(
+            basis_cols <= h,
+            "induction construction needs hidden_dim >= 2 * head_dim * kv_heads + 1 \
+             ({} > {})",
+            basis_cols,
+            h
+        );
+        let big = orthonormal_columns(h, basis_cols, rng);
+        let u: Vec<f32> = big.col(0);
+        let p_proj: Vec<Matrix> = (0..config.kv_heads)
+            .map(|j| slice_columns(&big, 1 + 2 * d * j, d))
+            .collect();
+        let t_proj: Vec<Matrix> = (0..config.kv_heads)
+            .map(|j| slice_columns(&big, 1 + 2 * d * j + d, d))
+            .collect();
+
+        // Embeddings: e_v = common·u + identity·η_v, with |η_v| ≈ 1.
+        let embedding = {
+            let mut e = Matrix::zeros(config.vocab, h);
+            for v in 0..config.vocab {
+                let eta = rng.normal_vec(h);
+                for (val, (&uc, &nc)) in e.row_mut(v).iter_mut().zip(u.iter().zip(&eta)) {
+                    *val = params.common_weight * uc + params.identity_weight * nc * inv_sqrt_h;
+                }
+            }
+            e
+        };
+
+        let mut layers = Vec::with_capacity(config.layers);
+        for layer in 0..config.layers {
+            let lw = if layer == 0 {
+                Self::build_prev_token_layer(config, params, &rope, &u, &p_proj, &t_proj, rng)
+            } else {
+                Self::build_induction_layer(config, params, &u, &p_proj, &t_proj, rng)
+            };
+            layers.push(lw);
+        }
+
+        Self {
+            config: config.clone(),
+            embedding,
+            final_norm: vec![1.0; h],
+            layers,
+        }
+    }
+
+    fn build_prev_token_layer(
+        config: &ModelConfig,
+        params: &InductionParams,
+        rope: &Rope,
+        u: &[f32],
+        p_proj: &[Matrix],
+        t_proj: &[Matrix],
+        rng: &mut SimRng,
+    ) -> LayerWeights {
+        let h = config.hidden_dim();
+        let d = config.head_dim;
+        let g = config.group_size();
+        // RMSNormed inputs have |x̂| = sqrt(h); u·x̂ ≈ sqrt(h)·cos(u, x).
+        // Normalize so the key magnitude is O(1).
+        let read_u_scale = 1.0 / (h as f32).sqrt();
+
+        let mut wk = Vec::with_capacity(config.kv_heads);
+        let mut wv = Vec::with_capacity(config.kv_heads);
+        let mut wq = Vec::with_capacity(config.q_heads);
+        let mut wo = Vec::with_capacity(config.q_heads);
+        // Concentrate key energy in the highest-frequency RoPE pairs: the dot
+        // product as a function of relative distance is a sum of cosines
+        // weighted by per-pair energy, and only fast-rotating pairs give a
+        // sharp peak at distance −1 (slow pairs barely move per token). Using
+        // the top three frequencies suppresses the aliasing a single cosine
+        // would have.
+        let n_freq_pairs = 3.min(d / 2);
+        for j in 0..config.kv_heads {
+            // Base key direction for this head.
+            let mut k0 = vec![0.0f32; d];
+            for p in 0..n_freq_pairs {
+                k0[p] = rng.normal() as f32;
+                k0[p + d / 2] = rng.normal() as f32;
+            }
+            longsight_tensor::vecops::normalize_in_place(&mut k0);
+            // Key: k = k0 · (u·x̂) · read_u_scale  →  Wk = k0 ⊗ u · scale.
+            let wk_j = outer(&k0, u, read_u_scale);
+            wk.push(add_noise(wk_j, params.weight_noise, rng));
+            // Value: current token identity through P_j.
+            let wv_j = p_proj[j].transpose();
+            wv.push(add_noise(wv_j, params.weight_noise, rng));
+            // Queries: q0 = R_{-1} k0, sharpened.
+            let mut q0 = k0.clone();
+            rope.apply_signed(&mut q0, -1.0);
+            for _ in 0..g {
+                let wq_i = outer(&q0, u, read_u_scale * params.prev_sharpness * d as f32);
+                wq.push(add_noise(wq_i, params.weight_noise, rng));
+                // Output: write the (previous token's) identity into T_j.
+                // Divide by the group size since every query head in the
+                // group writes the same content.
+                let mut wo_i = t_proj[j].clone();
+                wo_i.scale_in_place(1.0 / g as f32);
+                wo.push(add_noise(wo_i, params.weight_noise, rng));
+            }
+        }
+        Self::finish_layer(config, params, wq, wk, wv, wo, true, rng)
+    }
+
+    fn build_induction_layer(
+        config: &ModelConfig,
+        params: &InductionParams,
+        u: &[f32],
+        p_proj: &[Matrix],
+        t_proj: &[Matrix],
+        rng: &mut SimRng,
+    ) -> LayerWeights {
+        let h = config.hidden_dim();
+        let d = config.head_dim;
+        let g = config.group_size();
+        let n_induction = (config.layers - 1).max(1) as f32;
+        let read_u_scale = 1.0 / (h as f32).sqrt();
+        let mut wk = Vec::with_capacity(config.kv_heads);
+        let mut wv = Vec::with_capacity(config.kv_heads);
+        let mut wq = Vec::with_capacity(config.q_heads);
+        let mut wo = Vec::with_capacity(config.q_heads);
+        // Per-dimension content spectrum: score-relevant variance decays as
+        // (i+1)^-p, reproducing the anisotropy of real K/Q representations.
+        let spectrum: Vec<f32> = (0..d)
+            .map(|i| (i as f32 + 1.0).powf(-params.content_spectrum_power))
+            .collect();
+        // The K/Q content rows have orthonormal-scale entries (~1/sqrt(h));
+        // the noise floor is expressed relative to that scale.
+        let kq_noise = params.kq_noise.max(params.weight_noise);
+        for j in 0..config.kv_heads {
+            // Key: read the "previous token identity" subspace T_j through
+            // the content spectrum, plus a DC offset in a fixed direction b0
+            // driven by the (near-constant) u-component of the residual
+            // stream. The `d` factor brings the per-dimension offset to the
+            // same order as the content.
+            let mut b0 = rng.normal_vec(d);
+            longsight_tensor::vecops::normalize_in_place(&mut b0);
+            let wk_j = scale_rows(t_proj[j].transpose(), &spectrum)
+                .add(&outer(&b0, u, params.key_dc * read_u_scale * d as f32));
+            wk.push(add_noise(wk_j, kq_noise, rng));
+            // Value: current token identity (full rank — values are not
+            // spectrum-shaped).
+            wv.push(add_noise(p_proj[j].transpose(), params.weight_noise, rng));
+            for _ in 0..g {
+                // Query: current token identity, sharpened, optionally with
+                // a DC component along the head's key-DC direction. The
+                // query stays full-rank: ranking is an inner product against
+                // the spectrum-shaped keys, so the score margin survives
+                // while the keys' low-variance sign bits do not.
+                let base = p_proj[j]
+                    .transpose()
+                    .add(&outer(&b0, u, params.query_dc * read_u_scale));
+                // Noise goes in before the sharpness scale so the noise
+                // floor tracks the query magnitude (sign bits care about
+                // ratios, not absolute scale).
+                let mut wq_i = add_noise(base, params.weight_noise, rng);
+                wq_i.scale_in_place(params.induction_sharpness * d as f32);
+                wq.push(wq_i);
+                // Output: write the retrieved identity back into embedding
+                // space; compensate for the rank-d projection loss (h/d) and
+                // split across induction layers and group members.
+                let mut wo_i = p_proj[j].clone();
+                wo_i.scale_in_place(params.induction_gain * (h as f32 / d as f32) / (g as f32 * n_induction));
+                wo.push(add_noise(wo_i, params.weight_noise, rng));
+            }
+        }
+        Self::finish_layer(config, params, wq, wk, wv, wo, false, rng)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_layer(
+        config: &ModelConfig,
+        params: &InductionParams,
+        wq: Vec<Matrix>,
+        wk: Vec<Matrix>,
+        wv: Vec<Matrix>,
+        wo: Vec<Matrix>,
+        use_rope: bool,
+        rng: &mut SimRng,
+    ) -> LayerWeights {
+        let h = config.hidden_dim();
+        let scale_h = 1.0 / (h as f32).sqrt();
+        let scale_f = params.ffn_gain / (config.ffn_dim as f32).sqrt();
+        let mut w_gate = Matrix::random_gaussian(config.ffn_dim, h, rng);
+        w_gate.scale_in_place(scale_h);
+        let mut w_up = Matrix::random_gaussian(config.ffn_dim, h, rng);
+        w_up.scale_in_place(scale_h);
+        let mut w_down = Matrix::random_gaussian(h, config.ffn_dim, rng);
+        w_down.scale_in_place(scale_f);
+        LayerWeights {
+            wq,
+            wk,
+            wv,
+            wo,
+            w_gate,
+            w_up,
+            w_down,
+            attn_norm: vec![1.0; h],
+            ffn_norm: vec![1.0; h],
+            use_rope,
+        }
+    }
+}
+
+/// `out[r][c] = a[r] * b[c] * scale` — a rank-1 projection matrix.
+fn outer(a: &[f32], b: &[f32], scale: f32) -> Matrix {
+    Matrix::from_fn(a.len(), b.len(), |r, c| a[r] * b[c] * scale)
+}
+
+/// Scales row `r` of `m` by `scales[r]` (diagonal pre-multiplication).
+fn scale_rows(mut m: Matrix, scales: &[f32]) -> Matrix {
+    assert_eq!(m.rows(), scales.len(), "row-scale length mismatch");
+    for (r, &s) in scales.iter().enumerate() {
+        for v in m.row_mut(r) {
+            *v *= s;
+        }
+    }
+    m
+}
+
+fn add_noise(mut m: Matrix, noise: f32, rng: &mut SimRng) -> Matrix {
+    if noise > 0.0 {
+        let scale = noise / (m.cols() as f32).sqrt();
+        for v in m.data_mut() {
+            *v += rng.normal() as f32 * scale;
+        }
+    }
+    m
+}
+
+/// First `k` columns of a random h×h orthogonal matrix, as an `h × k` matrix.
+fn orthonormal_columns(h: usize, k: usize, rng: &mut SimRng) -> Matrix {
+    assert!(k <= h, "cannot have more orthonormal columns than dimensions");
+    let q = linalg::random_orthogonal(h, rng);
+    slice_columns(&q, 0, k)
+}
+
+/// Columns `[start, start+k)` of `m` as a new `rows × k` matrix.
+fn slice_columns(m: &Matrix, start: usize, k: usize) -> Matrix {
+    Matrix::from_fn(m.rows(), k, |r, c| m.get(r, start + c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_weights_have_expected_shapes() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SimRng::seed_from(1);
+        let w = ModelWeights::random(&cfg, &mut rng);
+        assert_eq!(w.layers.len(), cfg.layers);
+        let l = &w.layers[0];
+        assert_eq!(l.wq.len(), cfg.q_heads);
+        assert_eq!(l.wk.len(), cfg.kv_heads);
+        assert_eq!(l.wq[0].rows(), cfg.head_dim);
+        assert_eq!(l.wq[0].cols(), cfg.hidden_dim());
+        assert_eq!(l.wo[0].rows(), cfg.hidden_dim());
+        assert_eq!(l.wo[0].cols(), cfg.head_dim);
+        assert_eq!(w.embedding.rows(), cfg.vocab);
+    }
+
+    #[test]
+    fn induction_weights_rope_pattern() {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SimRng::seed_from(2);
+        let w = ModelWeights::induction(&cfg, &InductionParams::default(), &mut rng);
+        assert!(w.layers[0].use_rope, "layer 0 must use RoPE (prev-token head)");
+        for l in &w.layers[1..] {
+            assert!(!l.use_rope, "induction layers are NoPE");
+        }
+    }
+
+    #[test]
+    fn projection_subspaces_are_orthonormal() {
+        let mut rng = SimRng::seed_from(3);
+        let q = orthonormal_columns(32, 16, &mut rng);
+        assert!(linalg::orthogonality_error(&q) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden_dim >= 2 * head_dim * kv_heads")]
+    fn induction_rejects_too_narrow_models() {
+        // head_dim * kv_heads * 2 = 2*32*2 = 128 > hidden... craft one.
+        let cfg = ModelConfig {
+            name: "narrow",
+            layers: 2,
+            q_heads: 2,
+            kv_heads: 2,
+            head_dim: 32,
+            ffn_dim: 64,
+            vocab: 16,
+            rope_theta: 1e4,
+        }; // hidden = 64 < 128 required
+        let mut rng = SimRng::seed_from(4);
+        let _ = ModelWeights::induction(&cfg, &InductionParams::default(), &mut rng);
+    }
+}

@@ -1,0 +1,177 @@
+//! Diagnostic harness for the hand-constructed induction circuit.
+//!
+//! Run with `cargo test -p longsight-model --test circuit_diagnostics -- --nocapture`
+//! to print attention distributions layer by layer.
+
+use longsight_model::{
+    AttentionBackend, AttentionRequest, DenseBackend, InductionParams, Model, ModelConfig,
+    ModelWeights,
+};
+use longsight_tensor::{vecops, SimRng};
+
+/// A backend that wraps dense attention and records, per layer, the attention
+/// weight placed on each candidate for the most recent call.
+struct ProbeBackend {
+    inner: DenseBackend,
+    /// (layer, kv_head, position, weights over 0..=position) of the last call.
+    pub last: Vec<(usize, usize, usize, Vec<f32>)>,
+}
+
+impl ProbeBackend {
+    fn new() -> Self {
+        Self {
+            inner: DenseBackend::new(),
+            last: Vec::new(),
+        }
+    }
+}
+
+impl AttentionBackend for ProbeBackend {
+    fn attend(&mut self, req: &AttentionRequest<'_>) -> Vec<Vec<f32>> {
+        // Recompute the weights of query head 0 for inspection.
+        let q = &req.queries[0];
+        let mut scores: Vec<f32> = (0..=req.position)
+            .map(|i| vecops::dot(q, req.history.keys().get(i)) * req.scale)
+            .collect();
+        vecops::softmax_in_place(&mut scores);
+        self.last
+            .push((req.layer, req.kv_head, req.position, scores));
+        self.inner.attend(req)
+    }
+
+    fn label(&self) -> String {
+        "probe".into()
+    }
+}
+
+#[test]
+fn inspect_attention_patterns() {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(11);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+
+    // Sequence with an exact repeat: "A B C D E ... A B C D E".
+    // After the second 'A', induction should predict 'B'.
+    let motif: Vec<u32> = vec![10, 20, 30, 40, 50];
+    let mut tokens: Vec<u32> = motif.clone();
+    tokens.extend([70u32, 80, 90, 100, 110, 120, 130]);
+    tokens.extend(motif.clone());
+
+    let mut cache = model.new_cache();
+    let mut probe = ProbeBackend::new();
+    let mut logits = Vec::new();
+    for (pos, &t) in tokens.iter().enumerate() {
+        probe.last.clear();
+        logits = model.forward(t, pos, &mut cache, &mut probe);
+        if pos >= tokens.len() - motif.len() {
+            println!("== position {pos} (token {t}) ==");
+            for (layer, kv_head, p, w) in &probe.last {
+                if *kv_head != 0 {
+                    continue;
+                }
+                let amax = vecops::argmax(w).unwrap();
+                println!(
+                    "  layer {layer} kv0 pos {p}: argmax attn -> {amax} (w={:.3}), self w={:.3}, prev w={:.3}",
+                    w[amax],
+                    w[*p],
+                    if *p > 0 { w[*p - 1] } else { f32::NAN },
+                );
+            }
+            let lp = vecops::log_softmax(&logits);
+            let next = tokens.get(pos + 1).copied();
+            let top = vecops::argmax(&logits).unwrap();
+            println!(
+                "  predicted top token: {top}; target {:?} logprob {:.3}",
+                next,
+                next.map(|n| lp[n as usize]).unwrap_or(f32::NAN)
+            );
+        }
+    }
+    let _ = logits;
+}
+
+#[test]
+fn print_corpus_perplexity_breakdown() {
+    use longsight_model::{corpus, perplexity};
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(11);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), 512, &mut rng);
+    println!("predictable fraction: {:.3}", text.predictable_fraction());
+    let r = perplexity::evaluate(&model, &text, &mut DenseBackend::new(), 16);
+    println!(
+        "CE {:.3} (uniform {:.3}); predictable CE {:?}",
+        r.cross_entropy,
+        (cfg.vocab as f64).ln(),
+        r.predictable_cross_entropy
+    );
+}
+
+/// Measures the sign-bit geometry of layer-1 (induction) keys and queries:
+/// per-dimension imbalance and query/key concordance separation.
+#[test]
+fn print_sign_geometry() {
+    use longsight_model::KvCache;
+    use longsight_tensor::SignBits;
+
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(11);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+
+    struct Collect {
+        inner: DenseBackend,
+        queries: Vec<Vec<f32>>,
+    }
+    impl AttentionBackend for Collect {
+        fn attend(&mut self, req: &AttentionRequest<'_>) -> Vec<Vec<f32>> {
+            if req.layer == 1 && req.kv_head == 0 {
+                self.queries.push(req.queries[0].clone());
+            }
+            self.inner.attend(req)
+        }
+        fn label(&self) -> String { "collect".into() }
+    }
+
+    let mut cache: KvCache = model.new_cache();
+    let mut col = Collect { inner: DenseBackend::new(), queries: Vec::new() };
+    let tokens: Vec<u32> = (0..512).map(|_| rng.below(cfg.vocab) as u32).collect();
+    for (pos, &t) in tokens.iter().enumerate() {
+        model.forward(t, pos, &mut cache, &mut col);
+    }
+    let keys = cache.head(1, 0).keys();
+    let d = cfg.head_dim;
+    let mut worst_k = 0.0f64; let mut mean_k = 0.0f64;
+    for dim in 0..d {
+        let neg = keys.iter().filter(|k| k[dim] < 0.0).count();
+        let imb = (neg as f64 / keys.len() as f64 - 0.5).abs();
+        worst_k = worst_k.max(imb); mean_k += imb / d as f64;
+    }
+    let mut worst_q = 0.0f64; let mut mean_q = 0.0f64;
+    for dim in 0..d {
+        let neg = col.queries.iter().filter(|q| q[dim] < 0.0).count();
+        let imb = (neg as f64 / col.queries.len() as f64 - 0.5).abs();
+        worst_q = worst_q.max(imb); mean_q += imb / d as f64;
+    }
+    println!("key sign imbalance: mean {mean_k:.3} worst {worst_k:.3}");
+    println!("query sign imbalance: mean {mean_q:.3} worst {worst_q:.3}");
+
+    // Concordance separation: matching vs random key for late queries.
+    let q = &col.queries[400];
+    let qs = SignBits::from_slice(q);
+    let mut concs: Vec<u32> = (0..keys.len()).map(|i| qs.concordance(&SignBits::from_slice(keys.get(i)))).collect();
+    concs.sort_unstable();
+    println!("concordance percentiles: min {} p50 {} p90 {} max {}",
+        concs[0], concs[concs.len()/2], concs[concs.len()*9/10], concs[concs.len()-1]);
+}

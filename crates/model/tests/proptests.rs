@@ -1,0 +1,81 @@
+//! Property-based tests for the transformer substrate.
+
+use longsight_model::{
+    corpus, layers, DenseBackend, Model, ModelConfig, ModelWeights, Rope, SlidingWindowBackend,
+};
+use longsight_tensor::{vecops, SimRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RoPE preserves vector norms at every position.
+    #[test]
+    fn rope_is_an_isometry(pos in 0usize..200_000, seed in 0u64..500, half in 2usize..32) {
+        let dim = 2 * half;
+        let rope = Rope::new(dim, 500_000.0);
+        let mut rng = SimRng::seed_from(seed);
+        let v = rng.normal_vec(dim);
+        let r = rope.apply(&v, pos);
+        prop_assert!((vecops::l2_norm(&r) - vecops::l2_norm(&v)).abs() < 1e-3);
+    }
+
+    /// RoPE dot products depend only on relative position (the property the
+    /// KV cache relies on).
+    #[test]
+    fn rope_relative_invariance(base in 0usize..10_000, delta in 0usize..512, seed in 0u64..300) {
+        let rope = Rope::new(16, 10_000.0);
+        let mut rng = SimRng::seed_from(seed);
+        let q = rng.normal_vec(16);
+        let k = rng.normal_vec(16);
+        let d1 = vecops::dot(&rope.apply(&q, base + delta), &rope.apply(&k, base));
+        let d2 = vecops::dot(&rope.apply(&q, 5_000 + delta), &rope.apply(&k, 5_000));
+        let scale = vecops::l2_norm(&q) * vecops::l2_norm(&k);
+        prop_assert!((d1 - d2).abs() < 1e-3 * scale.max(1.0));
+    }
+
+    /// RMSNorm output always has unit RMS under unit gain.
+    #[test]
+    fn rmsnorm_normalizes(v in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+        let g = vec![1.0; v.len()];
+        let out = layers::rmsnorm(&v, &g);
+        let r = vecops::rms(&out, 0.0);
+        // eps guard allows a small departure for near-zero inputs.
+        prop_assert!(r <= 1.0 + 1e-4);
+        if vecops::l2_norm(&v) > 1.0 {
+            prop_assert!((r - 1.0).abs() < 1e-3);
+        }
+    }
+
+    /// Corpus generation: exact length, in-vocabulary, deterministic.
+    #[test]
+    fn corpus_invariants(len in 1usize..2_000, vocab in 8usize..512, seed in 0u64..500) {
+        let cfg = corpus::CorpusConfig::long_book(vocab);
+        let a = corpus::generate(&cfg, len, &mut SimRng::seed_from(seed));
+        let b = corpus::generate(&cfg, len, &mut SimRng::seed_from(seed));
+        prop_assert_eq!(a.tokens.len(), len);
+        prop_assert_eq!(a.predictable.len(), len);
+        prop_assert!(a.tokens.iter().all(|&t| (t as usize) < vocab));
+        prop_assert_eq!(a.tokens, b.tokens);
+    }
+
+    /// A sliding window covering the whole history is exactly dense — on a
+    /// real forward pass, for arbitrary short token sequences.
+    #[test]
+    fn full_window_forward_equals_dense(tokens in prop::collection::vec(0u32..64, 2..10), seed in 0u64..100) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = SimRng::seed_from(seed);
+        let model = Model::new(ModelWeights::random(&cfg, &mut rng));
+        let mut c1 = model.new_cache();
+        let mut c2 = model.new_cache();
+        let mut dense = DenseBackend::new();
+        let mut window = SlidingWindowBackend::new(1024, 0);
+        for (pos, &t) in tokens.iter().enumerate() {
+            let a = model.forward(t, pos, &mut c1, &mut dense);
+            let b = model.forward(t, pos, &mut c2, &mut window);
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert!((x - y).abs() < 1e-3);
+            }
+        }
+    }
+}

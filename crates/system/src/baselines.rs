@@ -1,0 +1,233 @@
+//! The paper's comparison systems (§8.2): 1/2-GPU dense serving, AttAcc-style
+//! GPU+PIM, and sliding-window attention.
+
+use crate::report::{Infeasible, ServingSystem, StepBreakdown, StepReport};
+use longsight_gpu::{decode_step, DataParallelGpus};
+use longsight_model::ModelConfig;
+
+/// Dense full attention on 1..N data-parallel GPUs.
+#[derive(Debug, Clone)]
+pub struct GpuOnlySystem {
+    /// The GPU group (weights replicated, users split).
+    pub gpus: DataParallelGpus,
+    /// Model served.
+    pub model: ModelConfig,
+}
+
+impl ServingSystem for GpuOnlySystem {
+    fn name(&self) -> String {
+        format!("{}-GPU dense", self.gpus.count)
+    }
+
+    fn evaluate(&mut self, users: usize, context: usize) -> Result<StepReport, Infeasible> {
+        if !self.gpus.fits(&self.model, users, context) {
+            return Err(Infeasible::GpuMemory);
+        }
+        let c = self.gpus.decode_step(&self.model, users, context, false, 0);
+        let breakdown = StepBreakdown {
+            gpu_weights_ns: c.weights_ns,
+            gpu_attention_ns: c.attention_ns,
+            ..Default::default()
+        };
+        Ok(StepReport::from_breakdown(users, context, breakdown))
+    }
+
+    fn max_users(&self, context: usize) -> usize {
+        // Largest batch whose dense KV caches fit.
+        let mut users = 0usize;
+        while self.gpus.fits(&self.model, users + 1, context) {
+            users += 1;
+            if users >= 4096 {
+                break;
+            }
+        }
+        users
+    }
+}
+
+/// Sliding-window (StreamingLLM-style) attention: KV beyond the window is
+/// evicted, so memory is context-independent — but so is what the model can
+/// see (the quality cost shows in Fig 10).
+#[derive(Debug, Clone)]
+pub struct SlidingWindowSystem {
+    /// The GPU group.
+    pub gpus: DataParallelGpus,
+    /// Model served.
+    pub model: ModelConfig,
+    /// Window size.
+    pub window: usize,
+    /// Attention-sink tokens.
+    pub sinks: usize,
+}
+
+impl ServingSystem for SlidingWindowSystem {
+    fn name(&self) -> String {
+        format!("sliding-window(W={})", self.window)
+    }
+
+    fn evaluate(&mut self, users: usize, context: usize) -> Result<StepReport, Infeasible> {
+        let attended = context.min(self.window + self.sinks);
+        // Only the window's KV is resident.
+        if !self.gpus.fits(&self.model, users, attended) {
+            return Err(Infeasible::GpuMemory);
+        }
+        let c = self.gpus.decode_step(&self.model, users, attended, false, 0);
+        let breakdown = StepBreakdown {
+            gpu_weights_ns: c.weights_ns,
+            gpu_attention_ns: c.attention_ns,
+            ..Default::default()
+        };
+        Ok(StepReport::from_breakdown(users, context, breakdown))
+    }
+
+    fn max_users(&self, context: usize) -> usize {
+        let attended = context.min(self.window + self.sinks);
+        let mut users = 0usize;
+        while self.gpus.fits(&self.model, users + 1, attended) {
+            users += 1;
+            if users >= 4096 {
+                break;
+            }
+        }
+        users
+    }
+}
+
+/// AttAcc-style GPU + HBM-PIM system: the GPU runs the compute-bound stages
+/// while bank-level PIM units execute *dense* attention at internal DRAM
+/// bandwidth. Dense attention remains linear in context — the PIM only
+/// raises the bandwidth roof (§3.2).
+#[derive(Debug, Clone)]
+pub struct AttAccSystem {
+    /// The host GPU (weights/FFN) — also hosts the PIM-enabled HBM.
+    pub gpus: DataParallelGpus,
+    /// Model served.
+    pub model: ModelConfig,
+    /// Aggregate internal PIM bandwidth, bytes/ns (≈4× external HBM).
+    pub pim_bytes_per_ns: f64,
+}
+
+impl AttAccSystem {
+    /// The configuration used in the paper's comparison: one H100 with
+    /// bank-level PIM at 4× the external bandwidth.
+    pub fn h100_pim(model: ModelConfig) -> Self {
+        let gpus = DataParallelGpus::new(longsight_gpu::GpuSpec::h100_sxm(), 1);
+        let pim = gpus.spec.hbm_bytes_per_ns * 4.0;
+        Self {
+            gpus,
+            model,
+            pim_bytes_per_ns: pim,
+        }
+    }
+}
+
+impl ServingSystem for AttAccSystem {
+    fn name(&self) -> String {
+        "AttAcc (GPU+PIM)".into()
+    }
+
+    fn evaluate(&mut self, users: usize, context: usize) -> Result<StepReport, Infeasible> {
+        if !self.gpus.fits(&self.model, users, context) {
+            return Err(Infeasible::GpuMemory);
+        }
+        let per_gpu_users = self.gpus.users_per_gpu(users);
+        // GPU: weight-streaming only (attention is in PIM).
+        let c = decode_step(&self.gpus.spec, &self.model, per_gpu_users, 0, false, 0);
+        // PIM: stream each user's full KV cache through the in-bank MACs.
+        let kv_bytes =
+            per_gpu_users as f64 * context as f64 * self.model.kv_bytes_per_token() as f64;
+        let pim_ns = kv_bytes / self.pim_bytes_per_ns;
+        // NeuPIMs/AttAcc pipeline GPU and PIM stages across the batch: the
+        // step is bounded by the slower side plus a handoff overhead.
+        let handoff_ns = 2.0 * self.gpus.spec.launch_ns * self.model.layers as f64;
+        let step = c.weights_ns.max(pim_ns) + handoff_ns;
+        let breakdown = StepBreakdown {
+            gpu_weights_ns: c.weights_ns.min(step - handoff_ns),
+            gpu_attention_ns: (pim_ns - c.weights_ns).max(0.0),
+            gpu_merge_ns: handoff_ns,
+            ..Default::default()
+        };
+        Ok(StepReport::from_breakdown(users, context, breakdown))
+    }
+
+    fn max_users(&self, context: usize) -> usize {
+        let mut users = 0usize;
+        while self.gpus.fits(&self.model, users + 1, context) {
+            users += 1;
+            if users >= 4096 {
+                break;
+            }
+        }
+        users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use longsight_gpu::GpuSpec;
+
+    fn one_gpu(model: ModelConfig) -> GpuOnlySystem {
+        GpuOnlySystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+            model,
+        }
+    }
+
+    #[test]
+    fn dense_gpu_rejects_oversized_context() {
+        let mut s = one_gpu(ModelConfig::llama3_8b());
+        assert_eq!(s.evaluate(1, 1 << 20).unwrap_err(), Infeasible::GpuMemory);
+        assert!(s.evaluate(1, 32_768).is_ok());
+    }
+
+    #[test]
+    fn two_gpus_double_max_users() {
+        let one = one_gpu(ModelConfig::llama3_8b());
+        let two = GpuOnlySystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 2),
+            model: ModelConfig::llama3_8b(),
+        };
+        let ctx = 65_536;
+        assert_eq!(two.max_users(ctx), 2 * one.max_users(ctx));
+    }
+
+    #[test]
+    fn sliding_window_cost_is_context_independent() {
+        let mut s = SlidingWindowSystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+            model: ModelConfig::llama3_1b(),
+            window: 1024,
+            sinks: 16,
+        };
+        let short = s.evaluate(4, 8_192).unwrap();
+        let long = s.evaluate(4, 1 << 20).unwrap();
+        assert!((short.step_ns - long.step_ns).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attacc_beats_dense_gpu_at_long_context() {
+        let model = ModelConfig::llama3_8b();
+        let mut gpu = one_gpu(model.clone());
+        let mut attacc = AttAccSystem::h100_pim(model);
+        let ctx = 131_072;
+        let g = gpu.evaluate(1, ctx).unwrap();
+        let a = attacc.evaluate(1, ctx).unwrap();
+        assert!(
+            a.step_ns < g.step_ns,
+            "PIM attention should beat GPU dense attention at 128K: {} vs {}",
+            a.step_ns,
+            g.step_ns
+        );
+    }
+
+    #[test]
+    fn attacc_is_still_linear_in_context() {
+        // Once the PIM side dominates (large batch), dense attention cost
+        // still grows linearly with context — PIM only raises the roof.
+        let mut attacc = AttAccSystem::h100_pim(ModelConfig::llama3_1b());
+        let a = attacc.evaluate(8, 65_536).unwrap();
+        let b = attacc.evaluate(8, 262_144).unwrap();
+        assert!(b.step_ns > 2.0 * a.step_ns, "{} vs {}", b.step_ns, a.step_ns);
+    }
+}

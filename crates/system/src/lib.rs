@@ -1,0 +1,36 @@
+//! End-to-end serving simulation for LongSight and the paper's baselines.
+//!
+//! * [`LongSightSystem`] — GPU + DReX hybrid attention pipeline with
+//!   window/offload overlap, NMA contention, CXL polling and value reads,
+//! * [`GpuOnlySystem`] — dense attention on 1..N data-parallel GPUs,
+//! * [`AttAccSystem`] — GPU + HBM-PIM dense-attention offload,
+//! * [`SlidingWindowSystem`] — StreamingLLM-style window attention,
+//!
+//! all behind the [`ServingSystem`] trait, which yields the throughput /
+//! per-token-latency / breakdown rows of the paper's Figs 7–9.
+//!
+//! # Example
+//!
+//! ```
+//! use longsight_system::{LongSightConfig, LongSightSystem, ServingSystem};
+//! use longsight_model::ModelConfig;
+//!
+//! let mut s = LongSightSystem::new(LongSightConfig::paper_default(), ModelConfig::llama3_1b());
+//! let report = s.evaluate(4, 131_072)?;
+//! println!("{:.1} tok/s at {:.2} ms/token", report.throughput_tps, report.latency_ms());
+//! # Ok::<(), longsight_system::Infeasible>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+mod longsight;
+pub mod prefill;
+pub mod serving;
+mod report;
+pub mod slo;
+
+pub use baselines::{AttAccSystem, GpuOnlySystem, SlidingWindowSystem};
+pub use longsight::{LongSightConfig, LongSightSystem, OffloadProfile};
+pub use report::{Infeasible, ServingSystem, StepBreakdown, StepReport};

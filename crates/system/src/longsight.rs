@@ -1,0 +1,527 @@
+//! The LongSight serving system: GPU + DReX collaborative hybrid attention
+//! (paper §6, Fig 2b).
+//!
+//! Per decode step, per layer: the GPU writes a Request Descriptor into the
+//! DCC queue, performs dense attention over the sliding window while DReX
+//! filters/scores/ranks the long-range keys, polls for completion, reads the
+//! top-k values over CXL, and finishes with a single softmax + SV merge.
+//! The dense window attention *overlaps* the offload; whichever is slower
+//! paces the layer.
+
+use crate::report::{Infeasible, ServingSystem, StepBreakdown, StepReport};
+use longsight_core::HybridConfig;
+use longsight_cxl::CxlLink;
+use longsight_drex::layout::{self, MAX_CONTEXT_SLICE_KEYS};
+use longsight_drex::{time_slice_offload, DccSim, DrexParams, HeadOffloadSpec, REQUEST_QUEUE_DEPTH};
+use longsight_dram::Geometry;
+use longsight_gpu::{decode_step, GpuSpec};
+use longsight_model::ModelConfig;
+
+/// Configuration of a LongSight deployment: one GPU + one DReX unit.
+#[derive(Debug, Clone)]
+pub struct LongSightConfig {
+    /// The GPU.
+    pub gpu: GpuSpec,
+    /// DReX hardware parameters.
+    pub drex: DrexParams,
+    /// DReX memory geometry.
+    pub geometry: Geometry,
+    /// CXL link between GPU and DReX.
+    pub link: CxlLink,
+    /// Hybrid attention parameters (window, sinks, k).
+    pub hybrid: HybridConfig,
+    /// Expected non-window KV-cache filter ratio achieved by tuned SCF
+    /// thresholds (the paper measures ≈20× on average, §8.2).
+    pub filter_ratio: f64,
+}
+
+impl LongSightConfig {
+    /// The paper's system: H100 + DReX, W = 1024, 16 sinks, k = 1024,
+    /// 20× filter ratio.
+    pub fn paper_default() -> Self {
+        Self {
+            gpu: GpuSpec::h100_sxm(),
+            drex: DrexParams::paper(),
+            geometry: Geometry::drex(),
+            link: CxlLink::pcie5_x16(),
+            hybrid: HybridConfig::paper_default(),
+            filter_ratio: 20.0,
+        }
+    }
+}
+
+/// Detailed timing of one DReX offload under load (drives Fig 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffloadProfile {
+    /// PFU filtering, ns.
+    pub filter_ns: f64,
+    /// Bitmap reads, ns.
+    pub bitmap_ns: f64,
+    /// Address generation, ns.
+    pub addr_gen_ns: f64,
+    /// Key fetch + dot-product, ns.
+    pub fetch_score_ns: f64,
+    /// Top-k ranking, ns.
+    pub topk_ns: f64,
+    /// Waiting for a free NMA (multi-user contention), ns.
+    pub queue_wait_ns: f64,
+    /// Polling + top-k value transfer over CXL, ns.
+    pub value_cxl_ns: f64,
+}
+
+impl OffloadProfile {
+    /// Total observed offload latency.
+    pub fn total_ns(&self) -> f64 {
+        self.filter_ns
+            + self.bitmap_ns
+            + self.addr_gen_ns
+            + self.fetch_score_ns
+            + self.topk_ns
+            + self.queue_wait_ns
+            + self.value_cxl_ns
+    }
+}
+
+/// The LongSight serving system.
+#[derive(Debug, Clone)]
+pub struct LongSightSystem {
+    /// Deployment configuration.
+    pub config: LongSightConfig,
+    /// Model served.
+    pub model: ModelConfig,
+}
+
+impl LongSightSystem {
+    /// Creates the system.
+    pub fn new(config: LongSightConfig, model: ModelConfig) -> Self {
+        Self { config, model }
+    }
+
+    /// The sparse (offloaded) region size for a context length.
+    fn region(&self, context: usize) -> usize {
+        context.saturating_sub(self.config.hybrid.window + self.config.hybrid.sinks)
+    }
+
+    /// Times one layer's DReX offloads for a batch and returns
+    /// `(last-user observed completion ns, profile of the last user)`.
+    pub fn drex_layer(&self, users: usize, context: usize) -> (f64, OffloadProfile) {
+        let cfg = &self.config;
+        let region = self.region(context);
+        let kv = self.model.kv_heads;
+        let d = self.model.head_dim;
+        let k = cfg.hybrid.top_k;
+        let group = self.model.group_size();
+
+        if region == 0 || users == 0 {
+            return (
+                0.0,
+                OffloadProfile {
+                    filter_ns: 0.0,
+                    bitmap_ns: 0.0,
+                    addr_gen_ns: 0.0,
+                    fetch_score_ns: 0.0,
+                    topk_ns: 0.0,
+                    queue_wait_ns: 0.0,
+                    value_cxl_ns: 0.0,
+                },
+            );
+        }
+
+        let survivors_total = ((region as f64 / cfg.filter_ratio) as usize).min(region);
+        let spec = HeadOffloadSpec {
+            context_len: region,
+            head_dim: d,
+            queries: group,
+            k: k.min(region),
+            survivors: survivors_total,
+        };
+
+        // Distinct slice shapes: full slices plus one remainder.
+        let slices = region.div_ceil(MAX_CONTEXT_SLICE_KEYS);
+        let full_keys = region.min(MAX_CONTEXT_SLICE_KEYS);
+        let rem_keys = region - (slices - 1) * MAX_CONTEXT_SLICE_KEYS;
+        let surv = |keys: usize| -> usize {
+            ((survivors_total as f64) * keys as f64 / region as f64).round() as usize
+        };
+        let t_full = time_slice_offload(&cfg.drex, &spec, full_keys, surv(full_keys).min(full_keys), 17)
+            .total_ns();
+        let t_rem = if rem_keys == full_keys {
+            t_full
+        } else {
+            time_slice_offload(&cfg.drex, &spec, rem_keys, surv(rem_keys).min(rem_keys), 18).total_ns()
+        };
+
+        // Schedule every user's slices on the NMA pool.
+        let mut dcc = DccSim::new(cfg.drex.clone(), cfg.link.clone(), cfg.geometry.packages);
+        let desc_bytes = 8 + self.model.q_heads * d * 2;
+        let submit = cfg.link.descriptor_submit_ns(desc_bytes);
+        // Response Descriptor: "a list of 1,024 × H top Keys and Values"
+        // (§7.3.1) — k entries per KV head, shared by the GQA group.
+        let response_bytes = kv * k.min(region) * (d * 2 + 8);
+
+        let mut last_done = 0.0f64;
+        let mut last_wait = 0.0f64;
+        for u in 0..users {
+            let mut works = Vec::with_capacity(kv * slices);
+            for h in 0..kv {
+                for s in 0..slices {
+                    let pkg = (u * kv + h + s * kv) % cfg.geometry.packages;
+                    let dur = if s + 1 == slices { t_rem } else { t_full };
+                    works.push((pkg, dur));
+                }
+            }
+            let (done, wait) = dcc.schedule_slices(submit, &works);
+            if done >= last_done {
+                last_done = done;
+                last_wait = wait;
+            }
+        }
+
+        let ready_rel = last_done;
+        let value_cxl = cfg.link.polled_completion_ns(ready_rel) - ready_rel
+            + cfg.link.transfer_ns(response_bytes);
+        let observed = ready_rel + value_cxl;
+
+        // Decompose the critical chain's device time for the profile.
+        let chain = time_slice_offload(&cfg.drex, &spec, full_keys, surv(full_keys).min(full_keys), 17);
+        let profile = OffloadProfile {
+            filter_ns: chain.filter_ns,
+            bitmap_ns: chain.bitmap_ns,
+            addr_gen_ns: chain.addr_gen_ns,
+            fetch_score_ns: chain.fetch_score_ns,
+            topk_ns: chain.topk_ns,
+            queue_wait_ns: last_wait + submit,
+            value_cxl_ns: value_cxl,
+        };
+        (observed, profile)
+    }
+
+    /// Times one layer's offloads for a *heterogeneous* batch — one context
+    /// length per user (paper §7.3.3: "LongSight does not statically
+    /// allocate equal context lengths to all users"). Returns the last
+    /// user's observed completion.
+    pub fn drex_layer_mixed(&self, contexts: &[usize]) -> f64 {
+        let cfg = &self.config;
+        let kv = self.model.kv_heads;
+        let d = self.model.head_dim;
+        let group = self.model.group_size();
+        let mut dcc = DccSim::new(cfg.drex.clone(), cfg.link.clone(), cfg.geometry.packages);
+        let desc_bytes = 8 + self.model.q_heads * d * 2;
+        let submit = cfg.link.descriptor_submit_ns(desc_bytes);
+
+        // Cache per-(keys, survivors) slice durations: users share shapes.
+        let mut cache: Vec<(usize, usize, f64)> = Vec::new();
+        let mut slice_time = |keys: usize, survivors: usize| -> f64 {
+            if let Some(&(_, _, t)) = cache
+                .iter()
+                .find(|&&(k0, s0, _)| k0 == keys && s0 == survivors)
+            {
+                return t;
+            }
+            let spec = HeadOffloadSpec {
+                context_len: keys,
+                head_dim: d,
+                queries: group,
+                k: cfg.hybrid.top_k.min(keys.max(1)),
+                survivors,
+            };
+            let t = time_slice_offload(&cfg.drex, &spec, keys, survivors, 23).total_ns();
+            cache.push((keys, survivors, t));
+            t
+        };
+
+        let mut last_done = 0.0f64;
+        for (u, &ctx) in contexts.iter().enumerate() {
+            let region = self.region(ctx);
+            if region == 0 {
+                continue;
+            }
+            let survivors_total = ((region as f64 / cfg.filter_ratio) as usize).min(region);
+            let slices = region.div_ceil(MAX_CONTEXT_SLICE_KEYS);
+            let mut works = Vec::with_capacity(kv * slices);
+            let mut remaining = region;
+            for s in 0..slices {
+                let keys = remaining.min(MAX_CONTEXT_SLICE_KEYS);
+                remaining -= keys;
+                let survivors =
+                    ((survivors_total as f64) * keys as f64 / region as f64).round() as usize;
+                let dur = slice_time(keys, survivors.min(keys));
+                for h in 0..kv {
+                    let pkg = (u * kv + h + s * kv) % cfg.geometry.packages;
+                    works.push((pkg, dur));
+                }
+            }
+            let (done, _) = dcc.schedule_slices(submit, &works);
+            let response_bytes =
+                kv * cfg.hybrid.top_k.min(region) * (d * 2 + 8);
+            let observed = done + cfg.link.polled_completion_ns(done) - done
+                + cfg.link.transfer_ns(response_bytes);
+            last_done = last_done.max(observed);
+        }
+        last_done
+    }
+
+    /// Evaluates one decode step for a heterogeneous batch (one context per
+    /// user). Throughput counts every user once per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first capacity violation.
+    pub fn evaluate_mixed(&mut self, contexts: &[usize]) -> Result<StepReport, Infeasible> {
+        let cfg = &self.config;
+        let users = contexts.len();
+        if users > REQUEST_QUEUE_DEPTH {
+            return Err(Infeasible::QueueDepth);
+        }
+        let resident = cfg.hybrid.window + cfg.hybrid.sinks;
+        if !longsight_gpu::fits_in_hbm(&cfg.gpu, &self.model, users, resident) {
+            return Err(Infeasible::GpuMemory);
+        }
+        // DReX capacity: sum of per-user footprints.
+        let per_token = longsight_drex::layout::ObjectFootprint::for_keys(1, self.model.head_dim)
+            .total()
+            * self.model.kv_heads
+            * self.model.layers;
+        let total: usize = contexts.iter().map(|&c| self.region(c) * per_token).sum();
+        if total > cfg.geometry.total_bytes() {
+            return Err(Infeasible::DrexMemory);
+        }
+
+        let layers = self.model.layers as f64;
+        let max_region = contexts.iter().map(|&c| self.region(c)).max().unwrap_or(0);
+        let k_merged = if max_region > 0 {
+            cfg.hybrid.top_k.min(max_region)
+        } else {
+            0
+        };
+        let gpu = decode_step(
+            &cfg.gpu,
+            &self.model,
+            users,
+            resident.min(contexts.iter().copied().max().unwrap_or(0)),
+            true,
+            k_merged,
+        );
+        let drex_layer_ns = self.drex_layer_mixed(contexts);
+
+        let gpu_serial_layer = (gpu.weights_ns + gpu.itq_ns + gpu.merge_ns) / layers;
+        let attn_layer = gpu.attention_ns / layers;
+        let overlap = attn_layer.max(drex_layer_ns);
+        let step_ns = (gpu_serial_layer + overlap) * layers;
+        let drex_visible = (drex_layer_ns - attn_layer).max(0.0) * layers;
+        let breakdown = StepBreakdown {
+            gpu_weights_ns: gpu.weights_ns,
+            gpu_attention_ns: attn_layer.min(overlap) * layers,
+            gpu_merge_ns: gpu.itq_ns + gpu.merge_ns,
+            drex_offload_ns: drex_visible * 0.7,
+            cxl_ns: drex_visible * 0.3,
+        };
+        let _ = step_ns;
+        let avg_ctx = contexts.iter().sum::<usize>() / users.max(1);
+        Ok(StepReport::from_breakdown(users, avg_ctx, breakdown))
+    }
+
+    /// Maximum users limited by DReX capacity and queue depth.
+    pub fn drex_max_users(&self, context: usize) -> usize {
+        let region = self.region(context).max(1);
+        let cap = layout::max_users(
+            &self.config.geometry,
+            self.model.kv_heads,
+            self.model.layers,
+            self.model.head_dim,
+            region,
+        );
+        cap.min(REQUEST_QUEUE_DEPTH)
+    }
+}
+
+impl ServingSystem for LongSightSystem {
+    fn name(&self) -> String {
+        "LongSight".into()
+    }
+
+    fn evaluate(&mut self, users: usize, context: usize) -> Result<StepReport, Infeasible> {
+        let cfg = &self.config;
+        let resident = (cfg.hybrid.window + cfg.hybrid.sinks).min(context);
+        if users > REQUEST_QUEUE_DEPTH {
+            return Err(Infeasible::QueueDepth);
+        }
+        if !longsight_gpu::fits_in_hbm(&cfg.gpu, &self.model, users, resident) {
+            return Err(Infeasible::GpuMemory);
+        }
+        if self.drex_max_users(context) < users {
+            return Err(Infeasible::DrexMemory);
+        }
+
+        let layers = self.model.layers as f64;
+        let k_merged = if self.region(context) > 0 {
+            cfg.hybrid.top_k.min(self.region(context))
+        } else {
+            0
+        };
+        let gpu = decode_step(&cfg.gpu, &self.model, users, resident, true, k_merged);
+        let (drex_layer_ns, _) = self.drex_layer(users, context);
+
+        // Per layer: serial GPU work, then window attention overlapped with
+        // the offload.
+        let gpu_serial_layer = (gpu.weights_ns + gpu.itq_ns + gpu.merge_ns) / layers;
+        let attn_layer = gpu.attention_ns / layers;
+        let overlap = attn_layer.max(drex_layer_ns);
+        let step_ns = (gpu_serial_layer + overlap) * layers;
+
+        // Breakdown: attention is visible up to the overlap; any remainder
+        // is DReX wait (device + CXL attributed proportionally).
+        let drex_visible = (drex_layer_ns - attn_layer).max(0.0) * layers;
+        let breakdown = StepBreakdown {
+            gpu_weights_ns: gpu.weights_ns,
+            gpu_attention_ns: attn_layer.min(overlap) * layers,
+            gpu_merge_ns: gpu.itq_ns + gpu.merge_ns,
+            drex_offload_ns: drex_visible * 0.7,
+            cxl_ns: drex_visible * 0.3,
+        };
+        // Note: breakdown components are constructed to sum to step_ns.
+        debug_assert!((breakdown.total_ns() - step_ns).abs() < 1e-3 * step_ns.max(1.0));
+        Ok(StepReport::from_breakdown(users, context, breakdown))
+    }
+
+    fn max_users(&self, context: usize) -> usize {
+        let resident = (self.config.hybrid.window + self.config.hybrid.sinks).min(context);
+        let mut users = 0usize;
+        let cap = self.drex_max_users(context);
+        while users < cap
+            && longsight_gpu::fits_in_hbm(&self.config.gpu, &self.model, users + 1, resident)
+        {
+            users += 1;
+            if users >= REQUEST_QUEUE_DEPTH {
+                break;
+            }
+        }
+        users
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(model: ModelConfig) -> LongSightSystem {
+        LongSightSystem::new(LongSightConfig::paper_default(), model)
+    }
+
+    #[test]
+    fn supports_one_million_token_context() {
+        // Headline: 1 GPU + 1 DReX serves 1M-token contexts for both models.
+        for model in [ModelConfig::llama3_1b(), ModelConfig::llama3_8b()] {
+            let mut s = system(model);
+            let r = s.evaluate(1, 1 << 20).expect("1M context must be feasible");
+            assert!(r.step_ns > 0.0);
+            assert!(s.max_users(1 << 20) >= 1);
+        }
+    }
+
+    #[test]
+    fn offload_scales_sublinearly_with_context() {
+        let s = system(ModelConfig::llama3_8b());
+        let (t32, _) = s.drex_layer(1, 32_768);
+        let (t256, _) = s.drex_layer(1, 262_144);
+        assert!(t256 < 8.0 * t32, "8x context must cost < 8x: {t32} -> {t256}");
+        assert!(t256 > t32);
+    }
+
+    #[test]
+    fn value_transfer_dominates_short_contexts() {
+        // Fig 8: short contexts are bottlenecked by value reads over CXL.
+        let s = system(ModelConfig::llama3_8b());
+        let (_, p) = s.drex_layer(1, 8_192);
+        assert!(
+            p.value_cxl_ns > p.fetch_score_ns,
+            "value CXL {} should dominate fetch {} at 8K",
+            p.value_cxl_ns,
+            p.fetch_score_ns
+        );
+        // And the dot-product share grows with context.
+        let (_, p2) = s.drex_layer(1, 1 << 20);
+        assert!(p2.fetch_score_ns > p.fetch_score_ns * 10.0);
+    }
+
+    #[test]
+    fn multi_user_contention_appears_beyond_nma_count() {
+        let s = system(ModelConfig::llama3_8b());
+        let (_, p1) = s.drex_layer(1, 131_072);
+        let (_, p64) = s.drex_layer(64, 131_072);
+        assert!(
+            p64.queue_wait_ns > p1.queue_wait_ns,
+            "64 users must queue: {} vs {}",
+            p64.queue_wait_ns,
+            p1.queue_wait_ns
+        );
+    }
+
+    #[test]
+    fn serves_more_users_than_dense_gpu_at_long_context() {
+        let model = ModelConfig::llama3_8b();
+        let mut ls = system(model.clone());
+        let dense = crate::baselines::GpuOnlySystem {
+            gpus: longsight_gpu::DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+            model,
+        };
+        let ctx = 131_072;
+        use crate::report::ServingSystem as _;
+        assert!(ls.max_users(ctx) > dense.max_users(ctx));
+        let _ = ls.evaluate(4, ctx).unwrap();
+    }
+
+    #[test]
+    fn throughput_saturates_with_users() {
+        // Fig 7: throughput plateaus once DReX is the bottleneck.
+        let mut s = system(ModelConfig::llama3_1b());
+        let ctx = 262_144;
+        let cap = s.max_users(ctx).min(256);
+        let mid = s.evaluate((cap / 2).max(1), ctx).unwrap();
+        let full = s.evaluate(cap, ctx).unwrap();
+        let gain = full.throughput_tps / mid.throughput_tps;
+        assert!(gain < 2.0, "doubling users near saturation must not double throughput (gain {gain})");
+        assert!(full.throughput_tps >= mid.throughput_tps * 0.8);
+    }
+
+    #[test]
+    fn mixed_batch_matches_uniform_when_contexts_equal() {
+        let mut s = system(ModelConfig::llama3_8b());
+        let uniform = s.evaluate(4, 131_072).unwrap();
+        let mixed = s.evaluate_mixed(&[131_072; 4]).unwrap();
+        let rel = (mixed.step_ns - uniform.step_ns).abs() / uniform.step_ns;
+        assert!(
+            rel < 0.05,
+            "uniform-context mixed batch should match evaluate(): {} vs {}",
+            mixed.step_ns,
+            uniform.step_ns
+        );
+    }
+
+    #[test]
+    fn mixed_batch_is_paced_by_the_longest_context() {
+        let mut s = system(ModelConfig::llama3_8b());
+        let short = s.evaluate_mixed(&[32_768; 4]).unwrap();
+        let skewed = s.evaluate_mixed(&[32_768, 32_768, 32_768, 524_288]).unwrap();
+        assert!(
+            skewed.step_ns > short.step_ns,
+            "one long-context user must slow the synchronized step"
+        );
+    }
+
+    #[test]
+    fn mixed_batch_capacity_uses_summed_footprints() {
+        let mut s = system(ModelConfig::llama3_8b());
+        // 3 users at 1M fit (max_users(1M) >= 3)…
+        assert!(s.evaluate_mixed(&[1 << 20; 3]).is_ok());
+        // …but 5 do not.
+        assert!(s.evaluate_mixed(&[1 << 20; 5]).is_err());
+    }
+
+    #[test]
+    fn breakdown_sums_to_step() {
+        let mut s = system(ModelConfig::llama3_8b());
+        let r = s.evaluate(8, 131_072).unwrap();
+        assert!((r.breakdown.total_ns() - r.step_ns).abs() < 1e-3 * r.step_ns);
+    }
+}

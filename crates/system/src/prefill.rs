@@ -1,0 +1,124 @@
+//! Prefill-stage modeling (paper §6).
+//!
+//! During prefill the GPU builds the KV cache with matrix–matrix work (high
+//! throughput); once the staging threshold is reached it prepares Key Sign
+//! Objects, Key Objects, and Value Objects in groups of 128 and writes them
+//! to DReX — "object preparation and transfer are handled by separate GPU
+//! kernels that execute off the critical path of the Prefill stage". The
+//! paper's evaluation excludes prefill (§8.1.2); this model exists to check
+//! that the off-critical-path claim holds: DReX population bandwidth must
+//! keep up with prefill compute.
+
+use longsight_cxl::CxlLink;
+use longsight_gpu::GpuSpec;
+use longsight_model::ModelConfig;
+use longsight_tensor::SignBits;
+
+/// Cost of prefilling one user's prompt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefillCost {
+    /// GPU compute time (projections, attention, FFN over the prompt), ns.
+    pub gpu_ns: f64,
+    /// Time to prepare and push KV objects to DReX over CXL, ns.
+    pub kv_write_ns: f64,
+    /// End-to-end prefill latency with write/compute overlap, ns.
+    pub total_ns: f64,
+}
+
+impl PrefillCost {
+    /// Whether DReX population stayed off the critical path.
+    pub fn write_hidden(&self) -> bool {
+        self.kv_write_ns <= self.gpu_ns
+    }
+}
+
+/// Models prefill of `prompt` tokens for one user, with `window` tokens
+/// retained in HBM (everything older is flushed to DReX in 128-KV groups).
+pub fn prefill_cost(
+    gpu: &GpuSpec,
+    link: &CxlLink,
+    cfg: &ModelConfig,
+    prompt: usize,
+    window: usize,
+) -> PrefillCost {
+    // GPU compute: 2 flops per parameter per token, plus quadratic attention
+    // (flash-style streaming, compute-bound in prefill).
+    let h = cfg.hidden_dim() as f64;
+    let params = cfg.layers as f64
+        * (h * h + 2.0 * cfg.kv_dim() as f64 * h + h * h + 3.0 * cfg.ffn_dim as f64 * h);
+    let proj_flops = 2.0 * params * prompt as f64;
+    let attn_flops = cfg.layers as f64
+        * 2.0
+        * 2.0
+        * cfg.q_heads as f64
+        * cfg.head_dim as f64
+        * (prompt as f64 * prompt as f64 / 2.0);
+    let weight_bytes = params * 2.0;
+    let gpu_ns = gpu.op_ns(proj_flops + attn_flops, weight_bytes);
+
+    // KV objects flushed to DReX: everything beyond the window, in blocks of
+    // 128, each carrying keys + values + sign objects.
+    let flushed = prompt.saturating_sub(window);
+    let per_token = cfg.kv_bytes_per_token() // BF16 K+V across layers/heads
+        + cfg.layers * cfg.kv_heads * SignBits::storage_bytes(cfg.head_dim);
+    let blocks = flushed.div_ceil(128);
+    let bytes = flushed * per_token;
+    // Each block is one bulk CXL write; base latencies pipeline across
+    // blocks, so cost ≈ bandwidth term + one latency per in-flight batch.
+    let kv_write_ns = if flushed == 0 {
+        0.0
+    } else {
+        bytes as f64 / link.bandwidth_gbps + link.base_latency_ns * (blocks as f64).min(8.0)
+    };
+
+    PrefillCost {
+        gpu_ns,
+        kv_write_ns,
+        total_ns: gpu_ns.max(kv_write_ns),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_stay_off_critical_path_for_long_prompts() {
+        // The paper's design premise: object preparation/transfer hides
+        // behind prefill compute.
+        let gpu = GpuSpec::h100_sxm();
+        let link = CxlLink::pcie5_x16();
+        for cfg in [ModelConfig::llama3_1b(), ModelConfig::llama3_8b()] {
+            for prompt in [16_384usize, 131_072, 1 << 20] {
+                let c = prefill_cost(&gpu, &link, &cfg, prompt, 1024);
+                assert!(
+                    c.write_hidden(),
+                    "{} at {prompt}: writes {} ns exceed compute {} ns",
+                    cfg.name,
+                    c.kv_write_ns,
+                    c.gpu_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_scales_superlinearly_with_prompt() {
+        let gpu = GpuSpec::h100_sxm();
+        let link = CxlLink::pcie5_x16();
+        let cfg = ModelConfig::llama3_8b();
+        let a = prefill_cost(&gpu, &link, &cfg, 32_768, 1024);
+        let b = prefill_cost(&gpu, &link, &cfg, 131_072, 1024);
+        assert!(b.gpu_ns > 4.0 * a.gpu_ns, "quadratic attention term must show");
+    }
+
+    #[test]
+    fn short_prompts_write_nothing() {
+        let gpu = GpuSpec::h100_sxm();
+        let link = CxlLink::pcie5_x16();
+        let cfg = ModelConfig::llama3_1b();
+        let c = prefill_cost(&gpu, &link, &cfg, 512, 1024);
+        assert_eq!(c.kv_write_ns, 0.0);
+        assert_eq!(c.total_ns, c.gpu_ns);
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared serving-performance report types.
+
+/// Per-token latency breakdown of one decode step (Fig 9's categories).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StepBreakdown {
+    /// GPU weight-streaming work (projections + FFN), ns.
+    pub gpu_weights_ns: f64,
+    /// GPU dense (window or full) attention, ns — only the portion *not*
+    /// hidden behind the DReX offload.
+    pub gpu_attention_ns: f64,
+    /// GPU ITQ rotation + softmax/SV merge of retrieved results, ns.
+    pub gpu_merge_ns: f64,
+    /// DReX offload wait — device compute not hidden behind GPU work, ns.
+    pub drex_offload_ns: f64,
+    /// CXL value/descriptor transfer and polling, ns.
+    pub cxl_ns: f64,
+}
+
+impl StepBreakdown {
+    /// Total per-token latency.
+    pub fn total_ns(&self) -> f64 {
+        self.gpu_weights_ns
+            + self.gpu_attention_ns
+            + self.gpu_merge_ns
+            + self.drex_offload_ns
+            + self.cxl_ns
+    }
+}
+
+/// Result of evaluating one serving configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Concurrent users served.
+    pub users: usize,
+    /// Context length per user, tokens.
+    pub context: usize,
+    /// Per-token (per decode step) latency, ns.
+    pub step_ns: f64,
+    /// Aggregate decode throughput across all users, tokens/second.
+    pub throughput_tps: f64,
+    /// Latency breakdown.
+    pub breakdown: StepBreakdown,
+}
+
+impl StepReport {
+    /// Builds a report from a breakdown.
+    pub fn from_breakdown(users: usize, context: usize, breakdown: StepBreakdown) -> Self {
+        let step_ns = breakdown.total_ns();
+        Self {
+            users,
+            context,
+            step_ns,
+            throughput_tps: if step_ns > 0.0 {
+                users as f64 * 1e9 / step_ns
+            } else {
+                0.0
+            },
+            breakdown,
+        }
+    }
+
+    /// Per-user tokens/second (the "tokens per second per user" of §1).
+    pub fn tps_per_user(&self) -> f64 {
+        self.throughput_tps / self.users.max(1) as f64
+    }
+
+    /// Per-token latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.step_ns / 1e6
+    }
+}
+
+/// Why a configuration cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Infeasible {
+    /// KV cache + weights exceed GPU HBM.
+    GpuMemory,
+    /// Context does not fit the DReX device for this many users.
+    DrexMemory,
+    /// Batch exceeds the DCC request-queue depth (512).
+    QueueDepth,
+}
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Infeasible::GpuMemory => write!(f, "exceeds GPU HBM capacity"),
+            Infeasible::DrexMemory => write!(f, "exceeds DReX memory capacity"),
+            Infeasible::QueueDepth => write!(f, "exceeds DCC queue depth"),
+        }
+    }
+}
+
+/// A serving system that can be asked for a decode-step evaluation.
+pub trait ServingSystem {
+    /// Human-readable name for tables.
+    fn name(&self) -> String;
+
+    /// Evaluates one decode step at a batch of `users`, each with `context`
+    /// tokens of history.
+    ///
+    /// # Errors
+    ///
+    /// Returns the reason when the configuration cannot run.
+    fn evaluate(&mut self, users: usize, context: usize) -> Result<StepReport, Infeasible>;
+
+    /// Largest batch this system can serve at `context` (0 when even one
+    /// user is infeasible).
+    fn max_users(&self, context: usize) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_users_over_step() {
+        let b = StepBreakdown {
+            gpu_weights_ns: 1e6,
+            ..Default::default()
+        };
+        let r = StepReport::from_breakdown(10, 1024, b);
+        assert!((r.throughput_tps - 10.0 * 1e9 / 1e6).abs() < 1e-6);
+        assert!((r.tps_per_user() - 1000.0).abs() < 1e-9);
+        assert!((r.latency_ms() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = StepBreakdown {
+            gpu_weights_ns: 1.0,
+            gpu_attention_ns: 2.0,
+            gpu_merge_ns: 3.0,
+            drex_offload_ns: 4.0,
+            cxl_ns: 5.0,
+        };
+        assert_eq!(b.total_ns(), 15.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Service-Level-Objective analysis (paper §4 point 3, §9.1).
+//!
+//! Attention offloads sit on the critical path of token generation: at 100
+//! tokens/s with 32 layers, each layer has a budget of a few hundred
+//! microseconds. §9.1's claim is that LongSight "can maintain latency SLOs
+//! while increasing system throughput by serving more users concurrently";
+//! these helpers quantify that.
+
+use crate::report::ServingSystem;
+
+/// Result of an SLO capacity search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloCapacity {
+    /// Largest batch meeting the SLO (0 when even one user misses it).
+    pub users: usize,
+    /// Throughput at that batch, tokens/s.
+    pub throughput_tps: f64,
+    /// Per-token latency at that batch, ms.
+    pub latency_ms: f64,
+}
+
+/// Finds the largest user count whose per-token latency stays within
+/// `slo_ms`, by binary search over the feasible range.
+pub fn max_users_under_slo(
+    system: &mut dyn ServingSystem,
+    context: usize,
+    slo_ms: f64,
+) -> SloCapacity {
+    let cap = system.max_users(context);
+    if cap == 0 {
+        return SloCapacity {
+            users: 0,
+            throughput_tps: 0.0,
+            latency_ms: f64::INFINITY,
+        };
+    }
+    let meets = |sys: &mut dyn ServingSystem, users: usize| -> Option<(f64, f64)> {
+        sys.evaluate(users, context)
+            .ok()
+            .filter(|r| r.latency_ms() <= slo_ms)
+            .map(|r| (r.throughput_tps, r.latency_ms()))
+    };
+    // Latency is monotone in batch size for all systems here, so binary
+    // search applies.
+    let (mut lo, mut hi) = (0usize, cap);
+    let mut best = None;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        match meets(system, mid) {
+            Some(r) => {
+                best = Some((mid, r));
+                lo = mid;
+            }
+            None => hi = mid - 1,
+        }
+    }
+    match best {
+        Some((users, (tput, lat))) => SloCapacity {
+            users,
+            throughput_tps: tput,
+            latency_ms: lat,
+        },
+        None => SloCapacity {
+            users: 0,
+            throughput_tps: 0.0,
+            latency_ms: f64::INFINITY,
+        },
+    }
+}
+
+/// The per-layer attention latency budget implied by a generation rate
+/// (paper §4: ~"a few hundred microseconds" at 100 tok/s and 32 layers).
+pub fn per_layer_budget_ns(tokens_per_second: f64, layers: usize) -> f64 {
+    1e9 / tokens_per_second / layers as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::GpuOnlySystem;
+    use crate::longsight::{LongSightConfig, LongSightSystem};
+    use longsight_gpu::{DataParallelGpus, GpuSpec};
+    use longsight_model::ModelConfig;
+
+    #[test]
+    fn paper_example_budget() {
+        // 100 tok/s, 32 layers → 312.5 µs per layer.
+        let b = per_layer_budget_ns(100.0, 32);
+        assert!((b - 312_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn longsight_serves_more_users_under_slo_than_dense_gpu() {
+        let model = ModelConfig::llama3_8b();
+        let ctx = 131_072;
+        let slo_ms = 50.0;
+        let mut dense = GpuOnlySystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+            model: model.clone(),
+        };
+        let mut ls = LongSightSystem::new(LongSightConfig::paper_default(), model);
+        let d = max_users_under_slo(&mut dense, ctx, slo_ms);
+        let l = max_users_under_slo(&mut ls, ctx, slo_ms);
+        assert!(
+            l.users > d.users,
+            "LongSight should fit more users under a {slo_ms} ms SLO: {} vs {}",
+            l.users,
+            d.users
+        );
+        assert!(l.throughput_tps > d.throughput_tps);
+    }
+
+    #[test]
+    fn tighter_slo_means_fewer_users() {
+        let mut ls = LongSightSystem::new(
+            LongSightConfig::paper_default(),
+            ModelConfig::llama3_1b(),
+        );
+        let loose = max_users_under_slo(&mut ls, 131_072, 100.0);
+        let tight = max_users_under_slo(&mut ls, 131_072, 10.0);
+        assert!(tight.users <= loose.users);
+    }
+
+    #[test]
+    fn impossible_slo_returns_zero_users() {
+        let mut ls = LongSightSystem::new(
+            LongSightConfig::paper_default(),
+            ModelConfig::llama3_8b(),
+        );
+        let r = max_users_under_slo(&mut ls, 262_144, 1e-6);
+        assert_eq!(r.users, 0);
+        assert!(r.latency_ms.is_infinite());
+    }
+}

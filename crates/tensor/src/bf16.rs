@@ -1,0 +1,135 @@
+//! bfloat16 storage emulation.
+//!
+//! The paper's models store Keys and Values in BF16 (Table 1). The simulator
+//! computes in `f32` but models BF16 *storage*: rounding through [`Bf16`]
+//! reproduces the precision the NMA sees when it reads full-precision keys
+//! out of LPDDR, and `size_of::<Bf16>() == 2` drives the capacity math.
+
+/// A bfloat16 value: the top 16 bits of an IEEE-754 `f32`.
+///
+/// Conversion from `f32` uses round-to-nearest-even, matching hardware BF16
+/// conversion.
+///
+/// # Example
+///
+/// ```
+/// use longsight_tensor::Bf16;
+///
+/// let x = Bf16::from_f32(1.0);
+/// assert_eq!(x.to_f32(), 1.0);
+/// let y = Bf16::from_f32(1.0 + 1e-4); // below BF16 resolution near 1.0
+/// assert_eq!(y.to_f32(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Preserve NaN; set the quiet bit so truncation can't make an Inf.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts back to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+
+    /// Storage size in bytes (2). Named constant for capacity models.
+    pub const BYTES: usize = 2;
+}
+
+impl From<f32> for Bf16 {
+    fn from(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> Self {
+        x.to_f32()
+    }
+}
+
+impl std::fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Rounds every element of `v` through BF16 precision, in place.
+pub fn quantize_bf16_in_place(v: &mut [f32]) {
+    for x in v {
+        *x = Bf16::from_f32(*x).to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for &x in &[0.0f32, 1.0, -1.0, 0.5, -2.0, 256.0, 0.0078125, 65280.0] {
+            assert_eq!(Bf16::from_f32(x).to_f32(), x, "value {x} should be BF16-exact");
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1.0 = 0x3F80_0000. The BF16 ulp near 1.0 is 2^-7 = 0.0078125.
+        let ulp = 0.0078125f32;
+        // Exactly halfway rounds to even (here: down, since 0x3F80 is even).
+        let half = 1.0 + ulp / 2.0;
+        assert_eq!(Bf16::from_f32(half).to_f32(), 1.0);
+        // Just above halfway rounds up.
+        let above = f32::from_bits((1.0f32 + ulp / 2.0).to_bits() + 1);
+        assert_eq!(Bf16::from_f32(above).to_f32(), 1.0 + ulp);
+    }
+
+    #[test]
+    fn nan_stays_nan_and_inf_stays_inf() {
+        assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn relative_error_bounded_by_bf16_epsilon() {
+        // BF16 has 8 significand bits: relative error <= 2^-8 after RNE.
+        let mut x = 0.123456f32;
+        for _ in 0..100 {
+            let q = Bf16::from_f32(x).to_f32();
+            let rel = ((q - x) / x).abs();
+            assert!(rel <= 1.0 / 256.0, "rel err {rel} too large for {x}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn quantize_slice_in_place() {
+        let mut v = vec![1.0 + 1e-4, -3.0];
+        quantize_bf16_in_place(&mut v);
+        assert_eq!(v, vec![1.0, -3.0]);
+    }
+}

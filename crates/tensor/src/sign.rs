@@ -1,0 +1,155 @@
+//! Bit-packed sign vectors for Sign-Concordance Filtering.
+//!
+//! LongSight's PFUs operate on one-bit quantized keys: only the sign bit of
+//! each dimension is stored. [`SignBits`] packs those sign bits 64 per word
+//! so that the concordance count — `D − popcount(SQ ⊕ SK)` — is a handful of
+//! XOR and popcount instructions, exactly the operation the in-DRAM filter
+//! units implement.
+
+/// A bit-packed vector of sign bits.
+///
+/// Bit `i` is **1** when dimension `i` of the source vector is negative
+/// (`x < 0.0`), **0** otherwise. Zero is treated as non-negative, matching the
+/// paper's "sign bit of the full-precision representation" (IEEE-754 `+0.0`
+/// has sign bit 0).
+///
+/// # Example
+///
+/// ```
+/// use longsight_tensor::SignBits;
+///
+/// let q = SignBits::from_slice(&[1.0, -2.0, 3.0, -4.0]);
+/// let k = SignBits::from_slice(&[1.0, -2.0, -3.0, 4.0]);
+/// assert_eq!(q.concordance(&k), 2); // dims 0 and 1 agree
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SignBits {
+    dim: usize,
+    words: Vec<u64>,
+}
+
+impl SignBits {
+    /// Extracts the packed sign bits of `v`.
+    ///
+    /// `-0.0` and NaN compare as non-negative here: the bit is set only when
+    /// `x < 0.0`, so packing is a pure function of that comparison.
+    pub fn from_slice(v: &[f32]) -> Self {
+        let dim = v.len();
+        let mut packed = vec![0u64; dim.div_ceil(64)];
+        for (i, &x) in v.iter().enumerate() {
+            if x < 0.0 {
+                packed[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        Self { dim, words: packed }
+    }
+
+    /// Dimensionality of the source vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The packed words (little-bit-endian within each word).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Returns the sign bit of dimension `i` (`true` = negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= dim`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.dim, "sign bit index out of bounds");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Hamming distance: the number of dimensions whose signs **differ**.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn hamming(&self, other: &SignBits) -> u32 {
+        assert_eq!(self.dim, other.dim, "sign vector dimension mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Sign concordance: the number of dimensions whose signs **match**,
+    /// i.e. `D − hamming`. This is the quantity SCF thresholds.
+    pub fn concordance(&self, other: &SignBits) -> u32 {
+        self.dim as u32 - self.hamming(other)
+    }
+
+    /// Storage footprint in bytes when laid out in DRAM (one bit per
+    /// dimension, rounded up to whole bytes). Used by the DReX capacity model.
+    pub fn storage_bytes(dim: usize) -> usize {
+        dim.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_concordance(a: &[f32], b: &[f32]) -> u32 {
+        a.iter()
+            .zip(b)
+            .filter(|(x, y)| (**x < 0.0) == (**y < 0.0))
+            .count() as u32
+    }
+
+    #[test]
+    fn concordance_matches_naive_on_odd_dims() {
+        // 67 dims crosses a word boundary.
+        let a: Vec<f32> = (0..67).map(|i| ((i * 37) % 13) as f32 - 6.0).collect();
+        let b: Vec<f32> = (0..67).map(|i| ((i * 53) % 11) as f32 - 5.0).collect();
+        let sa = SignBits::from_slice(&a);
+        let sb = SignBits::from_slice(&b);
+        assert_eq!(sa.concordance(&sb), naive_concordance(&a, &b));
+        assert_eq!(sa.hamming(&sb) + sa.concordance(&sb), 67);
+    }
+
+    #[test]
+    fn identical_vectors_have_full_concordance() {
+        let v: Vec<f32> = (0..128).map(|i| (i as f32).sin()).collect();
+        let s = SignBits::from_slice(&v);
+        assert_eq!(s.concordance(&s), 128);
+        assert_eq!(s.hamming(&s), 0);
+    }
+
+    #[test]
+    fn negated_vector_has_zero_concordance_when_no_zeros() {
+        let v: Vec<f32> = (0..64).map(|i| (i as f32 + 0.5) * if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let neg: Vec<f32> = v.iter().map(|x| -x).collect();
+        let s = SignBits::from_slice(&v);
+        let sn = SignBits::from_slice(&neg);
+        assert_eq!(s.concordance(&sn), 0);
+    }
+
+    #[test]
+    fn zero_and_negative_zero_are_non_negative() {
+        let s = SignBits::from_slice(&[0.0, -0.0, -1.0]);
+        assert!(!s.bit(0));
+        assert!(!s.bit(1));
+        assert!(s.bit(2));
+    }
+
+    #[test]
+    fn storage_bytes_rounds_up() {
+        assert_eq!(SignBits::storage_bytes(64), 8);
+        assert_eq!(SignBits::storage_bytes(65), 9);
+        assert_eq!(SignBits::storage_bytes(128), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        let a = SignBits::from_slice(&[1.0; 4]);
+        let b = SignBits::from_slice(&[1.0; 5]);
+        let _ = a.concordance(&b);
+    }
+}

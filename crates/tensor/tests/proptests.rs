@@ -1,0 +1,94 @@
+//! Property-based tests for the tensor kernels.
+
+use longsight_tensor::{linalg, vecops, Matrix, SignBits, SimRng, TopK};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-100.0f32..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sign_concordance_matches_naive(v in finite_vec(1..200), w_seed in 0u64..1000) {
+        let mut rng = SimRng::seed_from(w_seed);
+        let w: Vec<f32> = (0..v.len()).map(|_| rng.normal() as f32).collect();
+        let sv = SignBits::from_slice(&v);
+        let sw = SignBits::from_slice(&w);
+        let naive = v.iter().zip(&w)
+            .filter(|(a, b)| (**a < 0.0) == (**b < 0.0))
+            .count() as u32;
+        prop_assert_eq!(sv.concordance(&sw), naive);
+        prop_assert_eq!(sv.hamming(&sw) + sv.concordance(&sw), v.len() as u32);
+    }
+
+    #[test]
+    fn topk_matches_sort(scores in finite_vec(0..300), k in 0usize..40) {
+        let mut top = TopK::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            top.push(s, i);
+        }
+        let got: Vec<usize> = top.into_sorted_vec().into_iter().map(|s| s.index).collect();
+        let mut pairs: Vec<(f32, usize)> = scores.iter().copied().zip(0..).collect();
+        pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let want: Vec<usize> = pairs.into_iter().take(k).map(|(_, i)| i).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(mut v in finite_vec(1..64)) {
+        vecops::softmax_in_place(&mut v);
+        let sum: f32 = v.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(v.iter().all(|x| (0.0..=1.0 + 1e-6).contains(x)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(v in finite_vec(2..64)) {
+        let before = vecops::argmax(&v).unwrap();
+        let mut sm = v.clone();
+        vecops::softmax_in_place(&mut sm);
+        // The max element keeps (one of) the max probabilities.
+        let max_prob = sm.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(sm[before] >= max_prob - 1e-6);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(seed in 0u64..500) {
+        let mut rng = SimRng::seed_from(seed);
+        let a = Matrix::random_gaussian(4, 5, &mut rng);
+        let b = Matrix::random_gaussian(5, 3, &mut rng);
+        let c = Matrix::random_gaussian(5, 3, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
+    }
+
+    #[test]
+    fn random_orthogonal_preserves_norms(seed in 0u64..200, n in 2usize..12) {
+        let mut rng = SimRng::seed_from(seed);
+        let q = linalg::random_orthogonal(n, &mut rng);
+        let v = rng.normal_vec(n);
+        let rotated = q.matvec(&v);
+        prop_assert!((vecops::l2_norm(&rotated) - vecops::l2_norm(&v)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn procrustes_output_is_orthogonal(seed in 0u64..200, n in 2usize..10) {
+        let mut rng = SimRng::seed_from(seed);
+        let m = Matrix::random_gaussian(n, n, &mut rng);
+        let r = linalg::procrustes_rotation(&m);
+        prop_assert!(linalg::orthogonality_error(&r) < 1e-3);
+    }
+
+    #[test]
+    fn dot_is_symmetric(v in finite_vec(1..100), seed in 0u64..100) {
+        let mut rng = SimRng::seed_from(seed);
+        let w: Vec<f32> = (0..v.len()).map(|_| rng.normal() as f32).collect();
+        let scale = v.iter().map(|x| x.abs()).fold(0.0f32, f32::max).max(1.0)
+            * w.iter().map(|x| x.abs()).fold(0.0f32, f32::max).max(1.0)
+            * v.len() as f32;
+        prop_assert!((vecops::dot(&v, &w) - vecops::dot(&w, &v)).abs() <= 1e-5 * scale);
+    }
+}

@@ -1,0 +1,92 @@
+//! Needle retrieval during live generation: a "needle" motif is planted at
+//! the start of a long context; after the filler, the model is prompted with
+//! the needle's prefix and asked to continue it. Dense attention and
+//! LongSight's hybrid attention retrieve the needle; a small sliding window
+//! cannot — the motivating scenario of the paper in miniature.
+//!
+//! ```text
+//! cargo run --release --example needle_retrieval -- [filler_tokens]
+//! ```
+
+use longsight::core::{HybridConfig, LongSightBackend, RotationTable, ThresholdTable};
+use longsight::model::{
+    DenseBackend, Generator, InductionParams, Model, ModelConfig, ModelWeights, Sampling,
+    SlidingWindowBackend,
+};
+use longsight::tensor::SimRng;
+
+fn main() {
+    let filler_len: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1500);
+
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(2025);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+
+    // The needle: a distinctive token string planted at the very start.
+    // Filler tokens come from a disjoint range so that chance collisions
+    // cannot create competing "what followed token X" evidence.
+    let needle: Vec<u32> = vec![11, 22, 33, 44, 55, 66];
+    let mut prompt = needle.clone();
+    prompt.extend((0..filler_len).map(|_| (rng.below(cfg.vocab - 128) + 128) as u32));
+    prompt.extend(&needle[..2]); // ask the model to continue "111 222 ..."
+    let expected = &needle[2..];
+    println!(
+        "needle {:?} planted {} tokens back; prompting with its first 2 tokens\n",
+        needle,
+        filler_len + needle.len()
+    );
+
+    let window = 128;
+    // Teacher-forced continuation: at each step feed the *true* needle token
+    // and record the model's top-1 prediction — every step is then a clean,
+    // independent retrieval probe.
+    let run = |name: &str, backend: &mut dyn longsight::model::AttentionBackend| {
+        let mut g = Generator::new(&model, backend);
+        g.prefill(&prompt);
+        let mut predictions = Vec::new();
+        for &truth in expected {
+            let logits = g.last_logits().expect("prefilled").to_vec();
+            let top = longsight::tensor::vecops::argmax(&logits).expect("vocab") as u32;
+            predictions.push(top);
+            g.prefill(&[truth]);
+        }
+        let hits = predictions.iter().zip(expected).filter(|(a, b)| a == b).count();
+        println!(
+            "{name:<22} predicted {:?}  ({hits}/{} needle tokens recovered)",
+            predictions,
+            expected.len()
+        );
+    };
+    let _ = Sampling::Greedy;
+
+    run("dense attention:", &mut DenseBackend::new());
+    run(
+        "sliding window (128):",
+        &mut SlidingWindowBackend::new(window, 16),
+    );
+    let mut hybrid = LongSightBackend::new(
+        HybridConfig {
+            window,
+            sinks: 16,
+            top_k: 64,
+        },
+        ThresholdTable::uniform(cfg.layers, cfg.kv_heads, cfg.head_dim as u32 / 2 + 2),
+        RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim),
+    );
+    run("LongSight hybrid:", &mut hybrid);
+
+    let s = hybrid.stats();
+    println!(
+        "\nLongSight touched {:.1}x fewer non-window keys than dense attention \
+         (filter ratio), retrieving only {} values per query",
+        s.filter_ratio_nonwindow(),
+        64
+    );
+}

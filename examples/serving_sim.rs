@@ -1,0 +1,60 @@
+//! Serving simulation — one H100 + one DReX serving long-context users,
+//! compared against the dense 1-GPU baseline (the scenario of paper Fig 7).
+//!
+//! ```text
+//! cargo run --release --example serving_sim -- [context_tokens] [users]
+//! ```
+
+use longsight::gpu::{DataParallelGpus, GpuSpec};
+use longsight::model::ModelConfig;
+use longsight::system::{GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let context: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(262_144);
+    let users: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    let model = ModelConfig::llama3_8b();
+    println!("model: {model}, context {context} tokens, {users} users\n");
+
+    let mut dense = GpuOnlySystem {
+        gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+        model: model.clone(),
+    };
+    match dense.evaluate(users, context) {
+        Ok(r) => println!(
+            "1-GPU dense:  {:>8.1} tok/s  ({:.2} ms/token)",
+            r.throughput_tps,
+            r.latency_ms()
+        ),
+        Err(e) => println!("1-GPU dense:  infeasible ({e})"),
+    }
+
+    let mut ls = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
+    match ls.evaluate(users, context) {
+        Ok(r) => {
+            println!(
+                "LongSight:    {:>8.1} tok/s  ({:.2} ms/token)",
+                r.throughput_tps,
+                r.latency_ms()
+            );
+            let b = r.breakdown;
+            println!("\nper-token latency breakdown:");
+            println!("  GPU weights/FFN : {:>10.1} us", b.gpu_weights_ns / 1e3);
+            println!("  GPU window attn : {:>10.1} us", b.gpu_attention_ns / 1e3);
+            println!("  GPU ITQ + merge : {:>10.1} us", b.gpu_merge_ns / 1e3);
+            println!("  DReX offload    : {:>10.1} us", b.drex_offload_ns / 1e3);
+            println!("  CXL transfers   : {:>10.1} us", b.cxl_ns / 1e3);
+        }
+        Err(e) => println!("LongSight:    infeasible ({e})"),
+    }
+
+    println!(
+        "\ncapacity: 1-GPU max users at this context: {}, LongSight: {}",
+        dense.max_users(context),
+        ls.max_users(context)
+    );
+}

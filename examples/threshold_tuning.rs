@@ -1,0 +1,67 @@
+//! The paper's SCF threshold-tuning loop (§8.1.3) running end to end: start
+//! from thresholds that filter nothing, repeatedly raise the threshold of
+//! the KV head with the lowest filter ratio, stop when perplexity exceeds
+//! the 5 % budget.
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use longsight::core::tuner::{tune_thresholds, ProbeResult, TunerConfig};
+use longsight::core::{training, HybridConfig, ItqConfig, LongSightBackend};
+use longsight::model::{corpus, perplexity, InductionParams, Model, ModelConfig, ModelWeights};
+use longsight::tensor::SimRng;
+
+fn main() {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(2025);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), 768, &mut rng);
+    let rotations = training::train_rotations(&model, &text.tokens[..512], &ItqConfig::default());
+
+    let hybrid_cfg = HybridConfig {
+        window: 192,
+        sinks: 16,
+        top_k: 96,
+    };
+
+    println!("tuning SCF thresholds for {} ({} KV-head databases)...", cfg, cfg.databases_per_user());
+    let mut probes = 0usize;
+    let outcome = tune_thresholds(
+        cfg.layers,
+        cfg.kv_heads,
+        &TunerConfig {
+            quality_budget: 0.05,
+            step: 4,
+            max_threshold: cfg.head_dim as u32,
+            max_rounds: 48,
+        },
+        |thresholds| {
+            probes += 1;
+            let mut backend =
+                LongSightBackend::new(hybrid_cfg.clone(), thresholds.clone(), rotations.clone());
+            let r = perplexity::evaluate(&model, &text, &mut backend, 48);
+            print!(".");
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            ProbeResult {
+                quality: r.perplexity,
+                stats: backend.take_stats(),
+            }
+        },
+    );
+    println!("\n");
+
+    println!("probes run:          {}", outcome.probes);
+    println!("baseline perplexity: {:.2}", outcome.baseline_quality);
+    println!("tuned perplexity:    {:.2} ({:+.2}%)", outcome.final_quality, 100.0 * outcome.quality_increase());
+    println!("filter ratio:        {:.1}x (non-window)", outcome.final_stats.filter_ratio_nonwindow());
+    println!("\nper-head thresholds (layer, kv_head) -> threshold / {}:", cfg.head_dim);
+    for ((layer, head), th) in outcome.thresholds.iter() {
+        println!("  ({layer}, {head}) -> {th}");
+    }
+}

@@ -1,0 +1,33 @@
+//! # LongSight
+//!
+//! A comprehensive Rust reproduction of *LongSight: Compute-Enabled Memory to
+//! Accelerate Large-Context LLMs via Sparse Attention* (MICRO 2025).
+//!
+//! This umbrella crate re-exports the workspace members; see the individual
+//! crates for details:
+//!
+//! * [`tensor`] — numeric kernels (packed sign bits, top-k, small linalg),
+//! * [`model`] — transformer substrate, synthetic corpora, perplexity,
+//! * [`core`] — the paper's algorithm: SCF, ITQ, hybrid attention, tuning,
+//! * [`dram`] — LPDDR5X bank/channel timing simulator,
+//! * [`cxl`] — CXL.mem link model,
+//! * [`drex`] — the DReX device: PFUs, NMAs, DCC, data layout, power,
+//! * [`gpu`] — analytical H100 roofline model,
+//! * [`system`] — end-to-end serving simulation and baselines.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`, which mirrors the paper artifact's
+//! `example.py`: it compares dense and LongSight hybrid attention on a
+//! long-range corpus and prints perplexities and the KV-cache filter ratio.
+
+#![forbid(unsafe_code)]
+
+pub use longsight_core as core;
+pub use longsight_cxl as cxl;
+pub use longsight_dram as dram;
+pub use longsight_drex as drex;
+pub use longsight_gpu as gpu;
+pub use longsight_model as model;
+pub use longsight_system as system;
+pub use longsight_tensor as tensor;

@@ -1,0 +1,221 @@
+//! Diagnostic: concordance separation (matching vs background keys) under
+//! raw signs vs the trained ITQ rotation. Run with:
+//!
+//! ```text
+//! cargo test --test itq_diagnostics -- --ignored --nocapture
+//! ```
+
+use longsight_core::{training, ItqConfig, ItqRotation, RotationTable};
+use longsight_model::{
+    corpus, AttentionBackend, AttentionRequest, DenseBackend, InductionParams, Model, ModelConfig,
+    ModelWeights,
+};
+use longsight_tensor::{vecops, SimRng};
+
+struct Collect {
+    inner: DenseBackend,
+    layer: usize,
+    kv_head: usize,
+    queries: Vec<(usize, Vec<f32>)>,
+}
+
+impl AttentionBackend for Collect {
+    fn attend(&mut self, req: &AttentionRequest<'_>) -> Vec<Vec<f32>> {
+        if req.layer == self.layer && req.kv_head == self.kv_head {
+            self.queries.push((req.position, req.queries[0].clone()));
+        }
+        self.inner.attend(req)
+    }
+    fn label(&self) -> String {
+        "collect".into()
+    }
+}
+
+#[test]
+#[ignore = "manual diagnostic"]
+fn concordance_separation_raw_vs_itq() {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(2025);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), 768, &mut rng);
+
+    let mut cache = model.new_cache();
+    let mut col = Collect {
+        inner: DenseBackend::new(),
+        layer: 1,
+        kv_head: 0,
+        queries: Vec::new(),
+    };
+    for (pos, &t) in text.tokens.iter().enumerate() {
+        model.forward(t, pos, &mut cache, &mut col);
+    }
+    let keys = cache.head(1, 0).keys();
+
+    let calib: Vec<u32> = text.tokens[..512].to_vec();
+    let rotations = training::train_rotations(&model, &calib, &ItqConfig { iterations: 25, seed: 3 });
+    let itq = rotations.get(1, 0).clone();
+    let raw = ItqRotation::identity(cfg.head_dim);
+
+    // Keys-only ITQ variant for comparison.
+    let keys_only = {
+        let mut data = Vec::new();
+        for k in keys.iter() {
+            let n = vecops::l2_norm(k);
+            data.extend(k.iter().map(|x| x / n.max(1e-9)));
+        }
+        let m = longsight_tensor::Matrix::from_vec(keys.len(), cfg.head_dim, data);
+        ItqRotation::train(&m, &ItqConfig { iterations: 25, seed: 7 })
+    };
+
+    // Post-rotation key sign imbalance.
+    for (name, rot) in [("raw", &raw), ("itq", &itq), ("itq-keys", &keys_only)] {
+        let mut mean_imb = 0.0;
+        let mut worst: f64 = 0.0;
+        for dim in 0..cfg.head_dim {
+            let neg = keys
+                .iter()
+                .filter(|k| rot.apply(k)[dim] < 0.0)
+                .count();
+            let imb = (neg as f64 / keys.len() as f64 - 0.5).abs();
+            mean_imb += imb / cfg.head_dim as f64;
+            worst = worst.max(imb);
+        }
+        println!("{name}: key sign imbalance mean {mean_imb:.3} worst {worst:.3}");
+    }
+
+    // "Match" = top-2 scoring keys for queries at *predictable* positions
+    // (true motif retrievals); background = everything else at those
+    // positions.
+    let report = |name: &str, rot: &ItqRotation| {
+        let mut match_conc = Vec::new();
+        let mut bg_conc = Vec::new();
+        for (pos, q) in col
+            .queries
+            .iter()
+            .filter(|(p, _)| *p > 300 && text.predictable.get(*p + 1).copied().unwrap_or(false))
+        {
+            let scores: Vec<f32> = (0..*pos).map(|i| vecops::dot(q, keys.get(i))).collect();
+            let top = longsight_tensor::top_k_indices(&scores, 2);
+            let qs = rot.signs(q);
+            for i in 0..*pos {
+                let c = qs.concordance(&rot.signs(keys.get(i)));
+                if top.contains(&i) {
+                    match_conc.push(c);
+                } else {
+                    bg_conc.push(c);
+                }
+            }
+        }
+        let mean = |v: &[u32]| v.iter().sum::<u32>() as f64 / v.len().max(1) as f64;
+        let std = |v: &[u32], m: f64| {
+            (v.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / v.len().max(1) as f64).sqrt()
+        };
+        bg_conc.sort_unstable();
+        let m_m = mean(&match_conc);
+        let m_b = mean(&bg_conc);
+        let s_b = std(&bg_conc, m_b);
+        let p99 = bg_conc[bg_conc.len() * 99 / 100];
+        println!(
+            "{name}: match mean {m_m:.1} (min {}), bg mean {m_b:.1} sd {s_b:.2} p99 {p99}, z-sep {:.2}",
+            match_conc.iter().min().unwrap(),
+            (m_m - m_b) / s_b
+        );
+    };
+    report("raw", &raw);
+    report("itq", &itq);
+    report("itq-keys", &keys_only);
+}
+
+/// Per-head filter ratios at a fixed threshold, raw vs ITQ.
+#[test]
+#[ignore = "manual diagnostic"]
+fn per_head_ratio_raw_vs_itq() {
+    use longsight_core::{HybridConfig, LongSightBackend, ThresholdTable};
+    use longsight_model::perplexity;
+
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(2025);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), 768, &mut rng);
+    let calib: Vec<u32> = text.tokens[..512].to_vec();
+    let rotations = training::train_rotations(&model, &calib, &ItqConfig { iterations: 25, seed: 3 });
+
+    for (name, rot) in [
+        ("raw", RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim)),
+        ("itq", rotations),
+    ] {
+        for th in [18u32, 20, 22, 24] {
+            let mut backend = LongSightBackend::new(
+                HybridConfig { window: 192, sinks: 16, top_k: 96 },
+                ThresholdTable::uniform(cfg.layers, cfg.kv_heads, th),
+                rot.clone(),
+            );
+            let r = perplexity::evaluate(&model, &text, &mut backend, 48);
+            let s = backend.stats();
+            let per: Vec<String> = s
+                .per_head
+                .iter()
+                .map(|h| format!("{:.1}", h.filter_ratio()))
+                .collect();
+            println!(
+                "{name} th{th}: ppl {:.0} agg {:.1}x per-head [{}]",
+                r.perplexity,
+                s.filter_ratio_nonwindow(),
+                per.join(", ")
+            );
+        }
+    }
+}
+
+/// ITQ vs raw sign filtering on the long-context trace generator (the
+/// vehicle for Fig 3's long-context points).
+#[test]
+#[ignore = "manual diagnostic"]
+fn trace_itq_vs_raw() {
+    use longsight_core::{trace_eval, HybridConfig};
+    use longsight_model::tracegen::{generate_head_trace, TraceConfig};
+    use longsight_tensor::Matrix;
+
+    let mut rng = SimRng::seed_from(7);
+    let trace = generate_head_trace(&TraceConfig::llama_like(128, 32_768), &mut rng);
+
+    // Train ITQ on the first 1024 keys (normalized).
+    let n_train = 1024;
+    let mut data = Vec::new();
+    for i in 0..n_train {
+        let k = trace.keys.get(i);
+        let norm = vecops::l2_norm(k);
+        data.extend(k.iter().map(|x| x / norm.max(1e-9)));
+    }
+    let itq = ItqRotation::train(
+        &Matrix::from_vec(n_train, 128, data),
+        &ItqConfig { iterations: 30, seed: 9 },
+    );
+    let raw = ItqRotation::identity(128);
+
+    let cfg = HybridConfig { window: 1024, sinks: 16, top_k: 1024 };
+    for (name, rot) in [("raw", &raw), ("itq", &itq)] {
+        // Highest threshold with output error <= 5% and good recall.
+        let mut best = (0.0f64, 0u32, 0.0f64);
+        for th in (0..=128).step_by(2) {
+            let q = trace_eval::evaluate_trace(&trace, rot, &cfg, th);
+            if q.output_rel_err <= 0.05 {
+                let fr = q.stats.filter_ratio_nonwindow();
+                if fr > best.0 {
+                    best = (fr, th, q.topk_recall);
+                }
+            } else {
+                break;
+            }
+        }
+        println!("{name}: best {:.1}x @th{} (topk recall {:.2})", best.0, best.1, best.2);
+    }
+}

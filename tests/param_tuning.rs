@@ -1,0 +1,102 @@
+//! Parameter-tuning harness for the induction construction (run explicitly):
+//!
+//! ```text
+//! cargo test --test param_tuning -- --ignored --nocapture
+//! ```
+//!
+//! For each candidate parameter set it reports: dense vs window perplexity
+//! (does the model depend on long-range retrieval?), and the best filter
+//! ratio achievable within a 5 % perplexity budget with raw signs vs ITQ
+//! (does the representation show the paper's anisotropy pathology?).
+
+use longsight_core::{
+    training, HybridConfig, ItqConfig, LongSightBackend, RotationTable, ThresholdTable,
+};
+use longsight_model::{
+    corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
+    SlidingWindowBackend,
+};
+use longsight_tensor::SimRng;
+
+const CTX: usize = 768;
+const WINDOW: usize = 192;
+const SINKS: usize = 16;
+const SKIP: usize = 48;
+
+fn probe(params: &InductionParams, label: &str) {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(2025);
+    let model = Model::new(ModelWeights::induction(&cfg, params, &mut rng));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), CTX, &mut rng);
+
+    let dense = perplexity::evaluate(&model, &text, &mut DenseBackend::new(), SKIP);
+    let window = perplexity::evaluate(
+        &model,
+        &text,
+        &mut SlidingWindowBackend::new(WINDOW, SINKS),
+        SKIP,
+    );
+
+    let calib: Vec<u32> = text.tokens[..512.min(text.tokens.len())].to_vec();
+    let rotations = training::train_rotations(&model, &calib, &ItqConfig { iterations: 25, seed: 3 });
+    let hybrid_cfg = HybridConfig {
+        window: WINDOW,
+        sinks: SINKS,
+        top_k: 96,
+    };
+    let best_ratio = |rot: &RotationTable| -> (f64, u32) {
+        let mut best = (1.0f64, 0u32);
+        for threshold in (0..=cfg.head_dim as u32).step_by(2) {
+            let mut backend = LongSightBackend::new(
+                hybrid_cfg.clone(),
+                ThresholdTable::uniform(cfg.layers, cfg.kv_heads, threshold),
+                rot.clone(),
+            );
+            let r = perplexity::evaluate(&model, &text, &mut backend, SKIP);
+            if r.relative_increase_over(&dense) <= 0.05 {
+                let fr = backend.stats().filter_ratio_nonwindow();
+                if fr > best.0 {
+                    best = (fr, threshold);
+                }
+            } else {
+                break;
+            }
+        }
+        best
+    };
+    let raw = best_ratio(&RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim));
+    let itq = best_ratio(&rotations);
+    println!(
+        "[{label}] dense ppl {:.1} (pred CE {:.2}) | window ppl {:.1} (+{:.0}%) | raw {:.1}x@th{} | itq {:.1}x@th{} | itq/raw {:.2}",
+        dense.perplexity,
+        dense.predictable_cross_entropy.unwrap_or(f64::NAN),
+        window.perplexity,
+        100.0 * (window.perplexity / dense.perplexity - 1.0),
+        raw.0,
+        raw.1,
+        itq.0,
+        itq.1,
+        itq.0 / raw.0,
+    );
+}
+
+#[test]
+#[ignore = "manual tuning harness"]
+fn sweep_parameters() {
+    let base = InductionParams::default();
+    for (dc, power, noise) in [
+        (0.1f32, 0.5f32, 0.25f32),
+        (0.2, 0.5, 0.25),
+        (0.3, 0.5, 0.25),
+        (0.2, 0.6, 0.4),
+        (0.3, 0.3, 0.25),
+    ] {
+        let p = InductionParams {
+            key_dc: dc,
+            content_spectrum_power: power,
+            kq_noise: noise,
+            ..base.clone()
+        };
+        probe(&p, &format!("dc={dc},p={power},n={noise}"));
+    }
+}

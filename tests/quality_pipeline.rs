@@ -1,0 +1,171 @@
+//! End-to-end algorithm quality: the paper's central claims, verified on the
+//! induction-head model with a real forward pass.
+//!
+//! * Hybrid dense–sparse attention tracks dense perplexity (Fig 3b),
+//! * sliding-window attention alone loses the long-range motifs (Fig 10's
+//!   quality gap),
+//! * SCF filtering prunes the sparse region while staying within the
+//!   perplexity budget,
+//! * ITQ improves the achievable filter ratio at matched quality (Fig 3c).
+
+use longsight_core::{
+    HybridConfig, ItqConfig, LongSightBackend, RotationTable, ThresholdTable,
+};
+use longsight_model::{
+    corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
+    SlidingWindowBackend,
+};
+use longsight_tensor::SimRng;
+
+const CTX: usize = 1024;
+const WINDOW: usize = 256;
+const SINKS: usize = 16;
+const SKIP: usize = 64;
+
+fn setup() -> (Model, corpus::Corpus) {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(2025);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), CTX, &mut rng);
+    (model, text)
+}
+
+#[test]
+fn hybrid_tracks_dense_while_window_only_degrades() {
+    let (model, text) = setup();
+    let cfg = model.config().clone();
+
+    let dense = perplexity::evaluate(&model, &text, &mut DenseBackend::new(), SKIP);
+    let mut window_only = SlidingWindowBackend::new(WINDOW, SINKS);
+    let windowed = perplexity::evaluate(&model, &text, &mut window_only, SKIP);
+    let mut hybrid = LongSightBackend::new(
+        HybridConfig {
+            window: WINDOW,
+            sinks: SINKS,
+            top_k: 128,
+        },
+        ThresholdTable::zeros(cfg.layers, cfg.kv_heads),
+        RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim),
+    );
+    let hybrid_r = perplexity::evaluate(&model, &text, &mut hybrid, SKIP);
+
+    // Hybrid stays within a few percent of dense.
+    let hybrid_inc = hybrid_r.relative_increase_over(&dense);
+    assert!(
+        hybrid_inc < 0.05,
+        "hybrid ppl increase {hybrid_inc:.3} exceeds the 5% budget \
+         (dense {:.2}, hybrid {:.2})",
+        dense.perplexity,
+        hybrid_r.perplexity
+    );
+    // Window-only is clearly worse than hybrid: it cannot retrieve
+    // long-range motif occurrences.
+    let window_inc = windowed.relative_increase_over(&dense);
+    assert!(
+        window_inc > 2.0 * hybrid_inc.max(0.005),
+        "window-only increase {window_inc:.3} should far exceed hybrid {hybrid_inc:.3}"
+    );
+
+    // And the hybrid run moved far fewer *Value* vectors than dense: only
+    // the window, sinks, and k retrieved values reach the softmax (the data
+    // movement the offload saves, even before SCF thresholds are raised).
+    let s = hybrid.stats();
+    let value_ratio = s.dense_kv as f64 / (s.window_accessed + s.retrieved) as f64;
+    assert!(
+        value_ratio > 1.2,
+        "hybrid should load several times fewer values (got {value_ratio:.2}x)"
+    );
+}
+
+#[test]
+fn scf_thresholds_prune_within_quality_budget() {
+    let (model, text) = setup();
+    let cfg = model.config().clone();
+    let dense = perplexity::evaluate(&model, &text, &mut DenseBackend::new(), SKIP);
+
+    // A moderate uniform threshold (just over half the dims agreeing).
+    let threshold = (cfg.head_dim as u32) / 2 + 2;
+    let mut filtered = LongSightBackend::new(
+        HybridConfig {
+            window: WINDOW,
+            sinks: SINKS,
+            top_k: 128,
+        },
+        ThresholdTable::uniform(cfg.layers, cfg.kv_heads, threshold),
+        RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim),
+    );
+    let r = perplexity::evaluate(&model, &text, &mut filtered, SKIP);
+    let stats = filtered.stats();
+    assert!(
+        stats.survival_rate() < 0.9,
+        "threshold {threshold} should filter something (survival {:.2})",
+        stats.survival_rate()
+    );
+    // Quality: not catastrophically degraded (the tuner's job is to pick the
+    // exact operating point; here we check the mechanism is sound).
+    let inc = r.relative_increase_over(&dense);
+    assert!(
+        inc < 0.5,
+        "moderate SCF filtering should not destroy the model (increase {inc:.3})"
+    );
+}
+
+#[test]
+fn itq_improves_filter_ratio_at_matched_quality() {
+    // Evaluated on the long-context trace generator (LLaMA-like key
+    // geometry: clusters + sparse DC), the vehicle for the paper's Fig 3c —
+    // see DESIGN.md for why the full-model path exhibits only part of the
+    // anisotropy pathology.
+    use longsight_core::{trace_eval, ItqRotation};
+    use longsight_model::tracegen::{generate_head_trace, TraceConfig};
+    use longsight_tensor::{vecops, Matrix};
+
+    let mut rng = SimRng::seed_from(7);
+    let d = 128;
+    let trace = generate_head_trace(&TraceConfig::llama_like(d, 16_384), &mut rng);
+
+    // Train ITQ on the first 1024 keys (normalized), as the paper trains on
+    // a 1K-token prefix.
+    let n_train = 1024;
+    let mut data = Vec::new();
+    for i in 0..n_train {
+        let k = trace.keys.get(i);
+        let norm = vecops::l2_norm(k);
+        data.extend(k.iter().map(|x| x / norm.max(1e-9)));
+    }
+    let itq_rot = ItqRotation::train(
+        &Matrix::from_vec(n_train, d, data),
+        &ItqConfig { iterations: 30, seed: 9 },
+    );
+    let raw_rot = ItqRotation::identity(d);
+
+    let hybrid_cfg = HybridConfig {
+        window: 1024,
+        sinks: 16,
+        top_k: 1024,
+    };
+    let best_ratio = |rot: &ItqRotation| -> f64 {
+        let mut best = 0.0f64;
+        for th in (0..=d as u32).step_by(4) {
+            let q = trace_eval::evaluate_trace(&trace, rot, &hybrid_cfg, th);
+            if q.output_rel_err <= 0.05 {
+                best = best.max(q.stats.filter_ratio_nonwindow());
+            } else {
+                break;
+            }
+        }
+        best
+    };
+
+    let raw = best_ratio(&raw_rot);
+    let itq = best_ratio(&itq_rot);
+    assert!(
+        itq > 1.5 * raw,
+        "ITQ must substantially improve the achievable filter ratio at matched \
+         quality: raw {raw:.2}x vs itq {itq:.2}x"
+    );
+}

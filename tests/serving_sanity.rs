@@ -1,0 +1,142 @@
+//! Cross-crate serving-simulation invariants: the qualitative behaviours the
+//! paper's Figs 7–9 rest on.
+
+use longsight::gpu::{DataParallelGpus, GpuSpec};
+use longsight::model::ModelConfig;
+use longsight::system::{
+    AttAccSystem, GpuOnlySystem, Infeasible, LongSightConfig, LongSightSystem, ServingSystem,
+    SlidingWindowSystem,
+};
+
+fn longsight(model: ModelConfig) -> LongSightSystem {
+    LongSightSystem::new(LongSightConfig::paper_default(), model)
+}
+
+#[test]
+fn latency_grows_with_context_for_every_system() {
+    let model = ModelConfig::llama3_8b();
+    let mut systems: Vec<Box<dyn ServingSystem>> = vec![
+        Box::new(GpuOnlySystem {
+            gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+            model: model.clone(),
+        }),
+        Box::new(AttAccSystem::h100_pim(model.clone())),
+        Box::new(longsight(model.clone())),
+    ];
+    for sys in &mut systems {
+        let short = sys.evaluate(1, 32_768).expect("32K fits everywhere");
+        let long = sys.evaluate(1, 131_072).expect("128K fits for one user");
+        assert!(
+            long.step_ns >= short.step_ns,
+            "{}: latency must not shrink with context ({} -> {})",
+            sys.name(),
+            short.step_ns,
+            long.step_ns
+        );
+    }
+    // Sliding window is the exception: context-independent by design.
+    let mut sw = SlidingWindowSystem {
+        gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+        model,
+        window: 1024,
+        sinks: 16,
+    };
+    let a = sw.evaluate(1, 32_768).unwrap();
+    let b = sw.evaluate(1, 131_072).unwrap();
+    assert!((a.step_ns - b.step_ns).abs() < 1e-6);
+}
+
+#[test]
+fn longsight_latency_grows_sublinearly_with_context() {
+    // §9.1: "DReX offload time scales sub-linearly with context length".
+    let mut ls = longsight(ModelConfig::llama3_8b());
+    let a = ls.evaluate(1, 65_536).unwrap();
+    let b = ls.evaluate(1, 524_288).unwrap();
+    assert!(
+        b.step_ns < 8.0 * a.step_ns,
+        "8x context should cost < 8x latency: {} -> {}",
+        a.step_ns,
+        b.step_ns
+    );
+}
+
+#[test]
+fn smaller_k_means_lower_latency() {
+    let model = ModelConfig::llama3_8b();
+    let mut small = LongSightConfig::paper_default();
+    small.hybrid.top_k = 128;
+    let mut big = LongSightConfig::paper_default();
+    big.hybrid.top_k = 1024;
+    let a = LongSightSystem::new(small, model.clone())
+        .evaluate(4, 131_072)
+        .unwrap();
+    let b = LongSightSystem::new(big, model).evaluate(4, 131_072).unwrap();
+    assert!(
+        a.step_ns <= b.step_ns,
+        "k=128 must not be slower than k=1024 ({} vs {})",
+        a.step_ns,
+        b.step_ns
+    );
+}
+
+#[test]
+fn higher_filter_ratio_means_lower_latency() {
+    let model = ModelConfig::llama3_8b();
+    let mut coarse = LongSightConfig::paper_default();
+    coarse.filter_ratio = 5.0;
+    let mut fine = LongSightConfig::paper_default();
+    fine.filter_ratio = 40.0;
+    let slow = LongSightSystem::new(coarse, model.clone())
+        .evaluate(8, 262_144)
+        .unwrap();
+    let fast = LongSightSystem::new(fine, model).evaluate(8, 262_144).unwrap();
+    assert!(
+        fast.step_ns < slow.step_ns,
+        "a 40x filter ratio must beat 5x ({} vs {})",
+        fast.step_ns,
+        slow.step_ns
+    );
+}
+
+#[test]
+fn infeasibility_reasons_are_accurate() {
+    let model = ModelConfig::llama3_8b();
+    // One GPU cannot hold 1M dense KV.
+    let mut dense = GpuOnlySystem {
+        gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
+        model: model.clone(),
+    };
+    assert_eq!(dense.evaluate(1, 1 << 20).unwrap_err(), Infeasible::GpuMemory);
+    // LongSight rejects batches beyond the DCC queue depth.
+    let mut ls = longsight(model.clone());
+    assert_eq!(ls.evaluate(513, 32_768).unwrap_err(), Infeasible::QueueDepth);
+    // And batches whose contexts exceed DReX memory.
+    let over = ls.drex_max_users(1 << 20) + 1;
+    if over <= 512 {
+        assert_eq!(ls.evaluate(over, 1 << 20).unwrap_err(), Infeasible::DrexMemory);
+    }
+}
+
+#[test]
+fn throughput_increases_then_saturates_with_users() {
+    let mut ls = longsight(ModelConfig::llama3_1b());
+    let ctx = 131_072;
+    let mut last_tput = 0.0;
+    let cap = ls.max_users(ctx);
+    let mut grew = false;
+    for users in [1usize, 4, 16, 64] {
+        if users > cap {
+            break;
+        }
+        let r = ls.evaluate(users, ctx).unwrap();
+        if r.throughput_tps > last_tput * 1.5 {
+            grew = true;
+        }
+        assert!(
+            r.throughput_tps >= last_tput * 0.75,
+            "throughput should not collapse when adding users"
+        );
+        last_tput = r.throughput_tps;
+    }
+    assert!(grew, "batching must raise throughput somewhere in the sweep");
+}

@@ -109,12 +109,19 @@ fn main() {
         rows.push(vec![
             block.to_string(),
             fmt_ns(ns),
-            format!("{:.2}x", ns / (tokens as f64 * per_token as f64 / link.bandwidth_gbps)),
+            format!(
+                "{:.2}x",
+                ns / (tokens as f64 * per_token as f64 / link.bandwidth_gbps)
+            ),
         ]);
     }
     print_table(
         "Ablation 3: cost of flushing 4096 tokens of KV vs flush-block size",
-        &["Block (tokens)", "Total transfer", "Overhead vs pure bandwidth"],
+        &[
+            "Block (tokens)",
+            "Total transfer",
+            "Overhead vs pure bandwidth",
+        ],
         &rows,
     );
 
@@ -125,7 +132,10 @@ fn main() {
         sys_cfg.link.poll_interval_ns = poll;
         let mut sys = LongSightSystem::new(sys_cfg, ModelConfig::llama3_8b());
         let r = sys.evaluate(1, 131_072).expect("feasible");
-        rows.push(vec![format!("{poll:.0} ns"), format!("{:.3} ms", r.latency_ms())]);
+        rows.push(vec![
+            format!("{poll:.0} ns"),
+            format!("{:.3} ms", r.latency_ms()),
+        ]);
     }
     print_table(
         "Ablation 4: per-token latency vs CXL polling interval (1 user, 128K)",

@@ -7,7 +7,7 @@
 //! connecting the algorithm sweep to end-to-end performance, normalized to
 //! the dense 1-GPU system at the same context.
 
-use longsight_bench::fig3::{train_trace_itq, trace_for};
+use longsight_bench::fig3::{trace_for, train_trace_itq};
 use longsight_bench::print_table;
 use longsight_core::trace_eval::evaluate_trace;
 use longsight_core::{HybridConfig, ItqRotation};
@@ -29,12 +29,20 @@ fn main() {
         gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
         model: model.clone(),
     };
-    let dense_tput = dense.evaluate(users, ctx).expect("dense fits at 32K").throughput_tps;
+    let dense_tput = dense
+        .evaluate(users, ctx)
+        .expect("dense fits at 32K")
+        .throughput_tps;
 
     // LongSight frontier: sweep (W, k, threshold); accuracy from the trace,
     // throughput from the system model with the measured filter ratio.
     let mut ls_rows = Vec::new();
-    for &(w, k) in &[(256usize, 256usize), (1024, 256), (1024, 1024), (4096, 1024)] {
+    for &(w, k) in &[
+        (256usize, 256usize),
+        (1024, 256),
+        (1024, 1024),
+        (4096, 1024),
+    ] {
         for th in (48..=96u32).step_by(16) {
             let cfg = HybridConfig {
                 window: w,
@@ -61,7 +69,11 @@ fn main() {
     }
     print_table(
         "Fig 10: LongSight accuracy vs normalized throughput (32K, 8 users)",
-        &["Config", "Accuracy (rel. dense)", "Throughput (x dense 1-GPU)"],
+        &[
+            "Config",
+            "Accuracy (rel. dense)",
+            "Throughput (x dense 1-GPU)",
+        ],
         &ls_rows,
     );
 
@@ -92,7 +104,11 @@ fn main() {
     }
     print_table(
         "Fig 10: sliding-window accuracy vs normalized throughput (32K, 8 users)",
-        &["Config", "Accuracy (rel. dense)", "Throughput (x dense 1-GPU)"],
+        &[
+            "Config",
+            "Accuracy (rel. dense)",
+            "Throughput (x dense 1-GPU)",
+        ],
         &sw_rows,
     );
 

@@ -37,7 +37,13 @@ fn main() {
     }
     print_table(
         "Fig 3: non-window KV cache filter ratio (quality within 5% of dense)",
-        &["Context", "k", "(a) baseline sparse", "(b) hybrid", "(c) hybrid+ITQ"],
+        &[
+            "Context",
+            "k",
+            "(a) baseline sparse",
+            "(b) hybrid",
+            "(c) hybrid+ITQ",
+        ],
         &rows,
     );
 

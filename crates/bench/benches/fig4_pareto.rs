@@ -5,7 +5,7 @@
 //! inverse-perplexity substitution). Three named example configurations are
 //! reported alongside the all-configs frontier, mirroring the figure.
 
-use longsight_bench::fig3::{train_trace_itq, trace_for};
+use longsight_bench::fig3::{trace_for, train_trace_itq};
 use longsight_bench::print_table;
 use longsight_core::trace_eval::evaluate_trace;
 use longsight_core::HybridConfig;
@@ -76,7 +76,13 @@ fn main() {
         .collect();
     print_table(
         "Fig 4: accuracy vs filter-ratio Pareto frontier at 32K (all configs)",
-        &["Filter ratio", "Accuracy (rel. dense)", "W", "k", "threshold"],
+        &[
+            "Filter ratio",
+            "Accuracy (rel. dense)",
+            "W",
+            "k",
+            "threshold",
+        ],
         &rows,
     );
 

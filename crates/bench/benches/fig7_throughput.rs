@@ -3,9 +3,22 @@
 //! lengths and user counts. Missing entries ("-") mean the configuration
 //! does not fit in memory, as in the paper.
 
-use longsight_bench::fig7::{headline_speedup, sweep};
+use longsight_bench::fig7::{headline_speedup, sweep, Fig7Point};
 use longsight_bench::{fmt_ctx, print_table};
 use longsight_model::ModelConfig;
+
+/// Median wall-clock of `runs` full sweeps, plus the last sweep's rows.
+fn timed_sweep(model: &ModelConfig, users: &[usize], runs: usize) -> (f64, Vec<Fig7Point>) {
+    let mut times = Vec::with_capacity(runs);
+    let mut points = Vec::new();
+    for _ in 0..runs {
+        let start = std::time::Instant::now();
+        points = sweep(model, users);
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[runs / 2], points)
+}
 
 fn main() {
     for model in [ModelConfig::llama3_1b(), ModelConfig::llama3_8b()] {
@@ -29,8 +42,17 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Fig 7: decode throughput & per-token latency — {}", model.name),
-            &["Context", "System", "Users", "Throughput (tok/s)", "Latency"],
+            &format!(
+                "Fig 7: decode throughput & per-token latency — {}",
+                model.name
+            ),
+            &[
+                "Context",
+                "System",
+                "Users",
+                "Throughput (tok/s)",
+                "Latency",
+            ],
             &rows,
         );
 
@@ -40,6 +62,28 @@ fn main() {
             model.name
         );
     }
+    // Serial vs. parallel wall clock on the same grid (the serving sweep is
+    // the repo's hottest simulation path). Results must match bit-for-bit.
+    let model = ModelConfig::llama3_8b();
+    let users = [1usize, 4, 16, 0];
+    longsight_exec::set_thread_count(1);
+    let (serial_ms, serial_pts) = timed_sweep(&model, &users, 5);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4);
+    longsight_exec::set_thread_count(threads);
+    let (par_ms, par_pts) = timed_sweep(&model, &users, 5);
+    longsight_exec::set_thread_count(0);
+    let identical = serial_pts == par_pts;
+    println!(
+        "\nthreads-speedup: fig7 sweep ({}) 1 thread {serial_ms:.1} ms -> {threads} threads {par_ms:.1} ms = {:.2}x (bit-identical: {})",
+        model.name,
+        serial_ms / par_ms,
+        if identical { "yes" } else { "NO" }
+    );
+    assert!(identical, "parallel sweep diverged from serial sweep");
+
     println!("\npaper: up to 8.1-9.6x higher throughput and 3.6-11.9x higher tokens/s/user");
     println!("at the maximum context supported by one GPU; only LongSight reaches 1M");
     println!("tokens with a single GPU; 2-GPU/AttAcc win at short contexts (LongSight");

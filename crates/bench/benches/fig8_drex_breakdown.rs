@@ -12,7 +12,11 @@ fn main() {
     let contexts = [8_192usize, 32_768, 131_072, 524_288, 1 << 20];
 
     for (label, users_of) in [
-        ("single user", Box::new(|_sys: &LongSightSystem, _c: usize| 1usize) as Box<dyn Fn(&LongSightSystem, usize) -> usize>),
+        (
+            "single user",
+            Box::new(|_sys: &LongSightSystem, _c: usize| 1usize)
+                as Box<dyn Fn(&LongSightSystem, usize) -> usize>,
+        ),
         (
             "fully utilized",
             Box::new(|sys: &LongSightSystem, c: usize| sys.drex_max_users(c).max(1)),
@@ -38,8 +42,16 @@ fn main() {
         print_table(
             &format!("Fig 8: DReX offload latency breakdown ({label}, Llama-3-8B)"),
             &[
-                "Context", "Users", "Filter", "Bitmap", "AddrGen", "Fetch+Dot",
-                "Top-k", "Queue", "Value/CXL", "Total",
+                "Context",
+                "Users",
+                "Filter",
+                "Bitmap",
+                "AddrGen",
+                "Fetch+Dot",
+                "Top-k",
+                "Queue",
+                "Value/CXL",
+                "Total",
             ],
             &rows,
         );

@@ -36,10 +36,20 @@ fn main() {
             }
         }
         print_table(
-            &format!("Fig 9: LongSight per-token latency breakdown — {}", model.name),
+            &format!(
+                "Fig 9: LongSight per-token latency breakdown — {}",
+                model.name
+            ),
             &[
-                "Context", "Users", "GPU weights", "GPU attn", "GPU merge",
-                "DReX", "CXL", "Total", "Bottleneck",
+                "Context",
+                "Users",
+                "GPU weights",
+                "GPU attn",
+                "GPU merge",
+                "DReX",
+                "CXL",
+                "Total",
+                "Bottleneck",
             ],
             &rows,
         );

@@ -2,7 +2,7 @@
 //! blockwise selection (NSA/DynaX-style) vs. Reformer-style LSH, on
 //! LLaMA-like key traces — cost (keys fetched) and recall of the true top-k.
 
-use longsight_bench::fig3::{train_trace_itq, trace_for};
+use longsight_bench::fig3::{trace_for, train_trace_itq};
 use longsight_bench::print_table;
 use longsight_core::baseline_filters::{blockwise_surviving_indices, LshFilter};
 use longsight_core::{surviving_indices, PFU_BLOCK_KEYS};
@@ -26,7 +26,11 @@ fn main() {
     let mut totals = vec![(0usize, 0usize); 4]; // (candidates, hits)
     let mut truth_total = 0usize;
     for probe in &trace.queries {
-        let scores: Vec<f32> = trace.keys.iter().map(|key| vecops::dot(&probe.q, key)).collect();
+        let scores: Vec<f32> = trace
+            .keys
+            .iter()
+            .map(|key| vecops::dot(&probe.q, key))
+            .collect();
         let truth = top_k_indices(&scores, k);
         truth_total += truth.len();
         let q_signs = rotation.signs(&probe.q);
@@ -38,7 +42,10 @@ fn main() {
         let lsh_cands = lsh.candidates(&lsh.signatures(&probe.q), &key_sigs);
         let dense: Vec<usize> = (0..trace.keys.len()).collect();
 
-        for (slot, cands) in [&per_token, &blockwise, &lsh_cands, &dense].iter().enumerate() {
+        for (slot, cands) in [&per_token, &blockwise, &lsh_cands, &dense]
+            .iter()
+            .enumerate()
+        {
             totals[slot].0 += cands.len();
             totals[slot].1 += truth.iter().filter(|i| cands.contains(i)).count();
         }
@@ -62,7 +69,12 @@ fn main() {
     }
     print_table(
         "Filtering baselines at 16K context (Llama-3-8B key geometry)",
-        &["Method", "Keys fetched/query", "Filter ratio", "Top-128 recall"],
+        &[
+            "Method",
+            "Keys fetched/query",
+            "Filter ratio",
+            "Top-128 recall",
+        ],
         &rows,
     );
     println!("\npaper shape (3.1/5.1): per-token filtering fetches several times fewer");

@@ -1,121 +1,98 @@
-//! Criterion micro-benchmarks of the hot kernels: sign packing, SCF block
-//! filtering, top-k selection, ITQ rotation, full-precision scoring, and the
-//! DRAM channel scheduler.
+//! Micro-benchmarks of the hot kernels: sign packing, SCF block filtering,
+//! top-k selection, ITQ rotation, full-precision scoring, and the DRAM
+//! channel scheduler. Runs on the in-repo timing harness
+//! ([`longsight_bench::timing`]); output shape matches the old criterion
+//! goldens in `results/kernels.txt`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use longsight_bench::timing::bench_report;
 use longsight_core::{filter_block, ItqConfig, ItqRotation, PFU_BLOCK_KEYS};
 use longsight_dram::{ChannelSim, DramTiming, Request};
 use longsight_tensor::{vecops, Matrix, SignBits, SimRng, TopK};
 use std::hint::black_box;
 
-fn bench_sign_packing(c: &mut Criterion) {
+fn bench_sign_packing() {
     let mut rng = SimRng::seed_from(1);
     let v = rng.normal_vec(128);
-    let mut g = c.benchmark_group("sign");
-    g.throughput(Throughput::Elements(128));
-    g.bench_function("pack_128d", |b| {
-        b.iter(|| SignBits::from_slice(black_box(&v)));
+    bench_report("sign/pack_128d", Some(128), || {
+        SignBits::from_slice(black_box(&v))
     });
     let q = SignBits::from_slice(&rng.normal_vec(128));
     let k = SignBits::from_slice(&v);
-    g.bench_function("concordance_128d", |b| {
-        b.iter(|| black_box(&q).concordance(black_box(&k)));
+    bench_report("sign/concordance_128d", Some(128), || {
+        black_box(&q).concordance(black_box(&k))
     });
-    g.finish();
 }
 
-fn bench_scf_block(c: &mut Criterion) {
+fn bench_scf_block() {
     let mut rng = SimRng::seed_from(2);
     let q = SignBits::from_slice(&rng.normal_vec(128));
     let keys: Vec<SignBits> = (0..PFU_BLOCK_KEYS)
         .map(|_| SignBits::from_slice(&rng.normal_vec(128)))
         .collect();
-    let mut g = c.benchmark_group("scf");
-    g.throughput(Throughput::Elements(PFU_BLOCK_KEYS as u64));
-    g.bench_function("filter_block_128x128", |b| {
-        b.iter(|| filter_block(black_box(&q), black_box(&keys), 70));
-    });
-    g.finish();
+    bench_report(
+        "scf/filter_block_128x128",
+        Some(PFU_BLOCK_KEYS as u64),
+        || filter_block(black_box(&q), black_box(&keys), 70),
+    );
 }
 
-fn bench_topk(c: &mut Criterion) {
+fn bench_topk() {
     let mut rng = SimRng::seed_from(3);
     let scores: Vec<f32> = (0..65_536).map(|_| rng.normal() as f32).collect();
-    let mut g = c.benchmark_group("topk");
-    g.throughput(Throughput::Elements(scores.len() as u64));
-    g.bench_function("top1024_of_64k", |b| {
-        b.iter(|| {
-            let mut t = TopK::new(1024);
-            for (i, &s) in scores.iter().enumerate() {
-                t.push(s, i);
-            }
-            black_box(t.len())
-        });
+    bench_report("topk/top1024_of_64k", Some(scores.len() as u64), || {
+        let mut t = TopK::new(1024);
+        for (i, &s) in scores.iter().enumerate() {
+            t.push(s, i);
+        }
+        black_box(t.len())
     });
-    g.finish();
 }
 
-fn bench_scoring(c: &mut Criterion) {
+fn bench_scoring() {
     let mut rng = SimRng::seed_from(4);
     let q = rng.normal_vec(128);
     let keys: Vec<Vec<f32>> = (0..1024).map(|_| rng.normal_vec(128)).collect();
-    let mut g = c.benchmark_group("score");
-    g.throughput(Throughput::Elements(1024));
-    g.bench_function("dot_1024x128", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for k in &keys {
-                acc += vecops::dot(black_box(&q), k);
-            }
-            black_box(acc)
-        });
+    bench_report("score/dot_1024x128", Some(1024), || {
+        let mut acc = 0.0f32;
+        for k in &keys {
+            acc += vecops::dot(black_box(&q), k);
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
-fn bench_itq(c: &mut Criterion) {
+fn bench_itq() {
     let mut rng = SimRng::seed_from(5);
     let data = Matrix::random_gaussian(256, 64, &mut rng);
-    c.bench_function("itq_train_256x64_10it", |b| {
-        b.iter(|| {
-            ItqRotation::train(
-                black_box(&data),
-                &ItqConfig {
-                    iterations: 10,
-                    seed: 1,
-                },
-            )
-        });
+    bench_report("itq_train_256x64_10it", None, || {
+        ItqRotation::train(
+            black_box(&data),
+            &ItqConfig {
+                iterations: 10,
+                seed: 1,
+            },
+        )
     });
     let rot = ItqRotation::train(&data, &ItqConfig::default());
     let v = rng.normal_vec(64);
-    c.bench_function("itq_apply_64d", |b| {
-        b.iter(|| rot.apply(black_box(&v)));
-    });
+    bench_report("itq_apply_64d", None, || rot.apply(black_box(&v)));
 }
 
-fn bench_dram(c: &mut Criterion) {
+fn bench_dram() {
     let reqs: Vec<Request> = (0..4096)
         .map(|i| Request::read(i % 64, (i / 64) % 32, i % 64))
         .collect();
-    let mut g = c.benchmark_group("dram");
-    g.throughput(Throughput::Elements(reqs.len() as u64));
-    g.bench_function("channel_4096_reqs", |b| {
-        b.iter(|| {
-            let mut sim = ChannelSim::new(DramTiming::lpddr5x_8533(), 64);
-            black_box(sim.run(black_box(&reqs)))
-        });
+    bench_report("dram/channel_4096_reqs", Some(reqs.len() as u64), || {
+        let mut sim = ChannelSim::new(DramTiming::lpddr5x_8533(), 64);
+        black_box(sim.run(black_box(&reqs)))
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_sign_packing,
-    bench_scf_block,
-    bench_topk,
-    bench_scoring,
-    bench_itq,
-    bench_dram
-);
-criterion_main!(benches);
+fn main() {
+    bench_sign_packing();
+    bench_scf_block();
+    bench_topk();
+    bench_scoring();
+    bench_itq();
+    bench_dram();
+}

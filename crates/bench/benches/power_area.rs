@@ -32,9 +32,7 @@ fn main() {
         &["Component", "Power", "Area"],
         &rows,
     );
-    println!(
-        "paper: 18.7 W/package, 6.7% PFU area, 15.1 mm2 & 1.072 W per NMA, ~158.2 W total"
-    );
+    println!("paper: 18.7 W/package, 6.7% PFU area, 15.1 mm2 & 1.072 W per NMA, ~158.2 W total");
     println!(
         "measured: {:.1} W total (constants reproduced by the model)",
         p.total_peak_w()

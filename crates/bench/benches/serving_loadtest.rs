@@ -48,7 +48,13 @@ fn main() {
     print_table(
         "Poisson load test — Llama-3-1B, 32K-128K contexts, 8 s window",
         &[
-            "Rate", "System", "Done", "Tok/s", "Mean batch", "p50 token", "p99 token",
+            "Rate",
+            "System",
+            "Done",
+            "Tok/s",
+            "Mean batch",
+            "p50 token",
+            "p99 token",
             "p99 request",
         ],
         &rows,

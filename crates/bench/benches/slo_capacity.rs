@@ -7,7 +7,9 @@ use longsight_bench::{fmt_ctx, print_table};
 use longsight_gpu::{DataParallelGpus, GpuSpec};
 use longsight_model::ModelConfig;
 use longsight_system::slo::max_users_under_slo;
-use longsight_system::{AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem};
+use longsight_system::{
+    AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem,
+};
 
 fn main() {
     let model = ModelConfig::llama3_8b();
@@ -51,7 +53,14 @@ fn main() {
     }
     print_table(
         "SLO capacity — Llama-3-8B (largest batch within the latency SLO)",
-        &["Context", "SLO", "System", "Users", "Throughput (tok/s)", "Latency"],
+        &[
+            "Context",
+            "SLO",
+            "System",
+            "Users",
+            "Throughput (tok/s)",
+            "Latency",
+        ],
         &rows,
     );
     println!("\npaper shape (9.1): LongSight sustains more concurrent users within an");

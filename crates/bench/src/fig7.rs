@@ -8,7 +8,7 @@ use longsight_system::{
 };
 
 /// One Fig 7 cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig7Point {
     /// System name.
     pub system: String,
@@ -50,23 +50,27 @@ pub fn contexts() -> Vec<usize> {
 ///
 /// `user_counts` of `0` means "the system's maximum batch at this context".
 pub fn sweep(model: &ModelConfig, user_counts: &[usize]) -> Vec<Fig7Point> {
-    let mut out = Vec::new();
-    for ctx in contexts() {
-        for mut sys in systems(model) {
-            for &u in user_counts {
-                let users = if u == 0 { sys.max_users(ctx).max(1) } else { u };
-                let report = sys.evaluate(users, ctx).ok();
-                out.push(Fig7Point {
-                    system: sys.name(),
-                    model: model.name,
-                    context: ctx,
-                    users,
-                    report,
-                });
-            }
+    // Every cell is an independent pure evaluation (no serving system
+    // mutates state across calls), so the grid runs on the deterministic
+    // parallel map with one freshly built system per cell; rows come back in
+    // the same context → system → users order the serial loops produced.
+    let n_sys = systems(model).len();
+    let cells: Vec<(usize, usize, usize)> = contexts()
+        .into_iter()
+        .flat_map(|ctx| (0..n_sys).flat_map(move |s| user_counts.iter().map(move |&u| (ctx, s, u))))
+        .collect();
+    longsight_exec::deterministic_map(&cells, |_, &(ctx, s, u)| {
+        let mut sys = systems(model).swap_remove(s);
+        let users = if u == 0 { sys.max_users(ctx).max(1) } else { u };
+        let report = sys.evaluate(users, ctx).ok();
+        Fig7Point {
+            system: sys.name(),
+            model: model.name,
+            context: ctx,
+            users,
+            report,
         }
-    }
-    out
+    })
 }
 
 /// The headline comparison (§9.1): at the maximum context a single GPU
@@ -83,11 +87,14 @@ pub fn headline_speedup(model: &ModelConfig) -> (f64, f64) {
     let ctx = longsight_gpu::max_context(&GpuSpec::h100_sxm(), model, 1);
     // Round down to a power-of-two-ish grid point.
     let ctx = contexts()
-        .into_iter().rfind(|&c| c <= ctx)
+        .into_iter()
+        .rfind(|&c| c <= ctx)
         .unwrap_or(32_768);
 
     let gpu_users = gpu.max_users(ctx).max(1);
-    let g = gpu.evaluate(gpu_users, ctx).expect("1-GPU must run at its own max context");
+    let g = gpu
+        .evaluate(gpu_users, ctx)
+        .expect("1-GPU must run at its own max context");
     let ls_users = ls.max_users(ctx).max(1);
     let l = ls.evaluate(ls_users, ctx).expect("LongSight must run");
 
@@ -133,6 +140,9 @@ mod tests {
             .iter()
             .find(|p| p.system == "1-GPU dense")
             .expect("1-GPU row exists");
-        assert!(dense1.report.is_none(), "one GPU cannot hold a 1M dense KV cache");
+        assert!(
+            dense1.report.is_none(),
+            "one GPU cannot hold a 1M dense KV cache"
+        );
     }
 }

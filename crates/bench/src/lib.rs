@@ -12,5 +12,6 @@
 pub mod fig3;
 pub mod fig7;
 mod table;
+pub mod timing;
 
 pub use table::{fmt_ctx, fmt_ns, print_table};

@@ -20,7 +20,9 @@ impl Args {
         let mut it = raw.iter();
         while let Some(tok) = it.next() {
             let Some(key) = tok.strip_prefix("--") else {
-                return Err(format!("unexpected argument '{tok}' (flags are --key value)"));
+                return Err(format!(
+                    "unexpected argument '{tok}' (flags are --key value)"
+                ));
             };
             let Some(value) = it.next() else {
                 return Err(format!("flag --{key} needs a value"));

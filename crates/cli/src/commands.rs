@@ -2,11 +2,15 @@
 
 use crate::args::Args;
 use longsight_core::tuner::{tune_thresholds, ProbeResult, TunerConfig};
-use longsight_core::{training, HybridConfig, ItqConfig, LongSightBackend, RotationTable, ThresholdTable};
-use longsight_drex::layout::{self, UserPartition};
+use longsight_core::{
+    training, HybridConfig, ItqConfig, LongSightBackend, RotationTable, ThresholdTable,
+};
 use longsight_dram::Geometry;
+use longsight_drex::layout::{self, UserPartition};
 use longsight_gpu::{DataParallelGpus, GpuSpec};
-use longsight_model::{corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights};
+use longsight_model::{
+    corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
+};
 use longsight_system::serving::{simulate, WorkloadConfig};
 use longsight_system::{
     AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem,
@@ -24,7 +28,10 @@ fn model_flag(a: &Args) -> Result<ModelConfig, String> {
 
 fn build_system(name: &str, model: ModelConfig) -> Result<Box<dyn ServingSystem>, String> {
     Ok(match name {
-        "longsight" => Box::new(LongSightSystem::new(LongSightConfig::paper_default(), model)),
+        "longsight" => Box::new(LongSightSystem::new(
+            LongSightConfig::paper_default(),
+            model,
+        )),
         "gpu" => Box::new(GpuOnlySystem {
             gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
             model,
@@ -56,7 +63,11 @@ pub fn quality(a: &Args) -> Result<(), String> {
     let cfg = ModelConfig::tiny();
     let threshold: u32 = a.get_or("threshold", cfg.head_dim as u32 / 2 + 5)?;
     let mut rng = SimRng::seed_from(seed);
-    let model = Model::new(ModelWeights::induction(&cfg, &InductionParams::default(), &mut rng));
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
     let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), ctx, &mut rng);
     let skip = (ctx / 16).max(2);
 
@@ -67,7 +78,11 @@ pub fn quality(a: &Args) -> Result<(), String> {
         RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim)
     };
     let mut hybrid = LongSightBackend::new(
-        HybridConfig { window, sinks: 16, top_k: k },
+        HybridConfig {
+            window,
+            sinks: 16,
+            top_k: k,
+        },
         ThresholdTable::uniform(cfg.layers, cfg.kv_heads, threshold),
         rotations,
     );
@@ -75,11 +90,17 @@ pub fn quality(a: &Args) -> Result<(), String> {
 
     println!("context {ctx}, window {window}, k {k}, threshold {threshold}, itq {use_itq}");
     println!("dense perplexity:     {:.2}", dense.perplexity);
-    println!("LongSight perplexity: {:.2} ({:+.2}%)", sparse.perplexity,
-        100.0 * sparse.relative_increase_over(&dense));
+    println!(
+        "LongSight perplexity: {:.2} ({:+.2}%)",
+        sparse.perplexity,
+        100.0 * sparse.relative_increase_over(&dense)
+    );
     let s = hybrid.stats();
-    println!("filter ratio (non-window): {:.1}x | sparsity: {:.1}%",
-        s.filter_ratio_nonwindow(), 100.0 * s.sparsity());
+    println!(
+        "filter ratio (non-window): {:.1}x | sparsity: {:.1}%",
+        s.filter_ratio_nonwindow(),
+        100.0 * s.sparsity()
+    );
     Ok(())
 }
 
@@ -93,14 +114,23 @@ pub fn serve(a: &Args) -> Result<(), String> {
     match sys.evaluate(users, ctx) {
         Ok(r) => {
             println!("{}: {} users @ {} tokens", sys.name(), users, ctx);
-            println!("  throughput: {:.1} tok/s ({:.1} tok/s/user)", r.throughput_tps, r.tps_per_user());
+            println!(
+                "  throughput: {:.1} tok/s ({:.1} tok/s/user)",
+                r.throughput_tps,
+                r.tps_per_user()
+            );
             println!("  per-token latency: {:.3} ms", r.latency_ms());
             let b = r.breakdown;
             println!("  breakdown: weights {:.2} ms | attn {:.2} ms | merge {:.2} ms | drex {:.2} ms | cxl {:.2} ms",
                 b.gpu_weights_ns / 1e6, b.gpu_attention_ns / 1e6, b.gpu_merge_ns / 1e6,
                 b.drex_offload_ns / 1e6, b.cxl_ns / 1e6);
         }
-        Err(e) => println!("{}: infeasible at {} users x {} tokens ({e})", sys.name(), users, ctx),
+        Err(e) => println!(
+            "{}: infeasible at {} users x {} tokens ({e})",
+            sys.name(),
+            users,
+            ctx
+        ),
     }
     println!("  max users at this context: {}", sys.max_users(ctx));
     Ok(())
@@ -108,7 +138,9 @@ pub fn serve(a: &Args) -> Result<(), String> {
 
 /// `longsight loadtest` — closed-loop serving simulation.
 pub fn loadtest(a: &Args) -> Result<(), String> {
-    a.ensure_known(&["model", "rate", "duration", "ctx-min", "ctx-max", "out-min", "out-max", "system", "seed"])?;
+    a.ensure_known(&[
+        "model", "rate", "duration", "ctx-min", "ctx-max", "out-min", "out-max", "system", "seed",
+    ])?;
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
         arrivals_per_s: a.get_or("rate", 2.0)?,
@@ -119,12 +151,30 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
     };
     let mut sys = build_system(a.get("system").unwrap_or("longsight"), model.clone())?;
     let m = simulate(sys.as_mut(), &model, &wl);
-    println!("{} under {:.1} req/s for {:.0}s ({}-{} ctx tokens):",
-        sys.name(), wl.arrivals_per_s, wl.duration_s, wl.context_tokens.0, wl.context_tokens.1);
-    println!("  completed {} | rejected {} | in flight {}", m.completed, m.rejected, m.in_flight);
-    println!("  throughput: {:.1} tok/s | mean batch {:.1}", m.throughput_tps, m.mean_batch);
-    println!("  token latency  p50 {:.2} ms  p99 {:.2} ms", m.p50_token_ms, m.p99_token_ms);
-    println!("  request latency p50 {:.1} ms  p99 {:.1} ms", m.p50_request_ms, m.p99_request_ms);
+    println!(
+        "{} under {:.1} req/s for {:.0}s ({}-{} ctx tokens):",
+        sys.name(),
+        wl.arrivals_per_s,
+        wl.duration_s,
+        wl.context_tokens.0,
+        wl.context_tokens.1
+    );
+    println!(
+        "  completed {} | rejected {} | in flight {}",
+        m.completed, m.rejected, m.in_flight
+    );
+    println!(
+        "  throughput: {:.1} tok/s | mean batch {:.1}",
+        m.throughput_tps, m.mean_batch
+    );
+    println!(
+        "  token latency  p50 {:.2} ms  p99 {:.2} ms",
+        m.p50_token_ms, m.p99_token_ms
+    );
+    println!(
+        "  request latency p50 {:.1} ms  p99 {:.1} ms",
+        m.p50_request_ms, m.p99_request_ms
+    );
     Ok(())
 }
 
@@ -159,11 +209,19 @@ pub fn tune(a: &Args) -> Result<(), String> {
 
     let cfg = ModelConfig::tiny();
     let mut rng = SimRng::seed_from(seed);
-    let model = Model::new(ModelWeights::induction(&cfg, &InductionParams::default(), &mut rng));
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
     let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), ctx, &mut rng);
     let rotations =
         training::train_rotations(&model, &text.tokens[..512.min(ctx)], &ItqConfig::default());
-    let hybrid_cfg = HybridConfig { window, sinks: 16, top_k: k };
+    let hybrid_cfg = HybridConfig {
+        window,
+        sinks: 16,
+        top_k: k,
+    };
 
     let outcome = tune_thresholds(
         cfg.layers,
@@ -178,12 +236,20 @@ pub fn tune(a: &Args) -> Result<(), String> {
             let mut backend =
                 LongSightBackend::new(hybrid_cfg.clone(), thresholds.clone(), rotations.clone());
             let r = perplexity::evaluate(&model, &text, &mut backend, (ctx / 16).max(2));
-            ProbeResult { quality: r.perplexity, stats: backend.take_stats() }
+            ProbeResult {
+                quality: r.perplexity,
+                stats: backend.take_stats(),
+            }
         },
     );
-    println!("tuned in {} probes: ppl {:.1} -> {:.1} ({:+.2}%), filter ratio {:.1}x",
-        outcome.probes, outcome.baseline_quality, outcome.final_quality,
-        100.0 * outcome.quality_increase(), outcome.final_stats.filter_ratio_nonwindow());
+    println!(
+        "tuned in {} probes: ppl {:.1} -> {:.1} ({:+.2}%), filter ratio {:.1}x",
+        outcome.probes,
+        outcome.baseline_quality,
+        outcome.final_quality,
+        100.0 * outcome.quality_increase(),
+        outcome.final_stats.filter_ratio_nonwindow()
+    );
     for ((l, h), th) in outcome.thresholds.iter() {
         println!("  layer {l} kv-head {h}: threshold {th}/{}", cfg.head_dim);
     }
@@ -197,14 +263,25 @@ pub fn layout(a: &Args) -> Result<(), String> {
     let ctx: usize = a.get_or("ctx", 1 << 20)?;
     let geo = Geometry::drex();
     let plan = UserPartition::plan(&geo, model.kv_heads, model.layers, model.head_dim, ctx, 0);
-    println!("{} @ {ctx} tokens on DReX ({} GB):", model, geo.total_bytes() >> 30);
-    println!("  slices per head: {} (max {} keys each)", plan.slices[0].len(),
-        layout::MAX_CONTEXT_SLICE_KEYS);
+    println!(
+        "{} @ {ctx} tokens on DReX ({} GB):",
+        model,
+        geo.total_bytes() >> 30
+    );
+    println!(
+        "  slices per head: {} (max {} keys each)",
+        plan.slices[0].len(),
+        layout::MAX_CONTEXT_SLICE_KEYS
+    );
     println!("  packages touched: {}", plan.packages_touched());
-    println!("  footprint: {:.1} GiB/user (keys+values+signs, all layers)",
-        plan.footprint_bytes() as f64 / (1u64 << 30) as f64);
-    println!("  max concurrent users: {}",
-        layout::max_users(&geo, model.kv_heads, model.layers, model.head_dim, ctx));
+    println!(
+        "  footprint: {:.1} GiB/user (keys+values+signs, all layers)",
+        plan.footprint_bytes() as f64 / (1u64 << 30) as f64
+    );
+    println!(
+        "  max concurrent users: {}",
+        layout::max_users(&geo, model.kv_heads, model.layers, model.head_dim, ctx)
+    );
     Ok(())
 }
 

@@ -8,14 +8,49 @@
 //! longsight tune      [--ctx 768] [--window 192] [--k 96] [--budget 0.05]
 //! longsight layout    [--model 1b|8b] [--ctx 1048576]
 //! ```
+//!
+//! Every command also accepts a global `--threads N` flag selecting the
+//! worker count for the deterministic parallel maps (`longsight-exec`);
+//! results are bit-identical at any setting.
 
 mod args;
 mod commands;
 
 use args::Args;
 
+/// Strips a global `--threads N` pair from the argument list and applies it
+/// to the worker pool ([`longsight_exec::set_thread_count`]); `--threads 1`
+/// forces the exact serial path. Output is identical at any thread count.
+fn take_threads(argv: Vec<String>) -> Result<Vec<String>, String> {
+    let mut out = Vec::with_capacity(argv.len());
+    let mut it = argv.into_iter();
+    while let Some(tok) = it.next() {
+        if tok == "--threads" {
+            let Some(v) = it.next() else {
+                return Err("flag --threads needs a value".into());
+            };
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("invalid value '{v}' for --threads"))?;
+            if n == 0 {
+                return Err("--threads must be >= 1".into());
+            }
+            longsight_exec::set_thread_count(n);
+        } else {
+            out.push(tok);
+        }
+    }
+    Ok(out)
+}
+
 fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv = match take_threads(std::env::args().skip(1).collect()) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!("{USAGE}");
         std::process::exit(2);
@@ -48,6 +83,11 @@ fn main() {
 
 const USAGE: &str = "\
 longsight — LongSight (MICRO 2025) reproduction CLI
+
+global flags:
+  --threads N  worker threads for the deterministic parallel maps
+               (default: LONGSIGHT_THREADS env or hardware; results are
+               bit-identical at any thread count; 1 = serial)
 
 commands:
   quality    dense vs LongSight hybrid perplexity + filter ratio on the

@@ -49,7 +49,11 @@ impl GranularityComparison {
     /// How many times more keys blockwise filtering fetches.
     pub fn blockwise_overfetch(&self) -> f64 {
         if self.per_token_fetched == 0 {
-            return if self.blockwise_fetched == 0 { 1.0 } else { f64::INFINITY };
+            return if self.blockwise_fetched == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         self.blockwise_fetched as f64 / self.per_token_fetched as f64
     }
@@ -87,7 +91,10 @@ impl LshFilter {
     ///
     /// Panics if any parameter is zero or `bits > 64`.
     pub fn new(dim: usize, tables: usize, bits: usize, rng: &mut SimRng) -> Self {
-        assert!(dim > 0 && tables > 0 && bits > 0, "LSH parameters must be positive");
+        assert!(
+            dim > 0 && tables > 0 && bits > 0,
+            "LSH parameters must be positive"
+        );
         assert!(bits <= 64, "signatures are stored in u64");
         let planes = (0..tables)
             .map(|_| Matrix::random_gaussian(bits, dim, rng))
@@ -166,7 +173,10 @@ mod tests {
         let per_token = crate::scf::surviving_indices(&q, &signs, 20);
         let blockwise = blockwise_surviving_indices(&q, &signs, 20, 128);
         for i in &per_token {
-            assert!(blockwise.contains(i), "blockwise must contain every per-token survivor");
+            assert!(
+                blockwise.contains(i),
+                "blockwise must contain every per-token survivor"
+            );
         }
     }
 
@@ -202,7 +212,10 @@ mod tests {
         for s in 0..40 {
             let mut rng2 = SimRng::seed_from(100 + s);
             let base = rng2.normal_vec(32);
-            let near: Vec<f32> = base.iter().map(|x| x + 0.05 * rng2.normal() as f32).collect();
+            let near: Vec<f32> = base
+                .iter()
+                .map(|x| x + 0.05 * rng2.normal() as f32)
+                .collect();
             let far = rng2.normal_vec(32);
             let bs = f.signatures(&base);
             if f.candidates(&bs, &[f.signatures(&near)]).len() == 1 {
@@ -236,7 +249,10 @@ mod tests {
         for p in 0..probes {
             // Query near one of the keys (a genuine neighbor query).
             let target = &keys[(p * 97) % keys.len()];
-            let q: Vec<f32> = target.iter().map(|x| x + 0.3 * rng.normal() as f32).collect();
+            let q: Vec<f32> = target
+                .iter()
+                .map(|x| x + 0.3 * rng.normal() as f32)
+                .collect();
             let scores: Vec<f32> = keys.iter().map(|k| vecops::dot(&q, k)).collect();
             let truth = top_k_indices(&scores, 16);
 

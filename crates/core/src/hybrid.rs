@@ -162,25 +162,52 @@ impl AttentionBackend for LongSightBackend {
 
         let n = req.position + 1;
         let region = window_start - sinks_end;
+        let top_k = self.config.top_k;
         let mut outputs = Vec::with_capacity(req.queries.len());
         for q in req.queries {
             // --- Sparse pipeline over [sinks_end, window_start) ---
             let mut candidates: Vec<usize> = (0..sinks_end).collect();
             let mut scored = 0u64;
             let mut retrieved = 0u64;
-            if region > 0 && self.config.top_k > 0 {
+            if region > 0 && top_k > 0 {
                 let q_signs = rotation.signs(q);
-                let mut top = TopK::new(self.config.top_k);
-                for i in sinks_end..window_start {
-                    // Stage 1: in-memory filtering (PFU).
-                    if !scf_pass(&q_signs, &cache.signs[i], threshold) {
-                        continue;
+                let signs = &cache.signs;
+                // The filter→score→rank scan is embarrassingly parallel over
+                // fixed-size chunks of the sparse region (this mirrors the
+                // per-partition PFU parallelism of the real device). Each
+                // chunk keeps a bounded local top-k; merging the per-chunk
+                // survivors through one final heap is *bit-identical* to the
+                // serial scan, because a TopK's retained set is a pure
+                // function of the pushed (score, index) multiset — any
+                // global top-k element is necessarily in its own chunk's
+                // local top-k, and scores are computed per element from the
+                // same inputs either way.
+                const SCAN_CHUNK: usize = 4096;
+                let chunks = region.div_ceil(SCAN_CHUNK);
+                let partials = longsight_exec::map_range(chunks, |c| {
+                    let start = sinks_end + c * SCAN_CHUNK;
+                    let end = (start + SCAN_CHUNK).min(window_start);
+                    let mut top = TopK::new(top_k);
+                    let mut chunk_scored = 0u64;
+                    for i in start..end {
+                        // Stage 1: in-memory filtering (PFU).
+                        if !scf_pass(&q_signs, &signs[i], threshold) {
+                            continue;
+                        }
+                        // Stage 2: full-precision scoring (NMA).
+                        chunk_scored += 1;
+                        let s = vecops::dot(q, keys.get(i));
+                        // Stage 3: ranking.
+                        top.push(s, i);
                     }
-                    // Stage 2: full-precision scoring (NMA).
-                    scored += 1;
-                    let s = vecops::dot(q, keys.get(i));
-                    // Stage 3: ranking.
-                    top.push(s, i);
+                    (top.into_sorted_vec(), chunk_scored)
+                });
+                let mut top = TopK::new(top_k);
+                for (part, chunk_scored) in partials {
+                    scored += chunk_scored;
+                    for e in part {
+                        top.push(e.score, e.index);
+                    }
                 }
                 let selected = top.into_sorted_vec();
                 retrieved = selected.len() as u64;
@@ -277,7 +304,10 @@ mod tests {
         let q = rng.normal_vec(8);
         let (got, want) = run_both(&mut backend, &history, &q, 63);
         for (a, b) in got.iter().zip(&want) {
-            assert!((a - b).abs() < 1e-5, "hybrid must equal dense when nothing is pruned");
+            assert!(
+                (a - b).abs() < 1e-5,
+                "hybrid must equal dense when nothing is pruned"
+            );
         }
     }
 

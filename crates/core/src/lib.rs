@@ -37,9 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod baseline_filters;
-pub mod quant_filter;
 mod hybrid;
 mod itq;
+pub mod quant_filter;
 mod scf;
 mod stats;
 pub mod trace_eval;
@@ -50,8 +50,8 @@ pub use baseline_filters::{
     blockwise_surviving_indices, compare_granularity, GranularityComparison, LshFilter,
 };
 pub use hybrid::{HybridConfig, LongSightBackend};
-pub use quant_filter::{QuantFilter, QuantVec, SCF_BYTES_LOADED_FRACTION};
 pub use itq::{ItqConfig, ItqRotation, RotationTable};
+pub use quant_filter::{QuantFilter, QuantVec, SCF_BYTES_LOADED_FRACTION};
 pub use scf::{
     filter_block, scf_pass, surviving_indices, ThresholdTable, PFU_BLOCK_KEYS, PFU_MAX_QUERIES,
 };

@@ -10,7 +10,7 @@
 //! reads only the 1-bit sign plane (`1/16 = 6.25 %` of BF16, and the PFUs
 //! read it *in place* without moving it to an accelerator at all).
 
-use longsight_tensor::{vecops, TopK};
+use longsight_tensor::TopK;
 
 /// A symmetrically-quantized vector: `bits`-wide signed codes plus one scale.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +27,10 @@ impl QuantVec {
     ///
     /// Panics unless `2 <= bits <= 8`.
     pub fn quantize(v: &[f32], bits: u32) -> Self {
-        assert!((2..=8).contains(&bits), "supported code widths are 2..=8 bits");
+        assert!(
+            (2..=8).contains(&bits),
+            "supported code widths are 2..=8 bits"
+        );
         let max_code = ((1i32 << (bits - 1)) - 1) as f32;
         let amax = v.iter().fold(0.0f32, |m, x| m.max(x.abs()));
         let scale = if amax > 0.0 { amax / max_code } else { 1.0 };
@@ -113,7 +116,7 @@ pub const SCF_BYTES_LOADED_FRACTION: f64 = 1.0 / 16.0;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use longsight_tensor::{top_k_indices, SimRng};
+    use longsight_tensor::{top_k_indices, vecops, SimRng};
 
     #[test]
     fn quantization_round_trips_within_step_size() {
@@ -126,7 +129,10 @@ mod tests {
             let amax = v.iter().fold(0.0f32, |m, x| m.max(x.abs()));
             let step = amax / max_code;
             for (a, b) in v.iter().zip(&back) {
-                assert!((a - b).abs() <= step / 2.0 + 1e-6, "{bits}-bit error too large");
+                assert!(
+                    (a - b).abs() <= step / 2.0 + 1e-6,
+                    "{bits}-bit error too large"
+                );
             }
         }
     }
@@ -160,7 +166,10 @@ mod tests {
         let r4 = recall(4);
         let r8 = recall(8);
         assert!(r8 >= r4, "8-bit recall {r8} must be >= 4-bit {r4}");
-        assert!(r8 >= 28, "8-bit approximate scores should nearly match exact");
+        assert!(
+            r8 >= 28,
+            "8-bit approximate scores should nearly match exact"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl ThresholdTable {
     ///
     /// Panics if out of range.
     pub fn get(&self, layer: usize, kv_head: usize) -> u32 {
-        assert!(layer < self.layers && kv_head < self.kv_heads, "head out of range");
+        assert!(
+            layer < self.layers && kv_head < self.kv_heads,
+            "head out of range"
+        );
         self.values[layer * self.kv_heads + kv_head]
     }
 
@@ -71,7 +74,10 @@ impl ThresholdTable {
     ///
     /// Panics if out of range.
     pub fn set(&mut self, layer: usize, kv_head: usize, threshold: u32) {
-        assert!(layer < self.layers && kv_head < self.kv_heads, "head out of range");
+        assert!(
+            layer < self.layers && kv_head < self.kv_heads,
+            "head out of range"
+        );
         self.values[layer * self.kv_heads + kv_head] = threshold;
     }
 
@@ -153,7 +159,9 @@ mod tests {
         let q = signs_of(&[1.0, 1.0, -1.0, -1.0]);
         let keys: Vec<SignBits> = (0..10)
             .map(|i| {
-                let v: Vec<f32> = (0..4).map(|d| if (i + d) % 3 == 0 { -1.0 } else { 1.0 }).collect();
+                let v: Vec<f32> = (0..4)
+                    .map(|d| if (i + d) % 3 == 0 { -1.0 } else { 1.0 })
+                    .collect();
                 signs_of(&v)
             })
             .collect();

@@ -79,7 +79,12 @@ pub fn evaluate_trace(
     let mut err_sum = 0.0f64;
 
     let all: Vec<usize> = (0..n).collect();
-    for probe in &trace.queries {
+    // Each probe is an independent evaluation of the same read-only trace
+    // state, so the probe loop runs on the deterministic parallel map; the
+    // accumulators are folded serially in probe order below, which keeps the
+    // floating-point `err_sum` reduction order — and therefore every metric —
+    // bit-identical to the serial loop at any thread count.
+    let per_probe = longsight_exec::deterministic_map(&trace.queries, |_, probe| {
         let q = &probe.q;
         let q_signs = rotation.signs(q);
 
@@ -98,16 +103,19 @@ pub fn evaluate_trace(
         }
         let retrieved: Vec<usize> = top.into_sorted_vec().iter().map(|s| s.index).collect();
         let exact: Vec<usize> = true_top.into_sorted_vec().iter().map(|s| s.index).collect();
-        topk_hits += exact.iter().filter(|i| retrieved.contains(i)).count();
-        topk_total += exact.len();
+        let probe_topk_hits = exact.iter().filter(|i| retrieved.contains(i)).count();
+        let probe_topk_total = exact.len();
 
         let mut candidates: Vec<usize> = (0..sinks_end).collect();
         candidates.extend(retrieved.iter().copied());
         candidates.extend(window_start..n);
         candidates.sort_unstable();
 
-        gt_hits += probe.relevant.iter().filter(|i| candidates.binary_search(i).is_ok()).count();
-        gt_total += probe.relevant.len();
+        let probe_gt_hits = probe
+            .relevant
+            .iter()
+            .filter(|i| candidates.binary_search(i).is_ok())
+            .count();
 
         let hybrid_out = attend_over_indices(q, &history, &candidates, scale);
         let dense_out = attend_over_indices(q, &history, &all, scale);
@@ -118,18 +126,36 @@ pub fn evaluate_trace(
             .sum::<f32>()
             .sqrt();
         let denom = vecops::l2_norm(&dense_out).max(1e-12);
-        err_sum += (diff / denom) as f64;
+        let rel_err = (diff / denom) as f64;
+
+        (
+            probe_topk_hits,
+            probe_topk_total,
+            probe_gt_hits,
+            probe.relevant.len(),
+            rel_err,
+            scored,
+            retrieved.len() as u64,
+        )
+    });
+    for (p_topk_hits, p_topk_total, p_gt_hits, p_gt_total, rel_err, scored, retrieved) in per_probe
+    {
+        topk_hits += p_topk_hits;
+        topk_total += p_topk_total;
+        gt_hits += p_gt_hits;
+        gt_total += p_gt_total;
+        err_sum += rel_err;
 
         stats.queries += 1;
         stats.dense_kv += n as u64;
         stats.window_accessed += (n - window_start) as u64 + sinks_end as u64;
         stats.sparse_region += region as u64;
         stats.scored += scored;
-        stats.retrieved += retrieved.len() as u64;
+        stats.retrieved += retrieved;
         let ph = &mut stats.per_head[0];
         ph.region += region as u64;
         ph.scored += scored;
-        ph.retrieved += retrieved.len() as u64;
+        ph.retrieved += retrieved;
     }
 
     let probes = trace.queries.len().max(1) as f64;
@@ -173,7 +199,11 @@ mod tests {
             },
             0,
         );
-        assert!((q.topk_recall - 1.0).abs() < 1e-12, "recall {}", q.topk_recall);
+        assert!(
+            (q.topk_recall - 1.0).abs() < 1e-12,
+            "recall {}",
+            q.topk_recall
+        );
         assert!(q.output_rel_err < 0.2, "output error {}", q.output_rel_err);
     }
 

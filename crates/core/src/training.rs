@@ -51,8 +51,15 @@ impl AttentionBackend for QueryRecorder {
 /// # Panics
 ///
 /// Panics if `calibration_tokens` is empty.
-pub fn train_rotations(model: &Model, calibration_tokens: &[u32], itq: &ItqConfig) -> RotationTable {
-    assert!(!calibration_tokens.is_empty(), "calibration sequence is empty");
+pub fn train_rotations(
+    model: &Model,
+    calibration_tokens: &[u32],
+    itq: &ItqConfig,
+) -> RotationTable {
+    assert!(
+        !calibration_tokens.is_empty(),
+        "calibration sequence is empty"
+    );
     let cfg = model.config().clone();
     let mut cache = model.new_cache();
     let mut recorder = QueryRecorder::new(cfg.layers, cfg.kv_heads);
@@ -115,7 +122,14 @@ mod tests {
             &mut rng,
         ));
         let tokens: Vec<u32> = (0..96).map(|_| rng.below(cfg.vocab) as u32).collect();
-        let table = train_rotations(&model, &tokens, &ItqConfig { iterations: 12, seed: 1 });
+        let table = train_rotations(
+            &model,
+            &tokens,
+            &ItqConfig {
+                iterations: 12,
+                seed: 1,
+            },
+        );
         for l in 0..cfg.layers {
             for h in 0..cfg.kv_heads {
                 let r = table.get(l, h);

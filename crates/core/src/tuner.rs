@@ -104,9 +104,7 @@ pub fn tune_thresholds(
             .iter()
             .enumerate()
             .filter(|(i, _)| !frozen[*i])
-            .filter(|(i, _)| {
-                thresholds.get(i / kv_heads, i % kv_heads) < cfg.max_threshold
-            })
+            .filter(|(i, _)| thresholds.get(i / kv_heads, i % kv_heads) < cfg.max_threshold)
             .min_by(|a, b| a.1.filter_ratio().total_cmp(&b.1.filter_ratio()));
         let Some((head_idx, _)) = candidate else {
             break; // every head frozen or capped

@@ -1,4 +1,5 @@
-//! Property-based tests for the LongSight algorithm crate.
+//! Property-based tests for the LongSight algorithm crate, on the in-repo
+//! [`check`](longsight_tensor::check) runner.
 
 use longsight_core::baseline_filters::blockwise_surviving_indices;
 use longsight_core::quant_filter::QuantVec;
@@ -7,8 +8,8 @@ use longsight_core::{
     ThresholdTable,
 };
 use longsight_model::{AttentionBackend, AttentionRequest, DenseBackend, HeadKv};
-use longsight_tensor::{vecops, Matrix, SignBits, SimRng};
-use proptest::prelude::*;
+use longsight_tensor::check::{run_cases, run_seed, Gen};
+use longsight_tensor::{prop_ensure, prop_ensure_eq, vecops, Matrix, SignBits, SimRng};
 
 fn history(n: usize, dim: usize, seed: u64) -> HeadKv {
     let mut rng = SimRng::seed_from(seed);
@@ -21,133 +22,211 @@ fn history(n: usize, dim: usize, seed: u64) -> HeadKv {
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// With threshold 0 and k covering the region, the hybrid backend is
-    /// numerically identical to dense attention — for any window/sink split.
-    #[test]
-    fn hybrid_equals_dense_when_nothing_pruned(
-        n in 2usize..80,
-        window in 1usize..100,
-        sinks in 0usize..20,
-        seed in 0u64..500,
-    ) {
-        let dim = 16;
-        let h = history(n, dim, seed);
-        let mut rng = SimRng::seed_from(seed ^ 0xABCD);
-        let q = vec![rng.normal_vec(dim)];
-        let req = AttentionRequest {
-            layer: 0,
-            kv_head: 0,
-            position: n - 1,
-            queries: &q,
-            history: &h,
-            scale: 0.25,
-        };
-        let mut hybrid = LongSightBackend::new(
-            HybridConfig { window, sinks, top_k: n.min(1024) },
-            ThresholdTable::zeros(1, 1),
-            RotationTable::identity(1, 1, dim),
-        );
-        let got = hybrid.attend(&req);
-        let want = DenseBackend::new().attend(&req);
-        for (a, b) in got[0].iter().zip(&want[0]) {
-            prop_assert!((a - b).abs() < 1e-4, "hybrid {a} vs dense {b}");
-        }
+/// With threshold 0 and k covering the region, the hybrid backend is
+/// numerically identical to dense attention — for any window/sink split.
+fn check_hybrid_equals_dense(g: &mut Gen) -> Result<(), String> {
+    let n = g.usize_in(2, 80);
+    let window = g.usize_in(1, 100);
+    let sinks = g.usize_in(0, 20);
+    let seed = g.u64_in(0, 500);
+    let dim = 16;
+    let h = history(n, dim, seed);
+    let mut rng = SimRng::seed_from(seed ^ 0xABCD);
+    let q = vec![rng.normal_vec(dim)];
+    let req = AttentionRequest {
+        layer: 0,
+        kv_head: 0,
+        position: n - 1,
+        queries: &q,
+        history: &h,
+        scale: 0.25,
+    };
+    let mut hybrid = LongSightBackend::new(
+        HybridConfig {
+            window,
+            sinks,
+            top_k: n.min(1024),
+        },
+        ThresholdTable::zeros(1, 1),
+        RotationTable::identity(1, 1, dim),
+    );
+    let got = hybrid.attend(&req);
+    let want = DenseBackend::new().attend(&req);
+    for (a, b) in got[0].iter().zip(&want[0]) {
+        prop_ensure!((a - b).abs() < 1e-4, "hybrid {a} vs dense {b}");
     }
+    Ok(())
+}
 
-    /// Raising the SCF threshold can only shrink the survivor set, and the
-    /// blockwise variant always covers the per-token one.
-    #[test]
-    fn survivor_monotonicity_and_block_covering(
-        n in 1usize..300,
-        th in 0u32..17,
-        seed in 0u64..500,
-    ) {
-        let mut rng = SimRng::seed_from(seed);
-        let signs: Vec<SignBits> = (0..n)
-            .map(|_| SignBits::from_slice(&rng.normal_vec(16)))
-            .collect();
-        let q = SignBits::from_slice(&rng.normal_vec(16));
-        let a = surviving_indices(&q, &signs, th);
-        let b = surviving_indices(&q, &signs, th + 1);
-        prop_assert!(b.len() <= a.len());
-        for i in &b {
-            prop_assert!(a.contains(i), "higher-threshold survivors must be a subset");
-        }
-        let blocks = blockwise_surviving_indices(&q, &signs, th, 64);
-        for i in &a {
-            prop_assert!(blocks.contains(i));
-        }
-    }
+#[test]
+fn hybrid_equals_dense_when_nothing_pruned() {
+    run_cases(
+        "hybrid_equals_dense_when_nothing_pruned",
+        24,
+        check_hybrid_equals_dense,
+    );
+}
 
-    /// ITQ rotations are orthogonal and preserve pairwise dot products, so
-    /// full-precision scoring is unaffected by the sign-bit transform.
-    #[test]
-    fn itq_preserves_scores(seed in 0u64..300, dim in 4usize..24) {
-        let mut rng = SimRng::seed_from(seed);
-        let data = Matrix::random_gaussian(64, dim, &mut rng);
-        let rot = ItqRotation::train(&data, &ItqConfig { iterations: 10, seed });
-        let a = rng.normal_vec(dim);
-        let b = rng.normal_vec(dim);
-        let before = vecops::dot(&a, &b);
-        let after = vecops::dot(&rot.apply(&a), &rot.apply(&b));
-        prop_assert!((before - after).abs() < 1e-2 * (1.0 + before.abs()));
+/// Raising the SCF threshold can only shrink the survivor set, and the
+/// blockwise variant always covers the per-token one.
+fn check_survivor_monotonicity(g: &mut Gen) -> Result<(), String> {
+    let n = g.usize_in(1, 300);
+    let th = g.u32_in(0, 17);
+    let seed = g.u64_in(0, 500);
+    let mut rng = SimRng::seed_from(seed);
+    let signs: Vec<SignBits> = (0..n)
+        .map(|_| SignBits::from_slice(&rng.normal_vec(16)))
+        .collect();
+    let q = SignBits::from_slice(&rng.normal_vec(16));
+    let a = surviving_indices(&q, &signs, th);
+    let b = surviving_indices(&q, &signs, th + 1);
+    prop_ensure!(b.len() <= a.len());
+    for i in &b {
+        prop_ensure!(a.contains(i), "higher-threshold survivors must be a subset");
     }
+    let blocks = blockwise_surviving_indices(&q, &signs, th, 64);
+    for i in &a {
+        prop_ensure!(blocks.contains(i));
+    }
+    Ok(())
+}
 
-    /// Quantized dot products converge to the exact value as bits grow
-    /// (statistically — individual draws can be lucky at low precision).
-    #[test]
-    fn quantized_dot_error_shrinks_with_bits(seed in 0u64..300) {
-        let mut rng = SimRng::seed_from(seed);
-        let mut err2 = 0.0f32;
-        let mut err8 = 0.0f32;
-        for _ in 0..16 {
-            let a = rng.normal_vec(64);
-            let b = rng.normal_vec(64);
-            let exact = vecops::dot(&a, &b);
-            let approx = |bits: u32| {
-                QuantVec::quantize(&a, bits).dot(&QuantVec::quantize(&b, bits))
-            };
-            err2 += (approx(2) - exact).abs();
-            err8 += (approx(8) - exact).abs();
-        }
-        prop_assert!(err8 < err2, "mean 8-bit error {err8} must beat 2-bit {err2}");
-    }
+#[test]
+fn survivor_monotonicity_and_block_covering() {
+    run_cases(
+        "survivor_monotonicity_and_block_covering",
+        24,
+        check_survivor_monotonicity,
+    );
+}
 
-    /// The filter-ratio bookkeeping is internally consistent: scored keys
-    /// never exceed the sparse region, retrieved never exceed min(k, scored).
-    #[test]
-    fn stats_are_internally_consistent(
-        n in 2usize..120,
-        window in 1usize..40,
-        k in 1usize..50,
-        th in 0u32..10,
-        seed in 0u64..300,
-    ) {
-        let dim = 16;
-        let h = history(n, dim, seed);
-        let mut rng = SimRng::seed_from(seed ^ 0x7777);
-        let q = vec![rng.normal_vec(dim)];
-        let req = AttentionRequest {
-            layer: 0,
-            kv_head: 0,
-            position: n - 1,
-            queries: &q,
-            history: &h,
-            scale: 0.25,
-        };
-        let mut hybrid = LongSightBackend::new(
-            HybridConfig { window, sinks: 2, top_k: k },
-            ThresholdTable::uniform(1, 1, th),
-            RotationTable::identity(1, 1, dim),
-        );
-        let _ = hybrid.attend(&req);
-        let s = hybrid.stats();
-        prop_assert!(s.scored <= s.sparse_region);
-        prop_assert!(s.retrieved <= s.scored.min(k as u64));
-        prop_assert_eq!(s.dense_kv, n as u64);
-        prop_assert!(s.window_accessed as usize <= n);
+/// ITQ rotations are orthogonal and preserve pairwise dot products, so
+/// full-precision scoring is unaffected by the sign-bit transform.
+fn check_itq_preserves_scores(seed: u64, dim: usize) -> Result<(), String> {
+    let mut rng = SimRng::seed_from(seed);
+    let data = Matrix::random_gaussian(64, dim, &mut rng);
+    let rot = ItqRotation::train(
+        &data,
+        &ItqConfig {
+            iterations: 10,
+            seed,
+        },
+    );
+    let a = rng.normal_vec(dim);
+    let b = rng.normal_vec(dim);
+    let before = vecops::dot(&a, &b);
+    let after = vecops::dot(&rot.apply(&a), &rot.apply(&b));
+    prop_ensure!(
+        (before - after).abs() < 1e-2 * (1.0 + before.abs()),
+        "dot {before} drifted to {after} under ITQ rotation (seed {seed}, dim {dim})"
+    );
+    Ok(())
+}
+
+#[test]
+fn itq_preserves_scores() {
+    run_cases("itq_preserves_scores", 24, |g| {
+        let seed = g.u64_in(0, 300);
+        let dim = g.usize_in(4, 24);
+        check_itq_preserves_scores(seed, dim)
+    });
+}
+
+/// Quantized dot products converge to the exact value as bits grow
+/// (statistically — individual draws can be lucky at low precision).
+fn check_quantized_dot_error(seed: u64) -> Result<(), String> {
+    let mut rng = SimRng::seed_from(seed);
+    let mut err2 = 0.0f32;
+    let mut err8 = 0.0f32;
+    for _ in 0..16 {
+        let a = rng.normal_vec(64);
+        let b = rng.normal_vec(64);
+        let exact = vecops::dot(&a, &b);
+        let approx = |bits: u32| QuantVec::quantize(&a, bits).dot(&QuantVec::quantize(&b, bits));
+        err2 += (approx(2) - exact).abs();
+        err8 += (approx(8) - exact).abs();
     }
+    prop_ensure!(
+        err8 < err2,
+        "mean 8-bit error {err8} must beat 2-bit {err2}"
+    );
+    Ok(())
+}
+
+#[test]
+fn quantized_dot_error_shrinks_with_bits() {
+    run_cases("quantized_dot_error_shrinks_with_bits", 24, |g| {
+        check_quantized_dot_error(g.u64_in(0, 300))
+    });
+}
+
+/// Regression: proptest once shrank a failure of the quantized-dot property
+/// to `seed = 244` (crates/core/tests/proptests.proptest-regressions). That
+/// property is the only one in this suite whose entire input is a single
+/// `seed`, so the case is pinned here by name; the RNG swap changed the
+/// stream behind the seed, but the seed value itself stays covered forever.
+#[test]
+fn regression_quantized_dot_error_seed_244() {
+    run_seed("quantized_dot_error_shrinks_with_bits", 244, |g| {
+        check_quantized_dot_error(g.u64_in(0, 300))
+    });
+    // Also exercise the library path at the literal seed value, matching the
+    // pre-port failure exactly (proptest passed the shrunk seed straight in).
+    check_quantized_dot_error(244).unwrap();
+}
+
+/// Belt-and-braces for the same recorded seed against the other seed-driven
+/// property: ITQ training at seed 244 across the original dim range.
+#[test]
+fn regression_itq_preserves_scores_seed_244() {
+    for dim in 4..24 {
+        check_itq_preserves_scores(244, dim).unwrap();
+    }
+}
+
+/// The filter-ratio bookkeeping is internally consistent: scored keys never
+/// exceed the sparse region, retrieved never exceed min(k, scored).
+fn check_stats_consistency(g: &mut Gen) -> Result<(), String> {
+    let n = g.usize_in(2, 120);
+    let window = g.usize_in(1, 40);
+    let k = g.usize_in(1, 50);
+    let th = g.u32_in(0, 10);
+    let seed = g.u64_in(0, 300);
+    let dim = 16;
+    let h = history(n, dim, seed);
+    let mut rng = SimRng::seed_from(seed ^ 0x7777);
+    let q = vec![rng.normal_vec(dim)];
+    let req = AttentionRequest {
+        layer: 0,
+        kv_head: 0,
+        position: n - 1,
+        queries: &q,
+        history: &h,
+        scale: 0.25,
+    };
+    let mut hybrid = LongSightBackend::new(
+        HybridConfig {
+            window,
+            sinks: 2,
+            top_k: k,
+        },
+        ThresholdTable::uniform(1, 1, th),
+        RotationTable::identity(1, 1, dim),
+    );
+    let _ = hybrid.attend(&req);
+    let s = hybrid.stats();
+    prop_ensure!(s.scored <= s.sparse_region);
+    prop_ensure!(s.retrieved <= s.scored.min(k as u64));
+    prop_ensure_eq!(s.dense_kv, n as u64);
+    prop_ensure!(s.window_accessed as usize <= n);
+    Ok(())
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    run_cases(
+        "stats_are_internally_consistent",
+        24,
+        check_stats_consistency,
+    );
 }

@@ -157,7 +157,10 @@ mod tests {
         let b = m.decode(32);
         assert_eq!(a.col, 0);
         assert_eq!(b.col, 1);
-        assert_eq!((a.row, a.bank, a.channel, a.package), (b.row, b.bank, b.channel, b.package));
+        assert_eq!(
+            (a.row, a.bank, a.channel, a.package),
+            (b.row, b.bank, b.channel, b.package)
+        );
     }
 
     #[test]
@@ -171,7 +174,14 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let m = AddressMapping::new(Geometry::drex());
-        for addr in [0usize, 32, 2048, 123 * 32, (1 << 30) + 64 * 32, (400usize << 30) + 32] {
+        for addr in [
+            0usize,
+            32,
+            2048,
+            123 * 32,
+            (1 << 30) + 64 * 32,
+            (400usize << 30) + 32,
+        ] {
             assert_eq!(m.encode(m.decode(addr)), addr);
         }
     }
@@ -182,7 +192,10 @@ mod tests {
         let a = m.decode(0);
         let b = m.decode(m.channel_stride());
         assert_eq!(b.channel, a.channel + 1);
-        assert_eq!((a.bank, a.row, a.col, a.package), (b.bank, b.row, b.col, b.package));
+        assert_eq!(
+            (a.bank, a.row, a.col, a.package),
+            (b.bank, b.row, b.col, b.package)
+        );
     }
 
     #[test]

@@ -295,6 +295,29 @@ impl ChannelSim {
     }
 }
 
+/// Runs one independent [`ChannelSim`] per request batch and returns each
+/// channel's completions and final statistics, in input order.
+///
+/// LPDDR5X channels share nothing (own command/data bus, own banks), so the
+/// batches simulate concurrently on the deterministic parallel map
+/// ([`longsight_exec::deterministic_map`]); every channel's result is
+/// bit-identical to running it alone, at any thread count.
+///
+/// # Panics
+///
+/// Panics if `banks == 0` or any request names a bank out of range.
+pub fn run_channels(
+    timing: &DramTiming,
+    banks: usize,
+    per_channel: &[Vec<Request>],
+) -> Vec<(Vec<Completion>, ChannelStats)> {
+    longsight_exec::deterministic_map(per_channel, |_, requests| {
+        let mut sim = ChannelSim::new(timing.clone(), banks);
+        let completions = sim.run(requests);
+        (completions, *sim.stats())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,11 +363,19 @@ mod tests {
         // 8 accesses to 8 different rows of the SAME bank.
         let mut s1 = sim();
         let conflict: Vec<Request> = (0..8).map(|r| Request::read(0, r, 0)).collect();
-        let f1 = s1.run(&conflict).iter().map(|c| c.finish).fold(0.0, f64::max);
+        let f1 = s1
+            .run(&conflict)
+            .iter()
+            .map(|c| c.finish)
+            .fold(0.0, f64::max);
         // 8 accesses to 8 different banks.
         let mut s2 = sim();
         let parallel: Vec<Request> = (0..8).map(|b| Request::read(b, 0, 0)).collect();
-        let f2 = s2.run(&parallel).iter().map(|c| c.finish).fold(0.0, f64::max);
+        let f2 = s2
+            .run(&parallel)
+            .iter()
+            .map(|c| c.finish)
+            .fold(0.0, f64::max);
         assert!(
             f1 > f2,
             "bank conflicts ({f1} ns) must be slower than bank parallelism ({f2} ns)"
@@ -415,12 +446,18 @@ mod tests {
         // roughly t_rfc/t_refi of its bandwidth.
         let t = DramTiming::lpddr5x_8533();
         let mut with = ChannelSim::new(t.clone(), 16);
-        let reqs: Vec<Request> = (0..8192).map(|c| Request::read(0, c / 64 % 8, c % 64)).collect();
+        let reqs: Vec<Request> = (0..8192)
+            .map(|c| Request::read(0, c / 64 % 8, c % 64))
+            .collect();
         let f_with = with.run(&reqs).iter().map(|c| c.finish).fold(0.0, f64::max);
         let mut no_refresh = t.clone();
         no_refresh.t_refi = 0.0;
         let mut without = ChannelSim::new(no_refresh, 16);
-        let f_without = without.run(&reqs).iter().map(|c| c.finish).fold(0.0, f64::max);
+        let f_without = without
+            .run(&reqs)
+            .iter()
+            .map(|c| c.finish)
+            .fold(0.0, f64::max);
         assert!(f_with > f_without, "refresh must cost something");
         let overhead = f_with / f_without - 1.0;
         assert!(
@@ -437,6 +474,26 @@ mod tests {
         let reqs: Vec<Request> = (0..8).map(|c| Request::read(0, 0, c)).collect();
         let f = s.run(&reqs).iter().map(|c| c.finish).fold(0.0, f64::max);
         assert!(f < 200.0);
+    }
+
+    #[test]
+    fn run_channels_matches_independent_serial_runs() {
+        let t = DramTiming::lpddr5x_8533();
+        let batches: Vec<Vec<Request>> = (0..6)
+            .map(|ch| {
+                (0..256)
+                    .map(|i| Request::read((i + ch) % 16, (i / 16 + ch) % 8, i % 64))
+                    .collect()
+            })
+            .collect();
+        let parallel = run_channels(&t, 16, &batches);
+        assert_eq!(parallel.len(), batches.len());
+        for (batch, (comps, stats)) in batches.iter().zip(&parallel) {
+            let mut solo = ChannelSim::new(t.clone(), 16);
+            let expect = solo.run(batch);
+            assert_eq!(comps, &expect, "channel completions diverged");
+            assert_eq!(stats, solo.stats(), "channel stats diverged");
+        }
     }
 
     #[test]

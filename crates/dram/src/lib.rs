@@ -26,5 +26,5 @@ mod channel;
 mod timing;
 
 pub use address::{AddressMapping, Geometry, Location};
-pub use channel::{ChannelSim, ChannelStats, Completion, Request};
+pub use channel::{run_channels, ChannelSim, ChannelStats, Completion, Request};
 pub use timing::DramTiming;

@@ -1,90 +1,116 @@
-//! Property-based tests for the DRAM simulator.
+//! Property-based tests for the DRAM simulator, on the in-repo
+//! [`check`](longsight_tensor::check) runner.
 
 use longsight_dram::{AddressMapping, ChannelSim, DramTiming, Geometry, Location, Request};
-use proptest::prelude::*;
+use longsight_tensor::check::{run_cases, Gen};
+use longsight_tensor::{prop_ensure, prop_ensure_eq, prop_ensure_ne};
 
-fn arb_requests(max: usize) -> impl Strategy<Value = Vec<Request>> {
-    prop::collection::vec(
-        (0usize..16, 0usize..64, 0usize..64, any::<bool>(), 0.0f64..10_000.0),
-        1..max,
-    )
-    .prop_map(|v| {
-        v.into_iter()
-            .map(|(bank, row, col, is_write, arrival)| Request {
-                bank,
-                row,
-                col,
-                is_write,
-                arrival,
-            })
-            .collect()
-    })
+/// Random request batch: up to `max` requests over 16 banks.
+fn arb_requests(g: &mut Gen, max: usize) -> Vec<Request> {
+    let n = g.usize_in(1, max);
+    (0..n)
+        .map(|_| Request {
+            bank: g.usize_in(0, 16),
+            row: g.usize_in(0, 64),
+            col: g.usize_in(0, 64),
+            is_write: g.bool(),
+            arrival: g.f64_in(0.0, 10_000.0),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_request_completes_after_its_arrival(reqs in arb_requests(64)) {
+#[test]
+fn every_request_completes_after_its_arrival() {
+    run_cases("every_request_completes_after_its_arrival", 48, |g| {
+        let reqs = arb_requests(g, 64);
         let mut sim = ChannelSim::new(DramTiming::lpddr5x_8533(), 16);
         let done = sim.run(&reqs);
         for (c, r) in done.iter().zip(&reqs) {
-            prop_assert!(c.finish > r.arrival, "finish {} before arrival {}", c.finish, r.arrival);
+            prop_ensure!(
+                c.finish > r.arrival,
+                "finish {} before arrival {}",
+                c.finish,
+                r.arrival
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn data_bus_never_double_booked(reqs in arb_requests(48)) {
+#[test]
+fn data_bus_never_double_booked() {
+    run_cases("data_bus_never_double_booked", 48, |g| {
+        let reqs = arb_requests(g, 48);
         let t = DramTiming::lpddr5x_8533();
         let mut sim = ChannelSim::new(t.clone(), 16);
         let mut finishes: Vec<f64> = sim.run(&reqs).iter().map(|c| c.finish).collect();
         finishes.sort_by(f64::total_cmp);
         for w in finishes.windows(2) {
-            prop_assert!(
+            prop_ensure!(
                 w[1] - w[0] >= t.burst_ns - 1e-9,
                 "bursts {} and {} overlap on the data bus",
                 w[0],
                 w[1]
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bandwidth_bounded_by_bus_peak(reqs in arb_requests(64)) {
+#[test]
+fn bandwidth_bounded_by_bus_peak() {
+    run_cases("bandwidth_bounded_by_bus_peak", 48, |g| {
+        let reqs = arb_requests(g, 64);
         let t = DramTiming::lpddr5x_8533();
         let mut sim = ChannelSim::new(t.clone(), 16);
         sim.run(&reqs);
-        prop_assert!(sim.stats().bandwidth_gbps(t.burst_bytes) <= t.channel_bandwidth_gbps() + 1e-9);
-    }
+        prop_ensure!(
+            sim.stats().bandwidth_gbps(t.burst_bytes) <= t.channel_bandwidth_gbps() + 1e-9
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn first_access_to_each_bank_is_never_a_hit(reqs in arb_requests(48)) {
+#[test]
+fn first_access_to_each_bank_is_never_a_hit() {
+    run_cases("first_access_to_each_bank_is_never_a_hit", 48, |g| {
+        let reqs = arb_requests(g, 48);
         let mut sim = ChannelSim::new(DramTiming::lpddr5x_8533(), 16);
         let done = sim.run(&reqs);
-        let mut seen = [false; 16];
-        // Completion order != issue order in general, but the *input order*
-        // of the first per-bank request is the first issued for that bank
-        // only under FCFS ties; instead assert globally: hits never exceed
-        // requests minus distinct banks touched.
+        // Completion order != issue order in general, but hits can never
+        // exceed requests minus distinct banks touched (each bank's first
+        // access opens a row).
         let distinct: std::collections::BTreeSet<usize> = reqs.iter().map(|r| r.bank).collect();
         let hits = done.iter().filter(|c| c.row_hit).count();
-        prop_assert!(hits + distinct.len() <= reqs.len());
-        let _ = &mut seen;
-    }
+        prop_ensure!(hits + distinct.len() <= reqs.len());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn address_mapping_round_trips(pkg in 0usize..8, ch in 0usize..8, bank in 0usize..128,
-                                   row in 0usize..32_768, col in 0usize..64) {
+#[test]
+fn address_mapping_round_trips() {
+    run_cases("address_mapping_round_trips", 48, |g| {
+        let loc = Location {
+            package: g.usize_in(0, 8),
+            channel: g.usize_in(0, 8),
+            bank: g.usize_in(0, 128),
+            row: g.usize_in(0, 32_768),
+            col: g.usize_in(0, 64),
+        };
         let m = AddressMapping::new(Geometry::drex());
-        let loc = Location { package: pkg, channel: ch, bank, row, col };
-        prop_assert_eq!(m.decode(m.encode(loc)), loc);
-    }
+        prop_ensure_eq!(m.decode(m.encode(loc)), loc);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn address_decode_is_injective_per_column(addr in (0usize..(1 << 30)).prop_map(|a| a * 32)) {
+#[test]
+fn address_decode_is_injective_per_column() {
+    run_cases("address_decode_is_injective_per_column", 48, |g| {
+        let addr = g.usize_in(0, 1 << 30) * 32;
         let m = AddressMapping::new(Geometry::drex());
         let a = m.decode(addr);
         let b = m.decode(addr + 32);
-        prop_assert_ne!(a, b, "adjacent columns must decode differently");
-    }
+        prop_ensure_ne!(a, b, "adjacent columns at {addr} decoded identically");
+        Ok(())
+    });
 }

@@ -9,8 +9,8 @@
 //! multi-user contention behaviour of Figs 8 (bottom) and 9.
 
 use crate::descriptor::REQUEST_QUEUE_DEPTH;
-use crate::offload::{time_slice_offload, DrexParams, HeadOffloadSpec, HeadOffloadTiming};
 use crate::layout::MAX_CONTEXT_SLICE_KEYS;
+use crate::offload::{time_slice_offload, DrexParams, HeadOffloadSpec, HeadOffloadTiming};
 use longsight_cxl::CxlLink;
 
 /// One head's workload with the packages hosting its slices.
@@ -140,7 +140,11 @@ impl DccSim {
         let mut critical = HeadOffloadTiming::default();
         let mut queue_wait: f64 = 0.0;
         for (hi, head) in heads.iter().enumerate() {
-            let slices = head.spec.context_len.div_ceil(MAX_CONTEXT_SLICE_KEYS).max(1);
+            let slices = head
+                .spec
+                .context_len
+                .div_ceil(MAX_CONTEXT_SLICE_KEYS)
+                .max(1);
             assert_eq!(
                 head.slice_packages.len(),
                 slices,
@@ -189,11 +193,8 @@ impl DccSim {
             // After ranking, the NMA streams the k winning Value vectors out
             // of LPDDR into the Response Buffer (channel-interleaved like the
             // keys; a small serial tail after the last slice finishes).
-            let value_bytes = (head.spec.k.min(self.params.max_k)
-                * head.spec.head_dim
-                * 2) as f64;
-            let package_bw =
-                8.0 * self.params.dram.channel_bandwidth_gbps();
+            let value_bytes = (head.spec.k.min(self.params.max_k) * head.spec.head_dim * 2) as f64;
+            let package_bw = 8.0 * self.params.dram.channel_bandwidth_gbps();
             head_done += value_bytes / package_bw + self.params.dram.row_conflict_latency();
             if head_done > device_done {
                 device_done = head_done;
@@ -204,8 +205,7 @@ impl DccSim {
         // GPU observes completion via polling, then reads the response.
         let ready_rel = device_done - arrival_ns;
         let value_read_ns = self.link.transfer_ns(response_bytes);
-        let observed_ns =
-            arrival_ns + self.link.polled_completion_ns(ready_rel) + value_read_ns;
+        let observed_ns = arrival_ns + self.link.polled_completion_ns(ready_rel) + value_read_ns;
 
         self.served += 1;
         RequestTiming {
@@ -275,7 +275,10 @@ mod tests {
         let w = vec![head(131_072, 6_000, vec![0])];
         let t1 = d.submit(0.0, &w, 1024, 1024);
         let t2 = d.submit(0.0, &w, 1024, 1024);
-        assert!(t2.queue_wait_ns > 0.0, "second request must wait for the NMA");
+        assert!(
+            t2.queue_wait_ns > 0.0,
+            "second request must wait for the NMA"
+        );
         assert!(t2.device_done_ns > t1.device_done_ns);
     }
 

@@ -59,12 +59,7 @@ pub struct ResponseDescriptor {
 impl ResponseDescriptor {
     /// Wire size: per hit, a BF16 value vector + 4 B score + 4 B index.
     pub fn bytes(&self) -> usize {
-        let n: usize = self
-            .hits
-            .iter()
-            .flat_map(|h| h.iter())
-            .map(Vec::len)
-            .sum();
+        let n: usize = self.hits.iter().flat_map(|h| h.iter()).map(Vec::len).sum();
         n * (self.head_dim * 2 + 8)
     }
 
@@ -93,7 +88,19 @@ mod tests {
     #[test]
     fn response_bytes_scale_with_hits() {
         let mut resp = ResponseDescriptor {
-            hits: vec![vec![vec![TopHit { index: 0, score: 1.0 }; 10]; 2]; 3],
+            hits: vec![
+                vec![
+                    vec![
+                        TopHit {
+                            index: 0,
+                            score: 1.0
+                        };
+                        10
+                    ];
+                    2
+                ];
+                3
+            ],
             head_dim: 64,
         };
         assert_eq!(resp.bytes(), 3 * 2 * 10 * (128 + 8));

@@ -11,9 +11,9 @@
 
 use crate::dcc::{DccSim, HeadWork, RequestTiming};
 use crate::descriptor::{RequestDescriptor, ResponseDescriptor, TopHit};
-use crate::response_buffers::ResponseBufferTable;
 use crate::layout::{ObjectFootprint, UserPartition, MAX_CONTEXT_SLICE_KEYS};
 use crate::offload::{DrexParams, HeadOffloadSpec};
+use crate::response_buffers::ResponseBufferTable;
 use longsight_core::{ItqRotation, RotationTable, ThresholdTable};
 use longsight_cxl::CxlLink;
 use longsight_dram::Geometry;
@@ -216,8 +216,7 @@ impl DrexDevice {
             });
         }
         let rotation = self.rotations.get(layer, kv_head).clone();
-        let store =
-            &mut self.users[user as usize].heads[layer * self.kv_heads + kv_head];
+        let store = &mut self.users[user as usize].heads[layer * self.kv_heads + kv_head];
         for (k, v) in keys.iter().zip(values) {
             let mut kq = k.clone();
             quantize_bf16_in_place(&mut kq);
@@ -258,13 +257,21 @@ impl DrexDevice {
         );
         let layer = request.layer as usize;
         let user = &self.users[request.user as usize];
+        let kv_heads = self.kv_heads;
+        let layers = self.layers;
+        let head_dim = self.head_dim;
+        let geometry = &self.geometry;
+        let rotations = &self.rotations;
+        let thresholds = &self.thresholds;
 
-        let mut hits = Vec::with_capacity(self.kv_heads);
-        let mut head_work = Vec::with_capacity(self.kv_heads);
-        for (kv_head, group) in request.queries.iter().enumerate() {
-            let store = &user.heads[layer * self.kv_heads + kv_head];
-            let rotation: &ItqRotation = self.rotations.get(layer, kv_head);
-            let threshold = self.thresholds.get(layer, kv_head);
+        // Each KV head filters/scores/ranks against its own store — on the
+        // real device these run on distinct NMAs concurrently. The parallel
+        // map keeps results in head order, so response hits and the timing
+        // workload are bit-identical to the serial loop.
+        let per_head = longsight_exec::deterministic_map(&request.queries, |kv_head, group| {
+            let store = &user.heads[layer * kv_heads + kv_head];
+            let rotation: &ItqRotation = rotations.get(layer, kv_head);
+            let threshold = thresholds.get(layer, kv_head);
             let n = store.keys.len();
 
             let mut per_query = Vec::with_capacity(group.len());
@@ -274,7 +281,7 @@ impl DrexDevice {
             let mut union_survivors = 0usize;
             let mut union_mask = vec![false; n];
             for q in group {
-                assert_eq!(q.len(), self.head_dim, "query dimension mismatch");
+                assert_eq!(q.len(), head_dim, "query dimension mismatch");
                 let q_signs = rotation.signs(q);
                 let mut top = TopK::new(k);
                 #[allow(clippy::needless_range_loop)]
@@ -298,45 +305,44 @@ impl DrexDevice {
                         .collect::<Vec<_>>(),
                 );
             }
-            hits.push(per_query);
 
             // Timing workload for this head.
             let plan = UserPartition::plan(
-                &self.geometry,
-                self.kv_heads,
-                self.layers,
-                self.head_dim,
+                geometry,
+                kv_heads,
+                layers,
+                head_dim,
                 n,
-                request.user as usize * self.kv_heads,
+                request.user as usize * kv_heads,
             );
             let slice_packages: Vec<usize> =
                 plan.slices[kv_head].iter().map(|s| s.package).collect();
-            head_work.push(HeadWork {
+            let work = HeadWork {
                 spec: HeadOffloadSpec {
                     context_len: n,
-                    head_dim: self.head_dim,
+                    head_dim,
                     queries: group.len(),
                     k,
                     survivors: union_survivors,
                 },
-                slice_packages: if n == 0 {
-                    vec![0]
-                } else {
-                    slice_packages
-                },
-            });
+                slice_packages: if n == 0 { vec![0] } else { slice_packages },
+            };
+            (per_query, work)
+        });
+        let mut hits = Vec::with_capacity(kv_heads);
+        let mut head_work = Vec::with_capacity(kv_heads);
+        for (per_query, work) in per_head {
+            hits.push(per_query);
+            head_work.push(work);
         }
 
         let response = ResponseDescriptor {
             hits,
             head_dim: self.head_dim,
         };
-        let timing = self.dcc.submit(
-            arrival_ns,
-            &head_work,
-            request.bytes(),
-            response.bytes(),
-        );
+        let timing = self
+            .dcc
+            .submit(arrival_ns, &head_work, request.bytes(), response.bytes());
         // Completion posted to the user's Response Buffer; the GPU's poll
         // (already folded into `timing.observed_ns`) clears it.
         self.buffers
@@ -395,16 +401,16 @@ mod tests {
         for i in 0..300 {
             // Reconstruct the BF16-rounded key through the device's store.
             let stored = dev.users[u as usize].heads[0].keys.get(i);
-            if q_signs
-                .concordance(&SignBits::from_slice(stored))
-                >= 6
-            {
+            if q_signs.concordance(&SignBits::from_slice(stored)) >= 6 {
                 expected.push(vecops::dot(&q, stored), i);
             }
         }
         let want: Vec<usize> = expected.into_sorted_vec().iter().map(|s| s.index).collect();
         let got: Vec<usize> = out.response.hits[0][0].iter().map(|h| h.index).collect();
-        assert_eq!(got, want, "device must match the reference pipeline exactly");
+        assert_eq!(
+            got, want,
+            "device must match the reference pipeline exactly"
+        );
         assert!(out.timing.observed_ns > 0.0);
     }
 
@@ -440,9 +446,7 @@ mod tests {
             dev.offload(&req, 4, 0.0).unwrap_err(),
             DeviceError::UnknownUser(9)
         );
-        assert!(dev
-            .write_kv_block(3, 0, 0, &[], &[])
-            .is_err());
+        assert!(dev.write_kv_block(3, 0, 0, &[], &[]).is_err());
     }
 
     #[test]

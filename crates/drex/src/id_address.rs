@@ -26,8 +26,14 @@ impl IdAddress {
     /// Panics if any component exceeds its field width.
     pub fn new(bank: u32, index: u32, epoch: u32) -> Self {
         assert!(bank < 1 << Self::BANK_BITS, "bank {bank} exceeds 7 bits");
-        assert!(index < 1 << Self::INDEX_BITS, "index {index} exceeds 7 bits");
-        assert!(epoch < 1 << Self::EPOCH_BITS, "epoch {epoch} exceeds 18 bits");
+        assert!(
+            index < 1 << Self::INDEX_BITS,
+            "index {index} exceeds 7 bits"
+        );
+        assert!(
+            epoch < 1 << Self::EPOCH_BITS,
+            "epoch {epoch} exceeds 18 bits"
+        );
         Self(bank | (index << Self::BANK_BITS) | (epoch << (Self::BANK_BITS + Self::INDEX_BITS)))
     }
 
@@ -89,7 +95,13 @@ impl IdAddress {
 
 impl std::fmt::Display for IdAddress {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "id(bank={}, idx={}, epoch={})", self.bank(), self.index(), self.epoch())
+        write!(
+            f,
+            "id(bank={}, idx={}, epoch={})",
+            self.bank(),
+            self.index(),
+            self.epoch()
+        )
     }
 }
 

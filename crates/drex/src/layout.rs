@@ -127,9 +127,11 @@ impl UserPartition {
                 // Head h's segments stride across packages so that very long
                 // contexts spread over multiple User Partitions (§7.3.3,
                 // "temporal expansion").
-                let package =
-                    (first_package + h + seg * kv_heads) % geometry.packages;
-                head_slices.push(ContextSlice::new(package, take.max(1).min(remaining.max(1))));
+                let package = (first_package + h + seg * kv_heads) % geometry.packages;
+                head_slices.push(ContextSlice::new(
+                    package,
+                    take.max(1).min(remaining.max(1)),
+                ));
                 remaining = remaining.saturating_sub(take.max(1));
                 seg += 1;
                 if context_len == 0 {
@@ -180,8 +182,7 @@ pub fn max_users(
     head_dim: usize,
     context_len: usize,
 ) -> usize {
-    let per_user =
-        ObjectFootprint::for_keys(context_len, head_dim).total() * kv_heads * layers;
+    let per_user = ObjectFootprint::for_keys(context_len, head_dim).total() * kv_heads * layers;
     if per_user == 0 {
         return usize::MAX;
     }

@@ -55,7 +55,9 @@ pub use descriptor::{
 };
 pub use device::{DeviceError, DrexDevice, OffloadOutcome};
 pub use id_address::IdAddress;
-pub use offload::{time_head_offload, time_slice_offload, DrexParams, HeadOffloadSpec, HeadOffloadTiming};
+pub use offload::{
+    time_head_offload, time_slice_offload, DrexParams, HeadOffloadSpec, HeadOffloadTiming,
+};
 pub use power::PowerModel;
 pub use response_buffers::{BufferError, ResponseBufferTable};
 pub use write_path::{sustained_ingest_tokens_per_sec, time_kv_block_write, KvWriteTiming};

@@ -262,12 +262,21 @@ pub fn time_slice_offload(
 /// (§7.1: "multiple or all NMAs can work in parallel on a single attention
 /// request"); the head's latency is the slowest slice plus a small DCC merge
 /// of the partial top-k lists.
-pub fn time_head_offload(params: &DrexParams, spec: &HeadOffloadSpec, seed: u64) -> HeadOffloadTiming {
+pub fn time_head_offload(
+    params: &DrexParams,
+    spec: &HeadOffloadSpec,
+    seed: u64,
+) -> HeadOffloadTiming {
     if spec.context_len == 0 {
         return HeadOffloadTiming::default();
     }
     let slices = spec.context_len.div_ceil(MAX_CONTEXT_SLICE_KEYS);
-    let mut worst = HeadOffloadTiming::default();
+    // Lay out each slice's (keys, survivors, seed) first — the survivor
+    // split is a cheap sequential recurrence — then time the slices on the
+    // parallel map, mirroring the NMAs that run them concurrently. Folding
+    // `max_with` in slice order afterwards reproduces the serial result
+    // bit-for-bit (ties keep the earlier slice either way).
+    let mut slice_specs = Vec::with_capacity(slices);
     let mut remaining = spec.context_len;
     let mut remaining_survivors = spec.survivors;
     for s in 0..slices {
@@ -280,10 +289,16 @@ pub fn time_head_offload(params: &DrexParams, spec: &HeadOffloadSpec, seed: u64)
         }
         .min(remaining_survivors)
         .min(keys);
-        let t = time_slice_offload(params, spec, keys, survivors, seed ^ (s as u64) << 32);
-        worst = worst.max_with(&t);
+        slice_specs.push((keys, survivors, seed ^ (s as u64) << 32));
         remaining -= keys;
         remaining_survivors -= survivors;
+    }
+    let timings = longsight_exec::deterministic_map(&slice_specs, |_, &(keys, survivors, s)| {
+        time_slice_offload(params, spec, keys, survivors, s)
+    });
+    let mut worst = HeadOffloadTiming::default();
+    for t in &timings {
+        worst = worst.max_with(t);
     }
     // DCC merge of partial top-k lists: k entries per extra slice, pipelined.
     let mut result = worst;

@@ -65,7 +65,11 @@ mod tests {
     fn total_peak_power_matches_paper() {
         // 8 × 18.7 + 8 × 1.072 = 149.6 + 8.576 = 158.176 ≈ 158.2 W (§9.4).
         let p = PowerModel::paper();
-        assert!((p.total_peak_w() - 158.2).abs() < 0.1, "got {}", p.total_peak_w());
+        assert!(
+            (p.total_peak_w() - 158.2).abs() < 0.1,
+            "got {}",
+            p.total_peak_w()
+        );
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub fn attend_over_indices(
     candidates: &[usize],
     scale: f32,
 ) -> Vec<f32> {
-    assert!(!candidates.is_empty(), "attention needs at least one candidate");
+    assert!(
+        !candidates.is_empty(),
+        "attention needs at least one candidate"
+    );
     let keys = history.keys();
     let values = history.values();
     let mut scores: Vec<f32> = candidates
@@ -87,13 +90,16 @@ pub fn attend_over_indices(
 /// # Panics
 ///
 /// Panics if lengths mismatch or `candidates` is empty.
-pub fn attend_with_scores(
-    history: &HeadKv,
-    candidates: &[usize],
-    raw_scores: &[f32],
-) -> Vec<f32> {
-    assert_eq!(candidates.len(), raw_scores.len(), "score/candidate length mismatch");
-    assert!(!candidates.is_empty(), "attention needs at least one candidate");
+pub fn attend_with_scores(history: &HeadKv, candidates: &[usize], raw_scores: &[f32]) -> Vec<f32> {
+    assert_eq!(
+        candidates.len(),
+        raw_scores.len(),
+        "score/candidate length mismatch"
+    );
+    assert!(
+        !candidates.is_empty(),
+        "attention needs at least one candidate"
+    );
     let values = history.values();
     let mut weights = raw_scores.to_vec();
     vecops::softmax_in_place(&mut weights);

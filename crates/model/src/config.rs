@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn table1_llama3_1b_parameters() {
         let c = ModelConfig::llama3_1b();
-        assert_eq!((c.layers, c.q_heads, c.kv_heads, c.head_dim), (16, 32, 8, 64));
+        assert_eq!(
+            (c.layers, c.q_heads, c.kv_heads, c.head_dim),
+            (16, 32, 8, 64)
+        );
         assert_eq!(c.hidden_dim(), 2048);
         assert_eq!(c.group_size(), 4);
         c.validate().unwrap();
@@ -167,7 +170,10 @@ mod tests {
     #[test]
     fn table1_llama3_8b_parameters() {
         let c = ModelConfig::llama3_8b();
-        assert_eq!((c.layers, c.q_heads, c.kv_heads, c.head_dim), (32, 32, 8, 128));
+        assert_eq!(
+            (c.layers, c.q_heads, c.kv_heads, c.head_dim),
+            (32, 32, 8, 128)
+        );
         assert_eq!(c.hidden_dim(), 4096);
         // 256 independent vector databases per user (paper §4).
         assert_eq!(c.databases_per_user(), 256);

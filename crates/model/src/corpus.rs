@@ -135,14 +135,13 @@ pub fn generate(cfg: &CorpusConfig, len: usize, rng: &mut SimRng) -> Corpus {
     let mut until_passage_end = cfg.passage_len;
 
     while tokens.len() < len {
-        if cfg.kind == CorpusKind::ConcatPassages
-            && until_passage_end == 0 {
-                // Passage boundary: an unrelated "document" begins — fresh
-                // motif library (no cross-passage reuse) and fresh memory.
-                motifs = make_motifs(rng);
-                seen.iter_mut().for_each(|s| *s = false);
-                until_passage_end = cfg.passage_len;
-            }
+        if cfg.kind == CorpusKind::ConcatPassages && until_passage_end == 0 {
+            // Passage boundary: an unrelated "document" begins — fresh
+            // motif library (no cross-passage reuse) and fresh memory.
+            motifs = make_motifs(rng);
+            seen.iter_mut().for_each(|s| *s = false);
+            until_passage_end = cfg.passage_len;
+        }
         if rng.coin(cfg.motif_rate) {
             // Emit a motif occurrence.
             let m = rng.below(cfg.motifs);
@@ -166,7 +165,10 @@ pub fn generate(cfg: &CorpusConfig, len: usize, rng: &mut SimRng) -> Corpus {
     }
     tokens.truncate(len);
     predictable.truncate(len);
-    Corpus { tokens, predictable }
+    Corpus {
+        tokens,
+        predictable,
+    }
 }
 
 #[cfg(test)]
@@ -226,8 +228,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = generate(&CorpusConfig::long_book(128), 1000, &mut SimRng::seed_from(9));
-        let b = generate(&CorpusConfig::long_book(128), 1000, &mut SimRng::seed_from(9));
+        let a = generate(
+            &CorpusConfig::long_book(128),
+            1000,
+            &mut SimRng::seed_from(9),
+        );
+        let b = generate(
+            &CorpusConfig::long_book(128),
+            1000,
+            &mut SimRng::seed_from(9),
+        );
         assert_eq!(a.tokens, b.tokens);
     }
 }

@@ -85,7 +85,10 @@ impl<'a> Generator<'a> {
     pub fn prefill(&mut self, prompt: &[u32]) {
         for &t in prompt {
             self.last_logits =
-                Some(self.model.forward(t, self.position, &mut self.cache, self.backend));
+                Some(
+                    self.model
+                        .forward(t, self.position, &mut self.cache, self.backend),
+                );
             self.position += 1;
         }
     }
@@ -108,21 +111,23 @@ impl<'a> Generator<'a> {
         for _ in 0..n {
             let logits = self.last_logits.as_ref().expect("checked above");
             let next = match sampling {
-                Sampling::Greedy => {
-                    vecops::argmax(logits).expect("non-empty vocabulary") as u32
-                }
+                Sampling::Greedy => vecops::argmax(logits).expect("non-empty vocabulary") as u32,
                 Sampling::Temperature { temperature, .. } => {
                     assert!(temperature > 0.0, "temperature must be positive");
-                    let mut probs: Vec<f32> =
-                        logits.iter().map(|l| l / temperature).collect();
+                    let mut probs: Vec<f32> = logits.iter().map(|l| l / temperature).collect();
                     vecops::softmax_in_place(&mut probs);
                     let weights: Vec<f64> = probs.iter().map(|&p| p as f64).collect();
-                    rng.as_mut().expect("seeded above").weighted_choice(&weights) as u32
+                    rng.as_mut()
+                        .expect("seeded above")
+                        .weighted_choice(&weights) as u32
                 }
             };
             out.push(next);
             self.last_logits =
-                Some(self.model.forward(next, self.position, &mut self.cache, self.backend));
+                Some(
+                    self.model
+                        .forward(next, self.position, &mut self.cache, self.backend),
+                );
             self.position += 1;
         }
         out
@@ -206,7 +211,13 @@ mod tests {
             let mut backend = DenseBackend::new();
             let mut g = Generator::new(&model, &mut backend);
             g.prefill(&[1, 2, 3]);
-            g.decode(5, Sampling::Temperature { temperature: 1.0, seed })
+            g.decode(
+                5,
+                Sampling::Temperature {
+                    temperature: 1.0,
+                    seed,
+                },
+            )
         };
         assert_eq!(sample(1), sample(1));
         assert_ne!(sample(1), sample(2));

@@ -28,11 +28,7 @@ pub fn silu(x: f32) -> f32 {
 pub fn swiglu_ffn(x: &[f32], w_gate: &Matrix, w_up: &Matrix, w_down: &Matrix) -> Vec<f32> {
     let gate = w_gate.matvec(x);
     let up = w_up.matvec(x);
-    let hidden: Vec<f32> = gate
-        .iter()
-        .zip(&up)
-        .map(|(&g, &u)| silu(g) * u)
-        .collect();
+    let hidden: Vec<f32> = gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
     w_down.matvec(&hidden)
 }
 

@@ -51,7 +51,10 @@ pub fn evaluate(
     skip: usize,
 ) -> PerplexityReport {
     let n = corpus.tokens.len();
-    assert!(n >= skip + 2, "need at least two tokens after the skip prefix");
+    assert!(
+        n >= skip + 2,
+        "need at least two tokens after the skip prefix"
+    );
     backend.reset();
     let mut cache = model.new_cache();
 
@@ -103,7 +106,12 @@ mod tests {
         let r = evaluate(&model, &corpus, &mut DenseBackend::new(), 4);
         // An untrained model should be within a factor ~2 of uniform.
         let uniform = cfg.vocab as f64;
-        assert!(r.perplexity > uniform / 3.0, "ppl {} vs uniform {}", r.perplexity, uniform);
+        assert!(
+            r.perplexity > uniform / 3.0,
+            "ppl {} vs uniform {}",
+            r.perplexity,
+            uniform
+        );
         assert!(r.perplexity < uniform * 3.0);
     }
 
@@ -125,7 +133,9 @@ mod tests {
             r.cross_entropy,
             uniform_ce
         );
-        let pred = r.predictable_cross_entropy.expect("corpus has predictable tokens");
+        let pred = r
+            .predictable_cross_entropy
+            .expect("corpus has predictable tokens");
         assert!(
             pred < 0.5 * uniform_ce,
             "predictable-token CE {pred} should be far below uniform {uniform_ce}"

@@ -31,7 +31,10 @@ impl Rope {
     ///
     /// Panics if `head_dim` is zero or odd.
     pub fn new(head_dim: usize, theta: f64) -> Self {
-        assert!(head_dim > 0 && head_dim.is_multiple_of(2), "RoPE needs an even head dim");
+        assert!(
+            head_dim > 0 && head_dim.is_multiple_of(2),
+            "RoPE needs an even head dim"
+        );
         let half = head_dim / 2;
         let inv_freq = (0..half)
             .map(|i| theta.powf(-2.0 * i as f64 / head_dim as f64))
@@ -124,7 +127,10 @@ mod tests {
         let k: Vec<f32> = vec![0.2, 0.8, -0.4, 0.5, 1.1, -0.3, -0.9, 0.6];
         let d1 = vecops::dot(&rope.apply(&q, 105), &rope.apply(&k, 100));
         let d2 = vecops::dot(&rope.apply(&q, 1005), &rope.apply(&k, 1000));
-        assert!((d1 - d2).abs() < 1e-3, "relative-position invariance violated: {d1} vs {d2}");
+        assert!(
+            (d1 - d2).abs() < 1e-3,
+            "relative-position invariance violated: {d1} vs {d2}"
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ impl HeadTrace {
 /// `relevant_per_query >= context_len`.
 pub fn generate_head_trace(cfg: &TraceConfig, rng: &mut SimRng) -> HeadTrace {
     assert!(cfg.context_len >= 2, "context too short");
-    assert!(cfg.head_dim.is_multiple_of(2), "head_dim must be even for RoPE");
+    assert!(
+        cfg.head_dim.is_multiple_of(2),
+        "head_dim must be even for RoPE"
+    );
     assert!(
         cfg.relevant_per_query < cfg.context_len,
         "relevant_per_query must be below context_len"
@@ -292,7 +295,10 @@ mod tests {
             total_rel += probe.relevant.len();
         }
         let recall = total_hits as f64 / total_rel as f64;
-        assert!(recall > 0.5, "oracle top-128 recall of ground truth too low: {recall}");
+        assert!(
+            recall > 0.5,
+            "oracle top-128 recall of ground truth too low: {recall}"
+        );
     }
 
     #[test]

@@ -75,8 +75,15 @@ impl Model {
         backend: &mut dyn AttentionBackend,
     ) -> Vec<f32> {
         let cfg = &self.weights.config;
-        assert!((token as usize) < cfg.vocab, "token {token} out of vocabulary");
-        assert_eq!(pos, cache.seq_len(), "position {pos} out of sync with cache");
+        assert!(
+            (token as usize) < cfg.vocab,
+            "token {token} out of vocabulary"
+        );
+        assert_eq!(
+            pos,
+            cache.seq_len(),
+            "position {pos} out of sync with cache"
+        );
 
         let mut x: Vec<f32> = self.weights.embedding.row(token as usize).to_vec();
         let scale = 1.0 / (cfg.head_dim as f32).sqrt();
@@ -115,7 +122,11 @@ impl Model {
                     scale,
                 };
                 let outputs = backend.attend(&req);
-                assert_eq!(outputs.len(), group, "backend must return one output per query head");
+                assert_eq!(
+                    outputs.len(),
+                    group,
+                    "backend must return one output per query head"
+                );
                 for (g, o) in outputs.iter().enumerate() {
                     let q_head = kv_head * group + g;
                     // attn_out += Wo[q_head] · o

@@ -344,8 +344,11 @@ impl ModelWeights {
             // same order as the content.
             let mut b0 = rng.normal_vec(d);
             longsight_tensor::vecops::normalize_in_place(&mut b0);
-            let wk_j = scale_rows(t_proj[j].transpose(), &spectrum)
-                .add(&outer(&b0, u, params.key_dc * read_u_scale * d as f32));
+            let wk_j = scale_rows(t_proj[j].transpose(), &spectrum).add(&outer(
+                &b0,
+                u,
+                params.key_dc * read_u_scale * d as f32,
+            ));
             wk.push(add_noise(wk_j, kq_noise, rng));
             // Value: current token identity (full rank — values are not
             // spectrum-shaped).
@@ -356,9 +359,10 @@ impl ModelWeights {
                 // query stays full-rank: ranking is an inner product against
                 // the spectrum-shaped keys, so the score margin survives
                 // while the keys' low-variance sign bits do not.
-                let base = p_proj[j]
-                    .transpose()
-                    .add(&outer(&b0, u, params.query_dc * read_u_scale));
+                let base =
+                    p_proj[j]
+                        .transpose()
+                        .add(&outer(&b0, u, params.query_dc * read_u_scale));
                 // Noise goes in before the sharpness scale so the noise
                 // floor tracks the query magnitude (sign bits care about
                 // ratios, not absolute scale).
@@ -369,7 +373,9 @@ impl ModelWeights {
                 // space; compensate for the rank-d projection loss (h/d) and
                 // split across induction layers and group members.
                 let mut wo_i = p_proj[j].clone();
-                wo_i.scale_in_place(params.induction_gain * (h as f32 / d as f32) / (g as f32 * n_induction));
+                wo_i.scale_in_place(
+                    params.induction_gain * (h as f32 / d as f32) / (g as f32 * n_induction),
+                );
                 wo.push(add_noise(wo_i, params.weight_noise, rng));
             }
         }
@@ -439,7 +445,10 @@ fn add_noise(mut m: Matrix, noise: f32, rng: &mut SimRng) -> Matrix {
 
 /// First `k` columns of a random h×h orthogonal matrix, as an `h × k` matrix.
 fn orthonormal_columns(h: usize, k: usize, rng: &mut SimRng) -> Matrix {
-    assert!(k <= h, "cannot have more orthonormal columns than dimensions");
+    assert!(
+        k <= h,
+        "cannot have more orthonormal columns than dimensions"
+    );
     let q = linalg::random_orthogonal(h, rng);
     slice_columns(&q, 0, k)
 }
@@ -474,7 +483,10 @@ mod tests {
         let cfg = ModelConfig::tiny();
         let mut rng = SimRng::seed_from(2);
         let w = ModelWeights::induction(&cfg, &InductionParams::default(), &mut rng);
-        assert!(w.layers[0].use_rope, "layer 0 must use RoPE (prev-token head)");
+        assert!(
+            w.layers[0].use_rope,
+            "layer 0 must use RoPE (prev-token head)"
+        );
         for l in &w.layers[1..] {
             assert!(!l.use_rope, "induction layers are NoPE");
         }

@@ -141,28 +141,37 @@ fn print_sign_geometry() {
             }
             self.inner.attend(req)
         }
-        fn label(&self) -> String { "collect".into() }
+        fn label(&self) -> String {
+            "collect".into()
+        }
     }
 
     let mut cache: KvCache = model.new_cache();
-    let mut col = Collect { inner: DenseBackend::new(), queries: Vec::new() };
+    let mut col = Collect {
+        inner: DenseBackend::new(),
+        queries: Vec::new(),
+    };
     let tokens: Vec<u32> = (0..512).map(|_| rng.below(cfg.vocab) as u32).collect();
     for (pos, &t) in tokens.iter().enumerate() {
         model.forward(t, pos, &mut cache, &mut col);
     }
     let keys = cache.head(1, 0).keys();
     let d = cfg.head_dim;
-    let mut worst_k = 0.0f64; let mut mean_k = 0.0f64;
+    let mut worst_k = 0.0f64;
+    let mut mean_k = 0.0f64;
     for dim in 0..d {
         let neg = keys.iter().filter(|k| k[dim] < 0.0).count();
         let imb = (neg as f64 / keys.len() as f64 - 0.5).abs();
-        worst_k = worst_k.max(imb); mean_k += imb / d as f64;
+        worst_k = worst_k.max(imb);
+        mean_k += imb / d as f64;
     }
-    let mut worst_q = 0.0f64; let mut mean_q = 0.0f64;
+    let mut worst_q = 0.0f64;
+    let mut mean_q = 0.0f64;
     for dim in 0..d {
         let neg = col.queries.iter().filter(|q| q[dim] < 0.0).count();
         let imb = (neg as f64 / col.queries.len() as f64 - 0.5).abs();
-        worst_q = worst_q.max(imb); mean_q += imb / d as f64;
+        worst_q = worst_q.max(imb);
+        mean_q += imb / d as f64;
     }
     println!("key sign imbalance: mean {mean_k:.3} worst {worst_k:.3}");
     println!("query sign imbalance: mean {mean_q:.3} worst {worst_q:.3}");
@@ -170,8 +179,15 @@ fn print_sign_geometry() {
     // Concordance separation: matching vs random key for late queries.
     let q = &col.queries[400];
     let qs = SignBits::from_slice(q);
-    let mut concs: Vec<u32> = (0..keys.len()).map(|i| qs.concordance(&SignBits::from_slice(keys.get(i)))).collect();
+    let mut concs: Vec<u32> = (0..keys.len())
+        .map(|i| qs.concordance(&SignBits::from_slice(keys.get(i))))
+        .collect();
     concs.sort_unstable();
-    println!("concordance percentiles: min {} p50 {} p90 {} max {}",
-        concs[0], concs[concs.len()/2], concs[concs.len()*9/10], concs[concs.len()-1]);
+    println!(
+        "concordance percentiles: min {} p50 {} p90 {} max {}",
+        concs[0],
+        concs[concs.len() / 2],
+        concs[concs.len() * 9 / 10],
+        concs[concs.len() - 1]
+    );
 }

@@ -1,29 +1,37 @@
-//! Property-based tests for the transformer substrate.
+//! Property-based tests for the transformer substrate, on the in-repo
+//! [`check`](longsight_tensor::check) runner.
 
 use longsight_model::{
     corpus, layers, DenseBackend, Model, ModelConfig, ModelWeights, Rope, SlidingWindowBackend,
 };
-use longsight_tensor::{vecops, SimRng};
-use proptest::prelude::*;
+use longsight_tensor::check::run_cases;
+use longsight_tensor::{prop_ensure, prop_ensure_eq, vecops, SimRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// RoPE preserves vector norms at every position.
-    #[test]
-    fn rope_is_an_isometry(pos in 0usize..200_000, seed in 0u64..500, half in 2usize..32) {
+/// RoPE preserves vector norms at every position.
+#[test]
+fn rope_is_an_isometry() {
+    run_cases("rope_is_an_isometry", 24, |g| {
+        let pos = g.usize_in(0, 200_000);
+        let seed = g.u64_in(0, 500);
+        let half = g.usize_in(2, 32);
         let dim = 2 * half;
         let rope = Rope::new(dim, 500_000.0);
         let mut rng = SimRng::seed_from(seed);
         let v = rng.normal_vec(dim);
         let r = rope.apply(&v, pos);
-        prop_assert!((vecops::l2_norm(&r) - vecops::l2_norm(&v)).abs() < 1e-3);
-    }
+        prop_ensure!((vecops::l2_norm(&r) - vecops::l2_norm(&v)).abs() < 1e-3);
+        Ok(())
+    });
+}
 
-    /// RoPE dot products depend only on relative position (the property the
-    /// KV cache relies on).
-    #[test]
-    fn rope_relative_invariance(base in 0usize..10_000, delta in 0usize..512, seed in 0u64..300) {
+/// RoPE dot products depend only on relative position (the property the KV
+/// cache relies on).
+#[test]
+fn rope_relative_invariance() {
+    run_cases("rope_relative_invariance", 24, |g| {
+        let base = g.usize_in(0, 10_000);
+        let delta = g.usize_in(0, 512);
+        let seed = g.u64_in(0, 300);
         let rope = Rope::new(16, 10_000.0);
         let mut rng = SimRng::seed_from(seed);
         let q = rng.normal_vec(16);
@@ -31,38 +39,54 @@ proptest! {
         let d1 = vecops::dot(&rope.apply(&q, base + delta), &rope.apply(&k, base));
         let d2 = vecops::dot(&rope.apply(&q, 5_000 + delta), &rope.apply(&k, 5_000));
         let scale = vecops::l2_norm(&q) * vecops::l2_norm(&k);
-        prop_assert!((d1 - d2).abs() < 1e-3 * scale.max(1.0));
-    }
+        prop_ensure!((d1 - d2).abs() < 1e-3 * scale.max(1.0));
+        Ok(())
+    });
+}
 
-    /// RMSNorm output always has unit RMS under unit gain.
-    #[test]
-    fn rmsnorm_normalizes(v in prop::collection::vec(-50.0f32..50.0, 1..64)) {
-        let g = vec![1.0; v.len()];
-        let out = layers::rmsnorm(&v, &g);
+/// RMSNorm output always has unit RMS under unit gain.
+#[test]
+fn rmsnorm_normalizes() {
+    run_cases("rmsnorm_normalizes", 24, |g| {
+        let v = g.vec_f32(1, 64, -50.0, 50.0);
+        let gain = vec![1.0; v.len()];
+        let out = layers::rmsnorm(&v, &gain);
         let r = vecops::rms(&out, 0.0);
         // eps guard allows a small departure for near-zero inputs.
-        prop_assert!(r <= 1.0 + 1e-4);
+        prop_ensure!(r <= 1.0 + 1e-4);
         if vecops::l2_norm(&v) > 1.0 {
-            prop_assert!((r - 1.0).abs() < 1e-3);
+            prop_ensure!((r - 1.0).abs() < 1e-3);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Corpus generation: exact length, in-vocabulary, deterministic.
-    #[test]
-    fn corpus_invariants(len in 1usize..2_000, vocab in 8usize..512, seed in 0u64..500) {
+/// Corpus generation: exact length, in-vocabulary, deterministic.
+#[test]
+fn corpus_invariants() {
+    run_cases("corpus_invariants", 24, |g| {
+        let len = g.usize_in(1, 2_000);
+        let vocab = g.usize_in(8, 512);
+        let seed = g.u64_in(0, 500);
         let cfg = corpus::CorpusConfig::long_book(vocab);
         let a = corpus::generate(&cfg, len, &mut SimRng::seed_from(seed));
         let b = corpus::generate(&cfg, len, &mut SimRng::seed_from(seed));
-        prop_assert_eq!(a.tokens.len(), len);
-        prop_assert_eq!(a.predictable.len(), len);
-        prop_assert!(a.tokens.iter().all(|&t| (t as usize) < vocab));
-        prop_assert_eq!(a.tokens, b.tokens);
-    }
+        prop_ensure_eq!(a.tokens.len(), len);
+        prop_ensure_eq!(a.predictable.len(), len);
+        prop_ensure!(a.tokens.iter().all(|&t| (t as usize) < vocab));
+        prop_ensure_eq!(a.tokens, b.tokens);
+        Ok(())
+    });
+}
 
-    /// A sliding window covering the whole history is exactly dense — on a
-    /// real forward pass, for arbitrary short token sequences.
-    #[test]
-    fn full_window_forward_equals_dense(tokens in prop::collection::vec(0u32..64, 2..10), seed in 0u64..100) {
+/// A sliding window covering the whole history is exactly dense — on a real
+/// forward pass, for arbitrary short token sequences.
+#[test]
+fn full_window_forward_equals_dense() {
+    run_cases("full_window_forward_equals_dense", 24, |g| {
+        let n_tokens = g.usize_in(2, 10);
+        let tokens: Vec<u32> = (0..n_tokens).map(|_| g.u32_in(0, 64)).collect();
+        let seed = g.u64_in(0, 100);
         let cfg = ModelConfig::tiny();
         let mut rng = SimRng::seed_from(seed);
         let model = Model::new(ModelWeights::random(&cfg, &mut rng));
@@ -74,8 +98,9 @@ proptest! {
             let a = model.forward(t, pos, &mut c1, &mut dense);
             let b = model.forward(t, pos, &mut c2, &mut window);
             for (x, y) in a.iter().zip(&b) {
-                prop_assert!((x - y).abs() < 1e-3);
+                prop_ensure!((x - y).abs() < 1e-3);
             }
         }
-    }
+        Ok(())
+    });
 }

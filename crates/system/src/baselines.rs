@@ -71,7 +71,9 @@ impl ServingSystem for SlidingWindowSystem {
         if !self.gpus.fits(&self.model, users, attended) {
             return Err(Infeasible::GpuMemory);
         }
-        let c = self.gpus.decode_step(&self.model, users, attended, false, 0);
+        let c = self
+            .gpus
+            .decode_step(&self.model, users, attended, false, 0);
         let breakdown = StepBreakdown {
             gpu_weights_ns: c.weights_ns,
             gpu_attention_ns: c.attention_ns,
@@ -228,6 +230,11 @@ mod tests {
         let mut attacc = AttAccSystem::h100_pim(ModelConfig::llama3_1b());
         let a = attacc.evaluate(8, 65_536).unwrap();
         let b = attacc.evaluate(8, 262_144).unwrap();
-        assert!(b.step_ns > 2.0 * a.step_ns, "{} vs {}", b.step_ns, a.step_ns);
+        assert!(
+            b.step_ns > 2.0 * a.step_ns,
+            "{} vs {}",
+            b.step_ns,
+            a.step_ns
+        );
     }
 }

@@ -27,8 +27,8 @@
 mod baselines;
 mod longsight;
 pub mod prefill;
-pub mod serving;
 mod report;
+pub mod serving;
 pub mod slo;
 
 pub use baselines::{AttAccSystem, GpuOnlySystem, SlidingWindowSystem};

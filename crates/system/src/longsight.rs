@@ -11,9 +11,11 @@
 use crate::report::{Infeasible, ServingSystem, StepBreakdown, StepReport};
 use longsight_core::HybridConfig;
 use longsight_cxl::CxlLink;
-use longsight_drex::layout::{self, MAX_CONTEXT_SLICE_KEYS};
-use longsight_drex::{time_slice_offload, DccSim, DrexParams, HeadOffloadSpec, REQUEST_QUEUE_DEPTH};
 use longsight_dram::Geometry;
+use longsight_drex::layout::{self, MAX_CONTEXT_SLICE_KEYS};
+use longsight_drex::{
+    time_slice_offload, DccSim, DrexParams, HeadOffloadSpec, REQUEST_QUEUE_DEPTH,
+};
 use longsight_gpu::{decode_step, GpuSpec};
 use longsight_model::ModelConfig;
 
@@ -143,13 +145,25 @@ impl LongSightSystem {
         let surv = |keys: usize| -> usize {
             ((survivors_total as f64) * keys as f64 / region as f64).round() as usize
         };
-        let t_full = time_slice_offload(&cfg.drex, &spec, full_keys, surv(full_keys).min(full_keys), 17)
-            .total_ns();
-        let t_rem = if rem_keys == full_keys {
-            t_full
+        // The full and remainder shapes are independent seeded simulations,
+        // so they time concurrently; each call returns exactly what a serial
+        // call with the same (shape, seed) returns.
+        let slice_timings = if rem_keys == full_keys {
+            vec![time_slice_offload(
+                &cfg.drex,
+                &spec,
+                full_keys,
+                surv(full_keys).min(full_keys),
+                17,
+            )]
         } else {
-            time_slice_offload(&cfg.drex, &spec, rem_keys, surv(rem_keys).min(rem_keys), 18).total_ns()
+            let shapes = [(full_keys, 17u64), (rem_keys, 18u64)];
+            longsight_exec::deterministic_map(&shapes, |_, &(keys, seed)| {
+                time_slice_offload(&cfg.drex, &spec, keys, surv(keys).min(keys), seed)
+            })
         };
+        let t_full = slice_timings[0].total_ns();
+        let t_rem = slice_timings.last().expect("non-empty").total_ns();
 
         // Schedule every user's slices on the NMA pool.
         let mut dcc = DccSim::new(cfg.drex.clone(), cfg.link.clone(), cfg.geometry.packages);
@@ -182,8 +196,9 @@ impl LongSightSystem {
             + cfg.link.transfer_ns(response_bytes);
         let observed = ready_rel + value_cxl;
 
-        // Decompose the critical chain's device time for the profile.
-        let chain = time_slice_offload(&cfg.drex, &spec, full_keys, surv(full_keys).min(full_keys), 17);
+        // Decompose the critical chain's device time for the profile (the
+        // full-slice timing computed above).
+        let chain = slice_timings[0];
         let profile = OffloadProfile {
             filter_ns: chain.filter_ns,
             bitmap_ns: chain.bitmap_ns,
@@ -209,15 +224,32 @@ impl LongSightSystem {
         let desc_bytes = 8 + self.model.q_heads * d * 2;
         let submit = cfg.link.descriptor_submit_ns(desc_bytes);
 
-        // Cache per-(keys, survivors) slice durations: users share shapes.
-        let mut cache: Vec<(usize, usize, f64)> = Vec::new();
-        let mut slice_time = |keys: usize, survivors: usize| -> f64 {
-            if let Some(&(_, _, t)) = cache
-                .iter()
-                .find(|&&(k0, s0, _)| k0 == keys && s0 == survivors)
-            {
-                return t;
+        // Users overwhelmingly share slice shapes, so first collect the
+        // distinct (keys, survivors) pairs across the whole batch, then time
+        // them concurrently — each timing is an independent seeded
+        // simulation, identical to what the old lazy per-shape cache
+        // computed serially.
+        let mut shapes: Vec<(usize, usize)> = Vec::new();
+        for &ctx in contexts {
+            let region = self.region(ctx);
+            if region == 0 {
+                continue;
             }
+            let survivors_total = ((region as f64 / cfg.filter_ratio) as usize).min(region);
+            let slices = region.div_ceil(MAX_CONTEXT_SLICE_KEYS);
+            let mut remaining = region;
+            for _ in 0..slices {
+                let keys = remaining.min(MAX_CONTEXT_SLICE_KEYS);
+                remaining -= keys;
+                let survivors =
+                    ((survivors_total as f64) * keys as f64 / region as f64).round() as usize;
+                let shape = (keys, survivors.min(keys));
+                if !shapes.contains(&shape) {
+                    shapes.push(shape);
+                }
+            }
+        }
+        let shape_times = longsight_exec::deterministic_map(&shapes, |_, &(keys, survivors)| {
             let spec = HeadOffloadSpec {
                 context_len: keys,
                 head_dim: d,
@@ -225,9 +257,14 @@ impl LongSightSystem {
                 k: cfg.hybrid.top_k.min(keys.max(1)),
                 survivors,
             };
-            let t = time_slice_offload(&cfg.drex, &spec, keys, survivors, 23).total_ns();
-            cache.push((keys, survivors, t));
-            t
+            time_slice_offload(&cfg.drex, &spec, keys, survivors, 23).total_ns()
+        });
+        let slice_time = |keys: usize, survivors: usize| -> f64 {
+            let at = shapes
+                .iter()
+                .position(|&s| s == (keys, survivors))
+                .expect("every scheduled shape was collected above");
+            shape_times[at]
         };
 
         let mut last_done = 0.0f64;
@@ -252,8 +289,7 @@ impl LongSightSystem {
                 }
             }
             let (done, _) = dcc.schedule_slices(submit, &works);
-            let response_bytes =
-                kv * cfg.hybrid.top_k.min(region) * (d * 2 + 8);
+            let response_bytes = kv * cfg.hybrid.top_k.min(region) * (d * 2 + 8);
             let observed = done + cfg.link.polled_completion_ns(done) - done
                 + cfg.link.transfer_ns(response_bytes);
             last_done = last_done.max(observed);
@@ -424,7 +460,10 @@ mod tests {
         let s = system(ModelConfig::llama3_8b());
         let (t32, _) = s.drex_layer(1, 32_768);
         let (t256, _) = s.drex_layer(1, 262_144);
-        assert!(t256 < 8.0 * t32, "8x context must cost < 8x: {t32} -> {t256}");
+        assert!(
+            t256 < 8.0 * t32,
+            "8x context must cost < 8x: {t32} -> {t256}"
+        );
         assert!(t256 > t32);
     }
 
@@ -480,7 +519,10 @@ mod tests {
         let mid = s.evaluate((cap / 2).max(1), ctx).unwrap();
         let full = s.evaluate(cap, ctx).unwrap();
         let gain = full.throughput_tps / mid.throughput_tps;
-        assert!(gain < 2.0, "doubling users near saturation must not double throughput (gain {gain})");
+        assert!(
+            gain < 2.0,
+            "doubling users near saturation must not double throughput (gain {gain})"
+        );
         assert!(full.throughput_tps >= mid.throughput_tps * 0.8);
     }
 
@@ -502,7 +544,9 @@ mod tests {
     fn mixed_batch_is_paced_by_the_longest_context() {
         let mut s = system(ModelConfig::llama3_8b());
         let short = s.evaluate_mixed(&[32_768; 4]).unwrap();
-        let skewed = s.evaluate_mixed(&[32_768, 32_768, 32_768, 524_288]).unwrap();
+        let skewed = s
+            .evaluate_mixed(&[32_768, 32_768, 32_768, 524_288])
+            .unwrap();
         assert!(
             skewed.step_ns > short.step_ns,
             "one long-context user must slow the synchronized step"

@@ -109,7 +109,10 @@ mod tests {
         let cfg = ModelConfig::llama3_8b();
         let a = prefill_cost(&gpu, &link, &cfg, 32_768, 1024);
         let b = prefill_cost(&gpu, &link, &cfg, 131_072, 1024);
-        assert!(b.gpu_ns > 4.0 * a.gpu_ns, "quadratic attention term must show");
+        assert!(
+            b.gpu_ns > 4.0 * a.gpu_ns,
+            "quadratic attention term must show"
+        );
     }
 
     #[test]

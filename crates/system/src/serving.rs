@@ -119,7 +119,14 @@ pub fn simulate(
         });
     }
     let total_arrived = arrivals.len();
+    // Each request's prefill cost depends only on its own context length, so
+    // the per-user costs compute up front on the deterministic parallel map
+    // (bit-identical to calling `prefill_cost` at admission time).
+    let mut prefill_ns: Vec<f64> = longsight_exec::deterministic_map(&arrivals, |_, a| {
+        prefill_cost(&gpu, &link, model, a.context, 1024).total_ns
+    });
     arrivals.reverse(); // pop from the back in time order
+    prefill_ns.reverse();
 
     let mut now = 0.0f64;
     let mut active: Vec<ActiveRequest> = Vec::new();
@@ -144,9 +151,8 @@ pub fn simulate(
     loop {
         // Admit arrivals up to `now` (prefill cost charged to the request).
         while arrivals.last().is_some_and(|a| a.arrival_ns <= now) {
-            let mut a = arrivals.pop().expect("checked");
-            let pf = prefill_cost(&gpu, &link, model, a.context, 1024);
-            a.arrival_ns += 0.0; // latency accounting includes prefill below
+            let a = arrivals.pop().expect("checked");
+            let pf_ns = prefill_ns.pop().expect("paired with arrivals");
             let max_ctx = active
                 .iter()
                 .chain(std::iter::once(&a))
@@ -155,7 +161,7 @@ pub fn simulate(
                 .expect("non-empty");
             if step_cost(system, active.len() + 1, max_ctx).is_some() {
                 let mut admitted = a;
-                admitted.arrival_ns -= pf.total_ns; // fold prefill into latency
+                admitted.arrival_ns -= pf_ns; // fold prefill into latency
                 active.push(admitted);
             } else if step_cost(system, 1, a.context).is_none() {
                 rejected += 1; // can never be served
@@ -293,6 +299,9 @@ mod tests {
         let m = run(0.5, 9);
         // A 32K-prompt prefill alone is ~0.1+ ms on the roofline; with decode
         // of ≥16 tokens the p50 request latency must exceed several ms.
-        assert!(m.p50_request_ms > 1.0, "suspiciously low request latency: {m:?}");
+        assert!(
+            m.p50_request_ms > 1.0,
+            "suspiciously low request latency: {m:?}"
+        );
     }
 }

@@ -112,10 +112,8 @@ mod tests {
 
     #[test]
     fn tighter_slo_means_fewer_users() {
-        let mut ls = LongSightSystem::new(
-            LongSightConfig::paper_default(),
-            ModelConfig::llama3_1b(),
-        );
+        let mut ls =
+            LongSightSystem::new(LongSightConfig::paper_default(), ModelConfig::llama3_1b());
         let loose = max_users_under_slo(&mut ls, 131_072, 100.0);
         let tight = max_users_under_slo(&mut ls, 131_072, 10.0);
         assert!(tight.users <= loose.users);
@@ -123,10 +121,8 @@ mod tests {
 
     #[test]
     fn impossible_slo_returns_zero_users() {
-        let mut ls = LongSightSystem::new(
-            LongSightConfig::paper_default(),
-            ModelConfig::llama3_8b(),
-        );
+        let mut ls =
+            LongSightSystem::new(LongSightConfig::paper_default(), ModelConfig::llama3_8b());
         let r = max_users_under_slo(&mut ls, 262_144, 1e-6);
         assert_eq!(r.users, 0);
         assert!(r.latency_ms.is_infinite());

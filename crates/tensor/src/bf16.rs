@@ -91,7 +91,11 @@ mod tests {
     #[test]
     fn exact_values_round_trip() {
         for &x in &[0.0f32, 1.0, -1.0, 0.5, -2.0, 256.0, 0.0078125, 65280.0] {
-            assert_eq!(Bf16::from_f32(x).to_f32(), x, "value {x} should be BF16-exact");
+            assert_eq!(
+                Bf16::from_f32(x).to_f32(),
+                x,
+                "value {x} should be BF16-exact"
+            );
         }
     }
 
@@ -111,7 +115,10 @@ mod tests {
     fn nan_stays_nan_and_inf_stays_inf() {
         assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
         assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
-        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+        assert_eq!(
+            Bf16::from_f32(f32::NEG_INFINITY).to_f32(),
+            f32::NEG_INFINITY
+        );
     }
 
     #[test]

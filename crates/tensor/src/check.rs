@@ -1,0 +1,326 @@
+//! A minimal in-repo property-test runner.
+//!
+//! The workspace's test suites exercise invariants over randomized inputs
+//! (the style `proptest` popularized), but the workspace itself must build
+//! with **zero external dependencies** so offline `cargo build`/`cargo test`
+//! always succeed. This module supplies the small fraction of a
+//! property-testing framework those suites actually use:
+//!
+//! * [`Gen`] — a seeded input generator wrapping [`SimRng`], with helpers for
+//!   the ranges and collections the tests draw from,
+//! * [`run_cases`] — runs a property over `cases` deterministically derived
+//!   seeds and reports the failing seed with replay instructions,
+//! * [`run_seed`] — replays a property at one explicit seed (used both by the
+//!   `LONGSIGHT_PROP_SEED` escape hatch and for pinned regression cases),
+//! * [`prop_ensure!`](crate::prop_ensure) / [`prop_ensure_eq!`](crate::prop_ensure_eq) /
+//!   [`prop_ensure_ne!`](crate::prop_ensure_ne) — assertion macros that
+//!   return an `Err(String)` instead of panicking, so the runner can attach
+//!   the case's seed to the failure.
+//!
+//! There is no shrinking: with fully deterministic per-case seeds, a failure
+//! message names the exact seed to replay, which has proven sufficient for
+//! simulator-sized inputs. Failures are replayed by name:
+//!
+//! ```text
+//! LONGSIGHT_PROP_SEED=244 cargo test -p longsight-core --test proptests failing_case_name
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use longsight_tensor::{check, prop_ensure};
+//!
+//! check::run_cases("abs_is_non_negative", 32, |g| {
+//!     let x = g.f64_in(-100.0, 100.0);
+//!     prop_ensure!(x.abs() >= 0.0, "abs({x}) was negative");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::SimRng;
+
+/// Environment variable that, when set, replays every property at exactly one
+/// seed instead of sweeping the deterministic case schedule.
+pub const SEED_ENV: &str = "LONGSIGHT_PROP_SEED";
+
+/// A seeded generator for randomized test inputs.
+///
+/// Thin wrapper over [`SimRng`] so every property draws from the repo's own
+/// pinned generator; the helpers mirror the ranges the test suites need.
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            rng: SimRng::seed_from(seed),
+        }
+    }
+
+    /// Direct access to the underlying RNG (for tests that pass a `SimRng`
+    /// into library code).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Uniform `usize` in the half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.rng.below(hi - lo)
+    }
+
+    /// Uniform `u64` in the half-open range `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.rng.below((hi - lo) as usize) as u64
+    }
+
+    /// Uniform `u32` in the half-open range `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.u64_in(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + self.rng.uniform() * (hi - lo)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        self.f64_in(f64::from(lo), f64::from(hi)) as f32
+    }
+
+    /// Fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.coin(0.5)
+    }
+
+    /// Vector of uniform `f32` in `[lo, hi)` with a length drawn from
+    /// `[len_lo, len_hi)`.
+    pub fn vec_f32(&mut self, len_lo: usize, len_hi: usize, lo: f32, hi: f32) -> Vec<f32> {
+        let n = self.usize_in(len_lo, len_hi);
+        (0..n).map(|_| self.f32_in(lo, hi)).collect()
+    }
+
+    /// Vector of uniform `f64` in `[lo, hi)` with a length drawn from
+    /// `[len_lo, len_hi)`.
+    pub fn vec_f64(&mut self, len_lo: usize, len_hi: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let n = self.usize_in(len_lo, len_hi);
+        (0..n).map(|_| self.f64_in(lo, hi)).collect()
+    }
+}
+
+/// FNV-1a hash of the property name; anchors the per-case seed schedule so
+/// each property sweeps its own input sequence.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The deterministic seed for case `case` of property `name`.
+pub fn case_seed(name: &str, case: u64) -> u64 {
+    // Golden-ratio stride keeps consecutive case seeds well separated.
+    name_hash(name) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Runs `prop` against `cases` deterministically seeded inputs.
+///
+/// Each case builds a [`Gen`] from [`case_seed`]`(name, i)`. If the property
+/// returns `Err`, the runner panics with the failing seed and a ready-to-run
+/// replay command. Setting [`SEED_ENV`] replays exactly that one seed instead
+/// (this is how a reported failure is reproduced in isolation).
+///
+/// # Panics
+///
+/// Panics when the property fails for any case, or when [`SEED_ENV`] is set
+/// to something that does not parse as a `u64`.
+pub fn run_cases<F>(name: &str, cases: u64, prop: F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    if let Ok(v) = std::env::var(SEED_ENV) {
+        let seed: u64 = v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{SEED_ENV}={v:?} is not a valid u64 seed"));
+        run_seed(name, seed, &prop);
+        return;
+    }
+    for case in 0..cases {
+        let seed = case_seed(name, case);
+        if let Err(msg) = prop(&mut Gen::from_seed(seed)) {
+            panic!(
+                "property `{name}` failed on case {case} (seed {seed}): {msg}\n\
+                 replay with: {SEED_ENV}={seed} cargo test {name}"
+            );
+        }
+    }
+}
+
+/// Replays `prop` at one explicit seed.
+///
+/// Used for pinned regression cases (seeds that once exposed a bug stay in
+/// the suite as named `#[test]`s) and by [`run_cases`] when [`SEED_ENV`] is
+/// set.
+///
+/// # Panics
+///
+/// Panics when the property fails.
+pub fn run_seed<F>(name: &str, seed: u64, prop: F)
+where
+    F: Fn(&mut Gen) -> Result<(), String>,
+{
+    if let Err(msg) = prop(&mut Gen::from_seed(seed)) {
+        panic!("property `{name}` failed at pinned seed {seed}: {msg}");
+    }
+}
+
+/// Asserts a condition inside a property, returning `Err(String)` on failure
+/// so the runner can report the case's seed.
+///
+/// `prop_ensure!(cond)` uses the stringified condition as the message;
+/// `prop_ensure!(cond, "...", args...)` formats a custom one.
+#[macro_export]
+macro_rules! prop_ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property (values are included
+/// in the failure message via `Debug`).
+#[macro_export]
+macro_rules! prop_ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?} at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!($($arg)+));
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property.
+#[macro_export]
+macro_rules! prop_ensure_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?} at {}:{}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!($($arg)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_are_deterministic_and_distinct() {
+        assert_eq!(case_seed("x", 3), case_seed("x", 3));
+        assert_ne!(case_seed("x", 3), case_seed("x", 4));
+        assert_ne!(case_seed("x", 3), case_seed("y", 3));
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u64;
+        // Fn (not FnMut) closure contract — count via a Cell.
+        let hits = std::cell::Cell::new(0u64);
+        run_cases("always_passes", 17, |g| {
+            let _ = g.usize_in(0, 10);
+            hits.set(hits.get() + 1);
+            Ok(())
+        });
+        count += hits.get();
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_reports_seed() {
+        let err = std::panic::catch_unwind(|| {
+            run_cases("always_fails", 8, |_| Err("boom".into()));
+        })
+        .expect_err("property must fail");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("seed"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn gen_ranges_are_respected() {
+        let mut g = Gen::from_seed(9);
+        for _ in 0..200 {
+            let u = g.usize_in(3, 9);
+            assert!((3..9).contains(&u));
+            let f = g.f32_in(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let v = g.vec_f32(1, 4, 0.0, 1.0);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn ensure_macros_compile_and_fire() {
+        fn prop(fail: bool) -> Result<(), String> {
+            prop_ensure!(1 + 1 == 2);
+            prop_ensure_eq!(2, 2);
+            prop_ensure_ne!(2, 3);
+            prop_ensure!(!fail, "requested failure");
+            Ok(())
+        }
+        assert!(prop(false).is_ok());
+        assert_eq!(prop(true).unwrap_err(), "requested failure");
+    }
+}

@@ -79,7 +79,10 @@ impl FlatVecs {
     #[inline]
     pub fn get(&self, i: usize) -> &[f32] {
         let start = i * self.dim;
-        assert!(start + self.dim <= self.data.len(), "vector index out of bounds");
+        assert!(
+            start + self.dim <= self.data.len(),
+            "vector index out of bounds"
+        );
         &self.data[start..start + self.dim]
     }
 
@@ -91,7 +94,10 @@ impl FlatVecs {
     #[inline]
     pub fn get_mut(&mut self, i: usize) -> &mut [f32] {
         let start = i * self.dim;
-        assert!(start + self.dim <= self.data.len(), "vector index out of bounds");
+        assert!(
+            start + self.dim <= self.data.len(),
+            "vector index out of bounds"
+        );
         &mut self.data[start..start + self.dim]
     }
 

@@ -12,11 +12,13 @@
 //!   the data structure behind Sign-Concordance Filtering,
 //! * [`TopK`] — a bounded min-heap for top-*k* selection,
 //! * [`Bf16`] — bfloat16 storage emulation (the paper's models run BF16),
-//! * [`SimRng`] — a seeded RNG wrapper with the Gaussian helpers the synthetic
-//!   weight/workload generators need.
+//! * [`SimRng`] — a seeded in-repo xoshiro256** RNG with the Gaussian helpers
+//!   the synthetic weight/workload generators need,
+//! * [`check`] — a minimal seeded property-test runner used by the workspace's
+//!   randomized test suites.
 //!
-//! Everything here is deterministic given a seed, single threaded, and free of
-//! unsafe code.
+//! Everything here is deterministic given a seed and free of unsafe code, with
+//! no dependencies outside the standard library.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod bf16;
+pub mod check;
 mod flatvecs;
 pub mod linalg;
 mod matrix;

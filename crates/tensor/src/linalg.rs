@@ -350,7 +350,10 @@ mod tests {
         let svd = svd_square(&a);
         assert!(svd.sigma[1].abs() < 1e-4);
         assert!(svd.sigma[2].abs() < 1e-4);
-        assert!(orthogonality_error(&svd.u) < 1e-4, "U must still be orthogonal");
+        assert!(
+            orthogonality_error(&svd.u) < 1e-4,
+            "U must still be orthogonal"
+        );
         let rec = reconstruct_svd(&svd);
         assert!(rec.max_abs_diff(&a) < 1e-3);
     }

@@ -123,7 +123,9 @@ mod tests {
 
     #[test]
     fn negated_vector_has_zero_concordance_when_no_zeros() {
-        let v: Vec<f32> = (0..64).map(|i| (i as f32 + 0.5) * if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let v: Vec<f32> = (0..64)
+            .map(|i| (i as f32 + 0.5) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let neg: Vec<f32> = v.iter().map(|x| -x).collect();
         let s = SignBits::from_slice(&v);
         let sn = SignBits::from_slice(&neg);

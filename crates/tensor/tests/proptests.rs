@@ -1,30 +1,41 @@
-//! Property-based tests for the tensor kernels.
+//! Property-based tests for the tensor kernels, on the in-repo
+//! [`check`](longsight_tensor::check) runner.
 
-use longsight_tensor::{linalg, vecops, Matrix, SignBits, SimRng, TopK};
-use proptest::prelude::*;
+use longsight_tensor::check::{run_cases, Gen};
+use longsight_tensor::{
+    linalg, prop_ensure, prop_ensure_eq, vecops, Matrix, SignBits, SimRng, TopK,
+};
 
-fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec(-100.0f32..100.0, len)
+/// A finite `f32` vector in `[-100, 100)` with length drawn from `[lo, hi)`.
+fn finite_vec(g: &mut Gen, lo: usize, hi: usize) -> Vec<f32> {
+    g.vec_f32(lo, hi, -100.0, 100.0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sign_concordance_matches_naive(v in finite_vec(1..200), w_seed in 0u64..1000) {
+#[test]
+fn sign_concordance_matches_naive() {
+    run_cases("sign_concordance_matches_naive", 64, |g| {
+        let v = finite_vec(g, 1, 200);
+        let w_seed = g.u64_in(0, 1000);
         let mut rng = SimRng::seed_from(w_seed);
         let w: Vec<f32> = (0..v.len()).map(|_| rng.normal() as f32).collect();
         let sv = SignBits::from_slice(&v);
         let sw = SignBits::from_slice(&w);
-        let naive = v.iter().zip(&w)
+        let naive = v
+            .iter()
+            .zip(&w)
             .filter(|(a, b)| (**a < 0.0) == (**b < 0.0))
             .count() as u32;
-        prop_assert_eq!(sv.concordance(&sw), naive);
-        prop_assert_eq!(sv.hamming(&sw) + sv.concordance(&sw), v.len() as u32);
-    }
+        prop_ensure_eq!(sv.concordance(&sw), naive);
+        prop_ensure_eq!(sv.hamming(&sw) + sv.concordance(&sw), v.len() as u32);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn topk_matches_sort(scores in finite_vec(0..300), k in 0usize..40) {
+#[test]
+fn topk_matches_sort() {
+    run_cases("topk_matches_sort", 64, |g| {
+        let scores = finite_vec(g, 0, 300);
+        let k = g.usize_in(0, 40);
         let mut top = TopK::new(k);
         for (i, &s) in scores.iter().enumerate() {
             top.push(s, i);
@@ -33,62 +44,90 @@ proptest! {
         let mut pairs: Vec<(f32, usize)> = scores.iter().copied().zip(0..).collect();
         pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let want: Vec<usize> = pairs.into_iter().take(k).map(|(_, i)| i).collect();
-        prop_assert_eq!(got, want);
-    }
+        prop_ensure_eq!(got, want);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn softmax_is_a_distribution(mut v in finite_vec(1..64)) {
+#[test]
+fn softmax_is_a_distribution() {
+    run_cases("softmax_is_a_distribution", 64, |g| {
+        let mut v = finite_vec(g, 1, 64);
         vecops::softmax_in_place(&mut v);
         let sum: f32 = v.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(v.iter().all(|x| (0.0..=1.0 + 1e-6).contains(x)));
-    }
+        prop_ensure!((sum - 1.0).abs() < 1e-4);
+        prop_ensure!(v.iter().all(|x| (0.0..=1.0 + 1e-6).contains(x)));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn softmax_preserves_argmax(v in finite_vec(2..64)) {
+#[test]
+fn softmax_preserves_argmax() {
+    run_cases("softmax_preserves_argmax", 64, |g| {
+        let v = finite_vec(g, 2, 64);
         let before = vecops::argmax(&v).unwrap();
         let mut sm = v.clone();
         vecops::softmax_in_place(&mut sm);
         // The max element keeps (one of) the max probabilities.
         let max_prob = sm.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        prop_assert!(sm[before] >= max_prob - 1e-6);
-    }
+        prop_ensure!(sm[before] >= max_prob - 1e-6);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn matmul_distributes_over_add(seed in 0u64..500) {
+#[test]
+fn matmul_distributes_over_add() {
+    run_cases("matmul_distributes_over_add", 64, |g| {
+        let seed = g.u64_in(0, 500);
         let mut rng = SimRng::seed_from(seed);
         let a = Matrix::random_gaussian(4, 5, &mut rng);
         let b = Matrix::random_gaussian(5, 3, &mut rng);
         let c = Matrix::random_gaussian(5, 3, &mut rng);
         let lhs = a.matmul(&b.add(&c));
         let rhs = a.matmul(&b).add(&a.matmul(&c));
-        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-3);
-    }
+        prop_ensure!(lhs.max_abs_diff(&rhs) < 1e-3);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn random_orthogonal_preserves_norms(seed in 0u64..200, n in 2usize..12) {
+#[test]
+fn random_orthogonal_preserves_norms() {
+    run_cases("random_orthogonal_preserves_norms", 64, |g| {
+        let seed = g.u64_in(0, 200);
+        let n = g.usize_in(2, 12);
         let mut rng = SimRng::seed_from(seed);
         let q = linalg::random_orthogonal(n, &mut rng);
         let v = rng.normal_vec(n);
         let rotated = q.matvec(&v);
-        prop_assert!((vecops::l2_norm(&rotated) - vecops::l2_norm(&v)).abs() < 1e-3);
-    }
+        prop_ensure!((vecops::l2_norm(&rotated) - vecops::l2_norm(&v)).abs() < 1e-3);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn procrustes_output_is_orthogonal(seed in 0u64..200, n in 2usize..10) {
+#[test]
+fn procrustes_output_is_orthogonal() {
+    run_cases("procrustes_output_is_orthogonal", 64, |g| {
+        let seed = g.u64_in(0, 200);
+        let n = g.usize_in(2, 10);
         let mut rng = SimRng::seed_from(seed);
         let m = Matrix::random_gaussian(n, n, &mut rng);
         let r = linalg::procrustes_rotation(&m);
-        prop_assert!(linalg::orthogonality_error(&r) < 1e-3);
-    }
+        prop_ensure!(linalg::orthogonality_error(&r) < 1e-3);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dot_is_symmetric(v in finite_vec(1..100), seed in 0u64..100) {
+#[test]
+fn dot_is_symmetric() {
+    run_cases("dot_is_symmetric", 64, |g| {
+        let v = finite_vec(g, 1, 100);
+        let seed = g.u64_in(0, 100);
         let mut rng = SimRng::seed_from(seed);
         let w: Vec<f32> = (0..v.len()).map(|_| rng.normal() as f32).collect();
         let scale = v.iter().map(|x| x.abs()).fold(0.0f32, f32::max).max(1.0)
             * w.iter().map(|x| x.abs()).fold(0.0f32, f32::max).max(1.0)
             * v.len() as f32;
-        prop_assert!((vecops::dot(&v, &w) - vecops::dot(&w, &v)).abs() <= 1e-5 * scale);
-    }
+        prop_ensure!((vecops::dot(&v, &w) - vecops::dot(&w, &v)).abs() <= 1e-5 * scale);
+        Ok(())
+    });
 }

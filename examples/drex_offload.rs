@@ -95,7 +95,10 @@ fn main() {
     let t = out.timing;
     println!("\ndevice timing:");
     println!("  descriptor submitted : {:>9.2} us", t.submitted_ns / 1e3);
-    println!("  device compute done  : {:>9.2} us", t.device_done_ns / 1e3);
+    println!(
+        "  device compute done  : {:>9.2} us",
+        t.device_done_ns / 1e3
+    );
     println!("  observed by GPU      : {:>9.2} us", t.observed_ns / 1e3);
     println!("  of which value/CXL   : {:>9.2} us", t.value_read_ns / 1e3);
     let c = t.critical_head;

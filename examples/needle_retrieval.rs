@@ -57,7 +57,11 @@ fn main() {
             predictions.push(top);
             g.prefill(&[truth]);
         }
-        let hits = predictions.iter().zip(expected).filter(|(a, b)| a == b).count();
+        let hits = predictions
+            .iter()
+            .zip(expected)
+            .filter(|(a, b)| a == b)
+            .count();
         println!(
             "{name:<22} predicted {:?}  ({hits}/{} needle tokens recovered)",
             predictions,

@@ -6,9 +6,11 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use longsight::core::{HybridConfig, LongSightBackend, ThresholdTable};
 use longsight::core::{training, ItqConfig};
-use longsight::model::{corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights};
+use longsight::core::{HybridConfig, LongSightBackend, ThresholdTable};
+use longsight::model::{
+    corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
+};
 use longsight::tensor::SimRng;
 
 fn main() {

@@ -11,10 +11,7 @@ use longsight::system::{GpuOnlySystem, LongSightConfig, LongSightSystem, Serving
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let context: usize = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(262_144);
+    let context: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(262_144);
     let users: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
 
     let model = ModelConfig::llama3_8b();

@@ -29,7 +29,11 @@ fn main() {
         top_k: 96,
     };
 
-    println!("tuning SCF thresholds for {} ({} KV-head databases)...", cfg, cfg.databases_per_user());
+    println!(
+        "tuning SCF thresholds for {} ({} KV-head databases)...",
+        cfg,
+        cfg.databases_per_user()
+    );
     let mut probes = 0usize;
     let outcome = tune_thresholds(
         cfg.layers,
@@ -58,9 +62,19 @@ fn main() {
 
     println!("probes run:          {}", outcome.probes);
     println!("baseline perplexity: {:.2}", outcome.baseline_quality);
-    println!("tuned perplexity:    {:.2} ({:+.2}%)", outcome.final_quality, 100.0 * outcome.quality_increase());
-    println!("filter ratio:        {:.1}x (non-window)", outcome.final_stats.filter_ratio_nonwindow());
-    println!("\nper-head thresholds (layer, kv_head) -> threshold / {}:", cfg.head_dim);
+    println!(
+        "tuned perplexity:    {:.2} ({:+.2}%)",
+        outcome.final_quality,
+        100.0 * outcome.quality_increase()
+    );
+    println!(
+        "filter ratio:        {:.1}x (non-window)",
+        outcome.final_stats.filter_ratio_nonwindow()
+    );
+    println!(
+        "\nper-head thresholds (layer, kv_head) -> threshold / {}:",
+        cfg.head_dim
+    );
     for ((layer, head), th) in outcome.thresholds.iter() {
         println!("  ({layer}, {head}) -> {th}");
     }

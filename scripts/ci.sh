@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Offline CI gate for the LongSight reproduction.
+#
+# The workspace has zero external dependencies, so every step below runs
+# without network access (--offline). Steps:
+#   1. formatting check
+#   2. release build (all crates, all bench targets compile)
+#   3. full test suite (unit + property + integration + doc tests)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo build --release --offline =="
+cargo build --release --workspace --offline
+
+echo "== cargo test -q --offline =="
+cargo test --workspace --offline -q
+
+echo "CI gate passed."

@@ -6,6 +6,8 @@
 //! This umbrella crate re-exports the workspace members; see the individual
 //! crates for details:
 //!
+//! * [`exec`] — deterministic parallel maps (bit-identical at any thread
+//!   count; `LONGSIGHT_THREADS` / `--threads`),
 //! * [`tensor`] — numeric kernels (packed sign bits, top-k, small linalg),
 //! * [`model`] — transformer substrate, synthetic corpora, perplexity,
 //! * [`core`] — the paper's algorithm: SCF, ITQ, hybrid attention, tuning,
@@ -27,6 +29,7 @@ pub use longsight_core as core;
 pub use longsight_cxl as cxl;
 pub use longsight_dram as dram;
 pub use longsight_drex as drex;
+pub use longsight_exec as exec;
 pub use longsight_gpu as gpu;
 pub use longsight_model as model;
 pub use longsight_system as system;

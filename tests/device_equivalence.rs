@@ -50,7 +50,11 @@ fn device_matches_reference_for_all_heads_and_queries() {
     // thresholds exercise the full table indexing.
     let rotations = RotationTable::from_fn(LAYERS, KV_HEADS, |l, h| {
         ItqRotation::train(
-            &longsight::tensor::Matrix::random_gaussian(64, DIM, &mut SimRng::seed_from((l * 7 + h) as u64)),
+            &longsight::tensor::Matrix::random_gaussian(
+                64,
+                DIM,
+                &mut SimRng::seed_from((l * 7 + h) as u64),
+            ),
             &ItqConfig {
                 iterations: 8,
                 seed: (l * 31 + h) as u64,

@@ -56,7 +56,14 @@ fn concordance_separation_raw_vs_itq() {
     let keys = cache.head(1, 0).keys();
 
     let calib: Vec<u32> = text.tokens[..512].to_vec();
-    let rotations = training::train_rotations(&model, &calib, &ItqConfig { iterations: 25, seed: 3 });
+    let rotations = training::train_rotations(
+        &model,
+        &calib,
+        &ItqConfig {
+            iterations: 25,
+            seed: 3,
+        },
+    );
     let itq = rotations.get(1, 0).clone();
     let raw = ItqRotation::identity(cfg.head_dim);
 
@@ -68,7 +75,13 @@ fn concordance_separation_raw_vs_itq() {
             data.extend(k.iter().map(|x| x / n.max(1e-9)));
         }
         let m = longsight_tensor::Matrix::from_vec(keys.len(), cfg.head_dim, data);
-        ItqRotation::train(&m, &ItqConfig { iterations: 25, seed: 7 })
+        ItqRotation::train(
+            &m,
+            &ItqConfig {
+                iterations: 25,
+                seed: 7,
+            },
+        )
     };
 
     // Post-rotation key sign imbalance.
@@ -76,10 +89,7 @@ fn concordance_separation_raw_vs_itq() {
         let mut mean_imb = 0.0;
         let mut worst: f64 = 0.0;
         for dim in 0..cfg.head_dim {
-            let neg = keys
-                .iter()
-                .filter(|k| rot.apply(k)[dim] < 0.0)
-                .count();
+            let neg = keys.iter().filter(|k| rot.apply(k)[dim] < 0.0).count();
             let imb = (neg as f64 / keys.len() as f64 - 0.5).abs();
             mean_imb += imb / cfg.head_dim as f64;
             worst = worst.max(imb);
@@ -146,15 +156,29 @@ fn per_head_ratio_raw_vs_itq() {
     ));
     let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), 768, &mut rng);
     let calib: Vec<u32> = text.tokens[..512].to_vec();
-    let rotations = training::train_rotations(&model, &calib, &ItqConfig { iterations: 25, seed: 3 });
+    let rotations = training::train_rotations(
+        &model,
+        &calib,
+        &ItqConfig {
+            iterations: 25,
+            seed: 3,
+        },
+    );
 
     for (name, rot) in [
-        ("raw", RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim)),
+        (
+            "raw",
+            RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim),
+        ),
         ("itq", rotations),
     ] {
         for th in [18u32, 20, 22, 24] {
             let mut backend = LongSightBackend::new(
-                HybridConfig { window: 192, sinks: 16, top_k: 96 },
+                HybridConfig {
+                    window: 192,
+                    sinks: 16,
+                    top_k: 96,
+                },
                 ThresholdTable::uniform(cfg.layers, cfg.kv_heads, th),
                 rot.clone(),
             );
@@ -197,11 +221,18 @@ fn trace_itq_vs_raw() {
     }
     let itq = ItqRotation::train(
         &Matrix::from_vec(n_train, 128, data),
-        &ItqConfig { iterations: 30, seed: 9 },
+        &ItqConfig {
+            iterations: 30,
+            seed: 9,
+        },
     );
     let raw = ItqRotation::identity(128);
 
-    let cfg = HybridConfig { window: 1024, sinks: 16, top_k: 1024 };
+    let cfg = HybridConfig {
+        window: 1024,
+        sinks: 16,
+        top_k: 1024,
+    };
     for (name, rot) in [("raw", &raw), ("itq", &itq)] {
         // Highest threshold with output error <= 5% and good recall.
         let mut best = (0.0f64, 0u32, 0.0f64);
@@ -216,6 +247,9 @@ fn trace_itq_vs_raw() {
                 break;
             }
         }
-        println!("{name}: best {:.1}x @th{} (topk recall {:.2})", best.0, best.1, best.2);
+        println!(
+            "{name}: best {:.1}x @th{} (topk recall {:.2})",
+            best.0, best.1, best.2
+        );
     }
 }

@@ -1,0 +1,138 @@
+//! Parallel ≡ serial equivalence — the contract of `longsight-exec`.
+//!
+//! Every simulation in this workspace promises bit-reproducible results
+//! under a seed, at *any* worker-thread count: parallel maps collect partial
+//! results in index order and all floating-point reductions fold serially.
+//! These tests pin that contract on the three hot paths the execution layer
+//! threads through: the model forward pass with the LongSight attention
+//! backend, the trace-based quality evaluation, and the DReX offload timing
+//! simulation.
+
+use longsight::core::{
+    trace_eval, HybridConfig, ItqRotation, LongSightBackend, RotationTable, ThresholdTable,
+};
+use longsight::drex::{time_head_offload, time_slice_offload, DrexParams, HeadOffloadSpec};
+use longsight::exec;
+use longsight::model::tracegen::{generate_head_trace, TraceConfig};
+use longsight::model::{corpus, perplexity, InductionParams, Model, ModelConfig, ModelWeights};
+use longsight::tensor::SimRng;
+use std::sync::Mutex;
+
+/// Thread counts exercised: exact serial, a fixed pool, and whatever the
+/// host hardware reports (deduplicated).
+fn thread_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 4];
+    if !counts.contains(&hw) {
+        counts.push(hw);
+    }
+    counts
+}
+
+/// The worker-count override is process-global, so tests that sweep it must
+/// not interleave.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once per thread count and returns the per-count results.
+fn across_thread_counts<R>(f: impl Fn() -> R) -> Vec<(usize, R)> {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let out = thread_counts()
+        .into_iter()
+        .map(|t| {
+            exec::set_thread_count(t);
+            (t, f())
+        })
+        .collect();
+    exec::set_thread_count(0);
+    out
+}
+
+#[test]
+fn forward_pass_perplexity_is_bit_identical_across_thread_counts() {
+    let cfg = ModelConfig::tiny();
+    let mut rng = SimRng::seed_from(2025);
+    let model = Model::new(ModelWeights::induction(
+        &cfg,
+        &InductionParams::default(),
+        &mut rng,
+    ));
+    let text = corpus::generate(&corpus::CorpusConfig::long_book(cfg.vocab), 512, &mut rng);
+
+    let runs = across_thread_counts(|| {
+        let mut backend = LongSightBackend::new(
+            HybridConfig {
+                window: 128,
+                sinks: 16,
+                top_k: 64,
+            },
+            ThresholdTable::uniform(cfg.layers, cfg.kv_heads, cfg.head_dim as u32 / 2),
+            RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim),
+        );
+        let r = perplexity::evaluate(&model, &text, &mut backend, 64);
+        let s = backend.stats();
+        (r.perplexity.to_bits(), s.scored, s.retrieved)
+    });
+    let (_, baseline) = runs[0];
+    for (threads, got) in &runs[1..] {
+        assert_eq!(
+            *got, baseline,
+            "forward-pass result diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn trace_eval_metrics_are_bit_identical_across_thread_counts() {
+    let mut rng = SimRng::seed_from(42);
+    let trace = generate_head_trace(&TraceConfig::llama_like(64, 4096), &mut rng);
+    let cfg = HybridConfig {
+        window: 512,
+        sinks: 16,
+        top_k: 256,
+    };
+    let rot = ItqRotation::identity(64);
+
+    let runs = across_thread_counts(|| {
+        let q = trace_eval::evaluate_trace(&trace, &rot, &cfg, 20);
+        (
+            q.topk_recall.to_bits(),
+            q.ground_truth_recall.to_bits(),
+            q.output_rel_err.to_bits(),
+            q.stats.scored,
+            q.stats.retrieved,
+        )
+    });
+    let (_, baseline) = runs[0];
+    for (threads, got) in &runs[1..] {
+        assert_eq!(
+            *got, baseline,
+            "trace-eval metrics diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn offload_timing_is_bit_identical_across_thread_counts() {
+    let params = DrexParams::paper();
+    // Several slices' worth of keys so the per-slice parallel map engages.
+    let spec = HeadOffloadSpec {
+        context_len: 300_000,
+        head_dim: 128,
+        queries: 4,
+        k: 1024,
+        survivors: 15_000,
+    };
+
+    let runs = across_thread_counts(|| {
+        let head = time_head_offload(&params, &spec, 99);
+        let slice = time_slice_offload(&params, &spec, 60_000, 3_000, 17);
+        (head, slice)
+    });
+    let (_, baseline) = runs[0];
+    for (threads, got) in &runs[1..] {
+        assert_eq!(
+            *got, baseline,
+            "offload timing diverged at {threads} threads"
+        );
+    }
+}

@@ -38,7 +38,14 @@ fn probe(params: &InductionParams, label: &str) {
     );
 
     let calib: Vec<u32> = text.tokens[..512.min(text.tokens.len())].to_vec();
-    let rotations = training::train_rotations(&model, &calib, &ItqConfig { iterations: 25, seed: 3 });
+    let rotations = training::train_rotations(
+        &model,
+        &calib,
+        &ItqConfig {
+            iterations: 25,
+            seed: 3,
+        },
+    );
     let hybrid_cfg = HybridConfig {
         window: WINDOW,
         sinks: SINKS,
@@ -64,7 +71,11 @@ fn probe(params: &InductionParams, label: &str) {
         }
         best
     };
-    let raw = best_ratio(&RotationTable::identity(cfg.layers, cfg.kv_heads, cfg.head_dim));
+    let raw = best_ratio(&RotationTable::identity(
+        cfg.layers,
+        cfg.kv_heads,
+        cfg.head_dim,
+    ));
     let itq = best_ratio(&rotations);
     println!(
         "[{label}] dense ppl {:.1} (pred CE {:.2}) | window ppl {:.1} (+{:.0}%) | raw {:.1}x@th{} | itq {:.1}x@th{} | itq/raw {:.2}",

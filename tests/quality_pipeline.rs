@@ -8,9 +8,7 @@
 //!   perplexity budget,
 //! * ITQ improves the achievable filter ratio at matched quality (Fig 3c).
 
-use longsight_core::{
-    HybridConfig, ItqConfig, LongSightBackend, RotationTable, ThresholdTable,
-};
+use longsight_core::{HybridConfig, ItqConfig, LongSightBackend, RotationTable, ThresholdTable};
 use longsight_model::{
     corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
     SlidingWindowBackend,
@@ -139,7 +137,10 @@ fn itq_improves_filter_ratio_at_matched_quality() {
     }
     let itq_rot = ItqRotation::train(
         &Matrix::from_vec(n_train, d, data),
-        &ItqConfig { iterations: 30, seed: 9 },
+        &ItqConfig {
+            iterations: 30,
+            seed: 9,
+        },
     );
     let raw_rot = ItqRotation::identity(d);
 

@@ -70,7 +70,9 @@ fn smaller_k_means_lower_latency() {
     let a = LongSightSystem::new(small, model.clone())
         .evaluate(4, 131_072)
         .unwrap();
-    let b = LongSightSystem::new(big, model).evaluate(4, 131_072).unwrap();
+    let b = LongSightSystem::new(big, model)
+        .evaluate(4, 131_072)
+        .unwrap();
     assert!(
         a.step_ns <= b.step_ns,
         "k=128 must not be slower than k=1024 ({} vs {})",
@@ -89,7 +91,9 @@ fn higher_filter_ratio_means_lower_latency() {
     let slow = LongSightSystem::new(coarse, model.clone())
         .evaluate(8, 262_144)
         .unwrap();
-    let fast = LongSightSystem::new(fine, model).evaluate(8, 262_144).unwrap();
+    let fast = LongSightSystem::new(fine, model)
+        .evaluate(8, 262_144)
+        .unwrap();
     assert!(
         fast.step_ns < slow.step_ns,
         "a 40x filter ratio must beat 5x ({} vs {})",
@@ -106,14 +110,23 @@ fn infeasibility_reasons_are_accurate() {
         gpus: DataParallelGpus::new(GpuSpec::h100_sxm(), 1),
         model: model.clone(),
     };
-    assert_eq!(dense.evaluate(1, 1 << 20).unwrap_err(), Infeasible::GpuMemory);
+    assert_eq!(
+        dense.evaluate(1, 1 << 20).unwrap_err(),
+        Infeasible::GpuMemory
+    );
     // LongSight rejects batches beyond the DCC queue depth.
     let mut ls = longsight(model.clone());
-    assert_eq!(ls.evaluate(513, 32_768).unwrap_err(), Infeasible::QueueDepth);
+    assert_eq!(
+        ls.evaluate(513, 32_768).unwrap_err(),
+        Infeasible::QueueDepth
+    );
     // And batches whose contexts exceed DReX memory.
     let over = ls.drex_max_users(1 << 20) + 1;
     if over <= 512 {
-        assert_eq!(ls.evaluate(over, 1 << 20).unwrap_err(), Infeasible::DrexMemory);
+        assert_eq!(
+            ls.evaluate(over, 1 << 20).unwrap_err(),
+            Infeasible::DrexMemory
+        );
     }
 }
 
@@ -138,5 +151,8 @@ fn throughput_increases_then_saturates_with_users() {
         );
         last_tput = r.throughput_tps;
     }
-    assert!(grew, "batching must raise throughput somewhere in the sweep");
+    assert!(
+        grew,
+        "batching must raise throughput somewhere in the sweep"
+    );
 }

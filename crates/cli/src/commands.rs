@@ -7,11 +7,12 @@ use longsight_core::{
 };
 use longsight_dram::Geometry;
 use longsight_drex::layout::{self, UserPartition};
+use longsight_faults::{FaultInjector, FaultProfile, RetryPolicy};
 use longsight_gpu::{DataParallelGpus, GpuSpec};
 use longsight_model::{
     corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
 };
-use longsight_system::serving::{simulate, WorkloadConfig};
+use longsight_system::serving::{simulate, simulate_with_faults, WorkloadConfig};
 use longsight_system::{
     AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem,
     SlidingWindowSystem,
@@ -24,6 +25,32 @@ fn model_flag(a: &Args) -> Result<ModelConfig, String> {
         "8b" => Ok(ModelConfig::llama3_8b()),
         other => Err(format!("unknown --model '{other}' (use 1b or 8b)")),
     }
+}
+
+/// Parses the shared fault-injection flags.
+///
+/// `--fault-profile` accepts `none`, `mild`, `severe`, or a rate in
+/// `[0, 1]`; `--fault-seed` selects the deterministic fault timeline and
+/// `--deadline-ms` overrides the per-attempt offload deadline.
+fn fault_flags(a: &Args) -> Result<(FaultProfile, u64, RetryPolicy), String> {
+    let profile = match a.get("fault-profile") {
+        None => FaultProfile::disabled(),
+        Some(spec) => FaultProfile::parse(spec)?,
+    };
+    let seed: u64 = a.get_or("fault-seed", 0)?;
+    let mut retry = RetryPolicy::serving_default();
+    if let Some(d) = a.get("deadline-ms") {
+        let ms: f64 = d
+            .parse()
+            .map_err(|_| format!("invalid value '{d}' for --deadline-ms"))?;
+        if !(ms > 0.0 && ms.is_finite()) {
+            return Err(format!(
+                "--deadline-ms must be a positive number, got '{d}'"
+            ));
+        }
+        retry.offload_deadline_ns = ms * 1e6;
+    }
+    Ok((profile, seed, retry))
 }
 
 fn build_system(name: &str, model: ModelConfig) -> Result<Box<dyn ServingSystem>, String> {
@@ -104,27 +131,69 @@ pub fn quality(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn print_report(name: &str, users: usize, ctx: usize, r: &longsight_system::StepReport) {
+    println!("{name}: {users} users @ {ctx} tokens");
+    println!(
+        "  throughput: {:.1} tok/s ({:.1} tok/s/user)",
+        r.throughput_tps,
+        r.tps_per_user()
+    );
+    println!("  per-token latency: {:.3} ms", r.latency_ms());
+    let b = r.breakdown;
+    println!("  breakdown: weights {:.2} ms | attn {:.2} ms | merge {:.2} ms | drex {:.2} ms | cxl {:.2} ms",
+        b.gpu_weights_ns / 1e6, b.gpu_attention_ns / 1e6, b.gpu_merge_ns / 1e6,
+        b.drex_offload_ns / 1e6, b.cxl_ns / 1e6);
+}
+
 /// `longsight serve` — one evaluation row.
 pub fn serve(a: &Args) -> Result<(), String> {
-    a.ensure_known(&["model", "ctx", "users", "system"])?;
+    a.ensure_known(&[
+        "model",
+        "ctx",
+        "users",
+        "system",
+        "fault-profile",
+        "fault-seed",
+        "deadline-ms",
+    ])?;
     let model = model_flag(a)?;
     let ctx: usize = a.get_or("ctx", 131_072)?;
     let users: usize = a.get_or("users", 8)?;
-    let mut sys = build_system(a.get("system").unwrap_or("longsight"), model)?;
-    match sys.evaluate(users, ctx) {
-        Ok(r) => {
-            println!("{}: {} users @ {} tokens", sys.name(), users, ctx);
-            println!(
-                "  throughput: {:.1} tok/s ({:.1} tok/s/user)",
-                r.throughput_tps,
-                r.tps_per_user()
-            );
-            println!("  per-token latency: {:.3} ms", r.latency_ms());
-            let b = r.breakdown;
-            println!("  breakdown: weights {:.2} ms | attn {:.2} ms | merge {:.2} ms | drex {:.2} ms | cxl {:.2} ms",
-                b.gpu_weights_ns / 1e6, b.gpu_attention_ns / 1e6, b.gpu_merge_ns / 1e6,
-                b.drex_offload_ns / 1e6, b.cxl_ns / 1e6);
+    let (faults, fault_seed, retry) = fault_flags(a)?;
+    let sys_name = a.get("system").unwrap_or("longsight");
+    if faults.is_enabled() {
+        if sys_name != "longsight" {
+            return Err(format!(
+                "--fault-profile applies to --system longsight only (got '{sys_name}')"
+            ));
         }
+        let mut cfg = LongSightConfig::paper_default().with_faults(faults, fault_seed);
+        cfg.retry = retry;
+        let mut sys = LongSightSystem::new(cfg, model);
+        match sys.evaluate_with_faults(users, ctx) {
+            Ok((r, log, stats)) => {
+                print_report(&sys.name(), users, ctx, &r);
+                println!(
+                    "  faults (seed {fault_seed}): {} events | retried {} | degraded {} | failed {}",
+                    log.len(),
+                    stats.retried_tokens,
+                    stats.degraded_tokens,
+                    stats.failed_requests
+                );
+            }
+            Err(e) => println!(
+                "{}: infeasible at {} users x {} tokens ({e})",
+                sys.name(),
+                users,
+                ctx
+            ),
+        }
+        println!("  max users at this context: {}", sys.max_users(ctx));
+        return Ok(());
+    }
+    let mut sys = build_system(sys_name, model)?;
+    match sys.evaluate(users, ctx) {
+        Ok(r) => print_report(&sys.name(), users, ctx, &r),
         Err(e) => println!(
             "{}: infeasible at {} users x {} tokens ({e})",
             sys.name(),
@@ -139,7 +208,18 @@ pub fn serve(a: &Args) -> Result<(), String> {
 /// `longsight loadtest` — closed-loop serving simulation.
 pub fn loadtest(a: &Args) -> Result<(), String> {
     a.ensure_known(&[
-        "model", "rate", "duration", "ctx-min", "ctx-max", "out-min", "out-max", "system", "seed",
+        "model",
+        "rate",
+        "duration",
+        "ctx-min",
+        "ctx-max",
+        "out-min",
+        "out-max",
+        "system",
+        "seed",
+        "fault-profile",
+        "fault-seed",
+        "deadline-ms",
     ])?;
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
@@ -149,8 +229,15 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         duration_s: a.get_or("duration", 10.0)?,
         seed: a.get_or("seed", 7)?,
     };
+    let (faults, fault_seed, retry) = fault_flags(a)?;
     let mut sys = build_system(a.get("system").unwrap_or("longsight"), model.clone())?;
-    let m = simulate(sys.as_mut(), &model, &wl);
+    let injected = faults.is_enabled();
+    let (m, fault_log) = if injected {
+        let inj = FaultInjector::new(faults, fault_seed);
+        simulate_with_faults(sys.as_mut(), &model, &wl, &inj, &retry)
+    } else {
+        (simulate(sys.as_mut(), &model, &wl), Default::default())
+    };
     println!(
         "{} under {:.1} req/s for {:.0}s ({}-{} ctx tokens):",
         sys.name(),
@@ -175,16 +262,37 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         "  request latency p50 {:.1} ms  p99 {:.1} ms",
         m.p50_request_ms, m.p99_request_ms
     );
+    if injected {
+        println!(
+            "  faults (seed {fault_seed}): {} events | retried {} | degraded {} ({:.2}% of tokens) | failed requests {}",
+            fault_log.len(),
+            m.retried_tokens,
+            m.degraded_tokens,
+            100.0 * m.degraded_quality_delta,
+            m.failed_requests
+        );
+    }
     Ok(())
 }
 
 /// `longsight offload` — Fig 8-style DReX profile.
 pub fn offload(a: &Args) -> Result<(), String> {
-    a.ensure_known(&["model", "ctx", "users"])?;
+    a.ensure_known(&[
+        "model",
+        "ctx",
+        "users",
+        "fault-profile",
+        "fault-seed",
+        "deadline-ms",
+    ])?;
     let model = model_flag(a)?;
     let ctx: usize = a.get_or("ctx", 131_072)?;
     let users: usize = a.get_or("users", 1)?;
-    let sys = LongSightSystem::new(LongSightConfig::paper_default(), model);
+    let (faults, fault_seed, retry) = fault_flags(a)?;
+    let injected = faults.is_enabled();
+    let mut cfg = LongSightConfig::paper_default().with_faults(faults, fault_seed);
+    cfg.retry = retry;
+    let sys = LongSightSystem::new(cfg, model);
     let (observed, p) = sys.drex_layer(users, ctx);
     println!("DReX offload profile: {users} user(s), {ctx} tokens, per layer:");
     println!("  filter      {:>10.2} us", p.filter_ns / 1e3);
@@ -195,6 +303,18 @@ pub fn offload(a: &Args) -> Result<(), String> {
     println!("  queue wait  {:>10.2} us", p.queue_wait_ns / 1e3);
     println!("  value/CXL   {:>10.2} us", p.value_cxl_ns / 1e3);
     println!("  observed    {:>10.2} us (last user)", observed / 1e3);
+    if injected {
+        let f = sys.drex_layer_faulty(users, ctx);
+        println!(
+            "  faulted     {:>10.2} us (seed {fault_seed}: {} events, {} replay rounds, {} straggled slices, retried {}, degraded {})",
+            f.layer_ns / 1e3,
+            f.log.len(),
+            f.replay_rounds,
+            f.straggled_slices,
+            f.stats.retried_tokens,
+            f.stats.degraded_tokens
+        );
+    }
     Ok(())
 }
 
@@ -321,5 +441,54 @@ mod tests {
         assert!(serve(&args(&["--system", "bogus"])).is_err());
         assert!(quality(&args(&["--nope", "1"])).is_err());
         assert!(model_flag(&args(&["--model", "70b"])).is_err());
+    }
+
+    #[test]
+    fn bad_fault_flags_are_rejected() {
+        assert!(serve(&args(&["--fault-profile", "bogus"])).is_err());
+        assert!(serve(&args(&["--fault-profile", "1.5"])).is_err());
+        assert!(serve(&args(&["--fault-profile", "mild", "--system", "gpu"])).is_err());
+        assert!(serve(&args(&["--deadline-ms", "-3"])).is_err());
+        assert!(offload(&args(&["--deadline-ms", "nan"])).is_err());
+        assert!(loadtest(&args(&["--fault-seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn faulted_commands_run() {
+        serve(&args(&[
+            "--model",
+            "1b",
+            "--ctx",
+            "32768",
+            "--users",
+            "2",
+            "--fault-profile",
+            "mild",
+            "--fault-seed",
+            "11",
+        ]))
+        .unwrap();
+        offload(&args(&[
+            "--ctx",
+            "65536",
+            "--fault-profile",
+            "0.1",
+            "--deadline-ms",
+            "1.5",
+        ]))
+        .unwrap();
+        loadtest(&args(&[
+            "--model",
+            "1b",
+            "--rate",
+            "2",
+            "--duration",
+            "2",
+            "--fault-profile",
+            "severe",
+            "--fault-seed",
+            "3",
+        ]))
+        .unwrap();
     }
 }

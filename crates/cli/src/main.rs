@@ -3,8 +3,11 @@
 //! ```text
 //! longsight quality   [--ctx 1024] [--window 256] [--k 128] [--threshold 18] [--itq true]
 //! longsight serve     [--model 1b|8b] [--ctx 131072] [--users 8] [--system longsight|gpu|gpu2|attacc|window]
+//!                     [--fault-profile none|mild|severe|RATE] [--fault-seed N] [--deadline-ms MS]
 //! longsight loadtest  [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 32768] [--ctx-max 131072]
+//!                     [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
 //! longsight offload   [--model 1b|8b] [--ctx 131072] [--users 1]
+//!                     [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
 //! longsight tune      [--ctx 768] [--window 192] [--k 96] [--budget 0.05]
 //! longsight layout    [--model 1b|8b] [--ctx 1048576]
 //! ```
@@ -96,11 +99,17 @@ commands:
   serve      one serving evaluation row
                                    [--model 1b|8b] [--ctx N] [--users U]
                                    [--system longsight|gpu|gpu2|attacc|window]
+                                   [--fault-profile none|mild|severe|RATE]
+                                   [--fault-seed N] [--deadline-ms MS]
   loadtest   closed-loop Poisson serving simulation with percentiles
                                    [--model 1b|8b] [--rate R] [--duration S]
                                    [--ctx-min N] [--ctx-max N]
+                                   [--fault-profile ...] [--fault-seed N]
+                                   [--deadline-ms MS]
   offload    DReX offload latency profile (Fig 8 style)
                                    [--model 1b|8b] [--ctx N] [--users U]
+                                   [--fault-profile ...] [--fault-seed N]
+                                   [--deadline-ms MS]
   tune       run the paper's SCF threshold tuner (section 8.1.3)
                                    [--ctx N] [--window W] [--k K] [--budget F]
   layout     User Partition plan + capacity for a context length

@@ -189,6 +189,9 @@ impl AttentionBackend for LongSightBackend {
                     let end = (start + SCAN_CHUNK).min(window_start);
                     let mut top = TopK::new(top_k);
                     let mut chunk_scored = 0u64;
+                    // Index loop on purpose: `i` addresses both `signs` and
+                    // `keys`, and the range is a sub-window of the cache.
+                    #[allow(clippy::needless_range_loop)]
                     for i in start..end {
                         // Stage 1: in-memory filtering (PFU).
                         if !scf_pass(&q_signs, &signs[i], threshold) {

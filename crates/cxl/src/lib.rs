@@ -24,6 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use longsight_faults::{domain, FaultInjector};
+
+/// Flit window retransmitted per CRC replay round, bytes. PCIe/CXL links
+/// recover from CRC errors by replaying from the last acknowledged flit, so
+/// a replay costs re-arbitration plus one replay-buffer window — not the
+/// whole payload.
+pub const REPLAY_WINDOW_BYTES: usize = 4096;
+
 /// Latency/bandwidth parameters of the CXL link between GPU and DReX.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CxlLink {
@@ -87,6 +95,57 @@ impl CxlLink {
     pub fn observe_and_read_ns(&self, ready_at: f64, bytes: usize) -> f64 {
         self.polled_completion_ns(ready_at) + self.transfer_ns(bytes)
     }
+
+    /// Cost of one CRC replay round on a transfer of `bytes`: link
+    /// re-arbitration (the base latency) plus retransmission of the last
+    /// replay-buffer window.
+    pub fn replay_penalty_ns(&self, bytes: usize) -> f64 {
+        self.base_latency_ns + bytes.min(REPLAY_WINDOW_BYTES) as f64 / self.bandwidth_gbps
+    }
+
+    /// Bulk transfer time including `replays` CRC replay rounds. With zero
+    /// replays this is exactly [`CxlLink::transfer_ns`]; each round adds a
+    /// fixed penalty, so the time is monotone in the replay count.
+    pub fn transfer_ns_with_replays(&self, bytes: usize, replays: u32) -> f64 {
+        self.transfer_ns(bytes) + replays as f64 * self.replay_penalty_ns(bytes)
+    }
+
+    /// Completion observation under replays: a replayed completion message
+    /// costs the GPU one extra polling round per replay on top of
+    /// [`CxlLink::polled_completion_ns`].
+    pub fn polled_completion_ns_with_replays(&self, ready_at: f64, replays: u32) -> f64 {
+        self.polled_completion_ns(ready_at) + replays as f64 * self.poll_interval_ns
+    }
+
+    /// Fault-injected bulk transfer: samples the CRC replay count for this
+    /// transfer's event `stream` from `inj` (deterministically — the count
+    /// depends only on the injector's seed and the stream key) and returns
+    /// `(transfer time, replay rounds)`.
+    pub fn transfer_ns_injected(
+        &self,
+        bytes: usize,
+        inj: &FaultInjector,
+        stream: u64,
+    ) -> (f64, u32) {
+        let replays = inj.link_replays(longsight_faults::stream(domain::LINK, stream, 0, 0));
+        (self.transfer_ns_with_replays(bytes, replays), replays)
+    }
+
+    /// Fault-injected end-to-end observation: polling (inflated by one poll
+    /// round per replay) plus the replayed payload read. Returns
+    /// `(observed time, replay rounds)`.
+    pub fn observe_and_read_ns_injected(
+        &self,
+        ready_at: f64,
+        bytes: usize,
+        inj: &FaultInjector,
+        stream: u64,
+    ) -> (f64, u32) {
+        let replays = inj.link_replays(longsight_faults::stream(domain::LINK, stream, 0, 0));
+        let t = self.polled_completion_ns_with_replays(ready_at, replays)
+            + self.transfer_ns_with_replays(bytes, replays);
+        (t, replays)
+    }
 }
 
 impl Default for CxlLink {
@@ -130,6 +189,43 @@ mod tests {
         assert_eq!(one, l.mmio_write_ns);
         assert!(many > one);
         assert!(many < l.mmio_write_ns + 100.0 * 8.0);
+    }
+
+    #[test]
+    fn replays_inflate_transfer_and_polling_monotonically() {
+        let l = CxlLink::pcie5_x16();
+        let bytes = 256 * 1024;
+        assert_eq!(l.transfer_ns_with_replays(bytes, 0), l.transfer_ns(bytes));
+        let t1 = l.transfer_ns_with_replays(bytes, 1);
+        let t3 = l.transfer_ns_with_replays(bytes, 3);
+        assert!(t1 > l.transfer_ns(bytes));
+        assert!(t3 > t1);
+        // Replay retransmits a flit window, never the full payload.
+        assert!(t1 - l.transfer_ns(bytes) < l.transfer_ns(bytes));
+        assert_eq!(
+            l.polled_completion_ns_with_replays(500.0, 0),
+            l.polled_completion_ns(500.0)
+        );
+        assert!(l.polled_completion_ns_with_replays(500.0, 2) > l.polled_completion_ns(500.0));
+    }
+
+    #[test]
+    fn injected_transfer_is_deterministic_and_clean_when_disabled() {
+        use longsight_faults::{FaultInjector, FaultProfile};
+        let l = CxlLink::pcie5_x16();
+        let off = FaultInjector::disabled();
+        let (t, r) = l.transfer_ns_injected(4096, &off, 42);
+        assert_eq!(r, 0);
+        assert_eq!(t, l.transfer_ns(4096));
+        let inj = FaultInjector::new(FaultProfile::severe(), 9);
+        let a = l.observe_and_read_ns_injected(1000.0, 4096, &inj, 42);
+        let b = l.observe_and_read_ns_injected(1000.0, 4096, &inj, 42);
+        assert_eq!(a, b, "same stream must reproduce the same replay count");
+        // At severe rates, some stream in a small range replays.
+        let replayed = (0..100u64)
+            .map(|s| l.transfer_ns_injected(4096, &inj, s).1)
+            .any(|r| r > 0);
+        assert!(replayed);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::descriptor::REQUEST_QUEUE_DEPTH;
 use crate::layout::MAX_CONTEXT_SLICE_KEYS;
 use crate::offload::{time_slice_offload, DrexParams, HeadOffloadSpec, HeadOffloadTiming};
 use longsight_cxl::CxlLink;
+use longsight_faults::FaultError;
 
 /// One head's workload with the packages hosting its slices.
 #[derive(Debug, Clone)]
@@ -122,7 +123,8 @@ impl DccSim {
     /// # Panics
     ///
     /// Panics if the hardware queue would overflow (more than 512 requests
-    /// in flight) or a slice placement is inconsistent.
+    /// in flight) or a slice placement is inconsistent. Fault-tolerant
+    /// callers should use [`DccSim::try_submit`] instead.
     pub fn submit(
         &mut self,
         arrival_ns: f64,
@@ -130,10 +132,37 @@ impl DccSim {
         descriptor_bytes: usize,
         response_bytes: usize,
     ) -> RequestTiming {
-        assert!(
-            self.in_flight < REQUEST_QUEUE_DEPTH,
-            "DCC request queue overflow (depth {REQUEST_QUEUE_DEPTH})"
-        );
+        match self.try_submit(arrival_ns, heads, descriptor_bytes, response_bytes) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`DccSim::submit`] with a typed error path: a full hardware queue
+    /// comes back as [`FaultError::QueueOverflow`] so overload propagates as
+    /// a `Result` instead of aborting the simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::QueueOverflow`] when more than the hardware queue depth
+    /// of requests are in flight.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on inconsistent slice placements — those are programmer
+    /// errors, not injectable faults.
+    pub fn try_submit(
+        &mut self,
+        arrival_ns: f64,
+        heads: &[HeadWork],
+        descriptor_bytes: usize,
+        response_bytes: usize,
+    ) -> Result<RequestTiming, FaultError> {
+        if self.in_flight >= REQUEST_QUEUE_DEPTH {
+            return Err(FaultError::QueueOverflow {
+                depth: REQUEST_QUEUE_DEPTH,
+            });
+        }
         let submitted_ns = arrival_ns + self.link.descriptor_submit_ns(descriptor_bytes);
 
         let mut device_done = submitted_ns;
@@ -208,14 +237,14 @@ impl DccSim {
         let observed_ns = arrival_ns + self.link.polled_completion_ns(ready_rel) + value_read_ns;
 
         self.served += 1;
-        RequestTiming {
+        Ok(RequestTiming {
             submitted_ns,
             device_done_ns: device_done,
             observed_ns,
             value_read_ns,
             critical_head: critical,
             queue_wait_ns: queue_wait,
-        }
+        })
     }
 }
 
@@ -291,6 +320,16 @@ mod tests {
         let crammed = head(2 * MAX_CONTEXT_SLICE_KEYS, 12_000, vec![0, 0]);
         let t_ser = d2.submit(0.0, &[crammed], 1024, 1024);
         assert!(t_par.device_done_ns < t_ser.device_done_ns);
+    }
+
+    #[test]
+    fn try_submit_matches_submit() {
+        let mut a = dcc();
+        let mut b = dcc();
+        let w = vec![head(65_536, 3_000, vec![0])];
+        let t1 = a.submit(0.0, &w, 1024, 1024);
+        let t2 = b.try_submit(0.0, &w, 1024, 1024).unwrap();
+        assert_eq!(t1, t2);
     }
 
     #[test]

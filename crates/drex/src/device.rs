@@ -17,6 +17,7 @@ use crate::response_buffers::ResponseBufferTable;
 use longsight_core::{ItqRotation, RotationTable, ThresholdTable};
 use longsight_cxl::CxlLink;
 use longsight_dram::Geometry;
+use longsight_faults::{domain, FaultInjector};
 use longsight_tensor::{quantize_bf16_in_place, vecops, FlatVecs, SignBits, TopK};
 
 /// Errors returned by device operations.
@@ -93,6 +94,12 @@ pub struct OffloadOutcome {
     pub response: ResponseDescriptor,
     /// DCC/NMA/CXL timing.
     pub timing: RequestTiming,
+    /// True survivors dropped by injected PFU bitmap corruption (recall
+    /// loss); zero on the fault-free path.
+    pub false_negatives: usize,
+    /// Spurious survivors admitted by injected corruption (scored and
+    /// usually ranked out); zero on the fault-free path.
+    pub false_positives: usize,
 }
 
 impl DrexDevice {
@@ -247,6 +254,33 @@ impl DrexDevice {
         k: usize,
         arrival_ns: f64,
     ) -> Result<OffloadOutcome, DeviceError> {
+        self.offload_with_faults(request, k, arrival_ns, &FaultInjector::disabled())
+    }
+
+    /// [`DrexDevice::offload`] under fault injection: PFU bitmap bit-flips
+    /// corrupt the *functional* filter decisions — a flipped survivor is
+    /// dropped before scoring (a false negative that costs recall), a
+    /// flipped non-survivor is fetched and scored (a false positive that
+    /// costs time and is usually ranked out). Flip decisions derive from
+    /// `(inj.seed, user, layer, kv_head, key index)` alone, so the corrupted
+    /// result is identical at any thread count; with a disabled injector
+    /// this is exactly [`DrexDevice::offload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownUser`] for unregistered users.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request.queries` does not have one group per KV head or a
+    /// query has the wrong dimension.
+    pub fn offload_with_faults(
+        &mut self,
+        request: &RequestDescriptor,
+        k: usize,
+        arrival_ns: f64,
+        inj: &FaultInjector,
+    ) -> Result<OffloadOutcome, DeviceError> {
         if request.user as usize >= self.users.len() {
             return Err(DeviceError::UnknownUser(request.user));
         }
@@ -274,6 +308,32 @@ impl DrexDevice {
             let threshold = thresholds.get(layer, kv_head);
             let n = store.keys.len();
 
+            // Injected PFU bitmap corruption: one deterministic draw decides
+            // whether this head's bitmap is corrupted, then a fixed per-index
+            // draw picks the flipped filter decisions. The flips apply to the
+            // shared bitmap, i.e. to every query in the group alike.
+            let pfu_stream = longsight_faults::stream(
+                domain::PFU,
+                request.user as u64,
+                layer as u64,
+                kv_head as u64,
+            );
+            let flips: Option<Vec<bool>> = if inj.is_enabled()
+                && inj.profile.bitflip_rate > 0.0
+                && inj.uniform(pfu_stream, 0) < inj.profile.bitflip_rate
+            {
+                let frac = inj.profile.bitflip_flip_fraction;
+                Some(
+                    (0..n)
+                        .map(|i| inj.uniform(pfu_stream, 1 + i as u64) < frac)
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            let mut false_negatives = 0usize;
+            let mut false_positives = 0usize;
+
             let mut per_query = Vec::with_capacity(group.len());
             // Union of surviving keys across the group: what the hardware
             // actually fetches (the PFU produces one bitmap per block for
@@ -286,7 +346,18 @@ impl DrexDevice {
                 let mut top = TopK::new(k);
                 #[allow(clippy::needless_range_loop)]
                 for i in 0..n {
-                    if q_signs.concordance(&store.signs[i]) >= threshold {
+                    let mut pass = q_signs.concordance(&store.signs[i]) >= threshold;
+                    if let Some(fl) = &flips {
+                        if fl[i] {
+                            if pass {
+                                false_negatives += 1;
+                            } else {
+                                false_positives += 1;
+                            }
+                            pass = !pass;
+                        }
+                    }
+                    if pass {
                         if !union_mask[i] {
                             union_mask[i] = true;
                             union_survivors += 1;
@@ -327,13 +398,17 @@ impl DrexDevice {
                 },
                 slice_packages: if n == 0 { vec![0] } else { slice_packages },
             };
-            (per_query, work)
+            (per_query, work, false_negatives, false_positives)
         });
         let mut hits = Vec::with_capacity(kv_heads);
         let mut head_work = Vec::with_capacity(kv_heads);
-        for (per_query, work) in per_head {
+        let mut false_negatives = 0usize;
+        let mut false_positives = 0usize;
+        for (per_query, work, fneg, fpos) in per_head {
             hits.push(per_query);
             head_work.push(work);
+            false_negatives += fneg;
+            false_positives += fpos;
         }
 
         let response = ResponseDescriptor {
@@ -348,7 +423,12 @@ impl DrexDevice {
         self.buffers
             .post_completion(request.user)
             .expect("registered users have buffers");
-        Ok(OffloadOutcome { response, timing })
+        Ok(OffloadOutcome {
+            response,
+            timing,
+            false_negatives,
+            false_positives,
+        })
     }
 
     /// Maximum context slice size (re-exported convenience).
@@ -432,6 +512,57 @@ mod tests {
         // Scores descending.
         let s: Vec<f32> = out.response.hits[0][0].iter().map(|h| h.score).collect();
         assert!(s.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn injected_bitflips_corrupt_retrieval_deterministically() {
+        use longsight_faults::{FaultInjector, FaultProfile};
+        let mut rng = SimRng::seed_from(4);
+        let mut dev = device(6);
+        let u = dev.register_user();
+        fill(&mut dev, u, 400, &mut rng);
+        let q = rng.normal_vec(16);
+        let req = RequestDescriptor {
+            user: u,
+            layer: 0,
+            queries: vec![vec![q.clone()], vec![q.clone()]],
+        };
+        // Disabled injector reproduces the plain offload exactly.
+        let plain = dev.clone().offload(&req, 16, 0.0).unwrap();
+        let off = dev
+            .clone()
+            .offload_with_faults(&req, 16, 0.0, &FaultInjector::disabled())
+            .unwrap();
+        assert_eq!(off.response.hits, plain.response.hits);
+        assert_eq!((off.false_negatives, off.false_positives), (0, 0));
+        // A certain corruption with a large flip fraction changes results
+        // and counts both error directions — identically across two runs.
+        let inj = FaultInjector::new(
+            FaultProfile {
+                bitflip_rate: 1.0,
+                bitflip_flip_fraction: 0.25,
+                ..FaultProfile::disabled()
+            },
+            21,
+        );
+        let a = dev
+            .clone()
+            .offload_with_faults(&req, 16, 0.0, &inj)
+            .unwrap();
+        let b = dev
+            .clone()
+            .offload_with_faults(&req, 16, 0.0, &inj)
+            .unwrap();
+        assert_eq!(a.response.hits, b.response.hits);
+        assert_eq!(
+            (a.false_negatives, a.false_positives),
+            (b.false_negatives, b.false_positives)
+        );
+        assert!(a.false_negatives + a.false_positives > 0);
+        assert_ne!(
+            a.response.hits, plain.response.hits,
+            "a 25% flip fraction must perturb the top-k"
+        );
     }
 
     #[test]

@@ -56,7 +56,9 @@ pub use descriptor::{
 pub use device::{DeviceError, DrexDevice, OffloadOutcome};
 pub use id_address::IdAddress;
 pub use offload::{
-    time_head_offload, time_slice_offload, DrexParams, HeadOffloadSpec, HeadOffloadTiming,
+    time_head_offload, time_head_offload_injected, time_slice_offload, try_time_slice_offload,
+    try_time_slice_offload_injected, DrexParams, FaultedHeadTiming, FaultedSliceTiming,
+    HeadOffloadSpec, HeadOffloadTiming,
 };
 pub use power::PowerModel;
 pub use response_buffers::{BufferError, ResponseBufferTable};

@@ -19,6 +19,7 @@
 use crate::layout::{ContextSlice, MAX_CONTEXT_SLICE_KEYS};
 use crate::spm::SpmConfig;
 use longsight_dram::{ChannelSim, DramTiming, Request};
+use longsight_faults::{domain, FaultError, FaultInjector};
 use longsight_tensor::SimRng;
 
 /// Device-wide hardware parameters.
@@ -107,6 +108,19 @@ impl HeadOffloadTiming {
         self.topk_ns += other.topk_ns;
     }
 
+    /// Uniformly scales every phase by `factor` (a straggling NMA slows its
+    /// whole pipeline: thermal throttling and refresh storms hit filtering,
+    /// fetching, and ranking alike).
+    pub fn scaled(&self, factor: f64) -> HeadOffloadTiming {
+        HeadOffloadTiming {
+            filter_ns: self.filter_ns * factor,
+            bitmap_ns: self.bitmap_ns * factor,
+            addr_gen_ns: self.addr_gen_ns * factor,
+            fetch_score_ns: self.fetch_score_ns * factor,
+            topk_ns: self.topk_ns * factor,
+        }
+    }
+
     /// Element-wise maximum (for parallel slices/heads on different NMAs).
     pub fn max_with(&self, other: &HeadOffloadTiming) -> HeadOffloadTiming {
         // The breakdown of a parallel composition is the breakdown of the
@@ -129,7 +143,8 @@ impl HeadOffloadTiming {
 /// # Panics
 ///
 /// Panics if the spec is inconsistent (`survivors > slice_keys`,
-/// `k > max_k`, zero dimensions).
+/// `k > max_k`, zero dimensions). Fault-tolerant callers should use
+/// [`try_time_slice_offload`] instead.
 pub fn time_slice_offload(
     params: &DrexParams,
     spec: &HeadOffloadSpec,
@@ -137,12 +152,45 @@ pub fn time_slice_offload(
     survivors: usize,
     seed: u64,
 ) -> HeadOffloadTiming {
-    assert!(spec.head_dim > 0, "head_dim must be positive");
-    assert!(survivors <= slice_keys, "more survivors than keys");
-    assert!(spec.k <= params.max_k, "k {} beyond hardware limit", spec.k);
-    assert!(slice_keys <= MAX_CONTEXT_SLICE_KEYS, "slice too large");
+    match try_time_slice_offload(params, spec, slice_keys, survivors, seed) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`time_slice_offload`] with a typed error path: inconsistent specs come
+/// back as [`FaultError::InvalidSpec`] instead of aborting, so injected
+/// faults and bad inputs propagate as `Result`s through the serving stack.
+///
+/// # Errors
+///
+/// Returns [`FaultError::InvalidSpec`] when `survivors > slice_keys`,
+/// `k > max_k`, `head_dim == 0`, or the slice exceeds the hardware slice
+/// bound.
+pub fn try_time_slice_offload(
+    params: &DrexParams,
+    spec: &HeadOffloadSpec,
+    slice_keys: usize,
+    survivors: usize,
+    seed: u64,
+) -> Result<HeadOffloadTiming, FaultError> {
+    if spec.head_dim == 0 {
+        return Err(FaultError::InvalidSpec("head_dim must be positive".into()));
+    }
+    if survivors > slice_keys {
+        return Err(FaultError::InvalidSpec("more survivors than keys".into()));
+    }
+    if spec.k > params.max_k {
+        return Err(FaultError::InvalidSpec(format!(
+            "k {} beyond hardware limit",
+            spec.k
+        )));
+    }
+    if slice_keys > MAX_CONTEXT_SLICE_KEYS {
+        return Err(FaultError::InvalidSpec("slice too large".into()));
+    }
     if slice_keys == 0 {
-        return HeadOffloadTiming::default();
+        return Ok(HeadOffloadTiming::default());
     }
 
     let slice = ContextSlice::new(0, slice_keys);
@@ -247,13 +295,165 @@ pub fn time_slice_offload(
     // 5. Top-k insertion, pipelined.
     let topk_ns = survivors as f64 * params.topk_per_key_ns;
 
-    HeadOffloadTiming {
+    Ok(HeadOffloadTiming {
         filter_ns,
         bitmap_ns,
         addr_gen_ns,
         fetch_score_ns,
         topk_ns,
+    })
+}
+
+/// A slice timing with its injected-fault annotations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedSliceTiming {
+    /// The (possibly straggler-inflated) phase timing.
+    pub timing: HeadOffloadTiming,
+    /// Whether this slice's NMA straggled.
+    pub straggled: bool,
+    /// True survivors dropped by a corrupted PFU bitmap (recall loss — the
+    /// keys were filtered out and never scored).
+    pub false_negatives: usize,
+    /// Spurious survivors admitted by the corruption (fetched, scored, and
+    /// ranked out — pure time cost, no recall effect).
+    pub false_positives: usize,
+}
+
+/// Times one slice under fault injection.
+///
+/// `event_key` identifies this slice's offload (e.g. mixed from user, head,
+/// and slice index with [`longsight_faults::stream`]); all fault decisions
+/// derive from `(inj.seed, event_key)` alone, so the outcome is identical at
+/// any thread count. Three fault classes apply:
+///
+/// * **PFU bit-flips** corrupt the filter bitmap: dropped true survivors are
+///   reported as `false_negatives` for recall accounting, and spurious
+///   survivors inflate the fetch/score/rank workload. For timing the
+///   spurious keys are *added* to the survivor set (the dropped keys' fetch
+///   savings are negligible at realistic flip fractions and ignoring them
+///   keeps the timing monotone in the bit-flip rate).
+/// * **Stragglers** scale the whole slice pipeline by the profile's
+///   multiplier.
+/// * **Hard timeouts**: when `timeout_ns` is finite and the faulted slice
+///   exceeds it, the slice is killed and [`FaultError::SliceTimeout`] is
+///   returned.
+///
+/// # Errors
+///
+/// [`FaultError::InvalidSpec`] for inconsistent specs,
+/// [`FaultError::SliceTimeout`] when the slice exceeds `timeout_ns`.
+// The argument list mirrors `try_time_slice_offload` plus the three fault
+// inputs; bundling them into a struct would just move the same eight names.
+#[allow(clippy::too_many_arguments)]
+pub fn try_time_slice_offload_injected(
+    params: &DrexParams,
+    spec: &HeadOffloadSpec,
+    slice_keys: usize,
+    survivors: usize,
+    seed: u64,
+    inj: &FaultInjector,
+    event_key: u64,
+    timeout_ns: f64,
+) -> Result<FaultedSliceTiming, FaultError> {
+    let (false_negatives, false_positives) = inj.bitflips(
+        longsight_faults::stream(domain::PFU, event_key, 0, 0),
+        survivors,
+        slice_keys,
+    );
+    let timed_survivors = (survivors + false_positives).min(slice_keys);
+    let base = try_time_slice_offload(params, spec, slice_keys, timed_survivors, seed)?;
+    let mult = inj.straggler_multiplier(longsight_faults::stream(domain::SLICE, event_key, 0, 0));
+    let timing = base.scaled(mult);
+    if timeout_ns.is_finite() && timing.total_ns() > timeout_ns {
+        return Err(FaultError::SliceTimeout {
+            elapsed_ns: timing.total_ns(),
+            timeout_ns,
+        });
     }
+    Ok(FaultedSliceTiming {
+        timing,
+        straggled: mult > 1.0,
+        false_negatives,
+        false_positives,
+    })
+}
+
+/// A head timing with fault annotations aggregated over its slices.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultedHeadTiming {
+    /// Slowest-slice timing (slices run on parallel NMAs) plus the DCC
+    /// top-k merge.
+    pub timing: HeadOffloadTiming,
+    /// Slices whose NMA straggled.
+    pub straggled_slices: usize,
+    /// Total survivors dropped by corrupted bitmaps across slices.
+    pub false_negatives: usize,
+    /// Total spurious survivors admitted across slices.
+    pub false_positives: usize,
+}
+
+/// [`time_head_offload`] under fault injection: every slice is timed with
+/// [`try_time_slice_offload_injected`] on its own event stream (derived from
+/// `event_key` and the slice index), and the head fails if *any* slice times
+/// out — a partial top-k merge is not a valid attention result.
+///
+/// # Errors
+///
+/// Propagates the first slice's [`FaultError`] in slice order (deterministic
+/// regardless of evaluation order).
+pub fn time_head_offload_injected(
+    params: &DrexParams,
+    spec: &HeadOffloadSpec,
+    seed: u64,
+    inj: &FaultInjector,
+    event_key: u64,
+    timeout_ns: f64,
+) -> Result<FaultedHeadTiming, FaultError> {
+    if spec.context_len == 0 {
+        return Ok(FaultedHeadTiming::default());
+    }
+    let slices = spec.context_len.div_ceil(MAX_CONTEXT_SLICE_KEYS);
+    let mut slice_specs = Vec::with_capacity(slices);
+    let mut remaining = spec.context_len;
+    let mut remaining_survivors = spec.survivors;
+    for s in 0..slices {
+        let keys = remaining.min(MAX_CONTEXT_SLICE_KEYS);
+        let survivors = if s + 1 == slices {
+            remaining_survivors
+        } else {
+            (spec.survivors as f64 * keys as f64 / spec.context_len as f64).round() as usize
+        }
+        .min(remaining_survivors)
+        .min(keys);
+        slice_specs.push((keys, survivors, seed ^ (s as u64) << 32, s as u64));
+        remaining -= keys;
+        remaining_survivors -= survivors;
+    }
+    let timings =
+        longsight_exec::deterministic_map(&slice_specs, |_, &(keys, survivors, s, idx)| {
+            try_time_slice_offload_injected(
+                params,
+                spec,
+                keys,
+                survivors,
+                s,
+                inj,
+                longsight_faults::stream(domain::SLICE, event_key, idx, 0),
+                timeout_ns,
+            )
+        });
+    let mut agg = FaultedHeadTiming::default();
+    for t in timings {
+        let t = t?;
+        agg.timing = agg.timing.max_with(&t.timing);
+        agg.straggled_slices += usize::from(t.straggled);
+        agg.false_negatives += t.false_negatives;
+        agg.false_positives += t.false_positives;
+    }
+    if slices > 1 {
+        agg.timing.topk_ns += (slices - 1) as f64 * spec.k.min(params.max_k) as f64 * 0.25;
+    }
+    Ok(agg)
 }
 
 /// Times a full head offload whose region may span several Context Slices.
@@ -404,6 +604,147 @@ mod tests {
     fn inconsistent_survivors_panic() {
         let p = DrexParams::paper();
         let _ = time_slice_offload(&p, &spec(100, 200), 100, 200, 9);
+    }
+
+    #[test]
+    fn try_variant_reports_typed_errors() {
+        let p = DrexParams::paper();
+        assert!(matches!(
+            try_time_slice_offload(&p, &spec(100, 200), 100, 200, 9),
+            Err(FaultError::InvalidSpec(m)) if m == "more survivors than keys"
+        ));
+        let mut bad_k = spec(1024, 100);
+        bad_k.k = p.max_k + 1;
+        assert!(matches!(
+            try_time_slice_offload(&p, &bad_k, 1024, 100, 9),
+            Err(FaultError::InvalidSpec(_))
+        ));
+        let ok = try_time_slice_offload(&p, &spec(1024, 100), 1024, 100, 9).unwrap();
+        assert_eq!(ok, time_slice_offload(&p, &spec(1024, 100), 1024, 100, 9));
+    }
+
+    #[test]
+    fn disabled_injector_reproduces_plain_timing() {
+        let p = DrexParams::paper();
+        let off = FaultInjector::disabled();
+        let plain = time_slice_offload(&p, &spec(65_536, 3_000), 65_536, 3_000, 4);
+        let injected = try_time_slice_offload_injected(
+            &p,
+            &spec(65_536, 3_000),
+            65_536,
+            3_000,
+            4,
+            &off,
+            99,
+            f64::INFINITY,
+        )
+        .unwrap();
+        assert_eq!(injected.timing, plain);
+        assert!(!injected.straggled);
+        assert_eq!((injected.false_negatives, injected.false_positives), (0, 0));
+        let head_plain = time_head_offload(&p, &spec(4 * MAX_CONTEXT_SLICE_KEYS, 40_000), 4);
+        let head_injected = time_head_offload_injected(
+            &p,
+            &spec(4 * MAX_CONTEXT_SLICE_KEYS, 40_000),
+            4,
+            &off,
+            99,
+            f64::INFINITY,
+        )
+        .unwrap();
+        assert_eq!(head_injected.timing, head_plain);
+    }
+
+    #[test]
+    fn stragglers_scale_the_slice_and_timeouts_kill_it() {
+        let p = DrexParams::paper();
+        let inj = FaultInjector::new(
+            longsight_faults::FaultProfile {
+                straggler_rate: 1.0,
+                straggler_multiplier: 4.0,
+                ..longsight_faults::FaultProfile::disabled()
+            },
+            7,
+        );
+        let plain = time_slice_offload(&p, &spec(65_536, 3_000), 65_536, 3_000, 4);
+        let faulted = try_time_slice_offload_injected(
+            &p,
+            &spec(65_536, 3_000),
+            65_536,
+            3_000,
+            4,
+            &inj,
+            99,
+            f64::INFINITY,
+        )
+        .unwrap();
+        assert!(faulted.straggled);
+        assert!((faulted.timing.total_ns() - 4.0 * plain.total_ns()).abs() < 1e-6);
+        // The 4x-slowed slice misses a timeout set just above the nominal.
+        let err = try_time_slice_offload_injected(
+            &p,
+            &spec(65_536, 3_000),
+            65_536,
+            3_000,
+            4,
+            &inj,
+            99,
+            plain.total_ns() * 1.5,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FaultError::SliceTimeout { .. }));
+    }
+
+    #[test]
+    fn injected_timing_is_monotone_in_fault_rate() {
+        let p = DrexParams::paper();
+        let s = spec(65_536, 3_000);
+        for stream_key in 0..32u64 {
+            let mut prev = 0.0f64;
+            for rate in [0.0, 0.05, 0.2, 0.8] {
+                let inj = FaultInjector::new(longsight_faults::FaultProfile::scaled(rate), 13);
+                let t = try_time_slice_offload_injected(
+                    &p,
+                    &s,
+                    65_536,
+                    3_000,
+                    4,
+                    &inj,
+                    stream_key,
+                    f64::INFINITY,
+                )
+                .unwrap();
+                assert!(
+                    t.timing.total_ns() >= prev - 1e-9,
+                    "stream {stream_key}: rate {rate} got cheaper"
+                );
+                prev = t.timing.total_ns();
+            }
+        }
+    }
+
+    #[test]
+    fn bitflips_surface_in_head_aggregation() {
+        let p = DrexParams::paper();
+        let inj = FaultInjector::new(
+            longsight_faults::FaultProfile {
+                bitflip_rate: 1.0,
+                bitflip_flip_fraction: 0.01,
+                ..longsight_faults::FaultProfile::disabled()
+            },
+            3,
+        );
+        let agg = time_head_offload_injected(
+            &p,
+            &spec(2 * MAX_CONTEXT_SLICE_KEYS, 20_000),
+            4,
+            &inj,
+            5,
+            f64::INFINITY,
+        )
+        .unwrap();
+        assert!(agg.false_negatives > 0, "every slice corrupts at rate 1");
+        assert!(agg.false_positives > agg.false_negatives);
     }
 
     #[test]

@@ -1,0 +1,688 @@
+//! Deterministic fault injection for the LongSight simulators.
+//!
+//! A production-scale serving deployment must survive CXL link replays,
+//! straggling NMAs, and filter bit-errors without violating its SLOs. This
+//! crate provides the fault *schedule* those scenarios need, with two hard
+//! guarantees:
+//!
+//! 1. **Seed determinism at any thread count.** Every fault decision is a
+//!    pure function of `(fault_seed, event stream key, draw index)` — there
+//!    is no shared RNG whose draw order could depend on scheduling. A given
+//!    `--fault-seed` therefore reproduces the exact same fault timeline
+//!    whether the simulator runs on 1 thread or 64, composing with the
+//!    `longsight-exec` bit-identity contract.
+//! 2. **Monotonicity in the fault rate.** An event fires iff its fixed
+//!    per-event uniform draw falls below the configured rate, so raising a
+//!    rate can only turn non-events into events (a superset). Downstream,
+//!    higher fault rates can never *reduce* latency or *raise* SLO capacity.
+//!
+//! The crate is dependency-free apart from the in-repo `tensor::rng`
+//! xoshiro generator, and carries the shared fault vocabulary:
+//! [`FaultProfile`] (rates), [`RetryPolicy`] (deadline/backoff),
+//! [`FaultInjector`] (sampling), [`FaultEvent`]/[`FaultLog`] (the replayable
+//! timeline), and [`FaultError`] (the typed error model that replaces
+//! panic-on-bad-input in the offload and serving hot paths).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use longsight_tensor::SimRng;
+
+/// Event-stream domains, kept distinct so the same `(a, b, c)` coordinates
+/// in different subsystems never collide on one draw.
+pub mod domain {
+    /// CXL bulk transfers (CRC replay events).
+    pub const LINK: u64 = 1;
+    /// Per-slice NMA execution (straggler multipliers).
+    pub const SLICE: u64 = 2;
+    /// Per-slice PFU filtering (bitmap bit-flips).
+    pub const PFU: u64 = 3;
+    /// Per-slice hard timeouts.
+    pub const TIMEOUT: u64 = 4;
+    /// Per-token offload attempts in the serving loop.
+    pub const TOKEN: u64 = 5;
+    /// Unrecoverable per-request failures.
+    pub const HARD: u64 = 6;
+}
+
+/// splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a stream key from a domain and up to three coordinates
+/// (user/head/slice, request/token, …). Pure and collision-resistant enough
+/// for scheduling purposes.
+pub fn stream(domain: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = mix64(domain.wrapping_mul(0xA076_1D64_78BD_642F));
+    h = mix64(h ^ a.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+    h = mix64(h ^ b.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
+    mix64(h ^ c.wrapping_mul(0x5895_65E0_6C3D_3D1D))
+}
+
+/// Per-event-class fault rates. All rates are probabilities in `[0, 1]`;
+/// a fully-zero profile (`disabled`) injects nothing and leaves every
+/// simulation bit-identical to the fault-free build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultProfile {
+    /// Probability that a CXL bulk transfer suffers a CRC replay round.
+    pub link_replay_rate: f64,
+    /// Maximum replay rounds per transfer (each round retransmits one
+    /// link-layer flit window and re-arbitrates the link).
+    pub link_max_replays: u32,
+    /// Probability that one slice's NMA straggles (thermal throttling,
+    /// refresh collision, bank conflict storm).
+    pub straggler_rate: f64,
+    /// Execution-time multiplier applied to a straggling slice.
+    pub straggler_multiplier: f64,
+    /// Probability that one slice's PFU bitmap is corrupted by a bit-error.
+    pub bitflip_rate: f64,
+    /// Fraction of that slice's filter decisions flipped when corrupted
+    /// (survivors dropped become false negatives; non-survivors added
+    /// become false positives).
+    pub bitflip_flip_fraction: f64,
+    /// Probability that a token's offload attempt hits a hard slice timeout
+    /// (NMA hang / lost completion) and must be retried.
+    pub timeout_rate: f64,
+    /// Probability that a request dies unrecoverably (host evicted, link
+    /// down beyond replay budget). Sampled once per token.
+    pub hard_fail_rate: f64,
+}
+
+impl FaultProfile {
+    /// No faults: every simulation is bit-identical to the fault-free path.
+    pub fn disabled() -> Self {
+        Self {
+            link_replay_rate: 0.0,
+            link_max_replays: 0,
+            straggler_rate: 0.0,
+            straggler_multiplier: 1.0,
+            bitflip_rate: 0.0,
+            bitflip_flip_fraction: 0.0,
+            timeout_rate: 0.0,
+            hard_fail_rate: 0.0,
+        }
+    }
+
+    /// A lightly degraded link/device: occasional replays and stragglers,
+    /// rare timeouts. Roughly "a healthy fleet's tail".
+    pub fn mild() -> Self {
+        Self::scaled(0.01)
+    }
+
+    /// A badly degraded deployment: frequent replays, stragglers and
+    /// timeouts. Roughly "one failing device in the pool".
+    pub fn severe() -> Self {
+        Self::scaled(0.10)
+    }
+
+    /// A profile where every event class fires with probability derived
+    /// from one scalar `rate` (the availability sweep's x-axis).
+    ///
+    /// Replays and stragglers fire at `rate`, PFU bit-flips at `rate / 2`,
+    /// slice timeouts at `rate / 2`, and unrecoverable failures at
+    /// `rate / 50`. All derived rates are monotone in `rate`.
+    pub fn scaled(rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        Self {
+            link_replay_rate: rate,
+            link_max_replays: 3,
+            straggler_rate: rate,
+            straggler_multiplier: 4.0,
+            bitflip_rate: rate / 2.0,
+            bitflip_flip_fraction: 0.01,
+            timeout_rate: rate / 2.0,
+            hard_fail_rate: rate / 50.0,
+        }
+    }
+
+    /// Parses a CLI profile name: `none`, `mild`, `severe`, or a bare
+    /// fault-rate float such as `0.05`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted forms.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "none" | "off" | "disabled" => Ok(Self::disabled()),
+            "mild" => Ok(Self::mild()),
+            "severe" => Ok(Self::severe()),
+            other => match other.parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => Ok(Self::scaled(r)),
+                _ => Err(format!(
+                    "invalid fault profile '{other}' (use none, mild, severe, or a rate in [0, 1])"
+                )),
+            },
+        }
+    }
+
+    /// Whether any event class can fire at all.
+    pub fn is_enabled(&self) -> bool {
+        self.link_replay_rate > 0.0
+            || self.straggler_rate > 0.0
+            || self.bitflip_rate > 0.0
+            || self.timeout_rate > 0.0
+            || self.hard_fail_rate > 0.0
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Retry/deadline policy of the serving degradation path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Per-request offload deadline: the GPU abandons an attempt that has
+    /// not completed by this point, ns.
+    pub offload_deadline_ns: f64,
+    /// Bounded retries after the first attempt.
+    pub max_retries: u32,
+    /// First backoff before re-submitting, ns.
+    pub backoff_base_ns: f64,
+    /// Exponential backoff growth per retry.
+    pub backoff_multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// Serving defaults: a 2 ms offload deadline (well above any healthy
+    /// single-layer offload), 2 retries, 50 µs base backoff doubling per
+    /// retry.
+    pub fn serving_default() -> Self {
+        Self {
+            offload_deadline_ns: 2.0e6,
+            max_retries: 2,
+            backoff_base_ns: 50_000.0,
+            backoff_multiplier: 2.0,
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based: the wait preceding the
+    /// attempt with that index).
+    pub fn backoff_ns(&self, attempt: u32) -> f64 {
+        self.backoff_base_ns
+            * self
+                .backoff_multiplier
+                .powi(attempt.saturating_sub(1) as i32)
+    }
+
+    /// Worst-case time a fully-degraded token spends before falling back to
+    /// dense window-only attention: every attempt runs to the deadline, with
+    /// backoffs in between.
+    pub fn degraded_elapsed_ns(&self) -> f64 {
+        let attempts = (self.max_retries + 1) as f64;
+        let backoffs: f64 = (1..=self.max_retries).map(|a| self.backoff_ns(a)).sum();
+        attempts * self.offload_deadline_ns + backoffs
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::serving_default()
+    }
+}
+
+/// Typed errors raised by fault-injected offload paths (replacing the
+/// former panic-on-bad-input style in the hot paths).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// A slice exceeded its hard execution timeout.
+    SliceTimeout {
+        /// Time the slice had accrued when it was killed, ns.
+        elapsed_ns: f64,
+        /// The configured timeout, ns.
+        timeout_ns: f64,
+    },
+    /// A request's offload attempt missed the per-request deadline.
+    DeadlineExceeded {
+        /// Time the attempt had accrued, ns.
+        elapsed_ns: f64,
+        /// The configured deadline, ns.
+        deadline_ns: f64,
+    },
+    /// Bounded retries were exhausted; the caller must degrade.
+    RetriesExhausted {
+        /// Attempts made (initial + retries).
+        attempts: u32,
+    },
+    /// The DCC request queue would overflow.
+    QueueOverflow {
+        /// Hardware queue depth.
+        depth: usize,
+    },
+    /// A workload specification is inconsistent (formerly a panic).
+    InvalidSpec(String),
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::SliceTimeout {
+                elapsed_ns,
+                timeout_ns,
+            } => write!(f, "slice timeout: {elapsed_ns:.0} ns > {timeout_ns:.0} ns"),
+            FaultError::DeadlineExceeded {
+                elapsed_ns,
+                deadline_ns,
+            } => write!(
+                f,
+                "offload deadline exceeded: {elapsed_ns:.0} ns > {deadline_ns:.0} ns"
+            ),
+            FaultError::RetriesExhausted { attempts } => {
+                write!(f, "retries exhausted after {attempts} attempts")
+            }
+            FaultError::QueueOverflow { depth } => {
+                write!(f, "DCC request queue overflow (depth {depth})")
+            }
+            FaultError::InvalidSpec(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// One injected fault occurrence, keyed by its stream so logs are
+/// replayable and comparable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// The stream key the event was sampled on.
+    pub stream: u64,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// Fault event taxonomy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// A CXL transfer needed `replays` CRC replay rounds.
+    LinkReplay {
+        /// Replay rounds.
+        replays: u32,
+    },
+    /// A slice ran `multiplier`× slower than nominal.
+    Straggler {
+        /// Slowdown factor.
+        multiplier: f64,
+    },
+    /// A PFU bitmap was corrupted, flipping filter decisions.
+    Bitflip {
+        /// True survivors dropped (hurt recall).
+        false_negatives: usize,
+        /// Spurious survivors added (cost fetch/score time).
+        false_positives: usize,
+    },
+    /// An offload attempt hit a hard timeout.
+    Timeout {
+        /// Attempt index (0 = first try).
+        attempt: u32,
+    },
+    /// A retry was scheduled after `backoff_ns` of backoff.
+    Retry {
+        /// Retry index (1-based).
+        attempt: u32,
+        /// Backoff preceding the retry, ns.
+        backoff_ns: f64,
+    },
+    /// All attempts failed; the token fell back to dense window-only
+    /// attention.
+    Degraded,
+    /// The request died unrecoverably.
+    HardFail,
+}
+
+impl std::fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            FaultKind::LinkReplay { replays } => {
+                write!(f, "{:016x} link-replay x{replays}", self.stream)
+            }
+            FaultKind::Straggler { multiplier } => {
+                write!(f, "{:016x} straggler x{multiplier:.2}", self.stream)
+            }
+            FaultKind::Bitflip {
+                false_negatives,
+                false_positives,
+            } => write!(
+                f,
+                "{:016x} bitflip fn={false_negatives} fp={false_positives}",
+                self.stream
+            ),
+            FaultKind::Timeout { attempt } => {
+                write!(f, "{:016x} timeout attempt={attempt}", self.stream)
+            }
+            FaultKind::Retry {
+                attempt,
+                backoff_ns,
+            } => write!(
+                f,
+                "{:016x} retry attempt={attempt} backoff={backoff_ns:.0}ns",
+                self.stream
+            ),
+            FaultKind::Degraded => write!(f, "{:016x} degraded", self.stream),
+            FaultKind::HardFail => write!(f, "{:016x} hard-fail", self.stream),
+        }
+    }
+}
+
+/// An append-only, deterministic fault timeline.
+///
+/// Callers append events in their (serial, deterministic) control-flow
+/// order; [`FaultLog::to_text`] renders one line per event in a stable
+/// format, so two runs can be compared byte-for-byte.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&mut self, stream: u64, kind: FaultKind) {
+        self.events.push(FaultEvent { stream, kind });
+    }
+
+    /// Appends every event of `other` (merging per-item logs in index
+    /// order keeps the combined log deterministic).
+    pub fn extend(&mut self, other: FaultLog) {
+        self.events.extend(other.events);
+    }
+
+    /// All events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events matching a predicate on the kind.
+    pub fn count_matching(&self, pred: impl Fn(&FaultKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Stable one-line-per-event rendering for byte-identity comparisons.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 40);
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The deterministic fault sampler.
+///
+/// All methods are `&self` and pure: the decision for a stream key is
+/// independent of call order, thread count, and every other stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    /// The rates.
+    pub profile: FaultProfile,
+    /// The schedule seed (CLI `--fault-seed`).
+    pub seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        Self { profile, seed }
+    }
+
+    /// An injector that never fires (the fault-free fast path).
+    pub fn disabled() -> Self {
+        Self::new(FaultProfile::disabled(), 0)
+    }
+
+    /// Whether any event class can fire.
+    pub fn is_enabled(&self) -> bool {
+        self.profile.is_enabled()
+    }
+
+    /// The `draw`-th uniform in `[0, 1)` of `stream` — a pure function of
+    /// `(seed, stream, draw)`. Comparing these fixed draws against rates is
+    /// what makes fault schedules monotone in the rate.
+    pub fn uniform(&self, stream: u64, draw: u64) -> f64 {
+        let mut rng = SimRng::seed_from(mix64(self.seed ^ stream).wrapping_add(draw));
+        rng.uniform()
+    }
+
+    /// CRC replay rounds for a CXL transfer on `stream` (0 = clean).
+    /// Each round fires iff its own fixed draw falls below the rate, so the
+    /// count is monotone in `link_replay_rate`.
+    pub fn link_replays(&self, stream: u64) -> u32 {
+        let p = self.profile.link_replay_rate;
+        if p <= 0.0 {
+            return 0;
+        }
+        let mut replays = 0;
+        while replays < self.profile.link_max_replays {
+            if self.uniform(stream, replays as u64) < p {
+                replays += 1;
+            } else {
+                break;
+            }
+        }
+        replays
+    }
+
+    /// Straggler multiplier for a slice on `stream` (1.0 = nominal).
+    pub fn straggler_multiplier(&self, stream: u64) -> f64 {
+        if self.profile.straggler_rate > 0.0
+            && self.uniform(stream, 0) < self.profile.straggler_rate
+        {
+            self.profile.straggler_multiplier.max(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    /// PFU bitmap corruption for a slice on `stream`: given the slice's
+    /// survivor count and total keys, returns `(false_negatives,
+    /// false_positives)` — zero when the slice is clean.
+    pub fn bitflips(&self, stream: u64, survivors: usize, keys: usize) -> (usize, usize) {
+        if self.profile.bitflip_rate <= 0.0 || self.uniform(stream, 0) >= self.profile.bitflip_rate
+        {
+            return (0, 0);
+        }
+        let frac = self.profile.bitflip_flip_fraction.clamp(0.0, 1.0);
+        let false_neg = ((survivors as f64) * frac).round() as usize;
+        let false_pos = ((keys.saturating_sub(survivors) as f64) * frac).round() as usize;
+        (false_neg.min(survivors), false_pos)
+    }
+
+    /// Whether the offload attempt `attempt` of the token on `stream` hits
+    /// a hard timeout.
+    pub fn attempt_times_out(&self, stream: u64, attempt: u32) -> bool {
+        self.profile.timeout_rate > 0.0
+            && self.uniform(stream, 1 + attempt as u64) < self.profile.timeout_rate
+    }
+
+    /// Whether the request on `stream` dies unrecoverably.
+    pub fn hard_fails(&self, stream: u64) -> bool {
+        self.profile.hard_fail_rate > 0.0 && self.uniform(stream, 0) < self.profile.hard_fail_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profile_never_fires() {
+        let inj = FaultInjector::disabled();
+        assert!(!inj.is_enabled());
+        for s in 0..1000u64 {
+            assert_eq!(inj.link_replays(s), 0);
+            assert_eq!(inj.straggler_multiplier(s), 1.0);
+            assert_eq!(inj.bitflips(s, 100, 1000), (0, 0));
+            assert!(!inj.attempt_times_out(s, 0));
+            assert!(!inj.hard_fails(s));
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_seed_and_stream() {
+        let a = FaultInjector::new(FaultProfile::severe(), 7);
+        let b = FaultInjector::new(FaultProfile::severe(), 7);
+        // Query b in a different order than a; decisions must not change.
+        let fwd: Vec<u32> = (0..500).map(|s| a.link_replays(s)).collect();
+        let bwd: Vec<u32> = (0..500).rev().map(|s| b.link_replays(s)).collect();
+        assert_eq!(fwd, bwd.into_iter().rev().collect::<Vec<_>>());
+        // Different seeds diverge.
+        let c = FaultInjector::new(FaultProfile::severe(), 8);
+        let other: Vec<u32> = (0..500).map(|s| c.link_replays(s)).collect();
+        assert_ne!(fwd, other);
+    }
+
+    #[test]
+    fn event_sets_are_monotone_in_rate() {
+        let seed = 11;
+        let lo = FaultInjector::new(FaultProfile::scaled(0.02), seed);
+        let hi = FaultInjector::new(FaultProfile::scaled(0.20), seed);
+        for s in 0..2000u64 {
+            assert!(hi.link_replays(s) >= lo.link_replays(s), "stream {s}");
+            assert!(
+                hi.straggler_multiplier(s) >= lo.straggler_multiplier(s),
+                "stream {s}"
+            );
+            // lo firing implies hi fires (event sets nest upward in rate).
+            assert!(
+                hi.attempt_times_out(s, 0) || !lo.attempt_times_out(s, 0),
+                "stream {s}: higher rate lost a timeout"
+            );
+            assert!(hi.hard_fails(s) || !lo.hard_fails(s), "stream {s}");
+        }
+    }
+
+    #[test]
+    fn rates_are_approximately_honored() {
+        let inj = FaultInjector::new(FaultProfile::scaled(0.10), 3);
+        let n = 20_000u64;
+        let stragglers = (0..n)
+            .filter(|&s| inj.straggler_multiplier(s) > 1.0)
+            .count();
+        let frac = stragglers as f64 / n as f64;
+        assert!((frac - 0.10).abs() < 0.01, "straggler rate {frac}");
+        let replays: u32 = (0..n).map(|s| inj.link_replays(s)).sum();
+        // Expected ≈ p + p² + p³ per stream.
+        let per = replays as f64 / n as f64;
+        assert!((per - 0.111).abs() < 0.01, "replay count {per}");
+    }
+
+    #[test]
+    fn bitflips_scale_with_population() {
+        let inj = FaultInjector::new(
+            FaultProfile {
+                bitflip_rate: 1.0,
+                bitflip_flip_fraction: 0.01,
+                ..FaultProfile::disabled()
+            },
+            5,
+        );
+        let (fneg, fpos) = inj.bitflips(0, 1000, 65_536);
+        assert_eq!(fneg, 10);
+        assert_eq!(fpos, 645);
+        // No survivors → nothing to drop.
+        assert_eq!(inj.bitflips(0, 0, 65_536).0, 0);
+    }
+
+    #[test]
+    fn profile_parsing_accepts_names_and_rates() {
+        assert_eq!(
+            FaultProfile::parse("none").unwrap(),
+            FaultProfile::disabled()
+        );
+        assert_eq!(FaultProfile::parse("mild").unwrap(), FaultProfile::mild());
+        assert_eq!(
+            FaultProfile::parse("severe").unwrap(),
+            FaultProfile::severe()
+        );
+        assert_eq!(
+            FaultProfile::parse("0.05").unwrap(),
+            FaultProfile::scaled(0.05)
+        );
+        assert!(FaultProfile::parse("2.0").is_err());
+        assert!(FaultProfile::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn retry_policy_backoff_grows_exponentially() {
+        let p = RetryPolicy::serving_default();
+        assert_eq!(p.backoff_ns(1), 50_000.0);
+        assert_eq!(p.backoff_ns(2), 100_000.0);
+        let degraded = p.degraded_elapsed_ns();
+        assert_eq!(degraded, 3.0 * 2.0e6 + 50_000.0 + 100_000.0);
+    }
+
+    #[test]
+    fn log_text_is_stable_and_countable() {
+        let mut log = FaultLog::new();
+        log.push(1, FaultKind::LinkReplay { replays: 2 });
+        log.push(
+            2,
+            FaultKind::Bitflip {
+                false_negatives: 3,
+                false_positives: 7,
+            },
+        );
+        log.push(3, FaultKind::Degraded);
+        let text = log.to_text();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("link-replay x2"));
+        assert!(text.contains("bitflip fn=3 fp=7"));
+        assert!(text.contains("degraded"));
+        assert_eq!(log.count_matching(|k| matches!(k, FaultKind::Degraded)), 1);
+        let mut merged = FaultLog::new();
+        merged.extend(log.clone());
+        assert_eq!(merged, log);
+    }
+
+    #[test]
+    fn fault_errors_render_useful_messages() {
+        let e = FaultError::SliceTimeout {
+            elapsed_ns: 5000.0,
+            timeout_ns: 1000.0,
+        };
+        assert!(e.to_string().contains("slice timeout"));
+        assert!(FaultError::RetriesExhausted { attempts: 3 }
+            .to_string()
+            .contains("3 attempts"));
+        assert!(FaultError::QueueOverflow { depth: 512 }
+            .to_string()
+            .contains("512"));
+        assert_eq!(
+            FaultError::InvalidSpec("more survivors than keys".into()).to_string(),
+            "more survivors than keys"
+        );
+    }
+
+    #[test]
+    fn stream_keys_are_well_spread() {
+        let mut seen = std::collections::BTreeSet::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                for c in 0..10 {
+                    seen.insert(stream(domain::SLICE, a, b, c));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 1000, "stream keys must not collide");
+    }
+}

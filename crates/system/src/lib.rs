@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod baselines;
+pub mod degrade;
 mod longsight;
 pub mod prefill;
 mod report;
@@ -32,5 +33,6 @@ pub mod serving;
 pub mod slo;
 
 pub use baselines::{AttAccSystem, GpuOnlySystem, SlidingWindowSystem};
-pub use longsight::{LongSightConfig, LongSightSystem, OffloadProfile};
+pub use degrade::{DegradeStats, TokenOutcome};
+pub use longsight::{FaultedLayerReport, LongSightConfig, LongSightSystem, OffloadProfile};
 pub use report::{Infeasible, ServingSystem, StepBreakdown, StepReport};

@@ -8,6 +8,7 @@
 //! The dense window attention *overlaps* the offload; whichever is slower
 //! paces the layer.
 
+use crate::degrade::DegradeStats;
 use crate::report::{Infeasible, ServingSystem, StepBreakdown, StepReport};
 use longsight_core::HybridConfig;
 use longsight_cxl::CxlLink;
@@ -15,6 +16,9 @@ use longsight_dram::Geometry;
 use longsight_drex::layout::{self, MAX_CONTEXT_SLICE_KEYS};
 use longsight_drex::{
     time_slice_offload, DccSim, DrexParams, HeadOffloadSpec, REQUEST_QUEUE_DEPTH,
+};
+use longsight_faults::{
+    domain, stream, FaultInjector, FaultKind, FaultLog, FaultProfile, RetryPolicy,
 };
 use longsight_gpu::{decode_step, GpuSpec};
 use longsight_model::ModelConfig;
@@ -35,6 +39,14 @@ pub struct LongSightConfig {
     /// Expected non-window KV-cache filter ratio achieved by tuned SCF
     /// thresholds (the paper measures ≈20× on average, §8.2).
     pub filter_ratio: f64,
+    /// Fault-injection profile. Disabled by default: every evaluation takes
+    /// the exact fault-free code path and stays bit-identical to the
+    /// pre-fault model.
+    pub faults: FaultProfile,
+    /// Retry/deadline policy applied when faults are enabled.
+    pub retry: RetryPolicy,
+    /// Seed of the deterministic fault schedule (CLI `--fault-seed`).
+    pub fault_seed: u64,
 }
 
 impl LongSightConfig {
@@ -48,7 +60,18 @@ impl LongSightConfig {
             link: CxlLink::pcie5_x16(),
             hybrid: HybridConfig::paper_default(),
             filter_ratio: 20.0,
+            faults: FaultProfile::disabled(),
+            retry: RetryPolicy::serving_default(),
+            fault_seed: 0,
         }
+    }
+
+    /// Enables fault injection with `profile` and `seed`, keeping the
+    /// default retry policy.
+    pub fn with_faults(mut self, profile: FaultProfile, seed: u64) -> Self {
+        self.faults = profile;
+        self.fault_seed = seed;
+        self
     }
 }
 
@@ -82,6 +105,24 @@ impl OffloadProfile {
             + self.queue_wait_ns
             + self.value_cxl_ns
     }
+}
+
+/// One layer's offload timing under fault injection, with the degradation
+/// bookkeeping needed by the availability experiment.
+#[derive(Debug, Clone)]
+pub struct FaultedLayerReport {
+    /// Layer pacing time including retries and degradation waits, ns.
+    pub layer_ns: f64,
+    /// Fault-free profile of the critical chain (for breakdown reporting).
+    pub profile: OffloadProfile,
+    /// Deterministic fault event timeline of this layer evaluation.
+    pub log: FaultLog,
+    /// Retried/degraded token counters.
+    pub stats: DegradeStats,
+    /// Total CXL CRC replay rounds paid by unresolved users.
+    pub replay_rounds: usize,
+    /// Slice executions that ran on a straggling NMA.
+    pub straggled_slices: usize,
 }
 
 /// The LongSight serving system.
@@ -209,6 +250,156 @@ impl LongSightSystem {
             value_cxl_ns: value_cxl,
         };
         (observed, profile)
+    }
+
+    /// Times one layer's offloads under fault injection with the
+    /// retry/deadline degradation policy.
+    ///
+    /// Per retry round, the *whole* batch's slice workloads are scheduled on
+    /// the NMA pool with per-slice straggler multipliers, and each user's
+    /// value read pays its sampled CXL CRC replay rounds. A user whose
+    /// observed completion beats the per-request offload deadline resolves;
+    /// the rest pay the full deadline plus an exponential backoff and retry.
+    /// Users that exhaust the retry budget degrade to dense window-only
+    /// attention for this token.
+    ///
+    /// Retried attempts are charged full-batch contention (the NMA pool does
+    /// not empty out just because one request is retrying), so a faulted
+    /// layer is never cheaper than the fault-free one, and every fault
+    /// decision derives from `(fault_seed, user, head, slice, attempt)` —
+    /// the timeline is identical at any thread count.
+    pub fn drex_layer_faulty(&self, users: usize, context: usize) -> FaultedLayerReport {
+        let cfg = &self.config;
+        let inj = FaultInjector::new(cfg.faults.clone(), cfg.fault_seed);
+        let retry = cfg.retry;
+        let (clean_ns, profile) = self.drex_layer(users, context);
+        let mut report = FaultedLayerReport {
+            layer_ns: clean_ns,
+            profile,
+            log: FaultLog::new(),
+            stats: DegradeStats::default(),
+            replay_rounds: 0,
+            straggled_slices: 0,
+        };
+        if !inj.is_enabled() || users == 0 || self.region(context) == 0 {
+            return report;
+        }
+
+        let region = self.region(context);
+        let kv = self.model.kv_heads;
+        let d = self.model.head_dim;
+        let k = cfg.hybrid.top_k;
+        let group = self.model.group_size();
+        let survivors_total = ((region as f64 / cfg.filter_ratio) as usize).min(region);
+        let spec = HeadOffloadSpec {
+            context_len: region,
+            head_dim: d,
+            queries: group,
+            k: k.min(region),
+            survivors: survivors_total,
+        };
+        let slices = region.div_ceil(MAX_CONTEXT_SLICE_KEYS);
+        let full_keys = region.min(MAX_CONTEXT_SLICE_KEYS);
+        let rem_keys = region - (slices - 1) * MAX_CONTEXT_SLICE_KEYS;
+        let surv = |keys: usize| -> usize {
+            ((survivors_total as f64) * keys as f64 / region as f64).round() as usize
+        };
+        let t_full = time_slice_offload(
+            &cfg.drex,
+            &spec,
+            full_keys,
+            surv(full_keys).min(full_keys),
+            17,
+        )
+        .total_ns();
+        let t_rem = if rem_keys == full_keys {
+            t_full
+        } else {
+            time_slice_offload(&cfg.drex, &spec, rem_keys, surv(rem_keys).min(rem_keys), 18)
+                .total_ns()
+        };
+        let desc_bytes = 8 + self.model.q_heads * d * 2;
+        let submit = cfg.link.descriptor_submit_ns(desc_bytes);
+        let response_bytes = kv * k.min(region) * (d * 2 + 8);
+
+        let mut elapsed = vec![0.0f64; users];
+        let mut resolved = vec![false; users];
+        for attempt in 0..=retry.max_retries {
+            if resolved.iter().all(|&r| r) {
+                break;
+            }
+            // Full-batch contention every round: resolved users' completed
+            // work still occupies the pool from this step's perspective.
+            let mut dcc = DccSim::new(cfg.drex.clone(), cfg.link.clone(), cfg.geometry.packages);
+            let mut observed = vec![0.0f64; users];
+            for (u, obs) in observed.iter_mut().enumerate() {
+                let mut works = Vec::with_capacity(kv * slices);
+                for h in 0..kv {
+                    for s in 0..slices {
+                        let pkg = (u * kv + h + s * kv) % cfg.geometry.packages;
+                        let base = if s + 1 == slices { t_rem } else { t_full };
+                        let key = stream(
+                            domain::SLICE,
+                            u as u64,
+                            (h * slices + s) as u64,
+                            attempt as u64,
+                        );
+                        let mult = inj.straggler_multiplier(key);
+                        if mult > 1.0 && !resolved[u] {
+                            report
+                                .log
+                                .push(key, FaultKind::Straggler { multiplier: mult });
+                            report.straggled_slices += 1;
+                        }
+                        works.push((pkg, base * mult));
+                    }
+                }
+                let (done, _) = dcc.schedule_slices(submit, &works);
+                let link_key = stream(domain::LINK, u as u64, attempt as u64, 0);
+                let replays = inj.link_replays(link_key);
+                if replays > 0 && !resolved[u] {
+                    report.log.push(link_key, FaultKind::LinkReplay { replays });
+                    report.replay_rounds += replays as usize;
+                }
+                *obs = done + cfg.link.polled_completion_ns_with_replays(done, replays) - done
+                    + cfg.link.transfer_ns_with_replays(response_bytes, replays);
+            }
+            for u in 0..users {
+                if resolved[u] {
+                    continue;
+                }
+                let token_key = stream(domain::TOKEN, u as u64, attempt as u64, 0);
+                if observed[u] <= retry.offload_deadline_ns {
+                    elapsed[u] += observed[u];
+                    resolved[u] = true;
+                    if attempt > 0 {
+                        report.stats.retried_tokens += 1;
+                    }
+                } else {
+                    report.log.push(token_key, FaultKind::Timeout { attempt });
+                    elapsed[u] += retry.offload_deadline_ns;
+                    if attempt < retry.max_retries {
+                        let backoff = retry.backoff_ns(attempt + 1);
+                        elapsed[u] += backoff;
+                        report.log.push(
+                            token_key,
+                            FaultKind::Retry {
+                                attempt: attempt + 1,
+                                backoff_ns: backoff,
+                            },
+                        );
+                    } else {
+                        report.log.push(token_key, FaultKind::Degraded);
+                        report.stats.degraded_tokens += 1;
+                    }
+                }
+            }
+        }
+        // A faulted layer is paced by its slowest user and never beats the
+        // fault-free schedule (multipliers ≥ 1, failed attempts cost the
+        // full deadline).
+        report.layer_ns = elapsed.iter().fold(clean_ns, |acc, &e| acc.max(e));
+        report
     }
 
     /// Times one layer's offloads for a *heterogeneous* batch — one context
@@ -357,6 +548,58 @@ impl LongSightSystem {
         Ok(StepReport::from_breakdown(users, avg_ctx, breakdown))
     }
 
+    /// Evaluates one decode step under fault injection, returning the step
+    /// report together with the fault timeline and degradation counters of
+    /// the representative layer.
+    ///
+    /// With faults disabled this is exactly [`ServingSystem::evaluate`] plus
+    /// an empty log. The decode step repeats the same per-layer offload
+    /// schedule `layers` times, so the per-layer degradation counters are
+    /// reported once (per-step counts scale linearly).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first capacity violation.
+    pub fn evaluate_with_faults(
+        &mut self,
+        users: usize,
+        context: usize,
+    ) -> Result<(StepReport, FaultLog, DegradeStats), Infeasible> {
+        let cfg = &self.config;
+        let resident = (cfg.hybrid.window + cfg.hybrid.sinks).min(context);
+        if users > REQUEST_QUEUE_DEPTH {
+            return Err(Infeasible::QueueDepth);
+        }
+        if !longsight_gpu::fits_in_hbm(&cfg.gpu, &self.model, users, resident) {
+            return Err(Infeasible::GpuMemory);
+        }
+        if self.drex_max_users(context) < users {
+            return Err(Infeasible::DrexMemory);
+        }
+
+        let layers = self.model.layers as f64;
+        let k_merged = if self.region(context) > 0 {
+            cfg.hybrid.top_k.min(self.region(context))
+        } else {
+            0
+        };
+        let gpu = decode_step(&cfg.gpu, &self.model, users, resident, true, k_merged);
+        let faulted = self.drex_layer_faulty(users, context);
+
+        let attn_layer = gpu.attention_ns / layers;
+        let overlap = attn_layer.max(faulted.layer_ns);
+        let drex_visible = (faulted.layer_ns - attn_layer).max(0.0) * layers;
+        let breakdown = StepBreakdown {
+            gpu_weights_ns: gpu.weights_ns,
+            gpu_attention_ns: attn_layer.min(overlap) * layers,
+            gpu_merge_ns: gpu.itq_ns + gpu.merge_ns,
+            drex_offload_ns: drex_visible * 0.7,
+            cxl_ns: drex_visible * 0.3,
+        };
+        let report = StepReport::from_breakdown(users, context, breakdown);
+        Ok((report, faulted.log, faulted.stats))
+    }
+
     /// Maximum users limited by DReX capacity and queue depth.
     pub fn drex_max_users(&self, context: usize) -> usize {
         let region = self.region(context).max(1);
@@ -377,6 +620,9 @@ impl ServingSystem for LongSightSystem {
     }
 
     fn evaluate(&mut self, users: usize, context: usize) -> Result<StepReport, Infeasible> {
+        if self.config.faults.is_enabled() {
+            return self.evaluate_with_faults(users, context).map(|(r, _, _)| r);
+        }
         let cfg = &self.config;
         let resident = (cfg.hybrid.window + cfg.hybrid.sinks).min(context);
         if users > REQUEST_QUEUE_DEPTH {
@@ -560,6 +806,55 @@ mod tests {
         assert!(s.evaluate_mixed(&[1 << 20; 3]).is_ok());
         // …but 5 do not.
         assert!(s.evaluate_mixed(&[1 << 20; 5]).is_err());
+    }
+
+    #[test]
+    fn disabled_faults_change_nothing() {
+        let model = ModelConfig::llama3_8b();
+        let mut plain = system(model.clone());
+        let mut with = LongSightSystem::new(
+            LongSightConfig::paper_default().with_faults(FaultProfile::disabled(), 99),
+            model,
+        );
+        let a = plain.evaluate(8, 131_072).unwrap();
+        let b = with.evaluate(8, 131_072).unwrap();
+        assert_eq!(a, b, "a zero-rate profile must be bit-identical");
+        let (c, log, stats) = with.evaluate_with_faults(8, 131_072).unwrap();
+        assert_eq!(a, c);
+        assert!(log.is_empty());
+        assert_eq!(stats, crate::degrade::DegradeStats::default());
+    }
+
+    #[test]
+    fn faulted_layer_never_beats_clean_and_is_monotone() {
+        let model = ModelConfig::llama3_8b();
+        let clean = system(model.clone());
+        let (clean_ns, _) = clean.drex_layer(8, 131_072);
+        let mut prev = clean_ns;
+        for rate in [0.02, 0.1, 0.4] {
+            let s = LongSightSystem::new(
+                LongSightConfig::paper_default().with_faults(FaultProfile::scaled(rate), 5),
+                model.clone(),
+            );
+            let r = s.drex_layer_faulty(8, 131_072);
+            assert!(
+                r.layer_ns >= prev - 1e-6,
+                "rate {rate}: faulted layer got cheaper ({} < {prev})",
+                r.layer_ns
+            );
+            prev = r.layer_ns;
+        }
+    }
+
+    #[test]
+    fn faulted_layer_report_is_deterministic() {
+        let model = ModelConfig::llama3_1b();
+        let cfg = LongSightConfig::paper_default().with_faults(FaultProfile::severe(), 11);
+        let a = LongSightSystem::new(cfg.clone(), model.clone()).drex_layer_faulty(16, 131_072);
+        let b = LongSightSystem::new(cfg, model).drex_layer_faulty(16, 131_072);
+        assert_eq!(a.layer_ns, b.layer_ns);
+        assert_eq!(a.log.to_text(), b.log.to_text());
+        assert!(!a.log.is_empty(), "severe profile must inject events");
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! curves: requests arrive over time, join the running batch (continuous
 //! batching), decode their output tokens, and leave.
 
+use crate::degrade::{resolve_token, DegradeStats, TokenOutcome};
 use crate::prefill::prefill_cost;
 use crate::report::ServingSystem;
 use longsight_cxl::CxlLink;
+use longsight_faults::{FaultInjector, FaultLog, RetryPolicy};
 use longsight_gpu::GpuSpec;
 use longsight_model::ModelConfig;
 use longsight_tensor::SimRng;
@@ -64,6 +66,19 @@ pub struct ServeMetrics {
     pub p99_request_ms: f64,
     /// Mean batch size across decode steps.
     pub mean_batch: f64,
+    /// Tokens whose offload needed at least one retry but completed
+    /// (zero on fault-free runs).
+    pub retried_tokens: usize,
+    /// Tokens that exhausted the retry budget and were emitted from dense
+    /// window-only attention (zero on fault-free runs).
+    pub degraded_tokens: usize,
+    /// Requests that died unrecoverably under injected hard faults
+    /// (zero on fault-free runs).
+    pub failed_requests: usize,
+    /// Quality delta of degradation: the fraction of generated tokens that
+    /// lost long-range top-k attention (their recall over the non-window
+    /// region dropped to zero for that step).
+    pub degraded_quality_delta: f64,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -76,9 +91,11 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 
 #[derive(Debug, Clone)]
 struct ActiveRequest {
+    id: usize,
     arrival_ns: f64,
     context: usize,
     remaining: usize,
+    generated: usize,
 }
 
 /// Runs the closed-loop simulation of `system` under `workload`.
@@ -94,6 +111,42 @@ pub fn simulate(
     model: &ModelConfig,
     workload: &WorkloadConfig,
 ) -> ServeMetrics {
+    simulate_impl(system, model, workload, None).0
+}
+
+/// [`simulate`] under token-level fault injection.
+///
+/// Each generated token resolves through the retry/deadline degradation
+/// policy ([`crate::degrade::resolve_token`]): sampled offload timeouts cost
+/// the full deadline plus backoff, exhausted retries degrade the token to
+/// dense window-only attention, and hard faults kill the request. The
+/// synchronized batch is paced by its worst token, so a step's latency grows
+/// by the largest penalty in the batch.
+///
+/// Returns the metrics together with the deterministic fault event log —
+/// every decision derives from `(inj.seed, request id, token index,
+/// attempt)`, so two runs with the same seed produce byte-identical logs and
+/// identical metrics at any thread count. With a disabled injector this is
+/// exactly [`simulate`] plus an empty log.
+pub fn simulate_with_faults(
+    system: &mut dyn ServingSystem,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    inj: &FaultInjector,
+    retry: &RetryPolicy,
+) -> (ServeMetrics, FaultLog) {
+    simulate_impl(system, model, workload, Some((inj, retry)))
+}
+
+fn simulate_impl(
+    system: &mut dyn ServingSystem,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    faults: Option<(&FaultInjector, &RetryPolicy)>,
+) -> (ServeMetrics, FaultLog) {
+    let faults = faults.filter(|(inj, _)| inj.is_enabled());
+    let mut fault_log = FaultLog::new();
+    let mut degrade = DegradeStats::default();
     let mut rng = SimRng::seed_from(workload.seed);
     let gpu = GpuSpec::h100_sxm();
     let link = CxlLink::pcie5_x16();
@@ -113,9 +166,11 @@ pub fn simulate(
         let context = c0 + rng.below((c1 - c0).max(1));
         let output = o0 + rng.below((o1 - o0).max(1));
         arrivals.push(ActiveRequest {
+            id: arrivals.len(),
             arrival_ns: t,
             context,
             remaining: output.max(1),
+            generated: 0,
         });
     }
     let total_arrived = arrivals.len();
@@ -198,16 +253,41 @@ pub fn simulate(
         // One synchronized decode step.
         let users = active.len();
         let max_ctx = active.iter().map(|r| r.context).max().expect("non-empty");
-        let dt = step_cost(system, users, max_ctx)
+        let mut dt = step_cost(system, users, max_ctx)
             .expect("active batch was admitted, so it must evaluate");
+        if let Some((inj, retry)) = faults {
+            // Resolve every member's token through the degradation policy.
+            // The batch is synchronized, so the worst member's retry/backoff
+            // penalty paces the whole step; hard-failed requests leave the
+            // batch without emitting this token.
+            let mut max_penalty = 0.0f64;
+            let mut dead: Vec<usize> = Vec::new();
+            for r in &active {
+                let (outcome, penalty) =
+                    resolve_token(inj, retry, r.id as u64, r.generated as u64, &mut fault_log);
+                degrade.record(outcome);
+                if matches!(outcome, TokenOutcome::Failed) {
+                    dead.push(r.id);
+                } else {
+                    max_penalty = max_penalty.max(penalty);
+                }
+            }
+            active.retain(|r| !dead.contains(&r.id));
+            dt += max_penalty;
+            if active.is_empty() {
+                now += dt;
+                continue;
+            }
+        }
         now += dt;
         if now > 4.0 * horizon_ns {
             break; // overload guard: stop accounting far past the window
         }
-        step_times.push((dt, users));
-        generated_tokens += users;
+        step_times.push((dt, active.len()));
+        generated_tokens += active.len();
         for r in &mut active {
             r.remaining -= 1;
+            r.generated += 1;
         }
         active.retain(|r| {
             if r.remaining == 0 {
@@ -229,10 +309,14 @@ pub fn simulate(
     request_latencies.sort_by(f64::total_cmp);
 
     let span_s = (now.max(1.0)) / 1e9;
-    ServeMetrics {
+    let metrics = ServeMetrics {
         completed: request_latencies.len(),
         rejected,
-        in_flight: total_arrived - request_latencies.len() - rejected - queue.len(),
+        in_flight: total_arrived
+            - request_latencies.len()
+            - rejected
+            - queue.len()
+            - degrade.failed_requests,
         throughput_tps: generated_tokens as f64 / span_s,
         p50_token_ms: percentile(&token_lat, 0.5),
         p99_token_ms: percentile(&token_lat, 0.99),
@@ -243,7 +327,16 @@ pub fn simulate(
         } else {
             step_times.iter().map(|&(_, u)| u as f64).sum::<f64>() / step_times.len() as f64
         },
-    }
+        retried_tokens: degrade.retried_tokens,
+        degraded_tokens: degrade.degraded_tokens,
+        failed_requests: degrade.failed_requests,
+        degraded_quality_delta: if generated_tokens == 0 {
+            0.0
+        } else {
+            degrade.degraded_tokens as f64 / generated_tokens as f64
+        },
+    };
+    (metrics, fault_log)
 }
 
 #[cfg(test)]
@@ -292,6 +385,102 @@ mod tests {
             high.p50_token_ms >= low.p50_token_ms,
             "token latency should not shrink under load"
         );
+    }
+
+    #[test]
+    fn disabled_injector_matches_fault_free_simulate() {
+        let model = ModelConfig::llama3_1b();
+        let mut sys = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
+        let wl = WorkloadConfig {
+            arrivals_per_s: 2.0,
+            context_tokens: (32_768, 65_536),
+            output_tokens: (16, 64),
+            duration_s: 5.0,
+            seed: 3,
+        };
+        let plain = simulate(&mut sys, &model, &wl);
+        let (faulted, log) = simulate_with_faults(
+            &mut sys,
+            &model,
+            &wl,
+            &FaultInjector::disabled(),
+            &RetryPolicy::serving_default(),
+        );
+        assert_eq!(plain, faulted);
+        assert!(log.is_empty());
+        assert_eq!(plain.degraded_tokens, 0);
+        assert_eq!(plain.degraded_quality_delta, 0.0);
+    }
+
+    #[test]
+    fn injected_timeouts_degrade_and_slow_the_run() {
+        use longsight_faults::{FaultKind, FaultProfile};
+        let model = ModelConfig::llama3_1b();
+        let mut sys = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
+        let wl = WorkloadConfig {
+            arrivals_per_s: 2.0,
+            context_tokens: (32_768, 65_536),
+            output_tokens: (16, 64),
+            duration_s: 5.0,
+            seed: 3,
+        };
+        let plain = simulate(&mut sys, &model, &wl);
+        let inj = FaultInjector::new(
+            FaultProfile {
+                timeout_rate: 0.3,
+                ..FaultProfile::disabled()
+            },
+            7,
+        );
+        let retry = RetryPolicy::serving_default();
+        let (m, log) = simulate_with_faults(&mut sys, &model, &wl, &inj, &retry);
+        assert!(
+            m.retried_tokens > 0,
+            "30% timeouts must force retries: {m:?}"
+        );
+        // Degraded tokens in the metrics must equal Degraded events in the
+        // log, and each one came from max_retries+1 logged timeouts.
+        assert_eq!(
+            m.degraded_tokens,
+            log.count_matching(|k| matches!(k, FaultKind::Degraded))
+        );
+        let timeouts = log.count_matching(|k| matches!(k, FaultKind::Timeout { .. }));
+        assert!(timeouts >= m.degraded_tokens * (retry.max_retries as usize + 1));
+        assert!(
+            m.p50_token_ms >= plain.p50_token_ms,
+            "deadline penalties cannot make tokens faster"
+        );
+        assert!(m.throughput_tps <= plain.throughput_tps);
+        // Determinism: same seed, same timeline.
+        let (m2, log2) = simulate_with_faults(&mut sys, &model, &wl, &inj, &retry);
+        assert_eq!(m, m2);
+        assert_eq!(log.to_text(), log2.to_text());
+    }
+
+    #[test]
+    fn hard_faults_kill_requests() {
+        use longsight_faults::FaultProfile;
+        let model = ModelConfig::llama3_1b();
+        let mut sys = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
+        let wl = WorkloadConfig {
+            arrivals_per_s: 4.0,
+            context_tokens: (32_768, 65_536),
+            output_tokens: (32, 128),
+            duration_s: 5.0,
+            seed: 5,
+        };
+        let inj = FaultInjector::new(
+            FaultProfile {
+                hard_fail_rate: 0.02,
+                ..FaultProfile::disabled()
+            },
+            13,
+        );
+        let (m, _) =
+            simulate_with_faults(&mut sys, &model, &wl, &inj, &RetryPolicy::serving_default());
+        assert!(m.failed_requests > 0, "2% per-token hard faults: {m:?}");
+        let plain = simulate(&mut sys, &model, &wl);
+        assert!(m.completed < plain.completed + m.failed_requests + 1);
     }
 
     #[test]

@@ -4,13 +4,34 @@
 # The workspace has zero external dependencies, so every step below runs
 # without network access (--offline). Steps:
 #   1. formatting check
-#   2. release build (all crates, all bench targets compile)
-#   3. full test suite (unit + property + integration + doc tests)
+#   2. lint gate (clippy, warnings are errors)
+#   3. no-unwrap gate for the fault-hardened crates
+#   4. release build (all crates, all bench targets compile)
+#   5. full test suite (unit + property + integration + doc tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+# The error-model refactor removed panicking paths from the CXL link, the
+# DReX offload hot path, and the serving stack; keep them out. Test modules
+# (everything at and below the first `#[cfg(test)]` in a file) may unwrap.
+echo "== no-unwrap gate (cxl, drex offload, system) =="
+unwrap_hits=$(
+    find crates/cxl/src crates/system/src -name '*.rs' -print0 |
+        xargs -0 -I{} sh -c 'awk "/#\\[cfg\\(test\\)\\]/ {exit} /\\.unwrap\\(\\)/ {print FILENAME \":\" FNR \": \" \$0}" {}'
+    awk '/#\[cfg\(test\)\]/ {exit} /\.unwrap\(\)/ {print FILENAME ":" FNR ": " $0}' \
+        crates/drex/src/offload.rs
+)
+if [ -n "$unwrap_hits" ]; then
+    echo "error: .unwrap() outside tests in fault-hardened code:" >&2
+    echo "$unwrap_hits" >&2
+    exit 1
+fi
 
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline

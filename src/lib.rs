@@ -13,6 +13,8 @@
 //! * [`core`] — the paper's algorithm: SCF, ITQ, hybrid attention, tuning,
 //! * [`dram`] — LPDDR5X bank/channel timing simulator,
 //! * [`cxl`] — CXL.mem link model,
+//! * [`faults`] — deterministic fault injection (seeded CXL/NMA/PFU fault
+//!   schedules, retry policy, typed fault errors),
 //! * [`drex`] — the DReX device: PFUs, NMAs, DCC, data layout, power,
 //! * [`gpu`] — analytical H100 roofline model,
 //! * [`system`] — end-to-end serving simulation and baselines.
@@ -30,6 +32,7 @@ pub use longsight_cxl as cxl;
 pub use longsight_dram as dram;
 pub use longsight_drex as drex;
 pub use longsight_exec as exec;
+pub use longsight_faults as faults;
 pub use longsight_gpu as gpu;
 pub use longsight_model as model;
 pub use longsight_system as system;

@@ -1,0 +1,132 @@
+//! End-to-end contracts of the fault-injection layer.
+//!
+//! * **Rate-0 identity** — a disabled injector must leave every number
+//!   produced by the stack byte-identical to the fault-free path: the
+//!   goldens under `results/` and the bit-identity promise of
+//!   `longsight-exec` survive with faults compiled in but switched off.
+//! * **Monotone degradation** — raising the fault rate can only cost
+//!   capacity: the SLO search never admits *more* users under a higher
+//!   rate, and degraded-token counters only grow.
+//! * **Accounting** — every degraded token in the metrics corresponds to a
+//!   `Degraded` event in the deterministic fault log, and each one implies
+//!   a full retry ladder of timeouts before it.
+
+use longsight::faults::{FaultInjector, FaultKind, FaultProfile, RetryPolicy};
+use longsight::model::ModelConfig;
+use longsight::system::serving::{simulate, simulate_with_faults, WorkloadConfig};
+use longsight::system::slo::max_users_under_slo;
+use longsight::system::{LongSightConfig, LongSightSystem, ServingSystem};
+
+fn short_workload() -> WorkloadConfig {
+    WorkloadConfig {
+        duration_s: 3.0,
+        ..WorkloadConfig::long_context_chat()
+    }
+}
+
+#[test]
+fn disabled_faults_reproduce_the_fault_free_stack() {
+    let model = ModelConfig::llama3_8b();
+
+    // Step-cost path: a config with a disabled profile is the same system.
+    let mut plain = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
+    let mut gated = LongSightSystem::new(
+        LongSightConfig::paper_default().with_faults(FaultProfile::disabled(), 99),
+        model.clone(),
+    );
+    let a = plain.evaluate(8, 131_072).unwrap();
+    let b = gated.evaluate(8, 131_072).unwrap();
+    assert_eq!(a, b, "disabled fault profile changed the step report");
+
+    // Serving path: simulate_with_faults(disabled) == simulate, empty log.
+    let workload = short_workload();
+    let baseline = simulate(&mut plain, &model, &workload);
+    let (faulted, log) = simulate_with_faults(
+        &mut gated,
+        &model,
+        &workload,
+        &FaultInjector::disabled(),
+        &RetryPolicy::serving_default(),
+    );
+    assert_eq!(baseline, faulted);
+    assert!(log.is_empty());
+    assert_eq!(faulted.retried_tokens, 0);
+    assert_eq!(faulted.degraded_tokens, 0);
+    assert_eq!(faulted.failed_requests, 0);
+}
+
+#[test]
+fn slo_capacity_never_rises_with_the_fault_rate() {
+    let model = ModelConfig::llama3_1b();
+    let mut prev_users = usize::MAX;
+    for rate in [0.0, 0.05, 0.2] {
+        let mut sys = LongSightSystem::new(
+            LongSightConfig::paper_default().with_faults(FaultProfile::scaled(rate), 11),
+            model.clone(),
+        );
+        let cap = max_users_under_slo(&mut sys, 131_072, 50.0);
+        assert!(
+            cap.users <= prev_users,
+            "rate {rate} admitted {} users, more than {prev_users} at a lower rate",
+            cap.users
+        );
+        prev_users = cap.users;
+    }
+}
+
+#[test]
+fn degraded_tokens_match_logged_degradation_events() {
+    let model = ModelConfig::llama3_8b();
+    // Timeout-only profile with a high rate so retries actually exhaust.
+    let profile = FaultProfile {
+        timeout_rate: 0.6,
+        ..FaultProfile::disabled()
+    };
+    let retry = RetryPolicy::serving_default();
+    let inj = FaultInjector::new(profile, 7);
+    let mut sys = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
+    let (metrics, log) = simulate_with_faults(&mut sys, &model, &short_workload(), &inj, &retry);
+
+    let degraded_events = log.count_matching(|k| matches!(k, FaultKind::Degraded));
+    let timeouts = log.count_matching(|k| matches!(k, FaultKind::Timeout { .. }));
+    assert!(
+        metrics.degraded_tokens > 0,
+        "rate 0.6 should degrade tokens"
+    );
+    assert_eq!(
+        metrics.degraded_tokens, degraded_events,
+        "every degraded token must log exactly one Degraded event"
+    );
+    // A degraded token burned the full ladder: max_retries + 1 timeouts.
+    assert!(
+        timeouts >= metrics.degraded_tokens * (retry.max_retries as usize + 1),
+        "degraded tokens imply a full timeout ladder each"
+    );
+    assert!(metrics.degraded_quality_delta > 0.0);
+}
+
+#[test]
+fn faulted_runs_are_reproducible_under_a_seed() {
+    let model = ModelConfig::llama3_8b();
+    let run = |seed: u64| {
+        let inj = FaultInjector::new(FaultProfile::severe(), seed);
+        let mut sys = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
+        simulate_with_faults(
+            &mut sys,
+            &model,
+            &short_workload(),
+            &inj,
+            &RetryPolicy::serving_default(),
+        )
+    };
+    let (m1, l1) = run(11);
+    let (m2, l2) = run(11);
+    assert_eq!(m1, m2, "same fault seed must reproduce identical metrics");
+    assert_eq!(l1.to_text(), l2.to_text());
+
+    let (m3, l3) = run(12);
+    assert!(
+        l3.to_text() != l1.to_text() || m3 != m1,
+        "different fault seeds should produce a different timeline"
+    );
+}

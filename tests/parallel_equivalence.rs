@@ -3,10 +3,11 @@
 //! Every simulation in this workspace promises bit-reproducible results
 //! under a seed, at *any* worker-thread count: parallel maps collect partial
 //! results in index order and all floating-point reductions fold serially.
-//! These tests pin that contract on the three hot paths the execution layer
+//! These tests pin that contract on the hot paths the execution layer
 //! threads through: the model forward pass with the LongSight attention
-//! backend, the trace-based quality evaluation, and the DReX offload timing
-//! simulation.
+//! backend, the trace-based quality evaluation, the DReX offload timing
+//! simulation, and the fault-injection schedule (whose event log must be
+//! byte-identical at any worker count).
 
 use longsight::core::{
     trace_eval, HybridConfig, ItqRotation, LongSightBackend, RotationTable, ThresholdTable,
@@ -107,6 +108,53 @@ fn trace_eval_metrics_are_bit_identical_across_thread_counts() {
         assert_eq!(
             *got, baseline,
             "trace-eval metrics diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fault_schedule_is_bit_identical_across_thread_counts() {
+    use longsight::faults::{FaultInjector, FaultProfile, RetryPolicy};
+    use longsight::system::serving::{simulate_with_faults, WorkloadConfig};
+    use longsight::system::{LongSightConfig, LongSightSystem};
+
+    let model = ModelConfig::llama3_8b();
+    let runs = across_thread_counts(|| {
+        // Step-cost-level faults: stragglers, link replays, deadline retries.
+        let cfg = LongSightConfig::paper_default().with_faults(FaultProfile::scaled(0.2), 11);
+        let sys = LongSightSystem::new(cfg, model.clone());
+        let layer = sys.drex_layer_faulty(8, 131_072);
+
+        // Token-level faults through the closed-loop serving simulation.
+        let mut serve_sys = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
+        let workload = WorkloadConfig {
+            duration_s: 3.0,
+            ..WorkloadConfig::long_context_chat()
+        };
+        let inj = FaultInjector::new(FaultProfile::scaled(0.2), 11);
+        let (metrics, log) = simulate_with_faults(
+            &mut serve_sys,
+            &model,
+            &workload,
+            &inj,
+            &RetryPolicy::serving_default(),
+        );
+        (
+            layer.log.to_text(),
+            layer.layer_ns.to_bits(),
+            log.to_text(),
+            metrics,
+        )
+    });
+    let (_, baseline) = &runs[0];
+    assert!(
+        !baseline.0.is_empty(),
+        "fault schedule should fire events at rate 0.2"
+    );
+    for (threads, got) in &runs[1..] {
+        assert_eq!(
+            got, baseline,
+            "fault schedule or metrics diverged at {threads} threads"
         );
     }
 }

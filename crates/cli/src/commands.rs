@@ -12,10 +12,11 @@ use longsight_gpu::{DataParallelGpus, GpuSpec};
 use longsight_model::{
     corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
 };
-use longsight_system::serving::{simulate, simulate_with_faults, WorkloadConfig};
+use longsight_obs::Recorder;
+use longsight_system::serving::{simulate_observed, WorkloadConfig};
 use longsight_system::{
     AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem,
-    SlidingWindowSystem,
+    SlidingWindowSystem, TokenAttribution,
 };
 use longsight_tensor::SimRng;
 
@@ -51,6 +52,39 @@ fn fault_flags(a: &Args) -> Result<(FaultProfile, u64, RetryPolicy), String> {
         retry.offload_deadline_ns = ms * 1e6;
     }
     Ok((profile, seed, retry))
+}
+
+/// Builds the recorder selected by `--trace-out` / `--metrics-out`
+/// (disabled — and thereby free — when neither flag is given) together
+/// with the two output paths.
+fn obs_flags(a: &Args) -> (Recorder, Option<String>, Option<String>) {
+    let trace_out = a.get("trace-out").map(str::to_string);
+    let metrics_out = a.get("metrics-out").map(str::to_string);
+    let rec = if trace_out.is_some() || metrics_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    (rec, trace_out, metrics_out)
+}
+
+/// Writes the recorded trace/metrics to the requested files.
+fn write_observability(
+    rec: &Recorder,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) -> Result<(), String> {
+    if let Some(path) = trace_out {
+        std::fs::write(path, rec.chrome_trace_json())
+            .map_err(|e| format!("writing --trace-out {path}: {e}"))?;
+        println!("  trace written to {path}");
+    }
+    if let Some(path) = metrics_out {
+        std::fs::write(path, rec.metrics_json())
+            .map_err(|e| format!("writing --metrics-out {path}: {e}"))?;
+        println!("  metrics written to {path}");
+    }
+    Ok(())
 }
 
 fn build_system(name: &str, model: ModelConfig) -> Result<Box<dyn ServingSystem>, String> {
@@ -131,18 +165,8 @@ pub fn quality(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn print_report(name: &str, users: usize, ctx: usize, r: &longsight_system::StepReport) {
-    println!("{name}: {users} users @ {ctx} tokens");
-    println!(
-        "  throughput: {:.1} tok/s ({:.1} tok/s/user)",
-        r.throughput_tps,
-        r.tps_per_user()
-    );
-    println!("  per-token latency: {:.3} ms", r.latency_ms());
-    let b = r.breakdown;
-    println!("  breakdown: weights {:.2} ms | attn {:.2} ms | merge {:.2} ms | drex {:.2} ms | cxl {:.2} ms",
-        b.gpu_weights_ns / 1e6, b.gpu_attention_ns / 1e6, b.gpu_merge_ns / 1e6,
-        b.drex_offload_ns / 1e6, b.cxl_ns / 1e6);
+fn print_report(name: &str, r: &longsight_system::StepReport) {
+    print!("{}", r.to_text(name));
 }
 
 /// `longsight serve` — one evaluation row.
@@ -155,11 +179,14 @@ pub fn serve(a: &Args) -> Result<(), String> {
         "fault-profile",
         "fault-seed",
         "deadline-ms",
+        "trace-out",
+        "metrics-out",
     ])?;
     let model = model_flag(a)?;
     let ctx: usize = a.get_or("ctx", 131_072)?;
     let users: usize = a.get_or("users", 8)?;
     let (faults, fault_seed, retry) = fault_flags(a)?;
+    let (mut rec, trace_out, metrics_out) = obs_flags(a);
     let sys_name = a.get("system").unwrap_or("longsight");
     if faults.is_enabled() {
         if sys_name != "longsight" {
@@ -172,7 +199,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
         let mut sys = LongSightSystem::new(cfg, model);
         match sys.evaluate_with_faults(users, ctx) {
             Ok((r, log, stats)) => {
-                print_report(&sys.name(), users, ctx, &r);
+                print_report(&sys.name(), &r);
                 println!(
                     "  faults (seed {fault_seed}): {} events | retried {} | degraded {} | failed {}",
                     log.len(),
@@ -180,6 +207,16 @@ pub fn serve(a: &Args) -> Result<(), String> {
                     stats.degraded_tokens,
                     stats.failed_requests
                 );
+                if rec.is_enabled() {
+                    ServingSystem::record_step_detail(&mut sys, users, ctx, &mut rec, 0.0);
+                    let faults_track = rec.track("faults");
+                    log.record_tail_into(0, &mut rec, faults_track, 0.0);
+                    rec.counter_add("serve.fault_events", log.len() as u64);
+                    rec.counter_add("serve.retried_tokens", stats.retried_tokens as u64);
+                    rec.counter_add("serve.degraded_tokens", stats.degraded_tokens as u64);
+                    rec.gauge_set("serve.step_ms", r.latency_ms());
+                    rec.gauge_set("serve.throughput_tps", r.throughput_tps);
+                }
             }
             Err(e) => println!(
                 "{}: infeasible at {} users x {} tokens ({e})",
@@ -189,11 +226,18 @@ pub fn serve(a: &Args) -> Result<(), String> {
             ),
         }
         println!("  max users at this context: {}", sys.max_users(ctx));
-        return Ok(());
+        return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
     }
     let mut sys = build_system(sys_name, model)?;
     match sys.evaluate(users, ctx) {
-        Ok(r) => print_report(&sys.name(), users, ctx, &r),
+        Ok(r) => {
+            print_report(&sys.name(), &r);
+            if rec.is_enabled() {
+                sys.record_step_detail(users, ctx, &mut rec, 0.0);
+                rec.gauge_set("serve.step_ms", r.latency_ms());
+                rec.gauge_set("serve.throughput_tps", r.throughput_tps);
+            }
+        }
         Err(e) => println!(
             "{}: infeasible at {} users x {} tokens ({e})",
             sys.name(),
@@ -202,7 +246,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
         ),
     }
     println!("  max users at this context: {}", sys.max_users(ctx));
-    Ok(())
+    write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
 }
 
 /// `longsight loadtest` — closed-loop serving simulation.
@@ -220,6 +264,8 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         "fault-profile",
         "fault-seed",
         "deadline-ms",
+        "trace-out",
+        "metrics-out",
     ])?;
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
@@ -230,13 +276,21 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         seed: a.get_or("seed", 7)?,
     };
     let (faults, fault_seed, retry) = fault_flags(a)?;
+    let (mut rec, trace_out, metrics_out) = obs_flags(a);
     let mut sys = build_system(a.get("system").unwrap_or("longsight"), model.clone())?;
     let injected = faults.is_enabled();
     let (m, fault_log) = if injected {
         let inj = FaultInjector::new(faults, fault_seed);
-        simulate_with_faults(sys.as_mut(), &model, &wl, &inj, &retry)
+        simulate_observed(
+            sys.as_mut(),
+            &model,
+            &wl,
+            Some((&inj, &retry)),
+            &mut rec,
+            None,
+        )
     } else {
-        (simulate(sys.as_mut(), &model, &wl), Default::default())
+        simulate_observed(sys.as_mut(), &model, &wl, None, &mut rec, None)
     };
     println!(
         "{} under {:.1} req/s for {:.0}s ({}-{} ctx tokens):",
@@ -246,22 +300,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         wl.context_tokens.0,
         wl.context_tokens.1
     );
-    println!(
-        "  completed {} | rejected {} | in flight {}",
-        m.completed, m.rejected, m.in_flight
-    );
-    println!(
-        "  throughput: {:.1} tok/s | mean batch {:.1}",
-        m.throughput_tps, m.mean_batch
-    );
-    println!(
-        "  token latency  p50 {:.2} ms  p99 {:.2} ms",
-        m.p50_token_ms, m.p99_token_ms
-    );
-    println!(
-        "  request latency p50 {:.1} ms  p99 {:.1} ms",
-        m.p50_request_ms, m.p99_request_ms
-    );
+    print!("{}", m.to_text());
     if injected {
         println!(
             "  faults (seed {fault_seed}): {} events | retried {} | degraded {} ({:.2}% of tokens) | failed requests {}",
@@ -272,6 +311,118 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
             m.failed_requests
         );
     }
+    write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
+}
+
+/// `longsight profile` — per-token latency attribution over a serving run.
+///
+/// Runs the same closed-loop simulation as `loadtest` (fixed 128K contexts
+/// by default) while decomposing every generated token's latency into the
+/// window / weights / merge / filter / score / queue / link / retry
+/// components. The `total` row reproduces the run's reported token-latency
+/// p50/p99 exactly, and the mean column sums to the mean token latency.
+pub fn profile(a: &Args) -> Result<(), String> {
+    a.ensure_known(&[
+        "model",
+        "rate",
+        "duration",
+        "ctx-min",
+        "ctx-max",
+        "out-min",
+        "out-max",
+        "system",
+        "seed",
+        "fault-profile",
+        "fault-seed",
+        "deadline-ms",
+        "trace-out",
+        "metrics-out",
+    ])?;
+    let model = model_flag(a)?;
+    let wl = WorkloadConfig {
+        arrivals_per_s: a.get_or("rate", 2.0)?,
+        context_tokens: (a.get_or("ctx-min", 131_072)?, a.get_or("ctx-max", 131_072)?),
+        output_tokens: (a.get_or("out-min", 32)?, a.get_or("out-max", 128)?),
+        duration_s: a.get_or("duration", 10.0)?,
+        seed: a.get_or("seed", 7)?,
+    };
+    let (faults, fault_seed, retry) = fault_flags(a)?;
+    let (mut rec, trace_out, metrics_out) = obs_flags(a);
+    let mut sys = build_system(a.get("system").unwrap_or("longsight"), model.clone())?;
+    let injected = faults.is_enabled();
+    let mut attr = TokenAttribution::new();
+    let (m, fault_log) = if injected {
+        let inj = FaultInjector::new(faults, fault_seed);
+        simulate_observed(
+            sys.as_mut(),
+            &model,
+            &wl,
+            Some((&inj, &retry)),
+            &mut rec,
+            Some(&mut attr),
+        )
+    } else {
+        simulate_observed(sys.as_mut(), &model, &wl, None, &mut rec, Some(&mut attr))
+    };
+    println!(
+        "{} per-token latency attribution under {:.1} req/s for {:.0}s ({}-{} ctx tokens):",
+        sys.name(),
+        wl.arrivals_per_s,
+        wl.duration_s,
+        wl.context_tokens.0,
+        wl.context_tokens.1
+    );
+    print!("{}", attr.to_table());
+    println!(
+        "  tokens {} | reported token latency p50 {:.2} ms  p99 {:.2} ms",
+        attr.len(),
+        m.p50_token_ms,
+        m.p99_token_ms
+    );
+    if injected {
+        println!(
+            "  faults (seed {fault_seed}): {} events | retried {} | degraded {} | failed requests {}",
+            fault_log.len(),
+            m.retried_tokens,
+            m.degraded_tokens,
+            m.failed_requests
+        );
+    }
+    write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
+}
+
+/// `longsight trace-validate` — checks that a `--trace-out` file is valid,
+/// non-empty Chrome trace-event JSON (the format chrome://tracing and
+/// Perfetto load).
+pub fn trace_validate(a: &Args) -> Result<(), String> {
+    a.ensure_known(&["file"])?;
+    let path = a.get("file").ok_or("trace-validate needs --file PATH")?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = longsight_obs::json::parse(&src).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| format!("{path}: missing traceEvents array"))?;
+    if events.is_empty() {
+        return Err(format!("{path}: traceEvents is empty"));
+    }
+    let (mut spans, mut instants, mut meta) = (0usize, 0usize, 0usize);
+    for e in events {
+        match e.get("ph").and_then(|p| p.as_str()) {
+            Some("X") => spans += 1,
+            Some("i") => instants += 1,
+            Some("M") => meta += 1,
+            other => {
+                return Err(format!(
+                    "{path}: unexpected event phase {other:?} (want X, i, or M)"
+                ))
+            }
+        }
+    }
+    println!(
+        "{path}: valid Chrome trace — {} events ({spans} spans, {instants} instants, {meta} metadata)",
+        events.len()
+    );
     Ok(())
 }
 
@@ -284,16 +435,24 @@ pub fn offload(a: &Args) -> Result<(), String> {
         "fault-profile",
         "fault-seed",
         "deadline-ms",
+        "trace-out",
+        "metrics-out",
     ])?;
     let model = model_flag(a)?;
     let ctx: usize = a.get_or("ctx", 131_072)?;
     let users: usize = a.get_or("users", 1)?;
     let (faults, fault_seed, retry) = fault_flags(a)?;
+    let (mut rec, trace_out, metrics_out) = obs_flags(a);
     let injected = faults.is_enabled();
     let mut cfg = LongSightConfig::paper_default().with_faults(faults, fault_seed);
     cfg.retry = retry;
     let sys = LongSightSystem::new(cfg, model);
-    let (observed, p) = sys.drex_layer(users, ctx);
+    let (observed, p) = sys.drex_layer_traced(users, ctx, &mut rec, 0.0);
+    if rec.is_enabled() {
+        rec.gauge_set("offload.observed_us", observed / 1e3);
+        rec.gauge_set("offload.queue_wait_us", p.queue_wait_ns / 1e3);
+        rec.gauge_set("offload.value_cxl_us", p.value_cxl_ns / 1e3);
+    }
     println!("DReX offload profile: {users} user(s), {ctx} tokens, per layer:");
     println!("  filter      {:>10.2} us", p.filter_ns / 1e3);
     println!("  bitmap read {:>10.2} us", p.bitmap_ns / 1e3);
@@ -314,8 +473,14 @@ pub fn offload(a: &Args) -> Result<(), String> {
             f.stats.retried_tokens,
             f.stats.degraded_tokens
         );
+        if rec.is_enabled() {
+            let faults_track = rec.track("faults");
+            f.log.record_tail_into(0, &mut rec, faults_track, 0.0);
+            rec.counter_add("offload.fault_events", f.log.len() as u64);
+            rec.gauge_set("offload.faulted_us", f.layer_ns / 1e3);
+        }
     }
-    Ok(())
+    write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
 }
 
 /// `longsight tune` — the §8.1.3 threshold tuner.
@@ -434,6 +599,49 @@ mod tests {
     #[test]
     fn loadtest_runs_briefly() {
         loadtest(&args(&["--model", "1b", "--rate", "2", "--duration", "2"])).unwrap();
+    }
+
+    #[test]
+    fn profile_runs_and_trace_round_trips() {
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("longsight_cli_trace_{}.json", std::process::id()));
+        let metrics = dir.join(format!("longsight_cli_metrics_{}.json", std::process::id()));
+        let trace_s = trace.to_str().unwrap().to_string();
+        let metrics_s = metrics.to_str().unwrap().to_string();
+        profile(&args(&[
+            "--model",
+            "1b",
+            "--duration",
+            "2",
+            "--ctx-min",
+            "65536",
+            "--ctx-max",
+            "65536",
+            "--trace-out",
+            &trace_s,
+            "--metrics-out",
+            &metrics_s,
+        ]))
+        .unwrap();
+        trace_validate(&args(&["--file", &trace_s])).unwrap();
+        // The metrics dump is valid JSON with the serving counters.
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        let doc = longsight_obs::json::parse(&m).unwrap();
+        assert!(doc.get("counters").is_some());
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn trace_validate_rejects_bad_input() {
+        let dir = std::env::temp_dir();
+        let bad = dir.join(format!("longsight_cli_bad_{}.json", std::process::id()));
+        std::fs::write(&bad, "{\"traceEvents\":[]}").unwrap();
+        assert!(trace_validate(&args(&["--file", bad.to_str().unwrap()])).is_err());
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(trace_validate(&args(&["--file", bad.to_str().unwrap()])).is_err());
+        assert!(trace_validate(&args(&["--file", "/nonexistent/x.json"])).is_err());
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

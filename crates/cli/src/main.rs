@@ -4,10 +4,16 @@
 //! longsight quality   [--ctx 1024] [--window 256] [--k 128] [--threshold 18] [--itq true]
 //! longsight serve     [--model 1b|8b] [--ctx 131072] [--users 8] [--system longsight|gpu|gpu2|attacc|window]
 //!                     [--fault-profile none|mild|severe|RATE] [--fault-seed N] [--deadline-ms MS]
+//!                     [--trace-out FILE] [--metrics-out FILE]
 //! longsight loadtest  [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 32768] [--ctx-max 131072]
 //!                     [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
+//!                     [--trace-out FILE] [--metrics-out FILE]
+//! longsight profile   [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 131072] [--ctx-max 131072]
+//!                     [--fault-profile ...] [--fault-seed N] [--trace-out FILE] [--metrics-out FILE]
 //! longsight offload   [--model 1b|8b] [--ctx 131072] [--users 1]
 //!                     [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
+//!                     [--trace-out FILE] [--metrics-out FILE]
+//! longsight trace-validate --file trace.json
 //! longsight tune      [--ctx 768] [--window 192] [--k 96] [--budget 0.05]
 //! longsight layout    [--model 1b|8b] [--ctx 1048576]
 //! ```
@@ -69,7 +75,9 @@ fn main() {
         "quality" => commands::quality(&parsed),
         "serve" => commands::serve(&parsed),
         "loadtest" => commands::loadtest(&parsed),
+        "profile" => commands::profile(&parsed),
         "offload" => commands::offload(&parsed),
+        "trace-validate" => commands::trace_validate(&parsed),
         "tune" => commands::tune(&parsed),
         "layout" => commands::layout(&parsed),
         "help" | "--help" | "-h" => {
@@ -101,15 +109,25 @@ commands:
                                    [--system longsight|gpu|gpu2|attacc|window]
                                    [--fault-profile none|mild|severe|RATE]
                                    [--fault-seed N] [--deadline-ms MS]
+                                   [--trace-out FILE] [--metrics-out FILE]
   loadtest   closed-loop Poisson serving simulation with percentiles
                                    [--model 1b|8b] [--rate R] [--duration S]
                                    [--ctx-min N] [--ctx-max N]
                                    [--fault-profile ...] [--fault-seed N]
                                    [--deadline-ms MS]
+                                   [--trace-out FILE] [--metrics-out FILE]
+  profile    per-token latency attribution table over a serving run
+                                   [--model 1b|8b] [--rate R] [--duration S]
+                                   [--ctx-min N] [--ctx-max N]
+                                   [--fault-profile ...] [--fault-seed N]
+                                   [--trace-out FILE] [--metrics-out FILE]
   offload    DReX offload latency profile (Fig 8 style)
                                    [--model 1b|8b] [--ctx N] [--users U]
                                    [--fault-profile ...] [--fault-seed N]
                                    [--deadline-ms MS]
+                                   [--trace-out FILE] [--metrics-out FILE]
+  trace-validate  check a --trace-out file is valid non-empty Chrome
+                  trace JSON       --file FILE
   tune       run the paper's SCF threshold tuner (section 8.1.3)
                                    [--ctx N] [--window W] [--k K] [--budget F]
   layout     User Partition plan + capacity for a context length

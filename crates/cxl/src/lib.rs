@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 use longsight_faults::{domain, FaultInjector};
+use longsight_obs::{ArgVal, Recorder, TrackId};
 
 /// Flit window retransmitted per CRC replay round, bytes. PCIe/CXL links
 /// recover from CRC errors by replaying from the last acknowledged flit, so
@@ -115,6 +116,76 @@ impl CxlLink {
     /// [`CxlLink::polled_completion_ns`].
     pub fn polled_completion_ns_with_replays(&self, ready_at: f64, replays: u32) -> f64 {
         self.polled_completion_ns(ready_at) + replays as f64 * self.poll_interval_ns
+    }
+
+    /// [`CxlLink::descriptor_submit_ns`] that also emits a `cxl.submit` span
+    /// starting at simulated time `start_ns` on `track`.
+    pub fn descriptor_submit_ns_traced(
+        &self,
+        bytes: usize,
+        rec: &mut Recorder,
+        track: TrackId,
+        start_ns: f64,
+    ) -> f64 {
+        let t = self.descriptor_submit_ns(bytes);
+        rec.leaf_with(
+            track,
+            "cxl.submit",
+            start_ns,
+            start_ns + t,
+            &[("bytes", ArgVal::U(bytes as u64))],
+        );
+        t
+    }
+
+    /// [`CxlLink::polled_completion_ns_with_replays`] that also emits a
+    /// `cxl.poll` span starting at simulated time `start_ns` on `track`.
+    pub fn polled_completion_ns_traced(
+        &self,
+        ready_at: f64,
+        replays: u32,
+        rec: &mut Recorder,
+        track: TrackId,
+        start_ns: f64,
+    ) -> f64 {
+        let t = self.polled_completion_ns_with_replays(ready_at, replays);
+        rec.leaf_with(
+            track,
+            "cxl.poll",
+            start_ns,
+            start_ns + t,
+            &[
+                ("ready_at_ns", ArgVal::F(ready_at)),
+                ("replays", ArgVal::U(replays as u64)),
+            ],
+        );
+        t
+    }
+
+    /// [`CxlLink::transfer_ns_with_replays`] that also emits a `cxl.transfer`
+    /// span starting at simulated time `start_ns` on `track`. Replay rounds
+    /// (CRC retransmits) are recorded as an argument so faulted transfers are
+    /// distinguishable in the trace viewer.
+    pub fn transfer_ns_traced(
+        &self,
+        bytes: usize,
+        replays: u32,
+        rec: &mut Recorder,
+        track: TrackId,
+        start_ns: f64,
+    ) -> f64 {
+        let t = self.transfer_ns_with_replays(bytes, replays);
+        rec.leaf_with(
+            track,
+            "cxl.transfer",
+            start_ns,
+            start_ns + t,
+            &[
+                ("bytes", ArgVal::U(bytes as u64)),
+                ("replays", ArgVal::U(replays as u64)),
+            ],
+        );
+        t
     }
 
     /// Fault-injected bulk transfer: samples the CRC replay count for this
@@ -226,6 +297,33 @@ mod tests {
             .map(|s| l.transfer_ns_injected(4096, &inj, s).1)
             .any(|r| r > 0);
         assert!(replayed);
+    }
+
+    #[test]
+    fn traced_variants_match_plain_and_emit_spans() {
+        let l = CxlLink::pcie5_x16();
+        let mut rec = Recorder::enabled();
+        let track = rec.track("cxl");
+        let mut at = 0.0;
+        let submit = l.descriptor_submit_ns_traced(256, &mut rec, track, at);
+        assert_eq!(submit, l.descriptor_submit_ns(256));
+        at += submit;
+        let poll = l.polled_completion_ns_traced(1000.0, 1, &mut rec, track, at);
+        assert_eq!(poll, l.polled_completion_ns_with_replays(1000.0, 1));
+        at += poll;
+        let xfer = l.transfer_ns_traced(4096, 2, &mut rec, track, at);
+        assert_eq!(xfer, l.transfer_ns_with_replays(4096, 2));
+        assert_eq!(rec.spans().len(), 3);
+        rec.validate_well_formed().unwrap();
+
+        // No-op recorder: identical numbers, zero events.
+        let mut off = Recorder::disabled();
+        let t0 = off.track("cxl");
+        assert_eq!(
+            l.transfer_ns_traced(4096, 2, &mut off, t0, 0.0),
+            l.transfer_ns_with_replays(4096, 2)
+        );
+        assert!(off.spans().is_empty());
     }
 
     #[test]

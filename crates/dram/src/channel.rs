@@ -7,6 +7,7 @@
 //! constraints DRAMSim3 enforces for this access pattern class.
 
 use crate::timing::DramTiming;
+use longsight_obs::{ArgVal, Recorder, TrackId};
 use std::collections::VecDeque;
 
 /// One column-granularity access request.
@@ -205,6 +206,47 @@ impl ChannelSim {
             self.stats.finish_time = self.stats.finish_time.max(c.finish);
             self.stats.data_busy += self.timing.burst_ns;
             self.stats.total_latency += c.finish - r.arrival;
+        }
+        completions
+    }
+
+    /// [`ChannelSim::run`] that also emits one `dram.channel` span on `track`
+    /// covering the batch (anchored at simulated time `start_ns`; channel
+    /// time zero maps to the anchor), with row-hit-rate and bandwidth stats
+    /// as span arguments. The returned completions are bit-identical to a
+    /// plain `run` — tracing never perturbs the schedule.
+    pub fn run_traced(
+        &mut self,
+        requests: &[Request],
+        rec: &mut Recorder,
+        track: TrackId,
+        start_ns: f64,
+    ) -> Vec<Completion> {
+        let before = self.stats;
+        let completions = self.run(requests);
+        if rec.is_enabled() && !completions.is_empty() {
+            let finish = completions.iter().fold(0.0f64, |m, c| m.max(c.finish));
+            let served = self.stats.requests - before.requests;
+            let hits = self.stats.row_hits - before.row_hits;
+            let hit_rate = if served == 0 {
+                0.0
+            } else {
+                hits as f64 / served as f64
+            };
+            rec.leaf_with(
+                track,
+                "dram.channel",
+                start_ns,
+                start_ns + finish,
+                &[
+                    ("requests", ArgVal::U(served)),
+                    ("row_hit_rate", ArgVal::F(hit_rate)),
+                    (
+                        "data_busy_ns",
+                        ArgVal::F(self.stats.data_busy - before.data_busy),
+                    ),
+                ],
+            );
         }
         completions
     }

@@ -13,6 +13,7 @@ use crate::layout::MAX_CONTEXT_SLICE_KEYS;
 use crate::offload::{time_slice_offload, DrexParams, HeadOffloadSpec, HeadOffloadTiming};
 use longsight_cxl::CxlLink;
 use longsight_faults::FaultError;
+use longsight_obs::{ArgVal, Recorder};
 
 /// One head's workload with the packages hosting its slices.
 #[derive(Debug, Clone)]
@@ -102,6 +103,22 @@ impl DccSim {
     /// submit *identical* workloads: the caller times each distinct slice
     /// once and replays the durations here.
     pub fn schedule_slices(&mut self, start_ns: f64, slices: &[(usize, f64)]) -> (f64, f64) {
+        let mut rec = Recorder::disabled();
+        self.schedule_slices_traced(start_ns, slices, &mut rec, "nma.slice")
+    }
+
+    /// [`DccSim::schedule_slices`] that also emits one span per slice on a
+    /// per-NMA track (`nma/p{slot}`), named `label`, covering the slice's
+    /// busy interval with its queueing delay as an argument. The returned
+    /// `(done, wait)` and the busy-timeline mutation are bit-identical to the
+    /// plain call.
+    pub fn schedule_slices_traced(
+        &mut self,
+        start_ns: f64,
+        slices: &[(usize, f64)],
+        rec: &mut Recorder,
+        label: &str,
+    ) -> (f64, f64) {
         let mut done = start_ns;
         let mut wait: f64 = 0.0;
         for &(pkg, duration) in slices {
@@ -111,6 +128,16 @@ impl DccSim {
             let end = begin + duration;
             self.nma_busy[slot] = end;
             done = done.max(end);
+            if rec.is_enabled() {
+                let track = rec.track(&format!("nma/p{slot}"));
+                rec.leaf_with(
+                    track,
+                    label,
+                    begin,
+                    end,
+                    &[("queued_ns", ArgVal::F(begin - start_ns))],
+                );
+            }
         }
         (done, wait)
     }

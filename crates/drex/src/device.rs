@@ -18,6 +18,7 @@ use longsight_core::{ItqRotation, RotationTable, ThresholdTable};
 use longsight_cxl::CxlLink;
 use longsight_dram::Geometry;
 use longsight_faults::{domain, FaultInjector};
+use longsight_obs::{ArgVal, Recorder};
 use longsight_tensor::{quantize_bf16_in_place, vecops, FlatVecs, SignBits, TopK};
 
 /// Errors returned by device operations.
@@ -429,6 +430,70 @@ impl DrexDevice {
             false_negatives,
             false_positives,
         })
+    }
+
+    /// [`DrexDevice::offload_with_faults`] that also emits the request's
+    /// span tree on a `drex.device` track: the enclosing `drex.request` span
+    /// (descriptor arrival to GPU-observed completion) with `dcc.queue`,
+    /// `nma.head` (critical chain), and `cxl.value_read` children, plus the
+    /// functional corruption counts as span arguments. Recording derives
+    /// entirely from the returned timing, so the outcome is bit-identical to
+    /// the untraced call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownUser`] for unregistered users.
+    pub fn offload_traced(
+        &mut self,
+        request: &RequestDescriptor,
+        k: usize,
+        arrival_ns: f64,
+        inj: &FaultInjector,
+        rec: &mut Recorder,
+    ) -> Result<OffloadOutcome, DeviceError> {
+        let out = self.offload_with_faults(request, k, arrival_ns, inj)?;
+        if rec.is_enabled() {
+            let t = &out.timing;
+            let track = rec.track("drex.device");
+            let span = rec.open_with(
+                track,
+                "drex.request",
+                arrival_ns,
+                &[
+                    ("user", ArgVal::U(u64::from(request.user))),
+                    ("layer", ArgVal::U(u64::from(request.layer))),
+                    ("false_negatives", ArgVal::U(out.false_negatives as u64)),
+                    ("false_positives", ArgVal::U(out.false_positives as u64)),
+                ],
+            );
+            if t.queue_wait_ns > 0.0 {
+                rec.leaf(
+                    track,
+                    "dcc.queue",
+                    t.submitted_ns,
+                    t.submitted_ns + t.queue_wait_ns,
+                );
+            }
+            let chain = t.critical_head.total_ns();
+            rec.leaf_with(
+                track,
+                "nma.head",
+                t.device_done_ns - chain,
+                t.device_done_ns,
+                &[
+                    ("filter_ns", ArgVal::F(t.critical_head.filter_ns)),
+                    ("fetch_score_ns", ArgVal::F(t.critical_head.fetch_score_ns)),
+                ],
+            );
+            rec.leaf(
+                track,
+                "cxl.value_read",
+                t.observed_ns - t.value_read_ns,
+                t.observed_ns,
+            );
+            rec.close(span, t.observed_ns);
+        }
+        Ok(out)
     }
 
     /// Maximum context slice size (re-exported convenience).

@@ -57,8 +57,8 @@ pub use device::{DeviceError, DrexDevice, OffloadOutcome};
 pub use id_address::IdAddress;
 pub use offload::{
     time_head_offload, time_head_offload_injected, time_slice_offload, try_time_slice_offload,
-    try_time_slice_offload_injected, DrexParams, FaultedHeadTiming, FaultedSliceTiming,
-    HeadOffloadSpec, HeadOffloadTiming,
+    try_time_slice_offload_injected, try_time_slice_offload_traced, DrexParams, FaultedHeadTiming,
+    FaultedSliceTiming, HeadOffloadSpec, HeadOffloadTiming,
 };
 pub use power::PowerModel;
 pub use response_buffers::{BufferError, ResponseBufferTable};

@@ -20,6 +20,7 @@ use crate::layout::{ContextSlice, MAX_CONTEXT_SLICE_KEYS};
 use crate::spm::SpmConfig;
 use longsight_dram::{ChannelSim, DramTiming, Request};
 use longsight_faults::{domain, FaultError, FaultInjector};
+use longsight_obs::{ArgVal, Recorder, TrackId};
 use longsight_tensor::SimRng;
 
 /// Device-wide hardware parameters.
@@ -174,6 +175,37 @@ pub fn try_time_slice_offload(
     survivors: usize,
     seed: u64,
 ) -> Result<HeadOffloadTiming, FaultError> {
+    let mut rec = Recorder::disabled();
+    let track = rec.track("nma");
+    try_time_slice_offload_traced(
+        params, spec, slice_keys, survivors, seed, &mut rec, track, 0.0,
+    )
+}
+
+/// [`try_time_slice_offload`] that also emits the slice's phase spans on
+/// `track`, anchored at simulated time `start_ns`: the serial
+/// `pfu.filter → pfu.bitmap → nma.addr_gen → nma.fetch_score → nma.topk`
+/// chain, with the sampled `dram.channel` activity nested inside the
+/// fetch/score phase. With a disabled recorder this *is*
+/// [`try_time_slice_offload`] — same numbers, no events — which is how the
+/// zero-overhead guarantee holds.
+///
+/// # Errors
+///
+/// Same as [`try_time_slice_offload`].
+// Mirrors `try_time_slice_offload` plus the three tracing inputs; a struct
+// would just relocate the same names.
+#[allow(clippy::too_many_arguments)]
+pub fn try_time_slice_offload_traced(
+    params: &DrexParams,
+    spec: &HeadOffloadSpec,
+    slice_keys: usize,
+    survivors: usize,
+    seed: u64,
+    rec: &mut Recorder,
+    track: TrackId,
+    start_ns: f64,
+) -> Result<HeadOffloadTiming, FaultError> {
     if spec.head_dim == 0 {
         return Err(FaultError::InvalidSpec("head_dim must be positive".into()));
     }
@@ -213,6 +245,39 @@ pub fn try_time_slice_offload(
     //    addresses are staged in the Address SPM before fetching).
     let drain_passes = params.spm.drain_passes(survivors);
     let addr_gen_ns = params.addr_gen_ns * epochs_per_bank.max(drain_passes) as f64;
+
+    // Phase spans: the slice pipeline is serial across phases, so each span
+    // starts where the previous ended. Score is computed up front (it only
+    // depends on the survivor count) so the fetch/score span can open before
+    // the DRAM fetch simulation nests its channel activity inside it.
+    let score_flops = (survivors * spec.queries * 2 * d) as f64;
+    let score_ns = score_flops / params.nma_flops_per_ns;
+    let mut at = start_ns;
+    rec.leaf_with(
+        track,
+        "pfu.filter",
+        at,
+        at + filter_ns,
+        &[
+            ("epochs", ArgVal::U(epochs_per_bank as u64)),
+            ("queries", ArgVal::U(spec.queries as u64)),
+        ],
+    );
+    at += filter_ns;
+    rec.leaf(track, "pfu.bitmap", at, at + bitmap_ns);
+    at += bitmap_ns;
+    rec.leaf(track, "nma.addr_gen", at, at + addr_gen_ns);
+    at += addr_gen_ns;
+    let fetch_score_span = rec.open_with(
+        track,
+        "nma.fetch_score",
+        at,
+        &[
+            ("survivors", ArgVal::U(survivors as u64)),
+            ("score_ns", ArgVal::F(score_ns)),
+        ],
+    );
+    let fetch_start = at;
 
     // 4. Fetch + score. Keys are channel-interleaved: each survivor key is
     //    `2d` bytes spread across 8 channels. Simulate one representative
@@ -284,16 +349,23 @@ pub fn try_time_slice_offload(
                 }
             }
         }
-        let done = sim.run(&reqs);
+        let done = sim.run_traced(&reqs, rec, track, fetch_start);
         let sampled_ns = done.iter().map(|c| c.finish).fold(0.0, f64::max);
         sampled_ns * per_channel as f64 / simulated as f64
     };
-    let score_flops = (survivors * spec.queries * 2 * d) as f64;
-    let score_ns = score_flops / params.nma_flops_per_ns;
     let fetch_score_ns = fetch_ns.max(score_ns);
+    rec.close(fetch_score_span, fetch_start + fetch_score_ns);
+    at += fetch_score_ns;
 
     // 5. Top-k insertion, pipelined.
     let topk_ns = survivors as f64 * params.topk_per_key_ns;
+    rec.leaf_with(
+        track,
+        "nma.topk",
+        at,
+        at + topk_ns,
+        &[("k", ArgVal::U(spec.k as u64))],
+    );
 
     Ok(HeadOffloadTiming {
         filter_ns,

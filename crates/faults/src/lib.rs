@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use longsight_obs::{ArgVal, Recorder, TrackId};
 use longsight_tensor::SimRng;
 
 /// Event-stream domains, kept distinct so the same `(a, b, c)` coordinates
@@ -335,6 +336,80 @@ pub enum FaultKind {
     HardFail,
 }
 
+impl FaultEvent {
+    /// The instant-event name under which this fault appears in a trace.
+    /// All names share the `fault.` prefix so exporters and tests can count
+    /// fault events with one predicate.
+    pub fn trace_name(&self) -> &'static str {
+        match self.kind {
+            FaultKind::LinkReplay { .. } => "fault.link_replay",
+            FaultKind::Straggler { .. } => "fault.straggler",
+            FaultKind::Bitflip { .. } => "fault.bitflip",
+            FaultKind::Timeout { .. } => "fault.timeout",
+            FaultKind::Retry { .. } => "fault.retry",
+            FaultKind::Degraded => "fault.degraded",
+            FaultKind::HardFail => "fault.hard_fail",
+        }
+    }
+
+    /// Records this event as one instant at simulated time `ts_ns`.
+    pub fn record_into(&self, rec: &mut Recorder, track: TrackId, ts_ns: f64) {
+        if !rec.is_enabled() {
+            return;
+        }
+        let stream = ("stream", ArgVal::U(self.stream));
+        match &self.kind {
+            FaultKind::LinkReplay { replays } => rec.instant_with(
+                track,
+                self.trace_name(),
+                ts_ns,
+                &[stream, ("replays", ArgVal::U(u64::from(*replays)))],
+            ),
+            FaultKind::Straggler { multiplier } => rec.instant_with(
+                track,
+                self.trace_name(),
+                ts_ns,
+                &[stream, ("multiplier", ArgVal::F(*multiplier))],
+            ),
+            FaultKind::Bitflip {
+                false_negatives,
+                false_positives,
+            } => rec.instant_with(
+                track,
+                self.trace_name(),
+                ts_ns,
+                &[
+                    stream,
+                    ("false_negatives", ArgVal::U(*false_negatives as u64)),
+                    ("false_positives", ArgVal::U(*false_positives as u64)),
+                ],
+            ),
+            FaultKind::Timeout { attempt } => rec.instant_with(
+                track,
+                self.trace_name(),
+                ts_ns,
+                &[stream, ("attempt", ArgVal::U(u64::from(*attempt)))],
+            ),
+            FaultKind::Retry {
+                attempt,
+                backoff_ns,
+            } => rec.instant_with(
+                track,
+                self.trace_name(),
+                ts_ns,
+                &[
+                    stream,
+                    ("attempt", ArgVal::U(u64::from(*attempt))),
+                    ("backoff_ns", ArgVal::F(*backoff_ns)),
+                ],
+            ),
+            FaultKind::Degraded | FaultKind::HardFail => {
+                rec.instant_with(track, self.trace_name(), ts_ns, &[stream])
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for FaultEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.kind {
@@ -414,6 +489,28 @@ impl FaultLog {
     /// Events matching a predicate on the kind.
     pub fn count_matching(&self, pred: impl Fn(&FaultKind) -> bool) -> usize {
         self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+
+    /// Records events `start_idx..` as trace instants at simulated time
+    /// `ts_ns`, one per log entry (the parity tests count on exactly this
+    /// 1:1 mapping). Returns the number of events recorded, so streaming
+    /// callers can advance their cursor: record the tail after each
+    /// simulation step at that step's simulated time.
+    pub fn record_tail_into(
+        &self,
+        start_idx: usize,
+        rec: &mut Recorder,
+        track: TrackId,
+        ts_ns: f64,
+    ) -> usize {
+        if !rec.is_enabled() || start_idx >= self.events.len() {
+            return 0;
+        }
+        let tail = &self.events[start_idx..];
+        for e in tail {
+            e.record_into(rec, track, ts_ns);
+        }
+        tail.len()
     }
 
     /// Stable one-line-per-event rendering for byte-identity comparisons.

@@ -1,0 +1,269 @@
+//! A registry of named counters, gauges, and fixed-bucket histograms.
+//!
+//! Everything is ordinary owned data behind `&mut` — no atomics, no locks —
+//! because all recording in this workspace happens on the (serial) simulation
+//! control path. Metrics are reported in **first-registration order**, which
+//! is a pure function of the simulation control flow and therefore identical
+//! at any thread count.
+
+use crate::json::{escape_into, fmt_f64};
+
+/// Default histogram bucket edges in milliseconds, chosen to straddle the
+/// token-latency SLO band (tens of ms) with roughly log-spaced resolution.
+pub const DEFAULT_MS_EDGES: [f64; 15] = [
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+];
+
+/// A fixed-bucket histogram: `counts[i]` counts observations `<= edges[i]`,
+/// with one overflow bucket at the end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bucket edges, strictly increasing.
+    pub edges: Vec<f64>,
+    /// Per-bucket observation counts; `counts.len() == edges.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observed value (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    fn new(edges: &[f64]) -> Self {
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean observed value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Named counters, gauges, and histograms in stable registration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// Adds `delta` to the named counter, creating it at zero on first use.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name.to_string(), delta)),
+        }
+    }
+
+    /// Sets the named gauge, creating it on first use.
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name.to_string(), value)),
+        }
+    }
+
+    /// Registers a histogram with explicit bucket edges. Re-registering an
+    /// existing name keeps the original edges (first registration wins, so
+    /// ordering and shape stay stable).
+    pub fn register_histogram(&mut self, name: &str, edges: &[f64]) {
+        if !self.histograms.iter().any(|(n, _)| n == name) {
+            self.histograms
+                .push((name.to_string(), Histogram::new(edges)));
+        }
+    }
+
+    /// Records one observation into the named histogram, creating it with
+    /// [`DEFAULT_MS_EDGES`] on first use.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some((_, h)) = self.histograms.iter_mut().find(|(n, _)| n == name) {
+            h.observe(value);
+            return;
+        }
+        let mut h = Histogram::new(&DEFAULT_MS_EDGES);
+        h.observe(value);
+        self.histograms.push((name.to_string(), h));
+    }
+
+    /// The current value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The current value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Machine-readable JSON dump in registration order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, name);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, name);
+            out.push(':');
+            out.push_str(&fmt_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_into(&mut out, name);
+            out.push_str(":{\"edges\":[");
+            for (j, e) in h.edges.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&fmt_f64(*e));
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("],\"count\":");
+            out.push_str(&h.count.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&fmt_f64(h.sum));
+            if h.count > 0 {
+                out.push_str(",\"min\":");
+                out.push_str(&fmt_f64(h.min));
+                out.push_str(",\"max\":");
+                out.push_str(&fmt_f64(h.max));
+            }
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Flat human-readable report in registration order.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter   {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge     {name} = {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            if h.count == 0 {
+                out.push_str(&format!("histogram {name}: empty\n"));
+            } else {
+                out.push_str(&format!(
+                    "histogram {name}: count {} mean {:.4} min {:.4} max {:.4}\n",
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_keep_registration_order() {
+        let mut m = MetricsRegistry::default();
+        m.counter_add("b", 1);
+        m.counter_add("a", 2);
+        m.counter_add("b", 3);
+        m.gauge_set("z", 1.5);
+        m.gauge_set("z", 2.5);
+        assert_eq!(m.counter("b"), Some(4));
+        assert_eq!(m.counter("a"), Some(2));
+        assert_eq!(m.gauge("z"), Some(2.5));
+        let json = m.to_json();
+        assert!(json.find("\"b\"").unwrap() < json.find("\"a\"").unwrap());
+        crate::json::parse(&json).expect("metrics JSON must parse");
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut m = MetricsRegistry::default();
+        m.register_histogram("lat", &[1.0, 10.0]);
+        for v in [0.5, 1.0, 5.0, 100.0] {
+            m.observe("lat", v);
+        }
+        let h = m.histogram("lat").unwrap();
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 26.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_edges_used_on_first_observe() {
+        let mut m = MetricsRegistry::default();
+        m.observe("x", 3.0);
+        let h = m.histogram("x").unwrap();
+        assert_eq!(h.edges.len(), DEFAULT_MS_EDGES.len());
+        assert_eq!(h.count, 1);
+    }
+}

@@ -1,0 +1,197 @@
+//! Per-token latency attribution: where each generated token's latency
+//! went, across the whole serving run.
+//!
+//! The serving simulation knows, for every synchronized decode step, both
+//! the step's total duration and its internal breakdown (window attention,
+//! weight streaming, merge, the offload pipeline phases, and any fault
+//! retry penalty). This module folds those per-step breakdowns into
+//! per-component sample populations weighted exactly like the token-latency
+//! percentiles in [`crate::serving::ServeMetrics`], so the attribution
+//! table's *total* row reproduces the run's reported p50/p99 byte-for-byte
+//! and the mean column sums to the mean token latency.
+
+use crate::report::StepReport;
+
+/// Names of the eight attribution components, in table order.
+pub const COMPONENT_NAMES: [&str; 8] = [
+    "window", "weights", "merge", "filter", "score", "queue", "link", "retry",
+];
+
+/// Splits one step's latency into the eight attribution components, ns.
+///
+/// The first seven come from the step report (GPU breakdown plus the
+/// offload phase split when the system provides one; systems without phase
+/// attribution lump device time into `score` and transfer time into
+/// `link`). The `retry` component is the fault penalty this step paid on
+/// top of the fault-free cost.
+pub fn attribution_parts(report: &StepReport, dt_ns: f64) -> [f64; 8] {
+    let b = report.breakdown;
+    let (filter, score, queue, link) = match report.offload {
+        Some(o) => (o.filter_ns, o.score_ns, o.queue_ns, o.link_ns),
+        None => (0.0, b.drex_offload_ns, 0.0, b.cxl_ns),
+    };
+    [
+        b.gpu_attention_ns,
+        b.gpu_weights_ns,
+        b.gpu_merge_ns,
+        filter,
+        score,
+        queue,
+        link,
+        (dt_ns - report.step_ns).max(0.0),
+    ]
+}
+
+/// Same nearest-rank percentile the serving metrics use.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Per-token latency attribution collected across a serving run.
+///
+/// One sample per generated token (batch size capped at 64 per step, the
+/// same cap [`crate::serving::ServeMetrics`] applies to its token-latency
+/// percentiles), per component, in milliseconds. The `total` population
+/// stores each token's full step latency directly — not the component sum
+/// — so its percentiles are bit-identical to the run's reported token
+/// latency.
+#[derive(Debug, Clone, Default)]
+pub struct TokenAttribution {
+    samples: [Vec<f64>; 8],
+    totals: Vec<f64>,
+}
+
+impl TokenAttribution {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one decode step in: `parts` are the per-token component
+    /// shares in ns (from [`attribution_parts`]), `dt_ns` the step's total
+    /// latency, and `weight` the number of token samples the step
+    /// contributes.
+    pub fn record_step(&mut self, parts: [f64; 8], dt_ns: f64, weight: usize) {
+        for _ in 0..weight {
+            for (c, &p) in parts.iter().enumerate() {
+                self.samples[c].push(p / 1e6);
+            }
+            self.totals.push(dt_ns / 1e6);
+        }
+    }
+
+    /// Number of token samples collected.
+    pub fn len(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// True when no steps were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.totals.is_empty()
+    }
+
+    /// `(mean, p50, p99)` of one component's population, ms.
+    pub fn component_stats(&self, c: usize) -> (f64, f64, f64) {
+        Self::stats_of(&self.samples[c])
+    }
+
+    /// `(mean, p50, p99)` of the total token latency, ms. The percentiles
+    /// here equal `ServeMetrics::{p50,p99}_token_ms` of the same run.
+    pub fn total_stats(&self) -> (f64, f64, f64) {
+        Self::stats_of(&self.totals)
+    }
+
+    fn stats_of(samples: &[f64]) -> (f64, f64, f64) {
+        if samples.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        (mean, percentile(&sorted, 0.5), percentile(&sorted, 0.99))
+    }
+
+    /// The attribution table: one row per component plus a total row.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("  component      mean ms    p50 ms    p99 ms\n");
+        for (c, name) in COMPONENT_NAMES.iter().enumerate() {
+            let (mean, p50, p99) = self.component_stats(c);
+            out.push_str(&format!("  {name:<12} {mean:>9.4} {p50:>9.4} {p99:>9.4}\n"));
+        }
+        let (mean, p50, p99) = self.total_stats();
+        out.push_str(&format!(
+            "  {:<12} {mean:>9.4} {p50:>9.4} {p99:>9.4}\n",
+            "total"
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{OffloadComponents, StepBreakdown, StepReport};
+
+    fn report() -> StepReport {
+        StepReport::from_breakdown(
+            4,
+            1024,
+            StepBreakdown {
+                gpu_weights_ns: 1e6,
+                gpu_attention_ns: 2e6,
+                gpu_merge_ns: 0.5e6,
+                drex_offload_ns: 0.7e6,
+                cxl_ns: 0.3e6,
+            },
+        )
+        .with_offload(OffloadComponents {
+            filter_ns: 0.1e6,
+            score_ns: 0.5e6,
+            queue_ns: 0.1e6,
+            link_ns: 0.3e6,
+        })
+    }
+
+    #[test]
+    fn parts_sum_to_step_plus_penalty() {
+        let r = report();
+        let parts = attribution_parts(&r, r.step_ns + 1e6);
+        let sum: f64 = parts.iter().sum();
+        assert!((sum - (r.step_ns + 1e6)).abs() < 1e-6);
+        assert!((parts[7] - 1e6).abs() < 1e-9, "retry absorbs the penalty");
+    }
+
+    #[test]
+    fn without_offload_detail_device_time_lumps_into_score_and_link() {
+        let mut r = report();
+        r.offload = None;
+        let parts = attribution_parts(&r, r.step_ns);
+        assert_eq!(parts[3], 0.0);
+        assert_eq!(parts[4], r.breakdown.drex_offload_ns);
+        assert_eq!(parts[6], r.breakdown.cxl_ns);
+    }
+
+    #[test]
+    fn total_percentiles_track_recorded_steps() {
+        let r = report();
+        let mut a = TokenAttribution::new();
+        a.record_step(attribution_parts(&r, r.step_ns), r.step_ns, 3);
+        a.record_step(attribution_parts(&r, 2.0 * r.step_ns), 2.0 * r.step_ns, 1);
+        assert_eq!(a.len(), 4);
+        let (_, p50, p99) = a.total_stats();
+        assert!((p50 - r.step_ns / 1e6).abs() < 1e-12);
+        assert!((p99 - 2.0 * r.step_ns / 1e6).abs() < 1e-12);
+        // Mean column sums to the total mean (component sums are exact
+        // per-sample decompositions of dt).
+        let comp_mean: f64 = (0..8).map(|c| a.component_stats(c).0).sum();
+        let (total_mean, _, _) = a.total_stats();
+        assert!((comp_mean - total_mean).abs() < 1e-9 * total_mean.max(1.0));
+        let table = a.to_table();
+        assert!(table.contains("window"));
+        assert!(table.lines().count() == 10, "header + 8 components + total");
+    }
+}

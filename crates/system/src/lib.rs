@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 mod baselines;
 pub mod degrade;
 mod longsight;
@@ -32,7 +33,8 @@ mod report;
 pub mod serving;
 pub mod slo;
 
+pub use attribution::TokenAttribution;
 pub use baselines::{AttAccSystem, GpuOnlySystem, SlidingWindowSystem};
 pub use degrade::{DegradeStats, TokenOutcome};
 pub use longsight::{FaultedLayerReport, LongSightConfig, LongSightSystem, OffloadProfile};
-pub use report::{Infeasible, ServingSystem, StepBreakdown, StepReport};
+pub use report::{Infeasible, OffloadComponents, ServingSystem, StepBreakdown, StepReport};

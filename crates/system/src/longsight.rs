@@ -9,19 +9,21 @@
 //! paces the layer.
 
 use crate::degrade::DegradeStats;
-use crate::report::{Infeasible, ServingSystem, StepBreakdown, StepReport};
+use crate::report::{Infeasible, OffloadComponents, ServingSystem, StepBreakdown, StepReport};
 use longsight_core::HybridConfig;
 use longsight_cxl::CxlLink;
 use longsight_dram::Geometry;
 use longsight_drex::layout::{self, MAX_CONTEXT_SLICE_KEYS};
 use longsight_drex::{
-    time_slice_offload, DccSim, DrexParams, HeadOffloadSpec, REQUEST_QUEUE_DEPTH,
+    time_slice_offload, try_time_slice_offload_traced, DccSim, DrexParams, HeadOffloadSpec,
+    REQUEST_QUEUE_DEPTH,
 };
 use longsight_faults::{
     domain, stream, FaultInjector, FaultKind, FaultLog, FaultProfile, RetryPolicy,
 };
 use longsight_gpu::{decode_step, GpuSpec};
 use longsight_model::ModelConfig;
+use longsight_obs::{ArgVal, Recorder};
 
 /// Configuration of a LongSight deployment: one GPU + one DReX unit.
 #[derive(Debug, Clone)]
@@ -107,6 +109,26 @@ impl OffloadProfile {
     }
 }
 
+/// Splits the step's *visible* offload wait along the measured profile
+/// fractions. The link share is the exact remainder, so the four components
+/// always sum to `visible_ns` bit-for-bit.
+fn visible_components(profile: &OffloadProfile, visible_ns: f64) -> OffloadComponents {
+    let total = profile.total_ns();
+    if total <= 0.0 || visible_ns <= 0.0 {
+        return OffloadComponents::default();
+    }
+    let scale = visible_ns / total;
+    let filter = (profile.filter_ns + profile.bitmap_ns + profile.addr_gen_ns) * scale;
+    let score = (profile.fetch_score_ns + profile.topk_ns) * scale;
+    let queue = profile.queue_wait_ns * scale;
+    OffloadComponents {
+        filter_ns: filter,
+        score_ns: score,
+        queue_ns: queue,
+        link_ns: visible_ns - filter - score - queue,
+    }
+}
+
 /// One layer's offload timing under fault injection, with the degradation
 /// bookkeeping needed by the availability experiment.
 #[derive(Debug, Clone)]
@@ -148,6 +170,25 @@ impl LongSightSystem {
     /// Times one layer's DReX offloads for a batch and returns
     /// `(last-user observed completion ns, profile of the last user)`.
     pub fn drex_layer(&self, users: usize, context: usize) -> (f64, OffloadProfile) {
+        let mut rec = Recorder::disabled();
+        self.drex_layer_traced(users, context, &mut rec, 0.0)
+    }
+
+    /// [`LongSightSystem::drex_layer`] that also records the layer's
+    /// internal timeline into `rec`, anchored at simulated time
+    /// `anchor_ns`: the critical slice's PFU/NMA phase chain
+    /// (`nma.critical` track), every user's slice executions on the
+    /// per-NMA tracks, the CXL descriptor submit / completion poll / value
+    /// transfer (`cxl` track), and the whole offload envelope (`drex`
+    /// track). The returned numbers are bit-identical to the plain call —
+    /// with a disabled recorder this *is* the plain call.
+    pub fn drex_layer_traced(
+        &self,
+        users: usize,
+        context: usize,
+        rec: &mut Recorder,
+        anchor_ns: f64,
+    ) -> (f64, OffloadProfile) {
         let cfg = &self.config;
         let region = self.region(context);
         let kv = self.model.kv_heads;
@@ -214,6 +255,28 @@ impl LongSightSystem {
         // (§7.3.1) — k entries per KV head, shared by the GQA group.
         let response_bytes = kv * k.min(region) * (d * 2 + 8);
 
+        if rec.is_enabled() {
+            // Phase detail of the critical (full-size) slice, anchored where
+            // NMA work begins — after the descriptor submit.
+            let nma_track = rec.track("nma.critical");
+            let _ = try_time_slice_offload_traced(
+                &cfg.drex,
+                &spec,
+                full_keys,
+                surv(full_keys).min(full_keys),
+                17,
+                rec,
+                nma_track,
+                anchor_ns + submit,
+            );
+        }
+        // Shadow scheduler for span emission at absolute sim time: the busy
+        // timeline is shift-invariant, so replaying the identical schedule
+        // from `anchor_ns + submit` reproduces the real one exactly, offset.
+        let mut shadow = rec
+            .is_enabled()
+            .then(|| DccSim::new(cfg.drex.clone(), cfg.link.clone(), cfg.geometry.packages));
+
         let mut last_done = 0.0f64;
         let mut last_wait = 0.0f64;
         for u in 0..users {
@@ -226,6 +289,10 @@ impl LongSightSystem {
                 }
             }
             let (done, wait) = dcc.schedule_slices(submit, &works);
+            if let Some(sh) = shadow.as_mut() {
+                let label = format!("offload.u{u}");
+                sh.schedule_slices_traced(anchor_ns + submit, &works, rec, &label);
+            }
             if done >= last_done {
                 last_done = done;
                 last_wait = wait;
@@ -236,6 +303,36 @@ impl LongSightSystem {
         let value_cxl = cfg.link.polled_completion_ns(ready_rel) - ready_rel
             + cfg.link.transfer_ns(response_bytes);
         let observed = ready_rel + value_cxl;
+
+        if rec.is_enabled() {
+            let cxl_track = rec.track("cxl");
+            let _ = cfg
+                .link
+                .descriptor_submit_ns_traced(desc_bytes, rec, cxl_track, anchor_ns);
+            let polled = cfg.link.polled_completion_ns(ready_rel);
+            rec.leaf_with(
+                cxl_track,
+                "cxl.poll",
+                anchor_ns + ready_rel,
+                anchor_ns + polled,
+                &[("ready_at_ns", ArgVal::F(ready_rel))],
+            );
+            let _ =
+                cfg.link
+                    .transfer_ns_traced(response_bytes, 0, rec, cxl_track, anchor_ns + polled);
+            let drex_track = rec.track("drex");
+            rec.leaf_with(
+                drex_track,
+                "drex.offload",
+                anchor_ns,
+                anchor_ns + observed,
+                &[
+                    ("users", ArgVal::U(users as u64)),
+                    ("slices", ArgVal::U(slices as u64)),
+                    ("queue_wait_ns", ArgVal::F(last_wait + submit)),
+                ],
+            );
+        }
 
         // Decompose the critical chain's device time for the profile (the
         // full-slice timing computed above).
@@ -596,7 +693,8 @@ impl LongSightSystem {
             drex_offload_ns: drex_visible * 0.7,
             cxl_ns: drex_visible * 0.3,
         };
-        let report = StepReport::from_breakdown(users, context, breakdown);
+        let report = StepReport::from_breakdown(users, context, breakdown)
+            .with_offload(visible_components(&faulted.profile, drex_visible));
         Ok((report, faulted.log, faulted.stats))
     }
 
@@ -642,7 +740,7 @@ impl ServingSystem for LongSightSystem {
             0
         };
         let gpu = decode_step(&cfg.gpu, &self.model, users, resident, true, k_merged);
-        let (drex_layer_ns, _) = self.drex_layer(users, context);
+        let (drex_layer_ns, profile) = self.drex_layer(users, context);
 
         // Per layer: serial GPU work, then window attention overlapped with
         // the offload.
@@ -663,7 +761,8 @@ impl ServingSystem for LongSightSystem {
         };
         // Note: breakdown components are constructed to sum to step_ns.
         debug_assert!((breakdown.total_ns() - step_ns).abs() < 1e-3 * step_ns.max(1.0));
-        Ok(StepReport::from_breakdown(users, context, breakdown))
+        Ok(StepReport::from_breakdown(users, context, breakdown)
+            .with_offload(visible_components(&profile, drex_visible)))
     }
 
     fn max_users(&self, context: usize) -> usize {
@@ -679,6 +778,87 @@ impl ServingSystem for LongSightSystem {
             }
         }
         users
+    }
+
+    /// Records one decode step's internal timeline: the per-layer serial
+    /// GPU work and window attention (`gpu` track), the full offload
+    /// pipeline via [`LongSightSystem::drex_layer_traced`], a
+    /// `drex.faulted_layer` envelope when fault injection stretches the
+    /// layer, and a `layers.remaining` span standing in for the repeated
+    /// layers. Observational only — no serving state changes.
+    fn record_step_detail(
+        &mut self,
+        users: usize,
+        context: usize,
+        rec: &mut Recorder,
+        anchor_ns: f64,
+    ) {
+        if !rec.is_enabled() || users == 0 {
+            return;
+        }
+        let cfg = &self.config;
+        let resident = (cfg.hybrid.window + cfg.hybrid.sinks).min(context);
+        let layers = self.model.layers as f64;
+        let k_merged = if self.region(context) > 0 {
+            cfg.hybrid.top_k.min(self.region(context))
+        } else {
+            0
+        };
+        let gpu = decode_step(&cfg.gpu, &self.model, users, resident, true, k_merged);
+        let gpu_serial_layer = (gpu.weights_ns + gpu.itq_ns + gpu.merge_ns) / layers;
+        let attn_layer = gpu.attention_ns / layers;
+        let gpu_track = rec.track("gpu");
+        rec.leaf_with(
+            gpu_track,
+            "gpu.serial",
+            anchor_ns,
+            anchor_ns + gpu_serial_layer,
+            &[("users", ArgVal::U(users as u64))],
+        );
+        rec.leaf_with(
+            gpu_track,
+            "gpu.window_attn",
+            anchor_ns + gpu_serial_layer,
+            anchor_ns + gpu_serial_layer + attn_layer,
+            &[("resident_tokens", ArgVal::U(resident as u64))],
+        );
+
+        let drex_anchor = anchor_ns + gpu_serial_layer;
+        let faulted = cfg
+            .faults
+            .is_enabled()
+            .then(|| self.drex_layer_faulty(users, context));
+        let fault_span = faulted.as_ref().map(|f| {
+            let drex_track = rec.track("drex");
+            rec.open_with(
+                drex_track,
+                "drex.faulted_layer",
+                drex_anchor,
+                &[
+                    ("events", ArgVal::U(f.log.len() as u64)),
+                    ("replay_rounds", ArgVal::U(f.replay_rounds as u64)),
+                    ("straggled_slices", ArgVal::U(f.straggled_slices as u64)),
+                ],
+            )
+        });
+        let (drex_ns, _) = self.drex_layer_traced(users, context, rec, drex_anchor);
+        let layer_drex = faulted
+            .as_ref()
+            .map_or(drex_ns, |f| f.layer_ns.max(drex_ns));
+        if let Some(span) = fault_span {
+            rec.close(span, drex_anchor + layer_drex);
+        }
+
+        let layer_ns = gpu_serial_layer + attn_layer.max(layer_drex);
+        if self.model.layers > 1 {
+            rec.leaf_with(
+                gpu_track,
+                "layers.remaining",
+                anchor_ns + layer_ns,
+                anchor_ns + layer_ns * layers,
+                &[("layers", ArgVal::U(self.model.layers as u64 - 1))],
+            );
+        }
     }
 }
 

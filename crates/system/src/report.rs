@@ -1,5 +1,7 @@
 //! Shared serving-performance report types.
 
+use longsight_obs::Recorder;
+
 /// Per-token latency breakdown of one decode step (Fig 9's categories).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StepBreakdown {
@@ -27,6 +29,33 @@ impl StepBreakdown {
     }
 }
 
+/// Finer-grained attribution of the *visible* (non-overlapped) offload
+/// time within one decode step, split along the DReX pipeline phases.
+///
+/// The four components always sum exactly to
+/// `breakdown.drex_offload_ns + breakdown.cxl_ns`: the filter/score/queue
+/// shares are proportional splits of the visible wait by the measured
+/// [`OffloadProfile`](crate::longsight::OffloadProfile) fractions, and the
+/// link share is the exact remainder.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OffloadComponents {
+    /// PFU filtering, bitmap reads, and address generation, ns.
+    pub filter_ns: f64,
+    /// Key fetch + dot-product scoring + top-k ranking, ns.
+    pub score_ns: f64,
+    /// Waiting for a free NMA (multi-user contention), ns.
+    pub queue_ns: f64,
+    /// CXL descriptor submit, completion polling, and value transfer, ns.
+    pub link_ns: f64,
+}
+
+impl OffloadComponents {
+    /// Sum of the four components.
+    pub fn total_ns(&self) -> f64 {
+        self.filter_ns + self.score_ns + self.queue_ns + self.link_ns
+    }
+}
+
 /// Result of evaluating one serving configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepReport {
@@ -40,6 +69,9 @@ pub struct StepReport {
     pub throughput_tps: f64,
     /// Latency breakdown.
     pub breakdown: StepBreakdown,
+    /// Phase-level attribution of the visible offload wait, when the
+    /// system can provide it (LongSight only; baselines report `None`).
+    pub offload: Option<OffloadComponents>,
 }
 
 impl StepReport {
@@ -56,7 +88,14 @@ impl StepReport {
                 0.0
             },
             breakdown,
+            offload: None,
         }
+    }
+
+    /// Attaches phase-level offload attribution.
+    pub fn with_offload(mut self, offload: OffloadComponents) -> Self {
+        self.offload = Some(offload);
+        self
     }
 
     /// Per-user tokens/second (the "tokens per second per user" of §1).
@@ -67,6 +106,28 @@ impl StepReport {
     /// Per-token latency in milliseconds.
     pub fn latency_ms(&self) -> f64 {
         self.step_ns / 1e6
+    }
+
+    /// The evaluation row as printed by `longsight serve`.
+    pub fn to_text(&self, name: &str) -> String {
+        let b = self.breakdown;
+        let mut out = format!(
+            "{name}: {} users @ {} tokens\n  throughput: {:.1} tok/s ({:.1} tok/s/user)\n  per-token latency: {:.3} ms\n",
+            self.users,
+            self.context,
+            self.throughput_tps,
+            self.tps_per_user(),
+            self.latency_ms()
+        );
+        out.push_str(&format!(
+            "  breakdown: weights {:.2} ms | attn {:.2} ms | merge {:.2} ms | drex {:.2} ms | cxl {:.2} ms\n",
+            b.gpu_weights_ns / 1e6,
+            b.gpu_attention_ns / 1e6,
+            b.gpu_merge_ns / 1e6,
+            b.drex_offload_ns / 1e6,
+            b.cxl_ns / 1e6
+        ));
+        out
     }
 }
 
@@ -107,6 +168,23 @@ pub trait ServingSystem {
     /// Largest batch this system can serve at `context` (0 when even one
     /// user is infeasible).
     fn max_users(&self, context: usize) -> usize;
+
+    /// Records an expanded trace of one decode step's internal timeline
+    /// (GPU phases, offload pipeline, link activity) into `rec`, anchored
+    /// at simulated time `anchor_ns`.
+    ///
+    /// Purely observational: implementations must not change any state
+    /// that [`ServingSystem::evaluate`] depends on, and with a disabled
+    /// recorder this must be free. The default records nothing, which is
+    /// correct for systems without internal structure worth tracing.
+    fn record_step_detail(
+        &mut self,
+        _users: usize,
+        _context: usize,
+        _rec: &mut Recorder,
+        _anchor_ns: f64,
+    ) {
+    }
 }
 
 #[cfg(test)]

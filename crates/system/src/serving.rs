@@ -8,13 +8,16 @@
 //! curves: requests arrive over time, join the running batch (continuous
 //! batching), decode their output tokens, and leave.
 
+use crate::attribution::{attribution_parts, TokenAttribution};
 use crate::degrade::{resolve_token, DegradeStats, TokenOutcome};
 use crate::prefill::prefill_cost;
-use crate::report::ServingSystem;
+use crate::report::{ServingSystem, StepReport};
 use longsight_cxl::CxlLink;
 use longsight_faults::{FaultInjector, FaultLog, RetryPolicy};
 use longsight_gpu::GpuSpec;
 use longsight_model::ModelConfig;
+use longsight_obs::json::fmt_f64;
+use longsight_obs::{ArgVal, Recorder};
 use longsight_tensor::SimRng;
 
 /// Offered-load description.
@@ -81,6 +84,45 @@ pub struct ServeMetrics {
     pub degraded_quality_delta: f64,
 }
 
+impl ServeMetrics {
+    /// The run summary as printed by `longsight loadtest` (four lines:
+    /// completion counts, throughput, token and request latency).
+    pub fn to_text(&self) -> String {
+        format!(
+            "  completed {} | rejected {} | in flight {}\n  throughput: {:.1} tok/s | mean batch {:.1}\n  token latency  p50 {:.2} ms  p99 {:.2} ms\n  request latency p50 {:.1} ms  p99 {:.1} ms\n",
+            self.completed,
+            self.rejected,
+            self.in_flight,
+            self.throughput_tps,
+            self.mean_batch,
+            self.p50_token_ms,
+            self.p99_token_ms,
+            self.p50_request_ms,
+            self.p99_request_ms,
+        )
+    }
+
+    /// Every field as a flat JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"completed\":{},\"rejected\":{},\"in_flight\":{},\"throughput_tps\":{},\"p50_token_ms\":{},\"p99_token_ms\":{},\"p50_request_ms\":{},\"p99_request_ms\":{},\"mean_batch\":{},\"retried_tokens\":{},\"degraded_tokens\":{},\"failed_requests\":{},\"degraded_quality_delta\":{}}}",
+            self.completed,
+            self.rejected,
+            self.in_flight,
+            fmt_f64(self.throughput_tps),
+            fmt_f64(self.p50_token_ms),
+            fmt_f64(self.p99_token_ms),
+            fmt_f64(self.p50_request_ms),
+            fmt_f64(self.p99_request_ms),
+            fmt_f64(self.mean_batch),
+            self.retried_tokens,
+            self.degraded_tokens,
+            self.failed_requests,
+            fmt_f64(self.degraded_quality_delta),
+        )
+    }
+}
+
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -111,7 +153,15 @@ pub fn simulate(
     model: &ModelConfig,
     workload: &WorkloadConfig,
 ) -> ServeMetrics {
-    simulate_impl(system, model, workload, None).0
+    simulate_impl(
+        system,
+        model,
+        workload,
+        None,
+        &mut Recorder::disabled(),
+        None,
+    )
+    .0
 }
 
 /// [`simulate`] under token-level fault injection.
@@ -135,7 +185,39 @@ pub fn simulate_with_faults(
     inj: &FaultInjector,
     retry: &RetryPolicy,
 ) -> (ServeMetrics, FaultLog) {
-    simulate_impl(system, model, workload, Some((inj, retry)))
+    simulate_impl(
+        system,
+        model,
+        workload,
+        Some((inj, retry)),
+        &mut Recorder::disabled(),
+        None,
+    )
+}
+
+/// [`simulate`] / [`simulate_with_faults`] with observability attached.
+///
+/// Every decode step emits a `decode.step` span on the `serving` track
+/// (with a nested `decode.retry_wait` child when fault penalties stretch
+/// the step), the first evaluation of each distinct `(batch, context)`
+/// shape records the system's expanded internal timeline at the simulated
+/// time it was first needed, every fault event lands on the `faults` track
+/// as an instant (1:1 with the returned [`FaultLog`]), and the run's
+/// aggregate counters/latency histograms populate `rec.metrics`. When
+/// `attr` is given, each generated token's latency is decomposed into the
+/// eight attribution components.
+///
+/// The simulated timeline is bit-identical to the unobserved entry points:
+/// recording only reads simulation state.
+pub fn simulate_observed(
+    system: &mut dyn ServingSystem,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    faults: Option<(&FaultInjector, &RetryPolicy)>,
+    rec: &mut Recorder,
+    attr: Option<&mut TokenAttribution>,
+) -> (ServeMetrics, FaultLog) {
+    simulate_impl(system, model, workload, faults, rec, attr)
 }
 
 fn simulate_impl(
@@ -143,6 +225,8 @@ fn simulate_impl(
     model: &ModelConfig,
     workload: &WorkloadConfig,
     faults: Option<(&FaultInjector, &RetryPolicy)>,
+    rec: &mut Recorder,
+    mut attr: Option<&mut TokenAttribution>,
 ) -> (ServeMetrics, FaultLog) {
     let faults = faults.filter(|(inj, _)| inj.is_enabled());
     let mut fault_log = FaultLog::new();
@@ -190,15 +274,28 @@ fn simulate_impl(
     let mut request_latencies: Vec<f64> = Vec::new();
     let mut rejected = 0usize;
     let mut generated_tokens = 0usize;
-    // Step-cost cache keyed by (batch, context bucket).
-    let mut cache: Vec<((usize, usize), Option<f64>)> = Vec::new();
+    let serving_track = rec.track("serving");
+    let faults_track = rec.track("faults");
+    let mut fault_cursor = 0usize;
+    // Step-cost cache keyed by (batch, context bucket). The first (and
+    // only) evaluation of each shape also records the system's expanded
+    // step timeline, anchored at the simulated time it was first needed.
+    let mut cache: Vec<((usize, usize), Option<StepReport>)> = Vec::new();
 
-    let mut step_cost = |sys: &mut dyn ServingSystem, users: usize, ctx: usize| -> Option<f64> {
+    let mut step_cost = |sys: &mut dyn ServingSystem,
+                         users: usize,
+                         ctx: usize,
+                         rec: &mut Recorder,
+                         at_ns: f64|
+     -> Option<StepReport> {
         let bucket = ctx.next_power_of_two();
         if let Some(&(_, v)) = cache.iter().find(|&&(k, _)| k == (users, bucket)) {
             return v;
         }
-        let v = sys.evaluate(users, bucket).ok().map(|r| r.step_ns);
+        let v = sys.evaluate(users, bucket).ok();
+        if v.is_some() {
+            sys.record_step_detail(users, bucket, rec, at_ns);
+        }
         cache.push(((users, bucket), v));
         v
     };
@@ -214,11 +311,11 @@ fn simulate_impl(
                 .map(|r| r.context)
                 .max()
                 .expect("non-empty");
-            if step_cost(system, active.len() + 1, max_ctx).is_some() {
+            if step_cost(system, active.len() + 1, max_ctx, rec, now).is_some() {
                 let mut admitted = a;
                 admitted.arrival_ns -= pf_ns; // fold prefill into latency
                 active.push(admitted);
-            } else if step_cost(system, 1, a.context).is_none() {
+            } else if step_cost(system, 1, a.context, rec, now).is_none() {
                 rejected += 1; // can never be served
             } else {
                 queue.push(a);
@@ -232,7 +329,7 @@ fn simulate_impl(
                 .chain(std::iter::once(a.context))
                 .max()
                 .expect("non-empty");
-            if step_cost(system, active.len() + 1, max_ctx).is_some() {
+            if step_cost(system, active.len() + 1, max_ctx, rec, now).is_some() {
                 active.push(a.clone());
                 false
             } else {
@@ -253,8 +350,12 @@ fn simulate_impl(
         // One synchronized decode step.
         let users = active.len();
         let max_ctx = active.iter().map(|r| r.context).max().expect("non-empty");
-        let mut dt = step_cost(system, users, max_ctx)
+        let report = step_cost(system, users, max_ctx, rec, now)
             .expect("active batch was admitted, so it must evaluate");
+        let base_dt = report.step_ns;
+        let mut dt = base_dt;
+        let step_start = now;
+        let mut batch_died = false;
         if let Some((inj, retry)) = faults {
             // Resolve every member's token through the degradation policy.
             // The batch is synchronized, so the worst member's retry/backoff
@@ -272,18 +373,46 @@ fn simulate_impl(
                     max_penalty = max_penalty.max(penalty);
                 }
             }
+            // Replay this step's fault events onto the trace (1:1 with the
+            // log) at the step's start time.
+            fault_cursor += fault_log.record_tail_into(fault_cursor, rec, faults_track, step_start);
             active.retain(|r| !dead.contains(&r.id));
             dt += max_penalty;
-            if active.is_empty() {
-                now += dt;
-                continue;
+            batch_died = active.is_empty();
+        }
+        if rec.is_enabled() {
+            let span = rec.open_with(
+                serving_track,
+                "decode.step",
+                step_start,
+                &[
+                    ("users", ArgVal::U(users as u64)),
+                    ("ctx", ArgVal::U(max_ctx as u64)),
+                ],
+            );
+            if dt > base_dt {
+                // The worst token's deadline overrun paces the batch.
+                rec.leaf_with(
+                    serving_track,
+                    "decode.retry_wait",
+                    step_start + base_dt,
+                    step_start + dt,
+                    &[("penalty_ns", ArgVal::F(dt - base_dt))],
+                );
             }
+            rec.close(span, step_start + dt);
         }
         now += dt;
+        if batch_died {
+            continue;
+        }
         if now > 4.0 * horizon_ns {
             break; // overload guard: stop accounting far past the window
         }
         step_times.push((dt, active.len()));
+        if let Some(a) = attr.as_deref_mut() {
+            a.record_step(attribution_parts(&report, dt), dt, active.len().min(64));
+        }
         generated_tokens += active.len();
         for r in &mut active {
             r.remaining -= 1;
@@ -336,6 +465,25 @@ fn simulate_impl(
             degrade.degraded_tokens as f64 / generated_tokens as f64
         },
     };
+    if rec.is_enabled() {
+        for &t in &token_lat {
+            rec.observe("serving.token_latency_ms", t);
+        }
+        for &r in &request_latencies {
+            rec.observe("serving.request_latency_ms", r);
+        }
+        rec.counter_add("serving.completed", metrics.completed as u64);
+        rec.counter_add("serving.rejected", metrics.rejected as u64);
+        rec.counter_add("serving.generated_tokens", generated_tokens as u64);
+        rec.counter_add("serving.retried_tokens", metrics.retried_tokens as u64);
+        rec.counter_add("serving.degraded_tokens", metrics.degraded_tokens as u64);
+        rec.counter_add("serving.failed_requests", metrics.failed_requests as u64);
+        rec.counter_add("serving.fault_events", fault_log.len() as u64);
+        rec.gauge_set("serving.throughput_tps", metrics.throughput_tps);
+        rec.gauge_set("serving.mean_batch", metrics.mean_batch);
+        rec.gauge_set("serving.p50_token_ms", metrics.p50_token_ms);
+        rec.gauge_set("serving.p99_token_ms", metrics.p99_token_ms);
+    }
     (metrics, fault_log)
 }
 

@@ -6,8 +6,11 @@
 #   1. formatting check
 #   2. lint gate (clippy, warnings are errors)
 #   3. no-unwrap gate for the fault-hardened crates
-#   4. release build (all crates, all bench targets compile)
-#   5. full test suite (unit + property + integration + doc tests)
+#   4. sim-time-only gate (no wall-clock reads in the instrumented crates)
+#   5. release build (all crates, all bench targets compile)
+#   6. observability smoke: serve/profile with --trace-out, validate the
+#      exported Chrome trace JSON round-trips through `trace-validate`
+#   7. full test suite (unit + property + integration + doc tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,8 +36,32 @@ if [ -n "$unwrap_hits" ]; then
     exit 1
 fi
 
+# Traces and metrics must carry *simulated* time only: a wall-clock read
+# anywhere in the instrumented crates would break byte-identical exports
+# across thread counts and reruns.
+echo "== sim-time gate (no std::time::Instant / SystemTime) =="
+clock_hits=$(grep -rn 'std::time::Instant\|SystemTime' \
+    crates/obs/src crates/system/src crates/drex/src \
+    crates/dram/src crates/cxl/src crates/faults/src || true)
+if [ -n "$clock_hits" ]; then
+    echo "error: wall-clock reads in sim-time-instrumented crates:" >&2
+    echo "$clock_hits" >&2
+    exit 1
+fi
+
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
+
+echo "== observability smoke (serve/profile --trace-out, trace-validate) =="
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+target/release/longsight serve --model 8b --ctx 131072 --users 4 \
+    --trace-out "$obs_tmp/serve_trace.json" --metrics-out "$obs_tmp/serve_metrics.json"
+target/release/longsight profile --model 8b --duration 5 \
+    --fault-profile mild --fault-seed 11 \
+    --trace-out "$obs_tmp/profile_trace.json" --metrics-out "$obs_tmp/profile_metrics.json"
+target/release/longsight trace-validate --file "$obs_tmp/serve_trace.json"
+target/release/longsight trace-validate --file "$obs_tmp/profile_trace.json"
 
 echo "== cargo test -q --offline =="
 cargo test --workspace --offline -q

@@ -9,6 +9,7 @@
 //! * [`exec`] — deterministic parallel maps (bit-identical at any thread
 //!   count; `LONGSIGHT_THREADS` / `--threads`),
 //! * [`tensor`] — numeric kernels (packed sign bits, top-k, small linalg),
+//! * [`obs`] — sim-time span tracing and metrics (Chrome-trace export),
 //! * [`model`] — transformer substrate, synthetic corpora, perplexity,
 //! * [`core`] — the paper's algorithm: SCF, ITQ, hybrid attention, tuning,
 //! * [`dram`] — LPDDR5X bank/channel timing simulator,
@@ -35,5 +36,6 @@ pub use longsight_exec as exec;
 pub use longsight_faults as faults;
 pub use longsight_gpu as gpu;
 pub use longsight_model as model;
+pub use longsight_obs as obs;
 pub use longsight_system as system;
 pub use longsight_tensor as tensor;

@@ -8,7 +8,7 @@
 //! counters from a fixed-batch probe of the faulted DReX layer. A second
 //! sweep runs the closed-loop serving simulation under token-level faults
 //! and reports the retried / degraded / failed counters of
-//! [`ServeMetrics`](longsight_system::serving::ServeMetrics).
+//! [`ServeMetrics`].
 //!
 //! Everything is seed-deterministic: the same fault seed reproduces the
 //! exact fault timeline (and therefore every number here) at any thread

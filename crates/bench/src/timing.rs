@@ -46,10 +46,10 @@ pub struct Timing {
 
 /// Times `f`, returning per-iteration statistics.
 ///
-/// Calibrates an inner iteration count targeting [`TARGET_SAMPLE_NS`] per
-/// sample, warms up for [`WARMUP_NS`], then records [`SAMPLES`] samples and
-/// summarizes them. Wrap inputs/outputs in [`std::hint::black_box`] inside
-/// `f` to keep the optimizer honest.
+/// Calibrates an inner iteration count targeting ~2 ms per sample, warms
+/// up for ~100 ms, then records 25 samples and summarizes them. Wrap
+/// inputs/outputs in [`std::hint::black_box`] inside `f` to keep the
+/// optimizer honest.
 pub fn measure<R, F: FnMut() -> R>(mut f: F) -> Timing {
     // Calibration: grow the iteration count until one batch is measurable,
     // then scale to the target sample time.

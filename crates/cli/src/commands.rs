@@ -13,7 +13,10 @@ use longsight_model::{
     corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
 };
 use longsight_obs::Recorder;
-use longsight_system::serving::{simulate_observed, WorkloadConfig};
+use longsight_sched::{SchedPolicy, SloMix};
+use longsight_system::serving::{
+    simulate_observed, simulate_scheduled, SchedOptions, WorkloadConfig,
+};
 use longsight_system::{
     AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem,
     SlidingWindowSystem, TokenAttribution,
@@ -54,6 +57,47 @@ fn fault_flags(a: &Args) -> Result<(FaultProfile, u64, RetryPolicy), String> {
     Ok((profile, seed, retry))
 }
 
+/// Parses the scheduler flags (`--sched`, `--mix`, `--page-tokens`,
+/// `--prefill-chunk`, `--watermark`). Returns `None` when none are given —
+/// the command then takes the legacy FIFO path with no extra output.
+///
+/// `--mix` defaults to the representative 0.5/0.3/0.2 mix under
+/// `--sched slo-aware` and to all-interactive under `--sched fifo`, so a
+/// bare `--sched slo-aware` exercises preemption out of the box.
+fn sched_flags(a: &Args) -> Result<Option<SchedOptions>, String> {
+    let any = ["sched", "mix", "page-tokens", "prefill-chunk", "watermark"]
+        .iter()
+        .any(|k| a.get(k).is_some());
+    if !any {
+        return Ok(None);
+    }
+    let policy = SchedPolicy::parse(a.get("sched").unwrap_or("slo-aware"))?;
+    let mix = match a.get("mix") {
+        Some(spec) => SloMix::parse(spec)?,
+        None if policy == SchedPolicy::SloAware => SloMix::mixed(),
+        None => SloMix::all_interactive(),
+    };
+    let watermark: f64 = a.get_or("watermark", 0.9)?;
+    if !(watermark > 0.0 && watermark <= 1.0) {
+        return Err(format!("--watermark must be in (0, 1], got {watermark}"));
+    }
+    let page_tokens: usize = a.get_or("page-tokens", 1024)?;
+    if page_tokens == 0 {
+        return Err("--page-tokens must be positive".into());
+    }
+    let prefill_chunk_tokens: usize = a.get_or("prefill-chunk", 8192)?;
+    if prefill_chunk_tokens == 0 {
+        return Err("--prefill-chunk must be positive".into());
+    }
+    Ok(Some(SchedOptions {
+        policy,
+        mix,
+        page_tokens,
+        prefill_chunk_tokens,
+        hbm_watermark: watermark,
+    }))
+}
+
 /// Builds the recorder selected by `--trace-out` / `--metrics-out`
 /// (disabled — and thereby free — when neither flag is given) together
 /// with the two output paths.
@@ -83,6 +127,44 @@ fn write_observability(
         std::fs::write(path, rec.metrics_json())
             .map_err(|e| format!("writing --metrics-out {path}: {e}"))?;
         println!("  metrics written to {path}");
+    }
+    Ok(())
+}
+
+/// Prints the paged KV-cache capacity panel for `serve` when
+/// `--page-tokens` / `--watermark` is given: page geometry on both tiers
+/// and how many users of this context the memory manager would admit.
+fn print_paged_kv(a: &Args, sys: &dyn ServingSystem, ctx: usize) -> Result<(), String> {
+    if a.get("page-tokens").is_none() && a.get("watermark").is_none() {
+        return Ok(());
+    }
+    let page_tokens: usize = a.get_or("page-tokens", 1024)?;
+    if page_tokens == 0 {
+        return Err("--page-tokens must be positive".into());
+    }
+    let watermark: f64 = a.get_or("watermark", 0.9)?;
+    if !(watermark > 0.0 && watermark <= 1.0) {
+        return Err(format!("--watermark must be in (0, 1], got {watermark}"));
+    }
+    match sys.kv_geometry(page_tokens) {
+        Some(g) => {
+            println!(
+                "  paged KV: {} tokens/page | HBM {} pages ({} usable at {:.0}% watermark) | DReX {} pages",
+                g.page_tokens,
+                g.hbm_capacity_pages,
+                g.page_config(watermark).hbm_limit_pages(),
+                100.0 * watermark,
+                g.drex_capacity_pages
+            );
+            println!(
+                "  paged KV admits {} users at {} tokens ({} HBM + {} DReX pages each)",
+                g.memory_max_users(ctx, watermark),
+                ctx,
+                g.hbm_pages_for(ctx),
+                g.drex_pages_for(ctx)
+            );
+        }
+        None => println!("  paged KV: no page geometry for this system"),
     }
     Ok(())
 }
@@ -181,6 +263,8 @@ pub fn serve(a: &Args) -> Result<(), String> {
         "deadline-ms",
         "trace-out",
         "metrics-out",
+        "page-tokens",
+        "watermark",
     ])?;
     let model = model_flag(a)?;
     let ctx: usize = a.get_or("ctx", 131_072)?;
@@ -226,6 +310,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
             ),
         }
         println!("  max users at this context: {}", sys.max_users(ctx));
+        print_paged_kv(a, &sys, ctx)?;
         return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
     }
     let mut sys = build_system(sys_name, model)?;
@@ -246,6 +331,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
         ),
     }
     println!("  max users at this context: {}", sys.max_users(ctx));
+    print_paged_kv(a, sys.as_ref(), ctx)?;
     write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
 }
 
@@ -266,6 +352,11 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         "deadline-ms",
         "trace-out",
         "metrics-out",
+        "sched",
+        "mix",
+        "page-tokens",
+        "prefill-chunk",
+        "watermark",
     ])?;
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
@@ -276,9 +367,42 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         seed: a.get_or("seed", 7)?,
     };
     let (faults, fault_seed, retry) = fault_flags(a)?;
+    let sched_opts = sched_flags(a)?;
     let (mut rec, trace_out, metrics_out) = obs_flags(a);
     let mut sys = build_system(a.get("system").unwrap_or("longsight"), model.clone())?;
     let injected = faults.is_enabled();
+    if let Some(opts) = sched_opts {
+        let inj;
+        let fault_args = if injected {
+            inj = FaultInjector::new(faults, fault_seed);
+            Some((&inj, &retry))
+        } else {
+            None
+        };
+        let (m, rep, fault_log) =
+            simulate_scheduled(sys.as_mut(), &model, &wl, &opts, fault_args, &mut rec, None);
+        println!(
+            "{} under {:.1} req/s for {:.0}s ({}-{} ctx tokens), {} scheduler:",
+            sys.name(),
+            wl.arrivals_per_s,
+            wl.duration_s,
+            wl.context_tokens.0,
+            wl.context_tokens.1,
+            opts.policy.name()
+        );
+        print!("{}", m.to_text());
+        print!("{}", rep.to_text());
+        if injected {
+            println!(
+                "  faults (seed {fault_seed}): {} events | retried {} | degraded {} | failed requests {}",
+                fault_log.len(),
+                m.retried_tokens,
+                m.degraded_tokens,
+                m.failed_requests
+            );
+        }
+        return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
+    }
     let (m, fault_log) = if injected {
         let inj = FaultInjector::new(faults, fault_seed);
         simulate_observed(
@@ -659,6 +783,80 @@ mod tests {
         assert!(serve(&args(&["--deadline-ms", "-3"])).is_err());
         assert!(offload(&args(&["--deadline-ms", "nan"])).is_err());
         assert!(loadtest(&args(&["--fault-seed", "abc"])).is_err());
+    }
+
+    #[test]
+    fn scheduled_loadtest_runs_both_policies() {
+        for policy in ["slo-aware", "fifo"] {
+            loadtest(&args(&[
+                "--model",
+                "1b",
+                "--rate",
+                "4",
+                "--duration",
+                "2",
+                "--sched",
+                policy,
+            ]))
+            .unwrap();
+        }
+        loadtest(&args(&[
+            "--model",
+            "1b",
+            "--rate",
+            "4",
+            "--duration",
+            "2",
+            "--sched",
+            "slo-aware",
+            "--mix",
+            "0.6,0.2,0.2",
+            "--watermark",
+            "0.8",
+            "--page-tokens",
+            "2048",
+            "--prefill-chunk",
+            "4096",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn serve_prints_paged_kv_panel() {
+        serve(&args(&[
+            "--model",
+            "1b",
+            "--ctx",
+            "65536",
+            "--users",
+            "2",
+            "--page-tokens",
+            "1024",
+        ]))
+        .unwrap();
+        serve(&args(&[
+            "--system",
+            "gpu",
+            "--ctx",
+            "32768",
+            "--watermark",
+            "0.5",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_sched_flags_are_rejected() {
+        assert!(loadtest(&args(&["--sched", "bogus"])).is_err());
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--mix", "0.5"])).is_err());
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--mix", "0,0,0"])).is_err());
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--mix", "a,b,c"])).is_err());
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--watermark", "0"])).is_err());
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--watermark", "1.5"])).is_err());
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--page-tokens", "0"])).is_err());
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--prefill-chunk", "0"])).is_err());
+        assert!(serve(&args(&["--page-tokens", "0"])).is_err());
+        assert!(serve(&args(&["--watermark", "-0.1"])).is_err());
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! longsight quality   [--ctx 1024] [--window 256] [--k 128] [--threshold 18] [--itq true]
 //! longsight serve     [--model 1b|8b] [--ctx 131072] [--users 8] [--system longsight|gpu|gpu2|attacc|window]
 //!                     [--fault-profile none|mild|severe|RATE] [--fault-seed N] [--deadline-ms MS]
-//!                     [--trace-out FILE] [--metrics-out FILE]
+//!                     [--page-tokens N] [--watermark F] [--trace-out FILE] [--metrics-out FILE]
 //! longsight loadtest  [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 32768] [--ctx-max 131072]
-//!                     [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
+//!                     [--sched fifo|slo-aware] [--mix I,B,E] [--page-tokens N] [--prefill-chunk N]
+//!                     [--watermark F] [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
 //!                     [--trace-out FILE] [--metrics-out FILE]
 //! longsight profile   [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 131072] [--ctx-max 131072]
 //!                     [--fault-profile ...] [--fault-seed N] [--trace-out FILE] [--metrics-out FILE]
@@ -109,10 +110,14 @@ commands:
                                    [--system longsight|gpu|gpu2|attacc|window]
                                    [--fault-profile none|mild|severe|RATE]
                                    [--fault-seed N] [--deadline-ms MS]
+                                   [--page-tokens N] [--watermark F]
                                    [--trace-out FILE] [--metrics-out FILE]
   loadtest   closed-loop Poisson serving simulation with percentiles
                                    [--model 1b|8b] [--rate R] [--duration S]
                                    [--ctx-min N] [--ctx-max N]
+                                   [--sched fifo|slo-aware] [--mix I,B,E]
+                                   [--page-tokens N] [--prefill-chunk N]
+                                   [--watermark F]
                                    [--fault-profile ...] [--fault-seed N]
                                    [--deadline-ms MS]
                                    [--trace-out FILE] [--metrics-out FILE]

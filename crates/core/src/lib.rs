@@ -1,10 +1,10 @@
 //! LongSight's sparse-attention algorithm (the paper's primary contribution).
 //!
 //! The pipeline has three stages (paper §5): **filtering** via
-//! Sign-Concordance Filtering ([`scf`]), full-precision **scoring**, and
+//! Sign-Concordance Filtering (`scf`), full-precision **scoring**, and
 //! top-*k* **ranking** — wrapped in a hybrid strategy that keeps a dense
 //! sliding window plus attention sinks on the "GPU" side
-//! ([`LongSightBackend`]). [`itq`] provides the Iterative Quantization
+//! ([`LongSightBackend`]). `itq` provides the Iterative Quantization
 //! rotation that rebalances sign bits on clustered keys; [`training`] fits
 //! those rotations from live model traces; [`tuner`] implements the paper's
 //! greedy per-head threshold tuning; [`trace_eval`] measures retrieval

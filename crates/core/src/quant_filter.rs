@@ -1,7 +1,7 @@
 //! Quantized approximate-score filtering — the DynaX-style baseline
 //! (paper §3.2).
 //!
-//! DynaX "leverag[es] sparsity within query vectors and employ[s] 4- or 6-bit
+//! DynaX "leverag\[es\] sparsity within query vectors and employ\[s\] 4- or 6-bit
 //! quantization for queries and keys to reduce the cost of computing
 //! approximate attention scores", then builds a block mask from those scores.
 //! Its fundamental bound, which the paper calls out: even at 4 bits with a

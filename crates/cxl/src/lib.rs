@@ -6,7 +6,7 @@
 //! reads top-k results from Response Buffers — all over the CXL/PCIe link.
 //!
 //! The paper measures these overheads by emulating CXL on a dual-socket Xeon
-//! (following Pond [18]) and folds them into its performance model; this
+//! (following Pond \[18\]) and folds them into its performance model; this
 //! module exposes the same knobs with literature-consistent defaults for a
 //! PCIe 5.0 ×16 link.
 //!

@@ -189,6 +189,29 @@ pub fn max_users(
     geometry.total_bytes() / per_user
 }
 
+/// Bytes one KV-cache page of `page_tokens` tokens occupies on the device,
+/// across all `kv_heads` × `layers` head-layers (sign + key + value
+/// objects). The paged scheduler allocates tail pages at this granularity.
+pub fn kv_page_bytes(kv_heads: usize, layers: usize, head_dim: usize, page_tokens: usize) -> usize {
+    ObjectFootprint::for_keys(page_tokens, head_dim).total() * kv_heads * layers
+}
+
+/// Total KV pages of `page_tokens` tokens the device geometry can hold —
+/// the DReX tier capacity of the paged KV-cache manager.
+pub fn device_kv_pages(
+    geometry: &Geometry,
+    kv_heads: usize,
+    layers: usize,
+    head_dim: usize,
+    page_tokens: usize,
+) -> usize {
+    let per_page = kv_page_bytes(kv_heads, layers, head_dim, page_tokens);
+    if per_page == 0 {
+        return usize::MAX;
+    }
+    geometry.total_bytes() / per_page
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +294,24 @@ mod tests {
         let at_64k = max_users(&g, 8, 32, 128, 65_536);
         assert!(at_32k >= 2 * at_64k);
         assert!(at_32k > 0);
+    }
+
+    #[test]
+    fn kv_page_bytes_matches_per_user_footprint() {
+        // A context split into pages occupies the same bytes as the whole
+        // context (both round at page granularity when aligned).
+        let per_page = kv_page_bytes(8, 32, 128, 1024);
+        let whole = ObjectFootprint::for_keys(8 * 1024, 128).total() * 8 * 32;
+        assert_eq!(per_page * 8, whole);
+    }
+
+    #[test]
+    fn device_pages_times_page_bytes_fills_the_device() {
+        let g = Geometry::drex();
+        let pages = device_kv_pages(&g, 8, 32, 128, 1024);
+        let per_page = kv_page_bytes(8, 32, 128, 1024);
+        assert!(pages > 0);
+        assert!(pages * per_page <= g.total_bytes());
+        assert!((pages + 1) * per_page > g.total_bytes());
     }
 }

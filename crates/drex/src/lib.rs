@@ -3,7 +3,7 @@
 //!
 //! * [`layout`] — Key Blocks, Context Slices, Multi-Layer Context Slices,
 //!   and User Partitions (§7.3), plus capacity planning,
-//! * [`offload`](crate::offload) — PFU/NMA offload timing driven by the
+//! * `offload` — PFU/NMA offload timing driven by the
 //!   LPDDR5X simulator and the paper's RTL constants (§7.4, §8.2),
 //! * [`DccSim`] — the DReX CXL Controller: request queue, NMA scheduling,
 //!   response buffers, polling (§7.2),

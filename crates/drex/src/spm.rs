@@ -2,7 +2,8 @@
 //!
 //! Each NMA holds a *Query SPM* (the GQA group's query vectors during
 //! scoring) and an *Address SPM* (the 32-bit [`crate::IdAddress`]es of
-//! surviving keys awaiting fetch). The paper sizes these from [5] and notes
+//! surviving keys awaiting fetch). The paper sizes these from its ref. \[5\]
+//! and notes
 //! LongSight "only slightly increases the SPM size of the NMAs" over DReX.
 //!
 //! The Address SPM is a real constraint: when a filtering epoch produces

@@ -188,28 +188,34 @@ pub struct RetryPolicy {
     pub backoff_base_ns: f64,
     /// Exponential backoff growth per retry.
     pub backoff_multiplier: f64,
+    /// Ceiling on any single backoff, ns: the exponential schedule
+    /// saturates here instead of growing without bound.
+    pub backoff_cap_ns: f64,
 }
 
 impl RetryPolicy {
     /// Serving defaults: a 2 ms offload deadline (well above any healthy
     /// single-layer offload), 2 retries, 50 µs base backoff doubling per
-    /// retry.
+    /// retry, saturating at a 1 ms cap (far above the default schedule, so
+    /// the cap only binds under reconfigured deep-retry policies).
     pub fn serving_default() -> Self {
         Self {
             offload_deadline_ns: 2.0e6,
             max_retries: 2,
             backoff_base_ns: 50_000.0,
             backoff_multiplier: 2.0,
+            backoff_cap_ns: 1.0e6,
         }
     }
 
     /// Backoff before retry `attempt` (1-based: the wait preceding the
-    /// attempt with that index).
+    /// attempt with that index), saturated at [`RetryPolicy::backoff_cap_ns`].
     pub fn backoff_ns(&self, attempt: u32) -> f64 {
-        self.backoff_base_ns
+        let raw = self.backoff_base_ns
             * self
                 .backoff_multiplier
-                .powi(attempt.saturating_sub(1) as i32)
+                .powi(attempt.saturating_sub(1) as i32);
+        raw.min(self.backoff_cap_ns)
     }
 
     /// Worst-case time a fully-degraded token spends before falling back to

@@ -7,7 +7,7 @@
 //!   a tiny test configuration,
 //! * [`ModelWeights`] — synthetic weight generation, including a
 //!   hand-constructed *induction-head* transformer whose loss genuinely
-//!   depends on long-range retrieval (see [`weights`] module docs),
+//!   depends on long-range retrieval (see the `weights` module docs),
 //! * [`Model`] — a decode-style GQA forward pass (RMSNorm, RoPE, SwiGLU)
 //!   generic over an [`AttentionBackend`],
 //! * reference backends: [`DenseBackend`] (exact attention) and

@@ -13,7 +13,7 @@
 //!   a Gaussian mixture around a shared offset direction.
 //! * **Sparse ground-truth relevance** — attention mass concentrates on a
 //!   small set of past tokens whose keys have high dot-product similarity
-//!   with the query (§1, corroborating [12]). Each generated query embeds a
+//!   with the query (§1, corroborating \[12\]). Each generated query embeds a
 //!   known set of relevant positions, giving exact recall ground truth.
 //! * **RoPE** — content-matching energy lives in the low-frequency rotary
 //!   dimensions (as in trained retrieval heads), so relevance survives

@@ -1,0 +1,40 @@
+//! longsight-sched — SLO-aware continuous batching over a paged HBM/DReX
+//! KV cache.
+//!
+//! LongSight's two-tier KV layout (HBM-resident sliding window + sinks,
+//! long-range tail on DReX) induces a natural paged memory hierarchy. This
+//! crate turns that hierarchy into an admission-control and scheduling
+//! problem:
+//!
+//! * [`PagedKvManager`] is the block-granular page ledger: every request
+//!   holds window pages against the HBM capacity (gated by a watermark) and
+//!   tail pages against the DReX capacity. Admission becomes a memory
+//!   decision, and the ledger's invariants (no leaks, watermark never
+//!   exceeded) are cheap to audit at the end of a run.
+//! * [`Scheduler`] is the continuous-batching state machine: SLO-class
+//!   priority queues ([`SloClass`]), chunked prefill interleaved with
+//!   decode steps, preemption-by-eviction of best-effort requests to
+//!   DReX-resident state, and a deterministic restore-or-recompute cost on
+//!   resume.
+//!
+//! The crate is dependency-free and knows nothing about latency models or
+//! observability: feasibility is a callback, costs arrive precomputed on
+//! each [`SchedRequest`], and decisions come back as [`SchedEvent`]s. The
+//! serving loop in `longsight-system` owns simulated time and translates
+//! events into trace instants, which keeps every scheduling decision a pure
+//! function of the (seed, workload, config) triple — bit-identical at any
+//! thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pages;
+pub mod request;
+pub mod scheduler;
+
+pub use pages::{AllocError, PageConfig, PageStats, PagedKvManager};
+pub use request::{KvDeviceGeometry, SchedRequest, SloClass, SloMix};
+pub use scheduler::{
+    ActiveEntry, ClassReport, Completion, SchedConfig, SchedEvent, SchedPolicy, SchedReport,
+    Scheduler, StepPlan,
+};

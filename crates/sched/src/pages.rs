@@ -1,0 +1,470 @@
+//! Paged KV-cache memory manager for the two-tier HBM / DReX hierarchy.
+//!
+//! LongSight's hybrid attention splits every request's KV state into an
+//! HBM-resident sliding window (plus sinks) and a DReX-resident long-range
+//! tail. This module tracks both tiers at page (block) granularity against
+//! the configured device capacities, so admission control becomes a memory
+//! decision: a request is admitted iff its window pages fit under the HBM
+//! watermark *and* its tail pages fit in DReX.
+//!
+//! The manager is pure bookkeeping — it never computes latency — and it
+//! checks its page-count invariants (per-request sums match the device
+//! totals, capacities respected in enforcing mode) after every mutation in
+//! debug builds. [`PagedKvManager::check_invariants`] is public so tests can
+//! assert them in release builds too.
+
+/// Page-granular capacity description of the two KV tiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageConfig {
+    /// Tokens per KV page (block granularity of alloc/free).
+    pub page_tokens: usize,
+    /// HBM pages available for KV windows (device capacity minus weights).
+    pub hbm_capacity_pages: usize,
+    /// DReX pages available for long-range tails.
+    pub drex_capacity_pages: usize,
+    /// High watermark as a fraction of HBM capacity. In enforcing mode no
+    /// allocation may push HBM usage past `floor(capacity × watermark)`;
+    /// the headroom above it absorbs transient growth.
+    pub hbm_watermark: f64,
+}
+
+impl PageConfig {
+    /// A configuration with effectively unlimited capacity — used when the
+    /// serving system cannot describe its device geometry, so the scheduler
+    /// falls back to feasibility-only admission while still tracking pages.
+    pub fn unbounded(page_tokens: usize) -> Self {
+        Self {
+            page_tokens: page_tokens.max(1),
+            hbm_capacity_pages: usize::MAX / 4,
+            drex_capacity_pages: usize::MAX / 4,
+            hbm_watermark: 1.0,
+        }
+    }
+
+    /// Pages needed to hold `tokens` tokens (zero tokens → zero pages).
+    pub fn pages_for(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.page_tokens.max(1))
+    }
+
+    /// The enforced HBM ceiling: `floor(capacity × watermark)` pages.
+    pub fn hbm_limit_pages(&self) -> usize {
+        let limit = (self.hbm_capacity_pages as f64) * self.hbm_watermark.clamp(0.0, 1.0);
+        limit as usize
+    }
+}
+
+/// Why an allocation was refused (enforcing mode only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// The HBM watermark would be exceeded.
+    HbmExhausted {
+        /// Pages requested.
+        requested: usize,
+        /// Pages currently in use.
+        used: usize,
+        /// The watermark-derived ceiling.
+        limit: usize,
+    },
+    /// The DReX device would overflow.
+    DrexExhausted {
+        /// Pages requested.
+        requested: usize,
+        /// Pages currently in use.
+        used: usize,
+        /// Device capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::HbmExhausted {
+                requested,
+                used,
+                limit,
+            } => write!(
+                f,
+                "HBM pages exhausted: want {requested}, {used}/{limit} in use"
+            ),
+            AllocError::DrexExhausted {
+                requested,
+                used,
+                capacity,
+            } => write!(
+                f,
+                "DReX pages exhausted: want {requested}, {used}/{capacity} in use"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Point-in-time usage summary of the manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageStats {
+    /// HBM pages currently allocated.
+    pub hbm_used: usize,
+    /// DReX pages currently allocated.
+    pub drex_used: usize,
+    /// Peak HBM pages ever allocated.
+    pub peak_hbm: usize,
+    /// Peak DReX pages ever allocated.
+    pub peak_drex: usize,
+    /// The watermark-derived HBM ceiling.
+    pub hbm_limit: usize,
+    /// DReX device capacity in pages.
+    pub drex_capacity: usize,
+    /// Requests currently holding pages.
+    pub holders: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    id: usize,
+    hbm: usize,
+    drex: usize,
+}
+
+/// Block-granular allocator over the HBM window tier and the DReX tail tier.
+///
+/// In *enforcing* mode (`enforce = true`) allocations fail when they would
+/// exceed the HBM watermark or the DReX capacity. In tracking mode every
+/// allocation succeeds and the manager only records usage and peaks — this
+/// is what the FIFO policy uses, where admission is decided by step
+/// feasibility alone and pages are bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PagedKvManager {
+    cfg: PageConfig,
+    enforce: bool,
+    entries: Vec<Entry>,
+    hbm_used: usize,
+    drex_used: usize,
+    peak_hbm: usize,
+    peak_drex: usize,
+}
+
+impl PagedKvManager {
+    /// Creates a manager over `cfg`, enforcing capacities iff `enforce`.
+    pub fn new(cfg: PageConfig, enforce: bool) -> Self {
+        Self {
+            cfg,
+            enforce,
+            entries: Vec::new(),
+            hbm_used: 0,
+            drex_used: 0,
+            peak_hbm: 0,
+            peak_drex: 0,
+        }
+    }
+
+    /// The capacity configuration.
+    pub fn config(&self) -> &PageConfig {
+        &self.cfg
+    }
+
+    /// Whether capacities are enforced.
+    pub fn is_enforcing(&self) -> bool {
+        self.enforce
+    }
+
+    fn idx(&self, id: usize) -> Option<usize> {
+        self.entries.iter().position(|e| e.id == id)
+    }
+
+    fn bump_peaks(&mut self) {
+        self.peak_hbm = self.peak_hbm.max(self.hbm_used);
+        self.peak_drex = self.peak_drex.max(self.drex_used);
+    }
+
+    /// Whether `extra` more HBM pages would fit under the watermark ceiling.
+    pub fn hbm_fits(&self, extra: usize) -> bool {
+        self.hbm_used + extra <= self.cfg.hbm_limit_pages()
+    }
+
+    /// Whether `extra` more DReX pages would fit in the device.
+    pub fn drex_fits(&self, extra: usize) -> bool {
+        self.drex_used + extra <= self.cfg.drex_capacity_pages
+    }
+
+    /// Allocates `hbm` window pages and `drex` tail pages for request `id`.
+    ///
+    /// The request must not already hold pages. In enforcing mode the
+    /// allocation is all-or-nothing: on error no state changes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the exhausted tier in enforcing mode.
+    pub fn try_alloc(&mut self, id: usize, hbm: usize, drex: usize) -> Result<(), AllocError> {
+        debug_assert!(
+            self.idx(id).is_none(),
+            "request {id} already holds pages; free before re-allocating"
+        );
+        if self.enforce {
+            if !self.hbm_fits(hbm) {
+                return Err(AllocError::HbmExhausted {
+                    requested: hbm,
+                    used: self.hbm_used,
+                    limit: self.cfg.hbm_limit_pages(),
+                });
+            }
+            if !self.drex_fits(drex) {
+                return Err(AllocError::DrexExhausted {
+                    requested: drex,
+                    used: self.drex_used,
+                    capacity: self.cfg.drex_capacity_pages,
+                });
+            }
+        }
+        self.entries.push(Entry { id, hbm, drex });
+        self.hbm_used += hbm;
+        self.drex_used += drex;
+        self.bump_peaks();
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        Ok(())
+    }
+
+    /// Releases request `id`'s HBM window pages (eviction to DReX-resident
+    /// state), keeping its tail pages. Returns the pages freed.
+    pub fn release_hbm(&mut self, id: usize) -> usize {
+        let Some(i) = self.idx(id) else { return 0 };
+        let freed = self.entries[i].hbm;
+        self.entries[i].hbm = 0;
+        self.hbm_used -= freed;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        freed
+    }
+
+    /// Re-acquires `hbm` window pages for an evicted request `id` (resume).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::HbmExhausted`] in enforcing mode when the
+    /// watermark would be breached.
+    pub fn regain_hbm(&mut self, id: usize, hbm: usize) -> Result<(), AllocError> {
+        let Some(i) = self.idx(id) else {
+            return self.try_alloc(id, hbm, 0);
+        };
+        if self.enforce && !self.hbm_fits(hbm) {
+            return Err(AllocError::HbmExhausted {
+                requested: hbm,
+                used: self.hbm_used,
+                limit: self.cfg.hbm_limit_pages(),
+            });
+        }
+        self.entries[i].hbm += hbm;
+        self.hbm_used += hbm;
+        self.bump_peaks();
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        Ok(())
+    }
+
+    /// Releases request `id`'s DReX tail pages (degradation to window-only
+    /// attention abandons the long-range tail). Returns the pages freed.
+    pub fn release_drex(&mut self, id: usize) -> usize {
+        let Some(i) = self.idx(id) else { return 0 };
+        let freed = self.entries[i].drex;
+        self.entries[i].drex = 0;
+        self.drex_used -= freed;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        freed
+    }
+
+    /// Frees everything request `id` holds (completion, failure, rejection
+    /// of a resumed request). Returns `(hbm, drex)` pages freed.
+    pub fn free_all(&mut self, id: usize) -> (usize, usize) {
+        let Some(i) = self.idx(id) else { return (0, 0) };
+        let e = self.entries.swap_remove(i);
+        self.hbm_used -= e.hbm;
+        self.drex_used -= e.drex;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        (e.hbm, e.drex)
+    }
+
+    /// Pages currently held by request `id`, as `(hbm, drex)`.
+    pub fn pages_of(&self, id: usize) -> Option<(usize, usize)> {
+        self.idx(id)
+            .map(|i| (self.entries[i].hbm, self.entries[i].drex))
+    }
+
+    /// IDs of all requests currently holding pages (unordered).
+    pub fn holder_ids(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// HBM pages currently in use.
+    pub fn hbm_used(&self) -> usize {
+        self.hbm_used
+    }
+
+    /// DReX pages currently in use.
+    pub fn drex_used(&self) -> usize {
+        self.drex_used
+    }
+
+    /// Usage summary.
+    pub fn stats(&self) -> PageStats {
+        PageStats {
+            hbm_used: self.hbm_used,
+            drex_used: self.drex_used,
+            peak_hbm: self.peak_hbm,
+            peak_drex: self.peak_drex,
+            hbm_limit: self.cfg.hbm_limit_pages(),
+            drex_capacity: self.cfg.drex_capacity_pages,
+            holders: self.entries.len(),
+        }
+    }
+
+    /// Verifies the page-count invariants: per-request sums match the
+    /// device totals, IDs are unique, and (in enforcing mode) the HBM
+    /// watermark and DReX capacity were never exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let hbm_sum: usize = self.entries.iter().map(|e| e.hbm).sum();
+        let drex_sum: usize = self.entries.iter().map(|e| e.drex).sum();
+        if hbm_sum != self.hbm_used {
+            return Err(format!(
+                "HBM ledger drift: entries sum {hbm_sum} != used {}",
+                self.hbm_used
+            ));
+        }
+        if drex_sum != self.drex_used {
+            return Err(format!(
+                "DReX ledger drift: entries sum {drex_sum} != used {}",
+                self.drex_used
+            ));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if self.entries[i + 1..].iter().any(|o| o.id == e.id) {
+                return Err(format!("duplicate page-table entry for request {}", e.id));
+            }
+        }
+        if self.enforce {
+            let limit = self.cfg.hbm_limit_pages();
+            if self.hbm_used > limit {
+                return Err(format!(
+                    "HBM watermark exceeded: {} > {limit} pages",
+                    self.hbm_used
+                ));
+            }
+            if self.drex_used > self.cfg.drex_capacity_pages {
+                return Err(format!(
+                    "DReX capacity exceeded: {} > {} pages",
+                    self.drex_used, self.cfg.drex_capacity_pages
+                ));
+            }
+            if self.peak_hbm > limit {
+                return Err(format!(
+                    "HBM watermark was exceeded at peak: {} > {limit} pages",
+                    self.peak_hbm
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PageConfig {
+        PageConfig {
+            page_tokens: 1024,
+            hbm_capacity_pages: 100,
+            drex_capacity_pages: 1000,
+            hbm_watermark: 0.9,
+        }
+    }
+
+    #[test]
+    fn pages_round_up() {
+        let c = cfg();
+        assert_eq!(c.pages_for(0), 0);
+        assert_eq!(c.pages_for(1), 1);
+        assert_eq!(c.pages_for(1024), 1);
+        assert_eq!(c.pages_for(1025), 2);
+    }
+
+    #[test]
+    fn watermark_floors() {
+        assert_eq!(cfg().hbm_limit_pages(), 90);
+    }
+
+    #[test]
+    fn alloc_free_balances() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.try_alloc(1, 10, 50).unwrap();
+        m.try_alloc(2, 20, 100).unwrap();
+        assert_eq!(m.hbm_used(), 30);
+        assert_eq!(m.drex_used(), 150);
+        assert_eq!(m.free_all(1), (10, 50));
+        assert_eq!(m.free_all(2), (20, 100));
+        assert_eq!(m.hbm_used(), 0);
+        assert_eq!(m.drex_used(), 0);
+        assert_eq!(m.stats().peak_hbm, 30);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn enforcing_refuses_past_watermark() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.try_alloc(1, 85, 0).unwrap();
+        let err = m.try_alloc(2, 10, 0).unwrap_err();
+        assert!(matches!(err, AllocError::HbmExhausted { limit: 90, .. }));
+        // All-or-nothing: the failed alloc left no residue.
+        assert_eq!(m.hbm_used(), 85);
+        assert!(m.pages_of(2).is_none());
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn enforcing_refuses_drex_overflow() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        let err = m.try_alloc(1, 0, 1001).unwrap_err();
+        assert!(matches!(
+            err,
+            AllocError::DrexExhausted { capacity: 1000, .. }
+        ));
+    }
+
+    #[test]
+    fn tracking_mode_never_refuses() {
+        let mut m = PagedKvManager::new(cfg(), false);
+        m.try_alloc(1, 500, 5000).unwrap();
+        assert_eq!(m.hbm_used(), 500);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_keeps_tail_and_resume_regains_window() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.try_alloc(7, 30, 200).unwrap();
+        assert_eq!(m.release_hbm(7), 30);
+        assert_eq!(m.pages_of(7), Some((0, 200)));
+        m.regain_hbm(7, 30).unwrap();
+        assert_eq!(m.pages_of(7), Some((30, 200)));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn degradation_releases_tail() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.try_alloc(3, 10, 400).unwrap();
+        assert_eq!(m.release_drex(3), 400);
+        assert_eq!(m.pages_of(3), Some((10, 0)));
+        assert_eq!(m.drex_used(), 0);
+    }
+
+    #[test]
+    fn missing_ids_are_noops() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        assert_eq!(m.release_hbm(9), 0);
+        assert_eq!(m.release_drex(9), 0);
+        assert_eq!(m.free_all(9), (0, 0));
+    }
+}

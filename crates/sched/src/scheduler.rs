@@ -1,0 +1,1112 @@
+//! Continuous-batching scheduler with SLO classes, chunked prefill, and
+//! preemption-by-eviction over the paged KV manager.
+//!
+//! The scheduler owns the admission/queueing/preemption state machine; the
+//! serving loop owns simulated time and step costs. Feasibility questions
+//! flow through a callback (`feasible(users, max_ctx)`) so the scheduler
+//! stays free of any latency model, and decisions come back as
+//! [`SchedEvent`]s for the caller to translate into trace instants.
+//!
+//! Two policies share the machinery:
+//!
+//! * [`SchedPolicy::Fifo`] reproduces the legacy serving loop op-for-op:
+//!   arrival-order admission by step feasibility, no chunked prefill
+//!   (prefill folds into the request's own latency), no preemption. Pages
+//!   are tracked but never refuse — admission is the feasibility check.
+//! * [`SchedPolicy::SloAware`] admits by the page ledger first (strict
+//!   priority with head-of-line order per class), interleaves chunked
+//!   prefill with decode steps, and evicts best-effort requests to
+//!   DReX-resident state when a higher class cannot get HBM pages, charging
+//!   the deterministic restore-or-recompute cost on resume.
+
+use crate::pages::{PageConfig, PageStats, PagedKvManager};
+use crate::request::{SchedRequest, SloClass};
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Legacy arrival-order admission (bit-identical to the pre-scheduler
+    /// serving loop).
+    Fifo,
+    /// SLO-class priority admission with paged-memory admission control,
+    /// chunked prefill, and best-effort preemption.
+    SloAware,
+}
+
+impl SchedPolicy {
+    /// Parses a CLI policy name (`fifo` or `slo-aware`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted forms.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "fifo" => Ok(SchedPolicy::Fifo),
+            "slo-aware" | "slo_aware" | "sloaware" => Ok(SchedPolicy::SloAware),
+            other => Err(format!(
+                "invalid scheduler policy '{other}' (use fifo or slo-aware)"
+            )),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedPolicy::Fifo => "fifo",
+            SchedPolicy::SloAware => "slo-aware",
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Policy.
+    pub policy: SchedPolicy,
+    /// Page-tier capacities.
+    pub pages: PageConfig,
+    /// Whether the page ledger refuses allocations (SLO-aware) or only
+    /// tracks them (FIFO).
+    pub enforce_pages: bool,
+    /// Tokens kept HBM-resident per request; larger contexts spill their
+    /// tail to DReX pages. `usize::MAX` keeps everything HBM-resident.
+    pub window_tokens: usize,
+    /// Prefill chunk size in prompt tokens (SLO-aware): each scheduled
+    /// chunk contributes `prefill_ns × chunk/context` of work to one step.
+    pub prefill_chunk_tokens: usize,
+    /// Concurrent requests advancing prefill per step.
+    pub prefill_slots: usize,
+}
+
+impl SchedConfig {
+    /// FIFO over an untracked (non-enforcing) page ledger — the legacy
+    /// serving semantics.
+    pub fn fifo(pages: PageConfig, window_tokens: usize) -> Self {
+        Self {
+            policy: SchedPolicy::Fifo,
+            pages,
+            enforce_pages: false,
+            window_tokens,
+            prefill_chunk_tokens: 8192,
+            prefill_slots: 1,
+        }
+    }
+
+    /// SLO-aware over an enforcing page ledger.
+    pub fn slo_aware(pages: PageConfig, window_tokens: usize, prefill_chunk_tokens: usize) -> Self {
+        Self {
+            policy: SchedPolicy::SloAware,
+            pages,
+            enforce_pages: true,
+            window_tokens,
+            prefill_chunk_tokens: prefill_chunk_tokens.max(1),
+            prefill_slots: 1,
+        }
+    }
+
+    fn hbm_pages_for(&self, context: usize) -> usize {
+        self.pages.pages_for(context.min(self.window_tokens))
+    }
+
+    fn drex_pages_for(&self, context: usize) -> usize {
+        self.pages
+            .pages_for(context.saturating_sub(self.window_tokens))
+    }
+
+    fn chunk_ns_for(&self, req: &SchedRequest) -> f64 {
+        if self.prefill_chunk_tokens >= req.context || req.context == 0 {
+            req.prefill_ns
+        } else {
+            req.prefill_ns * (self.prefill_chunk_tokens as f64 / req.context as f64)
+        }
+    }
+}
+
+/// One request in the running batch.
+#[derive(Debug, Clone)]
+pub struct ActiveEntry {
+    /// The request.
+    pub req: SchedRequest,
+    /// Output tokens left to decode.
+    pub remaining: usize,
+    /// Tokens decoded so far (the fault-stream token index).
+    pub generated: usize,
+    /// Prefill (or resume) work left before this request decodes, ns.
+    pub prefill_left_ns: f64,
+    /// Whether this member decodes in the step planned by
+    /// [`Scheduler::plan_step`].
+    pub in_decode: bool,
+    /// Whether degradation already released the DReX tail.
+    pub window_only: bool,
+    chunk_ns: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Waiting {
+    req: SchedRequest,
+    remaining: usize,
+    generated: usize,
+    preempted: bool,
+    prefill_left_ns: f64,
+    window_only: bool,
+}
+
+/// A scheduling decision, for the caller to emit as a `sched.*` instant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedEvent {
+    /// A request joined the running batch.
+    Admitted {
+        /// Request ID.
+        id: usize,
+        /// SLO class.
+        class: SloClass,
+    },
+    /// A request entered the wait queue.
+    Queued {
+        /// Request ID.
+        id: usize,
+        /// SLO class.
+        class: SloClass,
+    },
+    /// A request can never be served and was rejected at arrival.
+    Rejected {
+        /// Request ID.
+        id: usize,
+        /// SLO class.
+        class: SloClass,
+    },
+    /// A best-effort request was evicted to DReX-resident state.
+    Preempted {
+        /// Request ID.
+        id: usize,
+        /// SLO class.
+        class: SloClass,
+        /// HBM window pages released by the eviction.
+        hbm_pages: usize,
+    },
+    /// A preempted request rejoined the batch.
+    Resumed {
+        /// Request ID.
+        id: usize,
+        /// SLO class.
+        class: SloClass,
+        /// Resume cost charged before it decodes again, ns.
+        cost_ns: f64,
+        /// `true` when the window restores from DReX, `false` when it
+        /// recomputes on the GPU.
+        restored: bool,
+    },
+    /// A degraded request released its DReX tail pages.
+    Degraded {
+        /// Request ID.
+        id: usize,
+        /// DReX pages released.
+        drex_pages: usize,
+    },
+    /// A request finished decoding.
+    Completed {
+        /// Request ID.
+        id: usize,
+        /// SLO class.
+        class: SloClass,
+        /// End-to-end latency, ms.
+        latency_ms: f64,
+    },
+    /// A request died under an injected hard fault.
+    Failed {
+        /// Request ID.
+        id: usize,
+        /// SLO class.
+        class: SloClass,
+    },
+}
+
+/// What the next synchronized step looks like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepPlan {
+    /// All batch members (decoding + prefilling).
+    pub users: usize,
+    /// Members decoding this step.
+    pub decode_users: usize,
+    /// Largest context among decoding members (0 when none decode).
+    pub max_decode_ctx: usize,
+    /// Total chunked-prefill work sharing this step, ns.
+    pub prefill_ns: f64,
+    /// Members advancing prefill this step.
+    pub prefill_users: usize,
+}
+
+/// A request that completed in the step just advanced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Request ID.
+    pub id: usize,
+    /// SLO class.
+    pub class: SloClass,
+    /// End-to-end latency (arrival to last token), ms.
+    pub latency_ms: f64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct ClassAccum {
+    arrived: usize,
+    completed: usize,
+    rejected: usize,
+    failed: usize,
+    preempted: usize,
+    tokens: usize,
+    token_lat_ms: Vec<f64>,
+    request_lat_ms: Vec<f64>,
+}
+
+/// Per-class outcome summary.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassReport {
+    /// Requests that arrived in this class.
+    pub arrived: usize,
+    /// Requests fully served.
+    pub completed: usize,
+    /// Requests rejected at arrival.
+    pub rejected: usize,
+    /// Requests killed by hard faults.
+    pub failed: usize,
+    /// Eviction count (a request may be evicted more than once).
+    pub preempted: usize,
+    /// Tokens decoded.
+    pub tokens: usize,
+    /// Median per-token latency, ms.
+    pub p50_token_ms: f64,
+    /// 99th-percentile per-token latency, ms.
+    pub p99_token_ms: f64,
+    /// Median end-to-end request latency, ms.
+    pub p50_request_ms: f64,
+    /// 99th-percentile request latency, ms.
+    pub p99_request_ms: f64,
+}
+
+/// End-of-run scheduler report: per-class latency percentiles, preemption
+/// counters, and the page-ledger audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedReport {
+    /// Policy that produced this report.
+    pub policy: SchedPolicy,
+    /// Per-class outcomes, indexed by [`SloClass::index`].
+    pub per_class: [ClassReport; 3],
+    /// Total evictions.
+    pub preemptions: usize,
+    /// Total resumes of evicted requests.
+    pub resumes: usize,
+    /// Total resume cost charged, ns.
+    pub restore_charged_ns: f64,
+    /// Prefill chunks executed.
+    pub prefill_chunks: usize,
+    /// Final page-ledger usage and peaks.
+    pub pages: PageStats,
+    /// Pages still held by requests no longer active or queued (must be 0).
+    pub leaked_pages: usize,
+    /// First violated page invariant, if any (must be `None`).
+    pub invariant_violation: Option<String>,
+}
+
+impl SchedReport {
+    /// The per-class table as printed by `longsight loadtest --sched`.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("scheduler report ({} policy)\n", self.policy.name());
+        out.push_str(
+            "  class        arrived done rej fail evict  tok p50/p99 ms      req p50/p99 ms\n",
+        );
+        for class in SloClass::ALL {
+            let c = &self.per_class[class.index()];
+            if c.arrived == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<12} {:>7} {:>4} {:>3} {:>4} {:>5}  {:>7.2}/{:<8.2} {:>8.1}/{:<8.1}\n",
+                class.name(),
+                c.arrived,
+                c.completed,
+                c.rejected,
+                c.failed,
+                c.preempted,
+                c.p50_token_ms,
+                c.p99_token_ms,
+                c.p50_request_ms,
+                c.p99_request_ms,
+            ));
+        }
+        out.push_str(&format!(
+            "  pages: hbm peak {}/{} | drex peak {}/{} | preemptions {} (resumes {}, restore {:.2} ms) | prefill chunks {} | leaked {}\n",
+            self.pages.peak_hbm,
+            self.pages.hbm_limit,
+            self.pages.peak_drex,
+            self.pages.drex_capacity,
+            self.preemptions,
+            self.resumes,
+            self.restore_charged_ns / 1e6,
+            self.prefill_chunks,
+            self.leaked_pages,
+        ));
+        out
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// The continuous-batching scheduler state machine.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    cfg: SchedConfig,
+    pages: PagedKvManager,
+    active: Vec<ActiveEntry>,
+    waiting: Vec<Waiting>,
+    chunks: Vec<(usize, f64)>,
+    events: Vec<SchedEvent>,
+    record_events: bool,
+    rejected: usize,
+    preemptions: usize,
+    resumes: usize,
+    restore_charged_ns: f64,
+    prefill_chunks: usize,
+    class: [ClassAccum; 3],
+}
+
+impl Scheduler {
+    /// Creates a scheduler over `cfg`.
+    pub fn new(cfg: SchedConfig) -> Self {
+        let pages = PagedKvManager::new(cfg.pages, cfg.enforce_pages);
+        Self {
+            cfg,
+            pages,
+            active: Vec::new(),
+            waiting: Vec::new(),
+            chunks: Vec::new(),
+            events: Vec::new(),
+            record_events: false,
+            rejected: 0,
+            preemptions: 0,
+            resumes: 0,
+            restore_charged_ns: 0.0,
+            prefill_chunks: 0,
+            class: Default::default(),
+        }
+    }
+
+    /// Enables decision-event collection (for trace emission). Events never
+    /// influence scheduling, so this cannot perturb the simulated timeline.
+    pub fn set_event_recording(&mut self, on: bool) {
+        self.record_events = on;
+    }
+
+    fn emit(&mut self, ev: SchedEvent) {
+        if self.record_events {
+            self.events.push(ev);
+        }
+    }
+
+    /// Drains the decision events accumulated since the last call.
+    pub fn take_events(&mut self) -> Vec<SchedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The running batch, in admission order.
+    pub fn active(&self) -> &[ActiveEntry] {
+        &self.active
+    }
+
+    /// Whether the running batch is empty.
+    pub fn active_is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Members decoding in the currently planned step (after any deaths).
+    pub fn decoding_count(&self) -> usize {
+        self.active.iter().filter(|a| a.in_decode).count()
+    }
+
+    /// Requests waiting for admission.
+    pub fn waiting_len(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Requests rejected at arrival.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// The page ledger (for invariant checks in tests).
+    pub fn pages(&self) -> &PagedKvManager {
+        &self.pages
+    }
+
+    fn alloc_tracked(&mut self, id: usize, hbm: usize, drex: usize) {
+        // The FIFO ledger is non-enforcing, so this cannot refuse; if a
+        // caller misconfigures an enforcing FIFO ledger, the entry is simply
+        // not tracked (pages never gate FIFO decisions).
+        let _ = self.pages.try_alloc(id, hbm, drex);
+    }
+
+    /// Offers an arriving request. `feasible(users, max_ctx)` must answer
+    /// whether the system can evaluate a step of that shape.
+    ///
+    /// FIFO reproduces the legacy loop exactly: join the batch when the
+    /// grown batch evaluates at the largest member context (prefill folds
+    /// into the request's own latency), reject when even a lone step can
+    /// never evaluate, queue otherwise. SLO-aware rejects requests that can
+    /// never fit (by feasibility or by page capacity) and queues everything
+    /// else; admission happens in [`Scheduler::drain_queue`].
+    pub fn on_arrival(
+        &mut self,
+        req: SchedRequest,
+        feasible: &mut dyn FnMut(usize, usize) -> bool,
+    ) {
+        self.class[req.class.index()].arrived += 1;
+        match self.cfg.policy {
+            SchedPolicy::Fifo => {
+                let max_ctx = self
+                    .active
+                    .iter()
+                    .map(|r| r.req.context)
+                    .chain(std::iter::once(req.context))
+                    .max()
+                    .expect("non-empty");
+                if feasible(self.active.len() + 1, max_ctx) {
+                    let mut admitted = req;
+                    admitted.arrival_ns -= req.prefill_ns; // fold prefill into latency
+                    let (hbm, drex) = (
+                        self.cfg.hbm_pages_for(req.context),
+                        self.cfg.drex_pages_for(req.context),
+                    );
+                    self.alloc_tracked(admitted.id, hbm, drex);
+                    self.active.push(ActiveEntry {
+                        req: admitted,
+                        remaining: req.output.max(1),
+                        generated: 0,
+                        prefill_left_ns: 0.0,
+                        in_decode: true,
+                        window_only: false,
+                        chunk_ns: 0.0,
+                    });
+                    self.emit(SchedEvent::Admitted {
+                        id: req.id,
+                        class: req.class,
+                    });
+                } else if !feasible(1, req.context) {
+                    self.rejected += 1; // can never be served
+                    self.class[req.class.index()].rejected += 1;
+                    self.emit(SchedEvent::Rejected {
+                        id: req.id,
+                        class: req.class,
+                    });
+                } else {
+                    self.waiting.push(Waiting {
+                        req,
+                        remaining: req.output.max(1),
+                        generated: 0,
+                        preempted: false,
+                        prefill_left_ns: req.prefill_ns,
+                        window_only: false,
+                    });
+                    self.emit(SchedEvent::Queued {
+                        id: req.id,
+                        class: req.class,
+                    });
+                }
+            }
+            SchedPolicy::SloAware => {
+                let hbm = self.cfg.hbm_pages_for(req.context);
+                let drex = self.cfg.drex_pages_for(req.context);
+                let never_fits = hbm > self.pages.config().hbm_limit_pages()
+                    || drex > self.pages.config().drex_capacity_pages;
+                if never_fits || !feasible(1, req.context) {
+                    self.rejected += 1;
+                    self.class[req.class.index()].rejected += 1;
+                    self.emit(SchedEvent::Rejected {
+                        id: req.id,
+                        class: req.class,
+                    });
+                } else {
+                    self.waiting.push(Waiting {
+                        req,
+                        remaining: req.output.max(1),
+                        generated: 0,
+                        preempted: false,
+                        prefill_left_ns: req.prefill_ns,
+                        window_only: false,
+                    });
+                    self.emit(SchedEvent::Queued {
+                        id: req.id,
+                        class: req.class,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Admits waiting requests while capacity allows.
+    ///
+    /// FIFO scans the queue in arrival order and admits every request whose
+    /// grown batch evaluates (the legacy `retain`). SLO-aware repeatedly
+    /// picks the highest-priority head (class, then arrival order), admits
+    /// it by the page ledger — evicting best-effort requests if a higher
+    /// class needs HBM pages — and stops at the first head it cannot place
+    /// (strict head-of-line, so a lower class can never slip past a blocked
+    /// higher class).
+    pub fn drain_queue(&mut self, feasible: &mut dyn FnMut(usize, usize) -> bool) {
+        match self.cfg.policy {
+            SchedPolicy::Fifo => {
+                let mut queue = std::mem::take(&mut self.waiting);
+                queue.retain(|w| {
+                    let max_ctx = self
+                        .active
+                        .iter()
+                        .map(|r| r.req.context)
+                        .chain(std::iter::once(w.req.context))
+                        .max()
+                        .expect("non-empty");
+                    if feasible(self.active.len() + 1, max_ctx) {
+                        // Legacy semantics: queue-admitted requests join
+                        // decode directly (their prefill was not folded).
+                        let (hbm, drex) = (
+                            self.cfg.hbm_pages_for(w.req.context),
+                            self.cfg.drex_pages_for(w.req.context),
+                        );
+                        self.alloc_tracked(w.req.id, hbm, drex);
+                        self.active.push(ActiveEntry {
+                            req: w.req,
+                            remaining: w.remaining,
+                            generated: w.generated,
+                            prefill_left_ns: 0.0,
+                            in_decode: true,
+                            window_only: false,
+                            chunk_ns: 0.0,
+                        });
+                        self.emit(SchedEvent::Admitted {
+                            id: w.req.id,
+                            class: w.req.class,
+                        });
+                        false
+                    } else {
+                        true
+                    }
+                });
+                self.waiting = queue;
+            }
+            SchedPolicy::SloAware => {
+                while let Some(pick) = (0..self.waiting.len())
+                    .min_by_key(|&i| (self.waiting[i].req.class.index(), self.waiting[i].req.id))
+                {
+                    if !self.try_admit(pick, feasible) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attempts to place `self.waiting[pick]` (SLO-aware). Returns whether
+    /// it was admitted (and removed from the queue).
+    fn try_admit(&mut self, pick: usize, feasible: &mut dyn FnMut(usize, usize) -> bool) -> bool {
+        let req = self.waiting[pick].req;
+        let need_hbm = self.cfg.hbm_pages_for(req.context);
+        // Memory decision first: evict best-effort members if a higher
+        // class cannot get its window pages under the watermark.
+        while !self.pages.hbm_fits(need_hbm) && req.class != SloClass::BestEffort {
+            let Some(victim) = self
+                .active
+                .iter()
+                .rposition(|a| a.req.class == SloClass::BestEffort)
+            else {
+                break;
+            };
+            self.evict(victim);
+        }
+        if !self.pages.hbm_fits(need_hbm) {
+            return false;
+        }
+        if !self.waiting[pick].preempted
+            && !self.pages.drex_fits(self.cfg.drex_pages_for(req.context))
+        {
+            return false;
+        }
+        // Feasibility belt: never admit a batch the step model cannot
+        // evaluate (e.g. the DCC queue depth).
+        let max_ctx = self
+            .active
+            .iter()
+            .map(|r| r.req.context)
+            .chain(std::iter::once(req.context))
+            .max()
+            .expect("non-empty");
+        if !feasible(self.active.len() + 1, max_ctx) {
+            return false;
+        }
+
+        let w = self.waiting.remove(pick);
+        if w.preempted {
+            self.pages
+                .regain_hbm(w.req.id, need_hbm)
+                .expect("hbm_fits was checked above");
+            let cost = w.req.resume_cost_ns();
+            self.resumes += 1;
+            self.restore_charged_ns += cost;
+            self.active.push(ActiveEntry {
+                req: w.req,
+                remaining: w.remaining,
+                generated: w.generated,
+                prefill_left_ns: w.prefill_left_ns + cost,
+                in_decode: false,
+                window_only: w.window_only,
+                chunk_ns: self.cfg.chunk_ns_for(&w.req),
+            });
+            self.emit(SchedEvent::Resumed {
+                id: w.req.id,
+                class: w.req.class,
+                cost_ns: cost,
+                restored: w.req.resume_restores(),
+            });
+        } else {
+            let drex = self.cfg.drex_pages_for(w.req.context);
+            self.pages
+                .try_alloc(w.req.id, need_hbm, drex)
+                .expect("both tiers were checked above");
+            self.active.push(ActiveEntry {
+                req: w.req,
+                remaining: w.remaining,
+                generated: w.generated,
+                prefill_left_ns: w.prefill_left_ns,
+                in_decode: false,
+                window_only: w.window_only,
+                chunk_ns: self.cfg.chunk_ns_for(&w.req),
+            });
+            self.emit(SchedEvent::Admitted {
+                id: w.req.id,
+                class: w.req.class,
+            });
+        }
+        true
+    }
+
+    /// Evicts `self.active[pos]` to DReX-resident state.
+    fn evict(&mut self, pos: usize) {
+        let a = self.active.remove(pos);
+        let freed = self.pages.release_hbm(a.req.id);
+        self.preemptions += 1;
+        self.class[a.req.class.index()].preempted += 1;
+        self.waiting.push(Waiting {
+            req: a.req,
+            remaining: a.remaining,
+            generated: a.generated,
+            preempted: true,
+            prefill_left_ns: a.prefill_left_ns,
+            window_only: a.window_only,
+        });
+        self.emit(SchedEvent::Preempted {
+            id: a.req.id,
+            class: a.req.class,
+            hbm_pages: freed,
+        });
+    }
+
+    /// Plans the next synchronized step: who decodes, who advances prefill,
+    /// and how much chunked-prefill work shares the step.
+    pub fn plan_step(&mut self) -> StepPlan {
+        self.chunks.clear();
+        match self.cfg.policy {
+            SchedPolicy::Fifo => {
+                for a in &mut self.active {
+                    a.in_decode = true;
+                }
+                let users = self.active.len();
+                let max_ctx = self.active.iter().map(|r| r.req.context).max().unwrap_or(0);
+                StepPlan {
+                    users,
+                    decode_users: users,
+                    max_decode_ctx: max_ctx,
+                    prefill_ns: 0.0,
+                    prefill_users: 0,
+                }
+            }
+            SchedPolicy::SloAware => {
+                let mut decode_users = 0usize;
+                let mut max_ctx = 0usize;
+                for a in &mut self.active {
+                    a.in_decode = a.prefill_left_ns <= 0.0;
+                    if a.in_decode {
+                        decode_users += 1;
+                        max_ctx = max_ctx.max(a.req.context);
+                    }
+                }
+                let mut slots = self.cfg.prefill_slots.max(1);
+                let mut prefill_ns = 0.0f64;
+                let mut prefill_users = 0usize;
+                for a in &self.active {
+                    if slots == 0 {
+                        break;
+                    }
+                    if !a.in_decode {
+                        // A zero-prefill request can still owe resume cost;
+                        // drain it in one chunk rather than stalling.
+                        let budget = if a.chunk_ns > 0.0 {
+                            a.chunk_ns
+                        } else {
+                            a.prefill_left_ns
+                        };
+                        let chunk = budget.min(a.prefill_left_ns);
+                        self.chunks.push((a.req.id, chunk));
+                        prefill_ns += chunk;
+                        prefill_users += 1;
+                        slots -= 1;
+                    }
+                }
+                StepPlan {
+                    users: self.active.len(),
+                    decode_users,
+                    max_decode_ctx: max_ctx,
+                    prefill_ns,
+                    prefill_users,
+                }
+            }
+        }
+    }
+
+    /// Removes hard-failed requests from the batch, freeing their pages.
+    pub fn remove_failed(&mut self, dead: &[usize]) {
+        if dead.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.active.len() {
+            if dead.contains(&self.active[i].req.id) {
+                let a = self.active.remove(i);
+                self.pages.free_all(a.req.id);
+                self.class[a.req.class.index()].failed += 1;
+                self.emit(SchedEvent::Failed {
+                    id: a.req.id,
+                    class: a.req.class,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// A degraded request abandons its long-range tail: release its DReX
+    /// pages (idempotent per request).
+    pub fn on_degraded(&mut self, id: usize) {
+        let Some(i) = self.active.iter().position(|a| a.req.id == id) else {
+            return;
+        };
+        if self.active[i].window_only {
+            return;
+        }
+        self.active[i].window_only = true;
+        let freed = self.pages.release_drex(id);
+        self.emit(SchedEvent::Degraded {
+            id,
+            drex_pages: freed,
+        });
+    }
+
+    /// Applies one step of duration `dt` ending at simulated time `now`:
+    /// chunked prefill advances, decoding members emit one token each, and
+    /// finished requests retire (freeing their pages). Returns completions
+    /// in batch order.
+    pub fn advance_step(&mut self, dt: f64, now: f64) -> Vec<Completion> {
+        let chunks = std::mem::take(&mut self.chunks);
+        for (id, chunk) in chunks {
+            if let Some(a) = self.active.iter_mut().find(|a| a.req.id == id) {
+                a.prefill_left_ns -= chunk;
+                if a.prefill_left_ns <= 1e-6 {
+                    a.prefill_left_ns = 0.0;
+                }
+                self.prefill_chunks += 1;
+            }
+        }
+        // Per-class token latencies, capped at 64 per step like the global
+        // serving histogram.
+        let mut counted = 0usize;
+        for i in 0..self.active.len() {
+            if !self.active[i].in_decode {
+                continue;
+            }
+            let cls = self.active[i].req.class.index();
+            if counted < 64 {
+                self.class[cls].token_lat_ms.push(dt / 1e6);
+                counted += 1;
+            }
+            self.class[cls].tokens += 1;
+            self.active[i].remaining -= 1;
+            self.active[i].generated += 1;
+        }
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].remaining == 0 {
+                let a = self.active.remove(i);
+                let latency_ms = (now - a.req.arrival_ns) / 1e6;
+                self.pages.free_all(a.req.id);
+                let cls = a.req.class.index();
+                self.class[cls].completed += 1;
+                self.class[cls].request_lat_ms.push(latency_ms);
+                self.emit(SchedEvent::Completed {
+                    id: a.req.id,
+                    class: a.req.class,
+                    latency_ms,
+                });
+                done.push(Completion {
+                    id: a.req.id,
+                    class: a.req.class,
+                    latency_ms,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Builds the end-of-run report, auditing the page ledger: every page
+    /// still held must belong to a request that is still active or waiting.
+    pub fn finalize(&mut self) -> SchedReport {
+        let mut leaked = 0usize;
+        for id in self.pages.holder_ids() {
+            let live = self.active.iter().any(|a| a.req.id == id)
+                || self.waiting.iter().any(|w| w.req.id == id);
+            if !live {
+                let (h, d) = self.pages.pages_of(id).unwrap_or((0, 0));
+                leaked += h + d;
+            }
+        }
+        let invariant_violation = self.pages.check_invariants().err();
+        let mut per_class: [ClassReport; 3] = Default::default();
+        for (out, acc) in per_class.iter_mut().zip(self.class.iter_mut()) {
+            acc.token_lat_ms.sort_by(f64::total_cmp);
+            acc.request_lat_ms.sort_by(f64::total_cmp);
+            *out = ClassReport {
+                arrived: acc.arrived,
+                completed: acc.completed,
+                rejected: acc.rejected,
+                failed: acc.failed,
+                preempted: acc.preempted,
+                tokens: acc.tokens,
+                p50_token_ms: percentile(&acc.token_lat_ms, 0.5),
+                p99_token_ms: percentile(&acc.token_lat_ms, 0.99),
+                p50_request_ms: percentile(&acc.request_lat_ms, 0.5),
+                p99_request_ms: percentile(&acc.request_lat_ms, 0.99),
+            };
+        }
+        SchedReport {
+            policy: self.cfg.policy,
+            per_class,
+            preemptions: self.preemptions,
+            resumes: self.resumes,
+            restore_charged_ns: self.restore_charged_ns,
+            prefill_chunks: self.prefill_chunks,
+            pages: self.pages.stats(),
+            leaked_pages: leaked,
+            invariant_violation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::SloMix;
+
+    fn req(id: usize, class: SloClass, context: usize, output: usize) -> SchedRequest {
+        SchedRequest {
+            id,
+            class,
+            arrival_ns: id as f64 * 1000.0,
+            context,
+            output,
+            prefill_ns: 1e5,
+            restore_ns: 1e4,
+            recompute_ns: 5e4,
+        }
+    }
+
+    fn slo_cfg() -> SchedConfig {
+        SchedConfig::slo_aware(
+            PageConfig {
+                page_tokens: 1024,
+                hbm_capacity_pages: 4,
+                drex_capacity_pages: 1000,
+                hbm_watermark: 1.0,
+            },
+            1024, // one HBM page per request
+            8192,
+        )
+    }
+
+    #[test]
+    fn fifo_admits_in_arrival_order() {
+        let mut s = Scheduler::new(SchedConfig::fifo(PageConfig::unbounded(1024), 1024));
+        let mut feas = |users: usize, _ctx: usize| users <= 2;
+        s.on_arrival(req(0, SloClass::Interactive, 4096, 4), &mut feas);
+        s.on_arrival(req(1, SloClass::Interactive, 4096, 4), &mut feas);
+        s.on_arrival(req(2, SloClass::Interactive, 4096, 4), &mut feas);
+        assert_eq!(s.active().len(), 2);
+        assert_eq!(s.waiting_len(), 1);
+        // Pages tracked even though never enforced.
+        assert_eq!(s.pages().hbm_used(), 2);
+        let plan = s.plan_step();
+        assert_eq!(plan.decode_users, 2);
+        assert_eq!(plan.prefill_ns, 0.0);
+    }
+
+    #[test]
+    fn fifo_rejects_the_never_servable() {
+        let mut s = Scheduler::new(SchedConfig::fifo(PageConfig::unbounded(1024), 1024));
+        let mut feas = |_users: usize, ctx: usize| ctx <= 8192;
+        s.on_arrival(req(0, SloClass::Interactive, 100_000, 4), &mut feas);
+        assert_eq!(s.rejected(), 1);
+        assert_eq!(s.active().len(), 0);
+    }
+
+    #[test]
+    fn slo_admission_is_a_memory_decision() {
+        // 4 HBM pages, 1 page per request: the 5th stays queued even though
+        // the step model would accept it.
+        let mut s = Scheduler::new(slo_cfg());
+        let mut feas = |_u: usize, _c: usize| true;
+        for i in 0..5 {
+            s.on_arrival(req(i, SloClass::Interactive, 1024, 4), &mut feas);
+        }
+        s.drain_queue(&mut feas);
+        assert_eq!(s.active().len(), 4);
+        assert_eq!(s.waiting_len(), 1);
+        assert_eq!(s.pages().hbm_used(), 4);
+    }
+
+    #[test]
+    fn interactive_evicts_best_effort_for_hbm() {
+        let mut s = Scheduler::new(slo_cfg());
+        let mut feas = |_u: usize, _c: usize| true;
+        for i in 0..4 {
+            s.on_arrival(req(i, SloClass::BestEffort, 4096, 8), &mut feas);
+        }
+        s.drain_queue(&mut feas);
+        assert_eq!(s.active().len(), 4);
+        // An interactive arrival must displace the most recent best-effort
+        // member, which keeps its DReX tail while waiting.
+        s.on_arrival(req(9, SloClass::Interactive, 4096, 8), &mut feas);
+        s.drain_queue(&mut feas);
+        let classes: Vec<SloClass> = s.active().iter().map(|a| a.req.class).collect();
+        assert!(classes.contains(&SloClass::Interactive));
+        assert_eq!(s.active().len(), 4);
+        assert_eq!(s.waiting_len(), 1);
+        let rep = s.finalize();
+        assert_eq!(rep.preemptions, 1);
+        assert_eq!(rep.leaked_pages, 0);
+        assert_eq!(rep.invariant_violation, None);
+        // The evicted request still holds its DReX tail (3 pages of 3072
+        // non-window tokens), but no HBM.
+        let evicted = rep.pages.holders;
+        assert_eq!(evicted, 5); // 4 active + 1 preempted
+    }
+
+    #[test]
+    fn best_effort_never_evicts_best_effort() {
+        let mut s = Scheduler::new(slo_cfg());
+        let mut feas = |_u: usize, _c: usize| true;
+        for i in 0..5 {
+            s.on_arrival(req(i, SloClass::BestEffort, 4096, 8), &mut feas);
+        }
+        s.drain_queue(&mut feas);
+        assert_eq!(s.active().len(), 4);
+        assert_eq!(s.waiting_len(), 1);
+        assert_eq!(s.finalize().preemptions, 0);
+    }
+
+    #[test]
+    fn resume_charges_the_cheaper_of_restore_and_recompute() {
+        let mut s = Scheduler::new(slo_cfg());
+        let mut feas = |_u: usize, _c: usize| true;
+        let mut be = req(0, SloClass::BestEffort, 4096, 8);
+        be.prefill_ns = 0.0; // decodes immediately once admitted
+        s.on_arrival(be, &mut feas);
+        s.drain_queue(&mut feas);
+        // Fill HBM so the interactive arrival forces an eviction.
+        for i in 1..4 {
+            s.on_arrival(req(i, SloClass::Interactive, 1024, 8), &mut feas);
+        }
+        s.on_arrival(req(4, SloClass::Interactive, 4096, 8), &mut feas);
+        s.drain_queue(&mut feas);
+        let rep_mid = s.pages().stats();
+        assert!(rep_mid.hbm_used <= 4);
+        // Retire the interactive requests so the best-effort one resumes.
+        let mut now = 0.0;
+        for _ in 0..64 {
+            s.drain_queue(&mut feas);
+            if s.active_is_empty() {
+                break;
+            }
+            let _ = s.plan_step();
+            now += 1e6;
+            let _ = s.advance_step(1e6, now);
+        }
+        let rep = s.finalize();
+        assert_eq!(rep.preemptions, 1);
+        assert_eq!(rep.resumes, 1);
+        assert_eq!(rep.restore_charged_ns, 1e4); // restore_ns < recompute_ns
+        assert_eq!(rep.leaked_pages, 0);
+        assert_eq!(rep.per_class[SloClass::BestEffort.index()].completed, 1);
+    }
+
+    #[test]
+    fn chunked_prefill_shares_steps() {
+        let mut s = Scheduler::new(slo_cfg());
+        let mut feas = |_u: usize, _c: usize| true;
+        // 16K context with 8K chunks: two chunks to finish prefill.
+        let mut r = req(0, SloClass::Interactive, 16_384, 2);
+        r.prefill_ns = 2e6;
+        let mut cfg_probe = slo_cfg();
+        cfg_probe.pages.hbm_capacity_pages = 100;
+        let mut s2 = Scheduler::new(cfg_probe);
+        let _ = &mut s;
+        s2.on_arrival(r, &mut feas);
+        s2.drain_queue(&mut feas);
+        let p1 = s2.plan_step();
+        assert_eq!(p1.decode_users, 0);
+        assert_eq!(p1.prefill_users, 1);
+        assert!((p1.prefill_ns - 1e6).abs() < 1e-6); // half the prefill
+        let _ = s2.advance_step(p1.prefill_ns, 1e6);
+        let p2 = s2.plan_step();
+        assert_eq!(p2.prefill_users, 1);
+        let _ = s2.advance_step(p2.prefill_ns, 2e6);
+        let p3 = s2.plan_step();
+        assert_eq!(p3.decode_users, 1, "prefill finished after two chunks");
+        let rep = s2.finalize();
+        assert_eq!(rep.prefill_chunks, 2);
+    }
+
+    #[test]
+    fn degradation_releases_the_tail() {
+        let mut s = Scheduler::new(slo_cfg());
+        let mut feas = |_u: usize, _c: usize| true;
+        s.on_arrival(req(0, SloClass::Interactive, 4096, 8), &mut feas);
+        s.drain_queue(&mut feas);
+        let before = s.pages().drex_used();
+        assert!(before > 0);
+        s.on_degraded(0);
+        assert_eq!(s.pages().drex_used(), 0);
+        s.on_degraded(0); // idempotent
+        assert_eq!(s.pages().drex_used(), 0);
+    }
+
+    #[test]
+    fn mix_classification_is_exhaustive() {
+        let m = SloMix::mixed();
+        for i in 0..100 {
+            let _ = m.classify(i as f64 / 100.0);
+        }
+    }
+}

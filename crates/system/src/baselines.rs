@@ -43,6 +43,31 @@ impl ServingSystem for GpuOnlySystem {
         }
         users
     }
+
+    /// Dense single-tier page map: the whole context is HBM-resident
+    /// (window unbounded), so there is no DReX tier and nothing to evict
+    /// to — preemption is never profitable here.
+    fn kv_geometry(&self, page_tokens: usize) -> Option<longsight_sched::KvDeviceGeometry> {
+        let page_tokens = page_tokens.max(1);
+        let page_bytes = self.model.kv_bytes_per_token() * page_tokens;
+        if page_bytes == 0 {
+            return None;
+        }
+        let free_hbm = self
+            .gpus
+            .spec
+            .hbm_bytes
+            .saturating_sub(self.model.weight_bytes())
+            * self.gpus.count;
+        Some(longsight_sched::KvDeviceGeometry {
+            page_tokens,
+            window_tokens: usize::MAX,
+            hbm_capacity_pages: free_hbm / page_bytes,
+            drex_capacity_pages: 0,
+            restore_ns_per_page: 0.0,
+            recompute_ns_per_token: 0.0,
+        })
+    }
 }
 
 /// Sliding-window (StreamingLLM-style) attention: KV beyond the window is

@@ -168,6 +168,99 @@ mod tests {
     }
 
     #[test]
+    fn zero_deadline_charges_backoffs_only() {
+        // A zero offload deadline is a legal (if aggressive) policy: timed-out
+        // attempts cost nothing, so a fully-degraded token pays exactly the
+        // backoff schedule and a healthy token pays nothing.
+        let retry = RetryPolicy {
+            offload_deadline_ns: 0.0,
+            ..RetryPolicy::serving_default()
+        };
+        let all_fail = FaultInjector::new(
+            FaultProfile {
+                timeout_rate: 1.0,
+                ..FaultProfile::disabled()
+            },
+            3,
+        );
+        let mut log = FaultLog::new();
+        let (o, p) = resolve_token(&all_fail, &retry, 1, 0, &mut log);
+        assert_eq!(o, TokenOutcome::Degraded);
+        assert_eq!(p, retry.backoff_ns(1) + retry.backoff_ns(2));
+        let none_fail = FaultInjector::disabled();
+        let (o, p) = resolve_token(&none_fail, &retry, 1, 0, &mut log);
+        assert_eq!(o, TokenOutcome::Completed { retries: 0 });
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn success_on_the_final_attempt_exhausts_the_budget_without_degrading() {
+        // Find a token whose first `max_retries` attempts all time out but
+        // whose last one succeeds: the outcome must be Completed with the
+        // full retry count and the penalty must charge every failed attempt
+        // plus every backoff — the boundary just short of degradation.
+        let retry = RetryPolicy::serving_default();
+        let inj = FaultInjector::new(
+            FaultProfile {
+                timeout_rate: 0.8,
+                ..FaultProfile::disabled()
+            },
+            29,
+        );
+        let mut found = false;
+        for token in 0..4000u64 {
+            let mut log = FaultLog::new();
+            let (o, p) = resolve_token(&inj, &retry, 9, token, &mut log);
+            if o == (TokenOutcome::Completed {
+                retries: retry.max_retries,
+            }) {
+                let expected = retry.max_retries as f64 * retry.offload_deadline_ns
+                    + (1..=retry.max_retries)
+                        .map(|a| retry.backoff_ns(a))
+                        .sum::<f64>();
+                assert_eq!(p, expected, "token {token}");
+                // Every failed attempt logged a timeout and a retry; the
+                // success itself leaves no degraded marker.
+                assert_eq!(log.len(), 2 * retry.max_retries as usize);
+                assert_eq!(log.count_matching(|k| matches!(k, FaultKind::Degraded)), 0);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no last-attempt success in 4000 tokens at rate 0.8");
+    }
+
+    #[test]
+    fn backoff_saturates_at_the_cap() {
+        let retry = RetryPolicy {
+            offload_deadline_ns: 1.0e6,
+            max_retries: 6,
+            backoff_base_ns: 50_000.0,
+            backoff_multiplier: 4.0,
+            backoff_cap_ns: 200_000.0,
+        };
+        // 50 µs, 200 µs, then flat at the cap instead of 800 µs, 3.2 ms, ...
+        assert_eq!(retry.backoff_ns(1), 50_000.0);
+        assert_eq!(retry.backoff_ns(2), 200_000.0);
+        for a in 3..=6 {
+            assert_eq!(retry.backoff_ns(a), retry.backoff_cap_ns, "attempt {a}");
+        }
+        // The degraded worst case uses the saturated schedule.
+        let inj = FaultInjector::new(
+            FaultProfile {
+                timeout_rate: 1.0,
+                ..FaultProfile::disabled()
+            },
+            3,
+        );
+        let mut log = FaultLog::new();
+        let (o, p) = resolve_token(&inj, &retry, 1, 0, &mut log);
+        assert_eq!(o, TokenOutcome::Degraded);
+        assert_eq!(p, retry.degraded_elapsed_ns());
+        assert_eq!(p, 7.0 * 1.0e6 + 50_000.0 + 200_000.0 + 4.0 * 200_000.0);
+    }
+
+    #[test]
     fn stats_record_each_outcome_class() {
         let mut s = DegradeStats::default();
         s.record(TokenOutcome::Completed { retries: 0 });

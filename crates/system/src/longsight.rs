@@ -780,6 +780,42 @@ impl ServingSystem for LongSightSystem {
         users
     }
 
+    /// LongSight's two-tier page map: window + sink tokens hold HBM pages
+    /// carved from the GPU's free memory after weights; everything beyond
+    /// the window holds DReX tail pages. Restoring an evicted window moves
+    /// its pages back over the CXL link; recomputing it re-runs prefill
+    /// over the window on the GPU roofline.
+    fn kv_geometry(&self, page_tokens: usize) -> Option<longsight_sched::KvDeviceGeometry> {
+        let page_tokens = page_tokens.max(1);
+        let cfg = &self.config;
+        let window_tokens = cfg.hybrid.window + cfg.hybrid.sinks;
+        let page_bytes = self.model.kv_bytes_per_token() * page_tokens;
+        if page_bytes == 0 {
+            return None;
+        }
+        let free_hbm = cfg.gpu.hbm_bytes.saturating_sub(self.model.weight_bytes());
+        let drex_pages = layout::device_kv_pages(
+            &cfg.geometry,
+            self.model.kv_heads,
+            self.model.layers,
+            self.model.head_dim,
+            page_tokens,
+        );
+        // Recompute cost per window token: the prefill roofline over one
+        // window, amortized.
+        let window_prefill =
+            crate::prefill::prefill_cost(&cfg.gpu, &cfg.link, &self.model, window_tokens, 1024)
+                .total_ns;
+        Some(longsight_sched::KvDeviceGeometry {
+            page_tokens,
+            window_tokens,
+            hbm_capacity_pages: free_hbm / page_bytes,
+            drex_capacity_pages: drex_pages,
+            restore_ns_per_page: cfg.link.transfer_ns(page_bytes),
+            recompute_ns_per_token: window_prefill / window_tokens.max(1) as f64,
+        })
+    }
+
     /// Records one decode step's internal timeline: the per-layer serial
     /// GPU work and window attention (`gpu` track), the full offload
     /// pipeline via [`LongSightSystem::drex_layer_traced`], a

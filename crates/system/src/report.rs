@@ -1,6 +1,7 @@
 //! Shared serving-performance report types.
 
 use longsight_obs::Recorder;
+use longsight_sched::KvDeviceGeometry;
 
 /// Per-token latency breakdown of one decode step (Fig 9's categories).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -184,6 +185,18 @@ pub trait ServingSystem {
         _rec: &mut Recorder,
         _anchor_ns: f64,
     ) {
+    }
+
+    /// How this system's devices map request contexts onto HBM window pages
+    /// and DReX tail pages, at `page_tokens` tokens per page — the paged
+    /// KV-cache surface the SLO-aware scheduler allocates against.
+    ///
+    /// `None` (the default) means the system exposes no page accounting;
+    /// the scheduler then falls back to an unbounded ledger and admission
+    /// degenerates to step feasibility alone.
+    fn kv_geometry(&self, page_tokens: usize) -> Option<KvDeviceGeometry> {
+        let _ = page_tokens;
+        None
     }
 }
 

@@ -7,6 +7,13 @@
 //! per-step cost models into a closed-loop simulation producing those
 //! curves: requests arrive over time, join the running batch (continuous
 //! batching), decode their output tokens, and leave.
+//!
+//! Scheduling is delegated to `longsight-sched`. The default FIFO policy
+//! reproduces the original serving loop op-for-op (bit-identical metrics);
+//! [`simulate_scheduled`] exposes the SLO-aware policy, where admission is
+//! a paged-memory decision over HBM window pages and DReX tail pages,
+//! prefill is chunked and overlapped with decode, and best-effort requests
+//! are evicted to DReX-resident state when higher classes need HBM.
 
 use crate::attribution::{attribution_parts, TokenAttribution};
 use crate::degrade::{resolve_token, DegradeStats, TokenOutcome};
@@ -17,8 +24,17 @@ use longsight_faults::{FaultInjector, FaultLog, RetryPolicy};
 use longsight_gpu::GpuSpec;
 use longsight_model::ModelConfig;
 use longsight_obs::json::fmt_f64;
-use longsight_obs::{ArgVal, Recorder};
+use longsight_obs::{ArgVal, Recorder, TrackId};
+use longsight_sched::{
+    KvDeviceGeometry, SchedConfig, SchedEvent, SchedPolicy, SchedReport, SchedRequest, Scheduler,
+    SloMix,
+};
 use longsight_tensor::SimRng;
+
+/// XOR'd into the workload seed for the SLO-class stream, so class draws
+/// never perturb the arrival-process stream (FIFO metrics stay bit-exact
+/// for any mix).
+const CLASS_SEED: u64 = 0x736c_6f63;
 
 /// Offered-load description.
 #[derive(Debug, Clone)]
@@ -45,6 +61,49 @@ impl WorkloadConfig {
             duration_s: 30.0,
             seed: 7,
         }
+    }
+}
+
+/// Scheduler policy and paged-KV knobs for [`simulate_scheduled`].
+#[derive(Debug, Clone)]
+pub struct SchedOptions {
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// SLO-class mix of the offered load (classes drawn from a dedicated
+    /// RNG stream, so the arrival process is identical across mixes).
+    pub mix: SloMix,
+    /// Tokens per KV page.
+    pub page_tokens: usize,
+    /// Prefill chunk size, prompt tokens (SLO-aware only).
+    pub prefill_chunk_tokens: usize,
+    /// Fraction of HBM pages the SLO-aware allocator may use.
+    pub hbm_watermark: f64,
+}
+
+impl SchedOptions {
+    /// The legacy serving behavior: FIFO admission, single-class load.
+    pub fn fifo() -> Self {
+        Self {
+            policy: SchedPolicy::Fifo,
+            mix: SloMix::all_interactive(),
+            page_tokens: 1024,
+            prefill_chunk_tokens: 8192,
+            hbm_watermark: 0.9,
+        }
+    }
+
+    /// SLO-aware scheduling over the given class mix.
+    pub fn slo_aware(mix: SloMix) -> Self {
+        Self {
+            policy: SchedPolicy::SloAware,
+            ..Self::fifo()
+        }
+        .with_mix(mix)
+    }
+
+    fn with_mix(mut self, mix: SloMix) -> Self {
+        self.mix = mix;
+        self
     }
 }
 
@@ -121,6 +180,51 @@ impl ServeMetrics {
             fmt_f64(self.degraded_quality_delta),
         )
     }
+
+    /// Parses the output of [`ServeMetrics::to_json`] back into a value.
+    ///
+    /// Round-trips bit-exactly for finite fields; non-finite floats
+    /// serialize as `null` and parse back as `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not valid JSON or a field is
+    /// missing or of the wrong type.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        use longsight_obs::json::{parse, Value};
+        let v = parse(text)?;
+        let get_usize = |key: &str| -> Result<usize, String> {
+            let f = v
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field '{key}'"))?;
+            Ok(f as usize)
+        };
+        let get_f64 = |key: &str| -> Result<f64, String> {
+            let field = v.get(key).ok_or_else(|| format!("missing field '{key}'"))?;
+            match field {
+                Value::Null => Ok(0.0), // fmt_f64 writes non-finite as null
+                other => other
+                    .as_f64()
+                    .ok_or_else(|| format!("non-numeric field '{key}'")),
+            }
+        };
+        Ok(Self {
+            completed: get_usize("completed")?,
+            rejected: get_usize("rejected")?,
+            in_flight: get_usize("in_flight")?,
+            throughput_tps: get_f64("throughput_tps")?,
+            p50_token_ms: get_f64("p50_token_ms")?,
+            p99_token_ms: get_f64("p99_token_ms")?,
+            p50_request_ms: get_f64("p50_request_ms")?,
+            p99_request_ms: get_f64("p99_request_ms")?,
+            mean_batch: get_f64("mean_batch")?,
+            retried_tokens: get_usize("retried_tokens")?,
+            degraded_tokens: get_usize("degraded_tokens")?,
+            failed_requests: get_usize("failed_requests")?,
+            degraded_quality_delta: get_f64("degraded_quality_delta")?,
+        })
+    }
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -132,12 +236,11 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 #[derive(Debug, Clone)]
-struct ActiveRequest {
+struct Arrival {
     id: usize,
     arrival_ns: f64,
     context: usize,
-    remaining: usize,
-    generated: usize,
+    output: usize,
 }
 
 /// Runs the closed-loop simulation of `system` under `workload`.
@@ -153,10 +256,11 @@ pub fn simulate(
     model: &ModelConfig,
     workload: &WorkloadConfig,
 ) -> ServeMetrics {
-    simulate_impl(
+    sched_impl(
         system,
         model,
         workload,
+        &SchedOptions::fifo(),
         None,
         &mut Recorder::disabled(),
         None,
@@ -185,14 +289,16 @@ pub fn simulate_with_faults(
     inj: &FaultInjector,
     retry: &RetryPolicy,
 ) -> (ServeMetrics, FaultLog) {
-    simulate_impl(
+    let (m, _, log) = sched_impl(
         system,
         model,
         workload,
+        &SchedOptions::fifo(),
         Some((inj, retry)),
         &mut Recorder::disabled(),
         None,
-    )
+    );
+    (m, log)
 }
 
 /// [`simulate`] / [`simulate_with_faults`] with observability attached.
@@ -202,10 +308,11 @@ pub fn simulate_with_faults(
 /// the step), the first evaluation of each distinct `(batch, context)`
 /// shape records the system's expanded internal timeline at the simulated
 /// time it was first needed, every fault event lands on the `faults` track
-/// as an instant (1:1 with the returned [`FaultLog`]), and the run's
-/// aggregate counters/latency histograms populate `rec.metrics`. When
-/// `attr` is given, each generated token's latency is decomposed into the
-/// eight attribution components.
+/// as an instant (1:1 with the returned [`FaultLog`]), scheduling decisions
+/// land on the `sched` track as instants, and the run's aggregate
+/// counters/latency histograms populate `rec.metrics`. When `attr` is
+/// given, each generated token's latency is decomposed into the eight
+/// attribution components.
 ///
 /// The simulated timeline is bit-identical to the unobserved entry points:
 /// recording only reads simulation state.
@@ -217,17 +324,149 @@ pub fn simulate_observed(
     rec: &mut Recorder,
     attr: Option<&mut TokenAttribution>,
 ) -> (ServeMetrics, FaultLog) {
-    simulate_impl(system, model, workload, faults, rec, attr)
+    let (m, _, log) = sched_impl(
+        system,
+        model,
+        workload,
+        &SchedOptions::fifo(),
+        faults,
+        rec,
+        attr,
+    );
+    (m, log)
 }
 
-fn simulate_impl(
+/// The full serving simulation under an explicit scheduler configuration,
+/// returning the per-class [`SchedReport`] alongside the aggregate metrics.
+///
+/// With `SchedOptions::fifo()` this is exactly [`simulate_observed`]
+/// (bit-identical metrics). With an SLO-aware policy, admission allocates
+/// HBM window pages and DReX tail pages against the system's
+/// [`ServingSystem::kv_geometry`], prefill is chunked (overlapping the
+/// memory-bound decode steps), and best-effort requests are preempted to
+/// DReX-resident state when higher classes need HBM pages, paying the
+/// cheaper of restore-over-CXL or recompute-on-GPU at resume.
+pub fn simulate_scheduled(
     system: &mut dyn ServingSystem,
     model: &ModelConfig,
     workload: &WorkloadConfig,
+    opts: &SchedOptions,
+    faults: Option<(&FaultInjector, &RetryPolicy)>,
+    rec: &mut Recorder,
+    attr: Option<&mut TokenAttribution>,
+) -> (ServeMetrics, SchedReport, FaultLog) {
+    sched_impl(system, model, workload, opts, faults, rec, attr)
+}
+
+/// Translates scheduler decision events into `sched.*` trace instants.
+fn flush_sched_events(sched: &mut Scheduler, rec: &mut Recorder, track: TrackId, at_ns: f64) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for ev in sched.take_events() {
+        match ev {
+            SchedEvent::Admitted { id, class } => rec.instant_with(
+                track,
+                "sched.admit",
+                at_ns,
+                &[
+                    ("id", ArgVal::U(id as u64)),
+                    ("class", ArgVal::S(class.name())),
+                ],
+            ),
+            SchedEvent::Queued { id, class } => rec.instant_with(
+                track,
+                "sched.queue",
+                at_ns,
+                &[
+                    ("id", ArgVal::U(id as u64)),
+                    ("class", ArgVal::S(class.name())),
+                ],
+            ),
+            SchedEvent::Rejected { id, class } => rec.instant_with(
+                track,
+                "sched.reject",
+                at_ns,
+                &[
+                    ("id", ArgVal::U(id as u64)),
+                    ("class", ArgVal::S(class.name())),
+                ],
+            ),
+            SchedEvent::Preempted {
+                id,
+                class,
+                hbm_pages,
+            } => rec.instant_with(
+                track,
+                "sched.preempt",
+                at_ns,
+                &[
+                    ("id", ArgVal::U(id as u64)),
+                    ("class", ArgVal::S(class.name())),
+                    ("hbm_pages", ArgVal::U(hbm_pages as u64)),
+                ],
+            ),
+            SchedEvent::Resumed {
+                id,
+                class,
+                cost_ns,
+                restored,
+            } => rec.instant_with(
+                track,
+                "sched.resume",
+                at_ns,
+                &[
+                    ("id", ArgVal::U(id as u64)),
+                    ("class", ArgVal::S(class.name())),
+                    ("cost_ns", ArgVal::F(cost_ns)),
+                    ("restored", ArgVal::U(restored as u64)),
+                ],
+            ),
+            SchedEvent::Degraded { id, drex_pages } => rec.instant_with(
+                track,
+                "sched.degrade",
+                at_ns,
+                &[
+                    ("id", ArgVal::U(id as u64)),
+                    ("drex_pages", ArgVal::U(drex_pages as u64)),
+                ],
+            ),
+            SchedEvent::Completed {
+                id,
+                class,
+                latency_ms,
+            } => rec.instant_with(
+                track,
+                "sched.complete",
+                at_ns,
+                &[
+                    ("id", ArgVal::U(id as u64)),
+                    ("class", ArgVal::S(class.name())),
+                    ("latency_ms", ArgVal::F(latency_ms)),
+                ],
+            ),
+            SchedEvent::Failed { id, class } => rec.instant_with(
+                track,
+                "sched.fail",
+                at_ns,
+                &[
+                    ("id", ArgVal::U(id as u64)),
+                    ("class", ArgVal::S(class.name())),
+                ],
+            ),
+        }
+    }
+}
+
+fn sched_impl(
+    system: &mut dyn ServingSystem,
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    opts: &SchedOptions,
     faults: Option<(&FaultInjector, &RetryPolicy)>,
     rec: &mut Recorder,
     mut attr: Option<&mut TokenAttribution>,
-) -> (ServeMetrics, FaultLog) {
+) -> (ServeMetrics, SchedReport, FaultLog) {
     let faults = faults.filter(|(inj, _)| inj.is_enabled());
     let mut fault_log = FaultLog::new();
     let mut degrade = DegradeStats::default();
@@ -236,7 +475,7 @@ fn simulate_impl(
     let link = CxlLink::pcie5_x16();
 
     // Pre-generate arrivals.
-    let mut arrivals: Vec<ActiveRequest> = Vec::new();
+    let mut arrivals: Vec<Arrival> = Vec::new();
     let mut t = 0.0f64;
     let horizon_ns = workload.duration_s * 1e9;
     loop {
@@ -249,15 +488,21 @@ fn simulate_impl(
         let (o0, o1) = workload.output_tokens;
         let context = c0 + rng.below((c1 - c0).max(1));
         let output = o0 + rng.below((o1 - o0).max(1));
-        arrivals.push(ActiveRequest {
+        arrivals.push(Arrival {
             id: arrivals.len(),
             arrival_ns: t,
             context,
-            remaining: output.max(1),
-            generated: 0,
+            output,
         });
     }
     let total_arrived = arrivals.len();
+    // SLO classes draw from their own stream: the arrival process above is
+    // identical for every mix (and for the legacy single-class runs).
+    let mut class_rng = SimRng::seed_from(workload.seed ^ CLASS_SEED);
+    let mut classes: Vec<longsight_sched::SloClass> = arrivals
+        .iter()
+        .map(|_| opts.mix.classify(class_rng.uniform()))
+        .collect();
     // Each request's prefill cost depends only on its own context length, so
     // the per-user costs compute up front on the deterministic parallel map
     // (bit-identical to calling `prefill_cost` at admission time).
@@ -266,16 +511,38 @@ fn simulate_impl(
     });
     arrivals.reverse(); // pop from the back in time order
     prefill_ns.reverse();
+    classes.reverse();
+
+    // The paged-KV surface: how this system's devices map contexts onto HBM
+    // window pages and DReX tail pages. Systems without page accounting get
+    // an unbounded ledger (admission degenerates to step feasibility).
+    let geometry = system
+        .kv_geometry(opts.page_tokens)
+        .unwrap_or(KvDeviceGeometry {
+            page_tokens: opts.page_tokens.max(1),
+            window_tokens: usize::MAX,
+            hbm_capacity_pages: usize::MAX / 4,
+            drex_capacity_pages: usize::MAX / 4,
+            restore_ns_per_page: 0.0,
+            recompute_ns_per_token: 0.0,
+        });
+    let page_cfg = geometry.page_config(opts.hbm_watermark);
+    let sched_cfg = match opts.policy {
+        SchedPolicy::Fifo => SchedConfig::fifo(page_cfg, geometry.window_tokens),
+        SchedPolicy::SloAware => {
+            SchedConfig::slo_aware(page_cfg, geometry.window_tokens, opts.prefill_chunk_tokens)
+        }
+    };
+    let mut sched = Scheduler::new(sched_cfg);
+    sched.set_event_recording(rec.is_enabled());
 
     let mut now = 0.0f64;
-    let mut active: Vec<ActiveRequest> = Vec::new();
-    let mut queue: Vec<ActiveRequest> = Vec::new();
     let mut step_times: Vec<(f64, usize)> = Vec::new();
     let mut request_latencies: Vec<f64> = Vec::new();
-    let mut rejected = 0usize;
     let mut generated_tokens = 0usize;
     let serving_track = rec.track("serving");
     let faults_track = rec.track("faults");
+    let sched_track = rec.track("sched");
     let mut fault_cursor = 0usize;
     // Step-cost cache keyed by (batch, context bucket). The first (and
     // only) evaluation of each shape also records the system's expanded
@@ -301,43 +568,35 @@ fn simulate_impl(
     };
 
     loop {
-        // Admit arrivals up to `now` (prefill cost charged to the request).
-        while arrivals.last().is_some_and(|a| a.arrival_ns <= now) {
-            let a = arrivals.pop().expect("checked");
-            let pf_ns = prefill_ns.pop().expect("paired with arrivals");
-            let max_ctx = active
-                .iter()
-                .chain(std::iter::once(&a))
-                .map(|r| r.context)
-                .max()
-                .expect("non-empty");
-            if step_cost(system, active.len() + 1, max_ctx, rec, now).is_some() {
-                let mut admitted = a;
-                admitted.arrival_ns -= pf_ns; // fold prefill into latency
-                active.push(admitted);
-            } else if step_cost(system, 1, a.context, rec, now).is_none() {
-                rejected += 1; // can never be served
-            } else {
-                queue.push(a);
+        // Admission and queue drain are the scheduler's decisions; the step
+        // model only answers feasibility. (FIFO issues the exact legacy
+        // sequence of feasibility probes, so the step-detail anchors in the
+        // trace are unchanged.)
+        {
+            let mut feas = |users: usize, ctx: usize| -> bool {
+                step_cost(system, users, ctx, rec, now).is_some()
+            };
+            while arrivals.last().is_some_and(|a| a.arrival_ns <= now) {
+                let a = arrivals.pop().expect("checked");
+                let pf_ns = prefill_ns.pop().expect("paired with arrivals");
+                let class = classes.pop().expect("paired with arrivals");
+                let req = SchedRequest {
+                    id: a.id,
+                    class,
+                    arrival_ns: a.arrival_ns,
+                    context: a.context,
+                    output: a.output,
+                    prefill_ns: pf_ns,
+                    restore_ns: geometry.restore_ns(a.context),
+                    recompute_ns: geometry.recompute_ns(a.context),
+                };
+                sched.on_arrival(req, &mut feas);
             }
+            sched.drain_queue(&mut feas);
         }
-        // Drain the wait queue when capacity allows.
-        queue.retain(|a| {
-            let max_ctx = active
-                .iter()
-                .map(|r| r.context)
-                .chain(std::iter::once(a.context))
-                .max()
-                .expect("non-empty");
-            if step_cost(system, active.len() + 1, max_ctx, rec, now).is_some() {
-                active.push(a.clone());
-                false
-            } else {
-                true
-            }
-        });
+        flush_sched_events(&mut sched, rec, sched_track, now);
 
-        if active.is_empty() {
+        if sched.active_is_empty() {
             match arrivals.last() {
                 Some(a) => {
                     now = a.arrival_ns;
@@ -347,85 +606,121 @@ fn simulate_impl(
             }
         }
 
-        // One synchronized decode step.
-        let users = active.len();
-        let max_ctx = active.iter().map(|r| r.context).max().expect("non-empty");
-        let report = step_cost(system, users, max_ctx, rec, now)
-            .expect("active batch was admitted, so it must evaluate");
-        let base_dt = report.step_ns;
-        let mut dt = base_dt;
+        // One synchronized step: the decoding members advance one token;
+        // chunked prefill shares the step (SLO-aware only).
+        let plan = sched.plan_step();
+        let report = if plan.decode_users > 0 {
+            Some(
+                step_cost(system, plan.decode_users, plan.max_decode_ctx, rec, now)
+                    .expect("a decode subset of an admitted batch must evaluate"),
+            )
+        } else {
+            None
+        };
+        let base_dt = report.map_or(0.0, |r| r.step_ns);
+        // Chunked prefill hides inside the memory-bound decode step; only a
+        // pure-prefill step pays chunk time alone. FIFO plans no chunks, so
+        // `work_dt == base_dt` exactly.
+        let work_dt = base_dt.max(plan.prefill_ns);
+        let mut dt = work_dt;
         let step_start = now;
         let mut batch_died = false;
         if let Some((inj, retry)) = faults {
-            // Resolve every member's token through the degradation policy.
-            // The batch is synchronized, so the worst member's retry/backoff
-            // penalty paces the whole step; hard-failed requests leave the
-            // batch without emitting this token.
+            // Resolve every decoding member's token through the degradation
+            // policy. The batch is synchronized, so the worst member's
+            // retry/backoff penalty paces the whole step; hard-failed
+            // requests leave the batch without emitting this token.
             let mut max_penalty = 0.0f64;
             let mut dead: Vec<usize> = Vec::new();
-            for r in &active {
-                let (outcome, penalty) =
-                    resolve_token(inj, retry, r.id as u64, r.generated as u64, &mut fault_log);
+            let mut degraded_ids: Vec<usize> = Vec::new();
+            for r in sched.active() {
+                if !r.in_decode {
+                    continue;
+                }
+                let (outcome, penalty) = resolve_token(
+                    inj,
+                    retry,
+                    r.req.id as u64,
+                    r.generated as u64,
+                    &mut fault_log,
+                );
                 degrade.record(outcome);
-                if matches!(outcome, TokenOutcome::Failed) {
-                    dead.push(r.id);
-                } else {
-                    max_penalty = max_penalty.max(penalty);
+                match outcome {
+                    TokenOutcome::Failed => dead.push(r.req.id),
+                    TokenOutcome::Degraded => {
+                        degraded_ids.push(r.req.id);
+                        max_penalty = max_penalty.max(penalty);
+                    }
+                    TokenOutcome::Completed { .. } => max_penalty = max_penalty.max(penalty),
                 }
             }
             // Replay this step's fault events onto the trace (1:1 with the
             // log) at the step's start time.
             fault_cursor += fault_log.record_tail_into(fault_cursor, rec, faults_track, step_start);
-            active.retain(|r| !dead.contains(&r.id));
+            sched.remove_failed(&dead);
+            // A degraded request lost its long-range path: its DReX tail
+            // pages come back to the pool.
+            for id in degraded_ids {
+                sched.on_degraded(id);
+            }
             dt += max_penalty;
-            batch_died = active.is_empty();
+            batch_died = sched.active_is_empty();
         }
         if rec.is_enabled() {
-            let span = rec.open_with(
-                serving_track,
-                "decode.step",
-                step_start,
-                &[
-                    ("users", ArgVal::U(users as u64)),
-                    ("ctx", ArgVal::U(max_ctx as u64)),
-                ],
-            );
-            if dt > base_dt {
-                // The worst token's deadline overrun paces the batch.
+            if plan.decode_users > 0 {
+                let span = rec.open_with(
+                    serving_track,
+                    "decode.step",
+                    step_start,
+                    &[
+                        ("users", ArgVal::U(plan.users as u64)),
+                        ("ctx", ArgVal::U(plan.max_decode_ctx as u64)),
+                    ],
+                );
+                if dt > work_dt {
+                    // The worst token's deadline overrun paces the batch.
+                    rec.leaf_with(
+                        serving_track,
+                        "decode.retry_wait",
+                        step_start + work_dt,
+                        step_start + dt,
+                        &[("penalty_ns", ArgVal::F(dt - work_dt))],
+                    );
+                }
+                rec.close(span, step_start + dt);
+            } else {
                 rec.leaf_with(
                     serving_track,
-                    "decode.retry_wait",
-                    step_start + base_dt,
+                    "prefill.step",
+                    step_start,
                     step_start + dt,
-                    &[("penalty_ns", ArgVal::F(dt - base_dt))],
+                    &[
+                        ("users", ArgVal::U(plan.prefill_users as u64)),
+                        ("prefill_ns", ArgVal::F(plan.prefill_ns)),
+                    ],
                 );
             }
-            rec.close(span, step_start + dt);
         }
         now += dt;
         if batch_died {
+            flush_sched_events(&mut sched, rec, sched_track, now);
             continue;
         }
         if now > 4.0 * horizon_ns {
             break; // overload guard: stop accounting far past the window
         }
-        step_times.push((dt, active.len()));
-        if let Some(a) = attr.as_deref_mut() {
-            a.record_step(attribution_parts(&report, dt), dt, active.len().min(64));
-        }
-        generated_tokens += active.len();
-        for r in &mut active {
-            r.remaining -= 1;
-            r.generated += 1;
-        }
-        active.retain(|r| {
-            if r.remaining == 0 {
-                request_latencies.push((now - r.arrival_ns) / 1e6);
-                false
-            } else {
-                true
+        let decoding = sched.decoding_count();
+        if decoding > 0 {
+            step_times.push((dt, decoding));
+            if let (Some(a), Some(r)) = (attr.as_deref_mut(), report.as_ref()) {
+                a.record_step(attribution_parts(r, dt), dt, decoding.min(64));
             }
-        });
+            generated_tokens += decoding;
+        }
+        for c in sched.advance_step(dt, now) {
+            request_latencies.push(c.latency_ms);
+        }
+        flush_sched_events(&mut sched, rec, sched_track, now);
     }
 
     let mut token_lat: Vec<f64> = Vec::new();
@@ -440,11 +735,11 @@ fn simulate_impl(
     let span_s = (now.max(1.0)) / 1e9;
     let metrics = ServeMetrics {
         completed: request_latencies.len(),
-        rejected,
+        rejected: sched.rejected(),
         in_flight: total_arrived
             - request_latencies.len()
-            - rejected
-            - queue.len()
+            - sched.rejected()
+            - sched.waiting_len()
             - degrade.failed_requests,
         throughput_tps: generated_tokens as f64 / span_s,
         p50_token_ms: percentile(&token_lat, 0.5),
@@ -465,6 +760,7 @@ fn simulate_impl(
             degrade.degraded_tokens as f64 / generated_tokens as f64
         },
     };
+    let sched_report = sched.finalize();
     if rec.is_enabled() {
         for &t in &token_lat {
             rec.observe("serving.token_latency_ms", t);
@@ -483,8 +779,13 @@ fn simulate_impl(
         rec.gauge_set("serving.mean_batch", metrics.mean_batch);
         rec.gauge_set("serving.p50_token_ms", metrics.p50_token_ms);
         rec.gauge_set("serving.p99_token_ms", metrics.p99_token_ms);
+        rec.counter_add("sched.preemptions", sched_report.preemptions as u64);
+        rec.counter_add("sched.resumes", sched_report.resumes as u64);
+        rec.counter_add("sched.prefill_chunks", sched_report.prefill_chunks as u64);
+        rec.gauge_set("sched.peak_hbm_pages", sched_report.pages.peak_hbm as f64);
+        rec.gauge_set("sched.peak_drex_pages", sched_report.pages.peak_drex as f64);
     }
-    (metrics, fault_log)
+    (metrics, sched_report, fault_log)
 }
 
 #[cfg(test)]
@@ -640,5 +941,29 @@ mod tests {
             m.p50_request_ms > 1.0,
             "suspiciously low request latency: {m:?}"
         );
+    }
+
+    #[test]
+    fn metrics_json_round_trips_bit_exactly() {
+        let m = run(2.0, 3);
+        let parsed = ServeMetrics::from_json(&m.to_json()).expect("own JSON must parse");
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn metrics_json_round_trips_non_finite_as_zero() {
+        let mut m = run(2.0, 3);
+        m.throughput_tps = f64::NAN;
+        m.mean_batch = f64::INFINITY;
+        let parsed = ServeMetrics::from_json(&m.to_json()).expect("nulls must parse");
+        assert_eq!(parsed.throughput_tps, 0.0);
+        assert_eq!(parsed.mean_batch, 0.0);
+        assert_eq!(parsed.completed, m.completed);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_fields() {
+        assert!(ServeMetrics::from_json("{\"completed\":1}").is_err());
+        assert!(ServeMetrics::from_json("not json").is_err());
     }
 }

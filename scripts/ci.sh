@@ -10,7 +10,10 @@
 #   5. release build (all crates, all bench targets compile)
 #   6. observability smoke: serve/profile with --trace-out, validate the
 #      exported Chrome trace JSON round-trips through `trace-validate`
-#   7. full test suite (unit + property + integration + doc tests)
+#   7. scheduler smoke: SLO-mixed loadtest under the slo-aware policy with
+#      a traced run, validated the same way
+#   8. rustdoc gate (missing/broken docs are errors)
+#   9. full test suite (unit + property + integration + doc tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,6 +65,16 @@ target/release/longsight profile --model 8b --duration 5 \
     --trace-out "$obs_tmp/profile_trace.json" --metrics-out "$obs_tmp/profile_metrics.json"
 target/release/longsight trace-validate --file "$obs_tmp/serve_trace.json"
 target/release/longsight trace-validate --file "$obs_tmp/profile_trace.json"
+
+echo "== scheduler smoke (SLO-mixed loadtest, trace-validate) =="
+target/release/longsight loadtest --model 1b --rate 8 --duration 4 \
+    --ctx-min 16384 --ctx-max 32768 --sched slo-aware --mix 0.5,0.3,0.2 \
+    --prefill-chunk 128 --watermark 0.01 \
+    --trace-out "$obs_tmp/sched_trace.json"
+target/release/longsight trace-validate --file "$obs_tmp/sched_trace.json"
+
+echo "== cargo doc -D warnings =="
+RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps --offline --quiet
 
 echo "== cargo test -q --offline =="
 cargo test --workspace --offline -q

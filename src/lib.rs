@@ -18,6 +18,8 @@
 //!   schedules, retry policy, typed fault errors),
 //! * [`drex`] — the DReX device: PFUs, NMAs, DCC, data layout, power,
 //! * [`gpu`] — analytical H100 roofline model,
+//! * [`sched`] — SLO-aware continuous-batching scheduler with a paged
+//!   HBM/DReX KV-cache memory manager,
 //! * [`system`] — end-to-end serving simulation and baselines.
 //!
 //! # Quickstart
@@ -37,5 +39,6 @@ pub use longsight_faults as faults;
 pub use longsight_gpu as gpu;
 pub use longsight_model as model;
 pub use longsight_obs as obs;
+pub use longsight_sched as sched;
 pub use longsight_system as system;
 pub use longsight_tensor as tensor;

@@ -260,6 +260,12 @@ struct ClassAccum {
 }
 
 /// Per-class outcome summary.
+///
+/// Percentiles use the **ceil nearest-rank** convention:
+/// `sorted[ceil(len × p) - 1]`, the smallest sample with at least `p` of
+/// the population at or below it. In particular, p99 over fewer than 100
+/// samples is the maximum, and p50 of an even-sized population is the
+/// lower median.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ClassReport {
     /// Requests that arrived in this class.
@@ -350,12 +356,20 @@ impl SchedReport {
     }
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+/// Ceil nearest-rank percentile: the smallest sample such that at least
+/// `p` of the population is ≤ it, i.e. `sorted[ceil(len × p) - 1]`.
+///
+/// The previous `.round()` nearest-rank collapsed p99 over small samples
+/// onto p50-adjacent ranks (and rounded half *up* at p50, picking the
+/// upper median); the ceil convention is monotone in `p` and pins p99 of
+/// a <100-sample population to the maximum, which is what the SLO tables
+/// report.
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    let rank = (sorted.len() as f64 * p).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// The continuous-batching scheduler state machine.
@@ -1100,6 +1114,36 @@ mod tests {
         assert_eq!(s.pages().drex_used(), 0);
         s.on_degraded(0); // idempotent
         assert_eq!(s.pages().drex_used(), 0);
+    }
+
+    #[test]
+    fn percentile_uses_ceil_nearest_rank() {
+        // p99 over any sample smaller than 100 must be the maximum: with
+        // the old `.round()` convention a 4-sample p99 landed on index
+        // round(3 × 0.99) = 3 (correct) but a 50-sample p99 landed on
+        // round(49 × 0.99) = 49 only by luck of rounding — and p50 of an
+        // even population rounded *up* to the upper median.
+        let four = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&four, 0.99), 4.0);
+        assert_eq!(percentile(&four, 0.5), 2.0, "lower median");
+        assert_eq!(percentile(&four, 1.0), 4.0);
+        assert_eq!(percentile(&four, 0.0), 1.0, "rank clamps to 1");
+        let one = [7.0];
+        assert_eq!(percentile(&one, 0.5), 7.0);
+        assert_eq!(percentile(&one, 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        // 50 samples: ceil(50 × 0.99) = 50 → the maximum, and
+        // ceil(50 × 0.5) = 25 → the lower median.
+        let fifty: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        assert_eq!(percentile(&fifty, 0.99), 50.0);
+        assert_eq!(percentile(&fifty, 0.5), 25.0);
+        // Monotone in p.
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let v = percentile(&fifty, i as f64 / 20.0);
+            assert!(v >= last);
+            last = v;
+        }
     }
 
     #[test]

@@ -224,7 +224,13 @@ fn memory_invariants_hold_at_any_thread_count() {
 #[test]
 fn slo_aware_strictly_improves_interactive_p99_token_latency() {
     let model = ModelConfig::llama3_1b();
-    let wl = workload(8.0, 11, 8.0, (16_384, 32_768));
+    // Exactly the `results/sched_comparison.txt` 8 req/s row (the bench
+    // draws outputs from 32-128 tokens, unlike the short-output pinned
+    // legacy runs above).
+    let wl = WorkloadConfig {
+        output_tokens: (32, 128),
+        ..workload(8.0, 11, 8.0, (16_384, 32_768))
+    };
     let run = |policy| {
         let mut sys = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());
         let mut rec = Recorder::disabled();

@@ -47,9 +47,23 @@ impl PageConfig {
     }
 
     /// The enforced HBM ceiling: `floor(capacity × watermark)` pages.
+    ///
+    /// Floor semantics are exact on exact products: the binary product of
+    /// e.g. `0.29 × 100` is `28.999…96`, which a bare `as usize` cast
+    /// truncated to 28 instead of the mathematically intended 29 (and
+    /// `0.3 × 10` to 2 instead of 3). The product is therefore snapped to
+    /// the nearest integer first when it sits within a relative epsilon of
+    /// one, and floored otherwise.
     pub fn hbm_limit_pages(&self) -> usize {
-        let limit = (self.hbm_capacity_pages as f64) * self.hbm_watermark.clamp(0.0, 1.0);
-        limit as usize
+        let w = self.hbm_watermark.clamp(0.0, 1.0);
+        let product = self.hbm_capacity_pages as f64 * w;
+        let nearest = product.round();
+        let limit = if (product - nearest).abs() <= 1e-9 * nearest.max(1.0) {
+            nearest
+        } else {
+            product.floor()
+        };
+        (limit as usize).min(self.hbm_capacity_pages)
     }
 }
 
@@ -393,6 +407,41 @@ mod tests {
     #[test]
     fn watermark_floors() {
         assert_eq!(cfg().hbm_limit_pages(), 90);
+    }
+
+    #[test]
+    fn watermark_exact_products_do_not_truncate() {
+        // Exact mathematical products must floor to themselves even when
+        // the binary float product lands just below the integer
+        // (0.29 × 100 = 28.999…96 as f64, 0.3 × 10 = 2.999…96).
+        let at = |capacity: usize, watermark: f64| {
+            PageConfig {
+                page_tokens: 1024,
+                hbm_capacity_pages: capacity,
+                drex_capacity_pages: 0,
+                hbm_watermark: watermark,
+            }
+            .hbm_limit_pages()
+        };
+        assert_eq!(at(100, 0.29), 29);
+        assert_eq!(at(10, 0.3), 3);
+        assert_eq!(at(10, 0.7), 7);
+        assert_eq!(at(1000, 0.001), 1);
+        assert_eq!(at(22_00, 0.01), 22);
+        // Non-exact products still floor.
+        assert_eq!(at(100, 0.299), 29);
+        assert_eq!(at(100, 0.291), 29);
+        assert_eq!(at(3, 0.5), 1);
+        assert_eq!(at(7, 0.33), 2);
+        // Degenerate watermarks clamp to the full range.
+        assert_eq!(at(100, 0.0), 0);
+        assert_eq!(at(100, 1.0), 100);
+        assert_eq!(at(100, 2.0), 100, "watermark clamps to 1");
+        assert_eq!(at(100, -1.0), 0, "watermark clamps to 0");
+        // The ceiling never exceeds the device capacity, even where the
+        // capacity is not exactly representable as f64.
+        let huge = usize::MAX / 4;
+        assert_eq!(at(huge, 1.0), huge);
     }
 
     #[test]

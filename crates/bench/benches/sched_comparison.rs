@@ -32,6 +32,7 @@ fn main() {
                 mix: SloMix::mixed(),
                 page_tokens: 1024,
                 prefill_chunk_tokens: 128,
+                prefill_slots: 1,
                 hbm_watermark: 0.01,
             };
             let mut sys = LongSightSystem::new(LongSightConfig::paper_default(), model.clone());

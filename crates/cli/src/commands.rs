@@ -13,9 +13,9 @@ use longsight_model::{
     corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
 };
 use longsight_obs::Recorder;
-use longsight_sched::{SchedPolicy, SloMix};
+use longsight_sched::{RouterPolicy, SchedPolicy, SloMix};
 use longsight_system::serving::{
-    simulate_observed, simulate_scheduled, SchedOptions, WorkloadConfig,
+    simulate_fleet, simulate_observed, simulate_scheduled, SchedOptions, WorkloadConfig,
 };
 use longsight_system::{
     AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem,
@@ -58,16 +58,24 @@ fn fault_flags(a: &Args) -> Result<(FaultProfile, u64, RetryPolicy), String> {
 }
 
 /// Parses the scheduler flags (`--sched`, `--mix`, `--page-tokens`,
-/// `--prefill-chunk`, `--watermark`). Returns `None` when none are given —
-/// the command then takes the legacy FIFO path with no extra output.
+/// `--prefill-chunk`, `--prefill-slots`, `--watermark`). Returns `None`
+/// when none are given — the command then takes the legacy FIFO path with
+/// no extra output.
 ///
 /// `--mix` defaults to the representative 0.5/0.3/0.2 mix under
 /// `--sched slo-aware` and to all-interactive under `--sched fifo`, so a
 /// bare `--sched slo-aware` exercises preemption out of the box.
 fn sched_flags(a: &Args) -> Result<Option<SchedOptions>, String> {
-    let any = ["sched", "mix", "page-tokens", "prefill-chunk", "watermark"]
-        .iter()
-        .any(|k| a.get(k).is_some());
+    let any = [
+        "sched",
+        "mix",
+        "page-tokens",
+        "prefill-chunk",
+        "prefill-slots",
+        "watermark",
+    ]
+    .iter()
+    .any(|k| a.get(k).is_some());
     if !any {
         return Ok(None);
     }
@@ -89,11 +97,16 @@ fn sched_flags(a: &Args) -> Result<Option<SchedOptions>, String> {
     if prefill_chunk_tokens == 0 {
         return Err("--prefill-chunk must be positive".into());
     }
+    let prefill_slots: usize = a.get_or("prefill-slots", 1)?;
+    if prefill_slots == 0 {
+        return Err("--prefill-slots must be >= 1 (0 slots can never finish a prefill)".into());
+    }
     Ok(Some(SchedOptions {
         policy,
         mix,
         page_tokens,
         prefill_chunk_tokens,
+        prefill_slots,
         hbm_watermark: watermark,
     }))
 }
@@ -356,7 +369,10 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         "mix",
         "page-tokens",
         "prefill-chunk",
+        "prefill-slots",
         "watermark",
+        "replicas",
+        "router",
     ])?;
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
@@ -369,8 +385,45 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
     let (faults, fault_seed, retry) = fault_flags(a)?;
     let sched_opts = sched_flags(a)?;
     let (mut rec, trace_out, metrics_out) = obs_flags(a);
-    let mut sys = build_system(a.get("system").unwrap_or("longsight"), model.clone())?;
+    let sys_name = a.get("system").unwrap_or("longsight");
     let injected = faults.is_enabled();
+    let replicas: usize = a.get_or("replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be >= 1".into());
+    }
+    if replicas > 64 {
+        return Err(format!("--replicas {replicas} is past the 64-replica cap"));
+    }
+    let router = RouterPolicy::parse(a.get("router").unwrap_or("jsq"))?;
+    if replicas > 1 {
+        if injected {
+            return Err("--fault-profile applies to single-replica runs only".into());
+        }
+        // A bare `--replicas N` gets the representative SLO-aware setup.
+        let opts = sched_opts.unwrap_or_else(|| SchedOptions::slo_aware(SloMix::mixed()));
+        let mut systems = Vec::with_capacity(replicas);
+        for _ in 0..replicas {
+            systems.push(build_system(sys_name, model.clone())?);
+        }
+        let (m, fleet) = simulate_fleet(&mut systems, &model, &wl, &opts, router, &mut rec);
+        println!(
+            "{} x{replicas} under {:.1} req/s for {:.0}s ({}-{} ctx tokens), {} scheduler, {} router:",
+            systems[0].name(),
+            wl.arrivals_per_s,
+            wl.duration_s,
+            wl.context_tokens.0,
+            wl.context_tokens.1,
+            opts.policy.name(),
+            router.name()
+        );
+        print!("{}", m.to_text());
+        print!("{}", fleet.to_text());
+        if let Some(v) = &fleet.audit_violation {
+            return Err(format!("fleet audit failed: {v}"));
+        }
+        return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
+    }
+    let mut sys = build_system(sys_name, model.clone())?;
     if let Some(opts) = sched_opts {
         let inj;
         let fault_args = if injected {
@@ -822,6 +875,55 @@ mod tests {
     }
 
     #[test]
+    fn fleet_loadtest_runs_both_routers() {
+        for router in ["jsq", "rr"] {
+            loadtest(&args(&[
+                "--model",
+                "1b",
+                "--rate",
+                "6",
+                "--duration",
+                "2",
+                "--ctx-min",
+                "16384",
+                "--ctx-max",
+                "32768",
+                "--sched",
+                "slo-aware",
+                "--watermark",
+                "0.01",
+                "--prefill-chunk",
+                "128",
+                "--replicas",
+                "2",
+                "--router",
+                router,
+            ]))
+            .unwrap();
+        }
+        // A bare --replicas gets the representative SLO-aware defaults.
+        loadtest(&args(&[
+            "--model",
+            "1b",
+            "--rate",
+            "4",
+            "--duration",
+            "2",
+            "--replicas",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_fleet_flags_are_rejected() {
+        assert!(loadtest(&args(&["--replicas", "0"])).is_err());
+        assert!(loadtest(&args(&["--replicas", "65"])).is_err());
+        assert!(loadtest(&args(&["--replicas", "2", "--router", "bogus"])).is_err());
+        assert!(loadtest(&args(&["--replicas", "2", "--fault-profile", "mild"])).is_err());
+    }
+
+    #[test]
     fn serve_prints_paged_kv_panel() {
         serve(&args(&[
             "--model",
@@ -855,6 +957,7 @@ mod tests {
         assert!(loadtest(&args(&["--sched", "slo-aware", "--watermark", "1.5"])).is_err());
         assert!(loadtest(&args(&["--sched", "slo-aware", "--page-tokens", "0"])).is_err());
         assert!(loadtest(&args(&["--sched", "slo-aware", "--prefill-chunk", "0"])).is_err());
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--prefill-slots", "0"])).is_err());
         assert!(serve(&args(&["--page-tokens", "0"])).is_err());
         assert!(serve(&args(&["--watermark", "-0.1"])).is_err());
     }

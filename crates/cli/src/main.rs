@@ -7,7 +7,8 @@
 //!                     [--page-tokens N] [--watermark F] [--trace-out FILE] [--metrics-out FILE]
 //! longsight loadtest  [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 32768] [--ctx-max 131072]
 //!                     [--sched fifo|slo-aware] [--mix I,B,E] [--page-tokens N] [--prefill-chunk N]
-//!                     [--watermark F] [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
+//!                     [--prefill-slots N] [--watermark F] [--replicas N] [--router jsq|rr]
+//!                     [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
 //!                     [--trace-out FILE] [--metrics-out FILE]
 //! longsight profile   [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 131072] [--ctx-max 131072]
 //!                     [--fault-profile ...] [--fault-seed N] [--trace-out FILE] [--metrics-out FILE]
@@ -117,7 +118,8 @@ commands:
                                    [--ctx-min N] [--ctx-max N]
                                    [--sched fifo|slo-aware] [--mix I,B,E]
                                    [--page-tokens N] [--prefill-chunk N]
-                                   [--watermark F]
+                                   [--prefill-slots N] [--watermark F]
+                                   [--replicas N] [--router jsq|rr]
                                    [--fault-profile ...] [--fault-seed N]
                                    [--deadline-ms MS]
                                    [--trace-out FILE] [--metrics-out FILE]

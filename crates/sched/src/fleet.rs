@@ -1,0 +1,317 @@
+//! Fleet-level roll-up of per-replica scheduler reports, with the
+//! cross-replica invariant audit.
+//!
+//! A fleet run produces one [`crate::SchedReport`] per replica plus the
+//! router's placement log. [`FleetReport`] stitches them together:
+//! per-class outcomes roll up by summing counts and recomputing percentiles
+//! over the merged latency samples (never by averaging per-replica
+//! percentiles), and the audit checks the properties no single replica can
+//! see — every arrival placed exactly once, arrivals conserved across the
+//! fleet, and every replica's own page-ledger audit clean.
+
+use crate::request::SloClass;
+use crate::router::RouterPolicy;
+use crate::scheduler::{percentile, ClassReport, SchedReport};
+
+/// One routing decision: `(arrival id, replica index)`.
+pub type Placement = (usize, usize);
+
+/// End-of-run fleet summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Router policy that produced the placements.
+    pub router: RouterPolicy,
+    /// Per-replica scheduler reports, in replica order.
+    pub replicas: Vec<SchedReport>,
+    /// Placement log in arrival order.
+    pub placements: Vec<Placement>,
+    /// Fleet-wide per-class outcomes (counts summed, percentiles over the
+    /// merged samples), indexed by [`SloClass::index`].
+    pub per_class: [ClassReport; 3],
+    /// First violated cross-replica invariant, if any (must be `None`).
+    pub audit_violation: Option<String>,
+}
+
+impl FleetReport {
+    /// Builds the fleet report and runs the cross-replica audit.
+    ///
+    /// `samples` are the merged per-class `(token, request)` latency
+    /// samples across every replica; they are sorted here.
+    pub fn assemble(
+        router: RouterPolicy,
+        replicas: Vec<SchedReport>,
+        placements: Vec<Placement>,
+        mut samples: [(Vec<f64>, Vec<f64>); 3],
+    ) -> Self {
+        let audit_violation = audit(&replicas, &placements);
+        let mut per_class: [ClassReport; 3] = Default::default();
+        for class in SloClass::ALL {
+            let i = class.index();
+            let (ref mut tok, ref mut req) = samples[i];
+            tok.sort_by(f64::total_cmp);
+            req.sort_by(f64::total_cmp);
+            let sum = |f: fn(&ClassReport) -> usize| -> usize {
+                replicas.iter().map(|r| f(&r.per_class[i])).sum()
+            };
+            per_class[i] = ClassReport {
+                arrived: sum(|c| c.arrived),
+                completed: sum(|c| c.completed),
+                rejected: sum(|c| c.rejected),
+                failed: sum(|c| c.failed),
+                preempted: sum(|c| c.preempted),
+                tokens: sum(|c| c.tokens),
+                p50_token_ms: percentile(tok, 0.5),
+                p99_token_ms: percentile(tok, 0.99),
+                p50_request_ms: percentile(req, 0.5),
+                p99_request_ms: percentile(req, 0.99),
+            };
+        }
+        Self {
+            router,
+            replicas,
+            placements,
+            per_class,
+            audit_violation,
+        }
+    }
+
+    /// Wraps a single replica's report as a degenerate fleet: the
+    /// single-replica serving path stays bit-identical (the report is
+    /// embedded untouched, per-class percentiles included) and the audit
+    /// still runs over the trivial placement log.
+    pub fn single(router: RouterPolicy, report: SchedReport) -> Self {
+        let arrived: usize = report.per_class.iter().map(|c| c.arrived).sum();
+        let placements: Vec<Placement> = (0..arrived).map(|id| (id, 0)).collect();
+        let replicas = vec![report];
+        let audit_violation = audit(&replicas, &placements);
+        Self {
+            router,
+            per_class: replicas[0].per_class.clone(),
+            replicas,
+            placements,
+            audit_violation,
+        }
+    }
+
+    /// Total requests arrived across the fleet.
+    pub fn total_arrived(&self) -> usize {
+        self.per_class.iter().map(|c| c.arrived).sum()
+    }
+
+    /// The placement log as text, one `arrival -> replica` line per
+    /// request — the byte-identical determinism artifact.
+    pub fn placement_log(&self) -> String {
+        let mut out = String::new();
+        for &(id, replica) in &self.placements {
+            out.push_str(&format!("{id} -> r{replica}\n"));
+        }
+        out
+    }
+
+    /// The fleet summary as printed by `longsight loadtest --replicas`.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "fleet report ({} router, {} replicas)\n",
+            self.router.name(),
+            self.replicas.len()
+        );
+        for (i, rep) in self.replicas.iter().enumerate() {
+            let arrived: usize = rep.per_class.iter().map(|c| c.arrived).sum();
+            let done: usize = rep.per_class.iter().map(|c| c.completed).sum();
+            out.push_str(&format!(
+                "  r{i}: arrived {arrived} done {done} | evict {} resume {} | hbm peak {}/{} | drex peak {}/{}\n",
+                rep.preemptions,
+                rep.resumes,
+                rep.pages.peak_hbm,
+                rep.pages.hbm_limit,
+                rep.pages.peak_drex,
+                rep.pages.drex_capacity,
+            ));
+        }
+        out.push_str(
+            "  class        arrived done rej fail evict  tok p50/p99 ms      req p50/p99 ms\n",
+        );
+        for class in SloClass::ALL {
+            let c = &self.per_class[class.index()];
+            if c.arrived == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:<12} {:>7} {:>4} {:>3} {:>4} {:>5}  {:>7.2}/{:<8.2} {:>8.1}/{:<8.1}\n",
+                class.name(),
+                c.arrived,
+                c.completed,
+                c.rejected,
+                c.failed,
+                c.preempted,
+                c.p50_token_ms,
+                c.p99_token_ms,
+                c.p50_request_ms,
+                c.p99_request_ms,
+            ));
+        }
+        match &self.audit_violation {
+            None => out.push_str("  audit: ok (each arrival placed once, arrivals conserved)\n"),
+            Some(v) => out.push_str(&format!("  audit: VIOLATION — {v}\n")),
+        }
+        out
+    }
+}
+
+/// The cross-replica invariants:
+///
+/// 1. No arrival id appears twice in the placement log.
+/// 2. Replica indices in the log are in range.
+/// 3. Conservation per replica: the requests a replica saw arrive are
+///    exactly the ones the router placed on it.
+/// 4. Conservation across the fleet: total arrived equals placements.
+/// 5. Every replica's own page-ledger audit is clean.
+fn audit(replicas: &[SchedReport], placements: &[Placement]) -> Option<String> {
+    let mut seen = vec![false; placements.len()];
+    let mut per_replica = vec![0usize; replicas.len()];
+    for &(id, replica) in placements {
+        if replica >= replicas.len() {
+            return Some(format!("arrival {id} placed on unknown replica {replica}"));
+        }
+        // Ids are assigned in arrival order, so any id at or past the log
+        // length has to be a duplicate-or-corrupt entry.
+        if id >= seen.len() || seen[id] {
+            return Some(format!("arrival {id} placed twice"));
+        }
+        seen[id] = true;
+        per_replica[replica] += 1;
+    }
+    let mut total = 0usize;
+    for (i, rep) in replicas.iter().enumerate() {
+        let arrived: usize = rep.per_class.iter().map(|c| c.arrived).sum();
+        if arrived != per_replica[i] {
+            return Some(format!(
+                "replica {i} saw {arrived} arrivals but was routed {}",
+                per_replica[i]
+            ));
+        }
+        total += arrived;
+        if rep.leaked_pages != 0 {
+            return Some(format!("replica {i} leaked {} pages", rep.leaked_pages));
+        }
+        if let Some(v) = &rep.invariant_violation {
+            return Some(format!("replica {i} ledger: {v}"));
+        }
+    }
+    if total != placements.len() {
+        return Some(format!(
+            "{} arrivals across replicas but {} placements",
+            total,
+            placements.len()
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pages::PageStats;
+    use crate::scheduler::SchedPolicy;
+
+    fn report(arrived_per_class: [usize; 3]) -> SchedReport {
+        let mut per_class: [ClassReport; 3] = Default::default();
+        for (c, &n) in per_class.iter_mut().zip(&arrived_per_class) {
+            c.arrived = n;
+            c.completed = n;
+        }
+        SchedReport {
+            policy: SchedPolicy::SloAware,
+            per_class,
+            preemptions: 0,
+            resumes: 0,
+            restore_charged_ns: 0.0,
+            prefill_chunks: 0,
+            pages: PageStats {
+                hbm_used: 0,
+                drex_used: 0,
+                peak_hbm: 0,
+                peak_drex: 0,
+                hbm_limit: 10,
+                drex_capacity: 10,
+                holders: 0,
+            },
+            leaked_pages: 0,
+            invariant_violation: None,
+        }
+    }
+
+    fn no_samples() -> [(Vec<f64>, Vec<f64>); 3] {
+        Default::default()
+    }
+
+    #[test]
+    fn clean_fleet_passes_the_audit() {
+        let f = FleetReport::assemble(
+            RouterPolicy::JsqSpillover,
+            vec![report([1, 1, 0]), report([1, 0, 1])],
+            vec![(0, 0), (1, 1), (2, 0), (3, 1)],
+            no_samples(),
+        );
+        assert_eq!(f.audit_violation, None);
+        assert_eq!(f.total_arrived(), 4);
+        assert_eq!(f.per_class[0].arrived, 2);
+        assert_eq!(f.placement_log(), "0 -> r0\n1 -> r1\n2 -> r0\n3 -> r1\n");
+        assert!(f.to_text().contains("audit: ok"));
+    }
+
+    #[test]
+    fn double_placement_is_caught() {
+        let f = FleetReport::assemble(
+            RouterPolicy::RoundRobin,
+            vec![report([2, 0, 0]), report([1, 0, 0])],
+            vec![(0, 0), (0, 0), (1, 1)],
+            no_samples(),
+        );
+        assert!(f.audit_violation.as_deref().unwrap().contains("twice"));
+    }
+
+    #[test]
+    fn lost_arrival_is_caught() {
+        // Router placed 2 on replica 0, but replica 0 only saw 1 arrive.
+        let f = FleetReport::assemble(
+            RouterPolicy::RoundRobin,
+            vec![report([1, 0, 0]), report([1, 0, 0])],
+            vec![(0, 0), (1, 0)],
+            no_samples(),
+        );
+        assert!(f.audit_violation.is_some());
+    }
+
+    #[test]
+    fn replica_ledger_violations_propagate() {
+        let mut bad = report([1, 0, 0]);
+        bad.leaked_pages = 3;
+        let f = FleetReport::assemble(
+            RouterPolicy::JsqSpillover,
+            vec![bad],
+            vec![(0, 0)],
+            no_samples(),
+        );
+        assert!(f.audit_violation.as_deref().unwrap().contains("leaked"));
+    }
+
+    #[test]
+    fn roll_up_merges_samples_not_percentiles() {
+        // Replica 0 has fast tokens, replica 1 slow ones; the fleet p99
+        // must come from the merged population, not an average.
+        let mut samples = no_samples();
+        samples[0].0 = vec![1.0, 1.0, 1.0];
+        let f = FleetReport::assemble(
+            RouterPolicy::JsqSpillover,
+            vec![report([2, 0, 0]), report([1, 0, 0])],
+            vec![(0, 0), (1, 0), (2, 1)],
+            {
+                samples[0].0.push(9.0);
+                samples
+            },
+        );
+        assert_eq!(f.per_class[0].p99_token_ms, 9.0);
+        assert_eq!(f.per_class[0].p50_token_ms, 1.0);
+    }
+}

@@ -17,23 +17,40 @@
 //!   DReX-resident state, and a deterministic restore-or-recompute cost on
 //!   resume.
 //!
+//! A fleet of replicas scales the same machinery out:
+//!
+//! * [`Router`] is the deterministic front end over N (GPU, DReX)
+//!   replicas: join-shortest-queue on free HBM pages with class-aware
+//!   spillover ([`RouterPolicy::JsqSpillover`]), or load-blind round-robin
+//!   as the baseline. Each replica keeps its own [`Scheduler`] and
+//!   [`PagedKvManager`]; the router only picks where an arrival lands,
+//!   from a [`SchedLoad`] snapshot taken at arrival time.
+//! * [`FleetReport`] rolls per-replica reports up (counts summed,
+//!   percentiles over the merged samples) and audits the cross-replica
+//!   invariants: every arrival placed exactly once, arrivals conserved,
+//!   every replica's page ledger clean.
+//!
 //! The crate is dependency-free and knows nothing about latency models or
 //! observability: feasibility is a callback, costs arrive precomputed on
 //! each [`SchedRequest`], and decisions come back as [`SchedEvent`]s. The
 //! serving loop in `longsight-system` owns simulated time and translates
-//! events into trace instants, which keeps every scheduling decision a pure
-//! function of the (seed, workload, config) triple — bit-identical at any
-//! thread count.
+//! events into trace instants, which keeps every scheduling decision —
+//! including fleet placement — a pure function of the (seed, workload,
+//! config) triple — bit-identical at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
 pub mod pages;
 pub mod request;
+pub mod router;
 pub mod scheduler;
 
+pub use fleet::{FleetReport, Placement};
 pub use pages::{AllocError, PageConfig, PageStats, PagedKvManager};
 pub use request::{KvDeviceGeometry, SchedRequest, SloClass, SloMix};
+pub use router::{Router, RouterPolicy, SchedLoad};
 pub use scheduler::{
     ActiveEntry, ClassReport, Completion, SchedConfig, SchedEvent, SchedPolicy, SchedReport,
     Scheduler, StepPlan,

@@ -313,6 +313,41 @@ mod tests {
     }
 
     #[test]
+    fn memory_max_users_edge_cases() {
+        let g = KvDeviceGeometry {
+            page_tokens: 1024,
+            window_tokens: 4096,
+            hbm_capacity_pages: 100,
+            drex_capacity_pages: 1000,
+            restore_ns_per_page: 1.0,
+            recompute_ns_per_token: 1.0,
+        };
+        // Context shorter than the window: fully HBM-resident, zero DReX
+        // pages, so the DReX divisor is 0 and only HBM binds (no div-by-zero
+        // panic, no phantom DReX limit).
+        assert_eq!(g.drex_pages_for(2048), 0);
+        assert_eq!(g.memory_max_users(2048, 1.0), 50); // 100 / 2 pages
+        assert_eq!(g.memory_max_users(2048, 0.5), 25);
+        // One token per page: page math degenerates to token math.
+        let fine = KvDeviceGeometry {
+            page_tokens: 1,
+            window_tokens: 4,
+            hbm_capacity_pages: 100,
+            drex_capacity_pages: 10,
+            ..g
+        };
+        assert_eq!(fine.hbm_pages_for(4), 4);
+        assert_eq!(fine.drex_pages_for(9), 5);
+        assert_eq!(fine.memory_max_users(9, 1.0), 2); // DReX: 10 / 5
+                                                      // Watermark 0.0: no usable HBM, nothing admits.
+        assert_eq!(g.memory_max_users(2048, 0.0), 0);
+        // Watermark 1.0 equals raw capacity; above 1.0 clamps back to it.
+        assert_eq!(g.memory_max_users(2048, 1.0), g.memory_max_users(2048, 2.0));
+        // Zero-page request (context 0): both divisors are 0 → unbounded.
+        assert_eq!(g.memory_max_users(0, 1.0), usize::MAX);
+    }
+
+    #[test]
     fn resume_picks_the_cheaper_path() {
         let r = SchedRequest {
             id: 0,

@@ -1,0 +1,285 @@
+//! Deterministic front-end router over a fleet of (GPU, DReX) replicas.
+//!
+//! The router owns exactly one decision: which replica an arriving request
+//! joins. It sees a [`SchedLoad`] snapshot per replica (taken at the
+//! request's arrival time) and returns an index. Everything downstream —
+//! admission, paging, preemption — stays each replica's own
+//! [`crate::Scheduler`].
+//!
+//! Two policies:
+//!
+//! * [`RouterPolicy::RoundRobin`] ignores load entirely:
+//!   `arrival_index % replicas`. The baseline.
+//! * [`RouterPolicy::JsqSpillover`] is join-shortest-queue on free HBM
+//!   pages with class-aware spillover: a replica past a class's occupancy
+//!   threshold stops accepting that class (best-effort sheds first at 50%
+//!   occupancy, batch at 75%, interactive never), so scavenger traffic
+//!   drains toward cold replicas before it can crowd the hot ones. When
+//!   every replica is past the threshold the full fleet is eligible again
+//!   (shedding balances load; it never rejects).
+//!
+//! Ties on the (free HBM, free DReX) key break by a seeded hash of the
+//! arrival index, so placement is a pure function of `(seed, arrival
+//! index, load snapshots)` — bit-identical at any worker-thread count.
+
+use crate::request::SloClass;
+
+/// Fleet routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// `arrival_index % replicas`, load-blind.
+    RoundRobin,
+    /// Join-shortest-queue on free HBM pages with class-aware spillover.
+    JsqSpillover,
+}
+
+impl RouterPolicy {
+    /// Parses a CLI policy name (`rr` or `jsq`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted forms.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "rr" | "round-robin" => Ok(RouterPolicy::RoundRobin),
+            "jsq" | "jsq-spillover" => Ok(RouterPolicy::JsqSpillover),
+            other => Err(format!("invalid router policy '{other}' (use jsq or rr)")),
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "rr",
+            RouterPolicy::JsqSpillover => "jsq",
+        }
+    }
+}
+
+/// A replica's load as the router sees it: one snapshot per arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedLoad {
+    /// Requests in the running batch.
+    pub active: usize,
+    /// Requests queued for admission.
+    pub waiting: usize,
+    /// HBM pages currently held.
+    pub hbm_used: usize,
+    /// HBM pages usable under the watermark.
+    pub hbm_limit: usize,
+    /// DReX pages currently held.
+    pub drex_used: usize,
+    /// DReX page capacity.
+    pub drex_capacity: usize,
+}
+
+impl SchedLoad {
+    /// Free HBM pages under the watermark.
+    pub fn free_hbm(&self) -> usize {
+        self.hbm_limit.saturating_sub(self.hbm_used)
+    }
+
+    /// Free DReX pages.
+    pub fn free_drex(&self) -> usize {
+        self.drex_capacity.saturating_sub(self.drex_used)
+    }
+
+    /// HBM occupancy fraction in `[0, 1]` (a zero-limit ledger reads as
+    /// fully occupied).
+    pub fn hbm_occupancy(&self) -> f64 {
+        if self.hbm_limit == 0 {
+            return 1.0;
+        }
+        (self.hbm_used as f64 / self.hbm_limit as f64).min(1.0)
+    }
+}
+
+/// Occupancy fraction past which a replica sheds this class to the rest of
+/// the fleet. Shedding order under rising load: best-effort first, then
+/// batch; interactive traffic is never shed.
+fn shed_threshold(class: SloClass) -> f64 {
+    match class {
+        SloClass::Interactive => f64::INFINITY,
+        SloClass::Batch => 0.75,
+        SloClass::BestEffort => 0.5,
+    }
+}
+
+/// splitmix64 — the deterministic tie-break stream.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The fleet router. Stateless apart from its seed: every decision is a
+/// pure function of `(seed, arrival_index, class, loads)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Router {
+    policy: RouterPolicy,
+    seed: u64,
+}
+
+impl Router {
+    /// Creates a router with the given tie-break seed (the workload seed,
+    /// by convention, so one seed pins the whole run).
+    pub fn new(policy: RouterPolicy, seed: u64) -> Self {
+        Self { policy, seed }
+    }
+
+    /// The policy this router applies.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Picks the replica for arrival `arrival_index` of `class` given the
+    /// per-replica load snapshots. `loads` must be non-empty.
+    pub fn route(&self, arrival_index: usize, class: SloClass, loads: &[SchedLoad]) -> usize {
+        assert!(!loads.is_empty(), "route over an empty fleet");
+        match self.policy {
+            RouterPolicy::RoundRobin => arrival_index % loads.len(),
+            RouterPolicy::JsqSpillover => self.jsq_spillover(arrival_index, class, loads),
+        }
+    }
+
+    fn jsq_spillover(&self, arrival_index: usize, class: SloClass, loads: &[SchedLoad]) -> usize {
+        let threshold = shed_threshold(class);
+        let eligible: Vec<usize> = (0..loads.len())
+            .filter(|&i| loads[i].hbm_occupancy() < threshold)
+            .collect();
+        // Every replica hot: shedding balances, it never rejects — fall
+        // back to plain JSQ over the whole fleet.
+        let pool: Vec<usize> = if eligible.is_empty() {
+            (0..loads.len()).collect()
+        } else {
+            eligible
+        };
+        // Most free HBM pages wins; free DReX breaks the first tie, the
+        // shortest admission queue the second.
+        let best_key = pool
+            .iter()
+            .map(|&i| {
+                (
+                    loads[i].free_hbm(),
+                    loads[i].free_drex(),
+                    usize::MAX - loads[i].waiting,
+                )
+            })
+            .max()
+            .expect("pool is non-empty");
+        let tied: Vec<usize> = pool
+            .into_iter()
+            .filter(|&i| {
+                (
+                    loads[i].free_hbm(),
+                    loads[i].free_drex(),
+                    usize::MAX - loads[i].waiting,
+                ) == best_key
+            })
+            .collect();
+        // Seeded rotation among exact ties keeps placement a pure function
+        // of (seed, arrival index) without biasing toward low indices.
+        let r = splitmix64(self.seed ^ (arrival_index as u64).wrapping_mul(0x243f_6a88_85a3_08d3));
+        tied[(r % tied.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(hbm_used: usize, hbm_limit: usize) -> SchedLoad {
+        SchedLoad {
+            active: 0,
+            waiting: 0,
+            hbm_used,
+            hbm_limit,
+            drex_used: 0,
+            drex_capacity: 1000,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let r = Router::new(RouterPolicy::RoundRobin, 7);
+        let loads = [load(0, 10), load(9, 10), load(5, 10)];
+        for i in 0..9 {
+            assert_eq!(r.route(i, SloClass::Interactive, &loads), i % 3);
+        }
+    }
+
+    #[test]
+    fn jsq_picks_the_most_free_hbm() {
+        let r = Router::new(RouterPolicy::JsqSpillover, 7);
+        let loads = [load(8, 10), load(2, 10), load(5, 10)];
+        for class in SloClass::ALL {
+            assert_eq!(r.route(0, class, &loads), 1);
+        }
+    }
+
+    #[test]
+    fn spillover_sheds_best_effort_before_batch_before_interactive() {
+        // Replica 0 at 60% occupancy but with the most free pages (larger
+        // device): plain JSQ would pick it for everyone; spillover keeps
+        // best-effort off it.
+        let loads = [load(60, 100), load(4, 10)];
+        assert!(loads[0].free_hbm() > loads[1].free_hbm());
+        let r = Router::new(RouterPolicy::JsqSpillover, 7);
+        assert_eq!(r.route(0, SloClass::BestEffort, &loads), 1, "0 is past 50%");
+        assert_eq!(r.route(0, SloClass::Batch, &loads), 0, "0 is under 75%");
+        assert_eq!(r.route(0, SloClass::Interactive, &loads), 0);
+        // Past 75% the batch class sheds too; interactive never does.
+        let hot = [load(80, 100), load(4, 10)];
+        assert_eq!(r.route(0, SloClass::Batch, &hot), 1);
+        assert_eq!(r.route(0, SloClass::Interactive, &hot), 0);
+    }
+
+    #[test]
+    fn all_hot_falls_back_to_global_jsq() {
+        let loads = [load(9, 10), load(7, 10)];
+        let r = Router::new(RouterPolicy::JsqSpillover, 7);
+        // Both past the best-effort threshold: the freer one still wins.
+        assert_eq!(r.route(0, SloClass::BestEffort, &loads), 1);
+    }
+
+    #[test]
+    fn tie_break_is_a_pure_function_of_seed_and_index() {
+        let loads = [load(5, 10), load(5, 10), load(5, 10), load(5, 10)];
+        let r = Router::new(RouterPolicy::JsqSpillover, 42);
+        let picks: Vec<usize> = (0..64)
+            .map(|i| r.route(i, SloClass::Interactive, &loads))
+            .collect();
+        // Reproducible...
+        let again: Vec<usize> = (0..64)
+            .map(|i| r.route(i, SloClass::Interactive, &loads))
+            .collect();
+        assert_eq!(picks, again);
+        // ...seed-dependent...
+        let other = Router::new(RouterPolicy::JsqSpillover, 43);
+        let shifted: Vec<usize> = (0..64)
+            .map(|i| other.route(i, SloClass::Interactive, &loads))
+            .collect();
+        assert_ne!(picks, shifted);
+        // ...and not biased onto one replica.
+        for rep in 0..4 {
+            assert!(picks.contains(&rep), "replica {rep} never picked");
+        }
+    }
+
+    #[test]
+    fn policy_parses() {
+        assert_eq!(
+            RouterPolicy::parse("jsq").unwrap(),
+            RouterPolicy::JsqSpillover
+        );
+        assert_eq!(RouterPolicy::parse("rr").unwrap(), RouterPolicy::RoundRobin);
+        assert!(RouterPolicy::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn occupancy_handles_zero_limit() {
+        assert_eq!(load(0, 0).hbm_occupancy(), 1.0);
+        assert_eq!(load(5, 10).hbm_occupancy(), 0.5);
+    }
+}

@@ -74,7 +74,10 @@ pub struct SchedConfig {
     /// Prefill chunk size in prompt tokens (SLO-aware): each scheduled
     /// chunk contributes `prefill_ns × chunk/context` of work to one step.
     pub prefill_chunk_tokens: usize,
-    /// Concurrent requests advancing prefill per step.
+    /// Concurrent requests advancing prefill per step. Must be ≥ 1: a
+    /// zero-slot scheduler could never finish a prefill, so callers (the
+    /// CLI rejects `--prefill-slots 0` up front) must validate before
+    /// constructing the config.
     pub prefill_slots: usize,
 }
 
@@ -393,6 +396,10 @@ pub struct Scheduler {
 impl Scheduler {
     /// Creates a scheduler over `cfg`.
     pub fn new(cfg: SchedConfig) -> Self {
+        debug_assert!(
+            cfg.prefill_slots >= 1,
+            "prefill_slots = 0 can never finish a prefill; validate before construction"
+        );
         let pages = PagedKvManager::new(cfg.pages, cfg.enforce_pages);
         Self {
             cfg,
@@ -456,6 +463,32 @@ impl Scheduler {
     /// The page ledger (for invariant checks in tests).
     pub fn pages(&self) -> &PagedKvManager {
         &self.pages
+    }
+
+    /// A point-in-time load snapshot for fleet routing: batch and queue
+    /// depth plus page usage against the two tier limits.
+    pub fn load(&self) -> crate::router::SchedLoad {
+        crate::router::SchedLoad {
+            active: self.active.len(),
+            waiting: self.waiting.len(),
+            hbm_used: self.pages.hbm_used(),
+            hbm_limit: self.cfg.pages.hbm_limit_pages(),
+            drex_used: self.pages.drex_used(),
+            drex_capacity: self.cfg.pages.drex_capacity_pages,
+        }
+    }
+
+    /// Per-class `(token, request)` latency samples accumulated so far, in
+    /// recording order. Fleet roll-ups merge these across replicas and
+    /// recompute percentiles over the union — averaging per-replica
+    /// percentiles would be wrong.
+    pub fn class_samples(&self) -> [(&[f64], &[f64]); 3] {
+        [0, 1, 2].map(|i| {
+            (
+                self.class[i].token_lat_ms.as_slice(),
+                self.class[i].request_lat_ms.as_slice(),
+            )
+        })
     }
 
     fn alloc_tracked(&mut self, id: usize, hbm: usize, drex: usize) {
@@ -756,7 +789,7 @@ impl Scheduler {
                         max_ctx = max_ctx.max(a.req.context);
                     }
                 }
-                let mut slots = self.cfg.prefill_slots.max(1);
+                let mut slots = self.cfg.prefill_slots;
                 let mut prefill_ns = 0.0f64;
                 let mut prefill_users = 0usize;
                 for a in &self.active {

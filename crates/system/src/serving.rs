@@ -26,8 +26,8 @@ use longsight_model::ModelConfig;
 use longsight_obs::json::fmt_f64;
 use longsight_obs::{ArgVal, Recorder, TrackId};
 use longsight_sched::{
-    KvDeviceGeometry, SchedConfig, SchedEvent, SchedPolicy, SchedReport, SchedRequest, Scheduler,
-    SloMix,
+    FleetReport, KvDeviceGeometry, Placement, Router, RouterPolicy, SchedConfig, SchedEvent,
+    SchedPolicy, SchedReport, SchedRequest, Scheduler, SloClass, SloMix,
 };
 use longsight_tensor::SimRng;
 
@@ -76,6 +76,9 @@ pub struct SchedOptions {
     pub page_tokens: usize,
     /// Prefill chunk size, prompt tokens (SLO-aware only).
     pub prefill_chunk_tokens: usize,
+    /// Concurrent requests advancing prefill per step (SLO-aware only).
+    /// Must be ≥ 1 — the CLI rejects `--prefill-slots 0` up front.
+    pub prefill_slots: usize,
     /// Fraction of HBM pages the SLO-aware allocator may use.
     pub hbm_watermark: f64,
 }
@@ -88,6 +91,7 @@ impl SchedOptions {
             mix: SloMix::all_interactive(),
             page_tokens: 1024,
             prefill_chunk_tokens: 8192,
+            prefill_slots: 1,
             hbm_watermark: 0.9,
         }
     }
@@ -241,6 +245,84 @@ struct Arrival {
     arrival_ns: f64,
     context: usize,
     output: usize,
+}
+
+/// Pre-generates the run's arrival process, class draws, and prefill
+/// costs. Both the single-replica loop and the fleet driver draw from this
+/// one function, so the offered load is byte-identical regardless of how
+/// many replicas serve it: arrivals from the workload seed, classes from a
+/// dedicated stream (`seed ^ CLASS_SEED`), prefill costs on the
+/// deterministic parallel map. Vectors come back reversed — pop from the
+/// back in time order.
+fn gen_arrivals(
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    mix: &SloMix,
+) -> (Vec<Arrival>, Vec<SloClass>, Vec<f64>) {
+    let mut rng = SimRng::seed_from(workload.seed);
+    let gpu = GpuSpec::h100_sxm();
+    let link = CxlLink::pcie5_x16();
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    let mut t = 0.0f64;
+    let horizon_ns = workload.duration_s * 1e9;
+    loop {
+        let gap = -((1.0 - rng.uniform()).ln()) / workload.arrivals_per_s * 1e9;
+        t += gap;
+        if t >= horizon_ns {
+            break;
+        }
+        let (c0, c1) = workload.context_tokens;
+        let (o0, o1) = workload.output_tokens;
+        let context = c0 + rng.below((c1 - c0).max(1));
+        let output = o0 + rng.below((o1 - o0).max(1));
+        arrivals.push(Arrival {
+            id: arrivals.len(),
+            arrival_ns: t,
+            context,
+            output,
+        });
+    }
+    // SLO classes draw from their own stream: the arrival process above is
+    // identical for every mix (and for the legacy single-class runs).
+    let mut class_rng = SimRng::seed_from(workload.seed ^ CLASS_SEED);
+    let mut classes: Vec<SloClass> = arrivals
+        .iter()
+        .map(|_| mix.classify(class_rng.uniform()))
+        .collect();
+    // Each request's prefill cost depends only on its own context length, so
+    // the per-user costs compute up front on the deterministic parallel map
+    // (bit-identical to calling `prefill_cost` at admission time).
+    let mut prefill_ns: Vec<f64> = longsight_exec::deterministic_map(&arrivals, |_, a| {
+        prefill_cost(&gpu, &link, model, a.context, 1024).total_ns
+    });
+    arrivals.reverse(); // pop from the back in time order
+    prefill_ns.reverse();
+    classes.reverse();
+    (arrivals, classes, prefill_ns)
+}
+
+/// The step-cost cache shared by feasibility probes and step execution,
+/// keyed by `(batch, context bucket)`. The first (and only) evaluation of
+/// each shape also records the system's expanded step timeline, anchored
+/// at the simulated time it was first needed.
+fn cached_step_cost(
+    cache: &mut Vec<((usize, usize), Option<StepReport>)>,
+    sys: &mut dyn ServingSystem,
+    users: usize,
+    ctx: usize,
+    rec: &mut Recorder,
+    at_ns: f64,
+) -> Option<StepReport> {
+    let bucket = ctx.next_power_of_two();
+    if let Some(&(_, v)) = cache.iter().find(|&&(k, _)| k == (users, bucket)) {
+        return v;
+    }
+    let v = sys.evaluate(users, bucket).ok();
+    if v.is_some() {
+        sys.record_step_detail(users, bucket, rec, at_ns);
+    }
+    cache.push(((users, bucket), v));
+    v
 }
 
 /// Runs the closed-loop simulation of `system` under `workload`.
@@ -458,6 +540,36 @@ fn flush_sched_events(sched: &mut Scheduler, rec: &mut Recorder, track: TrackId,
     }
 }
 
+/// The paged-KV surface: how this system's devices map contexts onto HBM
+/// window pages and DReX tail pages. Systems without page accounting get
+/// an unbounded ledger (admission degenerates to step feasibility).
+fn geometry_for(system: &dyn ServingSystem, opts: &SchedOptions) -> KvDeviceGeometry {
+    system
+        .kv_geometry(opts.page_tokens)
+        .unwrap_or(KvDeviceGeometry {
+            page_tokens: opts.page_tokens.max(1),
+            window_tokens: usize::MAX,
+            hbm_capacity_pages: usize::MAX / 4,
+            drex_capacity_pages: usize::MAX / 4,
+            restore_ns_per_page: 0.0,
+            recompute_ns_per_token: 0.0,
+        })
+}
+
+fn sched_config_for(geometry: &KvDeviceGeometry, opts: &SchedOptions) -> SchedConfig {
+    let page_cfg = geometry.page_config(opts.hbm_watermark);
+    let mut sched_cfg = match opts.policy {
+        SchedPolicy::Fifo => SchedConfig::fifo(page_cfg, geometry.window_tokens),
+        SchedPolicy::SloAware => {
+            SchedConfig::slo_aware(page_cfg, geometry.window_tokens, opts.prefill_chunk_tokens)
+        }
+    };
+    // Validated at the CLI boundary (`--prefill-slots 0` is rejected with
+    // an error, not clamped); `Scheduler::new` debug-asserts the contract.
+    sched_cfg.prefill_slots = opts.prefill_slots;
+    sched_cfg
+}
+
 fn sched_impl(
     system: &mut dyn ServingSystem,
     model: &ModelConfig,
@@ -470,70 +582,12 @@ fn sched_impl(
     let faults = faults.filter(|(inj, _)| inj.is_enabled());
     let mut fault_log = FaultLog::new();
     let mut degrade = DegradeStats::default();
-    let mut rng = SimRng::seed_from(workload.seed);
-    let gpu = GpuSpec::h100_sxm();
-    let link = CxlLink::pcie5_x16();
-
-    // Pre-generate arrivals.
-    let mut arrivals: Vec<Arrival> = Vec::new();
-    let mut t = 0.0f64;
     let horizon_ns = workload.duration_s * 1e9;
-    loop {
-        let gap = -((1.0 - rng.uniform()).ln()) / workload.arrivals_per_s * 1e9;
-        t += gap;
-        if t >= horizon_ns {
-            break;
-        }
-        let (c0, c1) = workload.context_tokens;
-        let (o0, o1) = workload.output_tokens;
-        let context = c0 + rng.below((c1 - c0).max(1));
-        let output = o0 + rng.below((o1 - o0).max(1));
-        arrivals.push(Arrival {
-            id: arrivals.len(),
-            arrival_ns: t,
-            context,
-            output,
-        });
-    }
+    let (mut arrivals, mut classes, mut prefill_ns) = gen_arrivals(model, workload, &opts.mix);
     let total_arrived = arrivals.len();
-    // SLO classes draw from their own stream: the arrival process above is
-    // identical for every mix (and for the legacy single-class runs).
-    let mut class_rng = SimRng::seed_from(workload.seed ^ CLASS_SEED);
-    let mut classes: Vec<longsight_sched::SloClass> = arrivals
-        .iter()
-        .map(|_| opts.mix.classify(class_rng.uniform()))
-        .collect();
-    // Each request's prefill cost depends only on its own context length, so
-    // the per-user costs compute up front on the deterministic parallel map
-    // (bit-identical to calling `prefill_cost` at admission time).
-    let mut prefill_ns: Vec<f64> = longsight_exec::deterministic_map(&arrivals, |_, a| {
-        prefill_cost(&gpu, &link, model, a.context, 1024).total_ns
-    });
-    arrivals.reverse(); // pop from the back in time order
-    prefill_ns.reverse();
-    classes.reverse();
 
-    // The paged-KV surface: how this system's devices map contexts onto HBM
-    // window pages and DReX tail pages. Systems without page accounting get
-    // an unbounded ledger (admission degenerates to step feasibility).
-    let geometry = system
-        .kv_geometry(opts.page_tokens)
-        .unwrap_or(KvDeviceGeometry {
-            page_tokens: opts.page_tokens.max(1),
-            window_tokens: usize::MAX,
-            hbm_capacity_pages: usize::MAX / 4,
-            drex_capacity_pages: usize::MAX / 4,
-            restore_ns_per_page: 0.0,
-            recompute_ns_per_token: 0.0,
-        });
-    let page_cfg = geometry.page_config(opts.hbm_watermark);
-    let sched_cfg = match opts.policy {
-        SchedPolicy::Fifo => SchedConfig::fifo(page_cfg, geometry.window_tokens),
-        SchedPolicy::SloAware => {
-            SchedConfig::slo_aware(page_cfg, geometry.window_tokens, opts.prefill_chunk_tokens)
-        }
-    };
-    let mut sched = Scheduler::new(sched_cfg);
+    let geometry = geometry_for(system, opts);
+    let mut sched = Scheduler::new(sched_config_for(&geometry, opts));
     sched.set_event_recording(rec.is_enabled());
 
     let mut now = 0.0f64;
@@ -544,27 +598,14 @@ fn sched_impl(
     let faults_track = rec.track("faults");
     let sched_track = rec.track("sched");
     let mut fault_cursor = 0usize;
-    // Step-cost cache keyed by (batch, context bucket). The first (and
-    // only) evaluation of each shape also records the system's expanded
-    // step timeline, anchored at the simulated time it was first needed.
     let mut cache: Vec<((usize, usize), Option<StepReport>)> = Vec::new();
-
     let mut step_cost = |sys: &mut dyn ServingSystem,
                          users: usize,
                          ctx: usize,
                          rec: &mut Recorder,
                          at_ns: f64|
      -> Option<StepReport> {
-        let bucket = ctx.next_power_of_two();
-        if let Some(&(_, v)) = cache.iter().find(|&&(k, _)| k == (users, bucket)) {
-            return v;
-        }
-        let v = sys.evaluate(users, bucket).ok();
-        if v.is_some() {
-            sys.record_step_detail(users, bucket, rec, at_ns);
-        }
-        cache.push(((users, bucket), v));
-        v
+        cached_step_cost(&mut cache, sys, users, ctx, rec, at_ns)
     };
 
     loop {
@@ -786,6 +827,315 @@ fn sched_impl(
         rec.gauge_set("sched.peak_drex_pages", sched_report.pages.peak_drex as f64);
     }
     (metrics, sched_report, fault_log)
+}
+
+/// One replica's incremental simulation state inside a fleet run: its own
+/// scheduler, page ledger, clock, and step-cost cache. The fleet driver
+/// advances each replica to every arrival time, routes from the live
+/// [`Scheduler::load`] snapshots, and injects into exactly one replica.
+struct ReplicaSim {
+    sched: Scheduler,
+    now: f64,
+    step_times: Vec<(f64, usize)>,
+    request_latencies: Vec<f64>,
+    generated_tokens: usize,
+    cache: Vec<((usize, usize), Option<StepReport>)>,
+    serving_track: TrackId,
+    sched_track: TrackId,
+}
+
+impl ReplicaSim {
+    fn new(
+        geometry: &KvDeviceGeometry,
+        opts: &SchedOptions,
+        rec: &mut Recorder,
+        idx: usize,
+    ) -> Self {
+        let mut sched = Scheduler::new(sched_config_for(geometry, opts));
+        sched.set_event_recording(rec.is_enabled());
+        Self {
+            sched,
+            now: 0.0,
+            step_times: Vec::new(),
+            request_latencies: Vec::new(),
+            generated_tokens: 0,
+            cache: Vec::new(),
+            serving_track: rec.track(&format!("r{idx}.serving")),
+            sched_track: rec.track(&format!("r{idx}.sched")),
+        }
+    }
+
+    /// Offers an arriving request to this replica's scheduler.
+    fn inject(&mut self, sys: &mut dyn ServingSystem, rec: &mut Recorder, req: SchedRequest) {
+        let Self {
+            sched, cache, now, ..
+        } = self;
+        let mut feas = |users: usize, ctx: usize| -> bool {
+            cached_step_cost(cache, sys, users, ctx, rec, *now).is_some()
+        };
+        sched.on_arrival(req, &mut feas);
+    }
+
+    /// Runs this replica forward until its clock reaches `t` (idling
+    /// straight to `t` when the batch empties), mirroring the
+    /// single-replica loop: drain the admission queue, plan a step,
+    /// advance. The overload guard caps runaway accounting exactly like
+    /// the single-replica path.
+    fn advance_to(
+        &mut self,
+        sys: &mut dyn ServingSystem,
+        rec: &mut Recorder,
+        t: f64,
+        horizon_ns: f64,
+    ) {
+        loop {
+            self.drain(sys, rec);
+            if self.sched.active_is_empty() {
+                self.now = self.now.max(t);
+                return;
+            }
+            if self.now >= t || self.now > 4.0 * horizon_ns {
+                return;
+            }
+            self.step(sys, rec);
+        }
+    }
+
+    /// Runs this replica to completion after the last arrival.
+    fn drain_all(&mut self, sys: &mut dyn ServingSystem, rec: &mut Recorder, horizon_ns: f64) {
+        loop {
+            self.drain(sys, rec);
+            if self.sched.active_is_empty() || self.now > 4.0 * horizon_ns {
+                return;
+            }
+            self.step(sys, rec);
+        }
+    }
+
+    fn drain(&mut self, sys: &mut dyn ServingSystem, rec: &mut Recorder) {
+        let Self {
+            sched, cache, now, ..
+        } = self;
+        let mut feas = |users: usize, ctx: usize| -> bool {
+            cached_step_cost(cache, sys, users, ctx, rec, *now).is_some()
+        };
+        sched.drain_queue(&mut feas);
+        flush_sched_events(&mut self.sched, rec, self.sched_track, self.now);
+    }
+
+    /// One synchronized step, identical in structure to the single-replica
+    /// loop's fault-free path (fleet mode does not inject faults).
+    fn step(&mut self, sys: &mut dyn ServingSystem, rec: &mut Recorder) {
+        let plan = self.sched.plan_step();
+        let report = if plan.decode_users > 0 {
+            Some(
+                cached_step_cost(
+                    &mut self.cache,
+                    sys,
+                    plan.decode_users,
+                    plan.max_decode_ctx,
+                    rec,
+                    self.now,
+                )
+                .expect("a decode subset of an admitted batch must evaluate"),
+            )
+        } else {
+            None
+        };
+        let base_dt = report.map_or(0.0, |r| r.step_ns);
+        let dt = base_dt.max(plan.prefill_ns);
+        let step_start = self.now;
+        if rec.is_enabled() {
+            if plan.decode_users > 0 {
+                rec.leaf_with(
+                    self.serving_track,
+                    "decode.step",
+                    step_start,
+                    step_start + dt,
+                    &[
+                        ("users", ArgVal::U(plan.users as u64)),
+                        ("ctx", ArgVal::U(plan.max_decode_ctx as u64)),
+                    ],
+                );
+            } else {
+                rec.leaf_with(
+                    self.serving_track,
+                    "prefill.step",
+                    step_start,
+                    step_start + dt,
+                    &[
+                        ("users", ArgVal::U(plan.prefill_users as u64)),
+                        ("prefill_ns", ArgVal::F(plan.prefill_ns)),
+                    ],
+                );
+            }
+        }
+        self.now += dt;
+        let decoding = self.sched.decoding_count();
+        if decoding > 0 {
+            self.step_times.push((dt, decoding));
+            self.generated_tokens += decoding;
+        }
+        for c in self.sched.advance_step(dt, self.now) {
+            self.request_latencies.push(c.latency_ms);
+        }
+        flush_sched_events(&mut self.sched, rec, self.sched_track, self.now);
+    }
+}
+
+/// Closed-loop serving over a fleet of replicas behind a deterministic
+/// front-end router.
+///
+/// The offered load is generated exactly as in [`simulate_scheduled`]
+/// (same seed, same streams); the router then places each arrival on one
+/// replica — join-shortest-queue on free HBM pages with class-aware
+/// spillover, or round-robin — from [`Scheduler::load`] snapshots taken
+/// after every replica has advanced to the arrival time. Placement is a
+/// pure function of `(seed, arrival index, load)`, so the whole fleet
+/// timeline is bit-identical at any worker-thread count.
+///
+/// With a single system this delegates to the single-replica path and is
+/// bit-identical to [`simulate_scheduled`] (the report comes back wrapped
+/// in a degenerate [`FleetReport`]). Fleet mode does not inject faults —
+/// the CLI rejects the combination.
+///
+/// Routing decisions land on the `router` track as `route.place`
+/// instants; each replica gets its own `r<i>.serving` / `r<i>.sched`
+/// tracks.
+///
+/// # Panics
+///
+/// Panics when `systems` is empty.
+pub fn simulate_fleet(
+    systems: &mut [Box<dyn ServingSystem>],
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    opts: &SchedOptions,
+    router_policy: RouterPolicy,
+    rec: &mut Recorder,
+) -> (ServeMetrics, FleetReport) {
+    assert!(!systems.is_empty(), "fleet needs at least one replica");
+    if systems.len() == 1 {
+        let (m, rep, _) = sched_impl(systems[0].as_mut(), model, workload, opts, None, rec, None);
+        return (m, FleetReport::single(router_policy, rep));
+    }
+    let horizon_ns = workload.duration_s * 1e9;
+    let (mut arrivals, mut classes, mut prefill_ns) = gen_arrivals(model, workload, &opts.mix);
+    let total_arrived = arrivals.len();
+    let router = Router::new(router_policy, workload.seed);
+    let router_track = rec.track("router");
+
+    let mut replicas: Vec<ReplicaSim> = Vec::with_capacity(systems.len());
+    let mut geometries: Vec<KvDeviceGeometry> = Vec::with_capacity(systems.len());
+    for (i, sys) in systems.iter_mut().enumerate() {
+        let g = geometry_for(sys.as_ref(), opts);
+        replicas.push(ReplicaSim::new(&g, opts, rec, i));
+        geometries.push(g);
+    }
+
+    let mut placements: Vec<Placement> = Vec::with_capacity(total_arrived);
+    while let Some(a) = arrivals.pop() {
+        let pf_ns = prefill_ns.pop().expect("paired with arrivals");
+        let class = classes.pop().expect("paired with arrivals");
+        for (r, sys) in replicas.iter_mut().zip(systems.iter_mut()) {
+            r.advance_to(sys.as_mut(), rec, a.arrival_ns, horizon_ns);
+        }
+        let loads: Vec<_> = replicas.iter().map(|r| r.sched.load()).collect();
+        let pick = router.route(a.id, class, &loads);
+        placements.push((a.id, pick));
+        if rec.is_enabled() {
+            rec.instant_with(
+                router_track,
+                "route.place",
+                a.arrival_ns,
+                &[
+                    ("id", ArgVal::U(a.id as u64)),
+                    ("replica", ArgVal::U(pick as u64)),
+                    ("class", ArgVal::S(class.name())),
+                    ("free_hbm", ArgVal::U(loads[pick].free_hbm() as u64)),
+                ],
+            );
+        }
+        let g = &geometries[pick];
+        let req = SchedRequest {
+            id: a.id,
+            class,
+            arrival_ns: a.arrival_ns,
+            context: a.context,
+            output: a.output,
+            prefill_ns: pf_ns,
+            restore_ns: g.restore_ns(a.context),
+            recompute_ns: g.recompute_ns(a.context),
+        };
+        replicas[pick].inject(systems[pick].as_mut(), rec, req);
+    }
+    for (r, sys) in replicas.iter_mut().zip(systems.iter_mut()) {
+        r.drain_all(sys.as_mut(), rec, horizon_ns);
+    }
+
+    // Fleet-wide aggregates: merged samples, summed counters, the span of
+    // the slowest replica.
+    let mut token_lat: Vec<f64> = Vec::new();
+    let mut request_latencies: Vec<f64> = Vec::new();
+    let mut generated_tokens = 0usize;
+    let mut batch_users = 0usize;
+    let mut batch_steps = 0usize;
+    let mut rejected = 0usize;
+    let mut waiting = 0usize;
+    let mut fleet_now = 0.0f64;
+    let mut reports: Vec<SchedReport> = Vec::with_capacity(replicas.len());
+    let mut samples: [(Vec<f64>, Vec<f64>); 3] = Default::default();
+    for r in replicas.iter_mut() {
+        for &(dt, users) in &r.step_times {
+            for _ in 0..users.min(64) {
+                token_lat.push(dt / 1e6);
+            }
+            batch_users += users;
+            batch_steps += 1;
+        }
+        request_latencies.extend_from_slice(&r.request_latencies);
+        generated_tokens += r.generated_tokens;
+        rejected += r.sched.rejected();
+        waiting += r.sched.waiting_len();
+        fleet_now = fleet_now.max(r.now);
+        reports.push(r.sched.finalize());
+        for (i, (tok, req)) in r.sched.class_samples().iter().enumerate() {
+            samples[i].0.extend_from_slice(tok);
+            samples[i].1.extend_from_slice(req);
+        }
+    }
+    token_lat.sort_by(f64::total_cmp);
+    request_latencies.sort_by(f64::total_cmp);
+    let span_s = fleet_now.max(1.0) / 1e9;
+    let metrics = ServeMetrics {
+        completed: request_latencies.len(),
+        rejected,
+        in_flight: total_arrived - request_latencies.len() - rejected - waiting,
+        throughput_tps: generated_tokens as f64 / span_s,
+        p50_token_ms: percentile(&token_lat, 0.5),
+        p99_token_ms: percentile(&token_lat, 0.99),
+        p50_request_ms: percentile(&request_latencies, 0.5),
+        p99_request_ms: percentile(&request_latencies, 0.99),
+        mean_batch: if batch_steps == 0 {
+            0.0
+        } else {
+            batch_users as f64 / batch_steps as f64
+        },
+        retried_tokens: 0,
+        degraded_tokens: 0,
+        failed_requests: 0,
+        degraded_quality_delta: 0.0,
+    };
+    let fleet = FleetReport::assemble(router_policy, reports, placements, samples);
+    if rec.is_enabled() {
+        rec.counter_add("serving.completed", metrics.completed as u64);
+        rec.counter_add("serving.rejected", metrics.rejected as u64);
+        rec.counter_add("serving.generated_tokens", generated_tokens as u64);
+        rec.counter_add("router.placements", fleet.placements.len() as u64);
+        rec.gauge_set("serving.throughput_tps", metrics.throughput_tps);
+        rec.gauge_set("serving.mean_batch", metrics.mean_batch);
+    }
+    (metrics, fleet)
 }
 
 #[cfg(test)]

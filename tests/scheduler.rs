@@ -84,6 +84,7 @@ fn pressure_opts(policy: SchedPolicy) -> SchedOptions {
         mix: SloMix::mixed(),
         page_tokens: 1024,
         prefill_chunk_tokens: 128,
+        prefill_slots: 1,
         hbm_watermark: 0.01,
     }
 }

@@ -73,6 +73,59 @@ target/release/longsight loadtest --model 1b --rate 8 --duration 4 \
     --trace-out "$obs_tmp/sched_trace.json"
 target/release/longsight trace-validate --file "$obs_tmp/sched_trace.json"
 
+echo "== fleet smoke (2-replica loadtest, both routers) =="
+target/release/longsight loadtest --model 1b --rate 12 --duration 4 \
+    --ctx-min 16384 --ctx-max 32768 --replicas 2 --router jsq \
+    --trace-out "$obs_tmp/fleet_trace.json"
+target/release/longsight trace-validate --file "$obs_tmp/fleet_trace.json"
+target/release/longsight loadtest --model 1b --rate 12 --duration 4 \
+    --ctx-min 16384 --ctx-max 32768 --replicas 2 --router rr
+
+# Interactive tail-latency trajectory: the checked-in goldens must not
+# regress the interactive p99 request latency more than 10% past the values
+# pinned in results/trajectory.tsv. Regenerating a golden with a worse tail
+# forces an explicit, same-commit update of the trajectory file.
+echo "== perf trajectory gate (interactive p99 vs results/trajectory.tsv) =="
+check_traj() {
+    key="$1"
+    current="$2"
+    if [ -z "$current" ]; then
+        echo "error: could not parse current value for $key from goldens" >&2
+        exit 1
+    fi
+    pinned=$(awk -F'\t' -v k="$key" '$1 == k { print $2 }' results/trajectory.tsv)
+    if [ -z "$pinned" ]; then
+        echo "error: $key missing from results/trajectory.tsv" >&2
+        exit 1
+    fi
+    awk -v c="$current" -v p="$pinned" -v k="$key" 'BEGIN {
+        if (c > p * 1.10) {
+            printf "error: %s regressed: %s ms vs pinned %s ms (+%.1f%%, limit 10%%)\n",
+                k, c, p, (c / p - 1) * 100 > "/dev/stderr"
+            exit 1
+        }
+        printf "   %-56s %6s ms (pinned %s ms)\n", k, c, p
+    }'
+}
+# interactive p99 request (ms) for one (rate, policy) row of sched_comparison
+sched_p99() {
+    awk -F'|' -v r="$1" -v pol="$2" '
+        { for (i = 1; i <= 3; i++) gsub(/^ +| +$/, "", $i) }
+        $1 == r && $2 == pol && $3 == "interactive" { gsub(/[ ms]/, "", $8); print $8 }
+    ' results/sched_comparison.txt
+}
+# interactive p99 request (ms) for one (replicas, router) row of router_scaling
+router_p99() {
+    awk -F'|' -v n="$1" -v rt="$2" '
+        { for (i = 1; i <= 2; i++) gsub(/^ +| +$/, "", $i) }
+        $1 == n && $2 == rt { gsub(/[ ms]/, "", $7); print $7 }
+    ' results/router_scaling.txt
+}
+check_traj "sched_comparison/8s/slo-aware/interactive_p99_request_ms" "$(sched_p99 '8/s' slo-aware)"
+check_traj "sched_comparison/16s/slo-aware/interactive_p99_request_ms" "$(sched_p99 '16/s' slo-aware)"
+check_traj "router_scaling/2r/jsq/interactive_p99_request_ms" "$(router_p99 2 jsq)"
+check_traj "router_scaling/4r/jsq/interactive_p99_request_ms" "$(router_p99 4 jsq)"
+
 echo "== cargo doc -D warnings =="
 RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps --offline --quiet
 

@@ -15,10 +15,11 @@ use longsight_model::{
 use longsight_obs::Recorder;
 use longsight_sched::{RouterPolicy, SchedPolicy, SloMix};
 use longsight_system::serving::{
-    simulate_fleet, simulate_observed, simulate_scheduled, SchedOptions, WorkloadConfig,
+    simulate_fleet, simulate_observed, simulate_scheduled, SchedOptions, ServeMetrics,
+    WorkloadConfig,
 };
 use longsight_system::{
-    AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem,
+    AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, LookaheadConfig, ServingSystem,
     SlidingWindowSystem, TokenAttribution,
 };
 use longsight_tensor::SimRng;
@@ -111,6 +112,50 @@ fn sched_flags(a: &Args) -> Result<Option<SchedOptions>, String> {
     }))
 }
 
+/// Parses the lookahead-pipeline flags (`--lookahead on|off`,
+/// `--spec-slots`, `--spec-miss`, `--spec-penalty-ms`). Returns `None`
+/// when none are given — the command then takes the legacy synchronous
+/// path, byte-identical to builds that predate the pipeline. An explicit
+/// `--lookahead off` also returns a config (the disabled one), so the
+/// gated-off path is exercised through the same plumbing.
+fn lookahead_flags(a: &Args) -> Result<Option<LookaheadConfig>, String> {
+    let any = ["lookahead", "spec-slots", "spec-miss", "spec-penalty-ms"]
+        .iter()
+        .any(|k| a.get(k).is_some());
+    if !any {
+        return Ok(None);
+    }
+    let enabled = match a.get("lookahead").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("invalid --lookahead '{other}' (use on or off)")),
+    };
+    let mut la = if enabled {
+        LookaheadConfig::serving_default()
+    } else {
+        LookaheadConfig::disabled()
+    };
+    la.slots = a.get_or("spec-slots", la.slots)?;
+    if enabled && la.slots == 0 {
+        return Err("--spec-slots must be >= 1 (an empty pool can never issue)".into());
+    }
+    la.miss_rate = a.get_or("spec-miss", la.miss_rate)?;
+    if !(0.0..=1.0).contains(&la.miss_rate) {
+        return Err(format!(
+            "--spec-miss must be in [0, 1], got {}",
+            la.miss_rate
+        ));
+    }
+    let penalty_ms: f64 = a.get_or("spec-penalty-ms", la.refilter_penalty_ns / 1e6)?;
+    if !(penalty_ms >= 0.0 && penalty_ms.is_finite()) {
+        return Err(format!(
+            "--spec-penalty-ms must be a non-negative number, got {penalty_ms}"
+        ));
+    }
+    la.refilter_penalty_ns = penalty_ms * 1e6;
+    Ok(Some(la))
+}
+
 /// Builds the recorder selected by `--trace-out` / `--metrics-out`
 /// (disabled — and thereby free — when neither flag is given) together
 /// with the two output paths.
@@ -182,7 +227,22 @@ fn print_paged_kv(a: &Args, sys: &dyn ServingSystem, ctx: usize) -> Result<(), S
     Ok(())
 }
 
-fn build_system(name: &str, model: ModelConfig) -> Result<Box<dyn ServingSystem>, String> {
+fn build_system(
+    name: &str,
+    model: ModelConfig,
+    lookahead: Option<LookaheadConfig>,
+) -> Result<Box<dyn ServingSystem>, String> {
+    if let Some(la) = lookahead {
+        if name != "longsight" {
+            return Err(format!(
+                "--lookahead applies to --system longsight only (got '{name}')"
+            ));
+        }
+        return Ok(Box::new(LongSightSystem::new(
+            LongSightConfig::paper_default().with_lookahead(la),
+            model,
+        )));
+    }
     Ok(match name {
         "longsight" => Box::new(LongSightSystem::new(
             LongSightConfig::paper_default(),
@@ -264,6 +324,33 @@ fn print_report(name: &str, r: &longsight_system::StepReport) {
     print!("{}", r.to_text(name));
 }
 
+/// Prints a serving run's speculation counters (silent when the run never
+/// speculated, keeping lookahead-off output byte-identical).
+fn print_spec_counters(m: &ServeMetrics) {
+    if m.spec_hits + m.spec_misses + m.spec_denied > 0 {
+        println!(
+            "  speculation: {} hit | {} miss | {} denied",
+            m.spec_hits, m.spec_misses, m.spec_denied
+        );
+    }
+}
+
+/// Prints the speculation summary of a lookahead-on step report (silent
+/// for lookahead-off reports, keeping legacy output byte-identical).
+fn print_spec_line(r: &longsight_system::StepReport) {
+    if let Some(s) = r.spec {
+        println!(
+            "  speculation: chain {:.3} ms | hidden {:.3} ms | visible {:.3} ms | serial {:.3} ms/token | {} slots | miss rate {}",
+            s.chain_ns / 1e6,
+            (s.chain_ns - s.hit_visible_ns) / 1e6,
+            s.hit_visible_ns / 1e6,
+            s.serial_step_ns / 1e6,
+            s.slots,
+            s.miss_rate
+        );
+    }
+}
+
 /// `longsight serve` — one evaluation row.
 pub fn serve(a: &Args) -> Result<(), String> {
     a.ensure_known(&[
@@ -278,11 +365,16 @@ pub fn serve(a: &Args) -> Result<(), String> {
         "metrics-out",
         "page-tokens",
         "watermark",
+        "lookahead",
+        "spec-slots",
+        "spec-miss",
+        "spec-penalty-ms",
     ])?;
     let model = model_flag(a)?;
     let ctx: usize = a.get_or("ctx", 131_072)?;
     let users: usize = a.get_or("users", 8)?;
     let (faults, fault_seed, retry) = fault_flags(a)?;
+    let lookahead = lookahead_flags(a)?;
     let (mut rec, trace_out, metrics_out) = obs_flags(a);
     let sys_name = a.get("system").unwrap_or("longsight");
     if faults.is_enabled() {
@@ -293,10 +385,14 @@ pub fn serve(a: &Args) -> Result<(), String> {
         }
         let mut cfg = LongSightConfig::paper_default().with_faults(faults, fault_seed);
         cfg.retry = retry;
+        if let Some(la) = lookahead {
+            cfg = cfg.with_lookahead(la);
+        }
         let mut sys = LongSightSystem::new(cfg, model);
         match sys.evaluate_with_faults(users, ctx) {
             Ok((r, log, stats)) => {
                 print_report(&sys.name(), &r);
+                print_spec_line(&r);
                 println!(
                     "  faults (seed {fault_seed}): {} events | retried {} | degraded {} | failed {}",
                     log.len(),
@@ -326,10 +422,11 @@ pub fn serve(a: &Args) -> Result<(), String> {
         print_paged_kv(a, &sys, ctx)?;
         return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
     }
-    let mut sys = build_system(sys_name, model)?;
+    let mut sys = build_system(sys_name, model, lookahead)?;
     match sys.evaluate(users, ctx) {
         Ok(r) => {
             print_report(&sys.name(), &r);
+            print_spec_line(&r);
             if rec.is_enabled() {
                 sys.record_step_detail(users, ctx, &mut rec, 0.0);
                 rec.gauge_set("serve.step_ms", r.latency_ms());
@@ -373,6 +470,10 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         "watermark",
         "replicas",
         "router",
+        "lookahead",
+        "spec-slots",
+        "spec-miss",
+        "spec-penalty-ms",
     ])?;
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
@@ -384,6 +485,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
     };
     let (faults, fault_seed, retry) = fault_flags(a)?;
     let sched_opts = sched_flags(a)?;
+    let lookahead = lookahead_flags(a)?;
     let (mut rec, trace_out, metrics_out) = obs_flags(a);
     let sys_name = a.get("system").unwrap_or("longsight");
     let injected = faults.is_enabled();
@@ -403,7 +505,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         let opts = sched_opts.unwrap_or_else(|| SchedOptions::slo_aware(SloMix::mixed()));
         let mut systems = Vec::with_capacity(replicas);
         for _ in 0..replicas {
-            systems.push(build_system(sys_name, model.clone())?);
+            systems.push(build_system(sys_name, model.clone(), lookahead)?);
         }
         let (m, fleet) = simulate_fleet(&mut systems, &model, &wl, &opts, router, &mut rec);
         println!(
@@ -417,13 +519,14 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
             router.name()
         );
         print!("{}", m.to_text());
+        print_spec_counters(&m);
         print!("{}", fleet.to_text());
         if let Some(v) = &fleet.audit_violation {
             return Err(format!("fleet audit failed: {v}"));
         }
         return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
     }
-    let mut sys = build_system(sys_name, model.clone())?;
+    let mut sys = build_system(sys_name, model.clone(), lookahead)?;
     if let Some(opts) = sched_opts {
         let inj;
         let fault_args = if injected {
@@ -444,6 +547,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
             opts.policy.name()
         );
         print!("{}", m.to_text());
+        print_spec_counters(&m);
         print!("{}", rep.to_text());
         if injected {
             println!(
@@ -478,6 +582,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         wl.context_tokens.1
     );
     print!("{}", m.to_text());
+    print_spec_counters(&m);
     if injected {
         println!(
             "  faults (seed {fault_seed}): {} events | retried {} | degraded {} ({:.2}% of tokens) | failed requests {}",
@@ -514,6 +619,10 @@ pub fn profile(a: &Args) -> Result<(), String> {
         "deadline-ms",
         "trace-out",
         "metrics-out",
+        "lookahead",
+        "spec-slots",
+        "spec-miss",
+        "spec-penalty-ms",
     ])?;
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
@@ -524,8 +633,13 @@ pub fn profile(a: &Args) -> Result<(), String> {
         seed: a.get_or("seed", 7)?,
     };
     let (faults, fault_seed, retry) = fault_flags(a)?;
+    let lookahead = lookahead_flags(a)?;
     let (mut rec, trace_out, metrics_out) = obs_flags(a);
-    let mut sys = build_system(a.get("system").unwrap_or("longsight"), model.clone())?;
+    let mut sys = build_system(
+        a.get("system").unwrap_or("longsight"),
+        model.clone(),
+        lookahead,
+    )?;
     let injected = faults.is_enabled();
     let mut attr = TokenAttribution::new();
     let (m, fault_log) = if injected {
@@ -614,15 +728,23 @@ pub fn offload(a: &Args) -> Result<(), String> {
         "deadline-ms",
         "trace-out",
         "metrics-out",
+        "lookahead",
+        "spec-slots",
+        "spec-miss",
+        "spec-penalty-ms",
     ])?;
     let model = model_flag(a)?;
     let ctx: usize = a.get_or("ctx", 131_072)?;
     let users: usize = a.get_or("users", 1)?;
     let (faults, fault_seed, retry) = fault_flags(a)?;
+    let lookahead = lookahead_flags(a)?;
     let (mut rec, trace_out, metrics_out) = obs_flags(a);
     let injected = faults.is_enabled();
     let mut cfg = LongSightConfig::paper_default().with_faults(faults, fault_seed);
     cfg.retry = retry;
+    if let Some(la) = lookahead {
+        cfg = cfg.with_lookahead(la);
+    }
     let sys = LongSightSystem::new(cfg, model);
     let (observed, p) = sys.drex_layer_traced(users, ctx, &mut rec, 0.0);
     if rec.is_enabled() {
@@ -639,6 +761,23 @@ pub fn offload(a: &Args) -> Result<(), String> {
     println!("  queue wait  {:>10.2} us", p.queue_wait_ns / 1e3);
     println!("  value/CXL   {:>10.2} us", p.value_cxl_ns / 1e3);
     println!("  observed    {:>10.2} us (last user)", observed / 1e3);
+    if lookahead.is_some_and(|la| la.enabled) {
+        // The issue/complete halves the lookahead pipeline puts in flight:
+        // issue covers the speculative chain up to device-ready, complete
+        // the polling + value read the GPU pays at use time.
+        let mut quiet = Recorder::disabled();
+        if let Some(issued) = sys.drex_layer_issue(users, ctx, &mut quiet, 0.0) {
+            let (complete_observed, _) = sys.drex_layer_complete(&issued, &mut quiet, 0.0);
+            println!(
+                "  issue ready {:>10.2} us (speculative half: filter->topk + queue)",
+                issued.ready_rel_ns / 1e3
+            );
+            println!(
+                "  complete    {:>10.2} us (poll + value read at use time)",
+                (complete_observed - issued.ready_rel_ns) / 1e3
+            );
+        }
+    }
     if injected {
         let f = sys.drex_layer_faulty(users, ctx);
         println!(

@@ -97,6 +97,16 @@ impl CxlLink {
         self.polled_completion_ns(ready_at) + self.transfer_ns(bytes)
     }
 
+    /// In-flight transfer accounting for the lookahead pipeline: given a
+    /// chain (device work + link transfer) of `in_flight_ns` issued
+    /// speculatively one step ahead, and `compute_ns` of GPU work available
+    /// to hide it behind, returns the portion of the chain that overlaps
+    /// with compute. The remainder, `in_flight_ns - overlapped`, is what the
+    /// decode step still sees as visible wait.
+    pub fn overlapped_ns(&self, in_flight_ns: f64, compute_ns: f64) -> f64 {
+        in_flight_ns.min(compute_ns.max(0.0))
+    }
+
     /// Cost of one CRC replay round on a transfer of `bytes`: link
     /// re-arbitration (the base latency) plus retransmission of the last
     /// replay-buffer window.
@@ -260,6 +270,17 @@ mod tests {
         assert_eq!(one, l.mmio_write_ns);
         assert!(many > one);
         assert!(many < l.mmio_write_ns + 100.0 * 8.0);
+    }
+
+    #[test]
+    fn overlap_accounting_is_clamped_to_the_chain_and_the_budget() {
+        let l = CxlLink::pcie5_x16();
+        // Chain fully hidden when compute is longer.
+        assert_eq!(l.overlapped_ns(100.0, 250.0), 100.0);
+        // Compute shorter: only the compute window hides.
+        assert_eq!(l.overlapped_ns(400.0, 250.0), 250.0);
+        // Negative budgets hide nothing.
+        assert_eq!(l.overlapped_ns(400.0, -5.0), 0.0);
     }
 
     #[test]

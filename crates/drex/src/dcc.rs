@@ -275,6 +275,90 @@ impl DccSim {
     }
 }
 
+/// A bounded pool of in-flight speculative offload slots (the lookahead
+/// pipeline's backpressure model).
+///
+/// Each slot carries one speculative filter→bitmap→addr-gen→fetch/score→top-k
+/// chain issued at decode step *t* for step *t+1* and stays busy until the
+/// chain's simulated completion time. When every slot is busy a new issue is
+/// *denied* and that token falls back to the synchronous path — no queueing,
+/// no retry, so denial is free of any re-filter penalty. Slots are pooled per
+/// DReX device, not per request, which is what lets batched requests share
+/// the speculative pipeline.
+///
+/// Purely simulated-time state: identical call sequences produce identical
+/// occupancy timelines at any worker-thread count.
+#[derive(Debug, Clone)]
+pub struct SpecSlotPool {
+    slots: usize,
+    in_flight: Vec<f64>,
+    peak: usize,
+    issued: u64,
+    denied: u64,
+}
+
+impl SpecSlotPool {
+    /// Creates a pool with `slots` concurrent speculative chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0` — a zero-slot pool would deny everything,
+    /// which callers express by disabling lookahead instead.
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "need at least one speculative slot");
+        Self {
+            slots,
+            in_flight: Vec::with_capacity(slots),
+            peak: 0,
+            issued: 0,
+            denied: 0,
+        }
+    }
+
+    /// The configured slot bound.
+    pub fn capacity(&self) -> usize {
+        self.slots
+    }
+
+    /// Retires every slot whose chain completed at or before `now_ns`.
+    pub fn release_until(&mut self, now_ns: f64) {
+        self.in_flight.retain(|&done| done > now_ns);
+    }
+
+    /// Tries to occupy one slot from `now_ns` for `duration_ns`. Returns
+    /// `false` (denied, backpressure) when all slots are busy.
+    pub fn try_issue(&mut self, now_ns: f64, duration_ns: f64) -> bool {
+        if self.in_flight.len() >= self.slots {
+            self.denied += 1;
+            return false;
+        }
+        self.in_flight.push(now_ns + duration_ns.max(0.0));
+        self.peak = self.peak.max(self.in_flight.len());
+        self.issued += 1;
+        true
+    }
+
+    /// Slots currently busy.
+    pub fn occupancy(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// High-water mark of concurrent slots over the pool's lifetime.
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak
+    }
+
+    /// Total successful issues.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Total denied issues (backpressure events).
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,5 +449,27 @@ mod tests {
         let mut d = dcc();
         let bad = head(2 * MAX_CONTEXT_SLICE_KEYS, 100, vec![0]); // needs 2
         let _ = d.submit(0.0, &[bad], 64, 64);
+    }
+
+    #[test]
+    fn spec_pool_denies_past_capacity_and_releases_on_completion() {
+        let mut pool = SpecSlotPool::new(2);
+        assert!(pool.try_issue(0.0, 100.0));
+        assert!(pool.try_issue(0.0, 200.0));
+        assert!(!pool.try_issue(0.0, 50.0), "third issue must be denied");
+        assert_eq!(pool.occupancy(), 2);
+        assert_eq!(pool.denied(), 1);
+
+        pool.release_until(150.0); // first chain done at 100
+        assert_eq!(pool.occupancy(), 1);
+        assert!(pool.try_issue(150.0, 10.0));
+        assert_eq!(pool.issued(), 3);
+        assert_eq!(pool.peak_occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "speculative slot")]
+    fn zero_slot_pool_panics() {
+        let _ = SpecSlotPool::new(0);
     }
 }

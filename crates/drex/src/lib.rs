@@ -49,7 +49,7 @@ mod response_buffers;
 pub mod spm;
 mod write_path;
 
-pub use dcc::{DccSim, HeadWork, RequestTiming};
+pub use dcc::{DccSim, HeadWork, RequestTiming, SpecSlotPool};
 pub use descriptor::{
     RequestDescriptor, ResponseDescriptor, TopHit, POLLING_REGISTER_BITS, REQUEST_QUEUE_DEPTH,
 };

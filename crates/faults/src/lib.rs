@@ -44,6 +44,10 @@ pub mod domain {
     pub const TOKEN: u64 = 5;
     /// Unrecoverable per-request failures.
     pub const HARD: u64 = 6;
+    /// Speculative lookahead offload slots (miss draws and in-flight fault
+    /// voids); kept separate from [`TOKEN`] so speculation never perturbs
+    /// the retry ladder's draw sequence.
+    pub const SPEC: u64 = 7;
 }
 
 /// splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
@@ -62,6 +66,16 @@ pub fn stream(domain: u64, a: u64, b: u64, c: u64) -> u64 {
     h = mix64(h ^ a.wrapping_mul(0xE703_7ED1_A0B4_28DB));
     h = mix64(h ^ b.wrapping_mul(0x8EBC_6AF0_9C88_C6E3));
     mix64(h ^ c.wrapping_mul(0x5895_65E0_6C3D_3D1D))
+}
+
+/// The `draw`-th uniform in `[0, 1)` of `stream` under `seed` — the same
+/// pure function [`FaultInjector::uniform`] uses, exposed standalone so
+/// subsystems that only need deterministic Bernoulli draws (e.g. the
+/// lookahead speculation model) can share the machinery without carrying a
+/// fault profile.
+pub fn unit_draw(seed: u64, stream: u64, draw: u64) -> f64 {
+    let mut rng = SimRng::seed_from(mix64(seed ^ stream).wrapping_add(draw));
+    rng.uniform()
 }
 
 /// Per-event-class fault rates. All rates are probabilities in `[0, 1]`;
@@ -562,8 +576,7 @@ impl FaultInjector {
     /// `(seed, stream, draw)`. Comparing these fixed draws against rates is
     /// what makes fault schedules monotone in the rate.
     pub fn uniform(&self, stream: u64, draw: u64) -> f64 {
-        let mut rng = SimRng::seed_from(mix64(self.seed ^ stream).wrapping_add(draw));
-        rng.uniform()
+        unit_draw(self.seed, stream, draw)
     }
 
     /// CRC replay rounds for a CXL transfer on `stream` (0 = clean).

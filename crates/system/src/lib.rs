@@ -33,8 +33,13 @@ mod report;
 pub mod serving;
 pub mod slo;
 
-pub use attribution::TokenAttribution;
+pub use attribution::{SpecCharge, SpecSample, TokenAttribution};
 pub use baselines::{AttAccSystem, GpuOnlySystem, SlidingWindowSystem};
 pub use degrade::{DegradeStats, TokenOutcome};
-pub use longsight::{FaultedLayerReport, LongSightConfig, LongSightSystem, OffloadProfile};
-pub use report::{Infeasible, OffloadComponents, ServingSystem, StepBreakdown, StepReport};
+pub use longsight::{
+    FaultedLayerReport, IssuedLayer, LongSightConfig, LongSightSystem, LookaheadConfig,
+    OffloadProfile,
+};
+pub use report::{
+    Infeasible, OffloadComponents, ServingSystem, SpecStep, StepBreakdown, StepReport,
+};

@@ -9,14 +9,16 @@
 //! paces the layer.
 
 use crate::degrade::DegradeStats;
-use crate::report::{Infeasible, OffloadComponents, ServingSystem, StepBreakdown, StepReport};
+use crate::report::{
+    Infeasible, OffloadComponents, ServingSystem, SpecStep, StepBreakdown, StepReport,
+};
 use longsight_core::HybridConfig;
 use longsight_cxl::CxlLink;
 use longsight_dram::Geometry;
 use longsight_drex::layout::{self, MAX_CONTEXT_SLICE_KEYS};
 use longsight_drex::{
     time_slice_offload, try_time_slice_offload_traced, DccSim, DrexParams, HeadOffloadSpec,
-    REQUEST_QUEUE_DEPTH,
+    HeadOffloadTiming, REQUEST_QUEUE_DEPTH,
 };
 use longsight_faults::{
     domain, stream, FaultInjector, FaultKind, FaultLog, FaultProfile, RetryPolicy,
@@ -49,6 +51,10 @@ pub struct LongSightConfig {
     pub retry: RetryPolicy,
     /// Seed of the deterministic fault schedule (CLI `--fault-seed`).
     pub fault_seed: u64,
+    /// Lookahead (speculative async offload) pipeline. Disabled by default:
+    /// every evaluation takes the exact synchronous code path and stays
+    /// bit-identical to the pre-lookahead model.
+    pub lookahead: LookaheadConfig,
 }
 
 impl LongSightConfig {
@@ -65,6 +71,7 @@ impl LongSightConfig {
             faults: FaultProfile::disabled(),
             retry: RetryPolicy::serving_default(),
             fault_seed: 0,
+            lookahead: LookaheadConfig::disabled(),
         }
     }
 
@@ -74,6 +81,62 @@ impl LongSightConfig {
         self.faults = profile;
         self.fault_seed = seed;
         self
+    }
+
+    /// Sets the lookahead pipeline configuration.
+    pub fn with_lookahead(mut self, lookahead: LookaheadConfig) -> Self {
+        self.lookahead = lookahead;
+        self
+    }
+}
+
+/// Configuration of the lookahead speculation pipeline: the bounded pool of
+/// in-flight DReX offload slots that issue step *t+1*'s filter→score→top-k
+/// chain during step *t* and hide it behind the GPU's dense work.
+///
+/// Disabled (`enabled == false`), every knob is inert and the system is
+/// bit-identical to the synchronous model. Misses are drawn from the
+/// deterministic `domain::SPEC` stream keyed by `(request, token, seed)`,
+/// so a run is reproducible at any worker-thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookaheadConfig {
+    /// Whether speculative issue is on.
+    pub enabled: bool,
+    /// Bound on concurrent in-flight speculative chains per DReX device
+    /// (shared by the whole batch; exhaustion denies the issue and the
+    /// token falls back to the synchronous path).
+    pub slots: usize,
+    /// Probability that a speculated region is stale by the time the token
+    /// consumes it (context grew past the speculated region, or an
+    /// eviction/restore invalidated its pages).
+    pub miss_rate: f64,
+    /// Deterministic re-filter penalty charged once per missed step, on
+    /// top of the synchronous timing, ns.
+    pub refilter_penalty_ns: f64,
+    /// Seed of the miss-draw stream.
+    pub seed: u64,
+}
+
+impl LookaheadConfig {
+    /// Lookahead off; the knobs hold the serving defaults so flipping
+    /// `enabled` is enough to opt in.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::serving_default()
+        }
+    }
+
+    /// The serving default: 32 pooled slots, a 2% stale-speculation rate,
+    /// and a 0.25 ms re-filter penalty per missed step.
+    pub fn serving_default() -> Self {
+        Self {
+            enabled: true,
+            slots: 32,
+            miss_rate: 0.02,
+            refilter_penalty_ns: 250_000.0,
+            seed: 0,
+        }
     }
 }
 
@@ -127,6 +190,32 @@ fn visible_components(profile: &OffloadProfile, visible_ns: f64) -> OffloadCompo
         queue_ns: queue,
         link_ns: visible_ns - filter - score - queue,
     }
+}
+
+/// The issue half of one layer's DReX offload: descriptor submit, PFU/NMA
+/// chain timing, and DCC slot scheduling for the whole batch — everything
+/// the device pipeline does before the GPU observes completion. This is
+/// what a speculative lookahead slot carries in flight; the complete half
+/// ([`LongSightSystem::drex_layer_complete`]) adds completion polling and
+/// the value read.
+#[derive(Debug, Clone)]
+pub struct IssuedLayer {
+    /// Device completion of the critical user's last slice, ns relative to
+    /// the issue instant.
+    pub ready_rel_ns: f64,
+    /// Worst NMA queueing of the critical user plus the descriptor submit,
+    /// ns.
+    pub queue_wait_ns: f64,
+    /// CXL descriptor submit cost, ns.
+    pub submit_ns: f64,
+    /// Response Descriptor payload, bytes.
+    pub response_bytes: usize,
+    /// Batch size issued.
+    pub users: usize,
+    /// Context Slices per head.
+    pub slices: usize,
+    /// Device-phase timing of the critical (full-size) slice chain.
+    pub chain: HeadOffloadTiming,
 }
 
 /// One layer's offload timing under fault injection, with the degradation
@@ -189,15 +278,9 @@ impl LongSightSystem {
         rec: &mut Recorder,
         anchor_ns: f64,
     ) -> (f64, OffloadProfile) {
-        let cfg = &self.config;
-        let region = self.region(context);
-        let kv = self.model.kv_heads;
-        let d = self.model.head_dim;
-        let k = cfg.hybrid.top_k;
-        let group = self.model.group_size();
-
-        if region == 0 || users == 0 {
-            return (
+        match self.drex_layer_issue(users, context, rec, anchor_ns) {
+            Some(issued) => self.drex_layer_complete(&issued, rec, anchor_ns),
+            None => (
                 0.0,
                 OffloadProfile {
                     filter_ns: 0.0,
@@ -208,7 +291,36 @@ impl LongSightSystem {
                     queue_wait_ns: 0.0,
                     value_cxl_ns: 0.0,
                 },
-            );
+            ),
+        }
+    }
+
+    /// Issues one layer's offloads for the batch: times the slice chain,
+    /// schedules every user's slices on the NMA pool, and returns the
+    /// in-flight state up to (but not including) completion polling and the
+    /// value read. Returns `None` when there is nothing to offload (empty
+    /// region or batch).
+    ///
+    /// Composing this with [`LongSightSystem::drex_layer_complete`] is
+    /// bit-identical to [`LongSightSystem::drex_layer_traced`] — the split
+    /// exists so the lookahead pipeline can put the issue half in flight a
+    /// step early.
+    pub fn drex_layer_issue(
+        &self,
+        users: usize,
+        context: usize,
+        rec: &mut Recorder,
+        anchor_ns: f64,
+    ) -> Option<IssuedLayer> {
+        let cfg = &self.config;
+        let region = self.region(context);
+        let kv = self.model.kv_heads;
+        let d = self.model.head_dim;
+        let k = cfg.hybrid.top_k;
+        let group = self.model.group_size();
+
+        if region == 0 || users == 0 {
+            return None;
         }
 
         let survivors_total = ((region as f64 / cfg.filter_ratio) as usize).min(region);
@@ -299,13 +411,36 @@ impl LongSightSystem {
             }
         }
 
-        let ready_rel = last_done;
+        Some(IssuedLayer {
+            ready_rel_ns: last_done,
+            queue_wait_ns: last_wait + submit,
+            submit_ns: submit,
+            response_bytes,
+            users,
+            slices,
+            chain: slice_timings[0],
+        })
+    }
+
+    /// Completes an issued layer: the GPU polls for device completion, reads
+    /// the top-k values over CXL, and the critical chain's profile is
+    /// decomposed. Returns `(last-user observed completion ns, profile)`,
+    /// both relative to the issue instant.
+    pub fn drex_layer_complete(
+        &self,
+        issued: &IssuedLayer,
+        rec: &mut Recorder,
+        anchor_ns: f64,
+    ) -> (f64, OffloadProfile) {
+        let cfg = &self.config;
+        let ready_rel = issued.ready_rel_ns;
         let value_cxl = cfg.link.polled_completion_ns(ready_rel) - ready_rel
-            + cfg.link.transfer_ns(response_bytes);
+            + cfg.link.transfer_ns(issued.response_bytes);
         let observed = ready_rel + value_cxl;
 
         if rec.is_enabled() {
             let cxl_track = rec.track("cxl");
+            let desc_bytes = 8 + self.model.q_heads * self.model.head_dim * 2;
             let _ = cfg
                 .link
                 .descriptor_submit_ns_traced(desc_bytes, rec, cxl_track, anchor_ns);
@@ -317,9 +452,13 @@ impl LongSightSystem {
                 anchor_ns + polled,
                 &[("ready_at_ns", ArgVal::F(ready_rel))],
             );
-            let _ =
-                cfg.link
-                    .transfer_ns_traced(response_bytes, 0, rec, cxl_track, anchor_ns + polled);
+            let _ = cfg.link.transfer_ns_traced(
+                issued.response_bytes,
+                0,
+                rec,
+                cxl_track,
+                anchor_ns + polled,
+            );
             let drex_track = rec.track("drex");
             rec.leaf_with(
                 drex_track,
@@ -327,23 +466,23 @@ impl LongSightSystem {
                 anchor_ns,
                 anchor_ns + observed,
                 &[
-                    ("users", ArgVal::U(users as u64)),
-                    ("slices", ArgVal::U(slices as u64)),
-                    ("queue_wait_ns", ArgVal::F(last_wait + submit)),
+                    ("users", ArgVal::U(issued.users as u64)),
+                    ("slices", ArgVal::U(issued.slices as u64)),
+                    ("queue_wait_ns", ArgVal::F(issued.queue_wait_ns)),
                 ],
             );
         }
 
         // Decompose the critical chain's device time for the profile (the
-        // full-slice timing computed above).
-        let chain = slice_timings[0];
+        // full-slice timing computed at issue).
+        let chain = issued.chain;
         let profile = OffloadProfile {
             filter_ns: chain.filter_ns,
             bitmap_ns: chain.bitmap_ns,
             addr_gen_ns: chain.addr_gen_ns,
             fetch_score_ns: chain.fetch_score_ns,
             topk_ns: chain.topk_ns,
-            queue_wait_ns: last_wait + submit,
+            queue_wait_ns: issued.queue_wait_ns,
             value_cxl_ns: value_cxl,
         };
         (observed, profile)
@@ -695,7 +834,69 @@ impl LongSightSystem {
         };
         let report = StepReport::from_breakdown(users, context, breakdown)
             .with_offload(visible_components(&faulted.profile, drex_visible));
+        let report = if self.config.lookahead.enabled {
+            let gpu_serial_layer = (gpu.weights_ns + gpu.itq_ns + gpu.merge_ns) / layers;
+            self.lookahead_report(
+                report,
+                drex_visible,
+                gpu_serial_layer,
+                attn_layer,
+                faulted.layer_ns,
+                &faulted.profile,
+                layers,
+            )
+        } else {
+            report
+        };
         Ok((report, faulted.log, faulted.stats))
+    }
+
+    /// Rewrites a synchronous step report into the lookahead *hit*-path
+    /// report, keeping the serial timing alongside in [`SpecStep`].
+    ///
+    /// On a hit, the chain issued at step *t−1* is already in flight, so
+    /// the whole per-layer GPU budget (serial work + window attention)
+    /// hides it; only the remainder stays visible. The serial numbers are
+    /// carried over bit-for-bit so a miss (or a slot denial) can charge
+    /// the exact synchronous timing.
+    #[allow(clippy::too_many_arguments)]
+    fn lookahead_report(
+        &self,
+        serial: StepReport,
+        serial_visible_ns: f64,
+        gpu_serial_layer: f64,
+        attn_layer: f64,
+        drex_layer_ns: f64,
+        profile: &OffloadProfile,
+        layers: f64,
+    ) -> StepReport {
+        let la = self.config.lookahead;
+        // A chain issued at step t (when the GPU passes layer ℓ) is needed
+        // at step t+1's visit to the same layer — one full revisit period
+        // later. Its overlap budget is therefore the GPU work of a whole
+        // step, not one layer's slice.
+        let budget = (gpu_serial_layer + attn_layer) * layers;
+        let hidden_layer = self.config.link.overlapped_ns(drex_layer_ns, budget);
+        let hit_visible = (drex_layer_ns - hidden_layer) * layers;
+        let breakdown = StepBreakdown {
+            gpu_weights_ns: serial.breakdown.gpu_weights_ns,
+            gpu_attention_ns: serial.breakdown.gpu_attention_ns,
+            gpu_merge_ns: serial.breakdown.gpu_merge_ns,
+            drex_offload_ns: hit_visible * 0.7,
+            cxl_ns: hit_visible * 0.3,
+        };
+        StepReport::from_breakdown(serial.users, serial.context, breakdown)
+            .with_offload(visible_components(profile, hit_visible))
+            .with_spec(SpecStep {
+                chain_ns: drex_layer_ns * layers,
+                serial_step_ns: serial.step_ns,
+                serial_visible_ns,
+                hit_visible_ns: hit_visible,
+                refilter_penalty_ns: la.refilter_penalty_ns,
+                miss_rate: la.miss_rate,
+                slots: la.slots,
+                seed: la.seed,
+            })
     }
 
     /// Maximum users limited by DReX capacity and queue depth.
@@ -761,8 +962,20 @@ impl ServingSystem for LongSightSystem {
         };
         // Note: breakdown components are constructed to sum to step_ns.
         debug_assert!((breakdown.total_ns() - step_ns).abs() < 1e-3 * step_ns.max(1.0));
-        Ok(StepReport::from_breakdown(users, context, breakdown)
-            .with_offload(visible_components(&profile, drex_visible)))
+        let report = StepReport::from_breakdown(users, context, breakdown)
+            .with_offload(visible_components(&profile, drex_visible));
+        if self.config.lookahead.enabled {
+            return Ok(self.lookahead_report(
+                report,
+                drex_visible,
+                gpu_serial_layer,
+                attn_layer,
+                drex_layer_ns,
+                &profile,
+                layers,
+            ));
+        }
+        Ok(report)
     }
 
     fn max_users(&self, context: usize) -> usize {
@@ -1078,5 +1291,56 @@ mod tests {
         let mut s = system(ModelConfig::llama3_8b());
         let r = s.evaluate(8, 131_072).unwrap();
         assert!((r.breakdown.total_ns() - r.step_ns).abs() < 1e-3 * r.step_ns);
+    }
+
+    #[test]
+    fn lookahead_disabled_is_bit_identical() {
+        let model = ModelConfig::llama3_8b();
+        let mut plain = system(model.clone());
+        let mut gated = LongSightSystem::new(
+            LongSightConfig::paper_default().with_lookahead(LookaheadConfig::disabled()),
+            model,
+        );
+        let a = plain.evaluate(8, 131_072).unwrap();
+        let b = gated.evaluate(8, 131_072).unwrap();
+        assert_eq!(a, b, "disabled lookahead changed the step report");
+        assert!(a.spec.is_none());
+    }
+
+    #[test]
+    fn lookahead_hit_path_hides_the_chain_but_keeps_the_serial_bits() {
+        let model = ModelConfig::llama3_8b();
+        let mut plain = system(model.clone());
+        let mut ahead = LongSightSystem::new(
+            LongSightConfig::paper_default().with_lookahead(LookaheadConfig::serving_default()),
+            model,
+        );
+        let serial = plain.evaluate(8, 131_072).unwrap();
+        let hit = ahead.evaluate(8, 131_072).unwrap();
+        let spec = hit.spec.expect("lookahead on must attach SpecStep");
+
+        // The serial path is carried over bit-for-bit for the miss charge.
+        assert_eq!(spec.serial_step_ns.to_bits(), serial.step_ns.to_bits());
+        // A hit can only hide work, never invent speedup beyond the chain.
+        assert!(hit.step_ns <= serial.step_ns);
+        assert!(hit.step_ns >= serial.step_ns - spec.chain_ns);
+        assert!(spec.hit_visible_ns <= spec.serial_visible_ns);
+        assert!(spec.chain_ns >= spec.serial_visible_ns);
+        // At the paper default the GPU budget covers the chain entirely.
+        assert_eq!(spec.hit_visible_ns, 0.0, "8B/128K chain should hide fully");
+    }
+
+    #[test]
+    fn issue_and_complete_compose_to_the_fused_layer() {
+        let s = system(ModelConfig::llama3_8b());
+        let (fused_ns, fused_profile) = s.drex_layer(8, 131_072);
+        let mut rec = Recorder::disabled();
+        let issued = s
+            .drex_layer_issue(8, 131_072, &mut rec, 0.0)
+            .expect("non-empty region");
+        let (split_ns, split_profile) = s.drex_layer_complete(&issued, &mut rec, 0.0);
+        assert_eq!(fused_ns.to_bits(), split_ns.to_bits());
+        assert_eq!(fused_profile, split_profile);
+        assert!(issued.ready_rel_ns > 0.0 && issued.ready_rel_ns < split_ns);
     }
 }

@@ -57,6 +57,38 @@ impl OffloadComponents {
     }
 }
 
+/// Lookahead-speculation timing attached to a [`StepReport`] when the
+/// async offload pipeline is enabled.
+///
+/// The report's headline numbers (`step_ns`, `breakdown`, `offload`)
+/// describe the *hit* path — the speculative chain issued at step *t−1*
+/// landed and only the un-hideable remainder is visible. This struct keeps
+/// the serial path alongside so the serving loop can charge the exact
+/// synchronous timing (plus the configured re-filter penalty) whenever a
+/// speculation misses or slot backpressure denies the issue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpecStep {
+    /// Full unoverlapped filter→score→top-k→link chain across all layers,
+    /// ns. This is what one speculative slot occupies per step.
+    pub chain_ns: f64,
+    /// Synchronous per-token step latency (identical bits to the
+    /// lookahead-off `step_ns`), ns.
+    pub serial_step_ns: f64,
+    /// Visible offload wait on the synchronous path, ns.
+    pub serial_visible_ns: f64,
+    /// Visible offload wait on the hit path — chain minus what hides
+    /// behind the GPU's serial + attention work, ns.
+    pub hit_visible_ns: f64,
+    /// Deterministic re-filter penalty charged once per missed step, ns.
+    pub refilter_penalty_ns: f64,
+    /// Per-token speculation miss probability.
+    pub miss_rate: f64,
+    /// Bound on concurrent in-flight speculative chains per device.
+    pub slots: usize,
+    /// Seed for the miss-draw stream (`domain::SPEC`).
+    pub seed: u64,
+}
+
 /// Result of evaluating one serving configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepReport {
@@ -73,6 +105,9 @@ pub struct StepReport {
     /// Phase-level attribution of the visible offload wait, when the
     /// system can provide it (LongSight only; baselines report `None`).
     pub offload: Option<OffloadComponents>,
+    /// Lookahead speculation timing (LongSight with `--lookahead on`;
+    /// `None` everywhere else, including the lookahead-off path).
+    pub spec: Option<SpecStep>,
 }
 
 impl StepReport {
@@ -90,12 +125,19 @@ impl StepReport {
             },
             breakdown,
             offload: None,
+            spec: None,
         }
     }
 
     /// Attaches phase-level offload attribution.
     pub fn with_offload(mut self, offload: OffloadComponents) -> Self {
         self.offload = Some(offload);
+        self
+    }
+
+    /// Attaches lookahead speculation timing.
+    pub fn with_spec(mut self, spec: SpecStep) -> Self {
+        self.spec = Some(spec);
         self
     }
 

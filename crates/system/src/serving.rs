@@ -15,12 +15,15 @@
 //! prefill is chunked and overlapped with decode, and best-effort requests
 //! are evicted to DReX-resident state when higher classes need HBM.
 
-use crate::attribution::{attribution_parts, TokenAttribution};
+use crate::attribution::{
+    attribution_parts, SpecCharge, SpecSample, TokenAttribution, OVERLAP_HIDDEN, SPEC_MISS,
+};
 use crate::degrade::{resolve_token, DegradeStats, TokenOutcome};
 use crate::prefill::prefill_cost;
-use crate::report::{ServingSystem, StepReport};
+use crate::report::{ServingSystem, SpecStep, StepReport};
 use longsight_cxl::CxlLink;
-use longsight_faults::{FaultInjector, FaultLog, RetryPolicy};
+use longsight_drex::SpecSlotPool;
+use longsight_faults::{domain, stream, unit_draw, FaultInjector, FaultLog, RetryPolicy};
 use longsight_gpu::GpuSpec;
 use longsight_model::ModelConfig;
 use longsight_obs::json::fmt_f64;
@@ -145,6 +148,16 @@ pub struct ServeMetrics {
     /// lost long-range top-k attention (their recall over the non-window
     /// region dropped to zero for that step).
     pub degraded_quality_delta: f64,
+    /// Speculative lookahead chains that landed and hid their offload wait
+    /// (zero with the lookahead pipeline off).
+    pub spec_hits: usize,
+    /// Speculative chains invalidated before use — a stale context draw or
+    /// an injected fault voiding the in-flight slice (zero with lookahead
+    /// off).
+    pub spec_misses: usize,
+    /// Speculative issues denied by slot-pool backpressure (zero with
+    /// lookahead off).
+    pub spec_denied: usize,
 }
 
 impl ServeMetrics {
@@ -165,10 +178,20 @@ impl ServeMetrics {
         )
     }
 
-    /// Every field as a flat JSON object (stable key order).
+    /// Every field as a flat JSON object (stable key order). The
+    /// speculation counters appear only when any is non-zero, so
+    /// lookahead-off output is byte-identical to builds that predate them.
     pub fn to_json(&self) -> String {
+        let spec = if self.spec_hits + self.spec_misses + self.spec_denied > 0 {
+            format!(
+                ",\"spec_hits\":{},\"spec_misses\":{},\"spec_denied\":{}",
+                self.spec_hits, self.spec_misses, self.spec_denied
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "{{\"completed\":{},\"rejected\":{},\"in_flight\":{},\"throughput_tps\":{},\"p50_token_ms\":{},\"p99_token_ms\":{},\"p50_request_ms\":{},\"p99_request_ms\":{},\"mean_batch\":{},\"retried_tokens\":{},\"degraded_tokens\":{},\"failed_requests\":{},\"degraded_quality_delta\":{}}}",
+            "{{\"completed\":{},\"rejected\":{},\"in_flight\":{},\"throughput_tps\":{},\"p50_token_ms\":{},\"p99_token_ms\":{},\"p50_request_ms\":{},\"p99_request_ms\":{},\"mean_batch\":{},\"retried_tokens\":{},\"degraded_tokens\":{},\"failed_requests\":{},\"degraded_quality_delta\":{}{spec}}}",
             self.completed,
             self.rejected,
             self.in_flight,
@@ -213,6 +236,16 @@ impl ServeMetrics {
                     .ok_or_else(|| format!("non-numeric field '{key}'")),
             }
         };
+        // Optional: absent in lookahead-off output (and pre-lookahead JSON).
+        let get_spec = |key: &str| -> Result<usize, String> {
+            match v.get(key) {
+                None => Ok(0),
+                Some(f) => f
+                    .as_f64()
+                    .map(|x| x as usize)
+                    .ok_or_else(|| format!("non-numeric field '{key}'")),
+            }
+        };
         Ok(Self {
             completed: get_usize("completed")?,
             rejected: get_usize("rejected")?,
@@ -227,6 +260,9 @@ impl ServeMetrics {
             degraded_tokens: get_usize("degraded_tokens")?,
             failed_requests: get_usize("failed_requests")?,
             degraded_quality_delta: get_f64("degraded_quality_delta")?,
+            spec_hits: get_spec("spec_hits")?,
+            spec_misses: get_spec("spec_misses")?,
+            spec_denied: get_spec("spec_denied")?,
         })
     }
 }
@@ -570,6 +606,97 @@ fn sched_config_for(geometry: &KvDeviceGeometry, opts: &SchedOptions) -> SchedCo
     sched_cfg
 }
 
+/// Resolves one speculated decode step against the slot pool.
+///
+/// Each decoding member `(request id, token index)` tries to occupy one
+/// slot for the chain issued at the previous step. A denied issue (pool
+/// exhausted) leaves the member on the synchronous path. An issued member
+/// then draws its miss on the dedicated `domain::SPEC` stream — stale
+/// speculation (context grew past the speculated region or an
+/// eviction/restore invalidated pages, modeled by `miss_rate`) or, under
+/// fault injection, an in-flight void (the slice timeout/bit-flip classes
+/// hitting the speculative chain). Every decision is a pure function of
+/// `(seed, id, token)`, so the schedule is bit-identical at any thread
+/// count and across reruns. Emits `spec.issue` / `spec.hit` / `spec.miss`
+/// instants and returns the member counts `(hits, misses, denied)`.
+fn resolve_spec_step(
+    pool: &mut SpecSlotPool,
+    s: &SpecStep,
+    members: impl Iterator<Item = (u64, u64)>,
+    inj: Option<&FaultInjector>,
+    rec: &mut Recorder,
+    track: TrackId,
+    now_ns: f64,
+) -> (usize, usize, usize) {
+    pool.release_until(now_ns);
+    let (mut hits, mut misses, mut denied) = (0usize, 0usize, 0usize);
+    for (id, tok) in members {
+        if !pool.try_issue(now_ns, s.chain_ns) {
+            denied += 1;
+            continue;
+        }
+        if rec.is_enabled() {
+            rec.instant_with(
+                track,
+                "spec.issue",
+                now_ns,
+                &[("id", ArgVal::U(id)), ("tok", ArgVal::U(tok))],
+            );
+        }
+        let stale = unit_draw(s.seed, stream(domain::SPEC, id, tok, 0), 0) < s.miss_rate;
+        // An injected fault voids the in-flight slice: the same classes
+        // that would corrupt a synchronous offload (hard slice timeouts,
+        // PFU bit-flips) kill the speculative copy. The draw lives on its
+        // own stream coordinate so the retry ladder's sequence
+        // (`domain::TOKEN`) is untouched — a voided slot charges a miss
+        // and is never double-retried.
+        let voided = inj.is_some_and(|inj| {
+            let void_rate = inj.profile.timeout_rate + inj.profile.bitflip_rate;
+            void_rate > 0.0 && inj.uniform(stream(domain::SPEC, id, tok, 1), 0) < void_rate
+        });
+        if stale || voided {
+            misses += 1;
+            if rec.is_enabled() {
+                rec.instant_with(
+                    track,
+                    "spec.miss",
+                    now_ns,
+                    &[
+                        ("id", ArgVal::U(id)),
+                        ("tok", ArgVal::U(tok)),
+                        ("void", ArgVal::U(u64::from(voided))),
+                    ],
+                );
+            }
+        } else {
+            hits += 1;
+            if rec.is_enabled() {
+                rec.instant_with(
+                    track,
+                    "spec.hit",
+                    now_ns,
+                    &[("id", ArgVal::U(id)), ("tok", ArgVal::U(tok))],
+                );
+            }
+        }
+    }
+    (hits, misses, denied)
+}
+
+/// How a resolved speculation paces the synchronized step: any miss runs
+/// the synchronous path plus the deterministic re-filter penalty, a
+/// denial-only step runs the synchronous path, an all-hit step keeps the
+/// hit-path timing.
+fn spec_pacing(s: &SpecStep, hit_step_ns: f64, misses: usize, denied: usize) -> (f64, SpecCharge) {
+    if misses > 0 {
+        (s.serial_step_ns + s.refilter_penalty_ns, SpecCharge::Miss)
+    } else if denied > 0 {
+        (s.serial_step_ns, SpecCharge::Denied)
+    } else {
+        (hit_step_ns, SpecCharge::Hit)
+    }
+}
+
 fn sched_impl(
     system: &mut dyn ServingSystem,
     model: &ModelConfig,
@@ -598,6 +725,11 @@ fn sched_impl(
     let faults_track = rec.track("faults");
     let sched_track = rec.track("sched");
     let mut fault_cursor = 0usize;
+    // Lazily sized from the first speculated report, so the pool bound
+    // comes from the system's own lookahead config; stays `None` (and the
+    // `spec` track uncreated) for every lookahead-off run.
+    let mut spec_pool: Option<SpecSlotPool> = None;
+    let (mut spec_hits, mut spec_misses, mut spec_denied) = (0usize, 0usize, 0usize);
     let mut cache: Vec<((usize, usize), Option<StepReport>)> = Vec::new();
     let mut step_cost = |sys: &mut dyn ServingSystem,
                          users: usize,
@@ -658,7 +790,42 @@ fn sched_impl(
         } else {
             None
         };
-        let base_dt = report.map_or(0.0, |r| r.step_ns);
+        let mut base_dt = report.map_or(0.0, |r| r.step_ns);
+        // With the lookahead pipeline on, the chain for this step was
+        // issued speculatively at the previous one: resolve every decoding
+        // member against the slot pool before the step's duration is
+        // fixed. Lookahead-off reports carry no `spec`, so this block (and
+        // the `spec` track) never exists on that path.
+        let mut spec_charge: Option<SpecCharge> = None;
+        let mut spec_step_counts = (0usize, 0usize, 0usize);
+        let mut spec_penalty_ns = 0.0f64;
+        if let Some(s) = report.and_then(|r| r.spec) {
+            let pool = spec_pool.get_or_insert_with(|| SpecSlotPool::new(s.slots));
+            let spec_track = rec.track("spec");
+            let (hits, misses, denied) = resolve_spec_step(
+                pool,
+                &s,
+                sched
+                    .active()
+                    .iter()
+                    .filter(|r| r.in_decode)
+                    .map(|r| (r.req.id as u64, r.generated as u64)),
+                faults.map(|(inj, _)| inj),
+                rec,
+                spec_track,
+                now,
+            );
+            let (paced, charge) = spec_pacing(&s, base_dt, misses, denied);
+            base_dt = paced;
+            if charge == SpecCharge::Miss {
+                spec_penalty_ns = s.refilter_penalty_ns;
+            }
+            spec_charge = Some(charge);
+            spec_step_counts = (hits, misses, denied);
+            spec_hits += hits;
+            spec_misses += misses;
+            spec_denied += denied;
+        }
         // Chunked prefill hides inside the memory-bound decode step; only a
         // pure-prefill step pays chunk time alone. FIFO plans no chunks, so
         // `work_dt == base_dt` exactly.
@@ -754,7 +921,25 @@ fn sched_impl(
         if decoding > 0 {
             step_times.push((dt, decoding));
             if let (Some(a), Some(r)) = (attr.as_deref_mut(), report.as_ref()) {
-                a.record_step(attribution_parts(r, dt), dt, decoding.min(64));
+                let parts = attribution_parts(r, dt, spec_charge);
+                a.record_step(parts, dt, decoding.min(64));
+                if let (Some(charge), Some(s)) = (spec_charge, r.spec) {
+                    let (h, m, d) = spec_step_counts;
+                    a.record_spec_step(
+                        SpecSample {
+                            charge,
+                            chain_ns: s.chain_ns,
+                            hit_visible_ns: s.hit_visible_ns,
+                            serial_visible_ns: s.serial_visible_ns,
+                            spec_miss_ns: parts[SPEC_MISS],
+                            overlap_hidden_ns: parts[OVERLAP_HIDDEN],
+                            penalty_ns: spec_penalty_ns,
+                        },
+                        h,
+                        m,
+                        d,
+                    );
+                }
             }
             generated_tokens += decoding;
         }
@@ -800,6 +985,9 @@ fn sched_impl(
         } else {
             degrade.degraded_tokens as f64 / generated_tokens as f64
         },
+        spec_hits,
+        spec_misses,
+        spec_denied,
     };
     let sched_report = sched.finalize();
     if rec.is_enabled() {
@@ -816,6 +1004,14 @@ fn sched_impl(
         rec.counter_add("serving.degraded_tokens", metrics.degraded_tokens as u64);
         rec.counter_add("serving.failed_requests", metrics.failed_requests as u64);
         rec.counter_add("serving.fault_events", fault_log.len() as u64);
+        // Speculation counters exist only when a slot pool did: metrics
+        // exports of lookahead-off runs keep their exact key set.
+        if let Some(pool) = &spec_pool {
+            rec.counter_add("serving.spec_hits", metrics.spec_hits as u64);
+            rec.counter_add("serving.spec_misses", metrics.spec_misses as u64);
+            rec.counter_add("serving.spec_denied", metrics.spec_denied as u64);
+            rec.gauge_set("serving.spec_peak_slots", pool.peak_occupancy() as f64);
+        }
         rec.gauge_set("serving.throughput_tps", metrics.throughput_tps);
         rec.gauge_set("serving.mean_batch", metrics.mean_batch);
         rec.gauge_set("serving.p50_token_ms", metrics.p50_token_ms);
@@ -842,6 +1038,12 @@ struct ReplicaSim {
     cache: Vec<((usize, usize), Option<StepReport>)>,
     serving_track: TrackId,
     sched_track: TrackId,
+    /// Per-replica speculative slot pool: the tentpole pools slots per
+    /// *device*, so replicas share nothing and multi-stream DReX sharing
+    /// happens inside one replica's pool across its batched requests.
+    spec_pool: Option<SpecSlotPool>,
+    spec_track_name: String,
+    spec_counts: (usize, usize, usize),
 }
 
 impl ReplicaSim {
@@ -862,6 +1064,12 @@ impl ReplicaSim {
             cache: Vec::new(),
             serving_track: rec.track(&format!("r{idx}.serving")),
             sched_track: rec.track(&format!("r{idx}.sched")),
+            spec_pool: None,
+            // Interned lazily on the first speculated step, like the
+            // single-replica `spec` track: lookahead-off fleet traces keep
+            // their exact track list.
+            spec_track_name: format!("r{idx}.spec"),
+            spec_counts: (0, 0, 0),
         }
     }
 
@@ -942,7 +1150,35 @@ impl ReplicaSim {
         } else {
             None
         };
-        let base_dt = report.map_or(0.0, |r| r.step_ns);
+        let mut base_dt = report.map_or(0.0, |r| r.step_ns);
+        // Same speculation resolution as the single-replica loop (fleet
+        // mode injects no faults, so no void draws); draws key off the
+        // global request id, so a request resolves identically wherever
+        // the router placed it.
+        if let Some(s) = report.and_then(|r| r.spec) {
+            let pool = self
+                .spec_pool
+                .get_or_insert_with(|| SpecSlotPool::new(s.slots));
+            let spec_track = rec.track(&self.spec_track_name);
+            let (hits, misses, denied) = resolve_spec_step(
+                pool,
+                &s,
+                self.sched
+                    .active()
+                    .iter()
+                    .filter(|r| r.in_decode)
+                    .map(|r| (r.req.id as u64, r.generated as u64)),
+                None,
+                rec,
+                spec_track,
+                self.now,
+            );
+            let (paced, _) = spec_pacing(&s, base_dt, misses, denied);
+            base_dt = paced;
+            self.spec_counts.0 += hits;
+            self.spec_counts.1 += misses;
+            self.spec_counts.2 += denied;
+        }
         let dt = base_dt.max(plan.prefill_ns);
         let step_start = self.now;
         if rec.is_enabled() {
@@ -1082,6 +1318,7 @@ pub fn simulate_fleet(
     let mut batch_steps = 0usize;
     let mut rejected = 0usize;
     let mut waiting = 0usize;
+    let (mut spec_hits, mut spec_misses, mut spec_denied) = (0usize, 0usize, 0usize);
     let mut fleet_now = 0.0f64;
     let mut reports: Vec<SchedReport> = Vec::with_capacity(replicas.len());
     let mut samples: [(Vec<f64>, Vec<f64>); 3] = Default::default();
@@ -1097,6 +1334,9 @@ pub fn simulate_fleet(
         generated_tokens += r.generated_tokens;
         rejected += r.sched.rejected();
         waiting += r.sched.waiting_len();
+        spec_hits += r.spec_counts.0;
+        spec_misses += r.spec_counts.1;
+        spec_denied += r.spec_counts.2;
         fleet_now = fleet_now.max(r.now);
         reports.push(r.sched.finalize());
         for (i, (tok, req)) in r.sched.class_samples().iter().enumerate() {
@@ -1125,6 +1365,9 @@ pub fn simulate_fleet(
         degraded_tokens: 0,
         failed_requests: 0,
         degraded_quality_delta: 0.0,
+        spec_hits,
+        spec_misses,
+        spec_denied,
     };
     let fleet = FleetReport::assemble(router_policy, reports, placements, samples);
     if rec.is_enabled() {

@@ -12,8 +12,10 @@
 #      exported Chrome trace JSON round-trips through `trace-validate`
 #   7. scheduler smoke: SLO-mixed loadtest under the slo-aware policy with
 #      a traced run, validated the same way
-#   8. rustdoc gate (missing/broken docs are errors)
-#   9. full test suite (unit + property + integration + doc tests)
+#   8. lookahead smoke: speculative loadtest with a traced run, validated
+#      the same way
+#   9. rustdoc gate (missing/broken docs are errors)
+#  10. full test suite (unit + property + integration + doc tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,6 +54,18 @@ if [ -n "$clock_hits" ]; then
     exit 1
 fi
 
+# Every `#[ignore]` must carry a reason string (`#[ignore = "..."]`) so a
+# skipped test is never silent about why. The four annotated manual
+# harnesses — three in tests/itq_diagnostics.rs and one in
+# tests/param_tuning.rs — pass this gate because they name their reason.
+echo "== annotated-ignore gate (no bare #[ignore]) =="
+ignore_hits=$(grep -rn '#\[ignore\]' tests crates || true)
+if [ -n "$ignore_hits" ]; then
+    echo "error: bare #[ignore] without a reason string:" >&2
+    echo "$ignore_hits" >&2
+    exit 1
+fi
+
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
 
@@ -80,6 +94,12 @@ target/release/longsight loadtest --model 1b --rate 12 --duration 4 \
 target/release/longsight trace-validate --file "$obs_tmp/fleet_trace.json"
 target/release/longsight loadtest --model 1b --rate 12 --duration 4 \
     --ctx-min 16384 --ctx-max 32768 --replicas 2 --router rr
+
+echo "== lookahead smoke (speculative loadtest, trace-validate) =="
+target/release/longsight loadtest --model 8b --rate 2 --duration 4 \
+    --ctx-min 131072 --ctx-max 131072 --lookahead on \
+    --trace-out "$obs_tmp/lookahead_trace.json"
+target/release/longsight trace-validate --file "$obs_tmp/lookahead_trace.json"
 
 # Interactive tail-latency trajectory: the checked-in goldens must not
 # regress the interactive p99 request latency more than 10% past the values
@@ -121,10 +141,18 @@ router_p99() {
         $1 == n && $2 == rt { gsub(/[ ms]/, "", $7); print $7 }
     ' results/router_scaling.txt
 }
+# p99 token latency (ms) for one (slots, penalty) row of lookahead
+lookahead_p99() {
+    awk -F'|' -v s="$1" -v pen="$2" '
+        { for (i = 1; i <= 2; i++) gsub(/^ +| +$/, "", $i) }
+        $1 == s && $2 == pen { gsub(/[ ms]/, "", $8); print $8 }
+    ' results/lookahead.txt
+}
 check_traj "sched_comparison/8s/slo-aware/interactive_p99_request_ms" "$(sched_p99 '8/s' slo-aware)"
 check_traj "sched_comparison/16s/slo-aware/interactive_p99_request_ms" "$(sched_p99 '16/s' slo-aware)"
 check_traj "router_scaling/2r/jsq/interactive_p99_request_ms" "$(router_p99 2 jsq)"
 check_traj "router_scaling/4r/jsq/interactive_p99_request_ms" "$(router_p99 4 jsq)"
+check_traj "lookahead/32slots/0.25ms/p99_token_ms" "$(lookahead_p99 32 '0.25 ms')"
 
 echo "== cargo doc -D warnings =="
 RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps --offline --quiet

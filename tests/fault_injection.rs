@@ -13,9 +13,12 @@
 
 use longsight::faults::{FaultInjector, FaultKind, FaultProfile, RetryPolicy};
 use longsight::model::ModelConfig;
-use longsight::system::serving::{simulate, simulate_with_faults, WorkloadConfig};
+use longsight::obs::Recorder;
+use longsight::system::serving::{
+    simulate, simulate_observed, simulate_with_faults, WorkloadConfig,
+};
 use longsight::system::slo::max_users_under_slo;
-use longsight::system::{LongSightConfig, LongSightSystem, ServingSystem};
+use longsight::system::{LongSightConfig, LongSightSystem, LookaheadConfig, ServingSystem};
 
 fn short_workload() -> WorkloadConfig {
     WorkloadConfig {
@@ -128,5 +131,107 @@ fn faulted_runs_are_reproducible_under_a_seed() {
     assert!(
         l3.to_text() != l1.to_text() || m3 != m1,
         "different fault seeds should produce a different timeline"
+    );
+}
+
+/// Lookahead with a zero stale-rate: every speculation miss below must come
+/// from an injected fault voiding the in-flight slice.
+fn void_only_lookahead() -> LookaheadConfig {
+    LookaheadConfig {
+        miss_rate: 0.0,
+        ..LookaheadConfig::serving_default()
+    }
+}
+
+#[test]
+fn injected_faults_void_in_flight_slots_without_double_retry() {
+    let model = ModelConfig::llama3_8b();
+    let workload = short_workload();
+    let retry = RetryPolicy::serving_default();
+    let run = |lookahead: Option<LookaheadConfig>| {
+        let mut cfg = LongSightConfig::paper_default();
+        if let Some(la) = lookahead {
+            cfg = cfg.with_lookahead(la);
+        }
+        let mut sys = LongSightSystem::new(cfg, model.clone());
+        let inj = FaultInjector::new(FaultProfile::scaled(0.2), 11);
+        simulate_with_faults(&mut sys, &model, &workload, &inj, &retry)
+    };
+    let (off_m, off_log) = run(None);
+    let (on_m, on_log) = run(Some(void_only_lookahead()));
+
+    // The fault voided slices: with the stale-rate at zero, every miss is a
+    // voided in-flight slot, charged as a miss.
+    assert!(
+        on_m.spec_misses > 0,
+        "rate 0.2 should void some in-flight slices"
+    );
+    assert_eq!(on_m.spec_denied, 0, "paper-default pool should not starve");
+
+    // Never double-retried: the void draw lives on its own stream
+    // coordinate, so every token runs the exact same retry ladder with
+    // speculation on or off. Hit steps finish sooner and reorder the global
+    // timeline, so compare the ladders as a multiset of log lines.
+    let ladder = |log: &longsight::faults::FaultLog| {
+        let text = log.to_text();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort_unstable();
+        lines.join("\n")
+    };
+    assert_eq!(ladder(&on_log), ladder(&off_log));
+    assert_eq!(on_m.retried_tokens, off_m.retried_tokens);
+    assert_eq!(on_m.degraded_tokens, off_m.degraded_tokens);
+    assert_eq!(on_m.failed_requests, off_m.failed_requests);
+}
+
+#[test]
+fn rate_zero_lookahead_is_byte_identical_across_reruns() {
+    let model = ModelConfig::llama3_8b();
+    let workload = short_workload();
+    let run = || {
+        let cfg =
+            LongSightConfig::paper_default().with_lookahead(LookaheadConfig::serving_default());
+        let mut sys = LongSightSystem::new(cfg, model.clone());
+        let mut rec = Recorder::enabled();
+        let (m, log) = simulate_observed(&mut sys, &model, &workload, None, &mut rec, None);
+        (
+            m,
+            log.to_text(),
+            rec.chrome_trace_json(),
+            rec.metrics_json(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "fault-free lookahead reruns diverged");
+    assert!(a.1.is_empty(), "no injector, no fault log");
+}
+
+#[test]
+fn fault_log_and_instants_agree_with_speculation_on() {
+    let model = ModelConfig::llama3_8b();
+    let cfg = LongSightConfig::paper_default().with_lookahead(void_only_lookahead());
+    let mut sys = LongSightSystem::new(cfg, model.clone());
+    let mut rec = Recorder::enabled();
+    let inj = FaultInjector::new(FaultProfile::scaled(0.2), 11);
+    let retry = RetryPolicy::serving_default();
+    let (m, log) = simulate_observed(
+        &mut sys,
+        &model,
+        &short_workload(),
+        Some((&inj, &retry)),
+        &mut rec,
+        None,
+    );
+    assert!(!log.is_empty(), "rate 0.2 should fire events");
+    assert_eq!(
+        rec.instants_matching("fault."),
+        log.len(),
+        "speculation must not add or swallow fault instants"
+    );
+    assert_eq!(
+        rec.instants_matching("spec.miss"),
+        m.spec_misses,
+        "every voided slice must surface as exactly one spec.miss instant"
     );
 }

@@ -13,10 +13,13 @@ use longsight::exec;
 use longsight::faults::{FaultInjector, FaultLog, FaultProfile, RetryPolicy};
 use longsight::model::ModelConfig;
 use longsight::obs::{json, Recorder};
+use longsight::system::attribution::OVERLAP_HIDDEN;
 use longsight::system::serving::{
     simulate, simulate_observed, simulate_with_faults, ServeMetrics, WorkloadConfig,
 };
-use longsight::system::{LongSightConfig, LongSightSystem, TokenAttribution};
+use longsight::system::{
+    LongSightConfig, LongSightSystem, LookaheadConfig, SpecCharge, TokenAttribution,
+};
 use std::sync::Mutex;
 
 /// The worker-count override is process-global, so tests that sweep it must
@@ -202,6 +205,129 @@ fn attribution_total_row_reconciles_with_serve_metrics() {
         assert!(
             (comp_mean - total_mean).abs() <= 1e-9 * total_mean.max(1.0),
             "component means {comp_mean} do not sum to total mean {total_mean}"
+        );
+    }
+}
+
+/// One fully-observed serving run with the lookahead pipeline on.
+fn observed_lookahead_run(rate: f64) -> (ServeMetrics, FaultLog, Recorder, TokenAttribution) {
+    let model = ModelConfig::llama3_8b();
+    let cfg = LongSightConfig::paper_default().with_lookahead(LookaheadConfig::serving_default());
+    let mut sys = LongSightSystem::new(cfg, model.clone());
+    let mut rec = Recorder::enabled();
+    let mut attr = TokenAttribution::new();
+    let inj = FaultInjector::new(FaultProfile::scaled(rate), 11);
+    let retry = RetryPolicy::serving_default();
+    let faults = (rate > 0.0).then_some((&inj, &retry));
+    let (metrics, log) = simulate_observed(
+        &mut sys,
+        &model,
+        &workload(),
+        faults,
+        &mut rec,
+        Some(&mut attr),
+    );
+    (metrics, log, rec, attr)
+}
+
+#[test]
+fn spec_instants_agree_with_attribution_and_metrics_counts() {
+    for rate in [0.0, 0.2] {
+        let (m, _, rec, attr) = observed_lookahead_run(rate);
+        let (hits, misses, denied) = attr.spec_counts();
+        assert!(hits > 0, "rate {rate}: run speculated nothing");
+        assert_eq!(
+            (m.spec_hits, m.spec_misses, m.spec_denied),
+            (hits, misses, denied),
+            "rate {rate}: metrics and attribution disagree on resolutions"
+        );
+        // Every speculated token emits exactly one spec.hit or spec.miss
+        // instant, and one spec.issue when its slot was granted.
+        assert_eq!(
+            rec.instants_matching("spec.hit"),
+            hits,
+            "rate {rate}: spec.hit instants != attributed hits"
+        );
+        assert_eq!(
+            rec.instants_matching("spec.miss"),
+            misses,
+            "rate {rate}: spec.miss instants != attributed misses"
+        );
+        assert_eq!(
+            rec.instants_matching("spec.issue"),
+            hits + misses,
+            "rate {rate}: every granted issue must resolve exactly once"
+        );
+    }
+}
+
+#[test]
+fn spec_samples_reconstruct_the_unoverlapped_chain_bit_for_bit() {
+    let (_, _, _, attr) = observed_lookahead_run(0.2);
+    assert!(attr.has_spec(), "no speculated steps recorded");
+    for s in attr.spec_steps() {
+        // The recorded components must equal the defining subtractions with
+        // the exact expression order `attribution_parts` uses — bit-for-bit,
+        // so `overlap_hidden + visible + spec_miss` rebuilds the chain (plus
+        // the penalty actually charged) with no float slack.
+        match s.charge {
+            SpecCharge::Hit => {
+                assert_eq!(s.spec_miss_ns.to_bits(), 0.0f64.to_bits());
+                assert_eq!(s.penalty_ns.to_bits(), 0.0f64.to_bits());
+                assert_eq!(
+                    s.overlap_hidden_ns.to_bits(),
+                    (s.chain_ns - s.hit_visible_ns).to_bits(),
+                    "hit: overlap_hidden != chain - hit_visible"
+                );
+            }
+            SpecCharge::Miss => {
+                assert_eq!(
+                    s.spec_miss_ns.to_bits(),
+                    ((s.serial_visible_ns - s.hit_visible_ns) + s.penalty_ns).to_bits(),
+                    "miss: spec_miss != re-exposed wait + penalty"
+                );
+                assert_eq!(
+                    s.overlap_hidden_ns.to_bits(),
+                    (s.chain_ns - s.serial_visible_ns).to_bits(),
+                    "miss: overlap_hidden != chain - serial_visible"
+                );
+            }
+            SpecCharge::Denied => {
+                assert_eq!(s.penalty_ns.to_bits(), 0.0f64.to_bits());
+                assert_eq!(
+                    s.spec_miss_ns.to_bits(),
+                    (s.serial_visible_ns - s.hit_visible_ns).to_bits(),
+                    "denied: spec_miss != re-exposed wait"
+                );
+                assert_eq!(
+                    s.overlap_hidden_ns.to_bits(),
+                    (s.chain_ns - s.serial_visible_ns).to_bits(),
+                    "denied: overlap_hidden != chain - serial_visible"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lookahead_attribution_total_row_reconciles_with_serve_metrics() {
+    for rate in [0.0, 0.2] {
+        let (m, _, _, attr) = observed_lookahead_run(rate);
+        assert!(attr.has_spec(), "no speculated steps at rate {rate}");
+        let (_, p50, p99) = attr.total_stats();
+        assert_eq!(p50.to_bits(), m.p50_token_ms.to_bits());
+        assert_eq!(p99.to_bits(), m.p99_token_ms.to_bits());
+        // Every component except `overlap_hidden` joins the decomposition
+        // identity; the hidden time sits outside each token's latency.
+        let comp_mean: f64 = (0..OVERLAP_HIDDEN).map(|c| attr.component_stats(c).0).sum();
+        let (total_mean, _, _) = attr.total_stats();
+        assert!(
+            (comp_mean - total_mean).abs() <= 1e-9 * total_mean.max(1.0),
+            "rate {rate}: non-hidden component means {comp_mean} do not sum to {total_mean}"
+        );
+        assert!(
+            attr.component_stats(OVERLAP_HIDDEN).0 > 0.0,
+            "rate {rate}: lookahead hid nothing"
         );
     }
 }

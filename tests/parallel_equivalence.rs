@@ -184,3 +184,82 @@ fn offload_timing_is_bit_identical_across_thread_counts() {
         );
     }
 }
+
+#[test]
+fn lookahead_serving_is_bit_identical_across_thread_counts() {
+    use longsight::obs::Recorder;
+    use longsight::sched::{RouterPolicy, SchedPolicy, SloMix};
+    use longsight::system::serving::{
+        simulate_fleet, simulate_observed, SchedOptions, WorkloadConfig,
+    };
+    use longsight::system::{LongSightConfig, LongSightSystem, LookaheadConfig, ServingSystem};
+
+    let runs = across_thread_counts(|| {
+        // Traced single-system run with speculation on: metrics, trace
+        // bytes, and the spec counters must not depend on the worker count.
+        let model = ModelConfig::llama3_8b();
+        let cfg =
+            LongSightConfig::paper_default().with_lookahead(LookaheadConfig::serving_default());
+        let mut sys = LongSightSystem::new(cfg, model.clone());
+        let wl = WorkloadConfig {
+            duration_s: 3.0,
+            ..WorkloadConfig::long_context_chat()
+        };
+        let mut rec = Recorder::enabled();
+        let (m, _) = simulate_observed(&mut sys, &model, &wl, None, &mut rec, None);
+        assert!(m.spec_hits > 0, "run speculated nothing");
+
+        // Two-replica fleet with speculating replicas: the router's
+        // placement log rides on the same determinism contract.
+        let fleet_model = ModelConfig::llama3_1b();
+        let mut fleet: Vec<Box<dyn ServingSystem>> = (0..2)
+            .map(|_| {
+                let cfg = LongSightConfig::paper_default()
+                    .with_lookahead(LookaheadConfig::serving_default());
+                Box::new(LongSightSystem::new(cfg, fleet_model.clone())) as Box<dyn ServingSystem>
+            })
+            .collect();
+        let opts = SchedOptions {
+            policy: SchedPolicy::SloAware,
+            mix: SloMix {
+                interactive: 0.2,
+                batch: 0.2,
+                best_effort: 0.6,
+            },
+            page_tokens: 1024,
+            prefill_chunk_tokens: 128,
+            prefill_slots: 1,
+            hbm_watermark: 0.01,
+        };
+        let fleet_wl = WorkloadConfig {
+            arrivals_per_s: 12.0,
+            context_tokens: (16_384, 32_768),
+            output_tokens: (32, 128),
+            duration_s: 4.0,
+            seed: 11,
+        };
+        let (fm, rep) = simulate_fleet(
+            &mut fleet,
+            &fleet_model,
+            &fleet_wl,
+            &opts,
+            RouterPolicy::JsqSpillover,
+            &mut Recorder::disabled(),
+        );
+        (
+            m,
+            rec.chrome_trace_json(),
+            rec.metrics_json(),
+            fm,
+            rep.placement_log(),
+        )
+    });
+    let (_, baseline) = &runs[0];
+    assert!(!baseline.4.is_empty(), "router must place something");
+    for (threads, got) in &runs[1..] {
+        assert_eq!(
+            got, baseline,
+            "lookahead serving diverged at {threads} threads"
+        );
+    }
+}

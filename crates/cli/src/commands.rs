@@ -7,16 +7,16 @@ use longsight_core::{
 };
 use longsight_dram::Geometry;
 use longsight_drex::layout::{self, UserPartition};
-use longsight_faults::{FaultInjector, FaultProfile, RetryPolicy};
+use longsight_faults::{FaultInjector, FaultProfile, ReplicaFaultProfile, RetryPolicy};
 use longsight_gpu::{DataParallelGpus, GpuSpec};
 use longsight_model::{
     corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
 };
 use longsight_obs::Recorder;
-use longsight_sched::{RouterPolicy, SchedPolicy, SloMix};
+use longsight_sched::{BreakerConfig, RouterPolicy, SchedPolicy, SloMix};
 use longsight_system::serving::{
-    simulate_fleet, simulate_observed, simulate_scheduled, SchedOptions, ServeMetrics,
-    WorkloadConfig,
+    simulate_fleet_faulty, simulate_observed, simulate_scheduled, FleetFaultOptions, SchedOptions,
+    ServeMetrics, WorkloadConfig,
 };
 use longsight_system::{
     AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, LookaheadConfig, ServingSystem,
@@ -82,7 +82,19 @@ fn sched_flags(a: &Args) -> Result<Option<SchedOptions>, String> {
     }
     let policy = SchedPolicy::parse(a.get("sched").unwrap_or("slo-aware"))?;
     let mix = match a.get("mix") {
-        Some(spec) => SloMix::parse(spec)?,
+        Some(spec) => {
+            let mix = SloMix::parse(spec)?;
+            // The library normalizes any positive weights; the CLI is
+            // stricter so a typo'd mix fails loudly instead of silently
+            // rescaling.
+            let sum = mix.interactive + mix.batch + mix.best_effort;
+            if (sum - 1.0).abs() > 1e-6 {
+                return Err(format!(
+                    "--mix fractions must sum to 1, got '{spec}' (sum {sum})"
+                ));
+            }
+            mix
+        }
         None if policy == SchedPolicy::SloAware => SloMix::mixed(),
         None => SloMix::all_interactive(),
     };
@@ -110,6 +122,48 @@ fn sched_flags(a: &Args) -> Result<Option<SchedOptions>, String> {
         prefill_slots,
         hbm_watermark: watermark,
     }))
+}
+
+/// Parses the fleet failure-domain flags (`--crash-profile`,
+/// `--crash-seed`, `--breaker on|off`, `--shed-cap`).
+///
+/// `--crash-profile` accepts `none`, `mild`, `severe`, or a bare
+/// per-interval crash rate in `[0, 1]`; `--crash-seed` picks the
+/// deterministic replica fault timeline (independent of the workload
+/// seed). The breaker defaults to on whenever a crash profile is enabled
+/// — `--breaker off` is the naive baseline that keeps routing into dead
+/// replicas. `--shed-cap N` arms the admission controller with per-class
+/// queue caps of N best-effort / 2N batch / 4N interactive.
+fn fleet_fault_flags(a: &Args) -> Result<FleetFaultOptions, String> {
+    let profile = match a.get("crash-profile") {
+        Some(name) => ReplicaFaultProfile::parse(name)?,
+        None => ReplicaFaultProfile::disabled(),
+    };
+    let fault_seed: u64 = a.get_or("crash-seed", 0)?;
+    let breaker = match a.get("breaker") {
+        None => profile.is_enabled().then(BreakerConfig::serving_default),
+        Some("on") => Some(BreakerConfig::serving_default()),
+        Some("off") => None,
+        Some(other) => return Err(format!("--breaker must be 'on' or 'off', got '{other}'")),
+    };
+    let shed_queue_cap = match a.get("shed-cap") {
+        None => None,
+        Some(s) => {
+            let cap: usize = s
+                .parse()
+                .map_err(|_| format!("--shed-cap must be a positive integer, got '{s}'"))?;
+            if cap == 0 {
+                return Err("--shed-cap must be >= 1 (a zero cap sheds everything)".into());
+            }
+            Some(cap)
+        }
+    };
+    Ok(FleetFaultOptions {
+        profile,
+        fault_seed,
+        breaker,
+        shed_queue_cap,
+    })
 }
 
 /// Parses the lookahead-pipeline flags (`--lookahead on|off`,
@@ -470,6 +524,10 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         "watermark",
         "replicas",
         "router",
+        "crash-profile",
+        "crash-seed",
+        "breaker",
+        "shed-cap",
         "lookahead",
         "spec-slots",
         "spec-miss",
@@ -497,17 +555,31 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         return Err(format!("--replicas {replicas} is past the 64-replica cap"));
     }
     let router = RouterPolicy::parse(a.get("router").unwrap_or("jsq"))?;
+    let fopts = fleet_fault_flags(a)?;
+    if fopts.is_active() && replicas < 2 {
+        return Err(
+            "--crash-profile/--breaker/--shed-cap need --replicas >= 2 (nothing to fail over to)"
+                .into(),
+        );
+    }
     if replicas > 1 {
         if injected {
-            return Err("--fault-profile applies to single-replica runs only".into());
+            return Err(
+                "--fault-profile applies to single-replica runs only (fleets use --crash-profile)"
+                    .into(),
+            );
         }
         // A bare `--replicas N` gets the representative SLO-aware setup.
         let opts = sched_opts.unwrap_or_else(|| SchedOptions::slo_aware(SloMix::mixed()));
+        if fopts.is_active() && opts.policy != SchedPolicy::SloAware {
+            return Err("fleet fault domains require --sched slo-aware".into());
+        }
         let mut systems = Vec::with_capacity(replicas);
         for _ in 0..replicas {
             systems.push(build_system(sys_name, model.clone(), lookahead)?);
         }
-        let (m, fleet) = simulate_fleet(&mut systems, &model, &wl, &opts, router, &mut rec);
+        let (m, fleet) =
+            simulate_fleet_faulty(&mut systems, &model, &wl, &opts, router, &fopts, &mut rec);
         println!(
             "{} x{replicas} under {:.1} req/s for {:.0}s ({}-{} ctx tokens), {} scheduler, {} router:",
             systems[0].name(),
@@ -518,6 +590,21 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
             opts.policy.name(),
             router.name()
         );
+        if fopts.is_active() {
+            println!(
+                "  fault domains: crash profile {} (seed {}) | breaker {} | shed cap {}",
+                if fopts.profile.is_enabled() {
+                    format!("on ({:.2}/interval)", fopts.profile.crash_rate)
+                } else {
+                    "off".to_string()
+                },
+                fopts.fault_seed,
+                if fopts.breaker.is_some() { "on" } else { "off" },
+                fopts
+                    .shed_queue_cap
+                    .map_or("off".to_string(), |c| c.to_string()),
+            );
+        }
         print!("{}", m.to_text());
         print_spec_counters(&m);
         print!("{}", fleet.to_text());
@@ -1056,10 +1143,65 @@ mod tests {
 
     #[test]
     fn bad_fleet_flags_are_rejected() {
-        assert!(loadtest(&args(&["--replicas", "0"])).is_err());
+        let zero = loadtest(&args(&["--replicas", "0"])).unwrap_err();
+        assert!(zero.contains("--replicas must be >= 1"), "{zero}");
         assert!(loadtest(&args(&["--replicas", "65"])).is_err());
         assert!(loadtest(&args(&["--replicas", "2", "--router", "bogus"])).is_err());
         assert!(loadtest(&args(&["--replicas", "2", "--fault-profile", "mild"])).is_err());
+    }
+
+    #[test]
+    fn crashy_fleet_loadtest_runs_and_audits() {
+        // A guaranteed-crash profile: the run must still place, redispatch,
+        // or shed every arrival (loadtest fails on any audit violation).
+        for breaker in ["on", "off"] {
+            loadtest(&args(&[
+                "--model",
+                "1b",
+                "--rate",
+                "4",
+                "--duration",
+                "3",
+                "--ctx-min",
+                "16384",
+                "--ctx-max",
+                "32768",
+                "--replicas",
+                "2",
+                "--crash-profile",
+                "1.0",
+                "--crash-seed",
+                "11",
+                "--breaker",
+                breaker,
+                "--shed-cap",
+                "8",
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_fleet_fault_flags_are_rejected() {
+        // Fault domains need a fleet to fail over inside.
+        let single = loadtest(&args(&["--crash-profile", "mild"])).unwrap_err();
+        assert!(single.contains("--replicas >= 2"), "{single}");
+        assert!(loadtest(&args(&["--breaker", "on"])).is_err());
+        assert!(loadtest(&args(&["--shed-cap", "4"])).is_err());
+        let bogus = loadtest(&args(&["--replicas", "2", "--crash-profile", "bogus"])).unwrap_err();
+        assert!(bogus.contains("invalid crash profile"), "{bogus}");
+        assert!(loadtest(&args(&["--replicas", "2", "--crash-profile", "1.5"])).is_err());
+        assert!(loadtest(&args(&["--replicas", "2", "--breaker", "maybe"])).is_err());
+        assert!(loadtest(&args(&["--replicas", "2", "--shed-cap", "0"])).is_err());
+        assert!(loadtest(&args(&[
+            "--replicas",
+            "2",
+            "--crash-profile",
+            "mild",
+            "--sched",
+            "fifo",
+        ]))
+        .is_err());
     }
 
     #[test]
@@ -1092,6 +1234,11 @@ mod tests {
         assert!(loadtest(&args(&["--sched", "slo-aware", "--mix", "0.5"])).is_err());
         assert!(loadtest(&args(&["--sched", "slo-aware", "--mix", "0,0,0"])).is_err());
         assert!(loadtest(&args(&["--sched", "slo-aware", "--mix", "a,b,c"])).is_err());
+        // Weights that parse but don't sum to 1 are a typo, not a request
+        // for silent renormalization.
+        let over = loadtest(&args(&["--sched", "slo-aware", "--mix", "0.5,0.4,0.2"])).unwrap_err();
+        assert!(over.contains("must sum to 1"), "{over}");
+        assert!(loadtest(&args(&["--sched", "slo-aware", "--mix", "0.2,0.2,0.2"])).is_err());
         assert!(loadtest(&args(&["--sched", "slo-aware", "--watermark", "0"])).is_err());
         assert!(loadtest(&args(&["--sched", "slo-aware", "--watermark", "1.5"])).is_err());
         assert!(loadtest(&args(&["--sched", "slo-aware", "--page-tokens", "0"])).is_err());

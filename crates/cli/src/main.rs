@@ -8,6 +8,8 @@
 //! longsight loadtest  [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 32768] [--ctx-max 131072]
 //!                     [--sched fifo|slo-aware] [--mix I,B,E] [--page-tokens N] [--prefill-chunk N]
 //!                     [--prefill-slots N] [--watermark F] [--replicas N] [--router jsq|rr]
+//!                     [--crash-profile none|mild|severe|RATE] [--crash-seed N]
+//!                     [--breaker on|off] [--shed-cap N]
 //!                     [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
 //!                     [--trace-out FILE] [--metrics-out FILE]
 //! longsight profile   [--model 1b|8b] [--rate 2.0] [--duration 10] [--ctx-min 131072] [--ctx-max 131072]
@@ -120,6 +122,9 @@ commands:
                                    [--page-tokens N] [--prefill-chunk N]
                                    [--prefill-slots N] [--watermark F]
                                    [--replicas N] [--router jsq|rr]
+                                   [--crash-profile none|mild|severe|RATE]
+                                   [--crash-seed N] [--breaker on|off]
+                                   [--shed-cap N]
                                    [--fault-profile ...] [--fault-seed N]
                                    [--deadline-ms MS]
                                    [--trace-out FILE] [--metrics-out FILE]

@@ -48,6 +48,14 @@ pub mod domain {
     /// voids); kept separate from [`TOKEN`] so speculation never perturbs
     /// the retry ladder's draw sequence.
     pub const SPEC: u64 = 7;
+    /// Replica-level crash/recovery hazards in the fleet simulator. Keyed
+    /// `(REPLICA, replica_index, hazard_interval, 0)`; draw 0 is the crash
+    /// Bernoulli, draw 1 the within-interval jitter.
+    pub const REPLICA: u64 = 8;
+    /// Sustained DReX-tier brownouts (degraded offload budget) per replica.
+    /// Keyed `(BROWNOUT, replica_index, hazard_interval, 0)`; draw 0 is the
+    /// brownout Bernoulli, draw 1 the within-interval jitter.
+    pub const BROWNOUT: u64 = 9;
 }
 
 /// splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
@@ -636,6 +644,299 @@ impl FaultInjector {
     }
 }
 
+/// Replica-level fault rates for the fleet simulator: whole-node crashes
+/// (KV pages lost, in-flight work redispatched) and sustained DReX-tier
+/// brownouts (offload budget shrunk, tokens counted as degraded).
+///
+/// Time is sliced into fixed hazard intervals; each up-interval draws one
+/// crash Bernoulli and one brownout Bernoulli per replica on the
+/// [`domain::REPLICA`] / [`domain::BROWNOUT`] streams. The raw per-interval
+/// hazard is monotone in the rate, same as [`FaultProfile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaFaultProfile {
+    /// Probability that a replica crashes in one hazard interval.
+    pub crash_rate: f64,
+    /// Hazard interval length, seconds of simulated time.
+    pub interval_s: f64,
+    /// Downtime per crash before the replica rejoins, seconds.
+    pub repair_s: f64,
+    /// Probability that a replica's DReX tier browns out in one interval.
+    pub brownout_rate: f64,
+    /// Brownout duration, seconds.
+    pub brownout_s: f64,
+    /// Fraction of the offload top-k budget retained during a brownout,
+    /// in `(0, 1]`; tokens decoded under it are counted as degraded.
+    pub brownout_topk_factor: f64,
+}
+
+impl ReplicaFaultProfile {
+    /// No replica faults: the fleet simulation is bit-identical to the
+    /// crash-free build.
+    pub fn disabled() -> Self {
+        Self {
+            crash_rate: 0.0,
+            interval_s: 1.0,
+            repair_s: 1.0,
+            brownout_rate: 0.0,
+            brownout_s: 1.0,
+            brownout_topk_factor: 1.0,
+        }
+    }
+
+    /// A profile where crashes fire per interval at `rate` and brownouts at
+    /// `rate / 2`, with a 1 s hazard interval, 1 s repair time, 1 s
+    /// brownouts, and half the offload budget retained while browned out.
+    /// All derived rates are monotone in `rate`.
+    pub fn scaled(rate: f64) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        Self {
+            crash_rate: rate,
+            interval_s: 1.0,
+            // A node restart is slow next to a serving SLO: three seconds
+            // down per crash, so anything wedged on a dead replica blows
+            // an interactive deadline rather than riding out a blip.
+            repair_s: 3.0,
+            brownout_rate: rate / 2.0,
+            brownout_s: 1.0,
+            brownout_topk_factor: 0.5,
+        }
+    }
+
+    /// "A healthy fleet's tail": rare crashes.
+    pub fn mild() -> Self {
+        Self::scaled(0.05)
+    }
+
+    /// "One flapping rack": frequent crashes and brownouts.
+    pub fn severe() -> Self {
+        Self::scaled(0.25)
+    }
+
+    /// Parses a CLI profile name: `none`, `mild`, `severe`, or a bare
+    /// per-interval crash-rate float such as `0.1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted forms.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "none" | "off" | "disabled" => Ok(Self::disabled()),
+            "mild" => Ok(Self::mild()),
+            "severe" => Ok(Self::severe()),
+            other => match other.parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => Ok(Self::scaled(r)),
+                _ => Err(format!(
+                    "invalid crash profile '{other}' (use none, mild, severe, or a rate in [0, 1])"
+                )),
+            },
+        }
+    }
+
+    /// Whether any replica-level event can fire at all.
+    pub fn is_enabled(&self) -> bool {
+        self.crash_rate > 0.0 || self.brownout_rate > 0.0
+    }
+}
+
+impl Default for ReplicaFaultProfile {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// What happened to a replica at one point of its fault timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaEventKind {
+    /// The replica crashed: its KV pages are gone and its in-flight
+    /// requests must be redispatched.
+    Down,
+    /// The replica finished repair and rejoined the fleet (cold: empty KV).
+    Up,
+    /// The replica's DReX tier entered a brownout (shrunk offload budget).
+    BrownoutStart,
+    /// The brownout ended; the offload budget is back to nominal.
+    BrownoutEnd,
+}
+
+impl ReplicaEventKind {
+    /// The instant-event name under which this event appears in a trace.
+    pub fn trace_name(self) -> &'static str {
+        match self {
+            ReplicaEventKind::Down => "replica.down",
+            ReplicaEventKind::Up => "replica.up",
+            ReplicaEventKind::BrownoutStart => "replica.brownout_start",
+            ReplicaEventKind::BrownoutEnd => "replica.brownout_end",
+        }
+    }
+
+    /// Short display name for timeline text.
+    fn name(self) -> &'static str {
+        match self {
+            ReplicaEventKind::Down => "down",
+            ReplicaEventKind::Up => "up",
+            ReplicaEventKind::BrownoutStart => "brownout-start",
+            ReplicaEventKind::BrownoutEnd => "brownout-end",
+        }
+    }
+}
+
+/// One replica-level fault event at a simulated time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaEvent {
+    /// Simulated time of the event, ns.
+    pub at_ns: f64,
+    /// Replica index within the fleet.
+    pub replica: usize,
+    /// What happened.
+    pub kind: ReplicaEventKind,
+}
+
+/// The deterministic crash/brownout timeline of one replica over
+/// `duration_s` seconds — a pure function of `(seed, replica, profile)`.
+///
+/// Crashes: each hazard interval the replica is up, it crashes iff the
+/// fixed draw `unit_draw(seed, stream(REPLICA, replica, interval, 0), 0)`
+/// falls below `crash_rate`; the crash lands at a jittered point inside the
+/// interval (draw 1) and the replica stays down for `repair_s`. Intervals
+/// that start while the replica is down draw nothing — a dead node has no
+/// hazard. Brownouts fire the same way on [`domain::BROWNOUT`]; a brownout
+/// whose start falls inside a down window is suppressed (the whole node is
+/// already gone) and one that overlaps a later crash is truncated at it.
+///
+/// Events are returned sorted by time; Down/Up pairs never overlap.
+pub fn replica_schedule(
+    profile: &ReplicaFaultProfile,
+    seed: u64,
+    replica: usize,
+    duration_s: f64,
+) -> Vec<ReplicaEvent> {
+    let mut events = Vec::new();
+    if !profile.is_enabled() || duration_s <= 0.0 || profile.interval_s <= 0.0 {
+        return events;
+    }
+    let interval = profile.interval_s;
+    let intervals = (duration_s / interval).ceil() as u64;
+    // Pass 1: crash windows (sorted by construction).
+    let mut downs: Vec<(f64, f64)> = Vec::new();
+    let mut down_until = f64::NEG_INFINITY;
+    for i in 0..intervals {
+        let t0 = i as f64 * interval;
+        if t0 < down_until {
+            continue;
+        }
+        if profile.crash_rate > 0.0 {
+            let key = stream(domain::REPLICA, replica as u64, i, 0);
+            if unit_draw(seed, key, 0) < profile.crash_rate {
+                let at = t0 + unit_draw(seed, key, 1) * interval;
+                if at < duration_s && at >= down_until {
+                    let up = at + profile.repair_s.max(0.0);
+                    downs.push((at, up));
+                    down_until = up;
+                }
+            }
+        }
+    }
+    // Pass 2: brownouts, clipped against the crash windows.
+    let mut brownouts: Vec<(f64, f64)> = Vec::new();
+    if profile.brownout_rate > 0.0 && profile.brownout_s > 0.0 {
+        let mut browned_until = f64::NEG_INFINITY;
+        for i in 0..intervals {
+            let t0 = i as f64 * interval;
+            if t0 < browned_until {
+                continue;
+            }
+            let key = stream(domain::BROWNOUT, replica as u64, i, 0);
+            if unit_draw(seed, key, 0) >= profile.brownout_rate {
+                continue;
+            }
+            let at = t0 + unit_draw(seed, key, 1) * interval;
+            if at >= duration_s || at < browned_until {
+                continue;
+            }
+            // Suppress a brownout that begins on a dead node; truncate one
+            // that runs into a later crash.
+            if downs.iter().any(|&(d, u)| at >= d && at < u) {
+                continue;
+            }
+            let mut end = at + profile.brownout_s;
+            for &(d, _) in &downs {
+                if d > at && d < end {
+                    end = d;
+                }
+            }
+            brownouts.push((at, end));
+            browned_until = end;
+        }
+    }
+    for (d, u) in downs {
+        events.push(ReplicaEvent {
+            at_ns: d * 1e9,
+            replica,
+            kind: ReplicaEventKind::Down,
+        });
+        events.push(ReplicaEvent {
+            at_ns: u * 1e9,
+            replica,
+            kind: ReplicaEventKind::Up,
+        });
+    }
+    for (s, e) in brownouts {
+        events.push(ReplicaEvent {
+            at_ns: s * 1e9,
+            replica,
+            kind: ReplicaEventKind::BrownoutStart,
+        });
+        events.push(ReplicaEvent {
+            at_ns: e * 1e9,
+            replica,
+            kind: ReplicaEventKind::BrownoutEnd,
+        });
+    }
+    events.sort_by(|a, b| {
+        a.at_ns
+            .total_cmp(&b.at_ns)
+            .then_with(|| (a.kind as u8).cmp(&(b.kind as u8)))
+    });
+    events
+}
+
+/// The full fleet timeline: every replica's schedule merged in time order
+/// (ties broken by replica index, then event kind), ready to drain at
+/// simulation boundaries.
+pub fn fleet_schedule(
+    profile: &ReplicaFaultProfile,
+    seed: u64,
+    replicas: usize,
+    duration_s: f64,
+) -> Vec<ReplicaEvent> {
+    let mut all = Vec::new();
+    for r in 0..replicas {
+        all.extend(replica_schedule(profile, seed, r, duration_s));
+    }
+    all.sort_by(|a, b| {
+        a.at_ns
+            .total_cmp(&b.at_ns)
+            .then_with(|| a.replica.cmp(&b.replica))
+            .then_with(|| (a.kind as u8).cmp(&(b.kind as u8)))
+    });
+    all
+}
+
+/// Stable one-line-per-event rendering of a replica timeline for
+/// byte-identity comparisons across thread counts and reruns.
+pub fn timeline_text(events: &[ReplicaEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 32);
+    for e in events {
+        out.push_str(&format!(
+            "{:>14.0} r{} {}\n",
+            e.at_ns,
+            e.replica,
+            e.kind.name()
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -787,6 +1088,124 @@ mod tests {
             FaultError::InvalidSpec("more survivors than keys".into()).to_string(),
             "more survivors than keys"
         );
+    }
+
+    #[test]
+    fn replica_schedule_is_deterministic_and_order_free() {
+        let p = ReplicaFaultProfile::severe();
+        let a = replica_schedule(&p, 42, 1, 16.0);
+        let b = replica_schedule(&p, 42, 1, 16.0);
+        assert_eq!(a, b);
+        assert_eq!(timeline_text(&a), timeline_text(&b));
+        // A different seed or replica index diverges.
+        assert_ne!(a, replica_schedule(&p, 43, 1, 16.0));
+        assert_ne!(a, replica_schedule(&p, 42, 2, 16.0));
+        // The fleet merge is the per-replica schedules re-sorted, so a
+        // replica's own timeline is independent of fleet size.
+        let fleet = fleet_schedule(&p, 42, 4, 16.0);
+        let r1: Vec<ReplicaEvent> = fleet.iter().filter(|e| e.replica == 1).copied().collect();
+        assert_eq!(r1, a);
+    }
+
+    #[test]
+    fn replica_schedule_disabled_is_empty() {
+        let p = ReplicaFaultProfile::disabled();
+        assert!(!p.is_enabled());
+        assert!(replica_schedule(&p, 7, 0, 64.0).is_empty());
+        assert!(fleet_schedule(&p, 7, 8, 64.0).is_empty());
+    }
+
+    #[test]
+    fn replica_down_windows_never_overlap() {
+        let p = ReplicaFaultProfile::scaled(0.5);
+        for r in 0..8 {
+            let ev = replica_schedule(&p, 3, r, 32.0);
+            let mut down = false;
+            let mut last = f64::NEG_INFINITY;
+            for e in &ev {
+                assert!(e.at_ns >= last, "events must be time-sorted");
+                last = e.at_ns;
+                match e.kind {
+                    ReplicaEventKind::Down => {
+                        assert!(!down, "crash while already down");
+                        down = true;
+                    }
+                    ReplicaEventKind::Up => {
+                        assert!(down, "recovery without a crash");
+                        down = false;
+                    }
+                    ReplicaEventKind::BrownoutStart => {
+                        assert!(!down, "brownout started on a dead node");
+                    }
+                    ReplicaEventKind::BrownoutEnd => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replica_hazard_is_monotone_in_rate() {
+        // The raw per-interval hazard nests upward in rate: any interval
+        // that fires at the low rate also fires at the high rate.
+        for r in 0..4u64 {
+            for i in 0..64u64 {
+                let key = stream(domain::REPLICA, r, i, 0);
+                let d = unit_draw(11, key, 0);
+                if d < 0.05 {
+                    assert!(d < 0.25, "low-rate crash lost at high rate");
+                }
+            }
+        }
+        // And the realized crash count does not shrink for this seed.
+        let lo = replica_schedule(&ReplicaFaultProfile::scaled(0.05), 11, 0, 64.0);
+        let hi = replica_schedule(&ReplicaFaultProfile::scaled(0.25), 11, 0, 64.0);
+        let crashes = |ev: &[ReplicaEvent]| {
+            ev.iter()
+                .filter(|e| e.kind == ReplicaEventKind::Down)
+                .count()
+        };
+        assert!(crashes(&hi) >= crashes(&lo));
+        assert!(crashes(&hi) > 0, "severe rate over 64 s must crash");
+    }
+
+    #[test]
+    fn replica_profile_parsing_accepts_names_and_rates() {
+        assert_eq!(
+            ReplicaFaultProfile::parse("none").unwrap(),
+            ReplicaFaultProfile::disabled()
+        );
+        assert_eq!(
+            ReplicaFaultProfile::parse("mild").unwrap(),
+            ReplicaFaultProfile::mild()
+        );
+        assert_eq!(
+            ReplicaFaultProfile::parse("severe").unwrap(),
+            ReplicaFaultProfile::severe()
+        );
+        assert_eq!(
+            ReplicaFaultProfile::parse("0.1").unwrap(),
+            ReplicaFaultProfile::scaled(0.1)
+        );
+        assert!(ReplicaFaultProfile::parse("1.5").is_err());
+        assert!(ReplicaFaultProfile::parse("flaky").is_err());
+    }
+
+    #[test]
+    fn timeline_text_is_stable() {
+        let ev = vec![
+            ReplicaEvent {
+                at_ns: 1.5e9,
+                replica: 0,
+                kind: ReplicaEventKind::Down,
+            },
+            ReplicaEvent {
+                at_ns: 2.5e9,
+                replica: 0,
+                kind: ReplicaEventKind::Up,
+            },
+        ];
+        let text = timeline_text(&ev);
+        assert_eq!(text, "    1500000000 r0 down\n    2500000000 r0 up\n");
     }
 
     #[test]

@@ -16,6 +16,75 @@ use crate::scheduler::{percentile, ClassReport, SchedReport};
 /// One routing decision: `(arrival id, replica index)`.
 pub type Placement = (usize, usize);
 
+/// One request moved off a crashed (or tripped) replica and placed again
+/// through the router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RedispatchRecord {
+    /// Arrival id of the moved request.
+    pub id: usize,
+    /// Replica it was evacuated from.
+    pub from: usize,
+    /// Replica it landed on.
+    pub to: usize,
+    /// Simulated time of the redispatch, ns.
+    pub at_ns: f64,
+    /// Why it moved (e.g. `replica-crash`).
+    pub reason: &'static str,
+}
+
+/// One arrival the admission controller refused fleet-wide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedRecord {
+    /// Arrival id of the shed request.
+    pub id: usize,
+    /// Its SLO class.
+    pub class: SloClass,
+    /// Simulated time of the decision, ns.
+    pub at_ns: f64,
+    /// Why it was shed (e.g. `queue-cap`, `no-healthy-replica`).
+    pub reason: &'static str,
+}
+
+/// Fleet-level fault/overload outcome of a run: crash timeline totals, the
+/// redispatch and shed logs, and the offered-load denominator. `None` on a
+/// [`FleetReport`] means the run had no crash profile and no shedding — the
+/// report (text and JSON) is byte-identical to the pre-fault-domain format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFaultSummary {
+    /// Total arrivals the workload offered (placed + shed).
+    pub offered: usize,
+    /// Replica crashes observed.
+    pub crashes: usize,
+    /// Brownout windows observed.
+    pub brownouts: usize,
+    /// Per-replica downtime, ns of simulated time.
+    pub downtime_ns: Vec<f64>,
+    /// Every redispatch, in decision order.
+    pub redispatches: Vec<RedispatchRecord>,
+    /// Every shed arrival, in decision order.
+    pub shed: Vec<ShedRecord>,
+}
+
+impl FleetFaultSummary {
+    /// An empty summary over `replicas` replicas expecting `offered`
+    /// arrivals.
+    pub fn new(replicas: usize, offered: usize) -> Self {
+        Self {
+            offered,
+            crashes: 0,
+            brownouts: 0,
+            downtime_ns: vec![0.0; replicas],
+            redispatches: Vec::new(),
+            shed: Vec::new(),
+        }
+    }
+
+    /// Shed arrivals of one class.
+    pub fn shed_of(&self, class: SloClass) -> usize {
+        self.shed.iter().filter(|s| s.class == class).count()
+    }
+}
+
 /// End-of-run fleet summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -23,13 +92,16 @@ pub struct FleetReport {
     pub router: RouterPolicy,
     /// Per-replica scheduler reports, in replica order.
     pub replicas: Vec<SchedReport>,
-    /// Placement log in arrival order.
+    /// Placement log in arrival order (first placement of each arrival;
+    /// redispatches are logged in [`FleetFaultSummary::redispatches`]).
     pub placements: Vec<Placement>,
     /// Fleet-wide per-class outcomes (counts summed, percentiles over the
     /// merged samples), indexed by [`SloClass::index`].
     pub per_class: [ClassReport; 3],
     /// First violated cross-replica invariant, if any (must be `None`).
     pub audit_violation: Option<String>,
+    /// Crash/redispatch/shed outcome; `None` for fault-free runs.
+    pub faults: Option<FleetFaultSummary>,
 }
 
 impl FleetReport {
@@ -41,9 +113,23 @@ impl FleetReport {
         router: RouterPolicy,
         replicas: Vec<SchedReport>,
         placements: Vec<Placement>,
-        mut samples: [(Vec<f64>, Vec<f64>); 3],
+        samples: [(Vec<f64>, Vec<f64>); 3],
     ) -> Self {
-        let audit_violation = audit(&replicas, &placements);
+        Self::assemble_with_faults(router, replicas, placements, samples, None)
+    }
+
+    /// [`FleetReport::assemble`] with the fault/overload outcome attached;
+    /// the audit then also checks the redispatch and shed logs (placed +
+    /// shed = offered; per-replica arrivals = placements + redispatches
+    /// into it).
+    pub fn assemble_with_faults(
+        router: RouterPolicy,
+        replicas: Vec<SchedReport>,
+        placements: Vec<Placement>,
+        mut samples: [(Vec<f64>, Vec<f64>); 3],
+        faults: Option<FleetFaultSummary>,
+    ) -> Self {
+        let audit_violation = audit(&replicas, &placements, faults.as_ref());
         let mut per_class: [ClassReport; 3] = Default::default();
         for class in SloClass::ALL {
             let i = class.index();
@@ -72,6 +158,7 @@ impl FleetReport {
             placements,
             per_class,
             audit_violation,
+            faults,
         }
     }
 
@@ -83,13 +170,14 @@ impl FleetReport {
         let arrived: usize = report.per_class.iter().map(|c| c.arrived).sum();
         let placements: Vec<Placement> = (0..arrived).map(|id| (id, 0)).collect();
         let replicas = vec![report];
-        let audit_violation = audit(&replicas, &placements);
+        let audit_violation = audit(&replicas, &placements, None);
         Self {
             router,
             per_class: replicas[0].per_class.clone(),
             replicas,
             placements,
             audit_violation,
+            faults: None,
         }
     }
 
@@ -150,6 +238,38 @@ impl FleetReport {
                 c.p99_request_ms,
             ));
         }
+        if let Some(f) = &self.faults {
+            let done: usize = self.per_class.iter().map(|c| c.completed).sum();
+            let goodput = if f.offered == 0 {
+                100.0
+            } else {
+                100.0 * done as f64 / f.offered as f64
+            };
+            out.push_str(&format!(
+                "  faults: crashes {} | brownouts {} | redispatched {} | shed {}\n",
+                f.crashes,
+                f.brownouts,
+                f.redispatches.len(),
+                f.shed.len(),
+            ));
+            let downtime: Vec<String> = f
+                .downtime_ns
+                .iter()
+                .enumerate()
+                .map(|(i, &ns)| format!("r{i} {:.2}s", ns / 1e9))
+                .collect();
+            out.push_str(&format!("  downtime: {}\n", downtime.join(" ")));
+            out.push_str(&format!(
+                "  shed by class: interactive {} batch {} best-effort {}\n",
+                f.shed_of(SloClass::Interactive),
+                f.shed_of(SloClass::Batch),
+                f.shed_of(SloClass::BestEffort),
+            ));
+            out.push_str(&format!(
+                "  goodput: {done} completed of {} offered ({goodput:.1}%)\n",
+                f.offered
+            ));
+        }
         match &self.audit_violation {
             None => out.push_str("  audit: ok (each arrival placed once, arrivals conserved)\n"),
             Some(v) => out.push_str(&format!("  audit: VIOLATION — {v}\n")),
@@ -160,26 +280,68 @@ impl FleetReport {
 
 /// The cross-replica invariants:
 ///
-/// 1. No arrival id appears twice in the placement log.
+/// 1. No arrival id appears twice in the placement log, and no placed
+///    arrival was also shed.
 /// 2. Replica indices in the log are in range.
 /// 3. Conservation per replica: the requests a replica saw arrive are
-///    exactly the ones the router placed on it.
-/// 4. Conservation across the fleet: total arrived equals placements.
+///    exactly the ones the router placed on it plus the ones redispatched
+///    onto it after a crash.
+/// 4. Conservation across the fleet: every offered arrival is placed once
+///    or shed with a recorded reason — never lost.
 /// 5. Every replica's own page-ledger audit is clean.
-fn audit(replicas: &[SchedReport], placements: &[Placement]) -> Option<String> {
-    let mut seen = vec![false; placements.len()];
+fn audit(
+    replicas: &[SchedReport],
+    placements: &[Placement],
+    faults: Option<&FleetFaultSummary>,
+) -> Option<String> {
+    let offered = match faults {
+        Some(f) => f.offered,
+        None => placements.len(),
+    };
+    let mut seen = vec![false; offered];
     let mut per_replica = vec![0usize; replicas.len()];
     for &(id, replica) in placements {
         if replica >= replicas.len() {
             return Some(format!("arrival {id} placed on unknown replica {replica}"));
         }
-        // Ids are assigned in arrival order, so any id at or past the log
-        // length has to be a duplicate-or-corrupt entry.
+        // Ids are assigned in arrival order, so any id at or past the
+        // offered count has to be a duplicate-or-corrupt entry.
         if id >= seen.len() || seen[id] {
             return Some(format!("arrival {id} placed twice"));
         }
         seen[id] = true;
         per_replica[replica] += 1;
+    }
+    if let Some(f) = faults {
+        for s in &f.shed {
+            if s.id >= seen.len() {
+                return Some(format!("shed arrival {} was never offered", s.id));
+            }
+            if seen[s.id] {
+                return Some(format!("arrival {} both placed and shed", s.id));
+            }
+            seen[s.id] = true;
+        }
+        for r in &f.redispatches {
+            if r.to >= replicas.len() || r.from >= replicas.len() {
+                return Some(format!(
+                    "redispatch of {} names unknown replica {} -> {}",
+                    r.id, r.from, r.to
+                ));
+            }
+            if r.id >= offered || !seen[r.id] {
+                return Some(format!("redispatched arrival {} was never placed", r.id));
+            }
+            per_replica[r.to] += 1;
+        }
+        if placements.len() + f.shed.len() != offered {
+            return Some(format!(
+                "{} placements + {} shed != {} offered (arrivals lost)",
+                placements.len(),
+                f.shed.len(),
+                offered
+            ));
+        }
     }
     let mut total = 0usize;
     for (i, rep) in replicas.iter().enumerate() {
@@ -198,11 +360,10 @@ fn audit(replicas: &[SchedReport], placements: &[Placement]) -> Option<String> {
             return Some(format!("replica {i} ledger: {v}"));
         }
     }
-    if total != placements.len() {
+    let routed = placements.len() + faults.map_or(0, |f| f.redispatches.len());
+    if total != routed {
         return Some(format!(
-            "{} arrivals across replicas but {} placements",
-            total,
-            placements.len()
+            "{total} arrivals across replicas but {routed} routed (placements + redispatches)"
         ));
     }
     None
@@ -294,6 +455,114 @@ mod tests {
             no_samples(),
         );
         assert!(f.audit_violation.as_deref().unwrap().contains("leaked"));
+    }
+
+    #[test]
+    fn fault_audit_accepts_placed_plus_shed_plus_redispatched() {
+        // 5 offered: 4 placed (one later redispatched 0 -> 1), 1 shed.
+        // Replica 0 saw 2 arrivals (ids 0, 2); replica 1 saw 3 (ids 1, 3
+        // and the redispatched 0).
+        let mut f = FleetFaultSummary::new(2, 5);
+        f.crashes = 1;
+        f.redispatches.push(RedispatchRecord {
+            id: 0,
+            from: 0,
+            to: 1,
+            at_ns: 1e9,
+            reason: "replica-crash",
+        });
+        f.shed.push(ShedRecord {
+            id: 4,
+            class: SloClass::BestEffort,
+            at_ns: 2e9,
+            reason: "queue-cap",
+        });
+        let rep = FleetReport::assemble_with_faults(
+            RouterPolicy::JsqSpillover,
+            vec![report([2, 0, 0]), report([3, 0, 0])],
+            vec![(0, 0), (1, 1), (2, 0), (3, 1)],
+            no_samples(),
+            Some(f),
+        );
+        assert_eq!(rep.audit_violation, None);
+        let text = rep.to_text();
+        assert!(text.contains("crashes 1"), "{text}");
+        assert!(text.contains("redispatched 1"), "{text}");
+        assert!(text.contains("shed 1"), "{text}");
+        assert!(text.contains("goodput:"), "{text}");
+        assert!(text.contains("downtime:"), "{text}");
+    }
+
+    #[test]
+    fn fault_audit_catches_lost_and_double_counted_arrivals() {
+        // Arrival 2 neither placed nor shed: lost.
+        let lost = FleetReport::assemble_with_faults(
+            RouterPolicy::JsqSpillover,
+            vec![report([2, 0, 0])],
+            vec![(0, 0), (1, 0)],
+            no_samples(),
+            Some(FleetFaultSummary::new(1, 3)),
+        );
+        assert!(lost
+            .audit_violation
+            .as_deref()
+            .unwrap()
+            .contains("arrivals lost"));
+        // Arrival 1 both placed and shed.
+        let mut f = FleetFaultSummary::new(1, 2);
+        f.shed.push(ShedRecord {
+            id: 1,
+            class: SloClass::Interactive,
+            at_ns: 0.0,
+            reason: "queue-cap",
+        });
+        let dup = FleetReport::assemble_with_faults(
+            RouterPolicy::JsqSpillover,
+            vec![report([2, 0, 0])],
+            vec![(0, 0), (1, 0)],
+            no_samples(),
+            Some(f),
+        );
+        assert!(dup
+            .audit_violation
+            .as_deref()
+            .unwrap()
+            .contains("both placed and shed"));
+        // A redispatch of an arrival that was never placed.
+        let mut f = FleetFaultSummary::new(2, 1);
+        f.redispatches.push(RedispatchRecord {
+            id: 7,
+            from: 0,
+            to: 1,
+            at_ns: 0.0,
+            reason: "replica-crash",
+        });
+        let ghost = FleetReport::assemble_with_faults(
+            RouterPolicy::JsqSpillover,
+            vec![report([1, 0, 0]), report([0, 0, 0])],
+            vec![(0, 0)],
+            no_samples(),
+            Some(f),
+        );
+        assert!(ghost
+            .audit_violation
+            .as_deref()
+            .unwrap()
+            .contains("never placed"));
+    }
+
+    #[test]
+    fn fault_free_summary_lines_are_absent() {
+        let f = FleetReport::assemble(
+            RouterPolicy::JsqSpillover,
+            vec![report([1, 0, 0])],
+            vec![(0, 0)],
+            no_samples(),
+        );
+        assert_eq!(f.faults, None);
+        let text = f.to_text();
+        assert!(!text.contains("faults:"), "{text}");
+        assert!(!text.contains("goodput:"), "{text}");
     }
 
     #[test]

@@ -47,11 +47,13 @@ pub mod request;
 pub mod router;
 pub mod scheduler;
 
-pub use fleet::{FleetReport, Placement};
+pub use fleet::{FleetFaultSummary, FleetReport, Placement, RedispatchRecord, ShedRecord};
 pub use pages::{AllocError, PageConfig, PageStats, PagedKvManager};
 pub use request::{KvDeviceGeometry, SchedRequest, SloClass, SloMix};
-pub use router::{Router, RouterPolicy, SchedLoad};
+pub use router::{
+    BreakerConfig, BreakerState, CircuitBreaker, RouteError, Router, RouterPolicy, SchedLoad,
+};
 pub use scheduler::{
-    ActiveEntry, ClassReport, Completion, SchedConfig, SchedEvent, SchedPolicy, SchedReport,
-    Scheduler, StepPlan,
+    ActiveEntry, ClassReport, Completion, Evacuated, SchedConfig, SchedEvent, SchedPolicy,
+    SchedReport, Scheduler, StepPlan,
 };

@@ -105,6 +105,258 @@ fn shed_threshold(class: SloClass) -> f64 {
     }
 }
 
+/// Typed routing failures (replacing the former panic-on-empty-fleet).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// The load-snapshot slice was empty — there is no fleet to route over.
+    EmptyFleet,
+    /// Every replica's breaker is open: nothing can accept this arrival.
+    /// The caller must shed (with a recorded reason) rather than place.
+    NoHealthyReplica,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::EmptyFleet => write!(f, "route over an empty fleet"),
+            RouteError::NoHealthyReplica => write!(f, "no healthy replica (all breakers open)"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Circuit-breaker health state of one replica, as the router sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: eligible for every class.
+    Closed,
+    /// Tripped (crash or sustained SLO misses): eligible for nothing.
+    Open,
+    /// Probing after cooldown/recovery: best-effort traffic first; other
+    /// classes only when no closed replica exists.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Short display name (`closed`/`open`/`half-open`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Trip/cooldown thresholds of a per-replica circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// Interactive deadline, ms: a completion slower than this counts as a
+    /// deadline miss against the replica.
+    pub slo_ms: f64,
+    /// Consecutive interactive deadline misses that trip a closed breaker.
+    pub consecutive_misses: u32,
+    /// Degraded tokens accumulated since the breaker last closed that trip
+    /// it (sustained brownout pressure).
+    pub degraded_tokens_trip: u64,
+    /// How long an open breaker waits before probing, ns of simulated time.
+    pub cooldown_ns: f64,
+    /// Successful (in-deadline) interactive completions a half-open breaker
+    /// needs before closing again.
+    pub probe_successes: u32,
+}
+
+impl BreakerConfig {
+    /// Serving defaults: a 2.5 s interactive deadline, trip after 8
+    /// consecutive misses or 4096 degraded tokens, probe after a 500 ms
+    /// cooldown, close after 4 clean probes.
+    pub fn serving_default() -> Self {
+        Self {
+            slo_ms: 2500.0,
+            consecutive_misses: 8,
+            degraded_tokens_trip: 4096,
+            cooldown_ns: 0.5e9,
+            probe_successes: 4,
+        }
+    }
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self::serving_default()
+    }
+}
+
+/// A per-replica circuit breaker: closed → open on a crash or sustained
+/// deadline misses / degraded-token pressure, open → half-open after
+/// cooldown (or explicit recovery), half-open → closed after enough clean
+/// probes — or straight back to open on a probe miss.
+///
+/// The breaker is driven only by observable serving signals (completion
+/// latencies and degraded-token counters), never by the fault schedule
+/// itself: the router learns a replica died the same way a real front-end
+/// would.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    /// Consecutive interactive deadline misses while closed.
+    misses: u32,
+    /// Degraded tokens since the breaker last closed.
+    degraded: u64,
+    /// When the breaker opened, ns.
+    opened_at_ns: f64,
+    /// While true the breaker must not half-open on cooldown (the node is
+    /// physically down; recovery is announced via [`CircuitBreaker::on_recovery`]).
+    held_open: bool,
+    /// Clean probes seen while half-open.
+    probes: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            state: BreakerState::Closed,
+            misses: 0,
+            degraded: 0,
+            opened_at_ns: 0.0,
+            held_open: false,
+            probes: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// True while the breaker is open because the replica is physically
+    /// down (crash), as opposed to tripped open by observed slowness. A
+    /// tripped-open replica is alive and can take last-resort traffic; a
+    /// held-open one cannot serve anything until recovery.
+    pub fn is_held_open(&self) -> bool {
+        self.state == BreakerState::Open && self.held_open
+    }
+
+    fn open(&mut self, now_ns: f64, held: bool) -> Option<BreakerState> {
+        self.state = BreakerState::Open;
+        self.opened_at_ns = now_ns;
+        self.held_open = held;
+        self.misses = 0;
+        self.probes = 0;
+        Some(BreakerState::Open)
+    }
+
+    fn close(&mut self) -> Option<BreakerState> {
+        self.state = BreakerState::Closed;
+        self.misses = 0;
+        self.degraded = 0;
+        self.probes = 0;
+        Some(BreakerState::Closed)
+    }
+
+    /// Trips the breaker open and holds it there (a replica crash): no
+    /// cooldown probe until [`CircuitBreaker::on_recovery`]. Returns the new
+    /// state when this was a transition.
+    pub fn force_open(&mut self, now_ns: f64) -> Option<BreakerState> {
+        let was_open = self.state == BreakerState::Open;
+        let t = self.open(now_ns, true);
+        if was_open {
+            None
+        } else {
+            t
+        }
+    }
+
+    /// The replica came back (repair finished): a held-open breaker moves
+    /// to half-open so probe traffic can test it. Returns the new state
+    /// when this was a transition.
+    pub fn on_recovery(&mut self) -> Option<BreakerState> {
+        if self.state == BreakerState::Open {
+            self.state = BreakerState::HalfOpen;
+            self.held_open = false;
+            self.probes = 0;
+            Some(BreakerState::HalfOpen)
+        } else {
+            None
+        }
+    }
+
+    /// Cooldown tick: an open (not held-open) breaker becomes half-open
+    /// once `cooldown_ns` has elapsed. Returns the new state on transition.
+    pub fn poll(&mut self, now_ns: f64) -> Option<BreakerState> {
+        if self.state == BreakerState::Open
+            && !self.held_open
+            && now_ns - self.opened_at_ns >= self.cfg.cooldown_ns
+        {
+            self.state = BreakerState::HalfOpen;
+            self.probes = 0;
+            Some(BreakerState::HalfOpen)
+        } else {
+            None
+        }
+    }
+
+    /// Feeds one observed completion. Only interactive completions count
+    /// toward the deadline-miss ladder, but *any* class counts as a clean
+    /// half-open probe: the router sends a half-open replica best-effort
+    /// traffic first, and a probe only asks whether the node is alive —
+    /// requiring an interactive completion to close would quarantine a
+    /// repaired replica forever. Returns the new state on transition.
+    pub fn note_completion(
+        &mut self,
+        class: SloClass,
+        latency_ms: f64,
+        now_ns: f64,
+    ) -> Option<BreakerState> {
+        let missed = class == SloClass::Interactive && latency_ms > self.cfg.slo_ms;
+        match self.state {
+            BreakerState::Closed => {
+                if class != SloClass::Interactive {
+                    return None;
+                }
+                if missed {
+                    self.misses += 1;
+                    if self.misses >= self.cfg.consecutive_misses {
+                        return self.open(now_ns, false);
+                    }
+                } else {
+                    self.misses = 0;
+                }
+                None
+            }
+            BreakerState::HalfOpen => {
+                if missed {
+                    self.open(now_ns, false)
+                } else {
+                    self.probes += 1;
+                    if self.probes >= self.cfg.probe_successes {
+                        self.close()
+                    } else {
+                        None
+                    }
+                }
+            }
+            BreakerState::Open => None,
+        }
+    }
+
+    /// Feeds newly observed degraded tokens (brownout pressure). A closed
+    /// breaker trips once the accumulated count since it last closed
+    /// reaches the threshold. Returns the new state on transition.
+    pub fn note_degraded(&mut self, tokens: u64, now_ns: f64) -> Option<BreakerState> {
+        self.degraded = self.degraded.saturating_add(tokens);
+        if self.state == BreakerState::Closed && self.degraded >= self.cfg.degraded_tokens_trip {
+            self.open(now_ns, false)
+        } else {
+            None
+        }
+    }
+}
+
 /// splitmix64 — the deterministic tie-break stream.
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -134,50 +386,113 @@ impl Router {
     }
 
     /// Picks the replica for arrival `arrival_index` of `class` given the
-    /// per-replica load snapshots. `loads` must be non-empty.
-    pub fn route(&self, arrival_index: usize, class: SloClass, loads: &[SchedLoad]) -> usize {
-        assert!(!loads.is_empty(), "route over an empty fleet");
+    /// per-replica load snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::EmptyFleet`] when `loads` is empty.
+    pub fn route(
+        &self,
+        arrival_index: usize,
+        class: SloClass,
+        loads: &[SchedLoad],
+    ) -> Result<usize, RouteError> {
+        let all: Vec<usize> = (0..loads.len()).collect();
+        self.route_within(arrival_index, class, loads, &all)
+    }
+
+    /// Health-aware routing: picks a replica among those whose breaker
+    /// admits this class. Closed replicas take every class; half-open ones
+    /// take best-effort probe traffic first, and other classes only when no
+    /// closed replica exists; open replicas take nothing. With every
+    /// breaker closed this is exactly [`Router::route`], placement for
+    /// placement.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::EmptyFleet`] when `loads` is empty (or `states` is
+    /// shorter than `loads`), [`RouteError::NoHealthyReplica`] when no
+    /// breaker admits the class — the caller sheds, it never loses the
+    /// arrival.
+    pub fn route_healthy(
+        &self,
+        arrival_index: usize,
+        class: SloClass,
+        loads: &[SchedLoad],
+        states: &[BreakerState],
+    ) -> Result<usize, RouteError> {
+        if loads.is_empty() || states.len() < loads.len() {
+            return Err(RouteError::EmptyFleet);
+        }
+        let closed: Vec<usize> = (0..loads.len())
+            .filter(|&i| states[i] == BreakerState::Closed)
+            .collect();
+        let healthy: Vec<usize> = if class == SloClass::BestEffort || closed.is_empty() {
+            (0..loads.len())
+                .filter(|&i| states[i] != BreakerState::Open)
+                .collect()
+        } else {
+            closed
+        };
+        if healthy.is_empty() {
+            return Err(RouteError::NoHealthyReplica);
+        }
+        self.route_within(arrival_index, class, loads, &healthy)
+    }
+
+    /// Applies the policy over a candidate pool of replica indices.
+    fn route_within(
+        &self,
+        arrival_index: usize,
+        class: SloClass,
+        loads: &[SchedLoad],
+        candidates: &[usize],
+    ) -> Result<usize, RouteError> {
+        if candidates.is_empty() {
+            return Err(RouteError::EmptyFleet);
+        }
         match self.policy {
-            RouterPolicy::RoundRobin => arrival_index % loads.len(),
-            RouterPolicy::JsqSpillover => self.jsq_spillover(arrival_index, class, loads),
+            RouterPolicy::RoundRobin => Ok(candidates[arrival_index % candidates.len()]),
+            RouterPolicy::JsqSpillover => {
+                Ok(self.jsq_spillover(arrival_index, class, loads, candidates))
+            }
         }
     }
 
-    fn jsq_spillover(&self, arrival_index: usize, class: SloClass, loads: &[SchedLoad]) -> usize {
+    fn jsq_spillover(
+        &self,
+        arrival_index: usize,
+        class: SloClass,
+        loads: &[SchedLoad],
+        candidates: &[usize],
+    ) -> usize {
         let threshold = shed_threshold(class);
-        let eligible: Vec<usize> = (0..loads.len())
+        let eligible: Vec<usize> = candidates
+            .iter()
+            .copied()
             .filter(|&i| loads[i].hbm_occupancy() < threshold)
             .collect();
-        // Every replica hot: shedding balances, it never rejects — fall
-        // back to plain JSQ over the whole fleet.
+        // Every candidate hot: spillover balances, it never rejects — fall
+        // back to plain JSQ over the whole candidate pool.
         let pool: Vec<usize> = if eligible.is_empty() {
-            (0..loads.len()).collect()
+            candidates.to_vec()
         } else {
             eligible
         };
         // Most free HBM pages wins; free DReX breaks the first tie, the
         // shortest admission queue the second.
-        let best_key = pool
-            .iter()
-            .map(|&i| {
-                (
-                    loads[i].free_hbm(),
-                    loads[i].free_drex(),
-                    usize::MAX - loads[i].waiting,
-                )
-            })
-            .max()
-            .expect("pool is non-empty");
-        let tied: Vec<usize> = pool
-            .into_iter()
-            .filter(|&i| {
-                (
-                    loads[i].free_hbm(),
-                    loads[i].free_drex(),
-                    usize::MAX - loads[i].waiting,
-                ) == best_key
-            })
-            .collect();
+        let key = |i: usize| {
+            (
+                loads[i].free_hbm(),
+                loads[i].free_drex(),
+                usize::MAX - loads[i].waiting,
+            )
+        };
+        let mut best_key = key(pool[0]);
+        for &i in &pool[1..] {
+            best_key = best_key.max(key(i));
+        }
+        let tied: Vec<usize> = pool.into_iter().filter(|&i| key(i) == best_key).collect();
         // Seeded rotation among exact ties keeps placement a pure function
         // of (seed, arrival index) without biasing toward low indices.
         let r = splitmix64(self.seed ^ (arrival_index as u64).wrapping_mul(0x243f_6a88_85a3_08d3));
@@ -205,7 +520,7 @@ mod tests {
         let r = Router::new(RouterPolicy::RoundRobin, 7);
         let loads = [load(0, 10), load(9, 10), load(5, 10)];
         for i in 0..9 {
-            assert_eq!(r.route(i, SloClass::Interactive, &loads), i % 3);
+            assert_eq!(r.route(i, SloClass::Interactive, &loads).unwrap(), i % 3);
         }
     }
 
@@ -214,8 +529,21 @@ mod tests {
         let r = Router::new(RouterPolicy::JsqSpillover, 7);
         let loads = [load(8, 10), load(2, 10), load(5, 10)];
         for class in SloClass::ALL {
-            assert_eq!(r.route(0, class, &loads), 1);
+            assert_eq!(r.route(0, class, &loads).unwrap(), 1);
         }
+    }
+
+    #[test]
+    fn empty_fleet_is_a_typed_error_not_a_panic() {
+        let r = Router::new(RouterPolicy::JsqSpillover, 7);
+        assert_eq!(
+            r.route(0, SloClass::Interactive, &[]),
+            Err(RouteError::EmptyFleet)
+        );
+        assert!(RouteError::EmptyFleet.to_string().contains("empty fleet"));
+        assert!(RouteError::NoHealthyReplica
+            .to_string()
+            .contains("no healthy replica"));
     }
 
     #[test]
@@ -226,13 +554,50 @@ mod tests {
         let loads = [load(60, 100), load(4, 10)];
         assert!(loads[0].free_hbm() > loads[1].free_hbm());
         let r = Router::new(RouterPolicy::JsqSpillover, 7);
-        assert_eq!(r.route(0, SloClass::BestEffort, &loads), 1, "0 is past 50%");
-        assert_eq!(r.route(0, SloClass::Batch, &loads), 0, "0 is under 75%");
-        assert_eq!(r.route(0, SloClass::Interactive, &loads), 0);
+        assert_eq!(
+            r.route(0, SloClass::BestEffort, &loads).unwrap(),
+            1,
+            "0 is past 50%"
+        );
+        assert_eq!(
+            r.route(0, SloClass::Batch, &loads).unwrap(),
+            0,
+            "0 is under 75%"
+        );
+        assert_eq!(r.route(0, SloClass::Interactive, &loads).unwrap(), 0);
         // Past 75% the batch class sheds too; interactive never does.
         let hot = [load(80, 100), load(4, 10)];
-        assert_eq!(r.route(0, SloClass::Batch, &hot), 1);
-        assert_eq!(r.route(0, SloClass::Interactive, &hot), 0);
+        assert_eq!(r.route(0, SloClass::Batch, &hot).unwrap(), 1);
+        assert_eq!(r.route(0, SloClass::Interactive, &hot).unwrap(), 0);
+    }
+
+    #[test]
+    fn spillover_boundary_at_exactly_50_percent() {
+        // The eligibility filter is strict (`occupancy < threshold`), so a
+        // replica sitting at exactly 50% no longer takes best-effort
+        // traffic — but still takes batch and interactive.
+        let loads = [load(50, 100), load(4, 10)];
+        assert_eq!(loads[0].hbm_occupancy(), 0.5);
+        assert!(loads[0].free_hbm() > loads[1].free_hbm());
+        let r = Router::new(RouterPolicy::JsqSpillover, 7);
+        assert_eq!(r.route(0, SloClass::BestEffort, &loads).unwrap(), 1);
+        assert_eq!(r.route(0, SloClass::Batch, &loads).unwrap(), 0);
+        assert_eq!(r.route(0, SloClass::Interactive, &loads).unwrap(), 0);
+        // One page under the boundary it still takes everything.
+        let under = [load(49, 100), load(4, 10)];
+        assert_eq!(r.route(0, SloClass::BestEffort, &under).unwrap(), 0);
+    }
+
+    #[test]
+    fn spillover_boundary_at_exactly_75_percent() {
+        let loads = [load(75, 100), load(4, 10)];
+        assert_eq!(loads[0].hbm_occupancy(), 0.75);
+        assert!(loads[0].free_hbm() > loads[1].free_hbm());
+        let r = Router::new(RouterPolicy::JsqSpillover, 7);
+        assert_eq!(r.route(0, SloClass::Batch, &loads).unwrap(), 1);
+        assert_eq!(r.route(0, SloClass::Interactive, &loads).unwrap(), 0);
+        let under = [load(74, 100), load(4, 10)];
+        assert_eq!(r.route(0, SloClass::Batch, &under).unwrap(), 0);
     }
 
     #[test]
@@ -240,7 +605,7 @@ mod tests {
         let loads = [load(9, 10), load(7, 10)];
         let r = Router::new(RouterPolicy::JsqSpillover, 7);
         // Both past the best-effort threshold: the freer one still wins.
-        assert_eq!(r.route(0, SloClass::BestEffort, &loads), 1);
+        assert_eq!(r.route(0, SloClass::BestEffort, &loads).unwrap(), 1);
     }
 
     #[test]
@@ -248,23 +613,170 @@ mod tests {
         let loads = [load(5, 10), load(5, 10), load(5, 10), load(5, 10)];
         let r = Router::new(RouterPolicy::JsqSpillover, 42);
         let picks: Vec<usize> = (0..64)
-            .map(|i| r.route(i, SloClass::Interactive, &loads))
+            .map(|i| r.route(i, SloClass::Interactive, &loads).unwrap())
             .collect();
         // Reproducible...
         let again: Vec<usize> = (0..64)
-            .map(|i| r.route(i, SloClass::Interactive, &loads))
+            .map(|i| r.route(i, SloClass::Interactive, &loads).unwrap())
             .collect();
         assert_eq!(picks, again);
         // ...seed-dependent...
         let other = Router::new(RouterPolicy::JsqSpillover, 43);
         let shifted: Vec<usize> = (0..64)
-            .map(|i| other.route(i, SloClass::Interactive, &loads))
+            .map(|i| other.route(i, SloClass::Interactive, &loads).unwrap())
             .collect();
         assert_ne!(picks, shifted);
         // ...and not biased onto one replica.
         for rep in 0..4 {
             assert!(picks.contains(&rep), "replica {rep} never picked");
         }
+    }
+
+    #[test]
+    fn route_healthy_with_all_closed_matches_route() {
+        let loads = [load(5, 10), load(3, 10), load(7, 10)];
+        let states = [BreakerState::Closed; 3];
+        for policy in [RouterPolicy::RoundRobin, RouterPolicy::JsqSpillover] {
+            let r = Router::new(policy, 42);
+            for i in 0..64 {
+                for class in SloClass::ALL {
+                    assert_eq!(
+                        r.route_healthy(i, class, &loads, &states),
+                        r.route(i, class, &loads),
+                        "policy {policy:?} arrival {i} class {class:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_healthy_skips_open_and_probes_half_open_with_best_effort() {
+        let loads = [load(0, 10), load(9, 10)];
+        let r = Router::new(RouterPolicy::JsqSpillover, 7);
+        // Replica 0 (the freer one) is open: everything lands on 1.
+        let states = [BreakerState::Open, BreakerState::Closed];
+        for class in SloClass::ALL {
+            assert_eq!(r.route_healthy(0, class, &loads, &states).unwrap(), 1);
+        }
+        // Replica 0 half-open: best-effort probes it, interactive and batch
+        // stay on the closed replica.
+        let states = [BreakerState::HalfOpen, BreakerState::Closed];
+        assert_eq!(
+            r.route_healthy(0, SloClass::BestEffort, &loads, &states)
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            r.route_healthy(0, SloClass::Interactive, &loads, &states)
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            r.route_healthy(0, SloClass::Batch, &loads, &states)
+                .unwrap(),
+            1
+        );
+        // No closed replica at all: half-open takes every class rather than
+        // shedding traffic a probe could serve.
+        let states = [BreakerState::HalfOpen, BreakerState::Open];
+        assert_eq!(
+            r.route_healthy(0, SloClass::Interactive, &loads, &states)
+                .unwrap(),
+            0
+        );
+        // Everything open: a typed shed signal, never a panic.
+        let states = [BreakerState::Open, BreakerState::Open];
+        assert_eq!(
+            r.route_healthy(0, SloClass::Interactive, &loads, &states),
+            Err(RouteError::NoHealthyReplica)
+        );
+    }
+
+    #[test]
+    fn breaker_trips_on_consecutive_misses_and_recovers_via_probes() {
+        let cfg = BreakerConfig {
+            slo_ms: 100.0,
+            consecutive_misses: 3,
+            degraded_tokens_trip: 1000,
+            cooldown_ns: 1e9,
+            probe_successes: 2,
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Two misses, a hit, two misses: the hit resets the ladder.
+        for t in [0.0, 1.0] {
+            assert_eq!(b.note_completion(SloClass::Interactive, 200.0, t), None);
+        }
+        assert_eq!(b.note_completion(SloClass::Interactive, 50.0, 2.0), None);
+        assert_eq!(b.note_completion(SloClass::Interactive, 200.0, 3.0), None);
+        assert_eq!(b.note_completion(SloClass::Interactive, 200.0, 4.0), None);
+        // Third consecutive miss trips it.
+        assert_eq!(
+            b.note_completion(SloClass::Interactive, 200.0, 5.0),
+            Some(BreakerState::Open)
+        );
+        // Batch misses never count.
+        assert_eq!(b.note_completion(SloClass::Batch, 9e9, 6.0), None);
+        // Cooldown: not yet... then half-open.
+        assert_eq!(b.poll(5.5e8), None);
+        assert_eq!(b.poll(5.0 + 1e9), Some(BreakerState::HalfOpen));
+        // One clean probe, then the closing one.
+        assert_eq!(b.note_completion(SloClass::Interactive, 50.0, 2e9), None);
+        assert_eq!(
+            b.note_completion(SloClass::Interactive, 50.0, 2e9),
+            Some(BreakerState::Closed)
+        );
+        // A probe miss while half-open reopens immediately.
+        b.force_open(3e9);
+        assert_eq!(b.on_recovery(), Some(BreakerState::HalfOpen));
+        assert_eq!(
+            b.note_completion(SloClass::Interactive, 200.0, 4e9),
+            Some(BreakerState::Open)
+        );
+    }
+
+    #[test]
+    fn best_effort_probes_close_a_half_open_breaker() {
+        let cfg = BreakerConfig {
+            probe_successes: 2,
+            ..BreakerConfig::serving_default()
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        b.force_open(1e9);
+        assert_eq!(b.on_recovery(), Some(BreakerState::HalfOpen));
+        // The router probes half-open replicas with best-effort traffic
+        // first; those completions have no deadline but prove liveness,
+        // so they must be able to close the breaker.
+        assert_eq!(b.note_completion(SloClass::BestEffort, 9e9, 2e9), None);
+        assert_eq!(
+            b.note_completion(SloClass::Batch, 9e9, 2e9),
+            Some(BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn breaker_holds_open_through_a_crash_until_recovery() {
+        let mut b = CircuitBreaker::new(BreakerConfig::serving_default());
+        assert_eq!(b.force_open(1e9), Some(BreakerState::Open));
+        // Already open: no duplicate transition.
+        assert_eq!(b.force_open(1.5e9), None);
+        // Cooldown never half-opens a held breaker — the node is down.
+        assert_eq!(b.poll(1e12), None);
+        assert_eq!(b.on_recovery(), Some(BreakerState::HalfOpen));
+        assert_eq!(b.on_recovery(), None);
+    }
+
+    #[test]
+    fn breaker_trips_on_degraded_token_pressure() {
+        let cfg = BreakerConfig {
+            degraded_tokens_trip: 100,
+            ..BreakerConfig::serving_default()
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        assert_eq!(b.note_degraded(60, 1.0), None);
+        assert_eq!(b.note_degraded(60, 2.0), Some(BreakerState::Open));
+        assert_eq!(b.state().name(), "open");
     }
 
     #[test]

@@ -154,6 +154,22 @@ struct Waiting {
     window_only: bool,
 }
 
+/// A request evacuated from a crashed replica, carrying its decode
+/// progress so the router can place it again elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evacuated {
+    /// The request descriptor (original arrival time included, so the
+    /// crash's latency cost lands in the request's own tail).
+    pub req: SchedRequest,
+    /// Output tokens still to decode.
+    pub remaining: usize,
+    /// Tokens decoded before the crash.
+    pub generated: usize,
+    /// Prefill work still outstanding at crash time, ns (0 when the
+    /// request had already reached decode).
+    pub prefill_left_ns: f64,
+}
+
 /// A scheduling decision, for the caller to emit as a `sched.*` instant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SchedEvent {
@@ -455,6 +471,70 @@ impl Scheduler {
         self.waiting.len()
     }
 
+    /// Waiting requests of one class — the admission controller's
+    /// queue-depth signal.
+    pub fn queue_depth(&self, class: SloClass) -> usize {
+        self.waiting.iter().filter(|w| w.req.class == class).count()
+    }
+
+    /// A replica crash: every page is lost and every in-flight request —
+    /// active or queued — is evacuated for redispatch through the router.
+    /// Returns the evacuees sorted by arrival id (the canonical redispatch
+    /// order). Arrival/outcome counters stay: the requests did arrive here;
+    /// where they end up is the fleet's bookkeeping.
+    pub fn crash_evacuate(&mut self) -> Vec<Evacuated> {
+        self.chunks.clear();
+        let active = std::mem::take(&mut self.active);
+        let waiting = std::mem::take(&mut self.waiting);
+        let mut out = Vec::with_capacity(active.len() + waiting.len());
+        for a in active {
+            self.pages.free_all(a.req.id);
+            out.push(Evacuated {
+                req: a.req,
+                remaining: a.remaining,
+                generated: a.generated,
+                prefill_left_ns: a.prefill_left_ns,
+            });
+        }
+        for w in waiting {
+            self.pages.free_all(w.req.id);
+            out.push(Evacuated {
+                req: w.req,
+                remaining: w.remaining,
+                generated: w.generated,
+                prefill_left_ns: w.prefill_left_ns,
+            });
+        }
+        out.sort_by_key(|e| e.req.id);
+        out
+    }
+
+    /// Accepts a request evacuated from a crashed replica. The KV state
+    /// died with the donor, so the request queues behind a deterministic
+    /// rebuild charge: requests caught mid-prefill redo the full prefill,
+    /// requests that had reached decode pay the restore-vs-recompute
+    /// resume cost from the device geometry.
+    pub fn on_redispatch(&mut self, e: Evacuated) {
+        self.class[e.req.class.index()].arrived += 1;
+        let prefill_left_ns = if e.prefill_left_ns > 0.0 {
+            e.req.prefill_ns
+        } else {
+            e.req.resume_cost_ns()
+        };
+        self.waiting.push(Waiting {
+            req: e.req,
+            remaining: e.remaining.max(1),
+            generated: e.generated,
+            preempted: false,
+            prefill_left_ns,
+            window_only: false,
+        });
+        self.emit(SchedEvent::Queued {
+            id: e.req.id,
+            class: e.req.class,
+        });
+    }
+
     /// Requests rejected at arrival.
     pub fn rejected(&self) -> usize {
         self.rejected
@@ -519,9 +599,7 @@ impl Scheduler {
                     .active
                     .iter()
                     .map(|r| r.req.context)
-                    .chain(std::iter::once(req.context))
-                    .max()
-                    .expect("non-empty");
+                    .fold(req.context, usize::max);
                 if feasible(self.active.len() + 1, max_ctx) {
                     let mut admitted = req;
                     admitted.arrival_ns -= req.prefill_ns; // fold prefill into latency
@@ -613,9 +691,7 @@ impl Scheduler {
                         .active
                         .iter()
                         .map(|r| r.req.context)
-                        .chain(std::iter::once(w.req.context))
-                        .max()
-                        .expect("non-empty");
+                        .fold(w.req.context, usize::max);
                     if feasible(self.active.len() + 1, max_ctx) {
                         // Legacy semantics: queue-admitted requests join
                         // decode directly (their prefill was not folded).
@@ -687,18 +763,28 @@ impl Scheduler {
             .active
             .iter()
             .map(|r| r.req.context)
-            .chain(std::iter::once(req.context))
-            .max()
-            .expect("non-empty");
+            .fold(req.context, usize::max);
         if !feasible(self.active.len() + 1, max_ctx) {
+            return false;
+        }
+
+        // Allocate before dequeuing so a refused ledger (already checked
+        // above, so only reachable through ledger drift) degrades to "stays
+        // queued" instead of a panic.
+        if self.waiting[pick].preempted {
+            if self.pages.regain_hbm(req.id, need_hbm).is_err() {
+                return false;
+            }
+        } else if self
+            .pages
+            .try_alloc(req.id, need_hbm, self.cfg.drex_pages_for(req.context))
+            .is_err()
+        {
             return false;
         }
 
         let w = self.waiting.remove(pick);
         if w.preempted {
-            self.pages
-                .regain_hbm(w.req.id, need_hbm)
-                .expect("hbm_fits was checked above");
             let cost = w.req.resume_cost_ns();
             self.resumes += 1;
             self.restore_charged_ns += cost;
@@ -718,10 +804,6 @@ impl Scheduler {
                 restored: w.req.resume_restores(),
             });
         } else {
-            let drex = self.cfg.drex_pages_for(w.req.context);
-            self.pages
-                .try_alloc(w.req.id, need_hbm, drex)
-                .expect("both tiers were checked above");
             self.active.push(ActiveEntry {
                 req: w.req,
                 remaining: w.remaining,
@@ -1177,6 +1259,74 @@ mod tests {
             assert!(v >= last);
             last = v;
         }
+    }
+
+    #[test]
+    fn crash_evacuate_drains_everything_and_frees_all_pages() {
+        let mut s = Scheduler::new(slo_cfg());
+        let mut feas = |_u: usize, _c: usize| true;
+        for i in 0..6 {
+            s.on_arrival(req(i, SloClass::Interactive, 1024, 4), &mut feas);
+        }
+        s.drain_queue(&mut feas);
+        assert_eq!(s.active().len(), 4);
+        assert_eq!(s.waiting_len(), 2);
+        assert_eq!(s.queue_depth(SloClass::Interactive), 2);
+        assert_eq!(s.queue_depth(SloClass::Batch), 0);
+        let evac = s.crash_evacuate();
+        assert_eq!(evac.len(), 6);
+        // Canonical order: sorted by arrival id.
+        let ids: Vec<usize> = evac.iter().map(|e| e.req.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5]);
+        assert!(s.active_is_empty());
+        assert_eq!(s.waiting_len(), 0);
+        assert_eq!(s.pages().hbm_used(), 0);
+        assert_eq!(s.pages().drex_used(), 0);
+        let rep = s.finalize();
+        assert_eq!(rep.leaked_pages, 0);
+        assert_eq!(rep.invariant_violation, None);
+        // Arrivals stay counted where they landed.
+        assert_eq!(rep.per_class[SloClass::Interactive.index()].arrived, 6);
+    }
+
+    #[test]
+    fn redispatch_charges_rebuild_cost_and_counts_an_arrival() {
+        let mut donor = Scheduler::new(slo_cfg());
+        let mut feas = |_u: usize, _c: usize| true;
+        // One request that reached decode, one caught mid-prefill.
+        let mut decoded = req(0, SloClass::Interactive, 1024, 8);
+        decoded.prefill_ns = 0.0;
+        donor.on_arrival(decoded, &mut feas);
+        // 16K context over 8K chunks: still mid-prefill after one step.
+        let mut mid = req(1, SloClass::Batch, 16_384, 8);
+        mid.prefill_ns = 2e6;
+        donor.on_arrival(mid, &mut feas);
+        donor.drain_queue(&mut feas);
+        let _ = donor.plan_step();
+        let _ = donor.advance_step(1e6, 1e6); // id 0 decodes one token
+        let evac = donor.crash_evacuate();
+        assert_eq!(evac.len(), 2);
+        assert_eq!(evac[0].generated, 1);
+        assert!(evac[1].prefill_left_ns > 0.0, "still mid-prefill");
+
+        let mut target = Scheduler::new(slo_cfg());
+        for e in &evac {
+            target.on_redispatch(*e);
+        }
+        assert_eq!(target.waiting_len(), 2);
+        target.drain_queue(&mut feas);
+        assert_eq!(target.active().len(), 2);
+        // The decoded request pays the resume cost (restore < recompute in
+        // this fixture); the mid-prefill one redoes its full prefill.
+        let a0 = &target.active()[0];
+        assert_eq!(a0.req.id, 0);
+        assert_eq!(a0.prefill_left_ns, evac[0].req.resume_cost_ns());
+        let a1 = &target.active()[1];
+        assert_eq!(a1.req.id, 1);
+        assert_eq!(a1.prefill_left_ns, evac[1].req.prefill_ns);
+        let rep = target.finalize();
+        assert_eq!(rep.per_class[SloClass::Interactive.index()].arrived, 1);
+        assert_eq!(rep.per_class[SloClass::Batch.index()].arrived, 1);
     }
 
     #[test]

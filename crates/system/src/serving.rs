@@ -23,14 +23,18 @@ use crate::prefill::prefill_cost;
 use crate::report::{ServingSystem, SpecStep, StepReport};
 use longsight_cxl::CxlLink;
 use longsight_drex::SpecSlotPool;
-use longsight_faults::{domain, stream, unit_draw, FaultInjector, FaultLog, RetryPolicy};
+use longsight_faults::{
+    domain, fleet_schedule, stream, unit_draw, FaultInjector, FaultLog, ReplicaEvent,
+    ReplicaEventKind, ReplicaFaultProfile, RetryPolicy,
+};
 use longsight_gpu::GpuSpec;
 use longsight_model::ModelConfig;
 use longsight_obs::json::fmt_f64;
 use longsight_obs::{ArgVal, Recorder, TrackId};
 use longsight_sched::{
-    FleetReport, KvDeviceGeometry, Placement, Router, RouterPolicy, SchedConfig, SchedEvent,
-    SchedPolicy, SchedReport, SchedRequest, Scheduler, SloClass, SloMix,
+    BreakerConfig, BreakerState, CircuitBreaker, FleetFaultSummary, FleetReport, KvDeviceGeometry,
+    Placement, RedispatchRecord, Router, RouterPolicy, SchedConfig, SchedEvent, SchedPolicy,
+    SchedReport, SchedRequest, Scheduler, ShedRecord, SloClass, SloMix,
 };
 use longsight_tensor::SimRng;
 
@@ -111,6 +115,92 @@ impl SchedOptions {
     fn with_mix(mut self, mix: SloMix) -> Self {
         self.mix = mix;
         self
+    }
+}
+
+/// Fleet-level fault-domain and overload-control knobs for
+/// [`simulate_fleet_faulty`]. The [`FleetFaultOptions::disabled`] value
+/// makes that entry point byte-identical to [`simulate_fleet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetFaultOptions {
+    /// Replica crash/recovery and DReX-brownout schedule parameters.
+    pub profile: ReplicaFaultProfile,
+    /// Seed of the replica fault streams (independent of the workload
+    /// seed, so the offered load never shifts with the fault draw).
+    pub fault_seed: u64,
+    /// Health-aware routing: `Some` arms a per-replica circuit breaker
+    /// and routes around open replicas; `None` is the naive baseline
+    /// where the router stays blind to replica health.
+    pub breaker: Option<BreakerConfig>,
+    /// Admission control: `Some(n)` caps per-replica queue depth at `n`
+    /// best-effort / `2n` batch / `4n` interactive requests and sheds
+    /// arrivals no replica can take. `None` admits everything.
+    pub shed_queue_cap: Option<usize>,
+}
+
+impl FleetFaultOptions {
+    /// No replica faults, no breaker, no shedding: the fleet is immortal
+    /// and the simulation is byte-identical to the pre-fault-domain path.
+    pub fn disabled() -> Self {
+        Self {
+            profile: ReplicaFaultProfile::disabled(),
+            fault_seed: 0,
+            breaker: None,
+            shed_queue_cap: None,
+        }
+    }
+
+    /// Whether any fault-domain machinery is armed (crash/brownout
+    /// schedule, breaker, or shedding). When false the fleet driver runs
+    /// the exact legacy code path.
+    pub fn is_active(&self) -> bool {
+        self.profile.is_enabled() || self.breaker.is_some() || self.shed_queue_cap.is_some()
+    }
+}
+
+impl Default for FleetFaultOptions {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Per-class queue-depth cap derived from the single shed knob: the
+/// shedding order is best-effort first (cap `n`), then batch (`2n`);
+/// interactive keeps the deepest queue (`4n`), so it is only ever shed
+/// when the whole fleet is past capacity for everyone.
+fn class_queue_cap(base: usize, class: SloClass) -> usize {
+    match class {
+        SloClass::Interactive => base.saturating_mul(4),
+        SloClass::Batch => base.saturating_mul(2),
+        SloClass::BestEffort => base,
+    }
+}
+
+/// Trace instant name of a breaker transition.
+/// Routing eligibility for a breaker-guarded fleet. Normally each
+/// replica's breaker state is used as-is, but when *every* breaker is
+/// open the tripped-open ones (slow, not dead) are offered as half-open
+/// last resorts: an overloaded-but-alive replica always beats shedding,
+/// and interactive work is never dropped while a live replica remains.
+/// Only when every open breaker is held open (every replica physically
+/// down) does the fleet report no healthy target.
+fn breaker_health(bs: &[CircuitBreaker]) -> Vec<BreakerState> {
+    let mut health: Vec<BreakerState> = bs.iter().map(CircuitBreaker::state).collect();
+    if health.iter().all(|&s| s == BreakerState::Open) {
+        for (h, b) in health.iter_mut().zip(bs) {
+            if !b.is_held_open() {
+                *h = BreakerState::HalfOpen;
+            }
+        }
+    }
+    health
+}
+
+fn breaker_instant_name(state: BreakerState) -> &'static str {
+    match state {
+        BreakerState::Closed => "breaker.close",
+        BreakerState::Open => "breaker.open",
+        BreakerState::HalfOpen => "breaker.half_open",
     }
 }
 
@@ -1044,6 +1134,18 @@ struct ReplicaSim {
     spec_pool: Option<SpecSlotPool>,
     spec_track_name: String,
     spec_counts: (usize, usize, usize),
+    /// Crashed and not yet repaired: time passes but no step runs, so
+    /// anything queued here wedges until the `Up` event (what a naive
+    /// router keeps feeding).
+    down: bool,
+    /// Fraction of the DReX offload budget retained this step; `1.0`
+    /// outside brownouts, `profile.brownout_topk_factor` inside one.
+    brownout_factor: f64,
+    /// Tokens decoded under a shrunken brownout budget.
+    degraded_tokens: usize,
+    /// Completion log with classes, in completion order — the observable
+    /// signal the circuit breaker is driven by.
+    completions: Vec<(SloClass, f64)>,
 }
 
 impl ReplicaSim {
@@ -1070,6 +1172,10 @@ impl ReplicaSim {
             // their exact track list.
             spec_track_name: format!("r{idx}.spec"),
             spec_counts: (0, 0, 0),
+            down: false,
+            brownout_factor: 1.0,
+            degraded_tokens: 0,
+            completions: Vec::new(),
         }
     }
 
@@ -1096,6 +1202,12 @@ impl ReplicaSim {
         t: f64,
         horizon_ns: f64,
     ) {
+        if self.down {
+            // A crashed replica idles: its clock tracks fleet time but no
+            // queue drains and no step runs until the `Up` event.
+            self.now = self.now.max(t);
+            return;
+        }
         loop {
             self.drain(sys, rec);
             if self.sched.active_is_empty() {
@@ -1111,6 +1223,9 @@ impl ReplicaSim {
 
     /// Runs this replica to completion after the last arrival.
     fn drain_all(&mut self, sys: &mut dyn ServingSystem, rec: &mut Recorder, horizon_ns: f64) {
+        if self.down {
+            return;
+        }
         loop {
             self.drain(sys, rec);
             if self.sched.active_is_empty() || self.now > 4.0 * horizon_ns {
@@ -1179,6 +1294,16 @@ impl ReplicaSim {
             self.spec_counts.1 += misses;
             self.spec_counts.2 += denied;
         }
+        if self.brownout_factor < 1.0 {
+            // Brownout: the DReX tier runs on a shrunken top-k budget, so
+            // the offload share of the step contracts proportionally and
+            // every token decoded under it loses part of its long-range
+            // attention (charged below through the degraded-token path).
+            if let Some(r) = report {
+                let offload = r.breakdown.drex_offload_ns + r.breakdown.cxl_ns;
+                base_dt = (base_dt - (1.0 - self.brownout_factor) * offload).max(0.0);
+            }
+        }
         let dt = base_dt.max(plan.prefill_ns);
         let step_start = self.now;
         if rec.is_enabled() {
@@ -1211,9 +1336,13 @@ impl ReplicaSim {
         if decoding > 0 {
             self.step_times.push((dt, decoding));
             self.generated_tokens += decoding;
+            if self.brownout_factor < 1.0 {
+                self.degraded_tokens += decoding;
+            }
         }
         for c in self.sched.advance_step(dt, self.now) {
             self.request_latencies.push(c.latency_ms);
+            self.completions.push((c.class, c.latency_ms));
         }
         flush_sched_events(&mut self.sched, rec, self.sched_track, self.now);
     }
@@ -1232,8 +1361,10 @@ impl ReplicaSim {
 ///
 /// With a single system this delegates to the single-replica path and is
 /// bit-identical to [`simulate_scheduled`] (the report comes back wrapped
-/// in a degenerate [`FleetReport`]). Fleet mode does not inject faults —
-/// the CLI rejects the combination.
+/// in a degenerate [`FleetReport`]). This entry point never injects
+/// replica faults; [`simulate_fleet_faulty`] adds the fleet failure
+/// domains on top and is byte-identical to this one when its options are
+/// disabled.
 ///
 /// Routing decisions land on the `router` track as `route.place`
 /// instants; each replica gets its own `r<i>.serving` / `r<i>.sched`
@@ -1250,16 +1381,87 @@ pub fn simulate_fleet(
     router_policy: RouterPolicy,
     rec: &mut Recorder,
 ) -> (ServeMetrics, FleetReport) {
+    simulate_fleet_faulty(
+        systems,
+        model,
+        workload,
+        opts,
+        router_policy,
+        &FleetFaultOptions::disabled(),
+        rec,
+    )
+}
+
+/// [`simulate_fleet`] with fleet-level failure domains armed: a
+/// deterministic replica crash/brownout timeline drawn from
+/// `fopts.fault_seed` (never the workload seed — offered load and fault
+/// schedule are independent streams), per-replica circuit breakers
+/// driving health-aware failover routing, and an SLO-aware admission
+/// controller that sheds arrivals the fleet has no queue room for.
+///
+/// A crash evacuates every in-flight request on the replica (its KV pages
+/// are gone) and redispatches each through the router onto a surviving
+/// replica, where it queues behind the restore-vs-recompute rebuild
+/// charge of that replica's [`KvDeviceGeometry`]. Every arrival is placed
+/// once, redispatched with a recorded reason, or shed — never lost; the
+/// [`FleetReport`] audit enforces exactly that.
+///
+/// With [`FleetFaultOptions::disabled`] this runs the legacy code path
+/// op-for-op: placements, metrics, report, and trace are byte-identical
+/// to [`simulate_fleet`].
+///
+/// # Panics
+///
+/// Panics when `systems` is empty, or when fault options are active over
+/// a single-replica fleet (there is nothing to fail over to; the CLI
+/// rejects the combination).
+pub fn simulate_fleet_faulty(
+    systems: &mut [Box<dyn ServingSystem>],
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    opts: &SchedOptions,
+    router_policy: RouterPolicy,
+    fopts: &FleetFaultOptions,
+    rec: &mut Recorder,
+) -> (ServeMetrics, FleetReport) {
     assert!(!systems.is_empty(), "fleet needs at least one replica");
+    assert!(
+        systems.len() > 1 || !fopts.is_active(),
+        "fleet fault domains need at least two replicas"
+    );
     if systems.len() == 1 {
         let (m, rep, _) = sched_impl(systems[0].as_mut(), model, workload, opts, None, rec, None);
         return (m, FleetReport::single(router_policy, rep));
     }
+    let n = systems.len();
     let horizon_ns = workload.duration_s * 1e9;
     let (mut arrivals, mut classes, mut prefill_ns) = gen_arrivals(model, workload, &opts.mix);
     let total_arrived = arrivals.len();
     let router = Router::new(router_policy, workload.seed);
     let router_track = rec.track("router");
+
+    let active = fopts.is_active();
+    // The fault track is interned only when a fault domain is armed, so
+    // disabled runs keep their exact track list.
+    let fault_track = if active {
+        Some(rec.track("fleet.faults"))
+    } else {
+        None
+    };
+    let track = fault_track.unwrap_or(router_track);
+    let mut events: Vec<ReplicaEvent> = if fopts.profile.is_enabled() {
+        fleet_schedule(&fopts.profile, fopts.fault_seed, n, workload.duration_s)
+    } else {
+        Vec::new()
+    };
+    events.reverse(); // pop from the back in time order
+    let mut breakers: Option<Vec<CircuitBreaker>> = fopts
+        .breaker
+        .map(|cfg| (0..n).map(|_| CircuitBreaker::new(cfg)).collect());
+    let mut summary = FleetFaultSummary::new(n, total_arrived);
+    let mut down_since = vec![0.0f64; n];
+    let mut fed_completions = vec![0usize; n];
+    let mut fed_degraded = vec![0u64; n];
 
     let mut replicas: Vec<ReplicaSim> = Vec::with_capacity(systems.len());
     let mut geometries: Vec<KvDeviceGeometry> = Vec::with_capacity(systems.len());
@@ -1273,11 +1475,98 @@ pub fn simulate_fleet(
     while let Some(a) = arrivals.pop() {
         let pf_ns = prefill_ns.pop().expect("paired with arrivals");
         let class = classes.pop().expect("paired with arrivals");
+        while events.last().is_some_and(|e| e.at_ns <= a.arrival_ns) {
+            let e = events.pop().expect("checked non-empty");
+            apply_fleet_event(
+                e,
+                &fopts.profile,
+                &router,
+                &mut replicas,
+                systems,
+                &geometries,
+                &mut breakers,
+                &mut summary,
+                &mut down_since,
+                horizon_ns,
+                rec,
+                track,
+            );
+        }
         for (r, sys) in replicas.iter_mut().zip(systems.iter_mut()) {
             r.advance_to(sys.as_mut(), rec, a.arrival_ns, horizon_ns);
         }
+        if let Some(bs) = breakers.as_mut() {
+            feed_breakers(
+                &replicas,
+                bs,
+                &mut fed_completions,
+                &mut fed_degraded,
+                a.arrival_ns,
+                rec,
+                track,
+            );
+        }
         let loads: Vec<_> = replicas.iter().map(|r| r.sched.load()).collect();
-        let pick = router.route(a.id, class, &loads);
+        let pick = if !active {
+            match router.route(a.id, class, &loads) {
+                Ok(p) => p,
+                // Unreachable over a non-empty fleet; a lost arrival here
+                // would trip the report audit, not vanish silently.
+                Err(_) => continue,
+            }
+        } else {
+            // Health gate first (a naive baseline sees every replica as
+            // closed — it stays blind to downtime and wedges whatever it
+            // places on a dead node), then the admission controller's
+            // per-class queue caps on top.
+            let health: Vec<BreakerState> = match breakers.as_ref() {
+                Some(bs) => breaker_health(bs),
+                None => vec![BreakerState::Closed; n],
+            };
+            let gated: Vec<BreakerState> = match fopts.shed_queue_cap {
+                Some(cap) => health
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        if replicas[i].sched.queue_depth(class) >= class_queue_cap(cap, class) {
+                            BreakerState::Open
+                        } else {
+                            s
+                        }
+                    })
+                    .collect(),
+                None => health.clone(),
+            };
+            match router.route_healthy(a.id, class, &loads, &gated) {
+                Ok(p) => p,
+                Err(_) => {
+                    let reason = if health.iter().all(|&s| s == BreakerState::Open) {
+                        "no-healthy-replica"
+                    } else {
+                        "queue-cap"
+                    };
+                    summary.shed.push(ShedRecord {
+                        id: a.id,
+                        class,
+                        at_ns: a.arrival_ns,
+                        reason,
+                    });
+                    if rec.is_enabled() {
+                        rec.instant_with(
+                            track,
+                            "shed",
+                            a.arrival_ns,
+                            &[
+                                ("id", ArgVal::U(a.id as u64)),
+                                ("class", ArgVal::S(class.name())),
+                                ("reason", ArgVal::S(reason)),
+                            ],
+                        );
+                    }
+                    continue;
+                }
+            }
+        };
         placements.push((a.id, pick));
         if rec.is_enabled() {
             rec.instant_with(
@@ -1305,6 +1594,25 @@ pub fn simulate_fleet(
         };
         replicas[pick].inject(systems[pick].as_mut(), rec, req);
     }
+    // The tail of the fault timeline (repairs in particular) runs before
+    // the final drain, so every crashed replica comes back up and serves
+    // out whatever a naive router parked on it.
+    while let Some(e) = events.pop() {
+        apply_fleet_event(
+            e,
+            &fopts.profile,
+            &router,
+            &mut replicas,
+            systems,
+            &geometries,
+            &mut breakers,
+            &mut summary,
+            &mut down_since,
+            horizon_ns,
+            rec,
+            track,
+        );
+    }
     for (r, sys) in replicas.iter_mut().zip(systems.iter_mut()) {
         r.drain_all(sys.as_mut(), rec, horizon_ns);
     }
@@ -1319,6 +1627,7 @@ pub fn simulate_fleet(
     let mut rejected = 0usize;
     let mut waiting = 0usize;
     let (mut spec_hits, mut spec_misses, mut spec_denied) = (0usize, 0usize, 0usize);
+    let mut degraded_tokens = 0usize;
     let mut fleet_now = 0.0f64;
     let mut reports: Vec<SchedReport> = Vec::with_capacity(replicas.len());
     let mut samples: [(Vec<f64>, Vec<f64>); 3] = Default::default();
@@ -1332,6 +1641,7 @@ pub fn simulate_fleet(
         }
         request_latencies.extend_from_slice(&r.request_latencies);
         generated_tokens += r.generated_tokens;
+        degraded_tokens += r.degraded_tokens;
         rejected += r.sched.rejected();
         waiting += r.sched.waiting_len();
         spec_hits += r.spec_counts.0;
@@ -1347,10 +1657,11 @@ pub fn simulate_fleet(
     token_lat.sort_by(f64::total_cmp);
     request_latencies.sort_by(f64::total_cmp);
     let span_s = fleet_now.max(1.0) / 1e9;
+    let shed_total = summary.shed.len();
     let metrics = ServeMetrics {
         completed: request_latencies.len(),
         rejected,
-        in_flight: total_arrived - request_latencies.len() - rejected - waiting,
+        in_flight: total_arrived - request_latencies.len() - rejected - waiting - shed_total,
         throughput_tps: generated_tokens as f64 / span_s,
         p50_token_ms: percentile(&token_lat, 0.5),
         p99_token_ms: percentile(&token_lat, 0.99),
@@ -1362,14 +1673,37 @@ pub fn simulate_fleet(
             batch_users as f64 / batch_steps as f64
         },
         retried_tokens: 0,
-        degraded_tokens: 0,
+        degraded_tokens,
         failed_requests: 0,
-        degraded_quality_delta: 0.0,
+        // Brownout tokens keep the HBM window but lose a `1 - factor`
+        // slice of their long-range top-k budget.
+        degraded_quality_delta: if degraded_tokens == 0 {
+            0.0
+        } else {
+            (1.0 - fopts.profile.brownout_topk_factor) * degraded_tokens as f64
+                / generated_tokens.max(1) as f64
+        },
         spec_hits,
         spec_misses,
         spec_denied,
     };
-    let fleet = FleetReport::assemble(router_policy, reports, placements, samples);
+    let fault_counts = (
+        summary.crashes,
+        summary.brownouts,
+        summary.redispatches.len(),
+        summary.shed.len(),
+    );
+    let fleet = if active {
+        FleetReport::assemble_with_faults(
+            router_policy,
+            reports,
+            placements,
+            samples,
+            Some(summary),
+        )
+    } else {
+        FleetReport::assemble(router_policy, reports, placements, samples)
+    };
     if rec.is_enabled() {
         rec.counter_add("serving.completed", metrics.completed as u64);
         rec.counter_add("serving.rejected", metrics.rejected as u64);
@@ -1377,8 +1711,231 @@ pub fn simulate_fleet(
         rec.counter_add("router.placements", fleet.placements.len() as u64);
         rec.gauge_set("serving.throughput_tps", metrics.throughput_tps);
         rec.gauge_set("serving.mean_batch", metrics.mean_batch);
+        if active {
+            rec.counter_add("fleet.crashes", fault_counts.0 as u64);
+            rec.counter_add("fleet.brownouts", fault_counts.1 as u64);
+            rec.counter_add("fleet.redispatched", fault_counts.2 as u64);
+            rec.counter_add("fleet.shed", fault_counts.3 as u64);
+        }
     }
     (metrics, fleet)
+}
+
+/// Applies one replica fault-timeline event to the fleet.
+///
+/// `Down` advances the replica to the crash instant, evacuates its entire
+/// in-flight set (pages freed — the KV state is gone), and redispatches
+/// each evacuee through the router onto a surviving replica, where it
+/// queues behind the target geometry's rebuild charge (full prefill when
+/// caught mid-prefill, restore-vs-recompute otherwise). When every other
+/// replica is also down the evacuee parks on the crashed replica and
+/// resumes after repair — redispatch never loses a request. `Up` restores
+/// the replica (and moves a held-open breaker to half-open); brownout
+/// events toggle the replica's offload-budget factor.
+#[allow(clippy::too_many_arguments)]
+fn apply_fleet_event(
+    e: ReplicaEvent,
+    profile: &ReplicaFaultProfile,
+    router: &Router,
+    replicas: &mut [ReplicaSim],
+    systems: &mut [Box<dyn ServingSystem>],
+    geometries: &[KvDeviceGeometry],
+    breakers: &mut Option<Vec<CircuitBreaker>>,
+    summary: &mut FleetFaultSummary,
+    down_since: &mut [f64],
+    horizon_ns: f64,
+    rec: &mut Recorder,
+    track: TrackId,
+) {
+    let r = e.replica;
+    match e.kind {
+        ReplicaEventKind::Down => {
+            replicas[r].advance_to(systems[r].as_mut(), rec, e.at_ns, horizon_ns);
+            let evac = replicas[r].sched.crash_evacuate();
+            replicas[r].down = true;
+            down_since[r] = e.at_ns;
+            summary.crashes += 1;
+            if rec.is_enabled() {
+                rec.instant_with(
+                    track,
+                    "replica.down",
+                    e.at_ns,
+                    &[
+                        ("replica", ArgVal::U(r as u64)),
+                        ("evacuated", ArgVal::U(evac.len() as u64)),
+                    ],
+                );
+            }
+            if let Some(bs) = breakers.as_mut() {
+                if let Some(s) = bs[r].force_open(e.at_ns) {
+                    if rec.is_enabled() {
+                        rec.instant_with(
+                            track,
+                            breaker_instant_name(s),
+                            e.at_ns,
+                            &[("replica", ArgVal::U(r as u64))],
+                        );
+                    }
+                }
+            }
+            // Survivors advance to the crash instant so every failover
+            // decision is taken from one consistent snapshot.
+            for i in 0..replicas.len() {
+                if i != r && !replicas[i].down {
+                    replicas[i].advance_to(systems[i].as_mut(), rec, e.at_ns, horizon_ns);
+                }
+            }
+            for ev in evac {
+                let loads: Vec<_> = replicas.iter().map(|x| x.sched.load()).collect();
+                // Redispatch always routes around dead nodes, breaker or
+                // not: the crashed stack is gone, not just slow. The
+                // naive baseline differs only on *new* arrivals.
+                let states: Vec<BreakerState> = match breakers.as_ref() {
+                    Some(bs) => breaker_health(bs),
+                    None => replicas
+                        .iter()
+                        .map(|x| {
+                            if x.down {
+                                BreakerState::Open
+                            } else {
+                                BreakerState::Closed
+                            }
+                        })
+                        .collect(),
+                };
+                let (to, reason) =
+                    match router.route_healthy(ev.req.id, ev.req.class, &loads, &states) {
+                        Ok(t) => (t, "replica-crash"),
+                        Err(_) => (r, "no-healthy-replica"),
+                    };
+                let mut moved = ev;
+                moved.req.restore_ns = geometries[to].restore_ns(moved.req.context);
+                moved.req.recompute_ns = geometries[to].recompute_ns(moved.req.context);
+                replicas[to].sched.on_redispatch(moved);
+                summary.redispatches.push(RedispatchRecord {
+                    id: ev.req.id,
+                    from: r,
+                    to,
+                    at_ns: e.at_ns,
+                    reason,
+                });
+                if rec.is_enabled() {
+                    rec.instant_with(
+                        track,
+                        "redispatch",
+                        e.at_ns,
+                        &[
+                            ("id", ArgVal::U(ev.req.id as u64)),
+                            ("from", ArgVal::U(r as u64)),
+                            ("to", ArgVal::U(to as u64)),
+                            ("class", ArgVal::S(ev.req.class.name())),
+                        ],
+                    );
+                }
+            }
+        }
+        ReplicaEventKind::Up => {
+            summary.downtime_ns[r] += e.at_ns - down_since[r];
+            replicas[r].now = replicas[r].now.max(e.at_ns);
+            replicas[r].down = false;
+            if rec.is_enabled() {
+                rec.instant_with(
+                    track,
+                    "replica.up",
+                    e.at_ns,
+                    &[("replica", ArgVal::U(r as u64))],
+                );
+            }
+            if let Some(bs) = breakers.as_mut() {
+                if let Some(s) = bs[r].on_recovery() {
+                    if rec.is_enabled() {
+                        rec.instant_with(
+                            track,
+                            breaker_instant_name(s),
+                            e.at_ns,
+                            &[("replica", ArgVal::U(r as u64))],
+                        );
+                    }
+                }
+            }
+        }
+        ReplicaEventKind::BrownoutStart => {
+            if !replicas[r].down {
+                replicas[r].advance_to(systems[r].as_mut(), rec, e.at_ns, horizon_ns);
+                replicas[r].brownout_factor = profile.brownout_topk_factor;
+                summary.brownouts += 1;
+                if rec.is_enabled() {
+                    rec.instant_with(
+                        track,
+                        "replica.brownout_start",
+                        e.at_ns,
+                        &[
+                            ("replica", ArgVal::U(r as u64)),
+                            ("topk_factor", ArgVal::F(profile.brownout_topk_factor)),
+                        ],
+                    );
+                }
+            }
+        }
+        ReplicaEventKind::BrownoutEnd => {
+            replicas[r].advance_to(systems[r].as_mut(), rec, e.at_ns, horizon_ns);
+            replicas[r].brownout_factor = 1.0;
+            if rec.is_enabled() {
+                rec.instant_with(
+                    track,
+                    "replica.brownout_end",
+                    e.at_ns,
+                    &[("replica", ArgVal::U(r as u64))],
+                );
+            }
+        }
+    }
+}
+
+/// Feeds each breaker the completions and degraded tokens its replica
+/// produced since the last arrival, then ticks the cooldown — the breaker
+/// observes exactly what a real front-end can observe, never the fault
+/// schedule itself. Transitions land on the fault track.
+fn feed_breakers(
+    replicas: &[ReplicaSim],
+    breakers: &mut [CircuitBreaker],
+    fed_completions: &mut [usize],
+    fed_degraded: &mut [u64],
+    now_ns: f64,
+    rec: &mut Recorder,
+    track: TrackId,
+) {
+    for (i, r) in replicas.iter().enumerate() {
+        let mut transitions: Vec<BreakerState> = Vec::new();
+        while fed_completions[i] < r.completions.len() {
+            let (class, lat) = r.completions[fed_completions[i]];
+            fed_completions[i] += 1;
+            if let Some(s) = breakers[i].note_completion(class, lat, now_ns) {
+                transitions.push(s);
+            }
+        }
+        let total = r.degraded_tokens as u64;
+        if total > fed_degraded[i] {
+            let delta = total - fed_degraded[i];
+            fed_degraded[i] = total;
+            if let Some(s) = breakers[i].note_degraded(delta, now_ns) {
+                transitions.push(s);
+            }
+        }
+        if let Some(s) = breakers[i].poll(now_ns) {
+            transitions.push(s);
+        }
+        if rec.is_enabled() {
+            for s in transitions {
+                rec.instant_with(
+                    track,
+                    breaker_instant_name(s),
+                    now_ns,
+                    &[("replica", ArgVal::U(i as u64))],
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -26,11 +26,12 @@ echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # The error-model refactor removed panicking paths from the CXL link, the
-# DReX offload hot path, and the serving stack; keep them out. Test modules
-# (everything at and below the first `#[cfg(test)]` in a file) may unwrap.
-echo "== no-unwrap gate (cxl, drex offload, system) =="
+# DReX offload hot path, the serving stack, and the scheduler/router; keep
+# them out. Test modules (everything at and below the first `#[cfg(test)]`
+# in a file) may unwrap.
+echo "== no-unwrap gate (cxl, drex offload, system, sched) =="
 unwrap_hits=$(
-    find crates/cxl/src crates/system/src -name '*.rs' -print0 |
+    find crates/cxl/src crates/system/src crates/sched/src -name '*.rs' -print0 |
         xargs -0 -I{} sh -c 'awk "/#\\[cfg\\(test\\)\\]/ {exit} /\\.unwrap\\(\\)/ {print FILENAME \":\" FNR \": \" \$0}" {}'
     awk '/#\[cfg\(test\)\]/ {exit} /\.unwrap\(\)/ {print FILENAME ":" FNR ": " $0}' \
         crates/drex/src/offload.rs
@@ -95,6 +96,13 @@ target/release/longsight trace-validate --file "$obs_tmp/fleet_trace.json"
 target/release/longsight loadtest --model 1b --rate 12 --duration 4 \
     --ctx-min 16384 --ctx-max 32768 --replicas 2 --router rr
 
+echo "== fleet availability smoke (2-replica crash profile, trace-validate) =="
+target/release/longsight loadtest --model 1b --rate 10 --duration 6 \
+    --ctx-min 16384 --ctx-max 32768 --sched slo-aware --replicas 2 --router jsq \
+    --crash-profile 0.1 --crash-seed 11 --breaker on \
+    --trace-out "$obs_tmp/fleet_faults_trace.json"
+target/release/longsight trace-validate --file "$obs_tmp/fleet_faults_trace.json"
+
 echo "== lookahead smoke (speculative loadtest, trace-validate) =="
 target/release/longsight loadtest --model 8b --rate 2 --duration 4 \
     --ctx-min 131072 --ctx-max 131072 --lookahead on \
@@ -141,6 +149,14 @@ router_p99() {
         $1 == n && $2 == rt { gsub(/[ ms]/, "", $7); print $7 }
     ' results/router_scaling.txt
 }
+# interactive p99 request (ms) for one (replicas, crash rate, breaker mode)
+# row of fleet_availability
+fleet_p99() {
+    awk -F'|' -v n="$1" -v cr="$2" -v b="$3" '
+        { for (i = 1; i <= 3; i++) gsub(/^ +| +$/, "", $i) }
+        $1 == n && $2 == cr && $3 == b { gsub(/[ ms]/, "", $6); print $6 }
+    ' results/fleet_availability.txt
+}
 # p99 token latency (ms) for one (slots, penalty) row of lookahead
 lookahead_p99() {
     awk -F'|' -v s="$1" -v pen="$2" '
@@ -153,6 +169,7 @@ check_traj "sched_comparison/16s/slo-aware/interactive_p99_request_ms" "$(sched_
 check_traj "router_scaling/2r/jsq/interactive_p99_request_ms" "$(router_p99 2 jsq)"
 check_traj "router_scaling/4r/jsq/interactive_p99_request_ms" "$(router_p99 4 jsq)"
 check_traj "lookahead/32slots/0.25ms/p99_token_ms" "$(lookahead_p99 32 '0.25 ms')"
+check_traj "fleet_availability/2r/0.10/breaker/interactive_p99_request_ms" "$(fleet_p99 2 0.10 on)"
 
 echo "== cargo doc -D warnings =="
 RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps --offline --quiet

@@ -1,0 +1,312 @@
+//! Fleet failure-domain contract — crash/recovery, failover, and the
+//! fault-aware report, pinned end to end.
+//!
+//! Four promises:
+//!
+//! 1. **Disabled equivalence.** `simulate_fleet_faulty` with every fault
+//!    option off is bit-identical to `simulate_fleet`: same metrics, same
+//!    report text, `faults: None`. The failure-domain machinery costs
+//!    nothing when unused.
+//! 2. **Deterministic crash timeline.** With a crash profile on, the
+//!    replica events the driver applies are exactly `fleet_schedule` of
+//!    `(profile, fault_seed, replicas)` — crash count and downtime in the
+//!    report match the pure schedule.
+//! 3. **Thread-count invariance.** Metrics, placement log, redispatch
+//!    log, and the full report text are byte-identical at 1, 4, and
+//!    hardware worker threads, crashes and breaker on.
+//! 4. **Conservation under faults.** The audit passes: offered equals
+//!    placed plus shed, redispatches reference previously placed
+//!    requests, and nothing is lost across a crash.
+
+use longsight::exec;
+use longsight::faults::{fleet_schedule, ReplicaEventKind, ReplicaFaultProfile};
+use longsight::model::ModelConfig;
+use longsight::obs::Recorder;
+use longsight::sched::{BreakerConfig, RouterPolicy, SchedPolicy, SloMix};
+use longsight::system::serving::{
+    simulate_fleet, simulate_fleet_faulty, FleetFaultOptions, SchedOptions, WorkloadConfig,
+};
+use longsight::system::{LongSightConfig, LongSightSystem, ServingSystem};
+use std::sync::Mutex;
+
+/// The worker-count override is process-global, so tests that sweep it must
+/// not interleave.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn thread_counts() -> Vec<usize> {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 4];
+    if !counts.contains(&hw) {
+        counts.push(hw);
+    }
+    counts
+}
+
+fn across_thread_counts<R>(f: impl Fn() -> R) -> Vec<(usize, R)> {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let out = thread_counts()
+        .into_iter()
+        .map(|t| {
+            exec::set_thread_count(t);
+            (t, f())
+        })
+        .collect();
+    exec::set_thread_count(0);
+    out
+}
+
+fn opts() -> SchedOptions {
+    SchedOptions {
+        policy: SchedPolicy::SloAware,
+        mix: SloMix::mixed(),
+        page_tokens: 1024,
+        prefill_chunk_tokens: 128,
+        prefill_slots: 1,
+        hbm_watermark: 0.01,
+    }
+}
+
+fn workload() -> WorkloadConfig {
+    WorkloadConfig {
+        arrivals_per_s: 10.0,
+        context_tokens: (16_384, 32_768),
+        output_tokens: (32, 128),
+        duration_s: 6.0,
+        seed: 11,
+    }
+}
+
+fn fleet_of(n: usize) -> Vec<Box<dyn ServingSystem>> {
+    let model = ModelConfig::llama3_1b();
+    (0..n)
+        .map(|_| {
+            Box::new(LongSightSystem::new(
+                LongSightConfig::paper_default(),
+                model.clone(),
+            )) as Box<dyn ServingSystem>
+        })
+        .collect()
+}
+
+/// Seed 11 gives two non-overlapping single-replica crashes on r0 at this
+/// rate — the clean "one node dies, the fleet routes around it" regime.
+fn crashy() -> FleetFaultOptions {
+    FleetFaultOptions {
+        profile: ReplicaFaultProfile::scaled(0.1),
+        fault_seed: 11,
+        breaker: Some(BreakerConfig::serving_default()),
+        shed_queue_cap: None,
+    }
+}
+
+#[test]
+fn disabled_fault_options_are_bit_identical_to_simulate_fleet() {
+    let model = ModelConfig::llama3_1b();
+    let run_plain = || {
+        let mut fleet = fleet_of(2);
+        simulate_fleet(
+            &mut fleet,
+            &model,
+            &workload(),
+            &opts(),
+            RouterPolicy::JsqSpillover,
+            &mut Recorder::disabled(),
+        )
+    };
+    let run_faulty = || {
+        let mut fleet = fleet_of(2);
+        simulate_fleet_faulty(
+            &mut fleet,
+            &model,
+            &workload(),
+            &opts(),
+            RouterPolicy::JsqSpillover,
+            &FleetFaultOptions::disabled(),
+            &mut Recorder::disabled(),
+        )
+    };
+    let (m0, rep0) = run_plain();
+    let (m1, rep1) = run_faulty();
+    assert_eq!(m0, m1, "disabled fault options must not perturb metrics");
+    assert_eq!(
+        rep0, rep1,
+        "disabled fault options must not perturb the report"
+    );
+    assert!(
+        rep1.faults.is_none(),
+        "no fault summary when faults are off"
+    );
+    assert_eq!(rep0.to_text(), rep1.to_text());
+}
+
+#[test]
+fn crash_timeline_matches_the_pure_schedule() {
+    let fopts = crashy();
+    let wl = workload();
+    let model = ModelConfig::llama3_1b();
+    let mut fleet = fleet_of(2);
+    let (_, rep) = simulate_fleet_faulty(
+        &mut fleet,
+        &model,
+        &wl,
+        &opts(),
+        RouterPolicy::JsqSpillover,
+        &fopts,
+        &mut Recorder::disabled(),
+    );
+    let faults = rep
+        .faults
+        .as_ref()
+        .expect("crash profile must yield a summary");
+    let schedule = fleet_schedule(&fopts.profile, fopts.fault_seed, 2, wl.duration_s);
+    let downs: Vec<_> = schedule
+        .iter()
+        .filter(|e| e.kind == ReplicaEventKind::Down)
+        .collect();
+    let brownouts = schedule
+        .iter()
+        .filter(|e| e.kind == ReplicaEventKind::BrownoutStart)
+        .count();
+    assert_eq!(
+        faults.crashes,
+        downs.len(),
+        "crash count must match the schedule"
+    );
+    assert_eq!(
+        faults.brownouts, brownouts,
+        "brownout count must match the schedule"
+    );
+    // Downtime is the sum of scheduled down windows, clipped at nothing:
+    // the tail of the timeline (repairs included) is drained before the
+    // final drain, so every crash serves its full repair window.
+    let scheduled_down: f64 = downs
+        .iter()
+        .map(|d| {
+            schedule
+                .iter()
+                .find(|u| {
+                    u.kind == ReplicaEventKind::Up && u.replica == d.replica && u.at_ns > d.at_ns
+                })
+                .map(|u| u.at_ns - d.at_ns)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    let reported: f64 = faults.downtime_ns.iter().sum();
+    assert!(
+        (reported - scheduled_down).abs() < 1.0,
+        "downtime {reported} ns must match the schedule's {scheduled_down} ns"
+    );
+    assert!(
+        downs.iter().all(|d| d.replica == 0),
+        "seed 11 crashes r0 only"
+    );
+}
+
+#[test]
+fn faulty_fleet_is_byte_identical_at_any_thread_count() {
+    let runs = across_thread_counts(|| {
+        let model = ModelConfig::llama3_1b();
+        let mut fleet = fleet_of(2);
+        let (m, rep) = simulate_fleet_faulty(
+            &mut fleet,
+            &model,
+            &workload(),
+            &opts(),
+            RouterPolicy::JsqSpillover,
+            &crashy(),
+            &mut Recorder::disabled(),
+        );
+        (m.to_text(), rep.to_text(), rep)
+    });
+    for (t, (_, _, rep)) in &runs {
+        assert_eq!(rep.audit_violation, None, "audit failed at {t} threads");
+    }
+    let (_, (m0, text0, rep0)) = &runs[0];
+    assert!(
+        rep0.faults.as_ref().is_some_and(|f| f.crashes > 0),
+        "the crash profile must actually crash something"
+    );
+    for (t, (m, text, rep)) in &runs[1..] {
+        assert_eq!(m, m0, "metrics diverged at {t} threads");
+        assert_eq!(text, text0, "report text diverged at {t} threads");
+        assert_eq!(rep, rep0, "fleet report diverged at {t} threads");
+    }
+}
+
+#[test]
+fn crashes_conserve_requests_and_redispatch_placed_work() {
+    let model = ModelConfig::llama3_1b();
+    let mut fleet = fleet_of(2);
+    let (m, rep) = simulate_fleet_faulty(
+        &mut fleet,
+        &model,
+        &workload(),
+        &opts(),
+        RouterPolicy::JsqSpillover,
+        &crashy(),
+        &mut Recorder::disabled(),
+    );
+    assert_eq!(rep.audit_violation, None);
+    let faults = rep.faults.as_ref().unwrap();
+    // Offered = placed + shed, and nothing vanishes.
+    assert_eq!(
+        faults.offered,
+        rep.placements.len() + faults.shed.len(),
+        "every arrival is placed once or shed with a reason"
+    );
+    // Every redispatch names a request the router placed earlier and a
+    // live target replica.
+    for r in &faults.redispatches {
+        assert!(
+            rep.placements.iter().any(|&(id, _)| id == r.id),
+            "redispatch of unplaced request {}",
+            r.id
+        );
+        assert!(r.to < 2 && r.from < 2);
+        assert!(!r.reason.is_empty());
+    }
+    // Shed requests never appear in the placement log.
+    for s in &faults.shed {
+        assert!(
+            rep.placements.iter().all(|&(id, _)| id != s.id),
+            "request {} both shed and placed",
+            s.id
+        );
+    }
+    // The run still finishes real work through two crashes.
+    assert!(m.completed > 0);
+    assert!(faults.crashes > 0);
+}
+
+#[test]
+fn breaker_mode_diverges_from_naive_routing_under_a_crash() {
+    // Same workload, same crash timeline; only the breaker differs. The
+    // naive fleet keeps placing new arrivals on the dead replica (to JSQ
+    // its freed pages look like headroom); the breaker fleet does not
+    // place anything there while the breaker is held open.
+    let model = ModelConfig::llama3_1b();
+    let run = |breaker: Option<BreakerConfig>| {
+        let mut fleet = fleet_of(2);
+        let fopts = FleetFaultOptions {
+            breaker,
+            ..crashy()
+        };
+        let (_, rep) = simulate_fleet_faulty(
+            &mut fleet,
+            &model,
+            &workload(),
+            &opts(),
+            RouterPolicy::JsqSpillover,
+            &fopts,
+            &mut Recorder::disabled(),
+        );
+        assert_eq!(rep.audit_violation, None);
+        rep.placement_log()
+    };
+    let naive = run(None);
+    let guarded = run(Some(BreakerConfig::serving_default()));
+    assert_ne!(
+        naive, guarded,
+        "the breaker must change where new arrivals land during downtime"
+    );
+}

@@ -12,7 +12,7 @@ use longsight_gpu::{DataParallelGpus, GpuSpec};
 use longsight_model::{
     corpus, perplexity, DenseBackend, InductionParams, Model, ModelConfig, ModelWeights,
 };
-use longsight_obs::Recorder;
+use longsight_obs::{BurnConfig, Recorder};
 use longsight_sched::{BreakerConfig, RouterPolicy, SchedPolicy, SloMix};
 use longsight_system::serving::{
     simulate_fleet_faulty, simulate_observed, simulate_scheduled, FleetFaultOptions, SchedOptions,
@@ -210,35 +210,68 @@ fn lookahead_flags(a: &Args) -> Result<Option<LookaheadConfig>, String> {
     Ok(Some(la))
 }
 
-/// Builds the recorder selected by `--trace-out` / `--metrics-out`
-/// (disabled — and thereby free — when neither flag is given) together
-/// with the two output paths.
-fn obs_flags(a: &Args) -> (Recorder, Option<String>, Option<String>) {
-    let trace_out = a.get("trace-out").map(str::to_string);
-    let metrics_out = a.get("metrics-out").map(str::to_string);
-    let rec = if trace_out.is_some() || metrics_out.is_some() {
+/// Export paths selected by the observability flags.
+struct ObsPaths {
+    trace: Option<String>,
+    metrics: Option<String>,
+    timeseries: Option<String>,
+}
+
+/// Builds the recorder selected by `--trace-out` / `--metrics-out` /
+/// `--timeseries-out` (disabled — and thereby free — when none is given)
+/// together with the output paths. `--timeseries-out` additionally arms
+/// the windowed sampler; `--ts-window-ms` sets its base window (default
+/// 250 ms of simulated time) and is rejected without `--timeseries-out`.
+fn obs_flags(a: &Args) -> Result<(Recorder, ObsPaths), String> {
+    let paths = ObsPaths {
+        trace: a.get("trace-out").map(str::to_string),
+        metrics: a.get("metrics-out").map(str::to_string),
+        timeseries: a.get("timeseries-out").map(str::to_string),
+    };
+    let window_ms: f64 = a.get_or("ts-window-ms", 250.0)?;
+    if paths.timeseries.is_none() {
+        if a.get("ts-window-ms").is_some() {
+            return Err("--ts-window-ms needs --timeseries-out".into());
+        }
+    } else if !(window_ms > 0.0 && window_ms.is_finite()) {
+        return Err(format!(
+            "--ts-window-ms must be a positive number of milliseconds, got {window_ms}"
+        ));
+    }
+    let mut rec = if paths.trace.is_some() || paths.metrics.is_some() || paths.timeseries.is_some()
+    {
         Recorder::enabled()
     } else {
         Recorder::disabled()
     };
-    (rec, trace_out, metrics_out)
+    if paths.timeseries.is_some() {
+        rec.enable_timeseries(window_ms * 1e6, BurnConfig::default());
+    }
+    Ok((rec, paths))
 }
 
-/// Writes the recorded trace/metrics to the requested files.
-fn write_observability(
-    rec: &Recorder,
-    trace_out: Option<&str>,
-    metrics_out: Option<&str>,
-) -> Result<(), String> {
-    if let Some(path) = trace_out {
+/// Writes the recorded trace/metrics/timeseries to the requested files.
+/// The timeseries export format follows the file extension: `.json` gets
+/// the JSON form, anything else the TSV form.
+fn write_observability(rec: &Recorder, paths: &ObsPaths) -> Result<(), String> {
+    if let Some(path) = paths.trace.as_deref() {
         std::fs::write(path, rec.chrome_trace_json())
             .map_err(|e| format!("writing --trace-out {path}: {e}"))?;
         println!("  trace written to {path}");
     }
-    if let Some(path) = metrics_out {
+    if let Some(path) = paths.metrics.as_deref() {
         std::fs::write(path, rec.metrics_json())
             .map_err(|e| format!("writing --metrics-out {path}: {e}"))?;
         println!("  metrics written to {path}");
+    }
+    if let Some(path) = paths.timeseries.as_deref() {
+        let body = if path.ends_with(".json") {
+            rec.timeseries.to_json()
+        } else {
+            rec.timeseries.to_tsv()
+        };
+        std::fs::write(path, body).map_err(|e| format!("writing --timeseries-out {path}: {e}"))?;
+        println!("  timeseries written to {path}");
     }
     Ok(())
 }
@@ -417,6 +450,8 @@ pub fn serve(a: &Args) -> Result<(), String> {
         "deadline-ms",
         "trace-out",
         "metrics-out",
+        "timeseries-out",
+        "ts-window-ms",
         "page-tokens",
         "watermark",
         "lookahead",
@@ -429,7 +464,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
     let users: usize = a.get_or("users", 8)?;
     let (faults, fault_seed, retry) = fault_flags(a)?;
     let lookahead = lookahead_flags(a)?;
-    let (mut rec, trace_out, metrics_out) = obs_flags(a);
+    let (mut rec, obs_paths) = obs_flags(a)?;
     let sys_name = a.get("system").unwrap_or("longsight");
     if faults.is_enabled() {
         if sys_name != "longsight" {
@@ -474,7 +509,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
         }
         println!("  max users at this context: {}", sys.max_users(ctx));
         print_paged_kv(a, &sys, ctx)?;
-        return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
+        return write_observability(&rec, &obs_paths);
     }
     let mut sys = build_system(sys_name, model, lookahead)?;
     match sys.evaluate(users, ctx) {
@@ -496,7 +531,7 @@ pub fn serve(a: &Args) -> Result<(), String> {
     }
     println!("  max users at this context: {}", sys.max_users(ctx));
     print_paged_kv(a, sys.as_ref(), ctx)?;
-    write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
+    write_observability(&rec, &obs_paths)
 }
 
 /// `longsight loadtest` — closed-loop serving simulation.
@@ -516,6 +551,8 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         "deadline-ms",
         "trace-out",
         "metrics-out",
+        "timeseries-out",
+        "ts-window-ms",
         "sched",
         "mix",
         "page-tokens",
@@ -544,7 +581,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
     let (faults, fault_seed, retry) = fault_flags(a)?;
     let sched_opts = sched_flags(a)?;
     let lookahead = lookahead_flags(a)?;
-    let (mut rec, trace_out, metrics_out) = obs_flags(a);
+    let (mut rec, obs_paths) = obs_flags(a)?;
     let sys_name = a.get("system").unwrap_or("longsight");
     let injected = faults.is_enabled();
     let replicas: usize = a.get_or("replicas", 1)?;
@@ -611,7 +648,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         if let Some(v) = &fleet.audit_violation {
             return Err(format!("fleet audit failed: {v}"));
         }
-        return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
+        return write_observability(&rec, &obs_paths);
     }
     let mut sys = build_system(sys_name, model.clone(), lookahead)?;
     if let Some(opts) = sched_opts {
@@ -645,7 +682,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
                 m.failed_requests
             );
         }
-        return write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref());
+        return write_observability(&rec, &obs_paths);
     }
     let (m, fault_log) = if injected {
         let inj = FaultInjector::new(faults, fault_seed);
@@ -680,7 +717,7 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
             m.failed_requests
         );
     }
-    write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
+    write_observability(&rec, &obs_paths)
 }
 
 /// `longsight profile` — per-token latency attribution over a serving run.
@@ -721,7 +758,7 @@ pub fn profile(a: &Args) -> Result<(), String> {
     };
     let (faults, fault_seed, retry) = fault_flags(a)?;
     let lookahead = lookahead_flags(a)?;
-    let (mut rec, trace_out, metrics_out) = obs_flags(a);
+    let (mut rec, obs_paths) = obs_flags(a)?;
     let mut sys = build_system(
         a.get("system").unwrap_or("longsight"),
         model.clone(),
@@ -766,7 +803,7 @@ pub fn profile(a: &Args) -> Result<(), String> {
             m.failed_requests
         );
     }
-    write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
+    write_observability(&rec, &obs_paths)
 }
 
 /// `longsight trace-validate` — checks that a `--trace-out` file is valid,
@@ -825,7 +862,7 @@ pub fn offload(a: &Args) -> Result<(), String> {
     let users: usize = a.get_or("users", 1)?;
     let (faults, fault_seed, retry) = fault_flags(a)?;
     let lookahead = lookahead_flags(a)?;
-    let (mut rec, trace_out, metrics_out) = obs_flags(a);
+    let (mut rec, obs_paths) = obs_flags(a)?;
     let injected = faults.is_enabled();
     let mut cfg = LongSightConfig::paper_default().with_faults(faults, fault_seed);
     cfg.retry = retry;
@@ -883,7 +920,7 @@ pub fn offload(a: &Args) -> Result<(), String> {
             rec.gauge_set("offload.faulted_us", f.layer_ns / 1e3);
         }
     }
-    write_observability(&rec, trace_out.as_deref(), metrics_out.as_deref())
+    write_observability(&rec, &obs_paths)
 }
 
 /// `longsight tune` — the §8.1.3 threshold tuner.

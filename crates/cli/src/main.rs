@@ -18,6 +18,8 @@
 //!                     [--fault-profile ...] [--fault-seed N] [--deadline-ms MS]
 //!                     [--trace-out FILE] [--metrics-out FILE]
 //! longsight trace-validate --file trace.json
+//! longsight dashboard --file timeseries.tsv [--width 60]
+//! longsight perf-diff [--self-check FILE | --gate results/trajectory.tsv | --baseline A --candidate B]
 //! longsight tune      [--ctx 768] [--window 192] [--k 96] [--budget 0.05]
 //! longsight layout    [--model 1b|8b] [--ctx 1048576]
 //! ```
@@ -28,6 +30,7 @@
 
 mod args;
 mod commands;
+mod perf;
 
 use args::Args;
 
@@ -82,6 +85,8 @@ fn main() {
         "profile" => commands::profile(&parsed),
         "offload" => commands::offload(&parsed),
         "trace-validate" => commands::trace_validate(&parsed),
+        "dashboard" => perf::dashboard(&parsed),
+        "perf-diff" => perf::perf_diff(&parsed),
         "tune" => commands::tune(&parsed),
         "layout" => commands::layout(&parsed),
         "help" | "--help" | "-h" => {
@@ -115,6 +120,7 @@ commands:
                                    [--fault-seed N] [--deadline-ms MS]
                                    [--page-tokens N] [--watermark F]
                                    [--trace-out FILE] [--metrics-out FILE]
+                                   [--timeseries-out FILE] [--ts-window-ms MS]
   loadtest   closed-loop Poisson serving simulation with percentiles
                                    [--model 1b|8b] [--rate R] [--duration S]
                                    [--ctx-min N] [--ctx-max N]
@@ -128,6 +134,7 @@ commands:
                                    [--fault-profile ...] [--fault-seed N]
                                    [--deadline-ms MS]
                                    [--trace-out FILE] [--metrics-out FILE]
+                                   [--timeseries-out FILE] [--ts-window-ms MS]
   profile    per-token latency attribution table over a serving run
                                    [--model 1b|8b] [--rate R] [--duration S]
                                    [--ctx-min N] [--ctx-max N]
@@ -140,6 +147,14 @@ commands:
                                    [--trace-out FILE] [--metrics-out FILE]
   trace-validate  check a --trace-out file is valid non-empty Chrome
                   trace JSON       --file FILE
+  dashboard  per-replica text-sparkline panels from a --timeseries-out
+             export                --file FILE [--width N]
+  perf-diff  compare observability exports / run the CI trajectory gate
+                                   --self-check FILE
+                                 | --gate results/trajectory.tsv
+                                   [--threshold-pct P]
+                                 | --baseline A --candidate B
+                                   [--threshold-pct P]
   tune       run the paper's SCF threshold tuner (section 8.1.3)
                                    [--ctx N] [--window W] [--k K] [--budget F]
   layout     User Partition plan + capacity for a context length

@@ -27,8 +27,10 @@
 
 pub mod json;
 pub mod metrics;
+pub mod timeseries;
 
-pub use metrics::{Histogram, MetricsRegistry, DEFAULT_MS_EDGES};
+pub use metrics::{Histogram, MetricsRegistry, DEFAULT_COUNT_EDGES, DEFAULT_MS_EDGES};
+pub use timeseries::{BurnAlert, BurnConfig, BurnTotals, TimeSeries};
 
 use json::{escape_into, fmt_f64};
 
@@ -106,6 +108,9 @@ pub struct Recorder {
     instants: Vec<InstantEvent>,
     /// Counters, gauges, and histograms recorded alongside the trace.
     pub metrics: MetricsRegistry,
+    /// Windowed time-series sampler (disabled by default; see
+    /// [`Recorder::enable_timeseries`]).
+    pub timeseries: TimeSeries,
 }
 
 impl Default for Recorder {
@@ -123,6 +128,7 @@ impl Recorder {
             spans: Vec::new(),
             instants: Vec::new(),
             metrics: MetricsRegistry::default(),
+            timeseries: TimeSeries::disabled(),
         }
     }
 
@@ -135,6 +141,7 @@ impl Recorder {
             spans: Vec::new(),
             instants: Vec::new(),
             metrics: MetricsRegistry::default(),
+            timeseries: TimeSeries::disabled(),
         }
     }
 
@@ -142,6 +149,15 @@ impl Recorder {
     /// skip trace-only work (string formatting, re-simulation for detail).
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Switches on the windowed time-series sampler with the given base
+    /// window (simulated ns) and burn-rate configuration. Timeseries
+    /// recording is opt-in on top of an enabled recorder — trace/metrics-only
+    /// runs keep their exports byte-identical because no series, tracks, or
+    /// instants are created unless this has been called.
+    pub fn enable_timeseries(&mut self, window_ns: f64, burn: BurnConfig) {
+        self.timeseries = TimeSeries::enabled(window_ns, burn);
     }
 
     /// Interns a track by name, creating it on first use. Track order is the
@@ -480,13 +496,28 @@ mod tests {
         r.instant(t, "evt", 5.0);
         r.counter_add("c", 1);
         r.observe("h", 1.0);
+        r.timeseries.gauge("g", 1.0, 2.0);
+        r.timeseries.slo_sample(1.0, 9000.0);
         assert!(r.spans().is_empty());
         assert!(r.instants().is_empty());
         assert!(r.metrics.is_empty());
+        assert!(r.timeseries.is_empty());
+        assert!(!r.timeseries.is_enabled());
         // Empty Vec / empty registry: capacity 0 means no heap allocation.
         assert_eq!(r.spans.capacity(), 0);
         assert_eq!(r.instants.capacity(), 0);
         assert_eq!(r.tracks.capacity(), 0);
+    }
+
+    #[test]
+    fn timeseries_is_opt_in_even_on_an_enabled_recorder() {
+        let mut r = Recorder::enabled();
+        r.timeseries.gauge("g", 1.0, 2.0);
+        assert!(r.timeseries.is_empty());
+        r.enable_timeseries(1e6, BurnConfig::default());
+        r.timeseries.gauge("g", 1.0, 2.0);
+        assert!(!r.timeseries.is_empty());
+        assert_eq!(r.timeseries.window_ns(), 1e6);
     }
 
     #[test]

@@ -85,6 +85,56 @@ impl FleetFaultSummary {
     }
 }
 
+/// End-of-run SLO error-budget accounting from the telemetry burn-rate
+/// engine (see `longsight-obs`): how much of the interactive deadline's
+/// error budget the run consumed and how many alert windows fired. Defined
+/// here (not in the obs crate) so both `ServeMetrics` and [`FleetReport`]
+/// can carry it without a dependency cycle — sched depends on nothing.
+/// `None` everywhere unless timeseries telemetry was enabled, which keeps
+/// every pre-existing report byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloBurnSummary {
+    /// Interactive deadline in milliseconds.
+    pub slo_ms: f64,
+    /// Error budget as a miss fraction (0.05 = 5% may miss).
+    pub budget: f64,
+    /// Interactive completions observed.
+    pub completions: u64,
+    /// Interactive completions above the deadline.
+    pub misses: u64,
+    /// Fraction of the error budget consumed (`miss_frac / budget`;
+    /// ≥ 1.0 means exhausted).
+    pub consumed: f64,
+    /// Number of base windows where both the fast and slow burn rates
+    /// exceeded the alert threshold.
+    pub alert_windows: u64,
+    /// Start of the first alert window in simulated ms (0 when none).
+    pub first_alert_ms: f64,
+}
+
+impl SloBurnSummary {
+    /// The two-line summary block appended to serve/fleet text reports.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "  slo burn: deadline {} ms budget {:.1}% | {} interactive, {} missed | budget consumed {:.1}%\n",
+            self.slo_ms,
+            self.budget * 100.0,
+            self.completions,
+            self.misses,
+            self.consumed * 100.0,
+        );
+        if self.alert_windows > 0 {
+            out.push_str(&format!(
+                "  slo burn alerts: {} window(s), first at {:.0} ms\n",
+                self.alert_windows, self.first_alert_ms
+            ));
+        } else {
+            out.push_str("  slo burn alerts: none\n");
+        }
+        out
+    }
+}
+
 /// End-of-run fleet summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetReport {
@@ -102,6 +152,9 @@ pub struct FleetReport {
     pub audit_violation: Option<String>,
     /// Crash/redispatch/shed outcome; `None` for fault-free runs.
     pub faults: Option<FleetFaultSummary>,
+    /// SLO error-budget accounting; `None` unless timeseries telemetry was
+    /// enabled for the run.
+    pub slo_burn: Option<SloBurnSummary>,
 }
 
 impl FleetReport {
@@ -159,6 +212,7 @@ impl FleetReport {
             per_class,
             audit_violation,
             faults,
+            slo_burn: None,
         }
     }
 
@@ -178,6 +232,7 @@ impl FleetReport {
             placements,
             audit_violation,
             faults: None,
+            slo_burn: None,
         }
     }
 
@@ -269,6 +324,9 @@ impl FleetReport {
                 "  goodput: {done} completed of {} offered ({goodput:.1}%)\n",
                 f.offered
             ));
+        }
+        if let Some(b) = &self.slo_burn {
+            out.push_str(&b.to_text());
         }
         match &self.audit_violation {
             None => out.push_str("  audit: ok (each arrival placed once, arrivals conserved)\n"),

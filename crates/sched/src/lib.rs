@@ -47,7 +47,9 @@ pub mod request;
 pub mod router;
 pub mod scheduler;
 
-pub use fleet::{FleetFaultSummary, FleetReport, Placement, RedispatchRecord, ShedRecord};
+pub use fleet::{
+    FleetFaultSummary, FleetReport, Placement, RedispatchRecord, ShedRecord, SloBurnSummary,
+};
 pub use pages::{AllocError, PageConfig, PageStats, PagedKvManager};
 pub use request::{KvDeviceGeometry, SchedRequest, SloClass, SloMix};
 pub use router::{

@@ -477,6 +477,16 @@ impl Scheduler {
         self.waiting.iter().filter(|w| w.req.class == class).count()
     }
 
+    /// Waiting requests of every class in one pass, indexed by
+    /// [`SloClass::index`] — the telemetry sampler's per-step snapshot.
+    pub fn queue_depths(&self) -> [usize; 3] {
+        let mut depths = [0usize; 3];
+        for w in &self.waiting {
+            depths[w.req.class.index()] += 1;
+        }
+        depths
+    }
+
     /// A replica crash: every page is lost and every in-flight request —
     /// active or queued — is evacuated for redispatch through the router.
     /// Returns the evacuees sorted by arrival id (the canonical redispatch

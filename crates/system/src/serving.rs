@@ -34,7 +34,7 @@ use longsight_obs::{ArgVal, Recorder, TrackId};
 use longsight_sched::{
     BreakerConfig, BreakerState, CircuitBreaker, FleetFaultSummary, FleetReport, KvDeviceGeometry,
     Placement, RedispatchRecord, Router, RouterPolicy, SchedConfig, SchedEvent, SchedPolicy,
-    SchedReport, SchedRequest, Scheduler, ShedRecord, SloClass, SloMix,
+    SchedReport, SchedRequest, Scheduler, ShedRecord, SloBurnSummary, SloClass, SloMix,
 };
 use longsight_tensor::SimRng;
 
@@ -204,6 +204,17 @@ fn breaker_instant_name(state: BreakerState) -> &'static str {
     }
 }
 
+/// Numeric encoding of a breaker state for the `r{i}.breaker` telemetry
+/// gauge: 0 = closed, 1 = half-open, 2 = open, so a sparkline of the
+/// series rises when a replica trips and falls as probes close it.
+fn breaker_level(state: BreakerState) -> f64 {
+    match state {
+        BreakerState::Closed => 0.0,
+        BreakerState::HalfOpen => 1.0,
+        BreakerState::Open => 2.0,
+    }
+}
+
 /// Aggregate results of a serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeMetrics {
@@ -248,13 +259,17 @@ pub struct ServeMetrics {
     /// Speculative issues denied by slot-pool backpressure (zero with
     /// lookahead off).
     pub spec_denied: usize,
+    /// SLO error-budget accounting from the burn-rate engine; `None`
+    /// unless timeseries telemetry was enabled, so all pre-existing
+    /// output stays byte-identical.
+    pub slo_burn: Option<SloBurnSummary>,
 }
 
 impl ServeMetrics {
     /// The run summary as printed by `longsight loadtest` (four lines:
     /// completion counts, throughput, token and request latency).
     pub fn to_text(&self) -> String {
-        format!(
+        let mut out = format!(
             "  completed {} | rejected {} | in flight {}\n  throughput: {:.1} tok/s | mean batch {:.1}\n  token latency  p50 {:.2} ms  p99 {:.2} ms\n  request latency p50 {:.1} ms  p99 {:.1} ms\n",
             self.completed,
             self.rejected,
@@ -265,7 +280,11 @@ impl ServeMetrics {
             self.p99_token_ms,
             self.p50_request_ms,
             self.p99_request_ms,
-        )
+        );
+        if let Some(b) = &self.slo_burn {
+            out.push_str(&b.to_text());
+        }
+        out
     }
 
     /// Every field as a flat JSON object (stable key order). The
@@ -280,8 +299,23 @@ impl ServeMetrics {
         } else {
             String::new()
         };
+        // Like the speculation counters: present only for telemetry-enabled
+        // runs, so telemetry-off JSON is byte-identical to older builds.
+        let burn = match &self.slo_burn {
+            None => String::new(),
+            Some(b) => format!(
+                ",\"slo_burn\":{{\"slo_ms\":{},\"budget\":{},\"completions\":{},\"misses\":{},\"consumed\":{},\"alert_windows\":{},\"first_alert_ms\":{}}}",
+                fmt_f64(b.slo_ms),
+                fmt_f64(b.budget),
+                b.completions,
+                b.misses,
+                fmt_f64(b.consumed),
+                b.alert_windows,
+                fmt_f64(b.first_alert_ms),
+            ),
+        };
         format!(
-            "{{\"completed\":{},\"rejected\":{},\"in_flight\":{},\"throughput_tps\":{},\"p50_token_ms\":{},\"p99_token_ms\":{},\"p50_request_ms\":{},\"p99_request_ms\":{},\"mean_batch\":{},\"retried_tokens\":{},\"degraded_tokens\":{},\"failed_requests\":{},\"degraded_quality_delta\":{}{spec}}}",
+            "{{\"completed\":{},\"rejected\":{},\"in_flight\":{},\"throughput_tps\":{},\"p50_token_ms\":{},\"p99_token_ms\":{},\"p50_request_ms\":{},\"p99_request_ms\":{},\"mean_batch\":{},\"retried_tokens\":{},\"degraded_tokens\":{},\"failed_requests\":{},\"degraded_quality_delta\":{}{spec}{burn}}}",
             self.completed,
             self.rejected,
             self.in_flight,
@@ -353,6 +387,29 @@ impl ServeMetrics {
             spec_hits: get_spec("spec_hits")?,
             spec_misses: get_spec("spec_misses")?,
             spec_denied: get_spec("spec_denied")?,
+            slo_burn: match v.get("slo_burn") {
+                None => None,
+                Some(b) => {
+                    let bf = |key: &str| -> Result<f64, String> {
+                        match b.get(key) {
+                            Some(Value::Null) => Ok(0.0),
+                            Some(x) => x
+                                .as_f64()
+                                .ok_or_else(|| format!("non-numeric slo_burn field '{key}'")),
+                            None => Err(format!("missing slo_burn field '{key}'")),
+                        }
+                    };
+                    Some(SloBurnSummary {
+                        slo_ms: bf("slo_ms")?,
+                        budget: bf("budget")?,
+                        completions: bf("completions")? as u64,
+                        misses: bf("misses")? as u64,
+                        consumed: bf("consumed")?,
+                        alert_windows: bf("alert_windows")? as u64,
+                        first_alert_ms: bf("first_alert_ms")?,
+                    })
+                }
+            },
         })
     }
 }
@@ -830,6 +887,8 @@ fn sched_impl(
         cached_step_cost(&mut cache, sys, users, ctx, rec, at_ns)
     };
 
+    let ts_on = rec.timeseries.is_enabled();
+    let mut admitted_ts: Vec<f64> = Vec::new();
     loop {
         // Admission and queue drain are the scheduler's decisions; the step
         // model only answers feasibility. (FIFO issues the exact legacy
@@ -843,6 +902,11 @@ fn sched_impl(
                 let a = arrivals.pop().expect("checked");
                 let pf_ns = prefill_ns.pop().expect("paired with arrivals");
                 let class = classes.pop().expect("paired with arrivals");
+                // Arrival timestamps are staged outside the closure scope
+                // (which holds `rec` via `feas`) and recorded just below.
+                if ts_on {
+                    admitted_ts.push(a.arrival_ns);
+                }
                 let req = SchedRequest {
                     id: a.id,
                     class,
@@ -858,6 +922,13 @@ fn sched_impl(
             sched.drain_queue(&mut feas);
         }
         flush_sched_events(&mut sched, rec, sched_track, now);
+        if ts_on {
+            for &t in &admitted_ts {
+                rec.timeseries.rate_add("arrivals", t, 1.0);
+            }
+            admitted_ts.clear();
+            sample_sched_timeseries(rec, "", now, &sched);
+        }
 
         if sched.active_is_empty() {
             match arrivals.last() {
@@ -1035,8 +1106,21 @@ fn sched_impl(
         }
         for c in sched.advance_step(dt, now) {
             request_latencies.push(c.latency_ms);
+            if ts_on {
+                rec.timeseries
+                    .observe_ms("lat.request_ms", now, c.latency_ms);
+                if c.class == SloClass::Interactive {
+                    rec.timeseries.slo_sample(now, c.latency_ms);
+                }
+            }
         }
         flush_sched_events(&mut sched, rec, sched_track, now);
+        if ts_on {
+            if decoding > 0 {
+                rec.timeseries.rate_add("tokens", now, decoding as f64);
+            }
+            sample_sched_timeseries(rec, "", now, &sched);
+        }
     }
 
     let mut token_lat: Vec<f64> = Vec::new();
@@ -1049,6 +1133,7 @@ fn sched_impl(
     request_latencies.sort_by(f64::total_cmp);
 
     let span_s = (now.max(1.0)) / 1e9;
+    let slo_burn = finalize_slo_burn(rec);
     let metrics = ServeMetrics {
         completed: request_latencies.len(),
         rejected: sched.rejected(),
@@ -1078,6 +1163,7 @@ fn sched_impl(
         spec_hits,
         spec_misses,
         spec_denied,
+        slo_burn,
     };
     let sched_report = sched.finalize();
     if rec.is_enabled() {
@@ -1115,6 +1201,65 @@ fn sched_impl(
     (metrics, sched_report, fault_log)
 }
 
+/// Records one telemetry sampling point for a scheduler: queue depth per
+/// SLO class, batch size, and page occupancy in both tiers. `prefix` is
+/// empty on the single-replica path and `r{i}.` inside fleets; series
+/// intern themselves on first touch, so the per-sample cost is a window
+/// index plus a hash lookup.
+fn sample_sched_timeseries(rec: &mut Recorder, prefix: &str, now_ns: f64, sched: &Scheduler) {
+    if !rec.timeseries.is_enabled() {
+        return;
+    }
+    let q = sched.queue_depths();
+    let load = sched.load();
+    let ts = &mut rec.timeseries;
+    ts.gauge(&format!("{prefix}queue.interactive"), now_ns, q[0] as f64);
+    ts.gauge(&format!("{prefix}queue.batch"), now_ns, q[1] as f64);
+    ts.gauge(&format!("{prefix}queue.best_effort"), now_ns, q[2] as f64);
+    ts.gauge(&format!("{prefix}active"), now_ns, load.active as f64);
+    ts.gauge(&format!("{prefix}hbm_pages"), now_ns, load.hbm_used as f64);
+    ts.gauge(
+        &format!("{prefix}drex_pages"),
+        now_ns,
+        load.drex_used as f64,
+    );
+}
+
+/// Drains the burn-rate engine at end of run: emits one `slo.burn` trace
+/// instant per alert window on a dedicated `slo` track and returns the
+/// budget summary for `ServeMetrics`/`FleetReport`. Returns `None` — and
+/// interns no track — when timeseries telemetry is off, keeping
+/// telemetry-off traces byte-identical.
+fn finalize_slo_burn(rec: &mut Recorder) -> Option<SloBurnSummary> {
+    if !rec.timeseries.is_enabled() {
+        return None;
+    }
+    let alerts = rec.timeseries.burn_alerts();
+    let totals = rec.timeseries.burn_totals();
+    let slo_track = rec.track("slo");
+    for a in &alerts {
+        rec.instant_with(
+            slo_track,
+            "slo.burn",
+            a.t_ns,
+            &[
+                ("window", ArgVal::U(a.window as u64)),
+                ("fast", ArgVal::F(a.fast)),
+                ("slow", ArgVal::F(a.slow)),
+            ],
+        );
+    }
+    Some(SloBurnSummary {
+        slo_ms: totals.slo_ms,
+        budget: totals.budget,
+        completions: totals.completions,
+        misses: totals.misses,
+        consumed: totals.consumed,
+        alert_windows: alerts.len() as u64,
+        first_alert_ms: alerts.first().map_or(0.0, |a| a.t_ns / 1e6),
+    })
+}
+
 /// One replica's incremental simulation state inside a fleet run: its own
 /// scheduler, page ledger, clock, and step-cost cache. The fleet driver
 /// advances each replica to every arrival time, routes from the live
@@ -1134,6 +1279,8 @@ struct ReplicaSim {
     spec_pool: Option<SpecSlotPool>,
     spec_track_name: String,
     spec_counts: (usize, usize, usize),
+    /// Telemetry series prefix (`r{idx}.`), mirroring the track names.
+    ts_prefix: String,
     /// Crashed and not yet repaired: time passes but no step runs, so
     /// anything queued here wedges until the `Up` event (what a naive
     /// router keeps feeding).
@@ -1172,6 +1319,7 @@ impl ReplicaSim {
             // their exact track list.
             spec_track_name: format!("r{idx}.spec"),
             spec_counts: (0, 0, 0),
+            ts_prefix: format!("r{idx}."),
             down: false,
             brownout_factor: 1.0,
             degraded_tokens: 0,
@@ -1333,18 +1481,37 @@ impl ReplicaSim {
         }
         self.now += dt;
         let decoding = self.sched.decoding_count();
+        let ts_on = rec.timeseries.is_enabled();
         if decoding > 0 {
             self.step_times.push((dt, decoding));
             self.generated_tokens += decoding;
+            if ts_on {
+                rec.timeseries.rate_add("tokens", self.now, decoding as f64);
+            }
             if self.brownout_factor < 1.0 {
                 self.degraded_tokens += decoding;
+                if ts_on {
+                    rec.timeseries.rate_add(
+                        &format!("{}degraded_tok", self.ts_prefix),
+                        self.now,
+                        decoding as f64,
+                    );
+                }
             }
         }
         for c in self.sched.advance_step(dt, self.now) {
             self.request_latencies.push(c.latency_ms);
             self.completions.push((c.class, c.latency_ms));
+            if ts_on {
+                rec.timeseries
+                    .observe_ms("lat.request_ms", self.now, c.latency_ms);
+                if c.class == SloClass::Interactive {
+                    rec.timeseries.slo_sample(self.now, c.latency_ms);
+                }
+            }
         }
         flush_sched_events(&mut self.sched, rec, self.sched_track, self.now);
+        sample_sched_timeseries(rec, &self.ts_prefix, self.now, &self.sched);
     }
 }
 
@@ -1431,7 +1598,9 @@ pub fn simulate_fleet_faulty(
     );
     if systems.len() == 1 {
         let (m, rep, _) = sched_impl(systems[0].as_mut(), model, workload, opts, None, rec, None);
-        return (m, FleetReport::single(router_policy, rep));
+        let mut fleet = FleetReport::single(router_policy, rep);
+        fleet.slo_burn = m.slo_burn.clone();
+        return (m, fleet);
     }
     let n = systems.len();
     let horizon_ns = workload.duration_s * 1e9;
@@ -1505,6 +1674,15 @@ pub fn simulate_fleet_faulty(
                 rec,
                 track,
             );
+            if rec.timeseries.is_enabled() {
+                for (i, b) in bs.iter().enumerate() {
+                    rec.timeseries.gauge(
+                        &format!("r{i}.breaker"),
+                        a.arrival_ns,
+                        breaker_level(b.state()),
+                    );
+                }
+            }
         }
         let loads: Vec<_> = replicas.iter().map(|r| r.sched.load()).collect();
         let pick = if !active {
@@ -1563,6 +1741,7 @@ pub fn simulate_fleet_faulty(
                             ],
                         );
                     }
+                    rec.timeseries.rate_add("fleet.shed", a.arrival_ns, 1.0);
                     continue;
                 }
             }
@@ -1593,6 +1772,11 @@ pub fn simulate_fleet_faulty(
             recompute_ns: g.recompute_ns(a.context),
         };
         replicas[pick].inject(systems[pick].as_mut(), rec, req);
+        if rec.timeseries.is_enabled() {
+            rec.timeseries.rate_add("fleet.admit", a.arrival_ns, 1.0);
+            let prefix = replicas[pick].ts_prefix.clone();
+            sample_sched_timeseries(rec, &prefix, a.arrival_ns, &replicas[pick].sched);
+        }
     }
     // The tail of the fault timeline (repairs in particular) runs before
     // the final drain, so every crashed replica comes back up and serves
@@ -1686,6 +1870,7 @@ pub fn simulate_fleet_faulty(
         spec_hits,
         spec_misses,
         spec_denied,
+        slo_burn: finalize_slo_burn(rec),
     };
     let fault_counts = (
         summary.crashes,
@@ -1693,7 +1878,7 @@ pub fn simulate_fleet_faulty(
         summary.redispatches.len(),
         summary.shed.len(),
     );
-    let fleet = if active {
+    let mut fleet = if active {
         FleetReport::assemble_with_faults(
             router_policy,
             reports,
@@ -1704,6 +1889,7 @@ pub fn simulate_fleet_faulty(
     } else {
         FleetReport::assemble(router_policy, reports, placements, samples)
     };
+    fleet.slo_burn = metrics.slo_burn.clone();
     if rec.is_enabled() {
         rec.counter_add("serving.completed", metrics.completed as u64);
         rec.counter_add("serving.rejected", metrics.rejected as u64);
@@ -1755,6 +1941,11 @@ fn apply_fleet_event(
             replicas[r].down = true;
             down_since[r] = e.at_ns;
             summary.crashes += 1;
+            if rec.timeseries.is_enabled() {
+                rec.timeseries.gauge(&format!("r{r}.up"), e.at_ns, 0.0);
+                let prefix = replicas[r].ts_prefix.clone();
+                sample_sched_timeseries(rec, &prefix, e.at_ns, &replicas[r].sched);
+            }
             if rec.is_enabled() {
                 rec.instant_with(
                     track,
@@ -1768,6 +1959,10 @@ fn apply_fleet_event(
             }
             if let Some(bs) = breakers.as_mut() {
                 if let Some(s) = bs[r].force_open(e.at_ns) {
+                    if rec.timeseries.is_enabled() {
+                        rec.timeseries
+                            .gauge(&format!("r{r}.breaker"), e.at_ns, breaker_level(s));
+                    }
                     if rec.is_enabled() {
                         rec.instant_with(
                             track,
@@ -1832,12 +2027,16 @@ fn apply_fleet_event(
                         ],
                     );
                 }
+                rec.timeseries.rate_add("fleet.redispatch", e.at_ns, 1.0);
             }
         }
         ReplicaEventKind::Up => {
             summary.downtime_ns[r] += e.at_ns - down_since[r];
             replicas[r].now = replicas[r].now.max(e.at_ns);
             replicas[r].down = false;
+            if rec.timeseries.is_enabled() {
+                rec.timeseries.gauge(&format!("r{r}.up"), e.at_ns, 1.0);
+            }
             if rec.is_enabled() {
                 rec.instant_with(
                     track,
@@ -1848,6 +2047,10 @@ fn apply_fleet_event(
             }
             if let Some(bs) = breakers.as_mut() {
                 if let Some(s) = bs[r].on_recovery() {
+                    if rec.timeseries.is_enabled() {
+                        rec.timeseries
+                            .gauge(&format!("r{r}.breaker"), e.at_ns, breaker_level(s));
+                    }
                     if rec.is_enabled() {
                         rec.instant_with(
                             track,

@@ -12,10 +12,15 @@
 #      exported Chrome trace JSON round-trips through `trace-validate`
 #   7. scheduler smoke: SLO-mixed loadtest under the slo-aware policy with
 #      a traced run, validated the same way
-#   8. lookahead smoke: speculative loadtest with a traced run, validated
+#   8. fleet smokes: multi-replica routing, then the 2-replica crash run
+#      with --timeseries-out validated by `perf-diff --self-check`
+#   9. lookahead smoke: speculative loadtest with a traced run, validated
 #      the same way
-#   9. rustdoc gate (missing/broken docs are errors)
-#  10. full test suite (unit + property + integration + doc tests)
+#  10. perf trajectory gate: `perf-diff --gate results/trajectory.tsv`
+#      re-reads the checked-in goldens and fails on a >10% interactive-p99
+#      regression against the pinned values
+#  11. rustdoc gate (missing/broken docs are errors)
+#  12. full test suite (unit + property + integration + doc tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -96,12 +101,14 @@ target/release/longsight trace-validate --file "$obs_tmp/fleet_trace.json"
 target/release/longsight loadtest --model 1b --rate 12 --duration 4 \
     --ctx-min 16384 --ctx-max 32768 --replicas 2 --router rr
 
-echo "== fleet availability smoke (2-replica crash profile, trace-validate) =="
+echo "== fleet availability smoke (2-replica crash profile, trace + timeseries) =="
 target/release/longsight loadtest --model 1b --rate 10 --duration 6 \
     --ctx-min 16384 --ctx-max 32768 --sched slo-aware --replicas 2 --router jsq \
     --crash-profile 0.1 --crash-seed 11 --breaker on \
-    --trace-out "$obs_tmp/fleet_faults_trace.json"
+    --trace-out "$obs_tmp/fleet_faults_trace.json" \
+    --timeseries-out "$obs_tmp/fleet_ts.tsv"
 target/release/longsight trace-validate --file "$obs_tmp/fleet_faults_trace.json"
+target/release/longsight perf-diff --self-check "$obs_tmp/fleet_ts.tsv"
 
 echo "== lookahead smoke (speculative loadtest, trace-validate) =="
 target/release/longsight loadtest --model 8b --rate 2 --duration 4 \
@@ -112,64 +119,11 @@ target/release/longsight trace-validate --file "$obs_tmp/lookahead_trace.json"
 # Interactive tail-latency trajectory: the checked-in goldens must not
 # regress the interactive p99 request latency more than 10% past the values
 # pinned in results/trajectory.tsv. Regenerating a golden with a worse tail
-# forces an explicit, same-commit update of the trajectory file.
+# forces an explicit, same-commit update of the trajectory file. The key
+# grammar and golden-table parsing live in `longsight perf-diff` (tested in
+# crates/cli/src/perf.rs), not in ad-hoc awk here.
 echo "== perf trajectory gate (interactive p99 vs results/trajectory.tsv) =="
-check_traj() {
-    key="$1"
-    current="$2"
-    if [ -z "$current" ]; then
-        echo "error: could not parse current value for $key from goldens" >&2
-        exit 1
-    fi
-    pinned=$(awk -F'\t' -v k="$key" '$1 == k { print $2 }' results/trajectory.tsv)
-    if [ -z "$pinned" ]; then
-        echo "error: $key missing from results/trajectory.tsv" >&2
-        exit 1
-    fi
-    awk -v c="$current" -v p="$pinned" -v k="$key" 'BEGIN {
-        if (c > p * 1.10) {
-            printf "error: %s regressed: %s ms vs pinned %s ms (+%.1f%%, limit 10%%)\n",
-                k, c, p, (c / p - 1) * 100 > "/dev/stderr"
-            exit 1
-        }
-        printf "   %-56s %6s ms (pinned %s ms)\n", k, c, p
-    }'
-}
-# interactive p99 request (ms) for one (rate, policy) row of sched_comparison
-sched_p99() {
-    awk -F'|' -v r="$1" -v pol="$2" '
-        { for (i = 1; i <= 3; i++) gsub(/^ +| +$/, "", $i) }
-        $1 == r && $2 == pol && $3 == "interactive" { gsub(/[ ms]/, "", $8); print $8 }
-    ' results/sched_comparison.txt
-}
-# interactive p99 request (ms) for one (replicas, router) row of router_scaling
-router_p99() {
-    awk -F'|' -v n="$1" -v rt="$2" '
-        { for (i = 1; i <= 2; i++) gsub(/^ +| +$/, "", $i) }
-        $1 == n && $2 == rt { gsub(/[ ms]/, "", $7); print $7 }
-    ' results/router_scaling.txt
-}
-# interactive p99 request (ms) for one (replicas, crash rate, breaker mode)
-# row of fleet_availability
-fleet_p99() {
-    awk -F'|' -v n="$1" -v cr="$2" -v b="$3" '
-        { for (i = 1; i <= 3; i++) gsub(/^ +| +$/, "", $i) }
-        $1 == n && $2 == cr && $3 == b { gsub(/[ ms]/, "", $6); print $6 }
-    ' results/fleet_availability.txt
-}
-# p99 token latency (ms) for one (slots, penalty) row of lookahead
-lookahead_p99() {
-    awk -F'|' -v s="$1" -v pen="$2" '
-        { for (i = 1; i <= 2; i++) gsub(/^ +| +$/, "", $i) }
-        $1 == s && $2 == pen { gsub(/[ ms]/, "", $8); print $8 }
-    ' results/lookahead.txt
-}
-check_traj "sched_comparison/8s/slo-aware/interactive_p99_request_ms" "$(sched_p99 '8/s' slo-aware)"
-check_traj "sched_comparison/16s/slo-aware/interactive_p99_request_ms" "$(sched_p99 '16/s' slo-aware)"
-check_traj "router_scaling/2r/jsq/interactive_p99_request_ms" "$(router_p99 2 jsq)"
-check_traj "router_scaling/4r/jsq/interactive_p99_request_ms" "$(router_p99 4 jsq)"
-check_traj "lookahead/32slots/0.25ms/p99_token_ms" "$(lookahead_p99 32 '0.25 ms')"
-check_traj "fleet_availability/2r/0.10/breaker/interactive_p99_request_ms" "$(fleet_p99 2 0.10 on)"
+target/release/longsight perf-diff --gate results/trajectory.tsv
 
 echo "== cargo doc -D warnings =="
 RUSTDOCFLAGS='-D warnings' cargo doc --workspace --no-deps --offline --quiet

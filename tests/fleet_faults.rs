@@ -19,10 +19,13 @@
 //!    requests, and nothing is lost across a crash.
 
 use longsight::exec;
-use longsight::faults::{fleet_schedule, ReplicaEventKind, ReplicaFaultProfile};
+use longsight::faults::{fleet_schedule, timeline_text, ReplicaEventKind, ReplicaFaultProfile};
 use longsight::model::ModelConfig;
 use longsight::obs::Recorder;
-use longsight::sched::{BreakerConfig, RouterPolicy, SchedPolicy, SloMix};
+use longsight::sched::{
+    BreakerConfig, BreakerState, CircuitBreaker, RouterPolicy, SchedPolicy, SloBurnSummary,
+    SloClass, SloMix,
+};
 use longsight::system::serving::{
     simulate_fleet, simulate_fleet_faulty, FleetFaultOptions, SchedOptions, WorkloadConfig,
 };
@@ -309,4 +312,199 @@ fn breaker_mode_diverges_from_naive_routing_under_a_crash() {
         naive, guarded,
         "the breaker must change where new arrivals land during downtime"
     );
+}
+
+/// The fault block and the replica timeline are byte-pinned goldens: any
+/// formatting or accounting drift in `FleetFaultSummary` rendering or
+/// `timeline_text` must show up as an explicit diff here, not as a silent
+/// change to the checked-in results files.
+#[test]
+fn fault_summary_and_timeline_render_the_pinned_golden_text() {
+    let timeline = timeline_text(&fleet_schedule(
+        &ReplicaFaultProfile::scaled(0.1),
+        11,
+        2,
+        6.0,
+    ));
+    assert_eq!(
+        timeline,
+        "    2996994160 r1 brownout-start\n\
+         \x20   3384393489 r0 down\n\
+         \x20   3996994160 r1 brownout-end\n\
+         \x20   5308581298 r1 brownout-start\n\
+         \x20   6308581298 r1 brownout-end\n\
+         \x20   6384393489 r0 up\n"
+    );
+
+    let model = ModelConfig::llama3_1b();
+    let mut fleet = fleet_of(2);
+    let (_, rep) = simulate_fleet_faulty(
+        &mut fleet,
+        &model,
+        &workload(),
+        &opts(),
+        RouterPolicy::JsqSpillover,
+        &crashy(),
+        &mut Recorder::disabled(),
+    );
+    let text = rep.to_text();
+    let fault_block = "  faults: crashes 1 | brownouts 2 | redispatched 2 | shed 0\n\
+                       \x20 downtime: r0 3.00s r1 0.00s\n\
+                       \x20 shed by class: interactive 0 batch 0 best-effort 0\n\
+                       \x20 goodput: 55 completed of 55 offered (100.0%)\n";
+    assert!(
+        text.contains(fault_block),
+        "fault block drifted from the pinned golden:\n{text}"
+    );
+}
+
+/// The burn summary's two-line report block, pinned for both the alerting
+/// and the quiet shape.
+#[test]
+fn slo_burn_summary_renders_the_pinned_text() {
+    let mut s = SloBurnSummary {
+        slo_ms: 2500.0,
+        budget: 0.05,
+        completions: 28,
+        misses: 10,
+        consumed: 7.142857142857143,
+        alert_windows: 4,
+        first_alert_ms: 6750.0,
+    };
+    assert_eq!(
+        s.to_text(),
+        "  slo burn: deadline 2500 ms budget 5.0% | 28 interactive, 10 missed | budget consumed 714.3%\n\
+         \x20 slo burn alerts: 4 window(s), first at 6750 ms\n"
+    );
+    s.alert_windows = 0;
+    s.misses = 0;
+    s.consumed = 0.0;
+    assert_eq!(
+        s.to_text(),
+        "  slo burn: deadline 2500 ms budget 5.0% | 28 interactive, 0 missed | budget consumed 0.0%\n\
+         \x20 slo burn alerts: none\n"
+    );
+}
+
+/// Every event the serving loop can feed a circuit breaker, as a closed
+/// transition table: the property test below drives a deterministic event
+/// stream through the FSM and checks each step lands in the legal set.
+#[derive(Debug, Clone, Copy)]
+enum BreakerEvent {
+    ForceOpen,
+    Recovery,
+    Poll,
+    Good(SloClass),
+    Miss,
+    Degraded(u64),
+}
+
+/// splitmix64 — the same deterministic stream generator the router uses.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Transition-table property test for the circuit breaker FSM:
+///
+/// * every `(state, event)` lands in that pair's legal successor set;
+/// * a transition is reported (`Some`) exactly when the state changed;
+/// * a half-open breaker never re-opens on a clean probe — only an
+///   interactive deadline miss (or a crash) can send it back to open;
+/// * half-open → closed requires the full clean-probe quota.
+#[test]
+fn breaker_fsm_transitions_stay_in_the_legal_table() {
+    use BreakerState::{Closed, HalfOpen, Open};
+    let cfg = BreakerConfig::serving_default();
+    let mut b = CircuitBreaker::new(cfg);
+    let mut now_ns = 0.0f64;
+    let mut clean_probes_since_half_open = 0u32;
+    for step in 0..20_000u64 {
+        now_ns += (splitmix64(step) % 200_000_000) as f64;
+        let before = b.state();
+        let ev = match splitmix64(step ^ 0xdead_beef) % 10 {
+            0 => BreakerEvent::ForceOpen,
+            1 => BreakerEvent::Recovery,
+            2 | 3 => BreakerEvent::Poll,
+            4 | 5 => BreakerEvent::Good(match splitmix64(step ^ 0x00c0_ffee) % 3 {
+                0 => SloClass::Interactive,
+                1 => SloClass::Batch,
+                _ => SloClass::BestEffort,
+            }),
+            6..=8 => BreakerEvent::Miss,
+            _ => BreakerEvent::Degraded(splitmix64(step ^ 0xf00d) % 2048),
+        };
+        let reported = match ev {
+            BreakerEvent::ForceOpen => b.force_open(now_ns),
+            BreakerEvent::Recovery => b.on_recovery(),
+            BreakerEvent::Poll => b.poll(now_ns),
+            BreakerEvent::Good(class) => b.note_completion(class, cfg.slo_ms * 0.5, now_ns),
+            BreakerEvent::Miss => {
+                b.note_completion(SloClass::Interactive, cfg.slo_ms * 2.0, now_ns)
+            }
+            BreakerEvent::Degraded(tok) => b.note_degraded(tok, now_ns),
+        };
+        let after = b.state();
+
+        // Reported iff changed, and the report names the new state.
+        assert_eq!(
+            reported.is_some(),
+            before != after,
+            "step {step}: {before:?} --{ev:?}--> {after:?} reported {reported:?}"
+        );
+        if let Some(s) = reported {
+            assert_eq!(s, after, "step {step}: report must name the new state");
+        }
+
+        // The legal successor set of (state, event).
+        let legal: &[BreakerState] = match (before, ev) {
+            (_, BreakerEvent::ForceOpen) => &[Open],
+            (Open, BreakerEvent::Recovery) => &[HalfOpen],
+            (s, BreakerEvent::Recovery) => match s {
+                Closed => &[Closed],
+                HalfOpen => &[HalfOpen],
+                Open => unreachable!(),
+            },
+            (Open, BreakerEvent::Poll) => &[Open, HalfOpen],
+            (Closed, BreakerEvent::Poll) => &[Closed],
+            (HalfOpen, BreakerEvent::Poll) => &[HalfOpen],
+            (Closed, BreakerEvent::Miss) => &[Closed, Open],
+            (Closed, BreakerEvent::Good(_)) => &[Closed],
+            (Closed, BreakerEvent::Degraded(_)) => &[Closed, Open],
+            (HalfOpen, BreakerEvent::Miss) => &[Open],
+            (HalfOpen, BreakerEvent::Good(_)) => &[HalfOpen, Closed],
+            (HalfOpen, BreakerEvent::Degraded(_)) => &[HalfOpen],
+            (Open, _) => &[Open],
+        };
+        assert!(
+            legal.contains(&after),
+            "step {step}: illegal transition {before:?} --{ev:?}--> {after:?}"
+        );
+
+        // Probes never regress: a clean completion cannot open a breaker,
+        // and closing out of half-open needs the full probe quota.
+        if before == HalfOpen {
+            match ev {
+                BreakerEvent::Good(_) => {
+                    assert_ne!(after, Open, "step {step}: clean probe opened the breaker");
+                    clean_probes_since_half_open += 1;
+                    if after == Closed {
+                        assert!(
+                            clean_probes_since_half_open >= cfg.probe_successes,
+                            "step {step}: closed after only {clean_probes_since_half_open} probes"
+                        );
+                    }
+                }
+                BreakerEvent::Degraded(_) => {
+                    assert_ne!(after, Open, "step {step}: degraded tokens opened a probe");
+                }
+                _ => {}
+            }
+        }
+        if after != HalfOpen || before != HalfOpen {
+            clean_probes_since_half_open = 0;
+        }
+    }
 }

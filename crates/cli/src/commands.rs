@@ -15,12 +15,12 @@ use longsight_model::{
 use longsight_obs::{BurnConfig, Recorder};
 use longsight_sched::{BreakerConfig, RouterPolicy, SchedPolicy, SloMix};
 use longsight_system::serving::{
-    simulate_fleet_faulty, simulate_observed, simulate_scheduled, FleetFaultOptions, SchedOptions,
-    ServeMetrics, WorkloadConfig,
+    simulate_fleet_faulty, simulate_fleet_sessions, simulate_observed, simulate_scheduled,
+    FleetFaultOptions, SchedOptions, ServeMetrics, WorkloadConfig,
 };
 use longsight_system::{
     AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, LookaheadConfig, ServingSystem,
-    SlidingWindowSystem, TokenAttribution,
+    SessionOptions, SlidingWindowSystem, TokenAttribution,
 };
 use longsight_tensor::SimRng;
 
@@ -208,6 +208,47 @@ fn lookahead_flags(a: &Args) -> Result<Option<LookaheadConfig>, String> {
     }
     la.refilter_penalty_ns = penalty_ms * 1e6;
     Ok(Some(la))
+}
+
+/// Parses the session-workload flags (`--sessions`, `--turns`,
+/// `--think-time-ms`, `--reuse`, `--prefix-cache`). `--sessions 0` (or the
+/// flag absent) disables the session workload; the follow-up flags without
+/// `--sessions` are then a contradiction, not a silent no-op, so a typo'd
+/// sweep fails loudly instead of re-running the Poisson baseline.
+fn session_flags(a: &Args) -> Result<SessionOptions, String> {
+    let sessions: usize = a.get_or("sessions", 0)?;
+    if sessions == 0 {
+        for k in ["turns", "think-time-ms", "reuse", "prefix-cache"] {
+            if a.get(k).is_some() {
+                return Err(format!(
+                    "--{k} needs --sessions >= 1 (no session workload armed)"
+                ));
+            }
+        }
+        return Ok(SessionOptions::disabled());
+    }
+    let turns: usize = a.get_or("turns", 4)?;
+    if turns == 0 {
+        return Err("--turns must be >= 1 (a session needs its opening turn)".into());
+    }
+    let think_time_ms: f64 = a.get_or("think-time-ms", 2000.0)?;
+    if !(think_time_ms >= 0.0 && think_time_ms.is_finite()) {
+        return Err(format!(
+            "--think-time-ms must be a non-negative number, got {think_time_ms}"
+        ));
+    }
+    let reuse: f64 = a.get_or("reuse", 0.5)?;
+    if !(0.0..=1.0).contains(&reuse) {
+        return Err(format!("--reuse must be in [0, 1], got {reuse}"));
+    }
+    let prefix_cache_pages: usize = a.get_or("prefix-cache", 4096)?;
+    Ok(SessionOptions {
+        sessions,
+        turns,
+        think_time_ms,
+        reuse,
+        prefix_cache_pages,
+    })
 }
 
 /// Export paths selected by the observability flags.
@@ -569,6 +610,11 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         "spec-slots",
         "spec-miss",
         "spec-penalty-ms",
+        "sessions",
+        "turns",
+        "think-time-ms",
+        "reuse",
+        "prefix-cache",
     ])?;
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
@@ -592,6 +638,12 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         return Err(format!("--replicas {replicas} is past the 64-replica cap"));
     }
     let router = RouterPolicy::parse(a.get("router").unwrap_or("jsq"))?;
+    let sess = session_flags(a)?;
+    if router == RouterPolicy::Affinity && replicas < 2 {
+        return Err(
+            "--router affinity needs --replicas >= 2 (one replica always owns every prefix)".into(),
+        );
+    }
     let fopts = fleet_fault_flags(a)?;
     if fopts.is_active() && replicas < 2 {
         return Err(
@@ -599,7 +651,14 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
                 .into(),
         );
     }
-    if replicas > 1 {
+    if sess.is_active() && fopts.is_active() {
+        return Err(
+            "--sessions cannot combine with --crash-profile/--breaker/--shed-cap (the session \
+             driver runs the fleet fault-free)"
+                .into(),
+        );
+    }
+    if replicas > 1 || sess.is_active() {
         if injected {
             return Err(
                 "--fault-profile applies to single-replica runs only (fleets use --crash-profile)"
@@ -615,8 +674,11 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
         for _ in 0..replicas {
             systems.push(build_system(sys_name, model.clone(), lookahead)?);
         }
-        let (m, fleet) =
-            simulate_fleet_faulty(&mut systems, &model, &wl, &opts, router, &fopts, &mut rec);
+        let (m, fleet) = if sess.is_active() {
+            simulate_fleet_sessions(&mut systems, &model, &wl, &opts, router, &sess, &mut rec)
+        } else {
+            simulate_fleet_faulty(&mut systems, &model, &wl, &opts, router, &fopts, &mut rec)
+        };
         println!(
             "{} x{replicas} under {:.1} req/s for {:.0}s ({}-{} ctx tokens), {} scheduler, {} router:",
             systems[0].name(),
@@ -640,6 +702,12 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
                 fopts
                     .shed_queue_cap
                     .map_or("off".to_string(), |c| c.to_string()),
+            );
+        }
+        if sess.is_active() {
+            println!(
+                "  session workload: {} sessions x {} turns | think {:.0} ms | reuse {:.2} | prefix cache {} pages/replica",
+                sess.sessions, sess.turns, sess.think_time_ms, sess.reuse, sess.prefix_cache_pages
             );
         }
         print!("{}", m.to_text());
@@ -1237,6 +1305,68 @@ mod tests {
             "mild",
             "--sched",
             "fifo",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn session_loadtest_runs_with_affinity_and_audits() {
+        // The loadtest command fails on any fleet-audit violation, so this
+        // run also exercises the session pin/pull conservation checks.
+        loadtest(&args(&[
+            "--model",
+            "1b",
+            "--duration",
+            "8",
+            "--ctx-min",
+            "16384",
+            "--ctx-max",
+            "32768",
+            "--out-min",
+            "16",
+            "--out-max",
+            "64",
+            "--replicas",
+            "2",
+            "--router",
+            "affinity",
+            "--sessions",
+            "4",
+            "--turns",
+            "3",
+            "--think-time-ms",
+            "1500",
+            "--reuse",
+            "0.9",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_session_flags_are_rejected() {
+        let turns = loadtest(&args(&["--sessions", "4", "--turns", "0"])).unwrap_err();
+        assert!(turns.contains("--turns"), "{turns}");
+        let think = loadtest(&args(&["--sessions", "4", "--think-time-ms", "-5"])).unwrap_err();
+        assert!(think.contains("--think-time-ms"), "{think}");
+        assert!(loadtest(&args(&["--sessions", "4", "--think-time-ms", "nan"])).is_err());
+        assert!(loadtest(&args(&["--sessions", "4", "--reuse", "1.5"])).is_err());
+        assert!(loadtest(&args(&["--sessions", "4", "--reuse", "-0.1"])).is_err());
+        // Affinity routing is meaningless on a single replica.
+        let aff = loadtest(&args(&["--router", "affinity"])).unwrap_err();
+        assert!(aff.contains("--replicas >= 2"), "{aff}");
+        // Session follow-up flags without --sessions are a contradiction.
+        let orphan = loadtest(&args(&["--turns", "3"])).unwrap_err();
+        assert!(orphan.contains("--sessions"), "{orphan}");
+        assert!(loadtest(&args(&["--reuse", "0.5"])).is_err());
+        assert!(loadtest(&args(&["--prefix-cache", "512"])).is_err());
+        // The session driver runs the fleet fault-free.
+        assert!(loadtest(&args(&[
+            "--replicas",
+            "2",
+            "--sessions",
+            "4",
+            "--crash-profile",
+            "mild",
         ]))
         .is_err());
     }

@@ -340,7 +340,8 @@ struct GateSpec {
 /// Maps a `results/trajectory.tsv` key to its golden-table lookup. The key
 /// grammar mirrors the tables: `sched_comparison/8s/slo-aware/...`,
 /// `router_scaling/2r/jsq/...`, `lookahead/32slots/0.25ms/p99_token_ms`,
-/// `fleet_availability/2r/0.10/breaker/...`.
+/// `fleet_availability/2r/0.10/breaker/...`,
+/// `session_reuse/2r/0.90/affinity/...`.
 fn gate_spec(key: &str) -> Result<GateSpec, String> {
     let parts: Vec<&str> = key.split('/').collect();
     let part = |i: usize| -> Result<&str, String> {
@@ -408,6 +409,20 @@ fn gate_spec(key: &str) -> Result<GateSpec, String> {
                     (3, breaker.to_string()),
                 ],
                 field: 6,
+            })
+        }
+        "session_reuse" => {
+            let n = part(1)?
+                .strip_suffix('r')
+                .ok_or_else(|| format!("key '{key}': replica segment must end in 'r'"))?;
+            Ok(GateSpec {
+                file: "results/session_reuse.txt",
+                matchers: vec![
+                    (1, n.to_string()),
+                    (2, part(2)?.to_string()),
+                    (3, part(3)?.to_string()),
+                ],
+                field: 9,
             })
         }
         other => Err(format!("unknown trajectory table '{other}' in key '{key}'")),
@@ -591,7 +606,27 @@ mod tests {
         let s = gate_spec("fleet_availability/2r/0.10/breaker/interactive_p99_request_ms").unwrap();
         assert_eq!(s.matchers[2], (3, "on".to_string()));
         assert_eq!(s.field, 6);
+        let s = gate_spec("session_reuse/2r/0.90/affinity/interactive_p99_request_ms").unwrap();
+        assert_eq!(s.file, "results/session_reuse.txt");
+        assert_eq!(
+            s.matchers,
+            vec![
+                (1, "2".to_string()),
+                (2, "0.90".to_string()),
+                (3, "affinity".to_string()),
+            ]
+        );
+        assert_eq!(s.field, 9);
+        assert!(gate_spec("session_reuse/2/0.90/affinity/x").is_err());
         assert!(gate_spec("unknown_table/1/2").is_err());
+    }
+
+    #[test]
+    fn prefix_cache_gauges_land_in_replica_panels() {
+        // The dashboard's per-replica grouping must pick up the session
+        // prefix-cache gauges exactly like the queue/occupancy series.
+        assert_eq!(replica_of("r0.prefix.reuse"), Some(0));
+        assert_eq!(replica_of("r3.prefix.pinned_pages"), Some(3));
     }
 
     #[test]

@@ -90,6 +90,77 @@ fn bad_ts_window_fails_with_exit_1_and_a_diagnostic() {
 }
 
 #[test]
+fn session_flag_contradictions_fail_with_exit_1_and_a_diagnostic() {
+    // A session with no turns can never open.
+    let out = longsight(&[
+        "loadtest",
+        "--model",
+        "1b",
+        "--sessions",
+        "4",
+        "--turns",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "--turns 0 must exit 1");
+    assert!(
+        stderr_of(&out).contains("--turns"),
+        "stderr must name the flag: {}",
+        stderr_of(&out)
+    );
+
+    // Negative (or non-finite) think times are a typo, not a workload.
+    for bad in ["-5", "nan"] {
+        let out = longsight(&[
+            "loadtest",
+            "--model",
+            "1b",
+            "--sessions",
+            "4",
+            "--think-time-ms",
+            bad,
+        ]);
+        assert_eq!(out.status.code(), Some(1), "--think-time-ms {bad}");
+        assert!(
+            stderr_of(&out).contains("--think-time-ms"),
+            "stderr must name the flag for value {bad}: {}",
+            stderr_of(&out)
+        );
+    }
+
+    // Affinity routing on one replica is a contradiction: the single
+    // replica owns every prefix, so there is nothing to be affine to.
+    let out = longsight(&[
+        "loadtest",
+        "--model",
+        "1b",
+        "--router",
+        "affinity",
+        "--replicas",
+        "1",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "affinity at 1 replica must exit 1"
+    );
+    assert!(
+        stderr_of(&out).contains("--replicas >= 2"),
+        "stderr must state the replica floor: {}",
+        stderr_of(&out)
+    );
+
+    // Session follow-up flags without --sessions are rejected, not
+    // silently ignored.
+    let out = longsight(&["loadtest", "--model", "1b", "--turns", "3"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr_of(&out).contains("--sessions"),
+        "stderr must point at --sessions: {}",
+        stderr_of(&out)
+    );
+}
+
+#[test]
 fn dashboard_and_perf_diff_reject_missing_or_malformed_files() {
     let dir = tmpdir("files");
     let missing = dir.join("does-not-exist.tsv");

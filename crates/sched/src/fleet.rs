@@ -85,6 +85,64 @@ impl FleetFaultSummary {
     }
 }
 
+/// One cross-replica prefix pull: a resumed session landing on `to` fetched
+/// its prefix pages from `from`'s cache over the pooled-DReX fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PullRecord {
+    /// Arrival id of the resuming turn.
+    pub id: usize,
+    /// Content hash of the pulled prefix.
+    pub hash: u64,
+    /// Replica whose cache held the prefix.
+    pub from: usize,
+    /// Replica the turn was placed on.
+    pub to: usize,
+    /// Pages transferred.
+    pub pages: usize,
+    /// Simulated time of the pull, ns.
+    pub at_ns: f64,
+}
+
+/// Session-workload outcome of a fleet run: turn counts, local prefix hits,
+/// and the cross-replica pull log. `None` on a [`FleetReport`] means the
+/// run had no session workload — text output stays byte-identical to the
+/// sessionless format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSummary {
+    /// Distinct sessions offered.
+    pub sessions: usize,
+    /// Total turn arrivals offered (across all sessions).
+    pub turns: usize,
+    /// Follow-up turns that pinned their prefix in the cache of the replica
+    /// they were placed on (no fabric transfer).
+    pub prefix_hits: usize,
+    /// Follow-up turns priced as full re-prefill (no usable cached copy, or
+    /// the pull was dearer than recomputing).
+    pub cold_turns: usize,
+    /// Every cross-replica pull, in decision order.
+    pub pulls: Vec<PullRecord>,
+}
+
+impl SessionSummary {
+    /// Total pages transferred by cross-replica pulls.
+    pub fn pulled_pages(&self) -> usize {
+        self.pulls.iter().map(|p| p.pages).sum()
+    }
+
+    /// The one-line summary appended to fleet text reports.
+    pub fn to_text(&self) -> String {
+        format!(
+            "  sessions: {} sessions, {} turns | prefix hits {} | pulls {} ({} pages) | cold {}\n",
+            self.sessions,
+            self.turns,
+            self.prefix_hits,
+            self.pulls.len(),
+            self.pulled_pages(),
+            self.cold_turns,
+        )
+    }
+}
+
 /// End-of-run SLO error-budget accounting from the telemetry burn-rate
 /// engine (see `longsight-obs`): how much of the interactive deadline's
 /// error budget the run consumed and how many alert windows fired. Defined
@@ -152,6 +210,9 @@ pub struct FleetReport {
     pub audit_violation: Option<String>,
     /// Crash/redispatch/shed outcome; `None` for fault-free runs.
     pub faults: Option<FleetFaultSummary>,
+    /// Session-workload outcome; `None` unless the run carried a session
+    /// workload (attached via [`FleetReport::attach_sessions`]).
+    pub sessions: Option<SessionSummary>,
     /// SLO error-budget accounting; `None` unless timeseries telemetry was
     /// enabled for the run.
     pub slo_burn: Option<SloBurnSummary>,
@@ -212,8 +273,26 @@ impl FleetReport {
             per_class,
             audit_violation,
             faults,
+            sessions: None,
             slo_burn: None,
         }
+    }
+
+    /// Attaches the session-workload outcome and runs the session audit:
+    /// every pull names two distinct in-range replicas and a real arrival,
+    /// moves at least one page, and the pull log is conserved against the
+    /// replicas' own pin counters (every pin a replica recorded is either a
+    /// local hit or a pull onto it — pulled = pinned elsewhere). A violation
+    /// lands in [`FleetReport::audit_violation`] like any other.
+    pub fn attach_sessions(&mut self, s: SessionSummary) {
+        if self.audit_violation.is_none() {
+            let offered = match &self.faults {
+                Some(f) => f.offered,
+                None => self.placements.len(),
+            };
+            self.audit_violation = audit_sessions(&s, &self.replicas, offered);
+        }
+        self.sessions = Some(s);
     }
 
     /// Wraps a single replica's report as a degenerate fleet: the
@@ -232,6 +311,7 @@ impl FleetReport {
             placements,
             audit_violation,
             faults: None,
+            sessions: None,
             slo_burn: None,
         }
     }
@@ -324,6 +404,9 @@ impl FleetReport {
                 "  goodput: {done} completed of {} offered ({goodput:.1}%)\n",
                 f.offered
             ));
+        }
+        if let Some(s) = &self.sessions {
+            out.push_str(&s.to_text());
         }
         if let Some(b) = &self.slo_burn {
             out.push_str(&b.to_text());
@@ -427,6 +510,64 @@ fn audit(
     None
 }
 
+/// The session-workload invariants (see [`FleetReport::attach_sessions`]):
+///
+/// 1. Every pull names two distinct in-range replicas, an offered arrival,
+///    and a positive page count.
+/// 2. Pin conservation: the prefix pins the replicas recorded between them
+///    are exactly the local hits plus the pulls — a pulled prefix is pinned
+///    on its destination, so nothing is pinned that was neither hit locally
+///    nor pulled from elsewhere.
+/// 3. Turn conservation: every follow-up turn (turns minus the opening turn
+///    of each session) was priced exactly one way — local hit, pull, or
+///    cold re-prefill.
+fn audit_sessions(s: &SessionSummary, replicas: &[SchedReport], offered: usize) -> Option<String> {
+    for p in &s.pulls {
+        if p.from >= replicas.len() || p.to >= replicas.len() {
+            return Some(format!(
+                "pull of {} names unknown replica {} -> {}",
+                p.id, p.from, p.to
+            ));
+        }
+        if p.from == p.to {
+            return Some(format!(
+                "pull of {} copies replica {} onto itself",
+                p.id, p.from
+            ));
+        }
+        if p.id >= offered {
+            return Some(format!("pull of {} was never offered", p.id));
+        }
+        if p.pages == 0 {
+            return Some(format!("pull of {} moved zero pages", p.id));
+        }
+    }
+    let pinned: usize = replicas.iter().map(|r| r.pages.prefix_hits).sum();
+    if pinned != s.prefix_hits + s.pulls.len() {
+        return Some(format!(
+            "{pinned} prefix pins across replicas but {} local hits + {} pulls recorded",
+            s.prefix_hits,
+            s.pulls.len()
+        ));
+    }
+    if s.turns < s.sessions {
+        return Some(format!(
+            "{} turns for {} sessions (every session opens with a turn)",
+            s.turns, s.sessions
+        ));
+    }
+    let follow_ups = s.turns - s.sessions;
+    if s.prefix_hits + s.pulls.len() + s.cold_turns != follow_ups {
+        return Some(format!(
+            "{} hits + {} pulls + {} cold != {follow_ups} follow-up turns (turns lost)",
+            s.prefix_hits,
+            s.pulls.len(),
+            s.cold_turns
+        ));
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,14 +587,11 @@ mod tests {
             resumes: 0,
             restore_charged_ns: 0.0,
             prefill_chunks: 0,
+            prefill_work_ns: 0.0,
             pages: PageStats {
-                hbm_used: 0,
-                drex_used: 0,
-                peak_hbm: 0,
-                peak_drex: 0,
                 hbm_limit: 10,
                 drex_capacity: 10,
-                holders: 0,
+                ..Default::default()
             },
             leaked_pages: 0,
             invariant_violation: None,
@@ -621,6 +759,103 @@ mod tests {
         let text = f.to_text();
         assert!(!text.contains("faults:"), "{text}");
         assert!(!text.contains("goodput:"), "{text}");
+        assert!(!text.contains("sessions:"), "{text}");
+    }
+
+    #[test]
+    fn session_audit_accepts_conserved_pulls() {
+        // 2 sessions x 2 turns: one follow-up hit locally on r0, the other
+        // pulled r0 -> r1. Each pin shows up in exactly one replica's stats.
+        let mut r0 = report([2, 0, 0]);
+        r0.pages.prefix_hits = 1;
+        let mut r1 = report([2, 0, 0]);
+        r1.pages.prefix_hits = 1;
+        let mut f = FleetReport::assemble(
+            RouterPolicy::Affinity,
+            vec![r0, r1],
+            vec![(0, 0), (1, 1), (2, 0), (3, 1)],
+            no_samples(),
+        );
+        f.attach_sessions(SessionSummary {
+            sessions: 2,
+            turns: 4,
+            prefix_hits: 1,
+            cold_turns: 0,
+            pulls: vec![PullRecord {
+                id: 3,
+                hash: 0xfeed,
+                from: 0,
+                to: 1,
+                pages: 4,
+                at_ns: 1e9,
+            }],
+        });
+        assert_eq!(f.audit_violation, None);
+        let text = f.to_text();
+        assert!(
+            text.contains(
+                "sessions: 2 sessions, 4 turns | prefix hits 1 | pulls 1 (4 pages) | cold 0"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn session_audit_catches_bad_pulls_and_lost_turns() {
+        let base = || {
+            FleetReport::assemble(
+                RouterPolicy::Affinity,
+                vec![report([2, 0, 0]), report([2, 0, 0])],
+                vec![(0, 0), (1, 1), (2, 0), (3, 1)],
+                no_samples(),
+            )
+        };
+        let pull = |from: usize, to: usize, pages: usize| PullRecord {
+            id: 3,
+            hash: 1,
+            from,
+            to,
+            pages,
+            at_ns: 0.0,
+        };
+        let sess = |pulls: Vec<PullRecord>, hits: usize, cold: usize| SessionSummary {
+            sessions: 2,
+            turns: 4,
+            prefix_hits: hits,
+            cold_turns: cold,
+            pulls,
+        };
+        // Self-pull.
+        let mut f = base();
+        f.attach_sessions(sess(vec![pull(1, 1, 4)], 0, 1));
+        assert!(f
+            .audit_violation
+            .as_deref()
+            .unwrap()
+            .contains("onto itself"));
+        // Zero pages.
+        let mut f = base();
+        f.attach_sessions(sess(vec![pull(0, 1, 0)], 0, 1));
+        assert!(f.audit_violation.as_deref().unwrap().contains("zero pages"));
+        // Pin-count mismatch: summary claims a pull but no replica pinned.
+        let mut f = base();
+        f.attach_sessions(sess(vec![pull(0, 1, 4)], 0, 1));
+        assert!(
+            f.audit_violation
+                .as_deref()
+                .unwrap()
+                .contains("prefix pins"),
+            "{:?}",
+            f.audit_violation
+        );
+        // Lost turn: 2 follow-ups but only 1 priced.
+        let mut f = base();
+        f.attach_sessions(sess(Vec::new(), 0, 1));
+        assert!(
+            f.audit_violation.as_deref().unwrap().contains("turns lost"),
+            "{:?}",
+            f.audit_violation
+        );
     }
 
     #[test]

@@ -48,10 +48,11 @@ pub mod router;
 pub mod scheduler;
 
 pub use fleet::{
-    FleetFaultSummary, FleetReport, Placement, RedispatchRecord, ShedRecord, SloBurnSummary,
+    FleetFaultSummary, FleetReport, Placement, PullRecord, RedispatchRecord, SessionSummary,
+    ShedRecord, SloBurnSummary,
 };
 pub use pages::{AllocError, PageConfig, PageStats, PagedKvManager};
-pub use request::{KvDeviceGeometry, SchedRequest, SloClass, SloMix};
+pub use request::{KvDeviceGeometry, ResumePath, SchedRequest, SloClass, SloMix};
 pub use router::{
     BreakerConfig, BreakerState, CircuitBreaker, RouteError, Router, RouterPolicy, SchedLoad,
 };

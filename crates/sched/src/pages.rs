@@ -132,6 +132,18 @@ pub struct PageStats {
     pub drex_capacity: usize,
     /// Requests currently holding pages.
     pub holders: usize,
+    /// Prefix-cache carve-out in pages (0 = cache disabled).
+    pub prefix_capacity: usize,
+    /// Prefix pages currently cached (pinned or reclaimable).
+    pub prefix_pages: usize,
+    /// Outstanding prefix pins (one per live request holding a prefix).
+    pub prefix_pinned: usize,
+    /// Prefix pins that hit a cached entry.
+    pub prefix_hits: usize,
+    /// Prefix pins that missed.
+    pub prefix_misses: usize,
+    /// Unpinned prefix entries reclaimed by LRU to make room.
+    pub prefix_reclaims: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -139,6 +151,17 @@ struct Entry {
     id: usize,
     hbm: usize,
     drex: usize,
+}
+
+/// One content-keyed prefix resident in the cache. Pages are shared: any
+/// number of live requests may pin the same hash, and the frames are freed
+/// only by LRU reclamation (refs == 0) or a crash wipe — never per-request.
+#[derive(Debug, Clone, Copy)]
+struct PrefixEntry {
+    hash: u64,
+    pages: usize,
+    refs: usize,
+    last_use: u64,
 }
 
 /// Block-granular allocator over the HBM window tier and the DReX tail tier.
@@ -157,6 +180,13 @@ pub struct PagedKvManager {
     drex_used: usize,
     peak_hbm: usize,
     peak_drex: usize,
+    prefix: Vec<PrefixEntry>,
+    prefix_capacity: usize,
+    prefix_used: usize,
+    prefix_clock: u64,
+    prefix_hits: usize,
+    prefix_misses: usize,
+    prefix_reclaims: usize,
 }
 
 impl PagedKvManager {
@@ -170,6 +200,13 @@ impl PagedKvManager {
             drex_used: 0,
             peak_hbm: 0,
             peak_drex: 0,
+            prefix: Vec::new(),
+            prefix_capacity: 0,
+            prefix_used: 0,
+            prefix_clock: 0,
+            prefix_hits: 0,
+            prefix_misses: 0,
+            prefix_reclaims: 0,
         }
     }
 
@@ -317,6 +354,130 @@ impl PagedKvManager {
         self.drex_used
     }
 
+    /// Arms the content-keyed prefix cache with a carve-out of `pages`
+    /// DReX-tier pages (0 disables it). The carve-out is a dedicated pool:
+    /// cached prefixes never compete with per-request tail pages.
+    pub fn set_prefix_capacity(&mut self, pages: usize) {
+        self.prefix_capacity = pages;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+    }
+
+    /// The prefix-cache carve-out in pages (0 = disabled).
+    pub fn prefix_capacity(&self) -> usize {
+        self.prefix_capacity
+    }
+
+    /// Pages held by the cached prefix `hash`, if resident. Read-only: does
+    /// not count as a hit or bump recency.
+    pub fn prefix_lookup(&self, hash: u64) -> Option<usize> {
+        self.prefix.iter().find(|p| p.hash == hash).map(|p| p.pages)
+    }
+
+    /// Pins the cached prefix `hash` for a resuming request, returning its
+    /// page count. A pin increments the entry's refcount and shields it
+    /// from LRU reclamation until [`Self::prefix_unpin`]. Counts as a hit;
+    /// a miss (`None`) is counted too.
+    pub fn prefix_pin(&mut self, hash: u64) -> Option<usize> {
+        self.prefix_clock += 1;
+        let clock = self.prefix_clock;
+        match self.prefix.iter_mut().find(|p| p.hash == hash) {
+            Some(p) => {
+                p.refs += 1;
+                p.last_use = clock;
+                self.prefix_hits += 1;
+                Some(p.pages)
+            }
+            None => {
+                self.prefix_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops one pin on prefix `hash`. The frames stay cached (refs may hit
+    /// zero, making the entry reclaimable) — shared pages are never freed
+    /// per-request.
+    pub fn prefix_unpin(&mut self, hash: u64) {
+        if let Some(p) = self.prefix.iter_mut().find(|p| p.hash == hash) {
+            debug_assert!(p.refs > 0, "unpinning prefix {hash:#x} with no pins");
+            p.refs = p.refs.saturating_sub(1);
+        }
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+    }
+
+    /// Publishes `pages` pages under content key `hash`, reclaiming
+    /// least-recently-used unpinned entries to make room. Returns `false`
+    /// (and changes nothing beyond reclamation already performed) when the
+    /// cache is disabled, the prefix alone exceeds the carve-out, or every
+    /// resident page is pinned. Re-inserting a resident hash only bumps its
+    /// recency.
+    pub fn prefix_insert(&mut self, hash: u64, pages: usize) -> bool {
+        if self.prefix_capacity == 0 || pages == 0 || pages > self.prefix_capacity {
+            return false;
+        }
+        self.prefix_clock += 1;
+        let clock = self.prefix_clock;
+        if let Some(p) = self.prefix.iter_mut().find(|p| p.hash == hash) {
+            p.last_use = clock;
+            debug_assert_eq!(
+                p.pages, pages,
+                "prefix {hash:#x} re-published with a different page count"
+            );
+            return true;
+        }
+        while self.prefix_used + pages > self.prefix_capacity {
+            let victim = self
+                .prefix
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.refs == 0)
+                .min_by_key(|(_, p)| p.last_use)
+                .map(|(i, _)| i);
+            let Some(i) = victim else { return false };
+            let evicted = self.prefix.remove(i);
+            self.prefix_used -= evicted.pages;
+            self.prefix_reclaims += 1;
+        }
+        self.prefix.push(PrefixEntry {
+            hash,
+            pages,
+            refs: 0,
+            last_use: clock,
+        });
+        self.prefix_used += pages;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        true
+    }
+
+    /// Total outstanding pins across all cached prefixes. The fleet audit
+    /// requires this to equal the number of live requests holding a prefix.
+    pub fn prefix_pinned_refs(&self) -> usize {
+        self.prefix.iter().map(|p| p.refs).sum()
+    }
+
+    /// Pages belonging to currently-pinned prefixes (the telemetry
+    /// sampler's sparkline; shared pages count once however many pins
+    /// hold them).
+    pub fn prefix_pinned_pages(&self) -> usize {
+        self.prefix
+            .iter()
+            .filter(|p| p.refs > 0)
+            .map(|p| p.pages)
+            .sum()
+    }
+
+    /// Wipes the prefix cache (replica crash: the pooled-tier content is
+    /// gone). All pins are implicitly dropped — callers must clear their
+    /// per-request prefix handles rather than unpin afterwards. Returns the
+    /// pages dropped.
+    pub fn prefix_crash_clear(&mut self) -> usize {
+        let dropped = self.prefix_used;
+        self.prefix.clear();
+        self.prefix_used = 0;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        dropped
+    }
+
     /// Usage summary.
     pub fn stats(&self) -> PageStats {
         PageStats {
@@ -327,6 +488,12 @@ impl PagedKvManager {
             hbm_limit: self.cfg.hbm_limit_pages(),
             drex_capacity: self.cfg.drex_capacity_pages,
             holders: self.entries.len(),
+            prefix_capacity: self.prefix_capacity,
+            prefix_pages: self.prefix_used,
+            prefix_pinned: self.prefix_pinned_refs(),
+            prefix_hits: self.prefix_hits,
+            prefix_misses: self.prefix_misses,
+            prefix_reclaims: self.prefix_reclaims,
         }
     }
 
@@ -376,6 +543,24 @@ impl PagedKvManager {
                     "HBM watermark was exceeded at peak: {} > {limit} pages",
                     self.peak_hbm
                 ));
+            }
+        }
+        let prefix_sum: usize = self.prefix.iter().map(|p| p.pages).sum();
+        if prefix_sum != self.prefix_used {
+            return Err(format!(
+                "prefix ledger drift: entries sum {prefix_sum} != used {}",
+                self.prefix_used
+            ));
+        }
+        if self.prefix_used > self.prefix_capacity {
+            return Err(format!(
+                "prefix carve-out exceeded: {} > {} pages",
+                self.prefix_used, self.prefix_capacity
+            ));
+        }
+        for (i, p) in self.prefix.iter().enumerate() {
+            if self.prefix[i + 1..].iter().any(|o| o.hash == p.hash) {
+                return Err(format!("duplicate prefix entry for hash {:#x}", p.hash));
             }
         }
         Ok(())
@@ -515,5 +700,93 @@ mod tests {
         assert_eq!(m.release_hbm(9), 0);
         assert_eq!(m.release_drex(9), 0);
         assert_eq!(m.free_all(9), (0, 0));
+    }
+
+    #[test]
+    fn prefix_cache_disabled_by_default() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        assert_eq!(m.prefix_capacity(), 0);
+        assert!(!m.prefix_insert(0xabc, 4));
+        assert_eq!(m.prefix_pin(0xabc), None);
+        assert_eq!(m.stats().prefix_misses, 1);
+        assert_eq!(m.stats().prefix_pages, 0);
+    }
+
+    #[test]
+    fn prefix_pin_shares_and_unpin_keeps_frames() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.set_prefix_capacity(16);
+        assert!(m.prefix_insert(0xa, 6));
+        // Two live sessions share the same frames: refcount 2, pages 6 once.
+        assert_eq!(m.prefix_pin(0xa), Some(6));
+        assert_eq!(m.prefix_pin(0xa), Some(6));
+        assert_eq!(m.prefix_pinned_refs(), 2);
+        assert_eq!(m.stats().prefix_pages, 6);
+        assert_eq!(m.stats().prefix_hits, 2);
+        // Unpinning drops refs but never the shared frames.
+        m.prefix_unpin(0xa);
+        m.prefix_unpin(0xa);
+        assert_eq!(m.prefix_pinned_refs(), 0);
+        assert_eq!(m.prefix_lookup(0xa), Some(6));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefix_lru_reclaims_only_unpinned() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.set_prefix_capacity(10);
+        assert!(m.prefix_insert(0x1, 4));
+        assert!(m.prefix_insert(0x2, 4));
+        m.prefix_pin(0x1);
+        // 0x2 is older than nothing pinnable but 0x1 is pinned: inserting 6
+        // pages must evict 0x2 (LRU unpinned), never 0x1.
+        assert!(m.prefix_insert(0x3, 6));
+        assert_eq!(m.prefix_lookup(0x1), Some(4));
+        assert_eq!(m.prefix_lookup(0x2), None);
+        assert_eq!(m.stats().prefix_reclaims, 1);
+        // With 0x1 pinned and 0x3 too big to evict enough, a full-width
+        // insert fails rather than touching pinned frames.
+        m.prefix_pin(0x3);
+        assert!(!m.prefix_insert(0x4, 8));
+        assert_eq!(m.prefix_lookup(0x1), Some(4));
+        assert_eq!(m.prefix_lookup(0x3), Some(6));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefix_reinsert_bumps_recency_not_pages() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.set_prefix_capacity(8);
+        assert!(m.prefix_insert(0x1, 4));
+        assert!(m.prefix_insert(0x2, 4));
+        // Re-publishing 0x1 makes 0x2 the LRU victim.
+        assert!(m.prefix_insert(0x1, 4));
+        assert!(m.prefix_insert(0x3, 4));
+        assert_eq!(m.prefix_lookup(0x1), Some(4));
+        assert_eq!(m.prefix_lookup(0x2), None);
+        assert_eq!(m.stats().prefix_pages, 8);
+    }
+
+    #[test]
+    fn prefix_crash_clear_wipes_everything() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.set_prefix_capacity(16);
+        m.prefix_insert(0x1, 4);
+        m.prefix_insert(0x2, 8);
+        m.prefix_pin(0x1);
+        assert_eq!(m.prefix_crash_clear(), 12);
+        assert_eq!(m.stats().prefix_pages, 0);
+        assert_eq!(m.prefix_pinned_refs(), 0);
+        assert_eq!(m.prefix_lookup(0x1), None);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prefix_oversized_insert_refused() {
+        let mut m = PagedKvManager::new(cfg(), true);
+        m.set_prefix_capacity(4);
+        assert!(!m.prefix_insert(0x1, 5));
+        assert!(!m.prefix_insert(0x2, 0), "zero-page prefixes are refused");
+        assert_eq!(m.stats().prefix_pages, 0);
     }
 }

@@ -124,6 +124,30 @@ impl SloMix {
     }
 }
 
+/// How an evicted request's HBM window comes back: the three-way cheapest-of
+/// decision extending the original restore-vs-recompute pair with a pooled
+/// prefix pull from a peer replica's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumePath {
+    /// Restore the window from the local DReX tier over the link.
+    Restore,
+    /// Pull the session prefix from a peer replica over the pooled fabric.
+    Pull,
+    /// Recompute the window from scratch on the GPU.
+    Recompute,
+}
+
+impl ResumePath {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResumePath::Restore => "restore",
+            ResumePath::Pull => "pull",
+            ResumePath::Recompute => "recompute",
+        }
+    }
+}
+
 /// One request as the scheduler sees it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SchedRequest {
@@ -143,18 +167,39 @@ pub struct SchedRequest {
     pub restore_ns: f64,
     /// Cost of recomputing the HBM window from scratch on the GPU, ns.
     pub recompute_ns: f64,
+    /// Cost of pulling the session prefix from a peer replica's cache over
+    /// the pooled-DReX fabric, ns. `f64::INFINITY` when no remote copy
+    /// exists (every cold request).
+    pub pull_ns: f64,
+    /// Content hash of the prefix this request holds a pin on in its
+    /// replica's prefix cache; `None` for cold or unpinned requests. The
+    /// scheduler drops the pin on completion, failure, and crash.
+    pub prefix_hash: Option<u64>,
 }
 
 impl SchedRequest {
-    /// The deterministic resume cost: whichever of restore-from-DReX or
-    /// recompute-on-GPU is cheaper for this request.
+    /// The deterministic resume cost: the cheapest of restore-from-DReX,
+    /// pull-from-peer, and recompute-on-GPU.
     pub fn resume_cost_ns(&self) -> f64 {
-        self.restore_ns.min(self.recompute_ns)
+        self.restore_ns.min(self.recompute_ns).min(self.pull_ns)
+    }
+
+    /// Which of the three resume paths is cheapest. Ties break toward the
+    /// cheaper fabric (restore, then pull) over burning GPU flops.
+    pub fn resume_path(&self) -> ResumePath {
+        let cost = self.resume_cost_ns();
+        if self.restore_ns <= cost {
+            ResumePath::Restore
+        } else if self.pull_ns <= cost {
+            ResumePath::Pull
+        } else {
+            ResumePath::Recompute
+        }
     }
 
     /// Whether resume would restore from DReX (vs recompute on the GPU).
     pub fn resume_restores(&self) -> bool {
-        self.restore_ns <= self.recompute_ns
+        self.resume_path() == ResumePath::Restore
     }
 }
 
@@ -358,8 +403,45 @@ mod tests {
             prefill_ns: 1e6,
             restore_ns: 5e3,
             recompute_ns: 8e3,
+            pull_ns: f64::INFINITY,
+            prefix_hash: None,
         };
         assert_eq!(r.resume_cost_ns(), 5e3);
         assert!(r.resume_restores());
+        assert_eq!(r.resume_path(), ResumePath::Restore);
+    }
+
+    #[test]
+    fn resume_three_way_includes_pull() {
+        let base = SchedRequest {
+            id: 0,
+            class: SloClass::Interactive,
+            arrival_ns: 0.0,
+            context: 4096,
+            output: 16,
+            prefill_ns: 1e6,
+            restore_ns: 5e3,
+            recompute_ns: 8e3,
+            pull_ns: 3e3,
+            prefix_hash: None,
+        };
+        // Pull is cheapest: the pooled fabric wins.
+        assert_eq!(base.resume_cost_ns(), 3e3);
+        assert_eq!(base.resume_path(), ResumePath::Pull);
+        assert!(!base.resume_restores());
+        // Pull ties restore: restore wins (local fabric first).
+        let tied = SchedRequest {
+            pull_ns: 5e3,
+            ..base
+        };
+        assert_eq!(tied.resume_path(), ResumePath::Restore);
+        // Recompute cheapest when both fabrics are expensive.
+        let gpu = SchedRequest {
+            restore_ns: 9e3,
+            pull_ns: 9e3,
+            ..base
+        };
+        assert_eq!(gpu.resume_path(), ResumePath::Recompute);
+        assert_eq!(gpu.resume_cost_ns(), 8e3);
     }
 }

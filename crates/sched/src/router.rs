@@ -31,10 +31,16 @@ pub enum RouterPolicy {
     RoundRobin,
     /// Join-shortest-queue on free HBM pages with class-aware spillover.
     JsqSpillover,
+    /// Session affinity with spillover: a resuming turn lands on the
+    /// replica that owns its prefix when that replica is healthy and under
+    /// the watermark; otherwise it routes by predicted cost, crediting the
+    /// owner the pull price (in pages) it would save. Arrivals without an
+    /// owner hint route exactly like [`RouterPolicy::JsqSpillover`].
+    Affinity,
 }
 
 impl RouterPolicy {
-    /// Parses a CLI policy name (`rr` or `jsq`).
+    /// Parses a CLI policy name (`rr`, `jsq`, or `affinity`).
     ///
     /// # Errors
     ///
@@ -43,7 +49,10 @@ impl RouterPolicy {
         match s {
             "rr" | "round-robin" => Ok(RouterPolicy::RoundRobin),
             "jsq" | "jsq-spillover" => Ok(RouterPolicy::JsqSpillover),
-            other => Err(format!("invalid router policy '{other}' (use jsq or rr)")),
+            "affinity" | "session-affinity" => Ok(RouterPolicy::Affinity),
+            other => Err(format!(
+                "invalid router policy '{other}' (use jsq, rr, or affinity)"
+            )),
         }
     }
 
@@ -52,6 +61,7 @@ impl RouterPolicy {
         match self {
             RouterPolicy::RoundRobin => "rr",
             RouterPolicy::JsqSpillover => "jsq",
+            RouterPolicy::Affinity => "affinity",
         }
     }
 }
@@ -453,10 +463,70 @@ impl Router {
         }
         match self.policy {
             RouterPolicy::RoundRobin => Ok(candidates[arrival_index % candidates.len()]),
-            RouterPolicy::JsqSpillover => {
-                Ok(self.jsq_spillover(arrival_index, class, loads, candidates))
+            // Affinity without an owner hint (every cold arrival) is plain
+            // JSQ spillover; the owner-aware path is `route_affine`.
+            RouterPolicy::JsqSpillover | RouterPolicy::Affinity => {
+                Ok(self.jsq_spillover(arrival_index, class, loads, candidates, None))
             }
         }
+    }
+
+    /// Session-affine routing: place arrival `arrival_index`, whose prefix
+    /// (of `prefix_pages` pages) lives on `owner`, composing with the
+    /// breaker machinery exactly like [`Router::route_healthy`].
+    ///
+    /// Decision order: (1) the owner, when its breaker admits the class,
+    /// it is in the healthy pool, and it has free HBM under the watermark —
+    /// resuming in place costs no fabric transfer; (2) otherwise spillover
+    /// by predicted cost — JSQ over the healthy pool where the owner's
+    /// free-HBM key is credited `prefix_pages` pages, the pull price every
+    /// *other* replica would pay to fetch the prefix. Without an owner (or
+    /// under a non-affinity policy) this is exactly `route_healthy`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Router::route_healthy`].
+    pub fn route_affine(
+        &self,
+        arrival_index: usize,
+        class: SloClass,
+        loads: &[SchedLoad],
+        states: &[BreakerState],
+        owner: Option<usize>,
+        prefix_pages: usize,
+    ) -> Result<usize, RouteError> {
+        let Some(own) = owner.filter(|&o| o < loads.len()) else {
+            return self.route_healthy(arrival_index, class, loads, states);
+        };
+        if self.policy != RouterPolicy::Affinity {
+            return self.route_healthy(arrival_index, class, loads, states);
+        }
+        if loads.is_empty() || states.len() < loads.len() {
+            return Err(RouteError::EmptyFleet);
+        }
+        let closed: Vec<usize> = (0..loads.len())
+            .filter(|&i| states[i] == BreakerState::Closed)
+            .collect();
+        let healthy: Vec<usize> = if class == SloClass::BestEffort || closed.is_empty() {
+            (0..loads.len())
+                .filter(|&i| states[i] != BreakerState::Open)
+                .collect()
+        } else {
+            closed
+        };
+        if healthy.is_empty() {
+            return Err(RouteError::NoHealthyReplica);
+        }
+        if healthy.contains(&own) && loads[own].free_hbm() > 0 {
+            return Ok(own);
+        }
+        Ok(self.jsq_spillover(
+            arrival_index,
+            class,
+            loads,
+            &healthy,
+            Some((own, prefix_pages)),
+        ))
     }
 
     fn jsq_spillover(
@@ -465,12 +535,21 @@ impl Router {
         class: SloClass,
         loads: &[SchedLoad],
         candidates: &[usize],
+        owner_bonus: Option<(usize, usize)>,
     ) -> usize {
         let threshold = shed_threshold(class);
+        // The credited prefix owner stays eligible past the shed threshold:
+        // whether crowding it beats paying the pull is exactly the cost
+        // comparison the key below performs, so the occupancy filter must
+        // not pre-empt it. Breaker gating already happened upstream (the
+        // owner is only ever credited inside the healthy candidate pool).
         let eligible: Vec<usize> = candidates
             .iter()
             .copied()
-            .filter(|&i| loads[i].hbm_occupancy() < threshold)
+            .filter(|&i| {
+                loads[i].hbm_occupancy() < threshold
+                    || matches!(owner_bonus, Some((own, _)) if own == i)
+            })
             .collect();
         // Every candidate hot: spillover balances, it never rejects — fall
         // back to plain JSQ over the whole candidate pool.
@@ -480,10 +559,15 @@ impl Router {
             eligible
         };
         // Most free HBM pages wins; free DReX breaks the first tie, the
-        // shortest admission queue the second.
+        // shortest admission queue the second. The prefix owner's key is
+        // credited the pull price (in pages) every other replica would pay.
         let key = |i: usize| {
+            let bonus = match owner_bonus {
+                Some((own, pages)) if own == i => pages,
+                _ => 0,
+            };
             (
-                loads[i].free_hbm(),
+                loads[i].free_hbm() + bonus,
                 loads[i].free_drex(),
                 usize::MAX - loads[i].waiting,
             )
@@ -786,7 +870,112 @@ mod tests {
             RouterPolicy::JsqSpillover
         );
         assert_eq!(RouterPolicy::parse("rr").unwrap(), RouterPolicy::RoundRobin);
-        assert!(RouterPolicy::parse("bogus").is_err());
+        assert_eq!(
+            RouterPolicy::parse("affinity").unwrap(),
+            RouterPolicy::Affinity
+        );
+        assert_eq!(RouterPolicy::Affinity.name(), "affinity");
+        let err = RouterPolicy::parse("bogus").unwrap_err();
+        assert!(err.contains("affinity"), "error names every policy: {err}");
+    }
+
+    #[test]
+    fn affinity_resumes_on_the_owner_when_healthy_and_under_watermark() {
+        let r = Router::new(RouterPolicy::Affinity, 7);
+        // Replica 1 owns the prefix and has one free page: the resume lands
+        // there even though replica 0 is far freer.
+        let loads = [load(0, 10), load(9, 10)];
+        let states = [BreakerState::Closed; 2];
+        assert_eq!(
+            r.route_affine(0, SloClass::Interactive, &loads, &states, Some(1), 4)
+                .unwrap(),
+            1
+        );
+        // At the watermark (no free page) the owner no longer qualifies and
+        // the pull-credited spillover picks the freer replica.
+        let full = [load(0, 10), load(10, 10)];
+        assert_eq!(
+            r.route_affine(0, SloClass::Interactive, &full, &states, Some(1), 4)
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn affinity_spillover_credits_the_owner_the_pull_price() {
+        let r = Router::new(RouterPolicy::Affinity, 7);
+        // Owner (replica 1) is at its watermark, so the resume-in-place
+        // fast path fails and the decision falls to the cost spillover,
+        // where the owner's key is credited the prefix pages every other
+        // replica would have to pull.
+        let loads = [load(4, 10), load(10, 10)];
+        let states = [BreakerState::Closed, BreakerState::HalfOpen];
+        // Interactive: half-open owner is out of the pool entirely (a
+        // closed replica exists) — spillover to the closed one.
+        assert_eq!(
+            r.route_affine(0, SloClass::Interactive, &loads, &states, Some(1), 64)
+                .unwrap(),
+            0
+        );
+        // Best-effort: the half-open owner is poolable but full; the pull
+        // credit (64 pages) outweighs replica 0's 6-page lead, so the
+        // arrival stays home rather than paying the fabric pull.
+        assert_eq!(
+            r.route_affine(0, SloClass::BestEffort, &loads, &states, Some(1), 64)
+                .unwrap(),
+            1
+        );
+        // A tiny prefix (1 page) is not worth staying: spillover wins.
+        assert_eq!(
+            r.route_affine(0, SloClass::BestEffort, &loads, &states, Some(1), 1)
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn affinity_without_owner_matches_jsq_spillover() {
+        let aff = Router::new(RouterPolicy::Affinity, 42);
+        let jsq = Router::new(RouterPolicy::JsqSpillover, 42);
+        let loads = [load(5, 10), load(3, 10), load(7, 10)];
+        let states = [BreakerState::Closed; 3];
+        for i in 0..32 {
+            for class in SloClass::ALL {
+                assert_eq!(
+                    aff.route_affine(i, class, &loads, &states, None, 0),
+                    jsq.route_healthy(i, class, &loads, &states),
+                );
+                assert_eq!(
+                    aff.route(i, class, &loads),
+                    jsq.route(i, class, &loads),
+                    "ownerless affinity is plain jsq"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn affinity_respects_breakers_like_route_healthy() {
+        let r = Router::new(RouterPolicy::Affinity, 7);
+        let loads = [load(0, 10), load(2, 10)];
+        // Owner open: never placed there, even as owner.
+        let states = [BreakerState::Closed, BreakerState::Open];
+        assert_eq!(
+            r.route_affine(0, SloClass::Interactive, &loads, &states, Some(1), 8)
+                .unwrap(),
+            0
+        );
+        // Everything open: shed, exactly like route_healthy.
+        let states = [BreakerState::Open, BreakerState::Open];
+        assert_eq!(
+            r.route_affine(0, SloClass::Interactive, &loads, &states, Some(1), 8),
+            Err(RouteError::NoHealthyReplica)
+        );
+        // Out-of-range owner hints degrade to route_healthy, not a panic.
+        let states = [BreakerState::Closed, BreakerState::Closed];
+        assert!(r
+            .route_affine(0, SloClass::Interactive, &loads, &states, Some(9), 8)
+            .is_ok());
     }
 
     #[test]

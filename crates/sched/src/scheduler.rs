@@ -79,6 +79,13 @@ pub struct SchedConfig {
     /// CLI rejects `--prefill-slots 0` up front) must validate before
     /// constructing the config.
     pub prefill_slots: usize,
+    /// Low watermark for resuming preempted requests, as a fraction of HBM
+    /// capacity. Eviction triggers at the high watermark
+    /// (`pages.hbm_watermark`); a preempted request only resumes once usage
+    /// would stay at or under `floor(capacity × low)`. Equal watermarks
+    /// (the default) disable hysteresis and reproduce the legacy
+    /// evict-at-the-ceiling / resume-at-the-ceiling behavior bit-for-bit.
+    pub hbm_low_watermark: f64,
 }
 
 impl SchedConfig {
@@ -92,6 +99,7 @@ impl SchedConfig {
             window_tokens,
             prefill_chunk_tokens: 8192,
             prefill_slots: 1,
+            hbm_low_watermark: pages.hbm_watermark,
         }
     }
 
@@ -104,7 +112,19 @@ impl SchedConfig {
             window_tokens,
             prefill_chunk_tokens: prefill_chunk_tokens.max(1),
             prefill_slots: 1,
+            hbm_low_watermark: pages.hbm_watermark,
         }
+    }
+
+    /// The resume ceiling in pages: `floor(capacity × low_watermark)`,
+    /// snapped like [`PageConfig::hbm_limit_pages`] and never above the
+    /// eviction (high) limit.
+    fn resume_limit_pages(&self) -> usize {
+        let low = PageConfig {
+            hbm_watermark: self.hbm_low_watermark,
+            ..self.pages
+        };
+        low.hbm_limit_pages().min(self.pages.hbm_limit_pages())
     }
 
     fn hbm_pages_for(&self, context: usize) -> usize {
@@ -325,6 +345,11 @@ pub struct SchedReport {
     pub restore_charged_ns: f64,
     /// Prefill chunks executed.
     pub prefill_chunks: usize,
+    /// Total prefill and resume work this replica executed, ns. Chunked
+    /// prefill accumulates per executed chunk; FIFO counts the folded
+    /// prefill at immediate admission. The `session_reuse` golden asserts
+    /// this falls as prefix reuse rises.
+    pub prefill_work_ns: f64,
     /// Final page-ledger usage and peaks.
     pub pages: PageStats,
     /// Pages still held by requests no longer active or queued (must be 0).
@@ -371,6 +396,18 @@ impl SchedReport {
             self.prefill_chunks,
             self.leaked_pages,
         ));
+        if self.pages.prefix_capacity > 0 {
+            let pins = self.pages.prefix_hits + self.pages.prefix_misses;
+            out.push_str(&format!(
+                "  prefix cache: {}/{} pages | pinned {} | hits {}/{} | reclaims {}\n",
+                self.pages.prefix_pages,
+                self.pages.prefix_capacity,
+                self.pages.prefix_pinned,
+                self.pages.prefix_hits,
+                pins,
+                self.pages.prefix_reclaims,
+            ));
+        }
         out
     }
 }
@@ -406,6 +443,7 @@ pub struct Scheduler {
     resumes: usize,
     restore_charged_ns: f64,
     prefill_chunks: usize,
+    prefill_work_ns: f64,
     class: [ClassAccum; 3],
 }
 
@@ -430,6 +468,7 @@ impl Scheduler {
             resumes: 0,
             restore_charged_ns: 0.0,
             prefill_chunks: 0,
+            prefill_work_ns: 0.0,
             class: Default::default(),
         }
     }
@@ -515,6 +554,20 @@ impl Scheduler {
                 prefill_left_ns: w.prefill_left_ns,
             });
         }
+        // Prefix discipline under a crash: each evacuee drops its *pin*
+        // (refcount decrement), never the shared frames — a prefix pinned by
+        // several sessions must survive any one of them evacuating. Only
+        // after every pin is dropped does the wipe reclaim the cache
+        // wholesale (the pooled-tier content died with the replica). The
+        // evacuees' prefix handles are cleared so the redispatch target
+        // never unpins a pin it does not hold.
+        for e in &mut out {
+            if let Some(h) = e.req.prefix_hash.take() {
+                self.pages.prefix_unpin(h);
+            }
+            e.req.pull_ns = f64::INFINITY;
+        }
+        self.pages.prefix_crash_clear();
         out.sort_by_key(|e| e.req.id);
         out
     }
@@ -553,6 +606,14 @@ impl Scheduler {
     /// The page ledger (for invariant checks in tests).
     pub fn pages(&self) -> &PagedKvManager {
         &self.pages
+    }
+
+    /// Mutable page ledger — the fleet driver's handle for arming the
+    /// prefix cache and pinning/publishing prefixes at injection time. The
+    /// scheduler itself only ever *releases* pins (completion, failure,
+    /// crash); taking them is a placement decision that lives upstream.
+    pub fn pages_mut(&mut self) -> &mut PagedKvManager {
+        &mut self.pages
     }
 
     /// A point-in-time load snapshot for fleet routing: batch and queue
@@ -613,6 +674,7 @@ impl Scheduler {
                 if feasible(self.active.len() + 1, max_ctx) {
                     let mut admitted = req;
                     admitted.arrival_ns -= req.prefill_ns; // fold prefill into latency
+                    self.prefill_work_ns += req.prefill_ns;
                     let (hbm, drex) = (
                         self.cfg.hbm_pages_for(req.context),
                         self.cfg.drex_pages_for(req.context),
@@ -760,6 +822,15 @@ impl Scheduler {
             self.evict(victim);
         }
         if !self.pages.hbm_fits(need_hbm) {
+            return false;
+        }
+        // Hysteresis: a preempted request resumes only when usage stays at
+        // or under the low watermark, so an eviction at the ceiling is not
+        // immediately undone by a resume back to the ceiling (ping-pong).
+        // With equal watermarks this is exactly the hbm_fits check above.
+        if self.waiting[pick].preempted
+            && self.pages.hbm_used() + need_hbm > self.cfg.resume_limit_pages()
+        {
             return false;
         }
         if !self.waiting[pick].preempted
@@ -924,6 +995,9 @@ impl Scheduler {
             if dead.contains(&self.active[i].req.id) {
                 let a = self.active.remove(i);
                 self.pages.free_all(a.req.id);
+                if let Some(h) = a.req.prefix_hash {
+                    self.pages.prefix_unpin(h);
+                }
                 self.class[a.req.class.index()].failed += 1;
                 self.emit(SchedEvent::Failed {
                     id: a.req.id,
@@ -965,6 +1039,7 @@ impl Scheduler {
                     a.prefill_left_ns = 0.0;
                 }
                 self.prefill_chunks += 1;
+                self.prefill_work_ns += chunk;
             }
         }
         // Per-class token latencies, capped at 64 per step like the global
@@ -990,6 +1065,9 @@ impl Scheduler {
                 let a = self.active.remove(i);
                 let latency_ms = (now - a.req.arrival_ns) / 1e6;
                 self.pages.free_all(a.req.id);
+                if let Some(h) = a.req.prefix_hash {
+                    self.pages.prefix_unpin(h);
+                }
                 let cls = a.req.class.index();
                 self.class[cls].completed += 1;
                 self.class[cls].request_lat_ms.push(latency_ms);
@@ -1022,7 +1100,27 @@ impl Scheduler {
                 leaked += h + d;
             }
         }
-        let invariant_violation = self.pages.check_invariants().err();
+        let mut invariant_violation = self.pages.check_invariants().err();
+        // Refcount ≡ live sessions: every outstanding prefix pin must be
+        // held by a request that is still active or waiting, one pin each.
+        if invariant_violation.is_none() && self.pages.prefix_capacity() > 0 {
+            let live_pins = self
+                .active
+                .iter()
+                .filter(|a| a.req.prefix_hash.is_some())
+                .count()
+                + self
+                    .waiting
+                    .iter()
+                    .filter(|w| w.req.prefix_hash.is_some())
+                    .count();
+            let refs = self.pages.prefix_pinned_refs();
+            if refs != live_pins {
+                invariant_violation = Some(format!(
+                    "prefix pin drift: {refs} refs held vs {live_pins} live pinned requests"
+                ));
+            }
+        }
         let mut per_class: [ClassReport; 3] = Default::default();
         for (out, acc) in per_class.iter_mut().zip(self.class.iter_mut()) {
             acc.token_lat_ms.sort_by(f64::total_cmp);
@@ -1047,6 +1145,7 @@ impl Scheduler {
             resumes: self.resumes,
             restore_charged_ns: self.restore_charged_ns,
             prefill_chunks: self.prefill_chunks,
+            prefill_work_ns: self.prefill_work_ns,
             pages: self.pages.stats(),
             leaked_pages: leaked,
             invariant_violation,
@@ -1069,6 +1168,8 @@ mod tests {
             prefill_ns: 1e5,
             restore_ns: 1e4,
             recompute_ns: 5e4,
+            pull_ns: f64::INFINITY,
+            prefix_hash: None,
         }
     }
 
@@ -1345,5 +1446,160 @@ mod tests {
         for i in 0..100 {
             let _ = m.classify(i as f64 / 100.0);
         }
+    }
+
+    /// Drives one evict→complete→drain cycle at ±1 page around the HBM
+    /// ceiling and reports (preemptions, resumes) — the ping-pong probe.
+    fn ping_pong_cycle(low_watermark: f64) -> (usize, usize) {
+        let mut cfg = slo_cfg(); // 4 pages, 1 page per request
+        cfg.hbm_low_watermark = low_watermark;
+        let mut s = Scheduler::new(cfg);
+        let mut feas = |_u: usize, _c: usize| true;
+        // Fill to the ceiling: 3 interactive + 1 best-effort, all decoding.
+        for i in 0..3 {
+            let mut r = req(i, SloClass::Interactive, 1024, 8);
+            r.prefill_ns = 0.0;
+            s.on_arrival(r, &mut feas);
+        }
+        let mut be = req(3, SloClass::BestEffort, 1024, 8);
+        be.prefill_ns = 0.0;
+        s.on_arrival(be, &mut feas);
+        s.drain_queue(&mut feas);
+        assert_eq!(s.pages().hbm_used(), 4, "at the ceiling");
+        // +1 page: an interactive arrival evicts the best-effort member.
+        let mut hot = req(4, SloClass::Interactive, 1024, 1);
+        hot.prefill_ns = 0.0;
+        s.on_arrival(hot, &mut feas);
+        s.drain_queue(&mut feas);
+        assert_eq!(s.pages().hbm_used(), 4);
+        // -1 page: the one-token request completes, dropping usage to 3.
+        let _ = s.plan_step();
+        let _ = s.advance_step(1e6, 1e6);
+        assert_eq!(s.pages().hbm_used(), 3);
+        // The boundary decision: may the evicted best-effort member resume
+        // right back to the ceiling?
+        s.drain_queue(&mut feas);
+        // Another +1-page interactive arrival probes for a second eviction.
+        let mut hot2 = req(5, SloClass::Interactive, 1024, 1);
+        hot2.prefill_ns = 0.0;
+        s.on_arrival(hot2, &mut feas);
+        s.drain_queue(&mut feas);
+        let rep = s.finalize();
+        assert_eq!(rep.leaked_pages, 0);
+        assert_eq!(rep.invariant_violation, None);
+        (rep.preemptions, rep.resumes)
+    }
+
+    #[test]
+    fn hysteresis_stops_evict_resume_ping_pong_at_the_ceiling() {
+        // Equal watermarks (legacy): the evicted request resumes into the
+        // freed page and the next arrival evicts it again — ping-pong.
+        assert_eq!(ping_pong_cycle(1.0), (2, 1));
+        // Low watermark 0.75 (3 of 4 pages): resuming to 4 pages overshoots
+        // the low limit, so the request stays parked and the next arrival
+        // admits into the free page without a second eviction.
+        assert_eq!(ping_pong_cycle(0.75), (1, 0));
+    }
+
+    #[test]
+    fn low_watermark_equal_to_high_is_inert() {
+        let cfg = slo_cfg();
+        assert_eq!(cfg.hbm_low_watermark, cfg.pages.hbm_watermark);
+        assert_eq!(cfg.resume_limit_pages(), cfg.pages.hbm_limit_pages());
+    }
+
+    #[test]
+    fn completion_unpins_and_crash_drops_pins_not_shared_frames() {
+        let mut cfg = slo_cfg();
+        cfg.pages.hbm_capacity_pages = 16;
+        let mut s = Scheduler::new(cfg);
+        s.pages_mut().set_prefix_capacity(32);
+        assert!(s.pages_mut().prefix_insert(0xbeef, 4));
+        let mut feas = |_u: usize, _c: usize| true;
+        // Two sessions share the same prefix; a third request is cold.
+        for id in 0..2 {
+            s.pages_mut().prefix_pin(0xbeef);
+            let mut r = req(id, SloClass::Interactive, 1024, 2);
+            r.prefix_hash = Some(0xbeef);
+            r.prefill_ns = 0.0;
+            s.on_arrival(r, &mut feas);
+        }
+        s.on_arrival(req(2, SloClass::Interactive, 1024, 2), &mut feas);
+        s.drain_queue(&mut feas);
+        assert_eq!(s.pages().prefix_pinned_refs(), 2);
+
+        // Completion drops exactly one pin; the shared frames stay cached.
+        let mut now = 0.0;
+        let mut done = 0usize;
+        for _ in 0..16 {
+            s.drain_queue(&mut feas);
+            if s.active_is_empty() {
+                break;
+            }
+            let _ = s.plan_step();
+            now += 1e6;
+            done += s.advance_step(1e6, now).len();
+        }
+        assert_eq!(done, 3);
+        assert_eq!(s.pages().prefix_pinned_refs(), 0);
+        assert_eq!(s.pages().prefix_lookup(0xbeef), Some(4));
+        let rep = s.finalize();
+        assert_eq!(rep.invariant_violation, None, "refcount ≡ live sessions");
+        assert!(rep.prefill_work_ns >= 0.0);
+    }
+
+    #[test]
+    fn crash_evacuate_unpins_each_evacuee_once_and_wipes_the_cache() {
+        let mut cfg = slo_cfg();
+        cfg.pages.hbm_capacity_pages = 16;
+        let mut s = Scheduler::new(cfg);
+        s.pages_mut().set_prefix_capacity(32);
+        assert!(s.pages_mut().prefix_insert(0xcafe, 8));
+        let mut feas = |_u: usize, _c: usize| true;
+        for id in 0..3 {
+            s.pages_mut().prefix_pin(0xcafe);
+            let mut r = req(id, SloClass::Interactive, 1024, 4);
+            r.prefix_hash = Some(0xcafe);
+            s.on_arrival(r, &mut feas);
+        }
+        s.drain_queue(&mut feas);
+        assert_eq!(s.pages().prefix_pinned_refs(), 3);
+        let evac = s.crash_evacuate();
+        assert_eq!(evac.len(), 3);
+        // Pins dropped one per evacuee (never a double-free of the shared
+        // frames), then the cache wiped; the evacuees carry no stale pin
+        // handle into their redispatch target.
+        assert_eq!(s.pages().prefix_pinned_refs(), 0);
+        assert_eq!(s.pages().prefix_lookup(0xcafe), None);
+        for e in &evac {
+            assert_eq!(e.req.prefix_hash, None);
+            assert!(e.req.pull_ns.is_infinite());
+        }
+        let rep = s.finalize();
+        assert_eq!(rep.leaked_pages, 0);
+        assert_eq!(rep.invariant_violation, None);
+    }
+
+    #[test]
+    fn prefill_work_accumulates_executed_chunks() {
+        let mut cfg = slo_cfg();
+        cfg.pages.hbm_capacity_pages = 100;
+        let mut s = Scheduler::new(cfg);
+        let mut feas = |_u: usize, _c: usize| true;
+        let mut r = req(0, SloClass::Interactive, 16_384, 1);
+        r.prefill_ns = 2e6;
+        s.on_arrival(r, &mut feas);
+        s.drain_queue(&mut feas);
+        let mut now = 0.0;
+        for _ in 0..8 {
+            if s.active_is_empty() {
+                break;
+            }
+            let _ = s.plan_step();
+            now += 1e6;
+            let _ = s.advance_step(1e6, now);
+        }
+        let rep = s.finalize();
+        assert!((rep.prefill_work_ns - 2e6).abs() < 1e-3);
     }
 }

@@ -31,6 +31,7 @@ mod longsight;
 pub mod prefill;
 mod report;
 pub mod serving;
+pub mod session;
 pub mod slo;
 
 pub use attribution::{SpecCharge, SpecSample, TokenAttribution};
@@ -43,3 +44,4 @@ pub use longsight::{
 pub use report::{
     Infeasible, OffloadComponents, ServingSystem, SpecStep, StepBreakdown, StepReport,
 };
+pub use session::SessionOptions;

@@ -21,6 +21,7 @@ use crate::attribution::{
 use crate::degrade::{resolve_token, DegradeStats, TokenOutcome};
 use crate::prefill::prefill_cost;
 use crate::report::{ServingSystem, SpecStep, StepReport};
+use crate::session::{self, SessionOptions};
 use longsight_cxl::CxlLink;
 use longsight_drex::SpecSlotPool;
 use longsight_faults::{
@@ -33,10 +34,12 @@ use longsight_obs::json::fmt_f64;
 use longsight_obs::{ArgVal, Recorder, TrackId};
 use longsight_sched::{
     BreakerConfig, BreakerState, CircuitBreaker, FleetFaultSummary, FleetReport, KvDeviceGeometry,
-    Placement, RedispatchRecord, Router, RouterPolicy, SchedConfig, SchedEvent, SchedPolicy,
-    SchedReport, SchedRequest, Scheduler, ShedRecord, SloBurnSummary, SloClass, SloMix,
+    Placement, PullRecord, RedispatchRecord, Router, RouterPolicy, SchedConfig, SchedEvent,
+    SchedPolicy, SchedReport, SchedRequest, Scheduler, SessionSummary, ShedRecord, SloBurnSummary,
+    SloClass, SloMix,
 };
 use longsight_tensor::SimRng;
+use std::collections::HashMap;
 
 /// XOR'd into the workload seed for the SLO-class stream, so class draws
 /// never perturb the arrival-process stream (FIFO metrics stay bit-exact
@@ -423,11 +426,11 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 #[derive(Debug, Clone)]
-struct Arrival {
-    id: usize,
-    arrival_ns: f64,
-    context: usize,
-    output: usize,
+pub(crate) struct Arrival {
+    pub(crate) id: usize,
+    pub(crate) arrival_ns: f64,
+    pub(crate) context: usize,
+    pub(crate) output: usize,
 }
 
 /// Pre-generates the run's arrival process, class draws, and prefill
@@ -916,6 +919,8 @@ fn sched_impl(
                     prefill_ns: pf_ns,
                     restore_ns: geometry.restore_ns(a.context),
                     recompute_ns: geometry.recompute_ns(a.context),
+                    pull_ns: f64::INFINITY,
+                    prefix_hash: None,
                 };
                 sched.on_arrival(req, &mut feas);
             }
@@ -1223,6 +1228,24 @@ fn sample_sched_timeseries(rec: &mut Recorder, prefix: &str, now_ns: f64, sched:
         now_ns,
         load.drex_used as f64,
     );
+    // Prefix-cache gauges exist only when the cache is armed (session
+    // runs), so every sessionless series list is byte-identical.
+    if sched.pages().prefix_capacity() > 0 {
+        let stats = sched.pages().stats();
+        let lookups = stats.prefix_hits + stats.prefix_misses;
+        if lookups > 0 {
+            ts.gauge(
+                &format!("{prefix}prefix.reuse"),
+                now_ns,
+                stats.prefix_hits as f64 / lookups as f64,
+            );
+        }
+        ts.gauge(
+            &format!("{prefix}prefix.pinned_pages"),
+            now_ns,
+            sched.pages().prefix_pinned_pages() as f64,
+        );
+    }
 }
 
 /// Drains the burn-rate engine at end of run: emits one `slo.burn` trace
@@ -1293,6 +1316,10 @@ struct ReplicaSim {
     /// Completion log with classes, in completion order — the observable
     /// signal the circuit breaker is driven by.
     completions: Vec<(SloClass, f64)>,
+    /// Prefix publications scheduled by the session driver: `(request id,
+    /// content hash, pages)`, inserted into the replica's prefix cache
+    /// when that request completes. Always empty on sessionless runs.
+    pending_publish: Vec<(usize, u64, usize)>,
 }
 
 impl ReplicaSim {
@@ -1324,6 +1351,7 @@ impl ReplicaSim {
             brownout_factor: 1.0,
             degraded_tokens: 0,
             completions: Vec::new(),
+            pending_publish: Vec::new(),
         }
     }
 
@@ -1500,6 +1528,14 @@ impl ReplicaSim {
             }
         }
         for c in self.sched.advance_step(dt, self.now) {
+            // A completed turn publishes its prefix under its content key
+            // (session runs only; the list stays empty otherwise).
+            if !self.pending_publish.is_empty() {
+                if let Some(pos) = self.pending_publish.iter().position(|p| p.0 == c.id) {
+                    let (_, hash, pages) = self.pending_publish.swap_remove(pos);
+                    self.sched.pages_mut().prefix_insert(hash, pages);
+                }
+            }
             self.request_latencies.push(c.latency_ms);
             self.completions.push((c.class, c.latency_ms));
             if ts_on {
@@ -1770,6 +1806,8 @@ pub fn simulate_fleet_faulty(
             prefill_ns: pf_ns,
             restore_ns: g.restore_ns(a.context),
             recompute_ns: g.recompute_ns(a.context),
+            pull_ns: f64::INFINITY,
+            prefix_hash: None,
         };
         replicas[pick].inject(systems[pick].as_mut(), rec, req);
         if rec.timeseries.is_enabled() {
@@ -1902,6 +1940,313 @@ pub fn simulate_fleet_faulty(
             rec.counter_add("fleet.brownouts", fault_counts.1 as u64);
             rec.counter_add("fleet.redispatched", fault_counts.2 as u64);
             rec.counter_add("fleet.shed", fault_counts.3 as u64);
+        }
+    }
+    (metrics, fleet)
+}
+
+/// [`simulate_fleet`] under a multi-turn session workload with the
+/// content-keyed cross-replica prefix cache armed.
+///
+/// The offered load comes from the session generator (see
+/// [`crate::session`]) instead of the Poisson process: each session's
+/// turns extend the same growing context, and every completed turn
+/// publishes its KV-prefix under a content hash into its replica's
+/// prefix-cache carve-out. A follow-up turn then resumes one of three
+/// ways, cheapest first:
+///
+/// 1. **Local hit** — the placement replica still caches the prefix: the
+///    turn pins it and pays prefill only for the suffix (the new user
+///    message).
+/// 2. **Pooled-DReX pull** — another replica owns the prefix: the pages
+///    transfer over the CXL fabric at the target geometry's
+///    per-page restore price × 2 (two fabric hops through the pooled
+///    tier — the same [`longsight_cxl::CxlLink`]-derived transfer model,
+///    and the same CRC-replay fault path, as a preemption restore),
+///    charged on top of the suffix prefill and taken only when cheaper
+///    than re-prefilling from scratch. Pulls are traced as `prefix.pull`
+///    spans on the `sessions` track and logged as [`PullRecord`]s.
+/// 3. **Cold re-prefill** — no usable copy (or the pull is dearer): full
+///    prefill, exactly like a fresh request.
+///
+/// Routing honors session affinity when `router_policy` is
+/// [`RouterPolicy::Affinity`]: a resuming turn lands on its owning
+/// replica while that replica is healthy and under the spillover bonus's
+/// occupancy ceiling, and otherwise falls back to cost-aware JSQ with
+/// the owner's free-page key credited by the cached prefix size.
+///
+/// The scheduler releases each turn's pin on completion, failure, or
+/// crash; the fleet audit checks the pull log is conserved against the
+/// replicas' pin counters (pulled = pinned elsewhere). With
+/// [`SessionOptions::disabled`] this delegates to [`simulate_fleet`]
+/// byte-for-byte.
+///
+/// # Panics
+///
+/// Panics when `systems` is empty.
+pub fn simulate_fleet_sessions(
+    systems: &mut [Box<dyn ServingSystem>],
+    model: &ModelConfig,
+    workload: &WorkloadConfig,
+    opts: &SchedOptions,
+    router_policy: RouterPolicy,
+    sess: &SessionOptions,
+    rec: &mut Recorder,
+) -> (ServeMetrics, FleetReport) {
+    assert!(!systems.is_empty(), "fleet needs at least one replica");
+    if !sess.is_active() {
+        return simulate_fleet(systems, model, workload, opts, router_policy, rec);
+    }
+    let n = systems.len();
+    let horizon_ns = workload.duration_s * 1e9;
+    let (mut arrivals, mut classes, mut prefill_ns, mut turns) =
+        session::gen_session_turns(model, workload, &opts.mix, sess);
+    let total_arrived = arrivals.len();
+    let router = Router::new(router_policy, workload.seed);
+    let router_track = rec.track("router");
+    let sessions_track = rec.track("sessions");
+
+    let mut replicas: Vec<ReplicaSim> = Vec::with_capacity(n);
+    let mut geometries: Vec<KvDeviceGeometry> = Vec::with_capacity(n);
+    for (i, sys) in systems.iter_mut().enumerate() {
+        let g = geometry_for(sys.as_ref(), opts);
+        let mut r = ReplicaSim::new(&g, opts, rec, i);
+        r.sched
+            .pages_mut()
+            .set_prefix_capacity(sess.prefix_cache_pages);
+        replicas.push(r);
+        geometries.push(g);
+    }
+
+    // Content hash -> replica whose cache holds (or will hold) the prefix.
+    let mut owners: HashMap<u64, usize> = HashMap::new();
+    let mut placements: Vec<Placement> = Vec::with_capacity(total_arrived);
+    let mut sessions_seen = 0usize;
+    let mut local_hits = 0usize;
+    let mut cold_turns = 0usize;
+    let mut pulls: Vec<PullRecord> = Vec::new();
+    let states = vec![BreakerState::Closed; n];
+
+    while let Some(a) = arrivals.pop() {
+        let pf_ns = prefill_ns.pop().expect("paired with arrivals");
+        let class = classes.pop().expect("paired with arrivals");
+        let turn = turns.pop().expect("paired with arrivals");
+        if turn.turn == 0 {
+            sessions_seen += 1;
+        }
+        for (r, sys) in replicas.iter_mut().zip(systems.iter_mut()) {
+            r.advance_to(sys.as_mut(), rec, a.arrival_ns, horizon_ns);
+        }
+        let loads: Vec<_> = replicas.iter().map(|r| r.sched.load()).collect();
+        // The owning replica only counts while its cache still holds the
+        // prefix (LRU reclaim or a wipe orphans the owner map entry).
+        let mut owner: Option<usize> = None;
+        let mut owner_pages = 0usize;
+        if let Some(h) = turn.pin_hash {
+            if let Some(&o) = owners.get(&h) {
+                if let Some(p) = replicas[o].sched.pages().prefix_lookup(h) {
+                    owner = Some(o);
+                    owner_pages = p;
+                }
+            }
+        }
+        let routed = match router_policy {
+            RouterPolicy::Affinity => {
+                router.route_affine(a.id, class, &loads, &states, owner, owner_pages)
+            }
+            _ => router.route(a.id, class, &loads),
+        };
+        let pick = match routed {
+            Ok(p) => p,
+            // Unreachable over a non-empty healthy fleet; a lost arrival
+            // here would trip the report audit, not vanish silently.
+            Err(_) => continue,
+        };
+        placements.push((a.id, pick));
+        if rec.is_enabled() {
+            rec.instant_with(
+                router_track,
+                "route.place",
+                a.arrival_ns,
+                &[
+                    ("id", ArgVal::U(a.id as u64)),
+                    ("replica", ArgVal::U(pick as u64)),
+                    ("class", ArgVal::S(class.name())),
+                    ("free_hbm", ArgVal::U(loads[pick].free_hbm() as u64)),
+                ],
+            );
+        }
+        let g = &geometries[pick];
+        // Three-way resume pricing: local pin, cross-replica pull, or
+        // cold re-prefill.
+        let mut prefill = pf_ns;
+        let mut pull_field = f64::INFINITY;
+        let mut prefix_hash: Option<u64> = None;
+        if let Some(h) = turn.pin_hash {
+            let suffix_frac = (a.context - turn.prefix_tokens) as f64 / a.context.max(1) as f64;
+            let suffix_ns = pf_ns * suffix_frac;
+            if replicas[pick].sched.pages_mut().prefix_pin(h).is_some() {
+                prefill = suffix_ns;
+                prefix_hash = Some(h);
+                local_hits += 1;
+            } else if let Some(o) = owner.filter(|&o| o != pick) {
+                // Two fabric hops through the pooled tier: source DReX ->
+                // fabric -> target DReX, priced per page by the same
+                // CxlLink-derived transfer model as a preemption restore.
+                let pull_ns = owner_pages as f64 * g.restore_ns_per_page * 2.0;
+                if pull_ns + suffix_ns < pf_ns
+                    && replicas[pick]
+                        .sched
+                        .pages_mut()
+                        .prefix_insert(h, owner_pages)
+                {
+                    let pinned = replicas[pick].sched.pages_mut().prefix_pin(h);
+                    debug_assert_eq!(pinned, Some(owner_pages));
+                    prefill = suffix_ns + pull_ns;
+                    pull_field = pull_ns;
+                    prefix_hash = Some(h);
+                    pulls.push(PullRecord {
+                        id: a.id,
+                        hash: h,
+                        from: o,
+                        to: pick,
+                        pages: owner_pages,
+                        at_ns: a.arrival_ns,
+                    });
+                    if rec.is_enabled() {
+                        rec.leaf_with(
+                            sessions_track,
+                            "prefix.pull",
+                            a.arrival_ns,
+                            a.arrival_ns + pull_ns,
+                            &[
+                                ("id", ArgVal::U(a.id as u64)),
+                                ("from", ArgVal::U(o as u64)),
+                                ("to", ArgVal::U(pick as u64)),
+                                ("pages", ArgVal::U(owner_pages as u64)),
+                            ],
+                        );
+                    }
+                    rec.timeseries.rate_add("sessions.pull", a.arrival_ns, 1.0);
+                }
+            }
+        }
+        if turn.turn > 0 && prefix_hash.is_none() {
+            cold_turns += 1;
+        }
+        // This turn's completion publishes the next turn's prefix here.
+        let publish_pages = turn.publish_tokens.div_ceil(g.page_tokens.max(1));
+        replicas[pick]
+            .pending_publish
+            .push((a.id, turn.publish_hash, publish_pages));
+        owners.insert(turn.publish_hash, pick);
+        let req = SchedRequest {
+            id: a.id,
+            class,
+            arrival_ns: a.arrival_ns,
+            context: a.context,
+            output: a.output,
+            prefill_ns: prefill,
+            restore_ns: g.restore_ns(a.context),
+            recompute_ns: g.recompute_ns(a.context),
+            pull_ns: pull_field,
+            prefix_hash,
+        };
+        replicas[pick].inject(systems[pick].as_mut(), rec, req);
+        if rec.timeseries.is_enabled() {
+            rec.timeseries.rate_add("fleet.admit", a.arrival_ns, 1.0);
+            let prefix = replicas[pick].ts_prefix.clone();
+            sample_sched_timeseries(rec, &prefix, a.arrival_ns, &replicas[pick].sched);
+        }
+    }
+    for (r, sys) in replicas.iter_mut().zip(systems.iter_mut()) {
+        r.drain_all(sys.as_mut(), rec, horizon_ns);
+    }
+
+    // Fleet-wide aggregates, exactly as in the fault driver's fault-free
+    // shape: merged samples, summed counters, the span of the slowest
+    // replica.
+    let mut token_lat: Vec<f64> = Vec::new();
+    let mut request_latencies: Vec<f64> = Vec::new();
+    let mut generated_tokens = 0usize;
+    let mut batch_users = 0usize;
+    let mut batch_steps = 0usize;
+    let mut rejected = 0usize;
+    let mut waiting = 0usize;
+    let (mut spec_hits, mut spec_misses, mut spec_denied) = (0usize, 0usize, 0usize);
+    let mut fleet_now = 0.0f64;
+    let mut reports: Vec<SchedReport> = Vec::with_capacity(replicas.len());
+    let mut samples: [(Vec<f64>, Vec<f64>); 3] = Default::default();
+    for r in replicas.iter_mut() {
+        for &(dt, users) in &r.step_times {
+            for _ in 0..users.min(64) {
+                token_lat.push(dt / 1e6);
+            }
+            batch_users += users;
+            batch_steps += 1;
+        }
+        request_latencies.extend_from_slice(&r.request_latencies);
+        generated_tokens += r.generated_tokens;
+        rejected += r.sched.rejected();
+        waiting += r.sched.waiting_len();
+        spec_hits += r.spec_counts.0;
+        spec_misses += r.spec_counts.1;
+        spec_denied += r.spec_counts.2;
+        fleet_now = fleet_now.max(r.now);
+        reports.push(r.sched.finalize());
+        for (i, (tok, req)) in r.sched.class_samples().iter().enumerate() {
+            samples[i].0.extend_from_slice(tok);
+            samples[i].1.extend_from_slice(req);
+        }
+    }
+    token_lat.sort_by(f64::total_cmp);
+    request_latencies.sort_by(f64::total_cmp);
+    let span_s = fleet_now.max(1.0) / 1e9;
+    let metrics = ServeMetrics {
+        completed: request_latencies.len(),
+        rejected,
+        in_flight: total_arrived - request_latencies.len() - rejected - waiting,
+        throughput_tps: generated_tokens as f64 / span_s,
+        p50_token_ms: percentile(&token_lat, 0.5),
+        p99_token_ms: percentile(&token_lat, 0.99),
+        p50_request_ms: percentile(&request_latencies, 0.5),
+        p99_request_ms: percentile(&request_latencies, 0.99),
+        mean_batch: if batch_steps == 0 {
+            0.0
+        } else {
+            batch_users as f64 / batch_steps as f64
+        },
+        retried_tokens: 0,
+        degraded_tokens: 0,
+        failed_requests: 0,
+        degraded_quality_delta: 0.0,
+        spec_hits,
+        spec_misses,
+        spec_denied,
+        slo_burn: finalize_slo_burn(rec),
+    };
+    let mut fleet = FleetReport::assemble(router_policy, reports, placements, samples);
+    fleet.slo_burn = metrics.slo_burn.clone();
+    fleet.attach_sessions(SessionSummary {
+        sessions: sessions_seen,
+        turns: total_arrived,
+        prefix_hits: local_hits,
+        cold_turns,
+        pulls,
+    });
+    if rec.is_enabled() {
+        rec.counter_add("serving.completed", metrics.completed as u64);
+        rec.counter_add("serving.rejected", metrics.rejected as u64);
+        rec.counter_add("serving.generated_tokens", generated_tokens as u64);
+        rec.counter_add("router.placements", fleet.placements.len() as u64);
+        rec.gauge_set("serving.throughput_tps", metrics.throughput_tps);
+        rec.gauge_set("serving.mean_batch", metrics.mean_batch);
+        if let Some(s) = &fleet.sessions {
+            rec.counter_add("sessions.turns", s.turns as u64);
+            rec.counter_add("sessions.prefix_hits", s.prefix_hits as u64);
+            rec.counter_add("sessions.pulls", s.pulls.len() as u64);
+            rec.counter_add("sessions.pulled_pages", s.pulled_pages() as u64);
+            rec.counter_add("sessions.cold_turns", s.cold_turns as u64);
         }
     }
     (metrics, fleet)
@@ -2318,5 +2663,125 @@ mod tests {
     fn from_json_rejects_missing_fields() {
         assert!(ServeMetrics::from_json("{\"completed\":1}").is_err());
         assert!(ServeMetrics::from_json("not json").is_err());
+    }
+
+    fn session_fleet(
+        replicas: usize,
+        reuse: f64,
+        cache_pages: usize,
+        policy: RouterPolicy,
+    ) -> (ServeMetrics, FleetReport) {
+        let model = ModelConfig::llama3_1b();
+        let mut systems: Vec<Box<dyn ServingSystem>> = (0..replicas)
+            .map(|_| {
+                Box::new(LongSightSystem::new(
+                    LongSightConfig::paper_default(),
+                    model.clone(),
+                )) as Box<dyn ServingSystem>
+            })
+            .collect();
+        let wl = WorkloadConfig {
+            arrivals_per_s: 2.0,
+            context_tokens: (32_768, 65_536),
+            output_tokens: (16, 64),
+            duration_s: 12.0,
+            seed: 11,
+        };
+        // Think times comfortably above the ~1-2 s service time, so most
+        // follow-ups arrive after their prefix has been published.
+        let sess = SessionOptions {
+            sessions: 6,
+            turns: 3,
+            think_time_ms: 1500.0,
+            reuse,
+            prefix_cache_pages: cache_pages,
+        };
+        simulate_fleet_sessions(
+            &mut systems,
+            &model,
+            &wl,
+            &SchedOptions::slo_aware(SloMix::all_interactive()),
+            policy,
+            &sess,
+            &mut Recorder::disabled(),
+        )
+    }
+
+    #[test]
+    fn session_fleet_passes_audit_and_reuses_prefixes() {
+        let (_, fleet) = session_fleet(2, 1.0, 4096, RouterPolicy::Affinity);
+        assert_eq!(fleet.audit_violation, None, "{:?}", fleet.audit_violation);
+        let s = fleet.sessions.as_ref().expect("session summary attached");
+        assert_eq!(s.sessions, 6);
+        assert_eq!(s.turns, 18);
+        assert!(
+            s.prefix_hits + s.pulls.len() > 0,
+            "full reuse with a generous cache must hit: {s:?}"
+        );
+        // Deterministic: the placement log and summary reproduce exactly.
+        let (_, again) = session_fleet(2, 1.0, 4096, RouterPolicy::Affinity);
+        assert_eq!(fleet.placement_log(), again.placement_log());
+        assert_eq!(fleet.sessions, again.sessions);
+    }
+
+    #[test]
+    fn session_reuse_cuts_prefill_work_vs_cold_routing() {
+        let (_, warm) = session_fleet(2, 1.0, 4096, RouterPolicy::Affinity);
+        let (_, cold) = session_fleet(2, 1.0, 0, RouterPolicy::JsqSpillover);
+        assert_eq!(cold.audit_violation, None);
+        let work = |f: &FleetReport| -> f64 { f.replicas.iter().map(|r| r.prefill_work_ns).sum() };
+        assert!(
+            work(&warm) < work(&cold),
+            "prefix reuse must cut prefill work: warm {} vs cold {}",
+            work(&warm),
+            work(&cold)
+        );
+        let s = cold.sessions.as_ref().expect("summary present even cold");
+        assert_eq!(s.prefix_hits, 0);
+        assert!(s.pulls.is_empty());
+        assert_eq!(s.cold_turns, s.turns - s.sessions);
+    }
+
+    #[test]
+    fn sessions_off_is_byte_identical_to_plain_fleet() {
+        let model = ModelConfig::llama3_1b();
+        let make = || -> Vec<Box<dyn ServingSystem>> {
+            (0..2)
+                .map(|_| {
+                    Box::new(LongSightSystem::new(
+                        LongSightConfig::paper_default(),
+                        model.clone(),
+                    )) as Box<dyn ServingSystem>
+                })
+                .collect()
+        };
+        let wl = WorkloadConfig {
+            arrivals_per_s: 2.0,
+            context_tokens: (32_768, 65_536),
+            output_tokens: (16, 64),
+            duration_s: 5.0,
+            seed: 3,
+        };
+        let opts = SchedOptions::slo_aware(SloMix::all_interactive());
+        let (m1, f1) = simulate_fleet(
+            &mut make(),
+            &model,
+            &wl,
+            &opts,
+            RouterPolicy::JsqSpillover,
+            &mut Recorder::disabled(),
+        );
+        let (m2, f2) = simulate_fleet_sessions(
+            &mut make(),
+            &model,
+            &wl,
+            &opts,
+            RouterPolicy::JsqSpillover,
+            &SessionOptions::disabled(),
+            &mut Recorder::disabled(),
+        );
+        assert_eq!(m1, m2);
+        assert_eq!(f1.placement_log(), f2.placement_log());
+        assert_eq!(f1.to_text(), f2.to_text());
     }
 }

@@ -16,11 +16,13 @@
 #      with --timeseries-out validated by `perf-diff --self-check`
 #   9. lookahead smoke: speculative loadtest with a traced run, validated
 #      the same way
-#  10. perf trajectory gate: `perf-diff --gate results/trajectory.tsv`
+#  10. session smoke: 2-replica session workload under affinity routing
+#      with a traced run, validated the same way
+#  11. perf trajectory gate: `perf-diff --gate results/trajectory.tsv`
 #      re-reads the checked-in goldens and fails on a >10% interactive-p99
 #      regression against the pinned values
-#  11. rustdoc gate (missing/broken docs are errors)
-#  12. full test suite (unit + property + integration + doc tests)
+#  12. rustdoc gate (missing/broken docs are errors)
+#  13. full test suite (unit + property + integration + doc tests)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -115,6 +117,14 @@ target/release/longsight loadtest --model 8b --rate 2 --duration 4 \
     --ctx-min 131072 --ctx-max 131072 --lookahead on \
     --trace-out "$obs_tmp/lookahead_trace.json"
 target/release/longsight trace-validate --file "$obs_tmp/lookahead_trace.json"
+
+echo "== session smoke (2-replica affinity loadtest, trace-validate) =="
+target/release/longsight loadtest --model 1b --duration 8 \
+    --ctx-min 16384 --ctx-max 32768 --out-min 16 --out-max 64 \
+    --replicas 2 --router affinity \
+    --sessions 4 --turns 3 --think-time-ms 1500 --reuse 0.9 \
+    --trace-out "$obs_tmp/session_trace.json"
+target/release/longsight trace-validate --file "$obs_tmp/session_trace.json"
 
 # Interactive tail-latency trajectory: the checked-in goldens must not
 # regress the interactive p99 request latency more than 10% past the values

@@ -87,6 +87,19 @@ fn main() {
     );
     assert!(identical, "parallel sweep diverged from serial sweep");
 
+    // Host scan-kernel microbench: per-key SignBits walk vs the bitplane
+    // SignArena kernel that the hybrid/trace/device scans run on. Wall-clock
+    // numbers vary by host; the packed row's ns/key is pinned (generously)
+    // in results/trajectory.tsv and its bit-identity is asserted here and in
+    // the scf_kernel ci smoke.
+    let kb = longsight_bench::fig7::scan_kernel_bench(65_536, 128);
+    print_table(
+        "SCF scan kernel: per-key vs bitplane-packed (host wall-clock)",
+        &["kernel", "keys", "dim", "ns per key", "speedup"],
+        &longsight_bench::fig7::scan_kernel_rows(&kb),
+    );
+    assert!(kb.identical, "packed kernel diverged from per-key scan");
+
     println!("\npaper: up to 8.1-9.6x higher throughput and 3.6-11.9x higher tokens/s/user");
     println!("at the maximum context supported by one GPU; only LongSight reaches 1M");
     println!("tokens with a single GPU; 2-GPU/AttAcc win at short contexts (LongSight");

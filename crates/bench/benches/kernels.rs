@@ -5,9 +5,9 @@
 //! goldens in `results/kernels.txt`.
 
 use longsight_bench::timing::bench_report;
-use longsight_core::{filter_block, ItqConfig, ItqRotation, PFU_BLOCK_KEYS};
+use longsight_core::{filter_block, filter_block_packed, ItqConfig, ItqRotation, PFU_BLOCK_KEYS};
 use longsight_dram::{ChannelSim, DramTiming, Request};
-use longsight_tensor::{vecops, Matrix, SignBits, SimRng, TopK};
+use longsight_tensor::{vecops, Matrix, SignArena, SignBits, SimRng, TopK};
 use std::hint::black_box;
 
 fn bench_sign_packing() {
@@ -33,6 +33,15 @@ fn bench_scf_block() {
         "scf/filter_block_128x128",
         Some(PFU_BLOCK_KEYS as u64),
         || filter_block(black_box(&q), black_box(&keys), 70),
+    );
+    let mut arena = SignArena::new(128);
+    for k in &keys {
+        arena.push_bits(k);
+    }
+    bench_report(
+        "scf/filter_packed_128x128",
+        Some(PFU_BLOCK_KEYS as u64),
+        || filter_block_packed(black_box(&q), black_box(&arena), 0..PFU_BLOCK_KEYS, 70),
     );
 }
 

@@ -1,11 +1,15 @@
 //! Fig 7 driver: decode-phase throughput and per-token latency for the four
-//! systems across models, context lengths, and user counts.
+//! systems across models, context lengths, and user counts — plus the host
+//! scan-kernel microbench that keeps the bitplane SCF path honest.
 
+use crate::timing;
+use longsight_core::{filter_block_packed, scf_pass, PFU_BLOCK_KEYS};
 use longsight_gpu::{DataParallelGpus, GpuSpec};
 use longsight_model::ModelConfig;
 use longsight_system::{
     AttAccSystem, GpuOnlySystem, LongSightConfig, LongSightSystem, ServingSystem, StepReport,
 };
+use longsight_tensor::{SignArena, SignBits, SimRng};
 
 /// One Fig 7 cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +110,135 @@ pub fn headline_speedup(model: &ModelConfig) -> (f64, f64) {
     (throughput_gain, per_user_gain)
 }
 
+/// Host wall-clock comparison of the two SCF scan kernels over the same
+/// sign store: the legacy per-key `scf_pass` walk over heap-allocated
+/// `SignBits` vs the bitplane [`filter_block_packed`] kernel streaming a
+/// packed [`SignArena`] in 128-key PFU blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanKernelBench {
+    /// Keys in the scanned region.
+    pub keys: usize,
+    /// Sign dimension (head_dim after rotation).
+    pub dim: usize,
+    /// SCF threshold applied by both kernels.
+    pub threshold: u32,
+    /// Median per-key cost of the per-key scan, ns.
+    pub per_key_ns_per_key: f64,
+    /// Median per-key cost of the packed block kernel, ns.
+    pub packed_ns_per_key: f64,
+    /// Whether the two kernels produced the same survivor set (must be true;
+    /// the ci smoke asserts it).
+    pub identical: bool,
+}
+
+impl ScanKernelBench {
+    /// Packed-kernel speedup over the per-key scan.
+    pub fn speedup(&self) -> f64 {
+        self.per_key_ns_per_key / self.packed_ns_per_key
+    }
+}
+
+/// Times both scan kernels over `keys` random sign vectors of `dim`
+/// dimensions and cross-checks their survivor sets bit-for-bit.
+///
+/// The threshold is placed one standard deviation above the random-sign
+/// mean (`dim/2 + √dim/2`), giving a realistically sparse survivor rate in
+/// the ballpark of the paper's ~20× filter ratio.
+pub fn scan_kernel_bench(keys: usize, dim: usize) -> ScanKernelBench {
+    let threshold = (dim as f64 / 2.0 + (dim as f64).sqrt() / 2.0).round() as u32;
+    let mut rng = SimRng::seed_from(0x5CF);
+    let mut per_key: Vec<SignBits> = Vec::with_capacity(keys);
+    let mut arena = SignArena::new(dim);
+    for _ in 0..keys {
+        let v = rng.normal_vec(dim);
+        per_key.push(SignBits::from_slice(&v));
+        arena.push_signs_of(&v);
+    }
+    let q = SignBits::from_slice(&rng.normal_vec(dim));
+
+    let mut identical = true;
+    let mut block = 0;
+    while block < keys {
+        let end = (block + PFU_BLOCK_KEYS).min(keys);
+        let bitmap = filter_block_packed(&q, &arena, block..end, threshold);
+        for (i, k) in per_key[block..end].iter().enumerate() {
+            if (bitmap >> i & 1 == 1) != scf_pass(&q, k, threshold) {
+                identical = false;
+            }
+        }
+        block = end;
+    }
+
+    let t_per_key = timing::measure(|| {
+        let mut survivors = 0u32;
+        for k in &per_key {
+            survivors += u32::from(scf_pass(&q, k, threshold));
+        }
+        survivors
+    });
+    let t_packed = timing::measure(|| {
+        let mut survivors = 0u32;
+        let mut block = 0;
+        while block < keys {
+            let end = (block + PFU_BLOCK_KEYS).min(keys);
+            survivors += filter_block_packed(&q, &arena, block..end, threshold).count_ones();
+            block = end;
+        }
+        survivors
+    });
+    ScanKernelBench {
+        keys,
+        dim,
+        threshold,
+        per_key_ns_per_key: t_per_key.median_ns / keys as f64,
+        packed_ns_per_key: t_packed.median_ns / keys as f64,
+        identical,
+    }
+}
+
+/// Renders the microbench as table rows for [`crate::print_table`] with the
+/// headers `["kernel", "keys", "dim", "ns per key", "speedup"]` — the
+/// `packed scan` row's `ns per key` field is the one `trajectory.tsv` pins
+/// via `perf-diff --gate`.
+pub fn scan_kernel_rows(b: &ScanKernelBench) -> Vec<Vec<String>> {
+    vec![
+        vec![
+            "per-key scan".into(),
+            b.keys.to_string(),
+            b.dim.to_string(),
+            format!("{:.3}", b.per_key_ns_per_key),
+            "1.00x".into(),
+        ],
+        vec![
+            "packed scan".into(),
+            b.keys.to_string(),
+            b.dim.to_string(),
+            format!("{:.3}", b.packed_ns_per_key),
+            format!(
+                "{:.2}x (bit-identical: {})",
+                b.speedup(),
+                if b.identical { "yes" } else { "NO" }
+            ),
+        ],
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scan_kernels_agree_bit_for_bit() {
+        // Odd dim exercises the generic lane arm; the wall-clock numbers are
+        // host-dependent, so only shape and identity are asserted here.
+        let b = scan_kernel_bench(4096, 67);
+        assert!(b.identical, "packed kernel diverged from per-key scan");
+        assert!(b.per_key_ns_per_key > 0.0);
+        assert!(b.packed_ns_per_key > 0.0);
+        let rows = scan_kernel_rows(&b);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1][0], "packed scan");
+    }
 
     #[test]
     fn longsight_wins_headline_at_max_gpu_context() {

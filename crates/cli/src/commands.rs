@@ -795,6 +795,12 @@ pub fn loadtest(a: &Args) -> Result<(), String> {
 /// window / weights / merge / filter / score / queue / link / retry
 /// components. The `total` row reproduces the run's reported token-latency
 /// p50/p99 exactly, and the mean column sums to the mean token latency.
+///
+/// `--host-kernels on` appends the host-side SCF scan-kernel comparison:
+/// the legacy per-key `scf_pass` walk (the baseline) against the bitplane
+/// `filter_block_packed` kernel over the same packed sign store. The
+/// attribution rows above it are simulated device time and are unaffected;
+/// this section profiles the simulator's own scan hot path, wall-clock.
 pub fn profile(a: &Args) -> Result<(), String> {
     a.ensure_known(&[
         "model",
@@ -815,7 +821,17 @@ pub fn profile(a: &Args) -> Result<(), String> {
         "spec-slots",
         "spec-miss",
         "spec-penalty-ms",
+        "host-kernels",
     ])?;
+    let host_kernels = match a.get("host-kernels").unwrap_or("off") {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(format!(
+                "--host-kernels must be 'on' or 'off', got '{other}'"
+            ))
+        }
+    };
     let model = model_flag(a)?;
     let wl = WorkloadConfig {
         arrivals_per_s: a.get_or("rate", 2.0)?,
@@ -870,6 +886,18 @@ pub fn profile(a: &Args) -> Result<(), String> {
             m.degraded_tokens,
             m.failed_requests
         );
+    }
+    if host_kernels {
+        let kb = longsight_bench::fig7::scan_kernel_bench(65_536, 128);
+        println!();
+        longsight_bench::print_table(
+            "host SCF scan kernel: per-key baseline vs bitplane-packed (wall-clock)",
+            &["kernel", "keys", "dim", "ns per key", "speedup"],
+            &longsight_bench::fig7::scan_kernel_rows(&kb),
+        );
+        if !kb.identical {
+            return Err("packed scan kernel diverged from the per-key baseline".into());
+        }
     }
     write_observability(&rec, &obs_paths)
 }
@@ -1157,6 +1185,24 @@ mod tests {
         assert!(serve(&args(&["--system", "bogus"])).is_err());
         assert!(quality(&args(&["--nope", "1"])).is_err());
         assert!(model_flag(&args(&["--model", "70b"])).is_err());
+        assert!(profile(&args(&["--host-kernels", "maybe"])).is_err());
+    }
+
+    #[test]
+    fn profile_host_kernels_section_runs() {
+        profile(&args(&[
+            "--model",
+            "1b",
+            "--duration",
+            "2",
+            "--ctx-min",
+            "65536",
+            "--ctx-max",
+            "65536",
+            "--host-kernels",
+            "on",
+        ]))
+        .unwrap();
     }
 
     #[test]

@@ -341,7 +341,10 @@ struct GateSpec {
 /// grammar mirrors the tables: `sched_comparison/8s/slo-aware/...`,
 /// `router_scaling/2r/jsq/...`, `lookahead/32slots/0.25ms/p99_token_ms`,
 /// `fleet_availability/2r/0.10/breaker/...`,
-/// `session_reuse/2r/0.90/affinity/...`.
+/// `session_reuse/2r/0.90/affinity/...`, and
+/// `fig7_kernel/packed/ns_per_key` (the host scan-kernel row — the pinned
+/// value is ns per key, not ms, and wall-clock, so its threshold is set
+/// generously in the trajectory file).
 fn gate_spec(key: &str) -> Result<GateSpec, String> {
     let parts: Vec<&str> = key.split('/').collect();
     let part = |i: usize| -> Result<&str, String> {
@@ -423,6 +426,18 @@ fn gate_spec(key: &str) -> Result<GateSpec, String> {
                     (3, part(3)?.to_string()),
                 ],
                 field: 9,
+            })
+        }
+        "fig7_kernel" => {
+            if part(1)? != "packed" || part(2)? != "ns_per_key" {
+                return Err(format!(
+                    "key '{key}': only fig7_kernel/packed/ns_per_key is pinned"
+                ));
+            }
+            Ok(GateSpec {
+                file: "results/fig7_throughput.txt",
+                matchers: vec![(1, "packed scan".to_string())],
+                field: 4,
             })
         }
         other => Err(format!("unknown trajectory table '{other}' in key '{key}'")),
@@ -619,6 +634,22 @@ mod tests {
         assert_eq!(s.field, 9);
         assert!(gate_spec("session_reuse/2/0.90/affinity/x").is_err());
         assert!(gate_spec("unknown_table/1/2").is_err());
+        let s = gate_spec("fig7_kernel/packed/ns_per_key").unwrap();
+        assert_eq!(s.file, "results/fig7_throughput.txt");
+        assert_eq!(s.matchers, vec![(1, "packed scan".to_string())]);
+        assert_eq!(s.field, 4);
+        assert!(gate_spec("fig7_kernel/perkey/ns_per_key").is_err());
+    }
+
+    #[test]
+    fn kernel_row_lookup_reads_the_packed_ns_per_key() {
+        let table = "\
+ kernel       | keys  | dim | ns per key | speedup
+ per-key scan | 65536 | 128 | 4.872      | 1.00x
+ packed scan  | 65536 | 128 | 2.867      | 1.70x (bit-identical: yes)
+";
+        let spec = gate_spec("fig7_kernel/packed/ns_per_key").unwrap();
+        assert_eq!(table_lookup(&spec, table).unwrap(), 2.867);
     }
 
     #[test]

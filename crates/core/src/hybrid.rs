@@ -13,10 +13,10 @@
 //! test pins them to identical results.
 
 use crate::itq::RotationTable;
-use crate::scf::{scf_pass, ThresholdTable};
+use crate::scf::{filter_block_packed, ThresholdTable, PFU_BLOCK_KEYS};
 use crate::stats::FilterStats;
 use longsight_model::{attend_over_indices, AttentionBackend, AttentionRequest};
-use longsight_tensor::{vecops, SignBits, TopK};
+use longsight_tensor::{vecops, SignArena, TopK};
 
 /// Structural parameters of hybrid attention.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,13 +58,6 @@ impl HybridConfig {
     }
 }
 
-/// Incrementally-maintained rotated sign bits for one `(layer, kv_head)` —
-/// the functional mirror of the Key Sign Objects stored in DReX.
-#[derive(Debug, Clone, Default)]
-struct HeadSignCache {
-    signs: Vec<SignBits>,
-}
-
 /// The hybrid dense–sparse attention backend.
 ///
 /// # Example
@@ -91,7 +84,10 @@ pub struct LongSightBackend {
     config: HybridConfig,
     thresholds: ThresholdTable,
     rotations: RotationTable,
-    caches: Vec<HeadSignCache>,
+    /// One packed sign arena per `(layer, kv_head)` — the functional mirror
+    /// of the Key Sign Object regions stored in DReX, maintained
+    /// incrementally as keys leave the dense window.
+    arenas: Vec<SignArena>,
     kv_heads: usize,
     stats: FilterStats,
 }
@@ -107,11 +103,14 @@ impl LongSightBackend {
         config.validate().expect("invalid hybrid config");
         let layers = thresholds.layers();
         let kv_heads = thresholds.kv_heads();
+        let arenas = (0..layers * kv_heads)
+            .map(|i| SignArena::new(rotations.get(i / kv_heads, i % kv_heads).dim()))
+            .collect();
         Self {
             config,
             thresholds,
             rotations,
-            caches: vec![HeadSignCache::default(); layers * kv_heads],
+            arenas,
             kv_heads,
             stats: FilterStats::new(layers, kv_heads),
         }
@@ -152,12 +151,13 @@ impl AttentionBackend for LongSightBackend {
         let threshold = self.thresholds.get(req.layer, req.kv_head);
 
         // Sync rotated sign bits for keys that have left the window — the
-        // functional equivalent of flushing Key Sign Objects to DReX.
-        let cache = &mut self.caches[head_idx];
+        // functional equivalent of flushing Key Sign Objects to DReX. The
+        // arena append packs lanes in place; no per-key SignBits exists.
+        let arena = &mut self.arenas[head_idx];
         let keys = req.history.keys();
-        while cache.signs.len() < window_start {
-            let i = cache.signs.len();
-            cache.signs.push(rotation.signs(keys.get(i)));
+        while arena.len() < window_start {
+            let i = arena.len();
+            rotation.signs_into(keys.get(i), arena);
         }
 
         let n = req.position + 1;
@@ -171,7 +171,7 @@ impl AttentionBackend for LongSightBackend {
             let mut retrieved = 0u64;
             if region > 0 && top_k > 0 {
                 let q_signs = rotation.signs(q);
-                let signs = &cache.signs;
+                let arena = &*arena;
                 // The filter→score→rank scan is embarrassingly parallel over
                 // fixed-size chunks of the sparse region (this mirrors the
                 // per-partition PFU parallelism of the real device). Each
@@ -189,19 +189,26 @@ impl AttentionBackend for LongSightBackend {
                     let end = (start + SCAN_CHUNK).min(window_start);
                     let mut top = TopK::new(top_k);
                     let mut chunk_scored = 0u64;
-                    // Index loop on purpose: `i` addresses both `signs` and
-                    // `keys`, and the range is a sub-window of the cache.
-                    #[allow(clippy::needless_range_loop)]
-                    for i in start..end {
-                        // Stage 1: in-memory filtering (PFU).
-                        if !scf_pass(&q_signs, &signs[i], threshold) {
-                            continue;
+                    // Stage 1 runs one PFU epoch per 128-key block off the
+                    // packed lanes; survivors are then scored in ascending
+                    // index order, so stages 2–3 see the exact (score, index)
+                    // sequence the per-key scan produced.
+                    let mut block = start;
+                    while block < end {
+                        let block_end = (block + PFU_BLOCK_KEYS).min(end);
+                        // Stage 1: in-memory filtering (PFU epoch).
+                        let mut bitmap =
+                            filter_block_packed(&q_signs, arena, block..block_end, threshold);
+                        while bitmap != 0 {
+                            let i = block + bitmap.trailing_zeros() as usize;
+                            bitmap &= bitmap - 1;
+                            // Stage 2: full-precision scoring (NMA).
+                            chunk_scored += 1;
+                            let s = vecops::dot(q, keys.get(i));
+                            // Stage 3: ranking.
+                            top.push(s, i);
                         }
-                        // Stage 2: full-precision scoring (NMA).
-                        chunk_scored += 1;
-                        let s = vecops::dot(q, keys.get(i));
-                        // Stage 3: ranking.
-                        top.push(s, i);
+                        block = block_end;
                     }
                     (top.into_sorted_vec(), chunk_scored)
                 });
@@ -248,8 +255,8 @@ impl AttentionBackend for LongSightBackend {
     }
 
     fn reset(&mut self) {
-        for c in &mut self.caches {
-            c.signs.clear();
+        for a in &mut self.arenas {
+            a.clear();
         }
     }
 }

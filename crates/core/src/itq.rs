@@ -16,7 +16,7 @@
 //! the same rotation to both Q and K leaves dot products unchanged — only
 //! the sign bits (and therefore SCF) are affected.
 
-use longsight_tensor::{linalg, Matrix, SignBits, SimRng};
+use longsight_tensor::{linalg, Matrix, SignArena, SignBits, SimRng};
 
 /// A learned orthogonal rotation for one KV head.
 #[derive(Debug, Clone)]
@@ -116,6 +116,17 @@ impl ItqRotation {
     /// Rotates and extracts sign bits in one step.
     pub fn signs(&self, v: &[f32]) -> SignBits {
         SignBits::from_slice(&self.apply(v))
+    }
+
+    /// Rotates `v` and packs its sign bits straight onto the tail of a
+    /// [`SignArena`] — the append path of the packed sign store, with no
+    /// per-key [`SignBits`] allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim` or the arena's dimension differs.
+    pub fn signs_into(&self, v: &[f32], arena: &mut SignArena) {
+        arena.push_signs_of(&self.apply(v));
     }
 
     /// Mean binary quantization error `‖sign(XR) − XR‖² / n` over `data` —

@@ -53,6 +53,7 @@ pub use hybrid::{HybridConfig, LongSightBackend};
 pub use itq::{ItqConfig, ItqRotation, RotationTable};
 pub use quant_filter::{QuantFilter, QuantVec, SCF_BYTES_LOADED_FRACTION};
 pub use scf::{
-    filter_block, scf_pass, surviving_indices, ThresholdTable, PFU_BLOCK_KEYS, PFU_MAX_QUERIES,
+    filter_block, filter_block_packed, scf_pass, surviving_indices, ThresholdTable, PFU_BLOCK_KEYS,
+    PFU_MAX_QUERIES,
 };
 pub use stats::{FilterStats, PerHeadStats};

@@ -11,7 +11,7 @@
 //! thresholds unstable to tune, §5.1). Filtering is applied per token, in
 //! blocks of 128 keys — matching the PFU hardware granularity (§7.1).
 
-use longsight_tensor::SignBits;
+use longsight_tensor::{SignArena, SignBits};
 
 /// The PFU filtering block size: each epoch filters 128 keys per bank.
 pub const PFU_BLOCK_KEYS: usize = 128;
@@ -120,6 +120,88 @@ pub fn filter_block(query: &SignBits, keys: &[SignBits], threshold: u32) -> u128
     bitmap
 }
 
+/// Filters one 128-key PFU block straight off the packed lanes of a
+/// [`SignArena`], returning a bitmap. Bit `b` of the result corresponds to
+/// arena key `range.start + b`.
+///
+/// This is the bitplane kernel behind every scan hot path: where
+/// [`filter_block`] chases one heap allocation per key, this streams the
+/// key-major `u64` lanes of the whole block — the word-wide XOR/popcount the
+/// PFU performs at internal DRAM bandwidth (§5.1, §7.4). The survivor set is
+/// bit-identical to evaluating [`scf_pass`] per key: both compute
+/// `dim − popcount(SQ ⊕ SK) >= threshold` over the same packed bits.
+///
+/// # Panics
+///
+/// Panics if the query/arena dimensions differ, the range exceeds the arena,
+/// or the range spans more than [`PFU_BLOCK_KEYS`] keys.
+pub fn filter_block_packed(
+    query: &SignBits,
+    arena: &SignArena,
+    range: core::ops::Range<usize>,
+    threshold: u32,
+) -> u128 {
+    assert_eq!(
+        query.dim(),
+        arena.dim(),
+        "query/arena sign dimension mismatch"
+    );
+    assert!(
+        range.len() <= PFU_BLOCK_KEYS,
+        "a PFU epoch filters at most {PFU_BLOCK_KEYS} keys, got {}",
+        range.len()
+    );
+    let dim = arena.dim() as u32;
+    let keys = range.len();
+    let wpk = arena.words_per_key();
+    if wpk == 0 {
+        // Zero-dimensional signs: concordance is 0, so only threshold 0 passes.
+        return if threshold == 0 {
+            if keys == 128 {
+                u128::MAX
+            } else {
+                (1u128 << keys) - 1
+            }
+        } else {
+            0
+        };
+    }
+    let lanes = arena.lane_words(range);
+    let qw = query.words();
+    let mut bitmap = 0u128;
+    match wpk {
+        // The models this repo serves have head_dim 64 or 128, so the scan
+        // spends its life in these two arms; the generic arm keeps odd
+        // dimensions (tests, sweeps) correct.
+        1 => {
+            let q0 = qw[0];
+            for (b, &w) in lanes.iter().enumerate() {
+                if dim - (w ^ q0).count_ones() >= threshold {
+                    bitmap |= 1u128 << b;
+                }
+            }
+        }
+        2 => {
+            let (q0, q1) = (qw[0], qw[1]);
+            for (b, lane) in lanes.chunks_exact(2).enumerate() {
+                let hamming = (lane[0] ^ q0).count_ones() + (lane[1] ^ q1).count_ones();
+                if dim - hamming >= threshold {
+                    bitmap |= 1u128 << b;
+                }
+            }
+        }
+        _ => {
+            for (b, lane) in lanes.chunks_exact(wpk).enumerate() {
+                let hamming: u32 = lane.iter().zip(qw).map(|(w, q)| (w ^ q).count_ones()).sum();
+                if dim - hamming >= threshold {
+                    bitmap |= 1u128 << b;
+                }
+            }
+        }
+    }
+    bitmap
+}
+
 /// Returns the indices (into `keys`) of keys passing SCF for `query`.
 pub fn surviving_indices(query: &SignBits, keys: &[SignBits], threshold: u32) -> Vec<usize> {
     keys.iter()
@@ -178,6 +260,53 @@ mod tests {
         let q = signs_of(&[1.0]);
         let keys = vec![q.clone(); 129];
         let _ = filter_block(&q, &keys, 0);
+    }
+
+    #[test]
+    fn packed_block_matches_per_key_block() {
+        // 67 dims crosses a word boundary; 130 keys exercises a full 128-key
+        // block plus a ragged tail.
+        let dim = 67;
+        let q: Vec<f32> = (0..dim).map(|d| ((d * 37) % 13) as f32 - 6.0).collect();
+        let q_signs = signs_of(&q);
+        let mut arena = longsight_tensor::SignArena::new(dim);
+        let mut keys = Vec::new();
+        for i in 0..130 {
+            let v: Vec<f32> = (0..dim)
+                .map(|d| ((i * 53 + d * 29) % 11) as f32 - 5.0)
+                .collect();
+            keys.push(signs_of(&v));
+            arena.push_signs_of(&v);
+        }
+        for th in [0, 1, 30, 40, 67, 68] {
+            let full = filter_block(&q_signs, &keys[..128], th);
+            assert_eq!(filter_block_packed(&q_signs, &arena, 0..128, th), full);
+            let tail = filter_block(&q_signs, &keys[128..], th);
+            assert_eq!(filter_block_packed(&q_signs, &arena, 128..130, th), tail);
+        }
+    }
+
+    #[test]
+    fn packed_block_full_128_sets_high_bit() {
+        let dim = 64;
+        let q_signs = signs_of(&vec![1.0; dim]);
+        let mut arena = longsight_tensor::SignArena::new(dim);
+        for _ in 0..128 {
+            arena.push_signs_of(&vec![1.0; dim]);
+        }
+        let bitmap = filter_block_packed(&q_signs, &arena, 0..128, dim as u32);
+        assert_eq!(bitmap, u128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128 keys")]
+    fn oversized_packed_block_panics() {
+        let q = signs_of(&[1.0]);
+        let mut arena = longsight_tensor::SignArena::new(1);
+        for _ in 0..129 {
+            arena.push_signs_of(&[1.0]);
+        }
+        let _ = filter_block_packed(&q, &arena, 0..129, 0);
     }
 
     #[test]

@@ -17,11 +17,11 @@
 
 use crate::hybrid::HybridConfig;
 use crate::itq::ItqRotation;
-use crate::scf::scf_pass;
+use crate::scf::{filter_block_packed, PFU_BLOCK_KEYS};
 use crate::stats::FilterStats;
 use longsight_model::tracegen::HeadTrace;
 use longsight_model::{attend_over_indices, HeadKv};
-use longsight_tensor::{vecops, SignBits, TopK};
+use longsight_tensor::{vecops, SignArena, TopK};
 
 /// Quality of the hybrid pipeline on one head trace.
 #[derive(Debug, Clone)]
@@ -57,8 +57,13 @@ pub fn evaluate_trace(
     let d = trace.keys.dim();
     assert_eq!(rotation.dim(), d, "rotation dimension mismatch");
 
-    // Precompute rotated sign bits for all keys (Key Sign Objects).
-    let key_signs: Vec<SignBits> = trace.keys.iter().map(|k| rotation.signs(k)).collect();
+    // Precompute rotated sign bits for all keys into one packed arena (the
+    // Key Sign Object region the PFUs scan).
+    let mut key_signs = SignArena::new(d);
+    for k in trace.keys.iter() {
+        rotation.signs_into(k, &mut key_signs);
+    }
+    let key_signs = &key_signs;
 
     // Build a HeadKv view for the shared attention kernel.
     let mut history = HeadKv::new(d);
@@ -88,18 +93,26 @@ pub fn evaluate_trace(
         let q = &probe.q;
         let q_signs = rotation.signs(q);
 
-        // Sparse pipeline over the region.
+        // Sparse pipeline over the region: one PFU epoch per 128-key block
+        // off the packed arena, then every key is scored for the exact
+        // (true_top) side while survivors also feed the hybrid heap —
+        // identical push order to the per-key scan.
         let mut top = TopK::new(config.top_k);
         let mut scored = 0u64;
         let mut true_top = TopK::new(config.top_k);
-        #[allow(clippy::needless_range_loop)]
-        for i in sinks_end..window_start {
-            let s = vecops::dot(q, history.keys().get(i));
-            true_top.push(s, i);
-            if scf_pass(&q_signs, &key_signs[i], threshold) {
-                scored += 1;
-                top.push(s, i);
+        let mut block = sinks_end;
+        while block < window_start {
+            let block_end = (block + PFU_BLOCK_KEYS).min(window_start);
+            let bitmap = filter_block_packed(&q_signs, key_signs, block..block_end, threshold);
+            for i in block..block_end {
+                let s = vecops::dot(q, history.keys().get(i));
+                true_top.push(s, i);
+                if bitmap >> (i - block) & 1 == 1 {
+                    scored += 1;
+                    top.push(s, i);
+                }
             }
+            block = block_end;
         }
         let retrieved: Vec<usize> = top.into_sorted_vec().iter().map(|s| s.index).collect();
         let exact: Vec<usize> = true_top.into_sorted_vec().iter().map(|s| s.index).collect();

@@ -4,12 +4,12 @@
 use longsight_core::baseline_filters::blockwise_surviving_indices;
 use longsight_core::quant_filter::QuantVec;
 use longsight_core::{
-    surviving_indices, HybridConfig, ItqConfig, ItqRotation, LongSightBackend, RotationTable,
-    ThresholdTable,
+    filter_block_packed, scf_pass, surviving_indices, HybridConfig, ItqConfig, ItqRotation,
+    LongSightBackend, RotationTable, ThresholdTable, PFU_BLOCK_KEYS,
 };
 use longsight_model::{AttentionBackend, AttentionRequest, DenseBackend, HeadKv};
 use longsight_tensor::check::{run_cases, run_seed, Gen};
-use longsight_tensor::{prop_ensure, prop_ensure_eq, vecops, Matrix, SignBits, SimRng};
+use longsight_tensor::{prop_ensure, prop_ensure_eq, vecops, Matrix, SignArena, SignBits, SimRng};
 
 fn history(n: usize, dim: usize, seed: u64) -> HeadKv {
     let mut rng = SimRng::seed_from(seed);
@@ -229,4 +229,98 @@ fn stats_are_internally_consistent() {
         24,
         check_stats_consistency,
     );
+}
+
+/// Builds `n` sign vectors of dimension `dim` with sign-edge values
+/// (`0.0`, `-0.0`, NaN) sprinkled in, packed both per-key and into an arena.
+fn edge_signed_store(n: usize, dim: usize, rng: &mut SimRng) -> (Vec<SignBits>, SignArena) {
+    let mut per_key = Vec::with_capacity(n);
+    let mut arena = SignArena::new(dim);
+    for _ in 0..n {
+        let mut v = rng.normal_vec(dim);
+        for x in v.iter_mut() {
+            let r = rng.uniform();
+            if r < 0.05 {
+                *x = 0.0;
+            } else if r < 0.10 {
+                *x = -0.0;
+            } else if r < 0.15 {
+                *x = f32::NAN;
+            }
+        }
+        per_key.push(SignBits::from_slice(&v));
+        arena.push_signs_of(&v);
+    }
+    (per_key, arena)
+}
+
+/// The bitplane kernel is bit-identical to the per-key `scf_pass` scan:
+/// for every 128-key block, every key's bitmap bit equals its per-key
+/// filter decision — any dimension (spanning `u64` word boundaries), any
+/// threshold, with `-0.0` and NaN packing as non-negative in both paths.
+fn check_packed_kernel_equivalence(g: &mut Gen) -> Result<(), String> {
+    let dim = g.usize_in(1, 200);
+    let n = g.usize_in(1, 300);
+    let th = g.u32_in(0, dim as u32 + 1);
+    let seed = g.u64_in(0, 1000);
+    let mut rng = SimRng::seed_from(seed);
+    let (per_key, arena) = edge_signed_store(n, dim, &mut rng);
+    let q = SignBits::from_slice(&rng.normal_vec(dim));
+    let mut block = 0;
+    while block < n {
+        let end = (block + PFU_BLOCK_KEYS).min(n);
+        let bitmap = filter_block_packed(&q, &arena, block..end, th);
+        for (i, key) in per_key.iter().enumerate().take(end).skip(block) {
+            let want = scf_pass(&q, key, th);
+            let got = bitmap >> (i - block) & 1 == 1;
+            prop_ensure!(
+                got == want,
+                "key {i}: packed {got} vs per-key {want} (dim {dim}, th {th}, seed {seed})"
+            );
+        }
+        // Bits beyond the block must stay clear.
+        if end - block < 128 {
+            prop_ensure!(
+                bitmap >> (end - block) == 0,
+                "stray bits beyond a {}-key block",
+                end - block
+            );
+        }
+        block = end;
+    }
+    // Arena round-trip and concordance agree with the per-key store.
+    let probe = g.usize_in(0, n - 1);
+    prop_ensure_eq!(arena.get(probe), per_key[probe].clone());
+    prop_ensure_eq!(arena.concordance(probe, &q), q.concordance(&per_key[probe]));
+    Ok(())
+}
+
+#[test]
+fn packed_kernel_matches_per_key_scan() {
+    run_cases(
+        "packed_kernel_matches_per_key_scan",
+        48,
+        check_packed_kernel_equivalence,
+    );
+}
+
+/// Word-boundary dims and the exact 128-key block edge, deterministically:
+/// the probabilistic property above covers the space; this pins the corners.
+#[test]
+fn packed_kernel_word_boundaries_and_block_edge() {
+    for dim in [1, 63, 64, 65, 127, 128, 129, 191, 192, 193] {
+        let mut rng = SimRng::seed_from(dim as u64);
+        let (per_key, arena) = edge_signed_store(128, dim, &mut rng);
+        let q = SignBits::from_slice(&rng.normal_vec(dim));
+        for th in [0, 1, dim as u32 / 2, dim as u32, dim as u32 + 1] {
+            let bitmap = filter_block_packed(&q, &arena, 0..128, th);
+            for (i, k) in per_key.iter().enumerate() {
+                assert_eq!(
+                    bitmap >> i & 1 == 1,
+                    scf_pass(&q, k, th),
+                    "dim {dim} th {th} key {i}"
+                );
+            }
+        }
+    }
 }

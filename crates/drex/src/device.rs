@@ -14,12 +14,14 @@ use crate::descriptor::{RequestDescriptor, ResponseDescriptor, TopHit};
 use crate::layout::{ObjectFootprint, UserPartition, MAX_CONTEXT_SLICE_KEYS};
 use crate::offload::{DrexParams, HeadOffloadSpec};
 use crate::response_buffers::ResponseBufferTable;
-use longsight_core::{ItqRotation, RotationTable, ThresholdTable};
+use longsight_core::{
+    filter_block_packed, ItqRotation, RotationTable, ThresholdTable, PFU_BLOCK_KEYS,
+};
 use longsight_cxl::CxlLink;
 use longsight_dram::Geometry;
 use longsight_faults::{domain, FaultInjector};
 use longsight_obs::{ArgVal, Recorder};
-use longsight_tensor::{quantize_bf16_in_place, vecops, FlatVecs, SignBits, TopK};
+use longsight_tensor::{quantize_bf16_in_place, vecops, FlatVecs, SignArena, TopK};
 
 /// Errors returned by device operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +54,7 @@ impl std::error::Error for DeviceError {}
 /// Per-head storage: sign objects, BF16 keys, BF16 values.
 #[derive(Debug, Clone)]
 struct HeadStore {
-    signs: Vec<SignBits>,
+    signs: SignArena,
     keys: FlatVecs,
     values: FlatVecs,
 }
@@ -60,7 +62,7 @@ struct HeadStore {
 impl HeadStore {
     fn new(dim: usize) -> Self {
         Self {
-            signs: Vec::new(),
+            signs: SignArena::new(dim),
             keys: FlatVecs::new(dim),
             values: FlatVecs::new(dim),
         }
@@ -230,7 +232,7 @@ impl DrexDevice {
             quantize_bf16_in_place(&mut kq);
             let mut vq = v.clone();
             quantize_bf16_in_place(&mut vq);
-            store.signs.push(rotation.signs(&kq));
+            rotation.signs_into(&kq, &mut store.signs);
             store.keys.push(&kq);
             store.values.push(&vq);
         }
@@ -345,27 +347,36 @@ impl DrexDevice {
                 assert_eq!(q.len(), head_dim, "query dimension mismatch");
                 let q_signs = rotation.signs(q);
                 let mut top = TopK::new(k);
-                #[allow(clippy::needless_range_loop)]
-                for i in 0..n {
-                    let mut pass = q_signs.concordance(&store.signs[i]) >= threshold;
-                    if let Some(fl) = &flips {
-                        if fl[i] {
-                            if pass {
-                                false_negatives += 1;
-                            } else {
-                                false_positives += 1;
+                // One PFU epoch per 128-key block off the packed arena; the
+                // fault-injected flips are applied to the resulting bitmap
+                // per key, exactly as the per-key scan counted them.
+                let mut block = 0usize;
+                while block < n {
+                    let block_end = (block + PFU_BLOCK_KEYS).min(n);
+                    let bitmap =
+                        filter_block_packed(&q_signs, &store.signs, block..block_end, threshold);
+                    for i in block..block_end {
+                        let mut pass = bitmap >> (i - block) & 1 == 1;
+                        if let Some(fl) = &flips {
+                            if fl[i] {
+                                if pass {
+                                    false_negatives += 1;
+                                } else {
+                                    false_positives += 1;
+                                }
+                                pass = !pass;
                             }
-                            pass = !pass;
+                        }
+                        if pass {
+                            if !union_mask[i] {
+                                union_mask[i] = true;
+                                union_survivors += 1;
+                            }
+                            let s = vecops::dot(q, store.keys.get(i));
+                            top.push(s, i);
                         }
                     }
-                    if pass {
-                        if !union_mask[i] {
-                            union_mask[i] = true;
-                            union_survivors += 1;
-                        }
-                        let s = vecops::dot(q, store.keys.get(i));
-                        top.push(s, i);
-                    }
+                    block = block_end;
                 }
                 per_query.push(
                     top.into_sorted_vec()
@@ -503,7 +514,7 @@ impl DrexDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use longsight_tensor::SimRng;
+    use longsight_tensor::{SignBits, SimRng};
 
     fn device(threshold: u32) -> DrexDevice {
         DrexDevice::new(

@@ -56,9 +56,10 @@ pub use descriptor::{
 pub use device::{DeviceError, DrexDevice, OffloadOutcome};
 pub use id_address::IdAddress;
 pub use offload::{
-    time_head_offload, time_head_offload_injected, time_slice_offload, try_time_slice_offload,
-    try_time_slice_offload_injected, try_time_slice_offload_traced, DrexParams, FaultedHeadTiming,
-    FaultedSliceTiming, HeadOffloadSpec, HeadOffloadTiming,
+    slice_layout, time_head_offload, time_head_offload_injected, time_slice_offload,
+    try_time_slice_offload, try_time_slice_offload_injected, try_time_slice_offload_traced,
+    DrexParams, FaultedHeadTiming, FaultedSliceTiming, HeadOffloadSpec, HeadOffloadTiming,
+    SliceWork,
 };
 pub use power::PowerModel;
 pub use response_buffers::{BufferError, ResponseBufferTable};

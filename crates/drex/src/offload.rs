@@ -39,6 +39,9 @@ pub struct DrexParams {
     pub nma_flops_per_ns: f64,
     /// Pipelined top-k insertion cost per surviving key, ns.
     pub topk_per_key_ns: f64,
+    /// DCC cost per entry when merging partial per-slice top-k lists
+    /// (`k` entries re-inserted per extra slice), ns.
+    pub dcc_merge_per_entry_ns: f64,
     /// Maximum queries a PFU pass compares in parallel.
     pub pfu_query_batch: usize,
     /// Hardware top-k bound.
@@ -57,6 +60,7 @@ impl DrexParams {
             addr_gen_ns: 1024.0,
             nma_flops_per_ns: 26.11e3 / 8.0,
             topk_per_key_ns: 0.5,
+            dcc_merge_per_entry_ns: 0.25,
             pfu_query_batch: 16,
             max_k: 1024,
             spm: SpmConfig::paper(),
@@ -302,15 +306,7 @@ pub fn try_time_slice_offload_traced(
             .round()
             .max(sim_survivors as f64) as usize;
         let mut rng = SimRng::seed_from(seed);
-        // Sample survivor positions uniformly via stride-jitter (adequate
-        // for row-locality statistics).
-        let mut positions = Vec::with_capacity(sim_survivors);
-        let stride = sim_keys as f64 / sim_survivors as f64;
-        for i in 0..sim_survivors {
-            let jitter = rng.uniform() * stride;
-            let pos = ((i as f64 * stride + jitter) as usize).min(sim_keys - 1);
-            positions.push(pos);
-        }
+        let positions = survivor_positions(&mut rng, sim_keys, sim_survivors);
         // Per-channel key slice layout: 64 key-slices per row; keys grouped
         // 1,024 per bank-group.
         let keys_per_row = (params.dram.row_bytes / params.dram.burst_bytes).max(1);
@@ -374,6 +370,36 @@ pub fn try_time_slice_offload_traced(
         fetch_score_ns,
         topk_ns,
     })
+}
+
+/// Samples `sim_survivors` strictly increasing positions in
+/// `[0, sim_keys)` via stride-jitter — the synthetic survivor placement
+/// whose sparsity drives the row-hit behaviour the DRAM simulator measures.
+///
+/// Strict monotonicity matters: a raw jittered draw can land on the previous
+/// survivor's position (e.g. stride 1.5: `⌊0·1.5+1.4⌋ = ⌊1·1.5+0.1⌋ = 1`),
+/// which would fetch the same DRAM row twice while never simulating another
+/// survivor. Each draw is therefore floored at `prev + 1` and capped at
+/// `sim_keys − (sim_survivors − i)`, which leaves exactly enough headroom for
+/// the remaining survivors — the floor can never exceed the cap, so every
+/// position is distinct and in bounds.
+///
+/// Requires `1 <= sim_survivors <= sim_keys` (guaranteed by the sampling
+/// setup in [`try_time_slice_offload_traced`]).
+fn survivor_positions(rng: &mut SimRng, sim_keys: usize, sim_survivors: usize) -> Vec<usize> {
+    debug_assert!(sim_survivors >= 1 && sim_survivors <= sim_keys);
+    let mut positions = Vec::with_capacity(sim_survivors);
+    let stride = sim_keys as f64 / sim_survivors as f64;
+    let mut floor = 0usize;
+    for i in 0..sim_survivors {
+        let jitter = rng.uniform() * stride;
+        let raw = ((i as f64 * stride + jitter) as usize).min(sim_keys - 1);
+        let cap = sim_keys - (sim_survivors - i);
+        let pos = raw.max(floor).min(cap);
+        positions.push(pos);
+        floor = pos + 1;
+    }
+    positions
 }
 
 /// A slice timing with its injected-fault annotations.
@@ -450,6 +476,56 @@ pub fn try_time_slice_offload_injected(
     })
 }
 
+/// One slice's share of a head offload, as produced by [`slice_layout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceWork {
+    /// Keys stored in this slice.
+    pub keys: usize,
+    /// Survivors assigned to this slice (proportional share; the final
+    /// slice absorbs the rounding remainder).
+    pub survivors: usize,
+    /// Seed for this slice's survivor-placement sampling.
+    pub seed: u64,
+}
+
+/// Splits a head's sparse region into per-slice work items: each Context
+/// Slice holds at most [`MAX_CONTEXT_SLICE_KEYS`] keys, survivors are
+/// apportioned proportionally to slice size (rounded, clamped to the slice,
+/// with the final slice absorbing the remainder), and each slice derives its
+/// sampling seed from the head seed and its index.
+///
+/// This is the single source of truth for the slice recurrence —
+/// [`time_head_offload`] and [`time_head_offload_injected`] both lay out
+/// their slices here, so the faulted and plain paths cannot drift.
+pub fn slice_layout(spec: &HeadOffloadSpec, seed: u64) -> Vec<SliceWork> {
+    if spec.context_len == 0 {
+        return Vec::new();
+    }
+    let slices = spec.context_len.div_ceil(MAX_CONTEXT_SLICE_KEYS);
+    let mut layout = Vec::with_capacity(slices);
+    let mut remaining = spec.context_len;
+    let mut remaining_survivors = spec.survivors;
+    for s in 0..slices {
+        let keys = remaining.min(MAX_CONTEXT_SLICE_KEYS);
+        // Proportional survivor share.
+        let survivors = if s + 1 == slices {
+            remaining_survivors
+        } else {
+            (spec.survivors as f64 * keys as f64 / spec.context_len as f64).round() as usize
+        }
+        .min(remaining_survivors)
+        .min(keys);
+        layout.push(SliceWork {
+            keys,
+            survivors,
+            seed: seed ^ (s as u64) << 32,
+        });
+        remaining -= keys;
+        remaining_survivors -= survivors;
+    }
+    layout
+}
+
 /// A head timing with fault annotations aggregated over its slices.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FaultedHeadTiming {
@@ -484,36 +560,20 @@ pub fn time_head_offload_injected(
     if spec.context_len == 0 {
         return Ok(FaultedHeadTiming::default());
     }
-    let slices = spec.context_len.div_ceil(MAX_CONTEXT_SLICE_KEYS);
-    let mut slice_specs = Vec::with_capacity(slices);
-    let mut remaining = spec.context_len;
-    let mut remaining_survivors = spec.survivors;
-    for s in 0..slices {
-        let keys = remaining.min(MAX_CONTEXT_SLICE_KEYS);
-        let survivors = if s + 1 == slices {
-            remaining_survivors
-        } else {
-            (spec.survivors as f64 * keys as f64 / spec.context_len as f64).round() as usize
-        }
-        .min(remaining_survivors)
-        .min(keys);
-        slice_specs.push((keys, survivors, seed ^ (s as u64) << 32, s as u64));
-        remaining -= keys;
-        remaining_survivors -= survivors;
-    }
-    let timings =
-        longsight_exec::deterministic_map(&slice_specs, |_, &(keys, survivors, s, idx)| {
-            try_time_slice_offload_injected(
-                params,
-                spec,
-                keys,
-                survivors,
-                s,
-                inj,
-                longsight_faults::stream(domain::SLICE, event_key, idx, 0),
-                timeout_ns,
-            )
-        });
+    let layout = slice_layout(spec, seed);
+    let slices = layout.len();
+    let timings = longsight_exec::deterministic_map(&layout, |idx, w| {
+        try_time_slice_offload_injected(
+            params,
+            spec,
+            w.keys,
+            w.survivors,
+            w.seed,
+            inj,
+            longsight_faults::stream(domain::SLICE, event_key, idx as u64, 0),
+            timeout_ns,
+        )
+    });
     let mut agg = FaultedHeadTiming::default();
     for t in timings {
         let t = t?;
@@ -523,7 +583,8 @@ pub fn time_head_offload_injected(
         agg.false_positives += t.false_positives;
     }
     if slices > 1 {
-        agg.timing.topk_ns += (slices - 1) as f64 * spec.k.min(params.max_k) as f64 * 0.25;
+        agg.timing.topk_ns +=
+            (slices - 1) as f64 * spec.k.min(params.max_k) as f64 * params.dcc_merge_per_entry_ns;
     }
     Ok(agg)
 }
@@ -542,31 +603,15 @@ pub fn time_head_offload(
     if spec.context_len == 0 {
         return HeadOffloadTiming::default();
     }
-    let slices = spec.context_len.div_ceil(MAX_CONTEXT_SLICE_KEYS);
-    // Lay out each slice's (keys, survivors, seed) first — the survivor
-    // split is a cheap sequential recurrence — then time the slices on the
-    // parallel map, mirroring the NMAs that run them concurrently. Folding
-    // `max_with` in slice order afterwards reproduces the serial result
-    // bit-for-bit (ties keep the earlier slice either way).
-    let mut slice_specs = Vec::with_capacity(slices);
-    let mut remaining = spec.context_len;
-    let mut remaining_survivors = spec.survivors;
-    for s in 0..slices {
-        let keys = remaining.min(MAX_CONTEXT_SLICE_KEYS);
-        // Proportional survivor share.
-        let survivors = if s + 1 == slices {
-            remaining_survivors
-        } else {
-            (spec.survivors as f64 * keys as f64 / spec.context_len as f64).round() as usize
-        }
-        .min(remaining_survivors)
-        .min(keys);
-        slice_specs.push((keys, survivors, seed ^ (s as u64) << 32));
-        remaining -= keys;
-        remaining_survivors -= survivors;
-    }
-    let timings = longsight_exec::deterministic_map(&slice_specs, |_, &(keys, survivors, s)| {
-        time_slice_offload(params, spec, keys, survivors, s)
+    // Lay out each slice's work first ([`slice_layout`] is a cheap
+    // sequential recurrence) — then time the slices on the parallel map,
+    // mirroring the NMAs that run them concurrently. Folding `max_with` in
+    // slice order afterwards reproduces the serial result bit-for-bit (ties
+    // keep the earlier slice either way).
+    let layout = slice_layout(spec, seed);
+    let slices = layout.len();
+    let timings = longsight_exec::deterministic_map(&layout, |_, w| {
+        time_slice_offload(params, spec, w.keys, w.survivors, w.seed)
     });
     let mut worst = HeadOffloadTiming::default();
     for t in &timings {
@@ -575,7 +620,8 @@ pub fn time_head_offload(
     // DCC merge of partial top-k lists: k entries per extra slice, pipelined.
     let mut result = worst;
     if slices > 1 {
-        result.topk_ns += (slices - 1) as f64 * spec.k.min(params.max_k) as f64 * 0.25;
+        result.topk_ns +=
+            (slices - 1) as f64 * spec.k.min(params.max_k) as f64 * params.dcc_merge_per_entry_ns;
     }
     result
 }
@@ -824,5 +870,112 @@ mod tests {
         let p = DrexParams::paper();
         let t = time_head_offload(&p, &spec(0, 0), 10);
         assert_eq!(t.total_ns(), 0.0);
+    }
+
+    #[test]
+    fn survivor_positions_are_strictly_increasing_and_in_bounds() {
+        // Includes the stride-1.5 shape from the original duplicate bug and
+        // the degenerate all-survive / one-survivor extremes.
+        for (keys, survivors) in [
+            (3, 2),
+            (6, 4),
+            (4096, 4096),
+            (4096, 2731), // stride ≈ 1.5
+            (4096, 1),
+            (65_536, 3_000),
+            (100, 99),
+        ] {
+            for seed in 0..20u64 {
+                let mut rng = SimRng::seed_from(seed);
+                let pos = survivor_positions(&mut rng, keys, survivors);
+                assert_eq!(pos.len(), survivors);
+                assert!(*pos.last().unwrap() < keys, "{keys}/{survivors}/{seed}");
+                for w in pos.windows(2) {
+                    assert!(
+                        w[1] > w[0],
+                        "duplicate or decreasing position {w:?} at {keys}/{survivors}/{seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_survivors_is_the_identity_placement() {
+        let mut rng = SimRng::seed_from(1);
+        let pos = survivor_positions(&mut rng, 512, 512);
+        assert_eq!(pos, (0..512).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_layout_matches_reference_recurrence() {
+        // Pins the shared helper to the recurrence both head paths relied on
+        // before it was extracted: proportional survivor shares, clamped to
+        // the slice, final slice absorbing the remainder, per-slice seeds.
+        for (context, survivors) in [
+            (1, 0),
+            (MAX_CONTEXT_SLICE_KEYS, 100),
+            (MAX_CONTEXT_SLICE_KEYS + 1, 7),
+            (3 * MAX_CONTEXT_SLICE_KEYS + 17, 12_345),
+            (4 * MAX_CONTEXT_SLICE_KEYS, 4 * MAX_CONTEXT_SLICE_KEYS),
+        ] {
+            let s = spec(context, survivors);
+            let layout = slice_layout(&s, 0xDEAD);
+            let slices = context.div_ceil(MAX_CONTEXT_SLICE_KEYS);
+            assert_eq!(layout.len(), slices);
+            let mut remaining = context;
+            let mut remaining_survivors = survivors;
+            for (i, w) in layout.iter().enumerate() {
+                let keys = remaining.min(MAX_CONTEXT_SLICE_KEYS);
+                let share = if i + 1 == slices {
+                    remaining_survivors
+                } else {
+                    (survivors as f64 * keys as f64 / context as f64).round() as usize
+                }
+                .min(remaining_survivors)
+                .min(keys);
+                assert_eq!((w.keys, w.survivors), (keys, share), "slice {i}");
+                assert_eq!(w.seed, 0xDEAD ^ (i as u64) << 32, "slice {i}");
+                remaining -= keys;
+                remaining_survivors -= share;
+            }
+            assert_eq!(remaining, 0);
+            assert_eq!(remaining_survivors, 0);
+            assert_eq!(layout.iter().map(|w| w.keys).sum::<usize>(), context);
+            assert_eq!(layout.iter().map(|w| w.survivors).sum::<usize>(), survivors);
+        }
+    }
+
+    #[test]
+    fn plain_and_injected_paths_share_one_slice_layout() {
+        // With a disabled injector the faulted head path must time the exact
+        // same per-slice work as the plain path — layout drift between the
+        // two recurrences is what the shared helper rules out.
+        let p = DrexParams::paper();
+        let off = FaultInjector::disabled();
+        for context in [
+            MAX_CONTEXT_SLICE_KEYS - 5,
+            2 * MAX_CONTEXT_SLICE_KEYS + 123,
+            5 * MAX_CONTEXT_SLICE_KEYS,
+        ] {
+            let s = spec(context, context / 20);
+            let plain = time_head_offload(&p, &s, 42);
+            let injected = time_head_offload_injected(&p, &s, 42, &off, 7, f64::INFINITY).unwrap();
+            assert_eq!(injected.timing, plain, "context {context}");
+        }
+    }
+
+    #[test]
+    fn dcc_merge_cost_scales_with_the_param() {
+        let mut p = DrexParams::paper();
+        let s = spec(3 * MAX_CONTEXT_SLICE_KEYS, 30_000);
+        let base = time_head_offload(&p, &s, 4);
+        p.dcc_merge_per_entry_ns = 0.5;
+        let doubled = time_head_offload(&p, &s, 4);
+        let extra = 2.0 * s.k as f64 * 0.25; // (slices−1) × k × Δcost
+        assert!((doubled.topk_ns - base.topk_ns - extra).abs() < 1e-9);
+        let off = FaultInjector::disabled();
+        let injected = time_head_offload_injected(&p, &s, 4, &off, 7, f64::INFINITY).unwrap();
+        assert_eq!(injected.timing, doubled);
     }
 }

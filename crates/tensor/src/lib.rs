@@ -10,6 +10,8 @@
 //!   the ITQ rotation trainer,
 //! * [`SignBits`] — bit-packed sign vectors with popcount-based concordance,
 //!   the data structure behind Sign-Concordance Filtering,
+//! * [`SignArena`] — a contiguous key-major arena of packed sign lanes, the
+//!   block-kernel layout mirroring a DReX Key Sign Object region,
 //! * [`TopK`] — a bounded min-heap for top-*k* selection,
 //! * [`Bf16`] — bfloat16 storage emulation (the paper's models run BF16),
 //! * [`SimRng`] — a seeded in-repo xoshiro256** RNG with the Gaussian helpers
@@ -49,5 +51,5 @@ pub use bf16::{quantize_bf16_in_place, Bf16};
 pub use flatvecs::FlatVecs;
 pub use matrix::Matrix;
 pub use rng::SimRng;
-pub use sign::SignBits;
+pub use sign::{SignArena, SignBits};
 pub use topk::{top_k_indices, ScoredIndex, TopK};

@@ -91,6 +91,166 @@ impl SignBits {
     }
 }
 
+/// A contiguous, append-only arena of bit-packed sign vectors — the
+/// functional mirror of one `(layer, kv_head)` region of Key Sign Objects
+/// laid out in DReX DRAM.
+///
+/// Where a `Vec<SignBits>` scatters every key's lanes behind its own heap
+/// allocation, the arena stores all keys **key-major** in a single `u64`
+/// buffer: key `i` owns words `[i·W, (i+1)·W)` with `W = ⌈dim/64⌉`. A block
+/// kernel (`filter_block_packed` in `longsight-core`) can therefore stream
+/// the lanes of 128 consecutive keys with no pointer chasing — the honest
+/// model of the PFU's word-wide XOR/popcount running at internal DRAM
+/// bandwidth (104.9 TB/s in the paper, §7.4).
+///
+/// The arena is append-only: keys enter when they leave the dense window
+/// (the functional flush of Key Sign Objects to the device) and are only
+/// discarded wholesale via [`SignArena::clear`].
+///
+/// # Example
+///
+/// ```
+/// use longsight_tensor::{SignArena, SignBits};
+///
+/// let mut arena = SignArena::new(4);
+/// arena.push_signs_of(&[1.0, -2.0, 3.0, -4.0]);
+/// arena.push_signs_of(&[-1.0, 2.0, -3.0, 4.0]);
+/// let q = SignBits::from_slice(&[1.0, -2.0, 3.0, -4.0]);
+/// assert_eq!(arena.concordance(0, &q), 4);
+/// assert_eq!(arena.concordance(1, &q), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignArena {
+    dim: usize,
+    words_per_key: usize,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl SignArena {
+    /// Creates an empty arena for sign vectors of dimensionality `dim`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            words_per_key: dim.div_ceil(64),
+            len: 0,
+            words: Vec::new(),
+        }
+    }
+
+    /// Dimensionality of every stored sign vector.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `u64` lanes per key (`⌈dim/64⌉`).
+    pub fn words_per_key(&self) -> usize {
+        self.words_per_key
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Discards every key (capacity is retained for reuse).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.words.clear();
+    }
+
+    /// Packs the sign bits of `v` directly into the arena tail — no
+    /// intermediate [`SignBits`] allocation. Bit semantics match
+    /// [`SignBits::from_slice`]: the bit is set only when `x < 0.0`, so
+    /// `-0.0` and NaN pack as non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    pub fn push_signs_of(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "sign vector dimension mismatch");
+        let base = self.words.len();
+        self.words.resize(base + self.words_per_key, 0);
+        for (i, &x) in v.iter().enumerate() {
+            if x < 0.0 {
+                self.words[base + i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Appends an already-packed sign vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.dim() != dim`.
+    pub fn push_bits(&mut self, bits: &SignBits) {
+        assert_eq!(bits.dim(), self.dim, "sign vector dimension mismatch");
+        self.words.extend_from_slice(bits.words());
+        self.len += 1;
+    }
+
+    /// The packed lanes of key `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn key_words(&self, i: usize) -> &[u64] {
+        assert!(i < self.len, "key index out of bounds");
+        &self.words[i * self.words_per_key..(i + 1) * self.words_per_key]
+    }
+
+    /// The contiguous lanes of keys `range` (key-major), the block-kernel
+    /// input: `range.len() * words_per_key` words with no per-key
+    /// indirection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `len`.
+    pub fn lane_words(&self, range: core::ops::Range<usize>) -> &[u64] {
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "key range out of bounds"
+        );
+        &self.words[range.start * self.words_per_key..range.end * self.words_per_key]
+    }
+
+    /// Copies key `i` back out as a standalone [`SignBits`] (tests and
+    /// diagnostics; the hot paths stay on the packed lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> SignBits {
+        SignBits {
+            dim: self.dim,
+            words: self.key_words(i).to_vec(),
+        }
+    }
+
+    /// Sign concordance of key `i` against `query` — identical to
+    /// `query.concordance(&self.get(i))` without materializing the key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` or the dimensions differ.
+    pub fn concordance(&self, i: usize, query: &SignBits) -> u32 {
+        assert_eq!(query.dim(), self.dim, "sign vector dimension mismatch");
+        let hamming: u32 = self
+            .key_words(i)
+            .iter()
+            .zip(query.words())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        self.dim as u32 - hamming
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

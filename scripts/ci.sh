@@ -6,8 +6,11 @@
 #   1. formatting check
 #   2. lint gate (clippy, warnings are errors)
 #   3. no-unwrap gate for the fault-hardened crates
+#   3b. packed-sign-store gate (no per-key SignBits in the hybrid scan)
 #   4. sim-time-only gate (no wall-clock reads in the instrumented crates)
-#   5. release build (all crates, all bench targets compile)
+#   5. release build (all crates, all bench targets compile), then the
+#      scf kernel smoke (packed scan bit-identical to and faster than the
+#      per-key walk)
 #   6. observability smoke: serve/profile with --trace-out, validate the
 #      exported Chrome trace JSON round-trips through `trace-validate`
 #   7. scheduler smoke: SLO-mixed loadtest under the slo-aware policy with
@@ -49,6 +52,22 @@ if [ -n "$unwrap_hits" ]; then
     exit 1
 fi
 
+# The hybrid scan hot path must stream the packed SignArena, not rebuild
+# per-key SignBits heap objects (the regression the bitplane kernel
+# removed). Query-side sign packing is fine; per-key construction, a
+# per-key vector, or the old HeadSignCache are not. Test modules may do
+# whatever they like.
+echo "== packed-sign-store gate (no per-key SignBits in the hybrid scan) =="
+packed_hits=$(
+    awk '/#\[cfg\(test\)\]/ {exit} /SignBits::from_slice|Vec<SignBits>|HeadSignCache/ {print FILENAME ":" FNR ": " $0}' \
+        crates/core/src/hybrid.rs
+)
+if [ -n "$packed_hits" ]; then
+    echo "error: per-key SignBits construction in the hybrid scan hot path:" >&2
+    echo "$packed_hits" >&2
+    exit 1
+fi
+
 # Traces and metrics must carry *simulated* time only: a wall-clock read
 # anywhere in the instrumented crates would break byte-identical exports
 # across thread counts and reruns.
@@ -77,13 +96,20 @@ fi
 echo "== cargo build --release --offline =="
 cargo build --release --workspace --offline
 
+# The packed scan kernel must stay bit-identical to the per-key walk and
+# faster than it (the bench target asserts both and exits non-zero
+# otherwise); the packed row's absolute ns/key is additionally pinned in
+# results/trajectory.tsv via the perf gate below.
+echo "== scf kernel smoke (per-key vs bitplane-packed) =="
+cargo bench -p longsight-bench --bench scf_kernel --offline
+
 echo "== observability smoke (serve/profile --trace-out, trace-validate) =="
 obs_tmp=$(mktemp -d)
 trap 'rm -rf "$obs_tmp"' EXIT
 target/release/longsight serve --model 8b --ctx 131072 --users 4 \
     --trace-out "$obs_tmp/serve_trace.json" --metrics-out "$obs_tmp/serve_metrics.json"
 target/release/longsight profile --model 8b --duration 5 \
-    --fault-profile mild --fault-seed 11 \
+    --fault-profile mild --fault-seed 11 --host-kernels on \
     --trace-out "$obs_tmp/profile_trace.json" --metrics-out "$obs_tmp/profile_metrics.json"
 target/release/longsight trace-validate --file "$obs_tmp/serve_trace.json"
 target/release/longsight trace-validate --file "$obs_tmp/profile_trace.json"

@@ -160,6 +160,96 @@ fn fault_schedule_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn packed_scan_matches_per_key_reference_across_thread_counts() {
+    use longsight::model::{attend_over_indices, AttentionBackend, AttentionRequest, HeadKv};
+    use longsight::tensor::{vecops, SignBits, TopK};
+
+    // A serial per-key reference of the hybrid filter→score→rank pipeline,
+    // written against `scf_pass` semantics (`concordance >= threshold`) with
+    // heap-allocated per-key SignBits — the layout the packed arena replaced.
+    // The backend must reproduce it bit-for-bit at every thread count.
+    let dim = 24;
+    let n = 9_000; // several 4096-key scan chunks and many 128-key blocks
+    let window = 256;
+    let sinks = 16;
+    let top_k = 96;
+    let threshold = 12u32;
+    let mut rng = SimRng::seed_from(7);
+    let mut history = HeadKv::new(dim);
+    for _ in 0..n {
+        let k = rng.normal_vec(dim);
+        let v = rng.normal_vec(dim);
+        history.push(&k, &v);
+    }
+    let queries = vec![rng.normal_vec(dim), rng.normal_vec(dim)];
+    let req = AttentionRequest {
+        layer: 0,
+        kv_head: 0,
+        position: n - 1,
+        queries: &queries,
+        history: &history,
+        scale: 0.25,
+    };
+
+    let window_start = n - window;
+    let sinks_end = sinks;
+    let key_signs: Vec<SignBits> = (0..window_start)
+        .map(|i| SignBits::from_slice(history.keys().get(i)))
+        .collect();
+    let reference: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| {
+            let q_signs = SignBits::from_slice(q);
+            let mut top = TopK::new(top_k);
+            for (i, k_signs) in key_signs.iter().enumerate().skip(sinks_end) {
+                if q_signs.concordance(k_signs) >= threshold {
+                    top.push(vecops::dot(q, history.keys().get(i)), i);
+                }
+            }
+            let mut candidates: Vec<usize> = (0..sinks_end).collect();
+            candidates.extend(top.into_sorted_vec().iter().map(|s| s.index));
+            candidates.extend(window_start..n);
+            candidates.sort_unstable();
+            attend_over_indices(q, &history, &candidates, req.scale)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+
+    let runs = across_thread_counts(|| {
+        let mut backend = LongSightBackend::new(
+            HybridConfig {
+                window,
+                sinks,
+                top_k,
+            },
+            ThresholdTable::uniform(1, 1, threshold),
+            RotationTable::identity(1, 1, dim),
+        );
+        let out = backend.attend(&req);
+        let bits: Vec<Vec<u32>> = out
+            .iter()
+            .map(|o| o.iter().map(|x| x.to_bits()).collect())
+            .collect();
+        (bits, backend.stats().scored, backend.stats().retrieved)
+    });
+    for (threads, (bits, _, _)) in &runs {
+        assert_eq!(
+            *bits, reference,
+            "packed scan diverged from the per-key reference at {threads} threads"
+        );
+    }
+    let (_, baseline) = &runs[0];
+    for (threads, got) in &runs[1..] {
+        assert_eq!(
+            got, baseline,
+            "packed scan stats diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn offload_timing_is_bit_identical_across_thread_counts() {
     let params = DrexParams::paper();
     // Several slices' worth of keys so the per-slice parallel map engages.
